@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness (imported by bench modules).
+
+Kept separate from conftest.py so bench files never import a module named
+``conftest`` (which would collide with tests/conftest.py when both suites
+run in one pytest invocation).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.core.gctsp import prepare_example
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Benchmarks honour REPRO_BENCH_SCALE in {small, full}; "small" keeps CI fast.
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered table/figure and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text + "\n")
+
+
+def prepare(examples, extractor, parser, roles=False):
+    """Prepare GraphExamples from MiningExamples."""
+    return [
+        prepare_example(
+            e.queries, e.titles, extractor, parser,
+            gold_tokens=e.gold_tokens,
+            token_roles=e.token_roles if roles else None,
+        )
+        for e in examples
+    ]

@@ -1,0 +1,126 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmark world is larger than the test world (procedural domains, more
+days, more examples per concept) and the models are trained at closer-to-
+paper settings.  Heavy artifacts are session-scoped so each table/figure
+bench reuses them.
+
+Every bench writes its rendered table/figure to ``benchmarks/results/`` and
+prints it, so the harness output survives pytest's capture settings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import GCTSPConfig
+from repro.core.features import NodeFeatureExtractor
+from repro.core.gctsp import GCTSPNet
+from repro.datasets import build_cmd, build_emd, split_dataset
+from repro.synth.querylog import QueryLogGenerator, build_click_graph
+from repro.synth.world import WorldConfig, build_world
+from repro.text.dependency import DependencyParser
+
+from bench_common import SCALE, prepare, write_result  # noqa: F401
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    if SCALE == "full":
+        cfg = WorldConfig(num_extra_domains=6, num_days=7, seed=0,
+                          events_per_template=3)
+    else:
+        cfg = WorldConfig(num_extra_domains=5, num_days=5, seed=0,
+                          events_per_template=3)
+    return build_world(cfg)
+
+
+@pytest.fixture(scope="session")
+def bench_days(bench_world):
+    return QueryLogGenerator(bench_world).generate_days()
+
+
+@pytest.fixture(scope="session")
+def bench_click_graph(bench_days):
+    return build_click_graph(bench_days)
+
+
+@pytest.fixture(scope="session")
+def bench_sessions(bench_days):
+    return [s for day in bench_days for s in day.sessions]
+
+
+@pytest.fixture(scope="session")
+def bench_taggers(bench_world):
+    return bench_world.register_text_models()
+
+
+@pytest.fixture(scope="session")
+def bench_extractor(bench_taggers):
+    pos, ner = bench_taggers
+    return NodeFeatureExtractor(pos, ner)
+
+
+@pytest.fixture(scope="session")
+def bench_parser(bench_taggers):
+    return DependencyParser(bench_taggers[0])
+
+
+@pytest.fixture(scope="session")
+def bench_cmd(bench_world):
+    per = 6 if SCALE == "full" else 6
+    return build_cmd(bench_world, examples_per_concept=per, seed=7)
+
+
+@pytest.fixture(scope="session")
+def bench_emd(bench_world):
+    per = 3 if SCALE == "full" else 2
+    return build_emd(bench_world, examples_per_event=per, seed=13)
+
+
+@pytest.fixture(scope="session")
+def cmd_split(bench_cmd):
+    return split_dataset(bench_cmd, seed=0)
+
+
+@pytest.fixture(scope="session")
+def emd_split(bench_emd):
+    return split_dataset(bench_emd, seed=0)
+
+
+@pytest.fixture(scope="session")
+def gctsp_paper_config():
+    # Paper settings: 5-layer R-GCN, hidden 32, B=5. Epochs tuned to scale.
+    epochs = 25 if SCALE == "full" else 15
+    return GCTSPConfig(num_layers=5, hidden_size=32, num_bases=5,
+                       epochs=epochs, learning_rate=0.01, seed=0)
+
+
+@pytest.fixture(scope="session")
+def concept_gctsp(cmd_split, bench_extractor, bench_parser, gctsp_paper_config):
+    train, _dev, _test = cmd_split
+    cap = 250 if SCALE == "full" else 150
+    examples = prepare(train[:cap], bench_extractor, bench_parser)
+    model = GCTSPNet(gctsp_paper_config)
+    model.fit(examples)
+    return model
+
+
+@pytest.fixture(scope="session")
+def event_gctsp(emd_split, bench_extractor, bench_parser, gctsp_paper_config):
+    train, _dev, _test = emd_split
+    cap = 200 if SCALE == "full" else 90
+    examples = prepare(train[:cap], bench_extractor, bench_parser)
+    model = GCTSPNet(gctsp_paper_config)
+    model.fit(examples)
+    return model
+
+
+@pytest.fixture(scope="session")
+def key_element_gctsp(emd_split, bench_extractor, bench_parser, gctsp_paper_config):
+    train, _dev, _test = emd_split
+    cap = 200 if SCALE == "full" else 90
+    examples = prepare(train[:cap], bench_extractor, bench_parser, roles=True)
+    model = GCTSPNet(gctsp_paper_config, num_classes=4)
+    model.fit(examples)
+    return model

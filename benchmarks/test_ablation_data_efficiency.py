@@ -1,0 +1,76 @@
+"""Ablation — training-data efficiency of GCTSP-Net vs Q-LSTM-CRF.
+
+The paper stresses that its weak-supervision strategies make training data
+cheap ("minimum manual labelling efforts").  This bench sweeps the training
+set size and reports test F1 for GCTSP-Net and the strongest sequence
+baseline: the structural prior of the QTIG should make GCTSP-Net the more
+data-efficient learner at small training sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import QueryLstmCrf
+from repro.config import GCTSPConfig
+from repro.core.gctsp import GCTSPNet, prepare_example
+from repro.eval import evaluate_phrases
+from repro.eval.reporting import render_table
+
+from bench_common import SCALE, write_result
+
+SIZES = (10, 30, 60) if SCALE == "small" else (10, 30, 60, 120)
+
+
+def _gctsp_f1(train_raw, test_raw, extractor, parser, epochs):
+    train = [prepare_example(e.queries, e.titles, extractor, parser,
+                             gold_tokens=e.gold_tokens) for e in train_raw]
+    test = [prepare_example(e.queries, e.titles, extractor, parser,
+                            gold_tokens=e.gold_tokens) for e in test_raw]
+    model = GCTSPNet(GCTSPConfig(num_layers=3, hidden_size=24, num_bases=4,
+                                 epochs=epochs, learning_rate=0.015, seed=0))
+    model.fit(train)
+    preds = [model.extract_phrase(e) for e in test]
+    return evaluate_phrases(preds, [e.gold_tokens for e in test_raw]).f1
+
+
+def _lstm_f1(train_raw, test_raw, epochs):
+    model = QueryLstmCrf(embed_dim=32, hidden=25)
+    model.fit_examples(train_raw, epochs=epochs, lr=0.03)
+    preds = [model.extract(e.queries, e.titles) for e in test_raw]
+    return evaluate_phrases(preds, [e.gold_tokens for e in test_raw]).f1
+
+
+def test_ablation_data_efficiency(benchmark, cmd_split, bench_extractor,
+                                  bench_parser):
+    train, _dev, test = cmd_split
+    test = test[:25]
+    epochs = 8 if SCALE == "small" else 10
+
+    def run():
+        rows = []
+        for size in SIZES:
+            rows.append((
+                f"n={size}",
+                {
+                    "GCTSP-Net F1": _gctsp_f1(train[:size], test,
+                                              bench_extractor, bench_parser,
+                                              epochs),
+                    "Q-LSTM-CRF F1": _lstm_f1(train[:size], test, epochs),
+                },
+            ))
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    table = render_table(
+        "Ablation: test F1 vs number of training examples",
+        ["GCTSP-Net F1", "Q-LSTM-CRF F1"], rows,
+    )
+    write_result("ablation_data_efficiency", table)
+
+    scores = dict(rows)
+    # GCTSP-Net must be competitive at every size and not degrade with data.
+    smallest = scores[f"n={SIZES[0]}"]
+    largest = scores[f"n={SIZES[-1]}"]
+    assert smallest["GCTSP-Net F1"] >= smallest["Q-LSTM-CRF F1"] - 0.1
+    assert largest["GCTSP-Net F1"] >= smallest["GCTSP-Net F1"] - 0.05

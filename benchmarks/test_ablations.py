@@ -1,0 +1,131 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* QTIG edge policy: first-edge-kept (paper) vs keep-all-edges — the paper
+  reports first-edge-kept "gives better performance for phrase mining".
+* Decoding: ATSP-decoding vs naive node-id ordering of positive nodes.
+* R-GCN depth and basis count: the paper's 5-layer/B=5 vs shallow variants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import GCTSPConfig
+from repro.core.gctsp import GCTSPNet, prepare_example
+from repro.eval import evaluate_phrases
+from repro.eval.reporting import render_table
+
+from bench_common import SCALE, prepare, write_result
+
+COLUMNS = ["EM", "F1", "COV"]
+
+
+@pytest.fixture(scope="module")
+def small_split(cmd_split, bench_extractor, bench_parser):
+    train, _dev, test = cmd_split
+    cap_train = 80 if SCALE == "full" else 60
+    cap_test = 40 if SCALE == "full" else 25
+    return train[:cap_train], test[:cap_test]
+
+
+def _train_and_eval(config, train_raw, test_raw, extractor, parser,
+                    keep_all_edges=False, use_atsp=True):
+    train = [
+        prepare_example(e.queries, e.titles, extractor, parser,
+                        gold_tokens=e.gold_tokens, keep_all_edges=keep_all_edges)
+        for e in train_raw
+    ]
+    test = [
+        prepare_example(e.queries, e.titles, extractor, parser,
+                        gold_tokens=e.gold_tokens, keep_all_edges=keep_all_edges)
+        for e in test_raw
+    ]
+    model = GCTSPNet(config)
+    model.fit(train)
+    preds = []
+    for example in test:
+        positives = model.predict_positive_nodes(example)
+        if use_atsp:
+            preds.append(model.order_nodes(example.graph, positives))
+        else:
+            preds.append([example.graph.tokens[i] for i in sorted(positives)])
+    golds = [e.gold_tokens for e in test_raw]
+    return evaluate_phrases(preds, golds).as_row()
+
+
+@pytest.fixture(scope="module")
+def ablation_config():
+    epochs = 14 if SCALE == "full" else 12
+    return GCTSPConfig(num_layers=3, hidden_size=24, num_bases=4,
+                       epochs=epochs, learning_rate=0.015, seed=0)
+
+
+def test_ablation_qtig_edge_policy(benchmark, small_split, bench_extractor,
+                                   bench_parser, ablation_config):
+    train, test = small_split
+
+    def run():
+        first_kept = _train_and_eval(ablation_config, train, test,
+                                     bench_extractor, bench_parser,
+                                     keep_all_edges=False)
+        keep_all = _train_and_eval(ablation_config, train, test,
+                                   bench_extractor, bench_parser,
+                                   keep_all_edges=True)
+        return [("first-edge-kept (paper)", first_kept),
+                ("keep-all-edges", keep_all)]
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    table = render_table("Ablation: QTIG edge policy", COLUMNS, rows)
+    write_result("ablation_qtig_edges", table)
+    scores = dict(rows)
+    # Both must work; the paper's policy should not lose badly.
+    assert scores["first-edge-kept (paper)"]["F1"] >= \
+        scores["keep-all-edges"]["F1"] - 0.1
+
+
+def test_ablation_atsp_vs_naive_ordering(benchmark, small_split,
+                                         bench_extractor, bench_parser,
+                                         ablation_config):
+    train, test = small_split
+
+    def run():
+        atsp = _train_and_eval(ablation_config, train, test, bench_extractor,
+                               bench_parser, use_atsp=True)
+        naive = _train_and_eval(ablation_config, train, test, bench_extractor,
+                                bench_parser, use_atsp=False)
+        return [("ATSP-decoding (paper)", atsp), ("node-id order", naive)]
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    table = render_table("Ablation: node ordering strategy", COLUMNS, rows)
+    write_result("ablation_decoding", table)
+    scores = dict(rows)
+    # ATSP ordering must not be worse: token order errors only hurt EM.
+    assert scores["ATSP-decoding (paper)"]["EM"] >= scores["node-id order"]["EM"] - 0.05
+
+
+def test_ablation_rgcn_depth_and_bases(benchmark, small_split, bench_extractor,
+                                       bench_parser):
+    train, test = small_split
+    epochs = 14 if SCALE == "full" else 12
+
+    variants = [
+        ("1-layer", GCTSPConfig(num_layers=1, hidden_size=24, num_bases=4,
+                                epochs=epochs, learning_rate=0.015, seed=0)),
+        ("3-layer B=4", GCTSPConfig(num_layers=3, hidden_size=24, num_bases=4,
+                                    epochs=epochs, learning_rate=0.015, seed=0)),
+        ("3-layer B=1", GCTSPConfig(num_layers=3, hidden_size=24, num_bases=1,
+                                    epochs=epochs, learning_rate=0.015, seed=0)),
+    ]
+
+    def run():
+        return [
+            (name, _train_and_eval(cfg, train, test, bench_extractor, bench_parser))
+            for name, cfg in variants
+        ]
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    table = render_table("Ablation: R-GCN depth and basis count", COLUMNS, rows)
+    write_result("ablation_rgcn", table)
+    scores = dict(rows)
+    # Depth matters: message passing needs >1 layer to use graph structure.
+    assert scores["3-layer B=4"]["F1"] >= scores["1-layer"]["F1"] - 0.05

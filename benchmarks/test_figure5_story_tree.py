@@ -1,0 +1,66 @@
+"""Figure 5 — story-tree formation for a developing story.
+
+The paper shows a "China-US Trade" story tree: 18 events clustered into
+coherent branches and ordered by article time.  The bench builds the tree
+for the synthetic world's richest topic and checks the structural claims:
+related events cluster onto branches, branches are chronological, and
+unrelated events stay out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.story_tree import EventRecord, StoryTreeBuilder
+from repro.text.embeddings import WordEmbeddings
+from repro.text.tokenizer import tokenize
+
+from bench_common import write_result
+
+
+@pytest.fixture(scope="module")
+def event_pool(bench_world):
+    records = []
+    for event in bench_world.events.values():
+        records.append(
+            EventRecord(
+                phrase=event.phrase,
+                trigger=event.trigger,
+                entities=[event.entity],
+                day=event.day,
+                location=event.location,
+            )
+        )
+    return records
+
+
+@pytest.fixture(scope="module")
+def builder(bench_world):
+    corpus = [tokenize(e.phrase) for e in bench_world.events.values()]
+    embeddings = WordEmbeddings(dim=24, window=3).train(corpus)
+    return StoryTreeBuilder(embeddings=embeddings, cluster_threshold=1.0)
+
+
+def test_figure5_story_tree(benchmark, event_pool, builder, bench_world):
+    # Seed with an event from the largest topic (the richest story).
+    topic = max(bench_world.topics.values(), key=lambda t: len(t.event_ids))
+    seed_event = bench_world.events[topic.event_ids[0]]
+    seed = next(r for r in event_pool if r.phrase == seed_event.phrase)
+
+    tree = benchmark.pedantic(
+        lambda: builder.build(seed, event_pool, require_common_entity=False,
+                              require_same_trigger=True),
+        iterations=1, rounds=1,
+    )
+    write_result("figure5_story_tree", tree.render())
+
+    # Structural claims of Figure 5.
+    assert tree.num_events >= 2
+    for branch in tree.branches:
+        days = [e.day for e in branch]
+        assert days == sorted(days), "branch must be chronological"
+    # Root is the earliest event of the story.
+    all_days = [e.day for b in tree.branches for e in b]
+    assert tree.root.event.day == min(all_days)
+    # Same-trigger retrieval keeps the story coherent.
+    assert all(e.trigger == seed.trigger for b in tree.branches for e in b)

@@ -1,0 +1,96 @@
+"""Tables 3-4 — showcases: mined concepts/events with their categories,
+instances, topics, and involved entities.
+
+The paper's Tables 3-4 are qualitative; the bench regenerates the same row
+structure from the constructed ontology (e.g. "famous long-distance runner"
+with its runner instances; cellphone launch events with their entities).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GiantPipeline
+from repro.core.ontology import EdgeType, NodeType
+from repro.synth.querylog import build_click_graph
+
+from bench_common import write_result
+
+
+@pytest.fixture(scope="module")
+def ontology(bench_days, bench_taggers, bench_sessions, bench_world,
+             concept_gctsp, key_element_gctsp):
+    pos, ner = bench_taggers
+    pipe = GiantPipeline(
+        build_click_graph(bench_days), pos, ner,
+        concept_model=concept_gctsp,
+        key_element_model=key_element_gctsp,
+        categories=sorted({c[2] for c in bench_world.categories}),
+    )
+    pipe.run(sessions=bench_sessions)
+    return pipe.ontology
+
+
+def _concept_rows(onto, limit=8):
+    rows = []
+    for concept in onto.nodes(NodeType.CONCEPT):
+        instances = [
+            n.phrase for n in onto.instances_of(concept.node_id)
+            if n.node_type == NodeType.ENTITY
+        ]
+        categories = [
+            p.phrase for p in onto.parents_of(concept.node_id)
+            if p.node_type == NodeType.CATEGORY
+        ]
+        if instances:
+            rows.append((categories, concept.phrase, instances))
+    rows.sort(key=lambda r: -len(r[2]))
+    return rows[:limit]
+
+
+def _event_rows(onto, limit=8):
+    rows = []
+    for topic in onto.nodes(NodeType.TOPIC):
+        events = [
+            n.phrase for n in onto.instances_of(topic.node_id)
+            if n.node_type == NodeType.EVENT
+        ]
+        entities = set()
+        for event_phrase in events:
+            event = onto.find(NodeType.EVENT, event_phrase)
+            for inv in onto.successors(event.node_id, EdgeType.INVOLVE):
+                entities.add(inv.phrase)
+        if events:
+            rows.append((topic.phrase, events, sorted(entities)))
+    rows.sort(key=lambda r: -len(r[1]))
+    return rows[:limit]
+
+
+def test_table3_concept_showcases(benchmark, ontology):
+    rows = benchmark.pedantic(lambda: _concept_rows(ontology),
+                              iterations=1, rounds=1)
+    lines = ["Table 3: concepts with related categories and instances", ""]
+    for categories, concept, instances in rows:
+        cat = ", ".join(categories) or "-"
+        lines.append(f"  [{cat}] {concept}")
+        lines.append(f"      instances: {', '.join(instances[:5])}")
+    write_result("table3_concept_showcases", "\n".join(lines))
+
+    assert rows, "no concept showcases produced"
+    # Every showcased concept must have at least one entity instance.
+    assert all(instances for _c, _p, instances in rows)
+
+
+def test_table4_event_showcases(benchmark, ontology):
+    rows = benchmark.pedantic(lambda: _event_rows(ontology),
+                              iterations=1, rounds=1)
+    lines = ["Table 4: topics with events and involved entities", ""]
+    for topic, events, entities in rows:
+        lines.append(f"  topic: {topic}")
+        for event in events[:3]:
+            lines.append(f"      event: {event}")
+        lines.append(f"      entities: {', '.join(entities[:5]) or '-'}")
+    write_result("table4_event_showcases", "\n".join(lines))
+
+    assert rows, "no event showcases produced"
+    assert all(len(events) >= 2 for _t, events, _e in rows)

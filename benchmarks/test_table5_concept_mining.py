@@ -1,0 +1,118 @@
+"""Table 5 — concept mining: EM / F1 / COV for eight methods.
+
+Paper numbers (Chinese CMD, 10k examples):
+
+    TextRank     0.1941  0.7356  1.0000
+    AutoPhrase   0.0725  0.4839  0.9353
+    Match        0.1494  0.3054  0.3639
+    Align        0.7016  0.8895  0.9611
+    MatchAlign   0.6462  0.8814  0.9700
+    Q-LSTM-CRF   0.7171  0.8828  0.9731
+    T-LSTM-CRF   0.3106  0.6333  0.9062
+    GCTSP-Net    0.7830  0.9576  1.0000
+
+The reproduction checks the *shape*: GCTSP-Net tops EM and F1; Align-family
+and Q-LSTM-CRF are competitive; Match has low coverage; TextRank has full
+coverage but low EM.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    AlignExtractor,
+    AutoPhraseMiner,
+    MatchAlignExtractor,
+    MatchExtractor,
+    QueryLstmCrf,
+    TextRankExtractor,
+    TitleLstmCrf,
+)
+from repro.eval import evaluate_phrases
+from repro.eval.reporting import render_table
+
+from bench_common import SCALE, prepare, write_result
+
+COLUMNS = ["EM", "F1", "COV"]
+
+
+@pytest.fixture(scope="module")
+def methods(cmd_split, concept_gctsp, bench_extractor, bench_parser):
+    train, _dev, _test = cmd_split
+    epochs = 10 if SCALE == "full" else 6
+    cap = 200 if SCALE == "full" else 80
+
+    textrank = TextRankExtractor(top_k=5)
+    autophrase = AutoPhraseMiner(min_count=2, top_k=5)
+    autophrase.fit([t for e in train for t in e.queries + e.titles])
+    match = MatchExtractor()
+    match.bootstrap([q for e in train for q in e.queries])
+    align = AlignExtractor()
+    matchalign = MatchAlignExtractor()
+    matchalign.bootstrap([q for e in train for q in e.queries])
+    q_lstm = QueryLstmCrf(embed_dim=32, hidden=25)
+    q_lstm.fit_examples(train[:cap], epochs=epochs, lr=0.03)
+    t_lstm = TitleLstmCrf(embed_dim=32, hidden=25)
+    t_lstm.fit_examples(train[: cap // 2], epochs=max(3, epochs // 2), lr=0.03)
+
+    gctsp_extract = _gctsp_extractor(concept_gctsp, bench_extractor, bench_parser)
+
+    return [
+        ("TextRank", textrank.extract),
+        ("AutoPhrase", autophrase.extract),
+        ("Match", match.extract),
+        ("Align", align.extract),
+        ("MatchAlign", matchalign.extract),
+        ("Q-LSTM-CRF", q_lstm.extract),
+        ("T-LSTM-CRF", t_lstm.extract),
+        ("GCTSP-Net", gctsp_extract),
+    ]
+
+
+def _gctsp_extractor(model, extractor, parser):
+    from repro.core.gctsp import prepare_example
+
+    def extract(queries, titles):
+        example = prepare_example(queries, titles, extractor, parser)
+        return model.extract_phrase(example)
+
+    return extract
+
+
+def _evaluate_all(methods, test_examples):
+    rows = []
+    for name, extract in methods:
+        preds = [extract(e.queries, e.titles) for e in test_examples]
+        golds = [e.gold_tokens for e in test_examples]
+        rows.append((name, evaluate_phrases(preds, golds).as_row()))
+    return rows
+
+
+def test_table5_concept_mining(benchmark, methods, cmd_split):
+    _train, _dev, test = cmd_split
+    rows = benchmark.pedantic(
+        _evaluate_all, args=(methods, test), iterations=1, rounds=1
+    )
+    table = render_table(
+        "Table 5: concept mining on the synthetic CMD (EM / F1 / COV)",
+        COLUMNS, rows,
+    )
+    write_result("table5_concept_mining", table)
+
+    scores = dict(rows)
+    # Shape assertions mirroring the paper's ordering (with a small epsilon
+    # because the synthetic test split is far smaller than the paper's 1k).
+    best_f1 = max(r["F1"] for r in scores.values())
+    best_em = max(r["EM"] for r in scores.values())
+    assert scores["GCTSP-Net"]["F1"] >= best_f1 - 0.03
+    assert scores["GCTSP-Net"]["EM"] >= best_em - 0.1
+    assert scores["GCTSP-Net"]["EM"] > scores["TextRank"]["EM"]
+    assert scores["GCTSP-Net"]["EM"] > scores["T-LSTM-CRF"]["EM"]
+    assert scores["GCTSP-Net"]["COV"] >= 0.95
+    assert scores["TextRank"]["COV"] == 1.0
+    # Pattern/alignment methods lose on accuracy or on coverage
+    # (paper: Match COV 0.36, Align EM 0.70 < GCTSP 0.78).
+    assert scores["Match"]["EM"] < scores["GCTSP-Net"]["EM"]
+    assert scores["Align"]["COV"] < 1.0
+    assert scores["Align"]["F1"] > scores["AutoPhrase"]["F1"]

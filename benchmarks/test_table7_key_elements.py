@@ -1,0 +1,94 @@
+"""Table 7 — event key-element recognition: F1-macro / micro / weighted.
+
+Paper numbers:
+
+    LSTM        0.2108  0.5532  0.6563
+    LSTM-CRF    0.2610  0.6468  0.7238
+    GCTSP-Net   0.6291  0.9438  0.9331
+
+Shape: GCTSP-Net dominates all three metrics; the CRF helps the LSTM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import LstmCrfTagger, LstmRoleTagger
+from repro.core.gctsp import KEY_ELEMENT_CLASSES, prepare_example
+from repro.eval.metrics import multiclass_f1
+from repro.eval.reporting import render_table
+
+from bench_common import SCALE, write_result
+
+COLUMNS = ["F1-macro", "F1-micro", "F1-weighted"]
+NUM_CLASSES = len(KEY_ELEMENT_CLASSES)
+
+
+def _role_labels(tokens, token_roles):
+    index = {c: i for i, c in enumerate(KEY_ELEMENT_CLASSES)}
+    return [index.get(token_roles.get(t, "other"), 0) for t in tokens]
+
+
+@pytest.fixture(scope="module")
+def sequence_data(emd_split):
+    """Per-title token/label sequences for the LSTM baselines."""
+    train, _dev, test = emd_split
+    def flatten(examples):
+        seqs, labels = [], []
+        for e in examples:
+            for title in e.titles:
+                seqs.append(title)
+                labels.append(_role_labels(title, e.token_roles))
+        return seqs, labels
+    return flatten(train), flatten(test), test
+
+
+def test_table7_key_elements(benchmark, sequence_data, key_element_gctsp,
+                             bench_extractor, bench_parser):
+    (train_seqs, train_labels), (test_seqs, test_labels), test_examples = sequence_data
+    cap = 300 if SCALE == "full" else 120
+    epochs = 8 if SCALE == "full" else 4
+
+    lstm = LstmRoleTagger(num_classes=NUM_CLASSES, embed_dim=32, hidden=25)
+    lstm.fit(train_seqs[:cap], train_labels[:cap], epochs=epochs, lr=0.03)
+    lstm_crf = LstmCrfTagger(embed_dim=32, hidden=25, num_tags=NUM_CLASSES)
+    lstm_crf.fit(train_seqs[:cap], train_labels[:cap], epochs=epochs, lr=0.03)
+
+    def evaluate_all():
+        rows = []
+        for name, predict in (
+            ("LSTM", lstm.predict),
+            ("LSTM-CRF", lstm_crf.predict),
+        ):
+            y_true: list[int] = []
+            y_pred: list[int] = []
+            for seq, labels in zip(test_seqs, test_labels):
+                y_true.extend(labels)
+                y_pred.extend(predict(seq))
+            rows.append((name, multiclass_f1(y_true, y_pred, NUM_CLASSES)))
+
+        # GCTSP-Net predicts over QTIG nodes; score node-level labels.
+        y_true, y_pred = [], []
+        for example in test_examples:
+            prepared = prepare_example(
+                example.queries, example.titles, bench_extractor, bench_parser,
+                token_roles=example.token_roles,
+            )
+            pred = key_element_gctsp.predict_labels(prepared)
+            y_true.extend(prepared.labels[2:].tolist())
+            y_pred.extend(pred[2:].tolist())
+        rows.append(("GCTSP-Net", multiclass_f1(y_true, y_pred, NUM_CLASSES)))
+        return rows
+
+    rows = benchmark.pedantic(evaluate_all, iterations=1, rounds=1)
+    table = render_table(
+        "Table 7: event key-element recognition (4-class, node/token level)",
+        COLUMNS, rows,
+    )
+    write_result("table7_key_elements", table)
+
+    scores = dict(rows)
+    assert scores["GCTSP-Net"]["F1-macro"] >= scores["LSTM-CRF"]["F1-macro"]
+    assert scores["GCTSP-Net"]["F1-micro"] >= scores["LSTM"]["F1-micro"]
+    assert scores["GCTSP-Net"]["F1-micro"] > 0.7

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Document tagging with the Attention Ontology (paper Section 4).
+
+Shows the paper's flagship capability: tagging a document with a concept it
+never mentions.  A document about "iron man" and "captain america" receives
+the tag "marvel superhero movies" through key-entity inference; an event
+headline is tagged with its event through LCS matching.
+
+Run:  python examples/document_tagging.py
+"""
+
+from repro import GiantPipeline, WorldConfig, build_world
+from repro.apps.tagging import DocumentTagger
+from repro.synth.documents import DocumentGenerator
+from repro.synth.querylog import QueryLogGenerator, build_click_graph
+
+
+def main() -> None:
+    world = build_world(WorldConfig(num_days=3, seed=0))
+    days = QueryLogGenerator(world).generate_days()
+    graph = build_click_graph(days)
+    sessions = [s for d in days for s in d.sessions]
+    pos_tagger, ner_tagger = world.register_text_models()
+
+    # Model-free pipeline (alignment + CoverRank fallbacks) keeps the
+    # example fast; see quickstart.py for the trained-GCTSP version.
+    pipeline = GiantPipeline(
+        graph, pos_tagger, ner_tagger,
+        categories=sorted({c[2] for c in world.categories}),
+    )
+    ontology = pipeline.run(sessions=sessions)
+    print("ontology:", ontology.stats())
+
+    tagger = DocumentTagger(ontology, ner_tagger, coherence_threshold=0.02)
+    corpus = DocumentGenerator(world).corpus(num_concept_docs=6, num_event_docs=4)
+
+    def judge(tag, gold_concepts):
+        """A tag is correct when it is the gold concept or a true isA
+        ancestor of it (e.g. 'animated films' for a Miyazaki-films doc)."""
+        if tag is None:
+            return False
+        if tag in gold_concepts:
+            return True
+        from repro.core.ontology import NodeType
+
+        tag_node = ontology.find(NodeType.CONCEPT, tag)
+        for gold in gold_concepts:
+            gold_node = ontology.find(NodeType.CONCEPT, gold)
+            if tag_node and gold_node and ontology.has_path(
+                    tag_node.node_id, gold_node.node_id):
+                return True
+        return False
+
+    correct = attempted = 0
+    print("\ntagging a corpus of synthetic documents:\n")
+    for doc in corpus:
+        result = tagger.tag(doc.doc_id, doc.title_tokens, doc.sentences)
+        top_concept = result.concept_tags[0] if result.concept_tags else None
+        top_event = result.event_tags[0] if result.event_tags else None
+        print(f"  title: {doc.title!r}")
+        if doc.gold_concepts:
+            gold = next(iter(doc.gold_concepts))
+            hit = judge(top_concept, doc.gold_concepts)
+            attempted += 1
+            correct += int(hit)
+            print(f"    concept tag: {top_concept!r}  (gold: {gold!r}) "
+                  f"{'OK' if hit else ''}")
+        if doc.gold_events:
+            print(f"    event tag:   {top_event!r}")
+        print()
+
+    if attempted:
+        print(f"concept tagging accuracy on this corpus: {correct}/{attempted} "
+              "(judge-style: ancestor tags count)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""News-feed recommendation with attention tags (paper Section 5.4).
+
+Reproduces the Figure 6/7 experiment at example scale: simulate a tag-based
+news feed, compare CTR across tag-type arms, and show why abstractive tags
+(topics, concepts) beat keyword-level matching — the paper's motivating
+"inaccurate and monotonous recommendation" problems.
+
+Run:  python examples/news_recommendation.py
+"""
+
+from repro import WorldConfig, build_world
+from repro.apps.recsys import (
+    ArmConfig,
+    FeedSimulator,
+    default_figure6_arms,
+    default_figure7_arms,
+)
+from repro.eval.reporting import render_series
+
+
+def mean_ctr(results) -> float:
+    clicks = sum(r.clicks for r in results)
+    impressions = sum(r.impressions for r in results)
+    return clicks / impressions if impressions else 0.0
+
+
+def main() -> None:
+    world = build_world(WorldConfig(num_days=6, seed=1, events_per_template=3))
+    simulator = FeedSimulator(world, num_users=400, seed=0)
+
+    print("=== Figure 7: CTR by tag type ===\n")
+    results = simulator.compare_arms(default_figure7_arms())
+    days = [f"day {d}" for d in range(world.config.num_days)]
+    series = {name: [100 * r.ctr for r in rs] for name, rs in results.items()}
+    print(render_series("CTR (%) per day and tag type", days, series,
+                        precision=2, unit="%"))
+
+    print("\n=== Figure 6: all tags vs category+entity ===\n")
+    results6 = simulator.compare_arms(default_figure6_arms())
+    for name, rs in results6.items():
+        print(f"  {name:24s} mean CTR = {100 * mean_ctr(rs):.2f}%")
+    uplift = mean_ctr(results6["all types of tags"]) / mean_ctr(
+        results6["category + entity"]) - 1
+    print(f"  relative uplift: {100 * uplift:.1f}%")
+
+    print("\n=== why: a single user's view ===\n")
+    # Topic matching surfaces follow-up events the entity tag misses.
+    user = simulator._users[0]
+    print(f"user follows topic: {user.topic!r}")
+    print(f"  profile entity tags: {sorted(user.tags['entity'])}")
+    print(f"  latent interest covers {len(user.events)} events")
+    topic_arm = ArmConfig("topic-only", ("topic",))
+    entity_arm = ArmConfig("entity-only", ("entity",))
+    for arm in (topic_arm, entity_arm):
+        rs = simulator.simulate_arm(arm, days=[0, 1])
+        print(f"  {arm.name:12s}: {sum(r.impressions for r in rs)} impressions, "
+              f"CTR {100 * mean_ctr(rs):.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Query conceptualization and rewriting (paper Section 4).
+
+A query conveying a concept is rewritten by appending its instance
+entities ("family road trip vehicles" -> "... honda odyssey"); a query
+conveying an entity triggers recommendation of correlated entities.
+
+Run:  python examples/query_understanding.py
+"""
+
+from repro import WorldConfig, build_world
+from repro.apps.query import QueryUnderstander
+from repro.core.ontology import AttentionOntology, EdgeType, NodeType
+
+
+def ontology_from_ground_truth(world) -> AttentionOntology:
+    """Assemble an ontology directly from the gold world (no mining) —
+    isolates the query-understanding logic for the example."""
+    onto = AttentionOntology()
+    for concept in world.concepts.values():
+        cnode = onto.add_node(NodeType.CONCEPT, concept.phrase)
+        for member in concept.members:
+            enode = onto.add_node(NodeType.ENTITY, member)
+            onto.add_edge(cnode.node_id, enode.node_id, EdgeType.ISA)
+    for pair in world.gold_correlated_entities():
+        a, b = sorted(pair)
+        na, nb = onto.find(NodeType.ENTITY, a), onto.find(NodeType.ENTITY, b)
+        if na and nb and not onto.has_edge(na.node_id, nb.node_id, EdgeType.CORRELATE):
+            onto.add_edge(na.node_id, nb.node_id, EdgeType.CORRELATE)
+    return onto
+
+
+def main() -> None:
+    world = build_world(WorldConfig(seed=0))
+    onto = ontology_from_ground_truth(world)
+    qu = QueryUnderstander(onto, max_rewrites=3, max_recommendations=4)
+
+    queries = [
+        "vehicles choices for family road trip vehicles",
+        "best fuel efficient cars",
+        "honda civic price",
+        "taylor swift concert dates",
+        "gardening tips",  # out-of-ontology
+    ]
+    for query in queries:
+        analysis = qu.analyze(query)
+        print(f"query: {query!r}")
+        if analysis.conveys_concept:
+            print(f"  conveys concept: {analysis.concepts[0]!r}")
+            for rewrite in analysis.rewrites:
+                print(f"    rewrite: {rewrite!r}")
+        if analysis.conveys_entity:
+            print(f"  conveys entity: {analysis.entities[0]!r}")
+            if analysis.recommendations:
+                print(f"    also try: {', '.join(analysis.recommendations)}")
+        if not analysis.conveys_concept and not analysis.conveys_entity:
+            print("  no attention detected (falls back to keyword search)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

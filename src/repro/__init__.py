@@ -1,0 +1,51 @@
+"""repro — a full reproduction of GIANT: Scalable Creation of a Web-scale
+Ontology (Liu, Guo, Niu et al., SIGMOD 2020).
+
+Public API overview::
+
+    from repro import (
+        GiantPipeline,            # end-to-end: click logs -> ontology
+        AttentionOntology,        # the ontology DAG
+        GCTSPNet,                 # the paper's phrase-mining model
+        build_world, QueryLogGenerator,  # synthetic click-log substrate
+    )
+
+Subpackages:
+    repro.core       — ontology, GCTSP-Net, mining, derivation, linking
+    repro.graph      — click graph, random-walk clustering, QTIG
+    repro.tsp        — ATSP solvers for ATSP-decoding
+    repro.nn         — numpy autograd, R-GCN, LSTM-CRF, seq2seq, Duet, GBDT
+    repro.text       — tokenizer, POS, NER, dependency parser, TF-IDF
+    repro.synth      — synthetic world + query-log generators
+    repro.datasets   — CMD / EMD builders
+    repro.baselines  — TextRank, AutoPhrase, Match/Align, LSTM-CRF, ...
+    repro.apps       — story trees, document tagging, query understanding,
+                       feed-recommendation CTR simulation
+    repro.eval       — metrics and table/figure rendering
+"""
+
+from .config import GiantConfig, MiningConfig, LinkingConfig, GCTSPConfig
+from .core.gctsp import GCTSPNet
+from .core.ontology import AttentionOntology, NodeType, EdgeType
+from .pipeline import GiantPipeline, PipelineReport
+from .synth.world import build_world, WorldConfig
+from .synth.querylog import QueryLogGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GiantConfig",
+    "MiningConfig",
+    "LinkingConfig",
+    "GCTSPConfig",
+    "GCTSPNet",
+    "AttentionOntology",
+    "NodeType",
+    "EdgeType",
+    "GiantPipeline",
+    "PipelineReport",
+    "build_world",
+    "WorldConfig",
+    "QueryLogGenerator",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Applications of the Attention Ontology (paper Section 4).
+
+* :mod:`repro.apps.story_tree` — story-tree formation: event similarity
+  (Eq. 8-11), agglomerative clustering, time-ordered tree (Figure 5);
+* :mod:`repro.apps.tagging` — document tagging: key-entity concept
+  inference (Eq. 12-14) and LCS + Duet event/topic matching;
+* :mod:`repro.apps.query` — query conceptualization, rewriting and
+  entity recommendation;
+* :mod:`repro.apps.recsys` — the news-feed recommendation simulator used to
+  reproduce the CTR comparisons of Figures 6-7.
+"""
+
+from .story_tree import EventRecord, StoryTree, StoryTreeBuilder, StoryNode
+from .tagging import DocumentTagger, TaggedDocument
+from .query import QueryUnderstander, QueryAnalysis
+from .recsys import FeedSimulator, ArmConfig, DayResult
+from .story_tracker import StoryTracker, Story
+
+__all__ = [
+    "EventRecord",
+    "StoryTree",
+    "StoryTreeBuilder",
+    "StoryNode",
+    "DocumentTagger",
+    "TaggedDocument",
+    "QueryUnderstander",
+    "QueryAnalysis",
+    "FeedSimulator",
+    "ArmConfig",
+    "DayResult",
+    "StoryTracker",
+    "Story",
+]

@@ -1,0 +1,81 @@
+"""Query understanding: conceptualization, rewriting, recommendation.
+
+Paper Section 4 ("Query Understanding"): when a query conveys a concept pc,
+rewrite it by concatenating the query with each entity that isA pc ("q e_i");
+when it conveys an entity e, recommend the entities correlated with e.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.ontology import AttentionOntology, NodeType
+from ..text.tokenizer import tokenize
+
+
+@dataclass
+class QueryAnalysis:
+    """Analysis of one query against the ontology."""
+
+    query: str
+    concepts: list[str] = field(default_factory=list)
+    entities: list[str] = field(default_factory=list)
+    rewrites: list[str] = field(default_factory=list)
+    recommendations: list[str] = field(default_factory=list)
+
+    @property
+    def conveys_concept(self) -> bool:
+        return bool(self.concepts)
+
+    @property
+    def conveys_entity(self) -> bool:
+        return bool(self.entities)
+
+
+class QueryUnderstander:
+    """Analyzes queries with the attention ontology."""
+
+    def __init__(self, ontology: AttentionOntology, max_rewrites: int = 5,
+                 max_recommendations: int = 5) -> None:
+        self._ontology = ontology
+        self._max_rewrites = max_rewrites
+        self._max_recommendations = max_recommendations
+
+    def _contained_phrases(self, query_tokens: list[str], node_type: NodeType
+                           ) -> list[str]:
+        """Ontology phrases of ``node_type`` contained in the query."""
+        out: list[tuple[int, str]] = []
+        for node in self._ontology.nodes(node_type):
+            ptoks = node.tokens
+            if not ptoks or len(ptoks) > len(query_tokens):
+                continue
+            k = len(ptoks)
+            if any(query_tokens[i : i + k] == ptoks
+                   for i in range(len(query_tokens) - k + 1)):
+                out.append((-k, node.phrase))
+        out.sort()
+        return [phrase for _neg_len, phrase in out]
+
+    def analyze(self, query: str) -> QueryAnalysis:
+        """Detect concepts/entities in the query; produce rewrites/recs."""
+        tokens = tokenize(query)
+        concepts = self._contained_phrases(tokens, NodeType.CONCEPT)
+        entities = self._contained_phrases(tokens, NodeType.ENTITY)
+
+        analysis = QueryAnalysis(query=query, concepts=concepts, entities=entities)
+
+        if concepts:
+            # Rewrite with instances of the most specific matched concept.
+            instances = self._ontology.entities_of_concept(concepts[0])
+            for entity in instances[: self._max_rewrites]:
+                analysis.rewrites.append(f"{query} {entity.phrase}")
+        if entities:
+            node = self._ontology.find(NodeType.ENTITY, entities[0])
+            if node is not None:
+                for other in self._ontology.correlated(node.node_id):
+                    if other.node_type == NodeType.ENTITY:
+                        analysis.recommendations.append(other.phrase)
+                analysis.recommendations = (
+                    analysis.recommendations[: self._max_recommendations]
+                )
+        return analysis

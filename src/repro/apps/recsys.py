@@ -1,0 +1,310 @@
+"""News-feed recommendation simulator (paper Section 5.4, Figures 6-7).
+
+The paper measures tag-based recommendation CTR in a 110M-user A/B test we
+obviously cannot run; DESIGN.md documents the substitution.  The simulator
+keeps the *mechanism* identical — users and articles are tagged with
+ontology nodes, the content-based recommender matches users with articles
+through shared tags — and draws clicks from a ground-truth relevance model:
+
+* a user's latent interest is a ground-truth *topic* (a developing story);
+  by the ontology this implies interest in the topic's events, the concept
+  generalising its entity slot, that concept's member entities, and the
+  domain category;
+* an article is about one event (on its day) or one entity;
+* the click probability of an impression depends on how precisely the
+  article matches the latent interest (exact event > same topic > related
+  entity > same category only).
+
+Tag types thus differ in *retrieval precision*: topic tags fetch articles
+from the user's story (high CTR), event tags are precise but supply-limited
+and bursty (high mean, high variance), entity/concept tags fetch related
+but not story-critical articles, category tags fetch mostly-irrelevant
+ones.  This reproduces the ordering and rough magnitudes of Figure 7 and
+the all-tags vs category+entity uplift of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import make_rng
+from ..synth.world import World
+
+TAG_TYPES: tuple[str, ...] = ("category", "concept", "entity", "event", "topic")
+
+# Click probability by ground-truth relevance of the impression.
+DEFAULT_CLICK_PROBS: dict[str, float] = {
+    "event_exact": 0.20,  # fresh article about an event the user follows
+    "event_seen": 0.155,  # another article on an event already browsed
+    "same_topic": 0.15,  # article in the user's story, unseen event
+    "related_entity": 0.085,  # about an entity the user's concept contains
+    "same_category": 0.05,  # only category-level relevance
+    "none": 0.015,  # irrelevant impression
+}
+
+# Ranking specificity: the recommender ranks candidates by the most
+# specific tag type that produced the match (real feeds rank matches, they
+# don't sample them uniformly).
+TAG_SPECIFICITY: dict[str, int] = {
+    "event": 5, "topic": 4, "entity": 3, "concept": 2, "category": 1,
+}
+
+
+@dataclass(frozen=True)
+class ArmConfig:
+    """One A/B arm: which tag types the recommender may match on."""
+
+    name: str
+    tag_types: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        for t in self.tag_types:
+            if t not in TAG_TYPES:
+                raise ValueError(f"unknown tag type {t!r}")
+
+
+@dataclass
+class DayResult:
+    """CTR measurement for one arm on one day."""
+
+    day: int
+    impressions: int
+    clicks: int
+
+    @property
+    def ctr(self) -> float:
+        return self.clicks / self.impressions if self.impressions else 0.0
+
+
+@dataclass
+class _Article:
+    article_id: str
+    day: int
+    tags: dict[str, set[str]]  # tag type -> tag values
+    event_id: "str | None"
+    entity: "str | None"
+    category: str
+
+
+@dataclass
+class _User:
+    user_id: int
+    topic: str
+    concept: "str | None"
+    entities: set[str]
+    events: set[str]
+    category: str
+    tags: dict[str, set[str]] = field(default_factory=dict)
+
+
+class FeedSimulator:
+    """Simulates the tag-matching news feed over a day range.
+
+    When a *mined* ontology is supplied, concept tags for articles come from
+    its concept-entity isA edges instead of the ground-truth world — so the
+    concept arm's CTR reflects the constructed ontology's quality, exactly
+    as in the paper's deployment (Section 5.4 notes concept CTR dips below
+    entity CTR because of inference noise in the isA edges).
+    """
+
+    def __init__(self, world: World, num_users: int = 500,
+                 impressions_per_user: int = 8,
+                 articles_per_event: int = 2,
+                 entity_articles_per_day: int = 20,
+                 click_probs: "dict[str, float] | None" = None,
+                 ontology=None, seed: int = 0) -> None:
+        self._world = world
+        self._ontology = ontology
+        self._num_users = num_users
+        self._impressions_per_user = impressions_per_user
+        self._articles_per_event = articles_per_event
+        self._entity_articles_per_day = entity_articles_per_day
+        self._probs = dict(DEFAULT_CLICK_PROBS)
+        if click_probs:
+            self._probs.update(click_probs)
+        self._rng = make_rng(seed)
+        self._users = self._make_users()
+
+    def _concepts_of_entity(self, entity: str) -> set[str]:
+        """Concept tags of an entity: mined ontology if given, else gold."""
+        if self._ontology is not None:
+            return {c.phrase for c in self._ontology.concepts_of_entity(entity)}
+        return {
+            c.phrase for c in self._world.concepts.values()
+            if entity in c.members
+        }
+
+    # ------------------------------------------------------------------
+    def _make_users(self) -> list[_User]:
+        world = self._world
+        topics = sorted(world.topics)
+        users: list[_User] = []
+        for uid in range(self._num_users):
+            topic_name = topics[int(self._rng.integers(0, len(topics)))]
+            topic = world.topics[topic_name]
+            concept = world.concepts.get(topic.concept)
+            events = {world.events[eid].phrase for eid in topic.event_ids}
+            entities = set(concept.members) if concept else set()
+            category = (
+                concept.category[2] if concept
+                else world.events[topic.event_ids[0]].category[2]
+            )
+            # The user's *profile tags* cover only what they have already
+            # browsed: one or two entities and one past event.  Their latent
+            # interest (used by the click model) covers the whole story —
+            # this gap is exactly what topic/concept tags bridge and the
+            # source of the Figure 6 uplift.
+            seen_entities = self._sample_subset(sorted(entities), 2)
+            seen_events = self._sample_subset(sorted(events), 1)
+            tags = {
+                "topic": {topic_name},
+                "event": seen_events,
+                "concept": {concept.phrase} if concept else set(),
+                "entity": seen_entities,
+                "category": {category},
+            }
+            users.append(
+                _User(uid, topic_name, concept.phrase if concept else None,
+                      entities, events, category, tags)
+            )
+        return users
+
+    def _sample_subset(self, items: list, k: int) -> set:
+        if not items:
+            return set()
+        k = min(k, len(items))
+        idx = self._rng.choice(len(items), size=k, replace=False)
+        return {items[int(i)] for i in idx}
+
+    def _articles_for_day(self, day: int) -> list[_Article]:
+        world = self._world
+        articles: list[_Article] = []
+        counter = 0
+        # Event articles: published on the event's day and the day after.
+        for event in world.events.values():
+            if event.day not in (day, day - 1):
+                continue
+            concepts = self._concepts_of_entity(event.entity)
+            for _k in range(self._articles_per_event):
+                counter += 1
+                articles.append(
+                    _Article(
+                        article_id=f"a{day}_{counter}",
+                        day=day,
+                        tags={
+                            "category": {event.category[2]},
+                            "entity": {event.entity},
+                            "event": {event.phrase},
+                            "topic": {event.topic},
+                            "concept": concepts,
+                        },
+                        event_id=event.event_id,
+                        entity=event.entity,
+                        category=event.category[2],
+                    )
+                )
+        # Evergreen entity articles.
+        entity_names = sorted(world.entities)
+        for _k in range(self._entity_articles_per_day):
+            counter += 1
+            name = entity_names[int(self._rng.integers(0, len(entity_names)))]
+            entity = world.entities[name]
+            concepts = self._concepts_of_entity(name)
+            articles.append(
+                _Article(
+                    article_id=f"a{day}_{counter}",
+                    day=day,
+                    tags={
+                        "category": {entity.category[2]},
+                        "entity": {name},
+                        "event": set(),
+                        "topic": set(),
+                        "concept": concepts,
+                    },
+                    event_id=None,
+                    entity=name,
+                    category=entity.category[2],
+                )
+            )
+        return articles
+
+    # ------------------------------------------------------------------
+    def _relevance(self, user: _User, article: _Article) -> str:
+        world = self._world
+        if article.event_id is not None:
+            event = world.events[article.event_id]
+            if event.phrase in user.tags["event"]:
+                return "event_seen"  # monotonous re-recommendation
+            if event.phrase in user.events:
+                return "event_exact"
+            if event.topic == user.topic:
+                return "same_topic"
+        if article.entity is not None and article.entity in user.entities:
+            return "related_entity"
+        if article.category == user.category:
+            return "same_category"
+        return "none"
+
+    @staticmethod
+    def _match_score(user: _User, article: _Article,
+                     tag_types: tuple[str, ...]) -> int:
+        """Specificity of the best shared tag, 0 when nothing matches."""
+        best = 0
+        for t in tag_types:
+            if user.tags[t] & article.tags[t]:
+                best = max(best, TAG_SPECIFICITY[t])
+        return best
+
+    def simulate_arm(self, arm: ArmConfig, days: "list[int] | None" = None
+                     ) -> list[DayResult]:
+        """Run one arm over the day range; returns per-day CTR results.
+
+        Candidates are ranked by tag-match specificity (shuffled within a
+        tier) and the top slots become impressions — mirroring how the
+        production feed ranks tag matches rather than sampling them.
+        """
+        world = self._world
+        day_range = days if days is not None else list(range(world.config.num_days))
+        results: list[DayResult] = []
+        for day in day_range:
+            articles = self._articles_for_day(day)
+            impressions = 0
+            clicks = 0
+            for user in self._users:
+                scored = []
+                for article in articles:
+                    score = self._match_score(user, article, arm.tag_types)
+                    if score > 0:
+                        scored.append((score, article))
+                if not scored:
+                    continue
+                order = self._rng.permutation(len(scored))
+                ranked = sorted((scored[int(i)] for i in order),
+                                key=lambda sa: -sa[0])
+                shown = [a for _s, a in ranked[: self._impressions_per_user]]
+                for article in shown:
+                    impressions += 1
+                    p = self._probs[self._relevance(user, article)]
+                    if self._rng.random() < p:
+                        clicks += 1
+            results.append(DayResult(day, impressions, clicks))
+        return results
+
+    def compare_arms(self, arms: "list[ArmConfig]",
+                     days: "list[int] | None" = None
+                     ) -> dict[str, list[DayResult]]:
+        """Simulate several arms on identical days."""
+        return {arm.name: self.simulate_arm(arm, days) for arm in arms}
+
+
+def default_figure6_arms() -> list[ArmConfig]:
+    """The two arms of Figure 6."""
+    return [
+        ArmConfig("all types of tags", TAG_TYPES),
+        ArmConfig("category + entity", ("category", "entity")),
+    ]
+
+
+def default_figure7_arms() -> list[ArmConfig]:
+    """The five single-tag-type arms of Figure 7."""
+    return [ArmConfig(t, (t,)) for t in TAG_TYPES]

@@ -1,0 +1,129 @@
+"""Incremental story tracking.
+
+The paper motivates story trees with *developing* stories — new events keep
+arriving and interested users should be "kept updated" (Section 2, 4).  The
+batch :class:`~repro.apps.story_tree.StoryTreeBuilder` rebuilds a tree from
+scratch; this tracker maintains a set of stories *online*: each incoming
+event either joins the best-matching existing story (when its Eq. 8
+similarity to that story's events clears a threshold, or it shares a
+trigger+entity) or starts a new story.  Follow-up recommendation then reads
+the freshest unseen events of a user's stories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .story_tree import EventRecord, StoryTree, StoryTreeBuilder
+
+
+@dataclass
+class Story:
+    """One tracked story: a growing collection of correlated events."""
+
+    story_id: int
+    events: list[EventRecord] = field(default_factory=list)
+
+    @property
+    def latest_day(self) -> int:
+        return max(e.day for e in self.events) if self.events else -1
+
+    @property
+    def entities(self) -> set[str]:
+        return {entity for e in self.events for entity in e.entities}
+
+    @property
+    def triggers(self) -> set[str]:
+        return {e.trigger for e in self.events}
+
+
+class StoryTracker:
+    """Assigns arriving events to stories and serves follow-ups."""
+
+    def __init__(self, builder: "StoryTreeBuilder | None" = None,
+                 attach_threshold: float = 1.2,
+                 max_compare_events: int = 8) -> None:
+        """
+        Args:
+            builder: similarity provider (Eq. 8); default kernel when None.
+            attach_threshold: minimum mean similarity to the story's recent
+                events for attachment.
+            max_compare_events: only the most recent events of a story are
+                compared (stories can grow unboundedly).
+        """
+        self._builder = builder or StoryTreeBuilder()
+        self._attach_threshold = attach_threshold
+        self._max_compare = max_compare_events
+        self._stories: list[Story] = []
+        self._next_id = 0
+
+    @property
+    def stories(self) -> list[Story]:
+        return list(self._stories)
+
+    def __len__(self) -> int:
+        return len(self._stories)
+
+    # ------------------------------------------------------------------
+    def _score_against(self, event: EventRecord, story: Story) -> float:
+        recent = sorted(story.events, key=lambda e: -e.day)[: self._max_compare]
+        sims = [self._builder.similarity(event, other) for other in recent]
+        return float(np.mean(sims)) if sims else -np.inf
+
+    def _fast_match(self, event: EventRecord, story: Story) -> bool:
+        """Cheap structural attachment: shared trigger + shared entity."""
+        return (event.trigger in story.triggers
+                and bool(set(event.entities) & story.entities))
+
+    def add_event(self, event: EventRecord) -> Story:
+        """Route one event to its story (creating one when nothing fits)."""
+        best_story: "Story | None" = None
+        best_score = self._attach_threshold
+        for story in self._stories:
+            if self._fast_match(event, story):
+                best_story = story
+                break
+            score = self._score_against(event, story)
+            if score >= best_score:
+                best_score = score
+                best_story = story
+        if best_story is None:
+            best_story = Story(self._next_id)
+            self._next_id += 1
+            self._stories.append(best_story)
+        best_story.events.append(event)
+        return best_story
+
+    def add_events(self, events: "list[EventRecord]") -> None:
+        """Route a batch, in chronological order."""
+        for event in sorted(events, key=lambda e: (e.day, e.phrase)):
+            self.add_event(event)
+
+    # ------------------------------------------------------------------
+    def story_of(self, phrase: str) -> "Story | None":
+        for story in self._stories:
+            if any(e.phrase == phrase for e in story.events):
+                return story
+        return None
+
+    def follow_ups(self, read_phrase: str, limit: int = 3) -> list[EventRecord]:
+        """Events in the same story published after the one just read."""
+        story = self.story_of(read_phrase)
+        if story is None:
+            return []
+        read = next(e for e in story.events if e.phrase == read_phrase)
+        later = [e for e in story.events
+                 if e.day >= read.day and e.phrase != read_phrase]
+        later.sort(key=lambda e: (e.day, e.phrase))
+        return later[:limit]
+
+    def tree_of(self, phrase: str) -> "StoryTree | None":
+        """Materialise the full story tree containing ``phrase``."""
+        story = self.story_of(phrase)
+        if story is None or not story.events:
+            return None
+        seed = min(story.events, key=lambda e: (e.day, e.phrase))
+        return self._builder.build(seed, story.events,
+                                   require_common_entity=False)

@@ -1,0 +1,186 @@
+"""Story-tree formation (paper Section 4 + Figure 5).
+
+Given a seed event, retrieve correlated events from the ontology, measure
+pairwise similarity
+
+    s(e1, e2) = fm(e1, e2) + fg(e1, e2) + fe(e1, e2)        (Eq. 8)
+
+where fm is the cosine similarity of phrase encodings (Eq. 9 — BERT in the
+paper, mean word vectors here), fg the cosine similarity of trigger word
+vectors (Eq. 10), and fe the TF-IDF similarity of entity sets (Eq. 11);
+group events by agglomerative (average-linkage) hierarchical clustering;
+and form the tree by ordering events by time, putting each cluster on one
+branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..text.embeddings import WordEmbeddings
+from ..text.similarity import tfidf_similarity
+from ..text.tokenizer import tokenize
+
+
+@dataclass
+class EventRecord:
+    """An event participating in story formation."""
+
+    phrase: str
+    trigger: str
+    entities: list[str]
+    day: int
+    location: "str | None" = None
+    doc_ids: list[str] = field(default_factory=list)
+
+    @property
+    def tokens(self) -> list[str]:
+        return tokenize(self.phrase)
+
+
+@dataclass
+class StoryNode:
+    """One tree node: an event plus its tagged documents."""
+
+    event: EventRecord
+    children: list["StoryNode"] = field(default_factory=list)
+
+
+@dataclass
+class StoryTree:
+    """A story: a root node whose branches are coherent event threads."""
+
+    root: StoryNode
+    branches: list[list[EventRecord]] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Figure-5-style text rendering."""
+        lines = [f"story: {self.root.event.phrase} (day {self.root.event.day})"]
+        for i, branch in enumerate(self.branches):
+            lines.append(f"  branch {i + 1}:")
+            for event in branch:
+                lines.append(f"    - day {event.day:3d}  {event.phrase}")
+        return "\n".join(lines)
+
+    @property
+    def num_events(self) -> int:
+        return sum(len(b) for b in self.branches)
+
+
+class StoryTreeBuilder:
+    """Builds story trees from event collections."""
+
+    def __init__(self, embeddings: "WordEmbeddings | None" = None,
+                 cluster_threshold: float = 1.2) -> None:
+        """
+        Args:
+            embeddings: word embeddings for fm/fg; hash-fallback when None.
+            cluster_threshold: minimum average-linkage similarity for two
+                clusters to merge (s ranges over [-3, 3]; each term <= 1).
+        """
+        self._emb = embeddings or WordEmbeddings(dim=32)
+        self._threshold = cluster_threshold
+
+    # ------------------------------------------------------------------
+    # retrieval + similarity
+    # ------------------------------------------------------------------
+    @staticmethod
+    def retrieve_correlated(seed: EventRecord, pool: "list[EventRecord]",
+                            require_common_entity: bool = True,
+                            require_same_trigger: bool = False
+                            ) -> list[EventRecord]:
+        """Correlated-event retrieval with the paper's flexible criteria."""
+        seed_entities = set(seed.entities)
+        out = []
+        for event in pool:
+            if event is seed:
+                continue
+            if require_common_entity and not (seed_entities & set(event.entities)):
+                continue
+            if require_same_trigger and event.trigger != seed.trigger:
+                continue
+            out.append(event)
+        return out
+
+    def similarity(self, e1: EventRecord, e2: EventRecord) -> float:
+        """Eq. 8: fm + fg + fe."""
+        fm = float(np.dot(self._emb.encode_phrase(e1.tokens),
+                          self._emb.encode_phrase(e2.tokens)))
+        fg = self._emb.similarity(e1.trigger, e2.trigger)
+        fe = tfidf_similarity(
+            [t for e in e1.entities for t in tokenize(e)],
+            [t for e in e2.entities for t in tokenize(e)],
+        )
+        return fm + fg + fe
+
+    def similarity_matrix(self, events: "list[EventRecord]") -> np.ndarray:
+        n = len(events)
+        sim = np.zeros((n, n))
+        for i in range(n):
+            sim[i, i] = 3.0
+            for j in range(i + 1, n):
+                s = self.similarity(events[i], events[j])
+                sim[i, j] = sim[j, i] = s
+        return sim
+
+    # ------------------------------------------------------------------
+    # clustering
+    # ------------------------------------------------------------------
+    def cluster(self, events: "list[EventRecord]") -> list[list[int]]:
+        """Average-linkage agglomerative clustering on Eq. 8 similarity."""
+        n = len(events)
+        if n == 0:
+            return []
+        sim = self.similarity_matrix(events)
+        clusters: list[list[int]] = [[i] for i in range(n)]
+        while len(clusters) > 1:
+            best_pair = None
+            best_sim = self._threshold
+            for a in range(len(clusters)):
+                for b in range(a + 1, len(clusters)):
+                    pairs = [(i, j) for i in clusters[a] for j in clusters[b]]
+                    avg = float(np.mean([sim[i, j] for i, j in pairs]))
+                    if avg >= best_sim:
+                        best_sim = avg
+                        best_pair = (a, b)
+            if best_pair is None:
+                break
+            a, b = best_pair
+            clusters[a] = clusters[a] + clusters[b]
+            del clusters[b]
+        return clusters
+
+    # ------------------------------------------------------------------
+    # tree formation
+    # ------------------------------------------------------------------
+    def build(self, seed: EventRecord, pool: "list[EventRecord]",
+              require_common_entity: bool = True,
+              require_same_trigger: bool = False) -> StoryTree:
+        """Retrieve, cluster, and form the story tree."""
+        related = self.retrieve_correlated(
+            seed, pool,
+            require_common_entity=require_common_entity,
+            require_same_trigger=require_same_trigger,
+        )
+        events = [seed] + related
+        events.sort(key=lambda e: (e.day, e.phrase))
+        cluster_indices = self.cluster(events)
+
+        branches: list[list[EventRecord]] = []
+        for indices in cluster_indices:
+            branch = sorted((events[i] for i in indices),
+                            key=lambda e: (e.day, e.phrase))
+            branches.append(branch)
+        branches.sort(key=lambda b: (b[0].day, b[0].phrase))
+
+        root_event = events[0]
+        root = StoryNode(root_event)
+        for branch in branches:
+            node = None
+            for event in reversed(branch):
+                node = StoryNode(event, children=[node] if node else [])
+            if node is not None and node.event is not root_event:
+                root.children.append(node)
+        return StoryTree(root=root, branches=branches)

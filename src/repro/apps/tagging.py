@@ -1,0 +1,243 @@
+"""Document tagging with attention phrases (paper Section 4).
+
+Concept tagging combines:
+
+* **matching-based** — for each key entity of the document, candidate
+  concepts are its isA parents in the ontology; each candidate is scored by
+  the TF-IDF similarity between the document title and the concept's
+  context-enriched representation;
+* **probabilistic inference** (Eq. 12-14) — when no parent exists, concepts
+  are inferred from the context words around entities:
+  P(pc|d) = sum_i P(pc|e_i) P(e_i|d), with P(pc|x_j) uniform over concepts
+  containing x_j as a substring.
+
+Event/topic tagging gates candidates with LCS-based textual matching over
+title + first sentence, optionally combined with the Duet semantic matcher.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..core.ontology import AttentionOntology, NodeType
+from ..nn.duet import DuetMatcher
+from ..text.ner import NerTagger
+from ..text.similarity import longest_common_subsequence
+from ..text.tokenizer import tokenize
+from ..text.vectorizer import TfidfVectorizer
+
+
+@dataclass
+class TaggedDocument:
+    """Tagging output for one document."""
+
+    doc_id: str
+    concepts: list[tuple[str, float]] = field(default_factory=list)
+    events: list[tuple[str, float]] = field(default_factory=list)
+    topics: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def concept_tags(self) -> list[str]:
+        return [c for c, _s in self.concepts]
+
+    @property
+    def event_tags(self) -> list[str]:
+        return [e for e, _s in self.events]
+
+
+class DocumentTagger:
+    """Tags documents with ontology concepts, events and topics."""
+
+    def __init__(self, ontology: AttentionOntology, ner: NerTagger,
+                 coherence_threshold: float = 0.05,
+                 inference_threshold: float = 0.15,
+                 lcs_threshold: float = 0.6,
+                 duet: "DuetMatcher | None" = None) -> None:
+        self._ontology = ontology
+        self._ner = ner
+        self._coherence_threshold = coherence_threshold
+        self._inference_threshold = inference_threshold
+        self._lcs_threshold = lcs_threshold
+        self._duet = duet
+        self._vectorizer = TfidfVectorizer()
+        # Fit the vectorizer on concept context representations.
+        for node in ontology.nodes(NodeType.CONCEPT):
+            self._vectorizer.partial_fit(self._concept_context(node))
+
+    # ------------------------------------------------------------------
+    def _concept_context(self, node) -> list[str]:
+        """Context-enriched representation of a concept.
+
+        The paper uses the phrase + its top clicked titles; those titles
+        overwhelmingly mention member entities, so the instance phrases are
+        folded in as well (keeps the coherence signal when a document only
+        names instances).
+        """
+        context = list(node.tokens)
+        for title in node.payload.get("context_titles", [])[:5]:
+            context.extend(title)
+        for instance in self._ontology.instances_of(node.node_id):
+            if instance.node_type == NodeType.ENTITY:
+                context.extend(instance.tokens)
+        return context
+
+    def key_entities(self, tokens: list[str]) -> list[str]:
+        """Key entities of a document (gazetteer spans, deduplicated)."""
+        seen: dict[str, None] = {}
+        for entity in self._ner.entities(tokens):
+            seen.setdefault(entity, None)
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    # concept tagging
+    # ------------------------------------------------------------------
+    def tag_concepts(self, title_tokens: list[str], body_tokens: list[str]
+                     ) -> list[tuple[str, float]]:
+        """Concept tags with scores, matching-based then inference-based."""
+        doc_tokens = title_tokens + body_tokens
+        entities = self.key_entities(doc_tokens)
+
+        scored: dict[str, float] = {}
+        matched_any = False
+        for entity in entities:
+            for concept in self._ontology.concepts_of_entity(entity):
+                matched_any = True
+                coherence = self._vectorizer.similarity(
+                    title_tokens, self._concept_context(concept)
+                )
+                if coherence >= self._coherence_threshold:
+                    # Mild specificity bonus: prefer "hayao miyazaki animated
+                    # films" over its generic ancestor "animated films" when
+                    # both cohere ("suitable semantic granularity", Sec. 2).
+                    specificity = 1.0 + 0.1 * len(concept.tokens)
+                    score = coherence * specificity
+                    scored[concept.phrase] = max(scored.get(concept.phrase, 0.0),
+                                                 score)
+        if not matched_any:
+            scored.update(self._infer_concepts(doc_tokens, entities))
+        return sorted(scored.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def _infer_concepts(self, doc_tokens: list[str], entities: list[str]
+                        ) -> dict[str, float]:
+        """Probabilistic inference Eq. 12-14 over entity context words."""
+        if not entities:
+            return {}
+        concepts = self._ontology.nodes(NodeType.CONCEPT)
+        # Index: context word -> concepts containing it as a substring token.
+        word_concepts: dict[str, list[str]] = defaultdict(list)
+        for concept in concepts:
+            for token in set(concept.tokens):
+                word_concepts[token].append(concept.phrase)
+
+        # P(e|d): document frequency of each entity.
+        entity_counts = {
+            e: max(1, _count_mentions(doc_tokens, tokenize(e))) for e in entities
+        }
+        total_mentions = sum(entity_counts.values())
+
+        scores: dict[str, float] = defaultdict(float)
+        sentences = _split_sentences(doc_tokens)
+        for entity, count in entity_counts.items():
+            p_entity = count / total_mentions
+            context = _context_words(sentences, tokenize(entity))
+            if not context:
+                continue
+            total_ctx = sum(context.values())
+            for word, ctx_count in context.items():
+                candidates = word_concepts.get(word, [])
+                if not candidates:
+                    continue
+                p_word = ctx_count / total_ctx
+                p_concept = 1.0 / len(candidates)
+                for phrase in candidates:
+                    scores[phrase] += p_concept * p_word * p_entity
+        return {
+            phrase: score for phrase, score in scores.items()
+            if score >= self._inference_threshold
+        }
+
+    # ------------------------------------------------------------------
+    # event / topic tagging
+    # ------------------------------------------------------------------
+    def tag_events(self, title_tokens: list[str], first_sentence: list[str]
+                   ) -> list[tuple[str, float]]:
+        """Event tags via LCS gate (+ Duet gate when configured)."""
+        return self._tag_phrases(NodeType.EVENT, title_tokens, first_sentence)
+
+    def tag_topics(self, title_tokens: list[str], first_sentence: list[str]
+                   ) -> list[tuple[str, float]]:
+        return self._tag_phrases(NodeType.TOPIC, title_tokens, first_sentence)
+
+    def _tag_phrases(self, node_type: NodeType, title_tokens: list[str],
+                     first_sentence: list[str]) -> list[tuple[str, float]]:
+        target = title_tokens + first_sentence
+        out: list[tuple[str, float]] = []
+        for node in self._ontology.nodes(node_type):
+            phrase_tokens = node.tokens
+            if not phrase_tokens:
+                continue
+            lcs = longest_common_subsequence(phrase_tokens, target)
+            ratio = lcs / len(phrase_tokens)
+            if ratio < self._lcs_threshold:
+                continue
+            if self._duet is not None and not self._duet.predict(phrase_tokens, target):
+                continue
+            out.append((node.phrase, ratio))
+        out.sort(key=lambda kv: (-kv[1], kv[0]))
+        return out
+
+    # ------------------------------------------------------------------
+    def tag(self, doc_id: str, title_tokens: list[str],
+            sentences: "list[list[str]]") -> TaggedDocument:
+        """Tag one document with concepts, events and topics."""
+        body = [t for sent in sentences for t in sent]
+        first = sentences[0] if sentences else []
+        return TaggedDocument(
+            doc_id=doc_id,
+            concepts=self.tag_concepts(title_tokens, body),
+            events=self.tag_events(title_tokens, first),
+            topics=self.tag_topics(title_tokens, first),
+        )
+
+
+def _count_mentions(tokens: list[str], needle: list[str]) -> int:
+    if not needle:
+        return 0
+    k = len(needle)
+    return sum(1 for i in range(len(tokens) - k + 1) if tokens[i : i + k] == needle)
+
+
+def _split_sentences(tokens: list[str]) -> list[list[str]]:
+    out: list[list[str]] = []
+    current: list[str] = []
+    for token in tokens:
+        if token in {".", "!", "?", ";"}:
+            if current:
+                out.append(current)
+                current = []
+        else:
+            current.append(token)
+    if current:
+        out.append(current)
+    return out
+
+
+def _context_words(sentences: "list[list[str]]", entity_tokens: list[str]
+                   ) -> dict[str, int]:
+    """Co-occurring words: tokens sharing a sentence with the entity."""
+    from ..text.stopwords import is_stopword
+
+    out: dict[str, int] = defaultdict(int)
+    entity_set = set(entity_tokens)
+    k = len(entity_tokens)
+    for sent in sentences:
+        mentions = any(
+            sent[i : i + k] == entity_tokens for i in range(len(sent) - k + 1)
+        )
+        if not mentions:
+            continue
+        for token in sent:
+            if token not in entity_set and not is_stopword(token):
+                out[token] += 1
+    return out

@@ -1,0 +1,33 @@
+"""Baseline methods compared against GCTSP-Net (paper Tables 5-7).
+
+Concept mining (Table 5): TextRank, AutoPhrase-style quality-phrase mining,
+Match (bootstrapped patterns), Align (query-title alignment), MatchAlign,
+LSTM-CRF over the query (Q) or titles (T).
+
+Event mining (Table 6): TextRank, CoverRank, TextSummary (seq2seq with
+attention), LSTM-CRF.
+
+Key elements (Table 7): LSTM (softmax) and LSTM-CRF 4-class taggers.
+"""
+
+from .textrank import TextRankExtractor
+from .autophrase import AutoPhraseMiner
+from .matchers import MatchExtractor, AlignExtractor, MatchAlignExtractor
+from .lstm_crf import LstmCrfTagger, QueryLstmCrf, TitleLstmCrf
+from .lstm_tagger import LstmRoleTagger
+from .textsummary import TextSummaryBaseline
+from .coverrank import CoverRankBaseline
+
+__all__ = [
+    "TextRankExtractor",
+    "AutoPhraseMiner",
+    "MatchExtractor",
+    "AlignExtractor",
+    "MatchAlignExtractor",
+    "LstmCrfTagger",
+    "QueryLstmCrf",
+    "TitleLstmCrf",
+    "LstmRoleTagger",
+    "TextSummaryBaseline",
+    "CoverRankBaseline",
+]

@@ -1,0 +1,26 @@
+"""CoverRank event-mining baseline (Table 6) — thin wrapper around the core
+candidate generator so the benchmark harness can treat every method
+uniformly (fit_examples / extract)."""
+
+from __future__ import annotations
+
+from ..core.coverrank import select_event_candidate
+
+
+class CoverRankBaseline:
+    """Ranks subtitles by covered non-stop query words, tie-break by CTR."""
+
+    def __init__(self, min_len: int = 3, max_len: int = 20) -> None:
+        self.min_len = min_len
+        self.max_len = max_len
+
+    def fit_examples(self, examples, **_kwargs) -> list[float]:
+        """CoverRank is unsupervised; fitting is a no-op."""
+        return []
+
+    def extract(self, queries: "list[list[str]]", titles: "list[list[str]]"
+                ) -> list[str]:
+        candidate = select_event_candidate(
+            queries, titles, min_len=self.min_len, max_len=self.max_len
+        )
+        return candidate or []

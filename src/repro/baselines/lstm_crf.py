@@ -1,0 +1,194 @@
+"""LSTM-CRF sequence-tagging baselines (Huang, Xu & Yu 2015).
+
+Paper configuration: word embeddings (200-d in the paper; width is a knob
+here), a BiLSTM with hidden size 25 per direction, and a CRF output layer
+predicting BIO tags for the phrase span.  Two variants for Table 5:
+
+* Q-LSTM-CRF — applied to the (first) query;
+* T-LSTM-CRF — applied to titles (prediction from the top-clicked title).
+
+For Table 6 (event mining) the tagger runs per title; outputs are filtered
+by length and the phrase belonging to the top-clicked title is selected —
+the paper's protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import make_rng
+from ..errors import TrainingError
+from ..nn.crf import LinearChainCRF
+from ..nn.layers import Embedding, Linear, Module
+from ..nn.lstm import BiLSTM
+from ..nn.optim import Adam
+
+# BIO tags.
+O_TAG, B_TAG, I_TAG = 0, 1, 2
+NUM_TAGS = 3
+
+
+def bio_encode(tokens: list[str], phrase_tokens: list[str]) -> list[int]:
+    """BIO labels marking occurrences of phrase tokens in ``tokens``.
+
+    The full phrase is matched as a subsequence window when possible,
+    falling back to per-token membership tagging.
+    """
+    n, k = len(tokens), len(phrase_tokens)
+    labels = [O_TAG] * n
+    if k == 0 or n == 0:
+        return labels
+    for start in range(n - k + 1):
+        if tokens[start : start + k] == phrase_tokens:
+            labels[start] = B_TAG
+            for j in range(start + 1, start + k):
+                labels[j] = I_TAG
+            return labels
+    phrase_set = set(phrase_tokens)
+    previous_in = False
+    for i, token in enumerate(tokens):
+        if token in phrase_set:
+            labels[i] = I_TAG if previous_in else B_TAG
+            previous_in = True
+        else:
+            previous_in = False
+    return labels
+
+
+def bio_decode(tokens: list[str], labels: list[int]) -> list[str]:
+    """Tokens of the longest predicted B/I span (paper outputs one phrase)."""
+    spans: list[list[str]] = []
+    current: list[str] = []
+    for token, label in zip(tokens, labels):
+        if label == B_TAG:
+            if current:
+                spans.append(current)
+            current = [token]
+        elif label == I_TAG and current:
+            current.append(token)
+        else:
+            if current:
+                spans.append(current)
+                current = []
+    if current:
+        spans.append(current)
+    if not spans:
+        return []
+    return max(spans, key=len)
+
+
+class LstmCrfTagger(Module):
+    """Word embedding + BiLSTM + CRF tagger over token sequences."""
+
+    def __init__(self, embed_dim: int = 32, hidden: int = 25,
+                 num_tags: int = NUM_TAGS, seed: int = 0) -> None:
+        rng = make_rng(seed)
+        self._vocab: dict[str, int] = {"<unk>": 0}
+        self._rng = rng
+        self.embed_dim = embed_dim
+        self.num_tags = num_tags
+        self.embedding = Embedding(1, embed_dim, rng=rng)  # grows with vocab
+        self.encoder = BiLSTM(embed_dim, hidden, rng=rng)
+        self.projection = Linear(2 * hidden, num_tags, rng=rng)
+        self.crf = LinearChainCRF(num_tags, rng=rng)
+
+    # ------------------------------------------------------------------
+    def _grow_vocab(self, corpus: "list[list[str]]") -> None:
+        for text in corpus:
+            for token in text:
+                if token not in self._vocab:
+                    self._vocab[token] = len(self._vocab)
+        needed = len(self._vocab)
+        current = self.embedding.weight.data.shape[0]
+        if needed > current:
+            extra = self._rng.standard_normal((needed - current, self.embed_dim)) * 0.1
+            self.embedding.weight.data = np.vstack([self.embedding.weight.data, extra])
+
+    def _ids(self, tokens: list[str]) -> list[int]:
+        return [self._vocab.get(t, 0) for t in tokens]
+
+    def _emissions(self, tokens: list[str]):
+        return self.projection(self.encoder(self.embedding(self._ids(tokens))))
+
+    # ------------------------------------------------------------------
+    def fit(self, sequences: "list[list[str]]", labels: "list[list[int]]",
+            epochs: int = 10, lr: float = 0.02) -> list[float]:
+        """Train on (token sequence, integer label sequence) pairs."""
+        pairs = [(s, l) for s, l in zip(sequences, labels) if s]
+        if not pairs:
+            raise TrainingError("no non-empty training sequences")
+        self._grow_vocab([s for s, _l in pairs])
+        optimizer = Adam(self.parameters(), lr=lr)
+        losses: list[float] = []
+        order = np.arange(len(pairs))
+        for _epoch in range(epochs):
+            self._rng.shuffle(order)
+            total = 0.0
+            for i in order:
+                tokens, tags = pairs[i]
+                optimizer.zero_grad()
+                loss = self.crf.nll(self._emissions(tokens), tags)
+                loss.backward()
+                optimizer.clip_grad_norm(5.0)
+                optimizer.step()
+                total += loss.item()
+            losses.append(total / len(pairs))
+        return losses
+
+    def predict(self, tokens: list[str]) -> list[int]:
+        """Viterbi labels for a token sequence."""
+        if not tokens:
+            return []
+        from ..nn.autograd import no_grad
+
+        with no_grad():
+            emissions = self._emissions(tokens)
+        return self.crf.decode(emissions)
+
+    def extract(self, tokens: list[str]) -> list[str]:
+        """Predicted phrase tokens (longest BIO span)."""
+        return bio_decode(tokens, self.predict(tokens))
+
+
+class QueryLstmCrf:
+    """Q-LSTM-CRF: tag the first (seed) query of the cluster."""
+
+    def __init__(self, **kwargs) -> None:
+        self.tagger = LstmCrfTagger(**kwargs)
+
+    def fit_examples(self, examples, epochs: int = 10, lr: float = 0.02) -> list[float]:
+        sequences = [e.queries[0] for e in examples if e.queries]
+        labels = [bio_encode(e.queries[0], e.gold_tokens) for e in examples if e.queries]
+        return self.tagger.fit(sequences, labels, epochs=epochs, lr=lr)
+
+    def extract(self, queries: "list[list[str]]", titles: "list[list[str]]"
+                ) -> list[str]:
+        if not queries:
+            return []
+        return self.tagger.extract(queries[0])
+
+
+class TitleLstmCrf:
+    """T-LSTM-CRF: tag titles; select by length filter + top-clicked title."""
+
+    def __init__(self, min_len: int = 1, max_len: int = 20, **kwargs) -> None:
+        self.tagger = LstmCrfTagger(**kwargs)
+        self.min_len = min_len
+        self.max_len = max_len
+
+    def fit_examples(self, examples, epochs: int = 10, lr: float = 0.02) -> list[float]:
+        sequences = []
+        labels = []
+        for example in examples:
+            for title in example.titles:
+                sequences.append(title)
+                labels.append(bio_encode(title, example.gold_tokens))
+        return self.tagger.fit(sequences, labels, epochs=epochs, lr=lr)
+
+    def extract(self, queries: "list[list[str]]", titles: "list[list[str]]"
+                ) -> list[str]:
+        for title in titles:  # titles ordered by click count
+            phrase = self.tagger.extract(title)
+            if self.min_len <= len(phrase) <= self.max_len:
+                return phrase
+        return []

@@ -1,0 +1,81 @@
+"""Plain LSTM (softmax) role tagger — Table 7's "LSTM" baseline.
+
+Identical to LSTM-CRF but with a per-token softmax instead of the CRF layer
+(the paper: "LSTM replaces the CRF layer in LSTM-CRF with a softmax layer").
+Used for 4-class event key-element recognition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import make_rng
+from ..errors import TrainingError
+from ..nn.functional import cross_entropy
+from ..nn.layers import Embedding, Linear, Module
+from ..nn.lstm import BiLSTM
+from ..nn.optim import Adam
+
+
+class LstmRoleTagger(Module):
+    """Embedding + BiLSTM + softmax tagger for integer role labels."""
+
+    def __init__(self, num_classes: int = 4, embed_dim: int = 32,
+                 hidden: int = 25, seed: int = 0) -> None:
+        rng = make_rng(seed)
+        self._vocab: dict[str, int] = {"<unk>": 0}
+        self._rng = rng
+        self.embed_dim = embed_dim
+        self.num_classes = num_classes
+        self.embedding = Embedding(1, embed_dim, rng=rng)
+        self.encoder = BiLSTM(embed_dim, hidden, rng=rng)
+        self.projection = Linear(2 * hidden, num_classes, rng=rng)
+
+    def _grow_vocab(self, corpus: "list[list[str]]") -> None:
+        for text in corpus:
+            for token in text:
+                if token not in self._vocab:
+                    self._vocab[token] = len(self._vocab)
+        needed = len(self._vocab)
+        current = self.embedding.weight.data.shape[0]
+        if needed > current:
+            extra = self._rng.standard_normal((needed - current, self.embed_dim)) * 0.1
+            self.embedding.weight.data = np.vstack([self.embedding.weight.data, extra])
+
+    def _ids(self, tokens: list[str]) -> list[int]:
+        return [self._vocab.get(t, 0) for t in tokens]
+
+    def _logits(self, tokens: list[str]):
+        return self.projection(self.encoder(self.embedding(self._ids(tokens))))
+
+    def fit(self, sequences: "list[list[str]]", labels: "list[list[int]]",
+            epochs: int = 10, lr: float = 0.02) -> list[float]:
+        pairs = [(s, l) for s, l in zip(sequences, labels) if s]
+        if not pairs:
+            raise TrainingError("no non-empty training sequences")
+        self._grow_vocab([s for s, _l in pairs])
+        optimizer = Adam(self.parameters(), lr=lr)
+        losses: list[float] = []
+        order = np.arange(len(pairs))
+        for _epoch in range(epochs):
+            self._rng.shuffle(order)
+            total = 0.0
+            for i in order:
+                tokens, tags = pairs[i]
+                optimizer.zero_grad()
+                loss = cross_entropy(self._logits(tokens), tags)
+                loss.backward()
+                optimizer.clip_grad_norm(5.0)
+                optimizer.step()
+                total += loss.item()
+            losses.append(total / len(pairs))
+        return losses
+
+    def predict(self, tokens: list[str]) -> list[int]:
+        if not tokens:
+            return []
+        from ..nn.autograd import no_grad
+
+        with no_grad():
+            logits = self._logits(tokens)
+        return logits.data.argmax(axis=1).tolist()

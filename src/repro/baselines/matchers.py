@@ -1,0 +1,89 @@
+"""Pattern-match and alignment concept-mining baselines (Table 5).
+
+* **Match** — extract concepts from queries with bootstrapped patterns.
+* **Align** — extract via query-title alignment.
+* **MatchAlign** — both, selecting the most frequent result when multiple
+  phrases are extracted (the paper's protocol).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..core.align import extract_aligned_candidates
+from ..core.bootstrap import DEFAULT_SEED_PATTERNS, Pattern, PatternBootstrapper
+
+
+class MatchExtractor:
+    """Bootstrapped pattern matching on queries."""
+
+    def __init__(self, patterns: "set[Pattern] | None" = None) -> None:
+        self.patterns: set[Pattern] = set(patterns or DEFAULT_SEED_PATTERNS)
+
+    def bootstrap(self, query_corpus: "list[list[str]]") -> None:
+        """Grow the pattern set on a query corpus."""
+        bootstrapper = PatternBootstrapper(tuple(self.patterns))
+        _concepts, patterns = bootstrapper.run(query_corpus)
+        self.patterns = patterns
+
+    def extract_all(self, queries: "list[list[str]]") -> list[list[str]]:
+        out: list[list[str]] = []
+        for tokens in queries:
+            for pattern in self.patterns:
+                slot = pattern.match(tokens)
+                if slot:
+                    out.append(list(slot))
+        return out
+
+    def extract(self, queries: "list[list[str]]", titles: "list[list[str]]"
+                ) -> list[str]:
+        candidates = self.extract_all(queries)
+        if not candidates:
+            return []
+        counts = Counter(tuple(c) for c in candidates)
+        best, _count = max(counts.items(), key=lambda kv: (kv[1], -len(kv[0]), kv[0]))
+        return list(best)
+
+
+class AlignExtractor:
+    """Query-title alignment extraction."""
+
+    def __init__(self, max_gap: int = 2) -> None:
+        self.max_gap = max_gap
+
+    def extract_all(self, queries: "list[list[str]]", titles: "list[list[str]]"
+                    ) -> list[list[str]]:
+        out: list[list[str]] = []
+        for query in queries:
+            out.extend(extract_aligned_candidates(query, titles, max_gap=self.max_gap))
+        return out
+
+    def extract(self, queries: "list[list[str]]", titles: "list[list[str]]"
+                ) -> list[str]:
+        candidates = self.extract_all(queries, titles)
+        if not candidates:
+            return []
+        counts = Counter(tuple(c) for c in candidates)
+        best, _count = max(counts.items(), key=lambda kv: (kv[1], len(kv[0]), kv[0]))
+        return list(best)
+
+
+class MatchAlignExtractor:
+    """Match + Align, most frequent result wins."""
+
+    def __init__(self, patterns: "set[Pattern] | None" = None, max_gap: int = 2) -> None:
+        self._match = MatchExtractor(patterns)
+        self._align = AlignExtractor(max_gap)
+
+    def bootstrap(self, query_corpus: "list[list[str]]") -> None:
+        self._match.bootstrap(query_corpus)
+
+    def extract(self, queries: "list[list[str]]", titles: "list[list[str]]"
+                ) -> list[str]:
+        candidates = self._match.extract_all(queries)
+        candidates.extend(self._align.extract_all(queries, titles))
+        if not candidates:
+            return []
+        counts = Counter(tuple(c) for c in candidates)
+        best, _count = max(counts.items(), key=lambda kv: (kv[1], len(kv[0]), kv[0]))
+        return list(best)

@@ -1,0 +1,72 @@
+"""TextRank keyword extraction baseline (Mihalcea & Tarau 2004).
+
+Tokens are nodes of a co-occurrence window graph; PageRank scores them; the
+top-k keywords are concatenated *in the order they appear in the query/
+title* (the paper's protocol: "we extract the top 5 keywords or phrases from
+queries and titles, and concatenate them in the same order with the
+query/title to get the extracted phrase").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..text.stopwords import is_stopword
+
+
+class TextRankExtractor:
+    """TextRank over a query-title cluster."""
+
+    def __init__(self, top_k: int = 5, window: int = 3, damping: float = 0.85,
+                 iterations: int = 30) -> None:
+        self.top_k = top_k
+        self.window = window
+        self.damping = damping
+        self.iterations = iterations
+
+    def _scores(self, texts: "list[list[str]]") -> dict[str, float]:
+        vocab: dict[str, int] = {}
+        for text in texts:
+            for token in text:
+                if not is_stopword(token) and token not in vocab:
+                    vocab[token] = len(vocab)
+        n = len(vocab)
+        if n == 0:
+            return {}
+        weights = np.zeros((n, n))
+        for text in texts:
+            content = [t for t in text if t in vocab]
+            for i, a in enumerate(content):
+                for j in range(i + 1, min(len(content), i + self.window + 1)):
+                    b = content[j]
+                    if a != b:
+                        weights[vocab[a], vocab[b]] += 1.0
+                        weights[vocab[b], vocab[a]] += 1.0
+        degree = weights.sum(axis=1)
+        scores = np.ones(n) / n
+        for _it in range(self.iterations):
+            new_scores = np.full(n, 1.0 - self.damping)
+            for j in range(n):
+                incoming = np.where(weights[:, j] > 0)[0]
+                for i in incoming:
+                    if degree[i] > 0:
+                        new_scores[j] += self.damping * scores[i] * weights[i, j] / degree[i]
+            scores = new_scores
+        return {tok: float(scores[idx]) for tok, idx in vocab.items()}
+
+    def extract(self, queries: "list[list[str]]", titles: "list[list[str]]"
+                ) -> list[str]:
+        """Top-k keywords re-ordered by first appearance."""
+        texts = list(queries) + list(titles)
+        scores = self._scores(texts)
+        if not scores:
+            return []
+        top = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))[: self.top_k]
+        chosen = {tok for tok, _s in top}
+        # Order of first appearance across texts (queries first).
+        ordered: list[str] = []
+        for text in texts:
+            for token in text:
+                if token in chosen and token not in ordered:
+                    ordered.append(token)
+        return ordered

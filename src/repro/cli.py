@@ -1,0 +1,167 @@
+"""Command-line interface for the GIANT reproduction.
+
+Subcommands::
+
+    python -m repro.cli build    --days 4 --out ontology.json
+    python -m repro.cli stats    --ontology ontology.json
+    python -m repro.cli tag      --ontology ontology.json --title "..." --body "..."
+    python -m repro.cli query    --ontology ontology.json --q "best economy cars"
+    python -m repro.cli showcase --ontology ontology.json
+
+``build`` generates a synthetic world, trains a small GCTSP-Net, runs the
+full pipeline and writes the ontology JSON; the other commands operate on a
+saved ontology.  Entities for NER are reconstructed from the ontology's
+entity nodes, so a saved ontology file is self-sufficient.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .apps.query import QueryUnderstander
+from .apps.tagging import DocumentTagger
+from .config import GCTSPConfig
+from .core.ontology import NodeType
+from .core.serialize import load_ontology, save_ontology
+from .text.ner import NerTagger
+from .text.tokenizer import tokenize
+
+
+def _build(args: argparse.Namespace) -> int:
+    from .core.features import NodeFeatureExtractor
+    from .core.gctsp import GCTSPNet, prepare_example
+    from .datasets import build_cmd, split_dataset
+    from .pipeline import GiantPipeline
+    from .synth.querylog import QueryLogGenerator, build_click_graph
+    from .synth.world import WorldConfig, build_world
+    from .text.dependency import DependencyParser
+
+    world = build_world(WorldConfig(num_days=args.days, seed=args.seed,
+                                    num_extra_domains=args.extra_domains))
+    days = QueryLogGenerator(world).generate_days()
+    graph = build_click_graph(days)
+    sessions = [s for d in days for s in d.sessions]
+    pos, ner = world.register_text_models()
+
+    model = None
+    if args.train:
+        extractor = NodeFeatureExtractor(pos, ner)
+        parser = DependencyParser(pos)
+        cmd = build_cmd(world, examples_per_concept=2)
+        train, _dev, _test = split_dataset(cmd)
+        examples = [
+            prepare_example(e.queries, e.titles, extractor, parser,
+                            gold_tokens=e.gold_tokens)
+            for e in train[:60]
+        ]
+        model = GCTSPNet(GCTSPConfig(num_layers=3, hidden_size=24,
+                                     num_bases=4, epochs=args.epochs))
+        model.fit(examples)
+
+    pipeline = GiantPipeline(
+        graph, pos, ner, concept_model=model,
+        categories=sorted({c[2] for c in world.categories}),
+    )
+    ontology = pipeline.run(sessions=sessions)
+    save_ontology(ontology, args.out)
+    print(f"wrote {args.out}: {ontology.stats()}")
+    return 0
+
+
+def _load_with_ner(path: str):
+    ontology = load_ontology(path)
+    ner = NerTagger()
+    for node in ontology.nodes(NodeType.ENTITY):
+        ner.register(node.phrase, "MISC")
+    return ontology, ner
+
+
+def _stats(args: argparse.Namespace) -> int:
+    ontology, _ner = _load_with_ner(args.ontology)
+    for key, value in ontology.stats().items():
+        print(f"{key:12s} {value}")
+    return 0
+
+
+def _tag(args: argparse.Namespace) -> int:
+    ontology, ner = _load_with_ner(args.ontology)
+    tagger = DocumentTagger(ontology, ner, coherence_threshold=args.threshold)
+    title = tokenize(args.title)
+    sentences = [tokenize(s) for s in args.body.split(".") if s.strip()]
+    result = tagger.tag("cli-doc", title, sentences)
+    print("concepts:", result.concepts[:5])
+    print("events:  ", result.events[:5])
+    print("topics:  ", result.topics[:5])
+    return 0
+
+
+def _query(args: argparse.Namespace) -> int:
+    ontology, _ner = _load_with_ner(args.ontology)
+    understander = QueryUnderstander(ontology)
+    analysis = understander.analyze(args.q)
+    print("concepts:       ", analysis.concepts[:3])
+    print("entities:       ", analysis.entities[:3])
+    print("rewrites:       ", analysis.rewrites)
+    print("recommendations:", analysis.recommendations)
+    return 0
+
+
+def _showcase(args: argparse.Namespace) -> int:
+    ontology, _ner = _load_with_ner(args.ontology)
+    print("== concepts ==")
+    for node in ontology.nodes(NodeType.CONCEPT)[: args.limit]:
+        instances = [e.phrase for e in ontology.entities_of_concept(node.phrase)]
+        print(f"  {node.phrase!r} -> {instances[:4]}")
+    print("== topics ==")
+    for node in ontology.nodes(NodeType.TOPIC)[: args.limit]:
+        print(f"  {node.phrase!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="build an ontology from synthetic logs")
+    p_build.add_argument("--days", type=int, default=4)
+    p_build.add_argument("--seed", type=int, default=0)
+    p_build.add_argument("--extra-domains", type=int, default=0)
+    p_build.add_argument("--epochs", type=int, default=8)
+    p_build.add_argument("--train", action="store_true",
+                         help="train a GCTSP-Net (otherwise alignment fallback)")
+    p_build.add_argument("--out", default="ontology.json")
+    p_build.set_defaults(func=_build)
+
+    p_stats = sub.add_parser("stats", help="print node/edge counts")
+    p_stats.add_argument("--ontology", required=True)
+    p_stats.set_defaults(func=_stats)
+
+    p_tag = sub.add_parser("tag", help="tag a document")
+    p_tag.add_argument("--ontology", required=True)
+    p_tag.add_argument("--title", required=True)
+    p_tag.add_argument("--body", default="")
+    p_tag.add_argument("--threshold", type=float, default=0.02)
+    p_tag.set_defaults(func=_tag)
+
+    p_query = sub.add_parser("query", help="analyze a search query")
+    p_query.add_argument("--ontology", required=True)
+    p_query.add_argument("--q", required=True)
+    p_query.set_defaults(func=_query)
+
+    p_show = sub.add_parser("showcase", help="print sample concepts/topics")
+    p_show.add_argument("--ontology", required=True)
+    p_show.add_argument("--limit", type=int, default=10)
+    p_show.set_defaults(func=_showcase)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Configuration dataclasses shared across the GIANT reproduction.
+
+Every stochastic component in the library accepts either an explicit
+``numpy.random.Generator`` or an integer seed.  The helpers here centralise
+seed handling so that a whole pipeline run is reproducible from a single
+integer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .errors import ConfigError
+
+
+def make_rng(seed_or_rng: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a seed, generator, or None."""
+    if seed_or_rng is None:
+        return np.random.default_rng()
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    if isinstance(seed_or_rng, (int, np.integer)):
+        return np.random.default_rng(int(seed_or_rng))
+    raise ConfigError(f"expected int seed or numpy Generator, got {type(seed_or_rng)!r}")
+
+
+@dataclass
+class MiningConfig:
+    """Parameters for attention-phrase mining (paper Section 3.1).
+
+    Attributes:
+        visit_threshold: minimum random-walk visiting probability ``delta_v``
+            for a query/document to stay in a query-doc cluster.
+        walk_steps: number of random-walk propagation rounds.
+        restart_prob: restart probability of the random walk.
+        max_cluster_queries: cap on queries kept per cluster.
+        max_cluster_docs: cap on documents kept per cluster.
+        merge_threshold: TF-IDF similarity threshold ``delta_m`` for merging
+            near-duplicate attention phrases during normalization.
+        event_min_len: minimum subtitle length ``L_l`` (tokens) for event
+            candidates (paper uses 6 characters for Chinese; we use tokens).
+        event_max_len: maximum subtitle length ``L_h``.
+    """
+
+    visit_threshold: float = 0.02
+    walk_steps: int = 4
+    restart_prob: float = 0.15
+    max_cluster_queries: int = 10
+    max_cluster_docs: int = 10
+    merge_threshold: float = 0.6
+    event_min_len: int = 3
+    event_max_len: int = 20
+
+    def validate(self) -> None:
+        if not 0.0 < self.visit_threshold < 1.0:
+            raise ConfigError("visit_threshold must be in (0, 1)")
+        if not 0.0 <= self.restart_prob < 1.0:
+            raise ConfigError("restart_prob must be in [0, 1)")
+        if self.event_min_len > self.event_max_len:
+            raise ConfigError("event_min_len must be <= event_max_len")
+        if self.walk_steps < 1:
+            raise ConfigError("walk_steps must be >= 1")
+
+
+@dataclass
+class LinkingConfig:
+    """Parameters for attention-phrase linking (paper Section 3.2).
+
+    Attributes:
+        category_threshold: ``delta_g`` — minimum P(category | phrase) for an
+            attention-category isA edge (paper: 0.3).
+        correlate_distance: maximum Euclidean distance between entity
+            embeddings for a correlate edge.
+        embedding_dim: dimensionality of entity co-occurrence embeddings.
+        hinge_margin: margin of the hinge loss for entity embeddings.
+        min_cooccurrence: minimum co-occurrence count for a positive
+            entity pair.
+    """
+
+    category_threshold: float = 0.3
+    correlate_distance: float = 1.0
+    embedding_dim: int = 16
+    hinge_margin: float = 1.0
+    min_cooccurrence: int = 2
+
+    def validate(self) -> None:
+        if not 0.0 < self.category_threshold <= 1.0:
+            raise ConfigError("category_threshold must be in (0, 1]")
+        if self.embedding_dim < 2:
+            raise ConfigError("embedding_dim must be >= 2")
+
+
+@dataclass
+class GCTSPConfig:
+    """Hyper-parameters of the GCTSP-Net (paper Section 5.2).
+
+    Defaults follow the paper: 5-layer R-GCN, hidden size 32, B=5 bases.
+    """
+
+    num_layers: int = 5
+    hidden_size: int = 32
+    num_bases: int = 5
+    learning_rate: float = 0.01
+    epochs: int = 30
+    l2: float = 1e-4
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.num_layers < 1:
+            raise ConfigError("num_layers must be >= 1")
+        if self.hidden_size < 1:
+            raise ConfigError("hidden_size must be >= 1")
+        if self.num_bases < 1:
+            raise ConfigError("num_bases must be >= 1")
+
+
+@dataclass
+class GiantConfig:
+    """Top-level configuration bundling all pipeline stages."""
+
+    mining: MiningConfig = field(default_factory=MiningConfig)
+    linking: LinkingConfig = field(default_factory=LinkingConfig)
+    gctsp: GCTSPConfig = field(default_factory=GCTSPConfig)
+    seed: int = 0
+
+    def validate(self) -> None:
+        self.mining.validate()
+        self.linking.validate()
+        self.gctsp.validate()

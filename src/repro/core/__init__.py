@@ -1,0 +1,59 @@
+"""GIANT core: the Attention Ontology and the algorithms that build it.
+
+This package is the paper's primary contribution:
+
+* :mod:`repro.core.ontology` — the Attention Ontology DAG (five node types,
+  three edge types, Section 2);
+* :mod:`repro.core.features` — QTIG node features (NER/POS/stopword/
+  length/sequence-id embeddings, Section 3.1);
+* :mod:`repro.core.gctsp` — GCTSP-Net: R-GCN node classification + ATSP
+  decoding (Section 3.1);
+* :mod:`repro.core.phrase` — attention phrase normalization;
+* :mod:`repro.core.bootstrap` / :mod:`repro.core.align` /
+  :mod:`repro.core.coverrank` — weak-supervision candidate generation;
+* :mod:`repro.core.derivation` — Common Suffix Discovery and Common Pattern
+  Discovery (higher-level concepts/topics);
+* :mod:`repro.core.mining` — the end-to-end Algorithm 1 pipeline;
+* :mod:`repro.core.linking` — edge construction (Section 3.2).
+"""
+
+from .ontology import AttentionOntology, AttentionNode, NodeType, EdgeType, Edge
+from .features import NodeFeatureExtractor, FEATURE_FIELDS
+from .gctsp import GCTSPNet, GraphExample, prepare_example
+from .phrase import AttentionPhrase, PhraseNormalizer
+from .bootstrap import PatternBootstrapper, Pattern
+from .align import align_query_title, extract_aligned_candidates
+from .coverrank import split_subtitles, cover_rank, select_event_candidate
+from .derivation import common_suffix_discovery, common_pattern_discovery
+from .mining import AttentionMiner, MinedAttention
+from .serialize import save_ontology, load_ontology, ontology_to_dict, ontology_from_dict
+
+__all__ = [
+    "AttentionOntology",
+    "AttentionNode",
+    "NodeType",
+    "EdgeType",
+    "Edge",
+    "NodeFeatureExtractor",
+    "FEATURE_FIELDS",
+    "GCTSPNet",
+    "GraphExample",
+    "prepare_example",
+    "AttentionPhrase",
+    "PhraseNormalizer",
+    "PatternBootstrapper",
+    "Pattern",
+    "align_query_title",
+    "extract_aligned_candidates",
+    "split_subtitles",
+    "cover_rank",
+    "select_event_candidate",
+    "common_suffix_discovery",
+    "common_pattern_discovery",
+    "AttentionMiner",
+    "MinedAttention",
+    "save_ontology",
+    "load_ontology",
+    "ontology_to_dict",
+    "ontology_from_dict",
+]

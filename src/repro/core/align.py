@@ -1,0 +1,71 @@
+"""Query-title alignment candidate generation (paper Section 3.1).
+
+A concept mentioned in a query usually re-appears in clicked titles, often
+in a *more detailed* form — the title chunk contains the query tokens in the
+same order with extra tokens interleaved ("fuel efficient cars" -> "fuel
+efficient compact cars").  Aligning a query against its top clicked titles
+and selecting the minimal covering chunk yields concept candidates.
+"""
+
+from __future__ import annotations
+
+from ..text.stopwords import content_words
+
+
+def align_query_title(query_tokens: list[str], title_tokens: list[str],
+                      max_gap: int = 2) -> "list[str] | None":
+    """Minimal title chunk containing the query's content words in order.
+
+    Args:
+        query_tokens: tokenized query.
+        title_tokens: tokenized title.
+        max_gap: maximum number of extra title tokens allowed between two
+            consecutive matched query tokens (keeps chunks phrase-like).
+
+    Returns:
+        The title chunk (token list) or None when no alignment exists.
+    """
+    needles = content_words(query_tokens)
+    if not needles:
+        return None
+
+    best: "tuple[int, int] | None" = None  # (start, end) inclusive
+    n = len(title_tokens)
+    for start in range(n):
+        if title_tokens[start] != needles[0]:
+            continue
+        pos = start
+        ok = True
+        for needle in needles[1:]:
+            nxt = None
+            for j in range(pos + 1, min(n, pos + 2 + max_gap)):
+                if title_tokens[j] == needle:
+                    nxt = j
+                    break
+            if nxt is None:
+                ok = False
+                break
+            pos = nxt
+        if ok:
+            span = (start, pos)
+            if best is None or (span[1] - span[0]) < (best[1] - best[0]):
+                best = span
+    if best is None:
+        return None
+    return title_tokens[best[0] : best[1] + 1]
+
+
+def extract_aligned_candidates(query_tokens: list[str],
+                               titles: "list[list[str]]",
+                               max_gap: int = 2) -> list[list[str]]:
+    """Alignment candidates of a query against its clicked titles.
+
+    Titles should be ordered by click count (top clicked first); candidates
+    keep that order so downstream selection can prefer high-CTR evidence.
+    """
+    out: list[list[str]] = []
+    for title in titles:
+        chunk = align_query_title(query_tokens, title, max_gap=max_gap)
+        if chunk and chunk not in out:
+            out.append(chunk)
+    return out

@@ -1,0 +1,131 @@
+"""Pattern-concept duality bootstrapping (paper Section 3.1).
+
+Concepts can be extracted from queries matching known patterns, and new
+patterns can be learned from queries containing known concepts — so starting
+from a handful of seed patterns ("best X", "top N X") the pattern and
+concept sets grow together (Brin 1998's DIPRE idea applied to query logs,
+as in the authors' prior concept-mining system).
+
+A :class:`Pattern` is a (prefix, suffix) token pair; a query matches when it
+starts with the prefix and ends with the suffix, the slot in between being
+the concept candidate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..text.stopwords import content_words
+from ..text.tokenizer import tokenize
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A query pattern with a concept slot between prefix and suffix."""
+
+    prefix: tuple[str, ...]
+    suffix: tuple[str, ...] = ()
+
+    def match(self, tokens: "list[str] | tuple[str, ...]") -> "tuple[str, ...] | None":
+        """Return the slot tokens if ``tokens`` matches, else None."""
+        n, p, s = len(tokens), len(self.prefix), len(self.suffix)
+        if n <= p + s:
+            return None
+        if tuple(tokens[:p]) != self.prefix:
+            return None
+        if s and tuple(tokens[n - s :]) != self.suffix:
+            return None
+        slot = tuple(tokens[p : n - s])
+        return slot if slot else None
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return " ".join(self.prefix) + " X" + (" " + " ".join(self.suffix) if self.suffix else "")
+
+
+DEFAULT_SEED_PATTERNS: tuple[Pattern, ...] = (
+    Pattern(("best",)),
+    Pattern(("top", "5")),
+    Pattern(("top", "10")),
+    Pattern(("what", "are", "the")),
+)
+
+
+class PatternBootstrapper:
+    """Iterative pattern/concept accumulation over a query corpus."""
+
+    def __init__(self, seed_patterns: "tuple[Pattern, ...] | list[Pattern]" = DEFAULT_SEED_PATTERNS,
+                 min_pattern_support: int = 2, min_concept_support: int = 1,
+                 max_iterations: int = 5, max_slot_len: int = 6) -> None:
+        self.patterns: set[Pattern] = set(seed_patterns)
+        self.min_pattern_support = min_pattern_support
+        self.min_concept_support = min_concept_support
+        self.max_iterations = max_iterations
+        self.max_slot_len = max_slot_len
+
+    @staticmethod
+    def _valid_concept(slot: tuple[str, ...]) -> bool:
+        words = content_words(list(slot))
+        return len(words) >= 1 and len(slot) <= 8
+
+    def _extract_concepts(self, queries: "list[list[str]]") -> Counter:
+        found: Counter = Counter()
+        for tokens in queries:
+            for pattern in self.patterns:
+                slot = pattern.match(tokens)
+                if slot and len(slot) <= self.max_slot_len and self._valid_concept(slot):
+                    found[slot] += 1
+        return found
+
+    def _learn_patterns(self, queries: "list[list[str]]",
+                        concepts: "set[tuple[str, ...]]") -> Counter:
+        learned: Counter = Counter()
+        for tokens in queries:
+            n = len(tokens)
+            for concept in concepts:
+                k = len(concept)
+                if k >= n:
+                    continue
+                for start in range(0, n - k + 1):
+                    if tuple(tokens[start : start + k]) != concept:
+                        continue
+                    prefix = tuple(tokens[:start])
+                    suffix = tuple(tokens[start + k :])
+                    if len(prefix) + len(suffix) == 0:
+                        continue
+                    if len(prefix) <= 3 and len(suffix) <= 2:
+                        learned[Pattern(prefix, suffix)] += 1
+        return learned
+
+    def run(self, queries: "list[str] | list[list[str]]"
+            ) -> tuple[set[tuple[str, ...]], set[Pattern]]:
+        """Bootstrap; returns (concepts, patterns).
+
+        Args:
+            queries: raw query strings or pre-tokenized queries.
+
+        Returns:
+            The accumulated concept token-tuples and patterns.
+        """
+        tokenized = [
+            tokenize(q) if isinstance(q, str) else list(q) for q in queries
+        ]
+        concepts: set[tuple[str, ...]] = set()
+        for _iteration in range(self.max_iterations):
+            found = self._extract_concepts(tokenized)
+            new_concepts = {
+                slot for slot, count in found.items()
+                if count >= self.min_concept_support and slot not in concepts
+            }
+            if not new_concepts and _iteration > 0:
+                break
+            concepts |= new_concepts
+            learned = self._learn_patterns(tokenized, concepts)
+            new_patterns = {
+                p for p, count in learned.items()
+                if count >= self.min_pattern_support and p not in self.patterns
+            }
+            if not new_patterns and not new_concepts:
+                break
+            self.patterns |= new_patterns
+        return concepts, set(self.patterns)

@@ -1,0 +1,80 @@
+"""CoverRank: event-candidate selection from title subtitles.
+
+Paper Section 3.1 ("Training Dataset Construction", events): document titles
+are split into subtitles at punctuation; subtitles within a length band
+[L_l, L_h] are scored by the number of unique non-stop query tokens they
+cover, ties broken by click-through rate; the top subtitle becomes the event
+candidate.  The same procedure doubles as the CoverRank baseline (Table 6).
+"""
+
+from __future__ import annotations
+
+from ..text.stopwords import PUNCTUATION, content_words
+
+
+def split_subtitles(title_tokens: list[str]) -> list[list[str]]:
+    """Split a tokenized title into subtitles at punctuation tokens."""
+    out: list[list[str]] = []
+    current: list[str] = []
+    for token in title_tokens:
+        if token in PUNCTUATION or (len(token) == 1 and not token.isalnum()):
+            if current:
+                out.append(current)
+                current = []
+        else:
+            current.append(token)
+    if current:
+        out.append(current)
+    return out
+
+
+def cover_score(subtitle: list[str], query_tokens_sets: "list[set[str]]") -> int:
+    """Unique non-stop query tokens covered by ``subtitle`` (all queries)."""
+    covered: set[str] = set()
+    words = set(content_words(subtitle))
+    for query_set in query_tokens_sets:
+        covered |= words & query_set
+    return len(covered)
+
+
+def cover_rank(queries: "list[list[str]]", titles: "list[list[str]]",
+               title_ctrs: "list[float] | None" = None,
+               min_len: int = 3, max_len: int = 20
+               ) -> list[tuple[list[str], int, float]]:
+    """Rank all subtitle candidates.
+
+    Args:
+        queries: tokenized queries of the cluster.
+        titles: tokenized clicked titles.
+        title_ctrs: per-title click-through weight (defaults to rank order).
+        min_len: minimum subtitle length L_l in tokens.
+        max_len: maximum subtitle length L_h in tokens.
+
+    Returns:
+        (subtitle, cover score, ctr) tuples sorted by (-score, -ctr).
+    """
+    if title_ctrs is None:
+        title_ctrs = [1.0 / (rank + 1) for rank in range(len(titles))]
+    query_sets = [set(content_words(q)) for q in queries]
+    candidates: list[tuple[list[str], int, float]] = []
+    seen: set[tuple[str, ...]] = set()
+    for title, ctr in zip(titles, title_ctrs):
+        for subtitle in split_subtitles(title):
+            if not min_len <= len(subtitle) <= max_len:
+                continue
+            key = tuple(subtitle)
+            if key in seen:
+                continue
+            seen.add(key)
+            candidates.append((subtitle, cover_score(subtitle, query_sets), ctr))
+    candidates.sort(key=lambda c: (-c[1], -c[2]))
+    return candidates
+
+
+def select_event_candidate(queries: "list[list[str]]", titles: "list[list[str]]",
+                           title_ctrs: "list[float] | None" = None,
+                           min_len: int = 3, max_len: int = 20
+                           ) -> "list[str] | None":
+    """The top-ranked subtitle, or None when no subtitle qualifies."""
+    ranked = cover_rank(queries, titles, title_ctrs, min_len, max_len)
+    return ranked[0][0] if ranked else None

@@ -1,0 +1,165 @@
+"""Attention derivation: higher-level concepts and topics.
+
+Paper Section 3.1 ("Attention Derivation"):
+
+* **Common Suffix Discovery (CSD)** — concepts sharing a high-frequency
+  suffix that forms a noun phrase spawn a parent concept; e.g. "famous
+  animated films" / "hayao miyazaki animated films" -> "animated films".
+* **Common Pattern Discovery (CPD)** — events sharing a pattern whose
+  differing elements all belong to one concept spawn a topic with the slot
+  generalised to the concept name; e.g. "jay chou will have a concert" +
+  "taylor swift will have a concert" -> "pop singers will have a concert".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..text.pos import PosTagger
+from ..text.ner import NerTagger
+
+
+def common_suffix_discovery(concept_token_lists: "list[list[str]]",
+                            pos_tagger: "PosTagger | None" = None,
+                            min_count: int = 2, min_suffix_len: int = 1,
+                            ) -> dict[tuple[str, ...], list[tuple[str, ...]]]:
+    """Derive parent concepts from frequent noun-phrase suffixes.
+
+    Args:
+        concept_token_lists: tokenized concept phrases.
+        pos_tagger: used to check the suffix forms a noun phrase (last token
+            must be noun-like).
+        min_count: minimum number of concepts sharing the suffix.
+        min_suffix_len: minimum suffix length in tokens.
+
+    Returns:
+        Mapping derived-suffix -> list of child concepts (token tuples).
+        A suffix identical to one of its children is not derived.
+    """
+    pos_tagger = pos_tagger or PosTagger()
+    suffix_children: dict[tuple[str, ...], set[tuple[str, ...]]] = defaultdict(set)
+    for tokens in concept_token_lists:
+        t = tuple(tokens)
+        for start in range(1, len(t)):  # proper suffixes only
+            suffix = t[start:]
+            if len(suffix) >= min_suffix_len:
+                suffix_children[suffix].add(t)
+
+    derived: dict[tuple[str, ...], list[tuple[str, ...]]] = {}
+    for suffix, children in suffix_children.items():
+        if len(children) < min_count:
+            continue
+        tags = pos_tagger.tag(list(suffix))
+        if tags[-1] not in ("NOUN", "PROPN"):
+            continue
+        if any(tag in ("VERB", "PUNCT") for tag in tags):
+            continue
+        derived[suffix] = sorted(children)
+
+    # Keep only maximal-coverage suffixes: drop a suffix that is itself a
+    # suffix of another derived suffix with the same children set.
+    redundant: set[tuple[str, ...]] = set()
+    items = list(derived.items())
+    for i, (suffix_a, children_a) in enumerate(items):
+        for suffix_b, children_b in items:
+            if suffix_a == suffix_b:
+                continue
+            longer = len(suffix_b) > len(suffix_a)
+            if longer and suffix_b[-len(suffix_a):] == suffix_a and set(children_b) == set(children_a):
+                redundant.add(suffix_a)
+    for suffix in redundant:
+        del derived[suffix]
+    return derived
+
+
+@dataclass(frozen=True)
+class DerivedTopic:
+    """A topic derived by CPD."""
+
+    phrase: tuple[str, ...]
+    pattern: tuple[str, ...]  # with "X" placeholder
+    concept: tuple[str, ...]  # the generalising concept phrase
+    events: tuple[tuple[str, ...], ...]  # child event phrases
+
+
+def _find_entity_span(tokens: list[str], ner: NerTagger
+                      ) -> "tuple[int, int] | None":
+    spans = ner.entity_spans(tokens)
+    if not spans:
+        return None
+    # Use the first (usually subject) entity span.
+    start, end, _etype = spans[0]
+    return (start, end)
+
+
+def common_pattern_discovery(event_token_lists: "list[list[str]]",
+                             ner_tagger: NerTagger,
+                             entity_concepts: "dict[str, list[tuple[str, ...]]]",
+                             min_count: int = 2,
+                             min_search_support: int = 0,
+                             search_counts: "dict[tuple[str, ...], int] | None" = None,
+                             ) -> list[DerivedTopic]:
+    """Derive topics from events sharing a pattern (CPD).
+
+    Args:
+        event_token_lists: tokenized event phrases.
+        ner_tagger: locates the entity slot in each event phrase.
+        entity_concepts: entity surface -> list of concept token-tuples it
+            belongs to (isA parents), most fine-grained first.
+        min_count: minimum events sharing a pattern.
+        min_search_support: topics must have been searched at least this
+            many times (paper filters un-searched derivations).
+        search_counts: optional phrase -> search count map for the filter.
+
+    Returns:
+        Derived topics.
+    """
+    groups: dict[tuple[str, ...], list[tuple[tuple[str, ...], str]]] = defaultdict(list)
+    for tokens in event_token_lists:
+        span = _find_entity_span(tokens, ner_tagger)
+        if span is None:
+            continue
+        start, end = span
+        entity = " ".join(tokens[start:end])
+        pattern = tuple(tokens[:start]) + ("X",) + tuple(tokens[end:])
+        groups[pattern].append((tuple(tokens), entity))
+
+    topics: list[DerivedTopic] = []
+    for pattern, members in groups.items():
+        if len(members) < min_count:
+            continue
+        entities = {entity for _tokens, entity in members}
+        if len(entities) < min_count:
+            continue
+        # Most fine-grained concept shared by *all* slot entities.
+        shared: "list[tuple[str, ...]] | None" = None
+        concept_sets = []
+        for entity in entities:
+            parents = entity_concepts.get(entity, [])
+            if not parents:
+                concept_sets = []
+                break
+            concept_sets.append(set(map(tuple, parents)))
+        if concept_sets:
+            common = set.intersection(*concept_sets)
+            if common:
+                # Fine-grained = the longest phrase (most specific name).
+                shared = sorted(common, key=lambda c: (-len(c), c))[0]
+        if shared is None:
+            continue
+        slot = pattern.index("X")
+        phrase = pattern[:slot] + shared + pattern[slot + 1 :]
+        if search_counts is not None and min_search_support > 0:
+            if search_counts.get(phrase, 0) < min_search_support:
+                continue
+        topics.append(
+            DerivedTopic(
+                phrase=phrase,
+                pattern=pattern,
+                concept=shared,
+                events=tuple(sorted(tokens for tokens, _e in members)),
+            )
+        )
+    topics.sort(key=lambda t: t.phrase)
+    return topics

@@ -1,0 +1,78 @@
+"""QTIG node features for the GCTSP-Net.
+
+Per the paper (Section 3.1): each node is represented by the concatenated
+embeddings of its NER tag, POS tag, stopword flag, character count, and the
+sequential id in which the node was added to the graph.  This module turns
+a :class:`QueryTitleGraph` into an integer feature matrix; the GCTSP-Net
+owns the embedding tables that map each integer column to a dense vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.qtig import QueryTitleGraph, SOS, EOS
+from ..text.ner import NerTagger, NER_TAGS
+from ..text.pos import PosTagger, POS_TAGS
+from ..text.stopwords import is_stopword
+
+# Feature columns: (name, vocabulary size).
+_NER_VOCAB = ["<special>"] + ["O"] + [f"B-{t}" for t in NER_TAGS if t != "O"] + [
+    f"I-{t}" for t in NER_TAGS if t != "O"
+]
+_POS_VOCAB = ["<special>"] + list(POS_TAGS)
+_STOP_VOCAB = ["<special>", "content", "stop"]
+_LEN_BUCKETS = 8  # clamp character counts to 0..7 ( >7 chars -> bucket 7 )
+_SEQ_BUCKETS = 32  # clamp node insertion order
+
+FEATURE_FIELDS: tuple[tuple[str, int], ...] = (
+    ("ner", len(_NER_VOCAB)),
+    ("pos", len(_POS_VOCAB)),
+    ("stop", len(_STOP_VOCAB)),
+    ("length", _LEN_BUCKETS + 1),  # +1 for the special bucket 0
+    ("seqid", _SEQ_BUCKETS + 1),
+)
+
+
+class NodeFeatureExtractor:
+    """Computes the (N, 5) integer feature matrix of a QTIG."""
+
+    def __init__(self, pos_tagger: "PosTagger | None" = None,
+                 ner_tagger: "NerTagger | None" = None) -> None:
+        self._pos = pos_tagger or PosTagger()
+        self._ner = ner_tagger or NerTagger()
+        self._ner_index = {t: i for i, t in enumerate(_NER_VOCAB)}
+        self._pos_index = {t: i for i, t in enumerate(_POS_VOCAB)}
+
+    def extract(self, graph: QueryTitleGraph) -> np.ndarray:
+        """Return integer features, one row per node, columns per field."""
+        n = graph.num_nodes
+        features = np.zeros((n, len(FEATURE_FIELDS)), dtype=np.int64)
+
+        # Tag each input text once; a node takes the tags of its first
+        # occurrence (texts are ordered by weight, so the highest-weighted
+        # context wins — consistent with the QTIG edge policy).
+        node_pos: dict[int, str] = {}
+        node_ner: dict[int, str] = {}
+        for text in graph.texts:
+            body = [t for t in text if t not in (graph.sos_id, graph.eos_id)]
+            tokens = [graph.tokens[i] for i in body]
+            if not tokens:
+                continue
+            pos_tags = self._pos.tag(tokens)
+            ner_tags = self._ner.tag(tokens)
+            for node_id, pos_tag, ner_tag in zip(body, pos_tags, ner_tags):
+                node_pos.setdefault(node_id, pos_tag)
+                node_ner.setdefault(node_id, ner_tag)
+
+        for node_id in range(n):
+            token = graph.tokens[node_id]
+            if token in (SOS, EOS):
+                # All-special row (index 0 in every vocabulary).
+                continue
+            features[node_id, 0] = self._ner_index.get(node_ner.get(node_id, "O"), 1)
+            features[node_id, 1] = self._pos_index.get(node_pos.get(node_id, "NOUN"), 1)
+            features[node_id, 2] = 2 if is_stopword(token) else 1
+            features[node_id, 3] = min(len(token), _LEN_BUCKETS - 1) + 1
+            features[node_id, 4] = min(node_id, _SEQ_BUCKETS - 1) + 1
+        return features

@@ -1,0 +1,223 @@
+"""GCTSP-Net: Graph Convolution - Traveling Salesman Problem Network.
+
+The paper's multi-task phrase miner (Section 3.1):
+
+1. encode the query-title interaction graph with a multi-layer R-GCN (basis
+   decomposition) over typed edges;
+2. classify each node — binary (belongs to the attention phrase) for
+   concept/event/topic mining, or 4-class (entity/trigger/location/other)
+   for event key-element recognition;
+3. order the predicted-positive nodes by solving an asymmetric TSP over
+   BFS shortest-path distances in the decoding variant of the graph
+   (ATSP-decoding), yielding the output phrase.
+
+One model class serves all tasks; ``num_classes`` selects the head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import GCTSPConfig, make_rng
+from ..errors import TrainingError
+from ..graph.qtig import QueryTitleGraph, build_qtig, RELATION_SEQ
+from ..nn.autograd import Tensor, concat, no_grad
+from ..nn.functional import log_softmax
+from ..nn.layers import Module, Embedding
+from ..nn.optim import Adam
+from ..nn.rgcn import RGCN
+from ..text.dependency import DependencyParser
+from ..tsp import solve_path_atsp
+from .features import FEATURE_FIELDS, NodeFeatureExtractor
+
+# Fixed forward-relation vocabulary shared by all graphs, so one trained
+# model transfers across clusters. "root" never appears as an arc label.
+RELATION_VOCAB: tuple[str, ...] = (
+    RELATION_SEQ, "det", "amod", "nummod", "compound", "nsubj", "dobj",
+    "case", "nmod", "advmod", "punct", "dep",
+)
+
+# Key-element classes for the 4-class task (paper Section 3.2).
+KEY_ELEMENT_CLASSES: tuple[str, ...] = ("other", "entity", "trigger", "location")
+
+
+@dataclass
+class GraphExample:
+    """A prepared training/inference example."""
+
+    graph: QueryTitleGraph
+    features: np.ndarray  # (N, num_fields) ints
+    adjacencies: list[np.ndarray] = field(default_factory=list)
+    labels: "np.ndarray | None" = None  # (N,) ints
+    gold_tokens: "list[str] | None" = None
+
+
+def prepare_example(queries: "list[list[str]]", titles: "list[list[str]]",
+                    extractor: NodeFeatureExtractor,
+                    parser: "DependencyParser | None" = None,
+                    gold_tokens: "list[str] | None" = None,
+                    token_roles: "dict[str, str] | None" = None,
+                    keep_all_edges: bool = False) -> GraphExample:
+    """Build a :class:`GraphExample` from tokenized queries and titles.
+
+    Args:
+        queries: tokenized queries (descending weight order).
+        titles: tokenized clicked titles (same ordering).
+        extractor: node feature extractor (with registered taggers).
+        parser: dependency parser for QTIG edges.
+        gold_tokens: tokens of the gold phrase; produces binary labels.
+        token_roles: token -> role ("entity"/"trigger"/"location"); produces
+            4-class labels for key-element recognition (overrides
+            ``gold_tokens`` when both are given).
+        keep_all_edges: ablation knob forwarded to QTIG construction.
+    """
+    graph = build_qtig(queries, titles, parser=parser, keep_all_edges=keep_all_edges)
+    features = extractor.extract(graph)
+    adjacencies, _names = graph.adjacency_matrices(list(RELATION_VOCAB))
+
+    labels: "np.ndarray | None" = None
+    if token_roles is not None:
+        labels = np.zeros(graph.num_nodes, dtype=np.int64)
+        class_index = {c: i for i, c in enumerate(KEY_ELEMENT_CLASSES)}
+        for token, role in token_roles.items():
+            node = graph.node_ids.get(token)
+            if node is not None and role in class_index:
+                labels[node] = class_index[role]
+    elif gold_tokens is not None:
+        gold = set(gold_tokens)
+        labels = np.zeros(graph.num_nodes, dtype=np.int64)
+        for token, node in graph.node_ids.items():
+            if token in gold and node > 1:  # exclude sos/eos
+                labels[node] = 1
+
+    return GraphExample(graph=graph, features=features,
+                        adjacencies=adjacencies, labels=labels,
+                        gold_tokens=list(gold_tokens) if gold_tokens else None)
+
+
+class GCTSPNet(Module):
+    """The GCTSP-Net model (feature embeddings + R-GCN + ATSP decoder)."""
+
+    def __init__(self, config: "GCTSPConfig | None" = None, num_classes: int = 2,
+                 feature_dim: int = 8) -> None:
+        self.config = config or GCTSPConfig()
+        self.config.validate()
+        rng = make_rng(self.config.seed)
+        self.num_classes = num_classes
+        self.feature_dim = feature_dim
+        self.embeddings = [
+            Embedding(vocab_size, feature_dim, rng=rng)
+            for _name, vocab_size in FEATURE_FIELDS
+        ]
+        in_dim = feature_dim * len(FEATURE_FIELDS)
+        self.rgcn = RGCN(
+            in_dim=in_dim,
+            hidden_dim=self.config.hidden_size,
+            num_classes=num_classes,
+            num_relations=2 * len(RELATION_VOCAB),
+            num_layers=self.config.num_layers,
+            num_bases=self.config.num_bases,
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------
+    def node_logits(self, example: GraphExample) -> Tensor:
+        """Per-node class logits (N, num_classes)."""
+        columns = [
+            emb(example.features[:, i]) for i, emb in enumerate(self.embeddings)
+        ]
+        h = concat(columns, axis=1)
+        return self.rgcn(h, example.adjacencies)
+
+    def _example_loss(self, example: GraphExample,
+                      class_weights: "np.ndarray | None") -> Tensor:
+        if example.labels is None:
+            raise TrainingError("example has no labels")
+        logits = self.node_logits(example)
+        logp = log_softmax(logits, axis=-1)
+        n = example.features.shape[0]
+        picked = logp[np.arange(n), example.labels]
+        if class_weights is not None:
+            weights = class_weights[example.labels]
+            return -(picked * weights).sum() * (1.0 / weights.sum())
+        return -picked.mean()
+
+    def fit(self, examples: "list[GraphExample]",
+            epochs: "int | None" = None, lr: "float | None" = None,
+            balance_classes: bool = True, verbose: bool = False,
+            dev_examples: "list[GraphExample] | None" = None) -> list[float]:
+        """Train on labeled examples; returns per-epoch mean losses."""
+        if not examples:
+            raise TrainingError("no training examples")
+        epochs = epochs if epochs is not None else self.config.epochs
+        lr = lr if lr is not None else self.config.learning_rate
+        rng = make_rng(self.config.seed + 1)
+
+        class_weights = None
+        if balance_classes:
+            counts = np.zeros(self.num_classes)
+            for ex in examples:
+                if ex.labels is None:
+                    raise TrainingError("example has no labels")
+                counts += np.bincount(ex.labels, minlength=self.num_classes)
+            counts = np.maximum(counts, 1.0)
+            class_weights = counts.sum() / (self.num_classes * counts)
+
+        optimizer = Adam(self.parameters(), lr=lr, weight_decay=self.config.l2)
+        losses: list[float] = []
+        order = np.arange(len(examples))
+        for epoch in range(epochs):
+            rng.shuffle(order)
+            total = 0.0
+            for idx in order:
+                optimizer.zero_grad()
+                loss = self._example_loss(examples[idx], class_weights)
+                loss.backward()
+                optimizer.clip_grad_norm(5.0)
+                optimizer.step()
+                total += loss.item()
+            losses.append(total / len(examples))
+            if verbose:  # pragma: no cover - logging aid
+                print(f"epoch {epoch}: loss={losses[-1]:.4f}")
+        return losses
+
+    # ------------------------------------------------------------------
+    def predict_labels(self, example: GraphExample) -> np.ndarray:
+        """Argmax class per node."""
+        with no_grad():
+            logits = self.node_logits(example)
+        return logits.data.argmax(axis=1)
+
+    def predict_positive_nodes(self, example: GraphExample) -> list[int]:
+        """Node ids predicted to belong to the phrase (binary head)."""
+        labels = self.predict_labels(example)
+        return [i for i in range(2, example.graph.num_nodes) if labels[i] == 1]
+
+    def extract_phrase(self, example: GraphExample) -> list[str]:
+        """Full GCTSP inference: classify nodes, order them by ATSP-decoding."""
+        positives = self.predict_positive_nodes(example)
+        return self.order_nodes(example.graph, positives)
+
+    @staticmethod
+    def order_nodes(graph: QueryTitleGraph, positives: "list[int]") -> list[str]:
+        """ATSP-decode an ordering of ``positives`` into a token list."""
+        if not positives:
+            return []
+        nodes = [graph.sos_id] + list(positives) + [graph.eos_id]
+        dist = graph.decoding_distances(nodes, positives)
+        path = solve_path_atsp(dist, 0, len(nodes) - 1)
+        ordered = [nodes[i] for i in path if nodes[i] not in (graph.sos_id, graph.eos_id)]
+        return [graph.tokens[i] for i in ordered]
+
+    # ------------------------------------------------------------------
+    def predict_key_elements(self, example: GraphExample) -> dict[str, str]:
+        """4-class head: token -> role for predicted non-"other" nodes."""
+        labels = self.predict_labels(example)
+        out: dict[str, str] = {}
+        for node in range(2, example.graph.num_nodes):
+            cls = KEY_ELEMENT_CLASSES[labels[node]]
+            if cls != "other":
+                out[example.graph.tokens[node]] = cls
+        return out

@@ -1,0 +1,34 @@
+"""Attention linking: edge construction for the ontology (paper Section 3.2).
+
+* :mod:`categories` — attention-category isA edges via click co-occurrence;
+* :mod:`attentions` — attention-attention isA / involve edges via suffix and
+  pattern rules;
+* :mod:`concept_entity` — concept-entity isA classifier with automatically
+  constructed training data (paper Figure 4);
+* :mod:`entity_entity` — correlate edges via hinge-loss co-occurrence
+  embeddings;
+* :mod:`key_elements` — event/topic involve edges via GCTSP-Net 4-class
+  key-element recognition.
+"""
+
+from .categories import link_attention_categories
+from .attentions import link_attention_isa, link_concept_topic_involve
+from .concept_entity import (
+    ConceptEntityClassifier,
+    ConceptEntityExample,
+    build_concept_entity_dataset,
+)
+from .entity_entity import EntityEmbeddingTrainer, mine_cooccurrence_pairs
+from .key_elements import recognize_key_elements
+
+__all__ = [
+    "link_attention_categories",
+    "link_attention_isa",
+    "link_concept_topic_involve",
+    "ConceptEntityClassifier",
+    "ConceptEntityExample",
+    "build_concept_entity_dataset",
+    "EntityEmbeddingTrainer",
+    "mine_cooccurrence_pairs",
+    "recognize_key_elements",
+]

@@ -1,0 +1,125 @@
+"""Attention-attention edges (paper Section 3.2, "Edges between Attentions").
+
+* concept -> concept isA when one concept is a (token) suffix of another;
+* topic/event isA when they share a pattern and their non-overlapping
+  elements are themselves isA-related, or when one phrase drops an element
+  of the other ("jay chou will have a concert" isA "have a concert");
+* concept -> topic involve when the concept phrase is contained in the
+  topic phrase.
+"""
+
+from __future__ import annotations
+
+from ..ontology import AttentionOntology, EdgeType, NodeType
+
+
+def _is_suffix(shorter: list[str], longer: list[str]) -> bool:
+    if len(shorter) >= len(longer):
+        return False
+    return longer[-len(shorter):] == shorter
+
+
+def _is_subsequence(shorter: list[str], longer: list[str]) -> bool:
+    it = iter(longer)
+    return all(tok in it for tok in shorter)
+
+
+def link_attention_isa(ontology: AttentionOntology) -> int:
+    """Create isA edges among concepts and among events/topics.
+
+    Returns the number of edges created.
+    """
+    created = 0
+
+    # Concept suffix rule: "animated films" isA-parent of "famous animated
+    # films" (source = general parent, target = specific instance).
+    concepts = ontology.nodes(NodeType.CONCEPT)
+    for general in concepts:
+        g_tokens = general.tokens
+        for specific in concepts:
+            if general.node_id == specific.node_id:
+                continue
+            if _is_suffix(g_tokens, specific.tokens):
+                if not ontology.has_edge(general.node_id, specific.node_id, EdgeType.ISA):
+                    ontology.add_edge(general.node_id, specific.node_id, EdgeType.ISA)
+                    created += 1
+
+    # Topic/event rule: an event whose tokens contain all tokens of a topic
+    # (in order) is an instance of that topic; also a topic that drops
+    # elements of an event ("have a concert") is a parent.
+    topics = ontology.nodes(NodeType.TOPIC)
+    events = ontology.nodes(NodeType.EVENT)
+    for topic in topics:
+        t_tokens = topic.tokens
+        for event in events:
+            e_tokens = event.tokens
+            pattern = topic.payload.get("pattern")
+            child_events = topic.payload.get("events", ())
+            is_child = tuple(e_tokens) in set(map(tuple, child_events))
+            if is_child or _is_subsequence(t_tokens, e_tokens):
+                if not ontology.has_edge(topic.node_id, event.node_id, EdgeType.ISA):
+                    ontology.add_edge(topic.node_id, event.node_id, EdgeType.ISA,
+                                      weight=1.0 if is_child else 0.8)
+                    created += 1
+            elif pattern is not None:
+                # Shared pattern with isA-related slot fillers.
+                slot_ok = _slot_entities_isa(ontology, topic, event)
+                if slot_ok and not ontology.has_edge(topic.node_id, event.node_id,
+                                                     EdgeType.ISA):
+                    ontology.add_edge(topic.node_id, event.node_id, EdgeType.ISA,
+                                      weight=0.6)
+                    created += 1
+    return created
+
+
+def _slot_entities_isa(ontology: AttentionOntology, topic, event) -> bool:
+    """True when topic/event differ only in isA-related slot elements."""
+    pattern = tuple(topic.payload.get("pattern", ()))
+    if "X" not in pattern:
+        return False
+    slot = pattern.index("X")
+    e_tokens = event.tokens
+    prefix = list(pattern[:slot])
+    suffix = list(pattern[slot + 1 :])
+    if len(e_tokens) <= len(prefix) + len(suffix):
+        return False
+    if e_tokens[: len(prefix)] != prefix:
+        return False
+    if suffix and e_tokens[-len(suffix):] != suffix:
+        return False
+    entity_tokens = e_tokens[len(prefix) : len(e_tokens) - len(suffix)]
+    entity_phrase = " ".join(entity_tokens)
+    entity_node = ontology.find(NodeType.ENTITY, entity_phrase)
+    concept_tokens = topic.payload.get("concept")
+    if entity_node is None or concept_tokens is None:
+        return False
+    concept_node = ontology.find(NodeType.CONCEPT, " ".join(concept_tokens))
+    if concept_node is None:
+        return False
+    return ontology.has_edge(concept_node.node_id, entity_node.node_id, EdgeType.ISA)
+
+
+def link_concept_topic_involve(ontology: AttentionOntology) -> int:
+    """involve edges: topic -> concept when the concept is inside the topic.
+
+    Paper: "we connect a concept to a topic if the concept is contained in
+    the topic phrase."
+    """
+    created = 0
+    topics = ontology.nodes(NodeType.TOPIC)
+    concepts = ontology.nodes(NodeType.CONCEPT)
+    for topic in topics:
+        t_tokens = topic.tokens
+        for concept in concepts:
+            c_tokens = concept.tokens
+            if not c_tokens or len(c_tokens) > len(t_tokens):
+                continue
+            contained = any(
+                t_tokens[i : i + len(c_tokens)] == c_tokens
+                for i in range(len(t_tokens) - len(c_tokens) + 1)
+            )
+            if contained and not ontology.has_edge(topic.node_id, concept.node_id,
+                                                   EdgeType.INVOLVE):
+                ontology.add_edge(topic.node_id, concept.node_id, EdgeType.INVOLVE)
+                created += 1
+    return created

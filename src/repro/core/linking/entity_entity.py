@@ -1,0 +1,154 @@
+"""Entity-entity correlate edges via hinge-loss embeddings.
+
+Paper Section 3.2 ("Edges between Entities"): high-frequency co-occurring
+entity pairs in queries and documents are positives, negative pairs are
+sampled, and entity embeddings are trained with a hinge loss so correlated
+entities end up close in Euclidean distance.  A pair is classified as
+correlated when its distance falls below a threshold.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from ...config import LinkingConfig, make_rng
+from ...nn.autograd import Tensor
+from ...nn.functional import hinge_pair_loss
+from ...nn.layers import Embedding
+from ...nn.optim import Adam
+from ...text.ner import NerTagger
+from ...text.tokenizer import tokenize
+
+
+def mine_cooccurrence_pairs(texts: "list[str] | list[list[str]]",
+                            ner: NerTagger,
+                            min_count: int = 2,
+                            exclude_types: "frozenset[str] | set[str]" = frozenset({"LOC"}),
+                            ) -> "dict[tuple[str, str], int]":
+    """Count co-occurring entity pairs in queries/documents.
+
+    Args:
+        texts: raw strings or token lists (queries and document texts).
+        ner: gazetteer recognizer for entity mentions.
+        min_count: minimum pair frequency to keep.
+        exclude_types: NER types not eligible for correlate pairing —
+            locations co-occur with everything in event headlines, so they
+            are excluded by default.
+
+    Returns:
+        (entity_a, entity_b) -> count with a < b lexicographically.
+    """
+    counts: Counter[tuple[str, str]] = Counter()
+    for text in texts:
+        tokens = tokenize(text) if isinstance(text, str) else list(text)
+        entities = sorted({
+            " ".join(tokens[s:e])
+            for s, e, etype in ner.entity_spans(tokens)
+            if etype not in exclude_types
+        })
+        for i, a in enumerate(entities):
+            for b in entities[i + 1 :]:
+                counts[(a, b)] += 1
+    return {pair: c for pair, c in counts.items() if c >= min_count}
+
+
+class EntityEmbeddingTrainer:
+    """Trains correlate embeddings and thresholds distances into edges."""
+
+    def __init__(self, entities: "list[str]",
+                 config: "LinkingConfig | None" = None, seed: int = 0) -> None:
+        if not entities:
+            raise ValueError("entity list must be non-empty")
+        self._config = config or LinkingConfig()
+        self._config.validate()
+        self._entities = sorted(set(entities))
+        self._index = {e: i for i, e in enumerate(self._entities)}
+        rng = make_rng(seed)
+        self._embedding = Embedding(len(self._entities), self._config.embedding_dim,
+                                    rng=rng)
+        self._rng = rng
+
+    @property
+    def entities(self) -> list[str]:
+        return list(self._entities)
+
+    def _distance(self, ids_a: np.ndarray, ids_b: np.ndarray) -> Tensor:
+        va = self._embedding(ids_a)
+        vb = self._embedding(ids_b)
+        diff = va - vb
+        return (diff * diff).sum(axis=1)
+
+    def fit(self, positive_pairs: "dict[tuple[str, str], int] | list[tuple[str, str]]",
+            epochs: int = 30, lr: float = 0.05,
+            negatives_per_positive: int = 2,
+            pull_weight: float = 0.1) -> list[float]:
+        """Train with hinge loss; returns per-epoch losses.
+
+        ``pull_weight`` adds a small absolute attraction on positive pairs
+        so correlated items end up *below* the distance threshold, not just
+        margin-separated from negatives.
+        """
+        if isinstance(positive_pairs, dict):
+            pairs = [p for p, _c in sorted(positive_pairs.items())]
+        else:
+            pairs = list(positive_pairs)
+        pairs = [
+            (a, b) for a, b in pairs if a in self._index and b in self._index
+        ]
+        if not pairs:
+            raise ValueError("no trainable positive pairs")
+        pos_set = {frozenset(p) for p in pairs}
+        n = len(self._entities)
+        optimizer = Adam(self._embedding.parameters(), lr=lr)
+        losses: list[float] = []
+        for _epoch in range(epochs):
+            anchors, positives, negatives = [], [], []
+            for a, b in pairs:
+                for _k in range(negatives_per_positive):
+                    neg = int(self._rng.integers(0, n))
+                    tries = 0
+                    while (frozenset((self._entities[neg], a)) in pos_set
+                           or self._entities[neg] == a) and tries < 10:
+                        neg = int(self._rng.integers(0, n))
+                        tries += 1
+                    anchors.append(self._index[a])
+                    positives.append(self._index[b])
+                    negatives.append(neg)
+            optimizer.zero_grad()
+            pos_dist = self._distance(np.asarray(anchors), np.asarray(positives))
+            neg_dist = self._distance(np.asarray(anchors), np.asarray(negatives))
+            loss = hinge_pair_loss(pos_dist, neg_dist, margin=self._config.hinge_margin)
+            if pull_weight:
+                loss = loss + pull_weight * pos_dist.mean()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        return losses
+
+    def distance(self, entity_a: str, entity_b: str) -> float:
+        """Euclidean distance between two trained entity embeddings."""
+        ia = self._index.get(entity_a)
+        ib = self._index.get(entity_b)
+        if ia is None or ib is None:
+            raise KeyError("unknown entity")
+        va = self._embedding.weight.data[ia]
+        vb = self._embedding.weight.data[ib]
+        return float(np.linalg.norm(va - vb))
+
+    def correlated_pairs(self, threshold: "float | None" = None
+                         ) -> list[tuple[str, str, float]]:
+        """All entity pairs with embedding distance below the threshold."""
+        threshold = threshold if threshold is not None else self._config.correlate_distance
+        weights = self._embedding.weight.data
+        out: list[tuple[str, str, float]] = []
+        # Pairwise distances (entity counts are modest — thousands at most).
+        sq = (weights ** 2).sum(axis=1)
+        d2 = sq[:, None] + sq[None, :] - 2.0 * (weights @ weights.T)
+        np.fill_diagonal(d2, np.inf)
+        idx_a, idx_b = np.where(d2 <= threshold ** 2)
+        for i, j in zip(idx_a, idx_b):
+            if i < j:
+                out.append((self._entities[i], self._entities[j], float(np.sqrt(max(0.0, d2[i, j])))))
+        return out

@@ -1,0 +1,71 @@
+"""Event/topic key-element recognition -> involve edges.
+
+Paper Section 3.2 ("Edges between Attentions and Entities", events/topics):
+the GCTSP-Net is re-used *without* ATSP decoding as a 4-class node
+classifier (entity / trigger / location / other) over the event's
+query-title interaction graph; recognised elements receive involve edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gctsp import GCTSPNet, GraphExample
+
+
+@dataclass
+class KeyElements:
+    """Recognised elements of one event/topic."""
+
+    entities: list[str]
+    triggers: list[str]
+    locations: list[str]
+
+    def as_dict(self) -> dict[str, list[str]]:
+        return {
+            "entity": self.entities,
+            "trigger": self.triggers,
+            "location": self.locations,
+        }
+
+
+def recognize_key_elements(model: GCTSPNet, example: GraphExample) -> KeyElements:
+    """Run the 4-class head and group tokens by role.
+
+    Multi-token elements are reassembled by input order: consecutive tokens
+    of the same role in the highest-weighted text form one element.
+    """
+    token_roles = model.predict_key_elements(example)
+    graph = example.graph
+    grouped: dict[str, list[str]] = {"entity": [], "trigger": [], "location": []}
+    seen: set[tuple[str, str]] = set()
+
+    for text in graph.texts:
+        body = [t for t in text if t not in (graph.sos_id, graph.eos_id)]
+        current_role: "str | None" = None
+        current_tokens: list[str] = []
+        for node in body:
+            token = graph.tokens[node]
+            role = token_roles.get(token)
+            if role == current_role and role is not None:
+                current_tokens.append(token)
+                continue
+            _flush(grouped, seen, current_role, current_tokens)
+            current_role = role
+            current_tokens = [token] if role else []
+        _flush(grouped, seen, current_role, current_tokens)
+
+    return KeyElements(
+        entities=grouped["entity"],
+        triggers=grouped["trigger"],
+        locations=grouped["location"],
+    )
+
+
+def _flush(grouped: dict[str, list[str]], seen: set[tuple[str, str]],
+           role: "str | None", tokens: list[str]) -> None:
+    if role and tokens:
+        surface = " ".join(tokens)
+        if (role, surface) not in seen:
+            seen.add((role, surface))
+            grouped[role].append(surface)

@@ -1,0 +1,161 @@
+"""The end-to-end attention mining pipeline (paper Algorithm 1).
+
+Given a click graph and a trained GCTSP-Net:
+
+1. compute transport probabilities (Eq. 1-2) and random-walk cluster each
+   seed query into a query-doc cluster;
+2. build the Query-Title Interaction Graph of each cluster (Algorithm 2);
+3. classify nodes with the R-GCN and order positives by ATSP-decoding;
+4. normalise the phrase against previously mined attentions (merge
+   near-duplicates);
+5. emit one attention node per canonical phrase.
+
+Event mining uses the same pipeline with an event-trained model; candidates
+can also come from the weak-supervision generators (bootstrapping /
+alignment / CoverRank) when no model is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import GiantConfig
+from ..graph.click_graph import ClickGraph, QueryDocCluster
+from ..graph.random_walk import RandomWalkClusterer
+from ..text.dependency import DependencyParser
+from ..text.tokenizer import tokenize
+from .coverrank import select_event_candidate
+from .features import NodeFeatureExtractor
+from .gctsp import GCTSPNet, prepare_example
+from .phrase import AttentionPhrase, PhraseNormalizer
+
+
+@dataclass
+class MinedAttention:
+    """One mined attention with provenance."""
+
+    phrase: AttentionPhrase
+    cluster: QueryDocCluster
+    categories: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def text(self) -> str:
+        return self.phrase.text
+
+
+class AttentionMiner:
+    """Runs Algorithm 1 over a click graph."""
+
+    def __init__(self, graph: ClickGraph,
+                 concept_model: "GCTSPNet | None" = None,
+                 event_model: "GCTSPNet | None" = None,
+                 extractor: "NodeFeatureExtractor | None" = None,
+                 parser: "DependencyParser | None" = None,
+                 config: "GiantConfig | None" = None) -> None:
+        self._graph = graph
+        self._concept_model = concept_model
+        self._event_model = event_model
+        self._extractor = extractor or NodeFeatureExtractor()
+        self._parser = parser or DependencyParser()
+        self._config = config or GiantConfig()
+        self._clusterer = RandomWalkClusterer(graph, self._config.mining)
+        self._normalizer = PhraseNormalizer(self._config.mining)
+
+    @property
+    def normalizer(self) -> PhraseNormalizer:
+        return self._normalizer
+
+    # ------------------------------------------------------------------
+    def cluster(self, seed_query: str) -> QueryDocCluster:
+        return self._clusterer.cluster(seed_query)
+
+    def cluster_tokens(self, cluster: QueryDocCluster
+                       ) -> tuple[list[list[str]], list[list[str]], list[float]]:
+        """Tokenized queries/titles of a cluster + title click weights."""
+        queries = [tokenize(q) for q in cluster.queries]
+        titles = []
+        weights = []
+        for doc_id in cluster.doc_ids:
+            title = self._graph.title(doc_id)
+            if title:
+                titles.append(tokenize(title))
+                weights.append(cluster.doc_weights.get(doc_id, 0.0))
+        return queries, titles, weights
+
+    # ------------------------------------------------------------------
+    def mine_cluster(self, cluster: QueryDocCluster, kind: str = "concept"
+                     ) -> "AttentionPhrase | None":
+        """Extract one attention phrase from a cluster (steps 7-12)."""
+        queries, titles, weights = self.cluster_tokens(cluster)
+        if not queries or not titles:
+            return None
+
+        model = self._concept_model if kind == "concept" else self._event_model
+        if model is not None:
+            example = prepare_example(queries, titles, self._extractor, self._parser)
+            tokens = model.extract_phrase(example)
+        elif kind == "event":
+            cfg = self._config.mining
+            tokens = select_event_candidate(
+                queries, titles, weights,
+                min_len=cfg.event_min_len, max_len=cfg.event_max_len,
+            ) or []
+        else:
+            # Model-free concept fallback: query-title alignment.
+            from .align import extract_aligned_candidates
+
+            candidates = extract_aligned_candidates(queries[0], titles)
+            tokens = candidates[0] if candidates else []
+        if not tokens:
+            return None
+
+        support = sum(cluster.doc_weights.values()) or 1.0
+        phrase = AttentionPhrase(
+            tokens=list(tokens), kind=kind, context_titles=titles[:5],
+            support=support,
+        )
+        return phrase
+
+    def _cluster_categories(self, cluster: QueryDocCluster) -> dict[str, float]:
+        """Click-count distribution over document categories (for linking)."""
+        counts: dict[str, float] = {}
+        total = 0.0
+        for query in cluster.queries:
+            for doc_id, clicks in self._graph.docs_for_query(query).items():
+                category = self._graph.category(doc_id)
+                if category:
+                    counts[category] = counts.get(category, 0.0) + clicks
+                    total += clicks
+        if total > 0:
+            counts = {c: v / total for c, v in counts.items()}
+        return counts
+
+    # ------------------------------------------------------------------
+    def mine(self, seed_queries: "list[str] | None" = None,
+             kind: str = "concept") -> list[MinedAttention]:
+        """Run the full pipeline; returns canonical mined attentions.
+
+        Near-duplicate phrases are merged by the normalizer; one
+        :class:`MinedAttention` is returned per *canonical* phrase, with the
+        cluster of its first extraction as provenance.
+        """
+        seeds = seed_queries if seed_queries is not None else self._graph.queries()
+        mined: dict[int, MinedAttention] = {}
+        for seed in seeds:
+            cluster = self._clusterer.cluster(seed)
+            phrase = self.mine_cluster(cluster, kind=kind)
+            if phrase is None:
+                continue
+            canonical = self._normalizer.add(phrase)
+            key = id(canonical)
+            if key in mined:
+                for cat, weight in self._cluster_categories(cluster).items():
+                    existing = mined[key].categories
+                    existing[cat] = max(existing.get(cat, 0.0), weight)
+            else:
+                mined[key] = MinedAttention(
+                    phrase=canonical,
+                    cluster=cluster,
+                    categories=self._cluster_categories(cluster),
+                )
+        return list(mined.values())

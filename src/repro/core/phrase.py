@@ -1,0 +1,126 @@
+"""Attention phrases and normalization.
+
+The same user attention is often expressed by slightly different phrases
+("fuel efficient cars" / "top fuel efficient cars").  After extraction the
+paper merges a new phrase into an existing node when (i) their non-stop
+words are the same or synonyms and (ii) the TF-IDF similarity of their
+*context-enriched representations* (phrase + top-5 clicked titles) exceeds
+a threshold ``delta_m`` (Section 3.1, "Attention Phrase Normalization").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import MiningConfig
+from ..text.embeddings import WordEmbeddings
+from ..text.stopwords import content_words
+from ..text.vectorizer import TfidfVectorizer
+
+
+@dataclass
+class AttentionPhrase:
+    """A mined phrase with its supporting context."""
+
+    tokens: list[str]
+    kind: str = "concept"  # concept | event | topic
+    context_titles: list[list[str]] = field(default_factory=list)
+    support: float = 1.0  # aggregate click support
+    aliases: list[str] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        return " ".join(self.tokens)
+
+    def context_tokens(self) -> list[str]:
+        """Context-enriched representation: phrase + top clicked titles."""
+        out = list(self.tokens)
+        for title in self.context_titles[:5]:
+            out.extend(title)
+        return out
+
+
+class PhraseNormalizer:
+    """Merges near-duplicate phrases into canonical attention phrases."""
+
+    def __init__(self, config: "MiningConfig | None" = None,
+                 embeddings: "WordEmbeddings | None" = None,
+                 synonym_threshold: float = 0.8) -> None:
+        self._config = config or MiningConfig()
+        self._embeddings = embeddings
+        self._synonym_threshold = synonym_threshold
+        self._vectorizer = TfidfVectorizer()
+        self._phrases: list[AttentionPhrase] = []
+
+    @property
+    def phrases(self) -> list[AttentionPhrase]:
+        return list(self._phrases)
+
+    def __len__(self) -> int:
+        return len(self._phrases)
+
+    # ------------------------------------------------------------------
+    def _words_match(self, a: str, b: str) -> bool:
+        if a == b:
+            return True
+        if self._embeddings is not None:
+            return self._embeddings.similarity(a, b) >= self._synonym_threshold
+        return False
+
+    def _content_similar(self, new: AttentionPhrase, old: AttentionPhrase) -> bool:
+        """Criterion (i): non-stop words same or synonyms (set-wise)."""
+        words_new = content_words(new.tokens)
+        words_old = content_words(old.tokens)
+        if not words_new or not words_old:
+            return False
+        matched_new = sum(
+            1 for wn in words_new if any(self._words_match(wn, wo) for wo in words_old)
+        )
+        matched_old = sum(
+            1 for wo in words_old if any(self._words_match(wo, wn) for wn in words_new)
+        )
+        return matched_new == len(words_new) and matched_old == len(words_old)
+
+    def _context_similar(self, new: AttentionPhrase, old: AttentionPhrase) -> bool:
+        """Criterion (ii): TF-IDF similarity of context reps above delta_m."""
+        sim = self._vectorizer.similarity(new.context_tokens(), old.context_tokens())
+        return sim >= self._config.merge_threshold
+
+    def find_match(self, phrase: AttentionPhrase) -> "AttentionPhrase | None":
+        """The existing phrase ``phrase`` should merge into, if any."""
+        for old in self._phrases:
+            if old.kind != phrase.kind:
+                continue
+            if self._content_similar(phrase, old) and self._context_similar(phrase, old):
+                return old
+        return None
+
+    def add(self, phrase: AttentionPhrase) -> AttentionPhrase:
+        """Merge ``phrase`` into an existing entry or append it.
+
+        Returns the canonical phrase object (the merge target or the phrase
+        itself).
+        """
+        if not phrase.tokens:
+            return phrase
+        self._vectorizer.partial_fit(phrase.context_tokens())
+        match = self.find_match(phrase)
+        if match is None:
+            self._phrases.append(phrase)
+            return phrase
+        if phrase.text != match.text and phrase.text not in match.aliases:
+            match.aliases.append(phrase.text)
+        match.support += phrase.support
+        # Keep the shorter phrase as canonical (the paper keeps the most
+        # general form; the longer variants usually add modifiers).
+        if len(phrase.tokens) < len(match.tokens):
+            match.aliases.append(match.text)
+            match.tokens = list(phrase.tokens)
+            if phrase.text in match.aliases:
+                match.aliases.remove(phrase.text)
+        match.context_titles.extend(phrase.context_titles)
+        return match
+
+    def add_all(self, phrases: "list[AttentionPhrase]") -> list[AttentionPhrase]:
+        """Normalise a batch; returns canonical phrases in insertion order."""
+        return [self.add(p) for p in phrases]

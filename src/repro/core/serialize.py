@@ -1,0 +1,91 @@
+"""Ontology persistence: JSON round-trip.
+
+The production system stores the ontology in MySQL behind Tars RPC
+services; this module provides the equivalent durable representation for
+the reproduction — a deterministic JSON document that fully reconstructs
+nodes (with aliases and payloads) and edges (with types and weights).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import OntologyError
+from .ontology import AttentionOntology, EdgeType, NodeType
+
+FORMAT_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce payload values to JSON-compatible structures."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def ontology_to_dict(ontology: AttentionOntology) -> dict:
+    """Serialise an ontology to a plain dict."""
+    nodes = []
+    for node in ontology.nodes():
+        nodes.append({
+            "id": node.node_id,
+            "type": node.node_type.value,
+            "phrase": node.phrase,
+            "aliases": sorted(node.aliases),
+            "payload": _jsonable(node.payload),
+        })
+    nodes.sort(key=lambda n: n["id"])
+    edges = [
+        {
+            "source": e.source,
+            "target": e.target,
+            "type": e.edge_type.value,
+            "weight": e.weight,
+        }
+        for e in sorted(ontology.edges(),
+                        key=lambda e: (e.source, e.target, e.edge_type.value))
+    ]
+    return {"version": FORMAT_VERSION, "nodes": nodes, "edges": edges}
+
+
+def ontology_from_dict(data: dict) -> AttentionOntology:
+    """Reconstruct an ontology from :func:`ontology_to_dict` output."""
+    if data.get("version") != FORMAT_VERSION:
+        raise OntologyError(f"unsupported ontology format: {data.get('version')!r}")
+    ontology = AttentionOntology()
+    id_map: dict[str, str] = {}
+    for node_data in data["nodes"]:
+        node = ontology.add_node(
+            NodeType(node_data["type"]), node_data["phrase"],
+            payload=node_data.get("payload") or {},
+        )
+        id_map[node_data["id"]] = node.node_id
+        for alias in node_data.get("aliases", []):
+            ontology.add_alias(node.node_id, alias)
+    for edge_data in data["edges"]:
+        source = id_map.get(edge_data["source"])
+        target = id_map.get(edge_data["target"])
+        if source is None or target is None:
+            raise OntologyError("edge references unknown node id")
+        etype = EdgeType(edge_data["type"])
+        if not ontology.has_edge(source, target, etype):
+            ontology.add_edge(source, target, etype,
+                              weight=edge_data.get("weight", 1.0))
+    return ontology
+
+
+def save_ontology(ontology: AttentionOntology, path: str) -> None:
+    """Write the ontology to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(ontology_to_dict(ontology), handle, indent=1, sort_keys=True)
+
+
+def load_ontology(path: str) -> AttentionOntology:
+    """Read an ontology from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return ontology_from_dict(json.load(handle))

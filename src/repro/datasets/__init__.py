@@ -1,0 +1,14 @@
+"""Dataset builders: the Concept Mining Dataset (CMD) and Event Mining
+Dataset (EMD) of paper Section 5.2, constructed from the synthetic world.
+
+Each example is a query-title cluster with a gold phrase (and, for EMD, the
+gold key elements: entities, trigger, location), mirroring the datasets the
+authors built from Tencent logs (10,000 / 10,668 examples; scale here is a
+config knob).  Splits are 80/10/10 train/dev/test.
+"""
+
+from .examples import MiningExample, split_dataset
+from .cmd import build_cmd
+from .emd import build_emd
+
+__all__ = ["MiningExample", "split_dataset", "build_cmd", "build_emd"]

@@ -1,0 +1,116 @@
+"""Concept Mining Dataset (CMD) builder.
+
+Each example is a cluster of correlated queries and top-clicked titles for
+one ground-truth concept, with the concept tokens as the gold phrase.  The
+generator reuses the same query/title templates as the click-log generator
+(including in-phrase modifier insertion) so examples carry the paper's
+characteristic structure: gold tokens recur across texts, are sometimes
+non-contiguous, and keep a consistent order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import make_rng
+from ..synth.vocab import (
+    CONCEPT_MODIFIERS,
+    CONCEPT_QUERY_TEMPLATES,
+    CONCEPT_QUERY_TEMPLATES_NOISY,
+    CONCEPT_TITLE_TEMPLATES,
+    ENTITY_TITLE_TEMPLATES,
+)
+from ..synth.querylog import mention_with_insertion
+from ..synth.world import World
+from ..text.tokenizer import tokenize
+from .examples import MiningExample
+
+
+def build_cmd(world: World, examples_per_concept: int = 3,
+              seed: int = 7, noise: float = 0.35) -> list[MiningExample]:
+    """Build the CMD from a world.
+
+    Args:
+        world: ground-truth world.
+        examples_per_concept: independent cluster draws per concept.
+        seed: RNG seed (independent of the click-log stream).
+        noise: probability that a query uses a free-form (pattern-less)
+            phrasing, and that a query mentions the concept only partially
+            (real queries rarely state the full canonical phrase — paper
+            Figure 3).
+
+    Returns:
+        List of concept-mining examples.
+    """
+    rng = make_rng(seed)
+    examples: list[MiningExample] = []
+    for concept in world.concepts.values():
+        for _draw in range(examples_per_concept):
+            examples.append(_draw_example(concept, rng, noise))
+    return examples
+
+
+# Trailing decorations real users type; each decoration varies, so pattern
+# bootstrapping cannot reliably absorb them into prefix/suffix patterns.
+QUERY_DECORATIONS: tuple[str, ...] = (
+    "2017", "2018", "2019", "2020", "reddit", "forum", "reviews", "ranked",
+    "usa", "uk", "comparison", "guide",
+)
+
+
+def partial_mention(phrase: str, rng: np.random.Generator) -> str:
+    """Drop one leading/inner token of a multi-token concept mention.
+
+    "hayao miyazaki animated films" -> "miyazaki animated films": real
+    queries abbreviate; the full phrase only surfaces across the cluster.
+    The head noun (last token) is always kept.
+    """
+    tokens = phrase.split()
+    if len(tokens) < 2:
+        return phrase
+    drop = int(rng.integers(0, len(tokens) - 1))
+    return " ".join(tokens[:drop] + tokens[drop + 1 :])
+
+
+def _draw_example(concept, rng: np.random.Generator,
+                  noise: float = 0.35) -> MiningExample:
+    num_queries = int(rng.integers(2, 5))
+    queries = []
+    for _k in range(num_queries):
+        if rng.random() < noise:
+            template = str(rng.choice(list(CONCEPT_QUERY_TEMPLATES_NOISY)))
+        else:
+            template = str(rng.choice(list(CONCEPT_QUERY_TEMPLATES)))
+        mention = concept.phrase
+        if rng.random() < noise:
+            mention = partial_mention(concept.phrase, rng)
+        query = template.format(mention)
+        if rng.random() < noise:
+            query = f"{query} {rng.choice(list(QUERY_DECORATIONS))}"
+        queries.append(tokenize(query))
+
+    titles: list[list[str]] = []
+    num_titles = int(rng.integers(2, 5))
+    title_idx = rng.choice(len(CONCEPT_TITLE_TEMPLATES), size=min(num_titles, len(CONCEPT_TITLE_TEMPLATES)), replace=False)
+    for i in title_idx:
+        # Titles mention the concept "in a more detailed manner" (paper
+        # Sec. 3.1): most carry an inserted modifier inside the phrase span.
+        modifier = (
+            str(rng.choice(list(CONCEPT_MODIFIERS))) if rng.random() < 0.8 else None
+        )
+        mention = mention_with_insertion(concept.phrase, modifier)
+        titles.append(tokenize(CONCEPT_TITLE_TEMPLATES[i].format(mention)))
+    # One member-entity title to add realistic distractor tokens.
+    if concept.members and rng.random() < 0.7:
+        entity = concept.members[int(rng.integers(0, len(concept.members)))]
+        template = str(rng.choice(list(ENTITY_TITLE_TEMPLATES)))
+        titles.append(tokenize(template.format(entity=entity, concept=concept.phrase)))
+
+    return MiningExample(
+        queries=queries,
+        titles=titles,
+        gold_tokens=tokenize(concept.phrase),
+        kind="concept",
+        source_phrase=concept.phrase,
+        category=concept.category[2],
+    )

@@ -1,0 +1,54 @@
+"""Common example container and split logic for CMD/EMD."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import make_rng
+
+
+@dataclass
+class MiningExample:
+    """One query-title cluster with gold annotations.
+
+    Attributes:
+        queries: tokenized correlated queries (descending weight).
+        titles: tokenized top clicked titles (descending click count).
+        gold_tokens: the gold phrase tokens (concept or event).
+        kind: "concept" or "event".
+        token_roles: for events — token -> role (entity/trigger/location).
+        source_phrase: the ground-truth phrase string.
+        day: event publication day (events only; earliest article time).
+        category: leaf category of the cluster's documents.
+    """
+
+    queries: list[list[str]]
+    titles: list[list[str]]
+    gold_tokens: list[str]
+    kind: str = "concept"
+    token_roles: dict[str, str] = field(default_factory=dict)
+    source_phrase: str = ""
+    day: int = 0
+    category: str = ""
+
+    @property
+    def gold_text(self) -> str:
+        return " ".join(self.gold_tokens)
+
+
+def split_dataset(examples: "list[MiningExample]", seed: int = 0,
+                  train_frac: float = 0.8, dev_frac: float = 0.1
+                  ) -> tuple[list[MiningExample], list[MiningExample], list[MiningExample]]:
+    """Shuffle and split into train/dev/test (80/10/10 by default)."""
+    rng = make_rng(seed)
+    order = np.arange(len(examples))
+    rng.shuffle(order)
+    n = len(examples)
+    n_train = int(round(n * train_frac))
+    n_dev = int(round(n * dev_frac))
+    train = [examples[i] for i in order[:n_train]]
+    dev = [examples[i] for i in order[n_train : n_train + n_dev]]
+    test = [examples[i] for i in order[n_train + n_dev :]]
+    return train, dev, test

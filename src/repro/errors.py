@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro (GIANT reproduction) library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration value is invalid or inconsistent."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed click graphs or query-title interaction graphs."""
+
+
+class OntologyError(ReproError):
+    """Raised for invalid ontology operations (cycles, unknown nodes, ...)."""
+
+
+class TrainingError(ReproError):
+    """Raised when a model cannot be trained (empty dataset, shape errors)."""
+
+
+class DecodingError(ReproError):
+    """Raised when ATSP decoding cannot produce a valid phrase ordering."""

@@ -1,0 +1,25 @@
+"""Evaluation: metrics (EM / token-F1 / COV, macro/micro/weighted F1) and
+table/figure rendering helpers for the benchmark harness."""
+
+from .metrics import (
+    exact_match,
+    token_f1,
+    evaluate_phrases,
+    multiclass_f1,
+    PhraseScores,
+)
+from .reporting import render_table, render_series
+from .runner import PhraseMiningExperiment, MethodResult, error_analysis
+
+__all__ = [
+    "exact_match",
+    "token_f1",
+    "evaluate_phrases",
+    "multiclass_f1",
+    "PhraseScores",
+    "render_table",
+    "render_series",
+    "PhraseMiningExperiment",
+    "MethodResult",
+    "error_analysis",
+]

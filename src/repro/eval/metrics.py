@@ -1,0 +1,104 @@
+"""Evaluation metrics.
+
+Phrase mining (Tables 5-6): Exact Match, token-overlap F1 (SQuAD-style,
+Rajpurkar et al. 2016) and coverage rate (fraction of non-empty
+predictions).  Key-element recognition (Table 7): macro / micro / weighted
+F1 over the four classes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def exact_match(predicted: list[str], gold: list[str]) -> float:
+    """1.0 if the token sequences are identical, else 0.0."""
+    return 1.0 if list(predicted) == list(gold) else 0.0
+
+
+def token_f1(predicted: list[str], gold: list[str]) -> float:
+    """Multiset token-overlap F1 between prediction and gold."""
+    if not predicted or not gold:
+        return 1.0 if not predicted and not gold else 0.0
+    common = Counter(predicted) & Counter(gold)
+    overlap = sum(common.values())
+    if overlap == 0:
+        return 0.0
+    precision = overlap / len(predicted)
+    recall = overlap / len(gold)
+    return 2 * precision * recall / (precision + recall)
+
+
+@dataclass
+class PhraseScores:
+    """Aggregate phrase-mining scores (one Table 5/6 row)."""
+
+    em: float
+    f1: float
+    coverage: float
+    count: int
+
+    def as_row(self) -> dict[str, float]:
+        return {"EM": self.em, "F1": self.f1, "COV": self.coverage}
+
+
+def evaluate_phrases(predictions: "list[list[str]]", golds: "list[list[str]]"
+                     ) -> PhraseScores:
+    """Score a list of predicted phrases against gold phrases.
+
+    EM and F1 are averaged over *non-empty* predictions (the paper pairs
+    them with a separate coverage-rate column: e.g. Match has EM 0.1494 at
+    COV 0.3639 — scores are conditional on producing an output).
+    """
+    if len(predictions) != len(golds):
+        raise ValueError("predictions/golds length mismatch")
+    if not predictions:
+        return PhraseScores(0.0, 0.0, 0.0, 0)
+    nonempty = [(p, g) for p, g in zip(predictions, golds) if p]
+    coverage = len(nonempty) / len(predictions)
+    if not nonempty:
+        return PhraseScores(0.0, 0.0, 0.0, len(predictions))
+    em = float(np.mean([exact_match(p, g) for p, g in nonempty]))
+    f1 = float(np.mean([token_f1(p, g) for p, g in nonempty]))
+    return PhraseScores(em, f1, coverage, len(predictions))
+
+
+def multiclass_f1(y_true: "list[int] | np.ndarray", y_pred: "list[int] | np.ndarray",
+                  num_classes: int) -> dict[str, float]:
+    """F1-macro, F1-micro and F1-weighted for integer-labelled classes."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("length mismatch")
+    f1s = np.zeros(num_classes)
+    support = np.zeros(num_classes)
+    tp_total = fp_total = fn_total = 0
+    for cls in range(num_classes):
+        tp = int(((y_pred == cls) & (y_true == cls)).sum())
+        fp = int(((y_pred == cls) & (y_true != cls)).sum())
+        fn = int(((y_pred != cls) & (y_true == cls)).sum())
+        tp_total += tp
+        fp_total += fp
+        fn_total += fn
+        denom = 2 * tp + fp + fn
+        f1s[cls] = (2 * tp / denom) if denom else 0.0
+        support[cls] = int((y_true == cls).sum())
+    macro = float(f1s.mean())
+    micro_denom = 2 * tp_total + fp_total + fn_total
+    micro = (2 * tp_total / micro_denom) if micro_denom else 0.0
+    weighted = float((f1s * support).sum() / support.sum()) if support.sum() else 0.0
+    return {"F1-macro": macro, "F1-micro": float(micro), "F1-weighted": weighted}
+
+
+def precision_recall_f1(true_set: set, pred_set: set) -> tuple[float, float, float]:
+    """Set-based precision/recall/F1 (used for edge-accuracy evaluation)."""
+    if not pred_set:
+        return (0.0, 0.0, 0.0) if true_set else (1.0, 1.0, 1.0)
+    tp = len(true_set & pred_set)
+    precision = tp / len(pred_set)
+    recall = tp / len(true_set) if true_set else 1.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return precision, recall, f1

@@ -1,0 +1,62 @@
+"""Plain-text table and series renderers for the benchmark harness.
+
+Benchmarks print the same rows/columns as the paper's tables and the same
+series as its figures; these helpers keep the formatting consistent.
+"""
+
+from __future__ import annotations
+
+
+def render_table(title: str, columns: list[str],
+                 rows: "list[tuple[str, dict[str, float]]]",
+                 precision: int = 4) -> str:
+    """Render a method-by-metric table.
+
+    Args:
+        title: table caption.
+        columns: metric names, in display order.
+        rows: (method name, {metric: value}) pairs.
+        precision: decimal places.
+    """
+    name_width = max([len("Method")] + [len(name) for name, _vals in rows])
+    col_width = max([precision + 4] + [len(c) for c in columns]) + 2
+    lines = [title, ""]
+    header = "Method".ljust(name_width) + "".join(c.rjust(col_width) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, values in rows:
+        cells = []
+        for col in columns:
+            value = values.get(col)
+            cells.append(
+                ("-" if value is None else f"{value:.{precision}f}").rjust(col_width)
+            )
+        lines.append(name.ljust(name_width) + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_labels: "list[str]",
+                  series: "dict[str, list[float]]", precision: int = 2,
+                  unit: str = "") -> str:
+    """Render figure-style series (one row per x value, one column per arm)."""
+    names = list(series)
+    label_width = max([len("x")] + [len(x) for x in x_labels]) + 2
+    col_width = max([precision + 6] + [len(n) for n in names]) + 2
+    lines = [title, ""]
+    header = "x".ljust(label_width) + "".join(n.rjust(col_width) for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(x_labels):
+        cells = []
+        for name in names:
+            values = series[name]
+            cell = f"{values[i]:.{precision}f}{unit}" if i < len(values) else "-"
+            cells.append(cell.rjust(col_width))
+        lines.append(str(x).ljust(label_width) + "".join(cells))
+    means = {n: sum(v) / len(v) for n, v in series.items() if v}
+    lines.append("-" * len(header))
+    lines.append(
+        "mean".ljust(label_width)
+        + "".join(f"{means[n]:.{precision}f}{unit}".rjust(col_width) for n in names)
+    )
+    return "\n".join(lines)

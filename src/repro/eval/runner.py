@@ -1,0 +1,86 @@
+"""Experiment runner: uniform fit/extract comparison of phrase miners.
+
+Tables 5 and 6 compare heterogeneous methods (unsupervised extractors,
+sequence taggers, seq2seq, GCTSP-Net) on the same train/test split.  The
+runner normalises them behind one protocol:
+
+* a method is any object with ``extract(queries, titles) -> list[str]``;
+* methods exposing ``fit_examples(train)`` are fitted first;
+* results come back as (name, {EM, F1, COV}) rows ready for rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from ..datasets.examples import MiningExample
+from .metrics import PhraseScores, evaluate_phrases
+
+
+@runtime_checkable
+class PhraseMiner(Protocol):
+    """Anything that can extract a phrase from a query-title cluster."""
+
+    def extract(self, queries: "list[list[str]]", titles: "list[list[str]]"
+                ) -> list[str]:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class MethodResult:
+    """Scores plus raw predictions of one method."""
+
+    name: str
+    scores: PhraseScores
+    predictions: list[list[str]] = field(default_factory=list)
+
+    def as_row(self) -> tuple[str, dict[str, float]]:
+        return (self.name, self.scores.as_row())
+
+
+class PhraseMiningExperiment:
+    """Fits and evaluates a set of phrase-mining methods on one split."""
+
+    def __init__(self) -> None:
+        self._methods: list[tuple[str, PhraseMiner, dict]] = []
+
+    def add(self, name: str, method: PhraseMiner, **fit_kwargs) -> "PhraseMiningExperiment":
+        """Register a method; ``fit_kwargs`` go to its fit_examples()."""
+        if not hasattr(method, "extract"):
+            raise TypeError(f"method {name!r} has no extract()")
+        self._methods.append((name, method, fit_kwargs))
+        return self
+
+    def run(self, train: "list[MiningExample]", test: "list[MiningExample]"
+            ) -> list[MethodResult]:
+        """Fit (where supported) and evaluate every registered method."""
+        results: list[MethodResult] = []
+        golds = [e.gold_tokens for e in test]
+        for name, method, fit_kwargs in self._methods:
+            fit = getattr(method, "fit_examples", None)
+            if callable(fit):
+                fit(train, **fit_kwargs)
+            predictions = [method.extract(e.queries, e.titles) for e in test]
+            scores = evaluate_phrases(predictions, golds)
+            results.append(MethodResult(name, scores, predictions))
+        return results
+
+    def rows(self, results: "list[MethodResult]") -> list[tuple[str, dict[str, float]]]:
+        return [r.as_row() for r in results]
+
+
+def error_analysis(result: MethodResult, test: "list[MiningExample]",
+                   limit: int = 5) -> list[dict]:
+    """The first ``limit`` mismatches of a method (for inspection)."""
+    out = []
+    for prediction, example in zip(result.predictions, test):
+        if prediction != example.gold_tokens:
+            out.append({
+                "gold": example.gold_tokens,
+                "predicted": prediction,
+                "queries": example.queries,
+            })
+            if len(out) >= limit:
+                break
+    return out

@@ -1,0 +1,18 @@
+"""Click-graph substrate: bipartite search click graph, random-walk
+query-doc clustering (paper Eq. 1-2), and the Query-Title Interaction Graph
+(paper Algorithm 2) with its ATSP-decoding variant.
+"""
+
+from .click_graph import ClickGraph, QueryDocCluster
+from .random_walk import RandomWalkClusterer
+from .qtig import QueryTitleGraph, build_qtig, RELATION_SEQ, RELATION_INV_SUFFIX
+
+__all__ = [
+    "ClickGraph",
+    "QueryDocCluster",
+    "RandomWalkClusterer",
+    "QueryTitleGraph",
+    "build_qtig",
+    "RELATION_SEQ",
+    "RELATION_INV_SUFFIX",
+]

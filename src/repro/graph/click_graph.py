@@ -1,0 +1,133 @@
+"""Bipartite search click graph.
+
+The click graph G_sc = (Q, D, E) records how often each query led to a click
+on each document (paper Section 3.1, "Problem Definition").  Transport
+probabilities between a query and its clicked documents follow Eq. (1)-(2):
+
+    P(d_j | q_i) = c(q_i, d_j) / sum_k c(q_i, d_k)
+    P(q_i | d_j) = c(q_i, d_j) / sum_k c(q_k, d_j)
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..errors import GraphError
+
+
+@dataclass
+class QueryDocCluster:
+    """A cluster of correlated queries and documents around a seed query.
+
+    Queries and docs are ordered by descending random-walk weight — QTIG
+    construction relies on this order (higher-weighted text wins edge ties).
+    """
+
+    seed_query: str
+    queries: list[str] = field(default_factory=list)
+    doc_ids: list[str] = field(default_factory=list)
+    query_weights: dict[str, float] = field(default_factory=dict)
+    doc_weights: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.seed_query and self.seed_query not in self.queries:
+            self.queries.insert(0, self.seed_query)
+            self.query_weights.setdefault(self.seed_query, 1.0)
+
+
+class ClickGraph:
+    """Mutable bipartite click graph with cached transport probabilities."""
+
+    def __init__(self) -> None:
+        self._clicks: dict[str, dict[str, float]] = defaultdict(dict)  # q -> d -> count
+        self._reverse: dict[str, dict[str, float]] = defaultdict(dict)  # d -> q -> count
+        self._doc_titles: dict[str, str] = {}
+        self._doc_categories: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_click(self, query: str, doc_id: str, count: float = 1.0,
+                  title: "str | None" = None, category: "str | None" = None) -> None:
+        """Record ``count`` clicks from ``query`` to ``doc_id``."""
+        if count <= 0:
+            raise GraphError("click count must be positive")
+        self._clicks[query][doc_id] = self._clicks[query].get(doc_id, 0.0) + count
+        self._reverse[doc_id][query] = self._reverse[doc_id].get(query, 0.0) + count
+        if title is not None:
+            self._doc_titles[doc_id] = title
+        if category is not None:
+            self._doc_categories[doc_id] = category
+
+    def set_title(self, doc_id: str, title: str) -> None:
+        self._doc_titles[doc_id] = title
+
+    def set_category(self, doc_id: str, category: str) -> None:
+        self._doc_categories[doc_id] = category
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_queries(self) -> int:
+        return len(self._clicks)
+
+    @property
+    def num_docs(self) -> int:
+        return len(self._reverse)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(docs) for docs in self._clicks.values())
+
+    def queries(self) -> list[str]:
+        return list(self._clicks.keys())
+
+    def doc_ids(self) -> list[str]:
+        return list(self._reverse.keys())
+
+    def title(self, doc_id: str) -> str:
+        return self._doc_titles.get(doc_id, "")
+
+    def category(self, doc_id: str) -> "str | None":
+        return self._doc_categories.get(doc_id)
+
+    def clicks(self, query: str, doc_id: str) -> float:
+        """c(q, d): number of recorded clicks on the pair."""
+        return self._clicks.get(query, {}).get(doc_id, 0.0)
+
+    def docs_for_query(self, query: str) -> dict[str, float]:
+        """N(q): clicked documents of ``query`` with counts."""
+        return dict(self._clicks.get(query, {}))
+
+    def queries_for_doc(self, doc_id: str) -> dict[str, float]:
+        """N(d): queries that clicked ``doc_id`` with counts."""
+        return dict(self._reverse.get(doc_id, {}))
+
+    # ------------------------------------------------------------------
+    # transport probabilities (Eq. 1-2)
+    # ------------------------------------------------------------------
+    def p_doc_given_query(self, query: str) -> dict[str, float]:
+        """P(d | q) over clicked docs of ``query``."""
+        docs = self._clicks.get(query)
+        if not docs:
+            return {}
+        total = sum(docs.values())
+        return {d: c / total for d, c in docs.items()}
+
+    def p_query_given_doc(self, doc_id: str) -> dict[str, float]:
+        """P(q | d) over queries of ``doc_id``."""
+        queries = self._reverse.get(doc_id)
+        if not queries:
+            return {}
+        total = sum(queries.values())
+        return {q: c / total for q, c in queries.items()}
+
+    def merge(self, other: "ClickGraph") -> None:
+        """Fold another day's click graph into this one."""
+        for query, docs in other._clicks.items():
+            for doc_id, count in docs.items():
+                self.add_click(query, doc_id, count)
+        self._doc_titles.update(other._doc_titles)
+        self._doc_categories.update(other._doc_categories)

@@ -1,0 +1,230 @@
+"""Query-Title Interaction Graph (paper Section 3.1, Algorithm 2).
+
+A QTIG merges the tokens of a query-title cluster into a single graph:
+
+* one node per unique token, plus virtual ``<sos>`` / ``<eos>`` nodes
+  prepended/appended to every input text;
+* a bi-directional ``seq`` edge between tokens adjacent in any input;
+* a bi-directional typed edge for every syntactic dependency between
+  non-adjacent tokens;
+* **first-edge-kept policy**: a node pair is connected by at most one edge —
+  the first one constructed wins.  Since texts are visited in descending
+  random-walk weight and seq edges are added before dependency edges, this
+  realises the paper's preference order (seq > dependency, high-weight text >
+  low-weight text).
+
+The class also produces the *decoding variant* used by ATSP-decoding:
+uni-directional seq edges following input order, ``sos`` wired to the first
+predicted-positive token of each text and the last positive token of each
+text wired to ``eos``; pairwise distances are BFS shortest paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import GraphError
+from ..text.dependency import DependencyParser, DependencyArc
+
+RELATION_SEQ = "seq"
+RELATION_INV_SUFFIX = "_inv"
+
+SOS, EOS = "<sos>", "<eos>"
+
+
+@dataclass
+class QueryTitleGraph:
+    """The constructed interaction graph.
+
+    Attributes:
+        tokens: node id -> token surface (ids 0 and 1 are ``<sos>``/``<eos>``).
+        node_ids: token surface -> node id.
+        edges: directed forward edges (u, v) -> relation label.  Every edge
+            implicitly has an inverse counterpart (label + ``_inv``).
+        texts: the input texts as lists of node ids **including** sos/eos.
+        text_kinds: per text, ``"query"`` or ``"title"``.
+    """
+
+    tokens: list[str] = field(default_factory=lambda: [SOS, EOS])
+    node_ids: dict[str, int] = field(default_factory=lambda: {SOS: 0, EOS: 1})
+    edges: dict[tuple[int, int], str] = field(default_factory=dict)
+    texts: list[list[int]] = field(default_factory=list)
+    text_kinds: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # node/edge helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def sos_id(self) -> int:
+        return 0
+
+    @property
+    def eos_id(self) -> int:
+        return 1
+
+    def node_id(self, token: str) -> int:
+        try:
+            return self.node_ids[token]
+        except KeyError:
+            raise GraphError(f"token {token!r} not in graph") from None
+
+    def _intern(self, token: str) -> int:
+        idx = self.node_ids.get(token)
+        if idx is None:
+            idx = len(self.tokens)
+            self.node_ids[token] = idx
+            self.tokens.append(token)
+        return idx
+
+    def _pair_connected(self, u: int, v: int) -> bool:
+        return (u, v) in self.edges or (v, u) in self.edges
+
+    def _add_edge(self, u: int, v: int, label: str) -> bool:
+        """Add a forward edge unless the pair is already connected."""
+        if u == v or self._pair_connected(u, v):
+            return False
+        self.edges[(u, v)] = label
+        return True
+
+    # ------------------------------------------------------------------
+    # relations and adjacency for the R-GCN
+    # ------------------------------------------------------------------
+    def relation_labels(self) -> list[str]:
+        """Sorted distinct forward labels present in the graph."""
+        return sorted(set(self.edges.values()))
+
+    def adjacency_matrices(self, relation_vocab: "list[str] | None" = None
+                           ) -> tuple[list[np.ndarray], list[str]]:
+        """Per-relation row-normalised adjacency matrices.
+
+        Each forward label contributes two relations (forward + ``_inv``).
+        ``A_r[v, u] = 1`` means node v receives a message from node u.
+
+        Args:
+            relation_vocab: optional fixed forward-label vocabulary so that
+                different graphs share relation indices (required when one
+                trained model processes many graphs).  Labels in the graph
+                but not in the vocabulary are mapped to the first label.
+        """
+        from ..nn.rgcn import normalize_adjacency
+
+        labels = relation_vocab if relation_vocab is not None else self.relation_labels()
+        if not labels:
+            labels = [RELATION_SEQ]
+        index = {lab: i for i, lab in enumerate(labels)}
+        n = self.num_nodes
+        num_rel = 2 * len(labels)
+        mats = [np.zeros((n, n)) for _ in range(num_rel)]
+        for (u, v), label in self.edges.items():
+            r = index.get(label, 0)
+            mats[2 * r][v, u] = 1.0  # forward: v receives from u
+            mats[2 * r + 1][u, v] = 1.0  # inverse: u receives from v
+        mats = [normalize_adjacency(m) for m in mats]
+        relation_names = []
+        for lab in labels:
+            relation_names.append(lab)
+            relation_names.append(lab + RELATION_INV_SUFFIX)
+        return mats, relation_names
+
+    # ------------------------------------------------------------------
+    # decoding variant + distances (for ATSP decoding)
+    # ------------------------------------------------------------------
+    def decoding_adjacency(self, positive_nodes: "set[int] | list[int]") -> dict[int, set[int]]:
+        """Directed successor sets of the ATSP-decoding variant."""
+        positive = set(positive_nodes)
+        succ: dict[int, set[int]] = {i: set() for i in range(self.num_nodes)}
+        for text in self.texts:
+            body = [t for t in text if t not in (self.sos_id, self.eos_id)]
+            for a, b in zip(body, body[1:]):
+                succ[a].add(b)
+            pos_in_text = [t for t in body if t in positive]
+            if pos_in_text:
+                succ[self.sos_id].add(pos_in_text[0])
+                succ[pos_in_text[-1]].add(self.eos_id)
+        return succ
+
+    def decoding_distances(self, nodes: list[int],
+                           positive_nodes: "set[int] | list[int]") -> np.ndarray:
+        """Pairwise BFS shortest-path distances between ``nodes``.
+
+        Unreachable pairs get a large finite penalty (2 * num_nodes) so the
+        ATSP solver still returns a tour.
+        """
+        succ = self.decoding_adjacency(positive_nodes)
+        n = self.num_nodes
+        penalty = float(2 * n + 1)
+        out = np.full((len(nodes), len(nodes)), penalty)
+        for i, source in enumerate(nodes):
+            dist = self._bfs(succ, source)
+            for j, target in enumerate(nodes):
+                if i == j:
+                    out[i, j] = 0.0
+                elif dist[target] >= 0:
+                    out[i, j] = float(dist[target])
+        return out
+
+    def _bfs(self, succ: dict[int, set[int]], source: int) -> list[int]:
+        dist = [-1] * self.num_nodes
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in succ[u]:
+                if dist[v] < 0:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        return dist
+
+
+def build_qtig(queries: list[list[str]], titles: list[list[str]],
+               parser: "DependencyParser | None" = None,
+               keep_all_edges: bool = False) -> QueryTitleGraph:
+    """Construct a QTIG from tokenized queries and titles (Algorithm 2).
+
+    Args:
+        queries: tokenized queries, ordered by descending random-walk weight.
+        titles: tokenized document titles, same ordering.
+        parser: dependency parser (a default rule parser when omitted).
+        keep_all_edges: disable the first-edge-kept policy (ablation knob;
+            the paper reports first-edge-kept works better).
+
+    Returns:
+        The interaction graph.
+    """
+    parser = parser or DependencyParser()
+    graph = QueryTitleGraph()
+
+    all_texts = [(q, "query") for q in queries] + [(t, "title") for t in titles]
+
+    # Pass 1: nodes + seq edges (paper Algorithm 2, lines 2-7).
+    for tokens, kind in all_texts:
+        ids = [graph.sos_id] + [graph._intern(t) for t in tokens] + [graph.eos_id]
+        graph.texts.append(ids)
+        graph.text_kinds.append(kind)
+        for a, b in zip(ids, ids[1:]):
+            if keep_all_edges:
+                graph.edges.setdefault((a, b), RELATION_SEQ)
+            else:
+                graph._add_edge(a, b, RELATION_SEQ)
+
+    # Pass 2: dependency edges (lines 8-12).
+    for tokens, _kind in all_texts:
+        if not tokens:
+            continue
+        arcs: list[DependencyArc] = parser.parse(tokens)
+        for arc in arcs:
+            u = graph.node_ids[tokens[arc.head]]
+            v = graph.node_ids[tokens[arc.dependent]]
+            if keep_all_edges:
+                graph.edges.setdefault((u, v), arc.label)
+            else:
+                graph._add_edge(u, v, arc.label)
+
+    return graph

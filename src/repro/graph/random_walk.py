@@ -1,0 +1,103 @@
+"""Random-walk query-doc clustering (paper Algorithm 1, steps 1-4).
+
+From each seed query we propagate probability mass over the bipartite click
+graph using the transport probabilities of Eq. (1)-(2), with restart.  A
+visited query/document is kept when its visiting probability exceeds
+``delta_v`` *and* it shares more than half of the seed query's non-stop
+words (the paper's second condition filters drifting walks).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..config import MiningConfig
+from ..text.stopwords import content_words
+from ..text.tokenizer import tokenize
+from .click_graph import ClickGraph, QueryDocCluster
+
+
+class RandomWalkClusterer:
+    """Builds :class:`QueryDocCluster`s around seed queries."""
+
+    def __init__(self, graph: ClickGraph, config: "MiningConfig | None" = None) -> None:
+        self._graph = graph
+        self._config = config or MiningConfig()
+        self._config.validate()
+
+    def _share_enough_words(self, seed_content: set[str], query: str) -> bool:
+        """True if ``query`` covers more than half of the seed content words."""
+        if not seed_content:
+            return False
+        words = set(content_words(tokenize(query)))
+        overlap = len(words & seed_content)
+        return overlap * 2 >= len(seed_content)
+
+    def cluster(self, seed_query: str) -> QueryDocCluster:
+        """Random walk from ``seed_query``; returns the correlated cluster."""
+        cfg = self._config
+        graph = self._graph
+
+        query_visits: dict[str, float] = defaultdict(float)
+        doc_visits: dict[str, float] = defaultdict(float)
+        query_visits[seed_query] = 1.0
+
+        frontier = {seed_query: 1.0}
+        for _step in range(cfg.walk_steps):
+            # Query -> doc half-step; restart mass returns to the seed query.
+            doc_frontier: dict[str, float] = defaultdict(float)
+            restart_mass = 0.0
+            for query, mass in frontier.items():
+                restart_mass += mass * cfg.restart_prob
+                move = mass * (1.0 - cfg.restart_prob)
+                for doc_id, p in graph.p_doc_given_query(query).items():
+                    doc_frontier[doc_id] += move * p
+            for doc_id, mass in doc_frontier.items():
+                doc_visits[doc_id] += mass
+
+            # Doc -> query half-step.
+            next_frontier: dict[str, float] = defaultdict(float)
+            for doc_id, mass in doc_frontier.items():
+                for query, p in graph.p_query_given_doc(doc_id).items():
+                    next_frontier[query] += mass * p
+            next_frontier[seed_query] += restart_mass
+            # Dangling mass (queries with no clicked docs) also restarts.
+            leaked = 1.0 - sum(next_frontier.values())
+            if leaked > 1e-12:
+                next_frontier[seed_query] += leaked
+            for query, mass in next_frontier.items():
+                query_visits[query] += mass
+            frontier = dict(next_frontier)
+
+        # Normalise accumulated visit mass to probabilities.
+        q_total = sum(query_visits.values())
+        d_total = sum(doc_visits.values())
+        query_prob = {q: m / q_total for q, m in query_visits.items()} if q_total else {}
+        doc_prob = {d: m / d_total for d, m in doc_visits.items()} if d_total else {}
+
+        seed_content = set(content_words(tokenize(seed_query)))
+        kept_queries = [
+            (q, p)
+            for q, p in query_prob.items()
+            if q == seed_query
+            or (p >= cfg.visit_threshold and self._share_enough_words(seed_content, q))
+        ]
+        kept_docs = [(d, p) for d, p in doc_prob.items() if p >= cfg.visit_threshold]
+
+        kept_queries.sort(key=lambda item: (-item[1], item[0]))
+        kept_docs.sort(key=lambda item: (-item[1], item[0]))
+        kept_queries = kept_queries[: cfg.max_cluster_queries]
+        kept_docs = kept_docs[: cfg.max_cluster_docs]
+
+        return QueryDocCluster(
+            seed_query=seed_query,
+            queries=[q for q, _ in kept_queries],
+            doc_ids=[d for d, _ in kept_docs],
+            query_weights=dict(kept_queries),
+            doc_weights=dict(kept_docs),
+        )
+
+    def cluster_all(self, seed_queries: "list[str] | None" = None) -> list[QueryDocCluster]:
+        """Cluster every (or the given) seed query."""
+        seeds = seed_queries if seed_queries is not None else self._graph.queries()
+        return [self.cluster(q) for q in seeds]

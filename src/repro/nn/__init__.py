@@ -1,0 +1,59 @@
+"""Neural-network substrate: a from-scratch reverse-mode autograd on numpy.
+
+The paper trains its models (R-GCN node classifiers, LSTM-CRF baselines, a
+seq2seq summarizer, the Duet matching network, GBDT relation classifiers)
+with standard deep-learning frameworks.  None are available offline, so this
+package implements the needed subset: a small tape-based autograd engine
+(:mod:`repro.nn.autograd`), layers built on it, and optimizers.
+
+Model dimensions in the paper are laptop-sized (5-layer R-GCN with hidden 32,
+B=5 bases; BiLSTM hidden 25), so pure-numpy training is fast enough for the
+full benchmark suite.
+"""
+
+from .autograd import Tensor, no_grad
+from . import functional
+from .layers import Module, Parameter, Linear, Embedding, Sequential, ReLU, Tanh, Dropout
+from .optim import SGD, Adam
+from .lstm import LSTMCell, LSTM, BiLSTM
+from .crf import LinearChainCRF
+from .rgcn import RGCNLayer, RGCN
+from .attention import DotAttention
+from .seq2seq import Seq2SeqSummarizer
+from .duet import DuetMatcher
+from .gbdt import GradientBoostedClassifier, DecisionTreeRegressor
+from .data import batch_indices, epoch_order, stratified_split, pad_sequences
+from .checkpoint import save_checkpoint, load_checkpoint
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "Sequential",
+    "ReLU",
+    "Tanh",
+    "Dropout",
+    "SGD",
+    "Adam",
+    "LSTMCell",
+    "LSTM",
+    "BiLSTM",
+    "LinearChainCRF",
+    "RGCNLayer",
+    "RGCN",
+    "DotAttention",
+    "Seq2SeqSummarizer",
+    "DuetMatcher",
+    "GradientBoostedClassifier",
+    "DecisionTreeRegressor",
+    "batch_indices",
+    "epoch_order",
+    "stratified_split",
+    "pad_sequences",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,29 @@
+"""Dot-product attention for the seq2seq TextSummary baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor
+from .functional import softmax
+from .layers import Module, Linear
+
+
+class DotAttention(Module):
+    """Luong-style general attention: score = q^T W k."""
+
+    def __init__(self, query_dim: int, key_dim: int,
+                 rng: "np.random.Generator | None" = None) -> None:
+        self.project = Linear(query_dim, key_dim, rng=rng, bias=False)
+
+    def forward(self, query: Tensor, keys: Tensor) -> tuple[Tensor, Tensor]:
+        """Attend ``query`` (Q,) over ``keys`` (T, K).
+
+        Returns:
+            (context, weights): context (K,) and attention weights (T,).
+        """
+        projected = self.project(query)  # (K,)
+        scores = keys @ projected  # (T,)
+        weights = softmax(scores, axis=0)
+        context = weights @ keys  # (K,)
+        return context, weights

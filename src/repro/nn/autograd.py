@@ -1,0 +1,447 @@
+"""Minimal reverse-mode automatic differentiation over numpy arrays.
+
+A :class:`Tensor` wraps an ``ndarray`` and records the operations applied to
+it; :meth:`Tensor.backward` walks the tape in reverse topological order and
+accumulates gradients.  The op set is exactly what the GIANT models need:
+elementwise arithmetic with broadcasting, matmul, nonlinearities, reductions,
+indexing/gather, concat/stack, softmax/log-softmax and logsumexp (for the
+CRF forward algorithm).
+
+This is intentionally a *small* engine — no views, no in-place ops, no
+device abstraction — optimised for clarity and correctness (gradients are
+checked against finite differences in the test suite).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable
+
+import numpy as np
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling tape recording (inference mode)."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (reverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """An autograd tensor.
+
+    Attributes:
+        data: the underlying float64 ndarray.
+        grad: accumulated gradient (same shape as data), or None.
+        requires_grad: whether this tensor participates in autograd.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(
+        self,
+        data: "np.ndarray | float | int | list",
+        requires_grad: bool = False,
+        _parents: "tuple[Tensor, ...]" = (),
+        _backward: "Callable[[np.ndarray], None] | None" = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            raise TypeError("cannot wrap a Tensor in a Tensor")
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = requires_grad and _GRAD_ENABLED
+        self.grad: "np.ndarray | None" = None
+        self._parents = _parents if self.requires_grad or _parents else ()
+        self._backward = _backward
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Tensor(shape={self.data.shape}, requires_grad={self.requires_grad})"
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    # ------------------------------------------------------------------
+    # graph construction helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: "tuple[Tensor, ...]",
+        backward: "Callable[[np.ndarray], None]",
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(p for p in parents if p.requires_grad)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------
+    # backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: "np.ndarray | None" = None) -> None:
+        """Backpropagate from this tensor (defaults to d(self)/d(self)=1)."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without grad requires a scalar tensor")
+            grad = np.ones_like(self.data)
+
+        # Topological sort of the tape.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(np.asarray(grad, dtype=np.float64))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(other: "Tensor | float | int | np.ndarray") -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other):
+        other = Tensor._coerce(other)
+        data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.data.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        data = -self.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __sub__(self, other):
+        return self + (-Tensor._coerce(other))
+
+    def __rsub__(self, other):
+        return Tensor._coerce(other) + (-self)
+
+    def __mul__(self, other):
+        other = Tensor._coerce(other)
+        data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = Tensor._coerce(other)
+        data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data ** 2), other.data.shape)
+                )
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return Tensor._coerce(other) / self
+
+    def __pow__(self, exponent: float):
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other):
+        other = Tensor._coerce(other)
+        data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    self._accumulate(np.outer(grad, other.data) if self.data.ndim == 2
+                                     else grad * other.data)
+                else:
+                    g = grad @ other.data.swapaxes(-1, -2)
+                    self._accumulate(_unbroadcast(g, self.data.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other._accumulate(np.outer(self.data, grad) if other.data.ndim == 2
+                                      else grad * self.data)
+                else:
+                    g = self.data.swapaxes(-1, -2) @ grad
+                    other._accumulate(_unbroadcast(g, other.data.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self):
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self):
+        data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def tanh(self):
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - data ** 2))
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self):
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * data * (1.0 - data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self):
+        mask = self.data > 0
+        data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: "int | None" = None, keepdims: bool = False):
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape).copy())
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis: "int | None" = None, keepdims: bool = False):
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def logsumexp(self, axis: int = -1, keepdims: bool = False):
+        """Numerically stable log-sum-exp along ``axis``."""
+        m = self.data.max(axis=axis, keepdims=True)
+        shifted = self.data - m
+        sum_exp = np.exp(shifted).sum(axis=axis, keepdims=True)
+        data_keep = m + np.log(sum_exp)
+        softmax = np.exp(shifted) / sum_exp
+        data = data_keep if keepdims else np.squeeze(data_keep, axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad if keepdims else np.expand_dims(grad, axis)
+            self._accumulate(g * softmax)
+
+        return Tensor._make(data, (self,), backward)
+
+    def max(self, axis: int = -1):
+        """Max along axis (gradient flows to the argmax element)."""
+        idx = self.data.argmax(axis=axis)
+        data = self.data.max(axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = np.zeros_like(self.data)
+            expanded = np.expand_dims(idx, axis)
+            np.put_along_axis(g, expanded, np.expand_dims(grad, axis), axis=axis)
+            self._accumulate(g)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int):
+        data = self.data.reshape(*shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(self.data.shape))
+
+        return Tensor._make(data, (self,), backward)
+
+    @property
+    def T(self):
+        return self.transpose()
+
+    def transpose(self):
+        data = self.data.T
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.T)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __getitem__(self, key):
+        data = self.data[key]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                g = np.zeros_like(self.data)
+                np.add.at(g, key, grad)
+                self._accumulate(g)
+
+        return Tensor._make(data, (self,), backward)
+
+    def gather_rows(self, indices: "np.ndarray | list[int]"):
+        """Row gather: select ``self[indices]`` with scatter-add backward.
+
+        This is the embedding-lookup primitive.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        data = self.data[idx]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                g = np.zeros_like(self.data)
+                np.add.at(g, idx, grad)
+                self._accumulate(g)
+
+        return Tensor._make(data, (self,), backward)
+
+
+# ----------------------------------------------------------------------
+# free functions building multi-parent nodes
+# ----------------------------------------------------------------------
+def concat(tensors: "Iterable[Tensor]", axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = list(tensors)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                sl = [slice(None)] * grad.ndim
+                sl[axis] = slice(start, stop)
+                t._accumulate(grad[tuple(sl)])
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: "Iterable[Tensor]", axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = list(tensors)
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slices = np.split(grad, len(tensors), axis=axis)
+        for t, g in zip(tensors, slices):
+            if t.requires_grad:
+                t._accumulate(np.squeeze(g, axis=axis))
+
+    return Tensor._make(data, tuple(tensors), backward)

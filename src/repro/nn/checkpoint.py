@@ -1,0 +1,32 @@
+"""Model checkpointing: save/load Module state dicts as ``.npz`` files.
+
+Production GIANT serves trained models behind RPC workers; being able to
+persist and reload trained GCTSP-Nets (and any other ``repro.nn.Module``)
+is the reproduction's equivalent — train once in the benchmark harness,
+reuse everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Module
+
+
+def save_checkpoint(module: Module, path: str) -> None:
+    """Write all parameters of ``module`` to a compressed ``.npz`` file."""
+    state = module.state_dict()
+    if not state:
+        raise ValueError("module has no parameters to save")
+    np.savez_compressed(path, **state)
+
+
+def load_checkpoint(module: Module, path: str) -> Module:
+    """Load parameters saved by :func:`save_checkpoint` into ``module``.
+
+    The module must already have the same architecture (shapes are
+    validated by ``load_state_dict``).
+    """
+    with np.load(path) as data:
+        module.load_state_dict({key: data[key] for key in data.files})
+    return module

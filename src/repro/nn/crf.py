@@ -1,0 +1,92 @@
+"""Linear-chain Conditional Random Field layer.
+
+Provides the negative log-likelihood training objective (forward algorithm
+with logsumexp, differentiable through the autograd engine) and Viterbi
+decoding, as used by the LSTM-CRF baselines (Huang et al. 2015).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor
+from .layers import Module, Parameter
+
+
+class LinearChainCRF(Module):
+    """CRF over ``num_tags`` labels with learned transition scores.
+
+    The transition matrix has two extra virtual states: ``start`` (index
+    num_tags) and ``end`` (index num_tags + 1).
+    """
+
+    def __init__(self, num_tags: int, rng: "np.random.Generator | None" = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        if num_tags < 1:
+            raise ValueError("num_tags must be >= 1")
+        self.num_tags = num_tags
+        self.transitions = Parameter(rng.standard_normal((num_tags + 2, num_tags + 2)) * 0.01)
+
+    @property
+    def start_idx(self) -> int:
+        return self.num_tags
+
+    @property
+    def end_idx(self) -> int:
+        return self.num_tags + 1
+
+    def _score_sequence(self, emissions: Tensor, tags: np.ndarray) -> Tensor:
+        """Unnormalised score of a tag path given (T, C) emissions."""
+        seq_len = emissions.shape[0]
+        trans = self.transitions
+        score = trans[self.start_idx, int(tags[0])] + emissions[0, int(tags[0])]
+        for t in range(1, seq_len):
+            score = score + trans[int(tags[t - 1]), int(tags[t])] + emissions[t, int(tags[t])]
+        score = score + trans[int(tags[-1]), self.end_idx]
+        return score
+
+    def _partition(self, emissions: Tensor) -> Tensor:
+        """Log partition function via the forward algorithm."""
+        seq_len, num_tags = emissions.shape
+        trans = self.transitions
+        # alpha: (C,) log-scores of paths ending at each tag.
+        alpha = trans[self.start_idx, 0 : self.num_tags] + emissions[0]
+        trans_block = trans[0 : self.num_tags, 0 : self.num_tags]
+        for t in range(1, seq_len):
+            # scores[i, j] = alpha[i] + trans[i, j] + emission[t, j]
+            scores = alpha.reshape(num_tags, 1) + trans_block + emissions[t].reshape(1, num_tags)
+            alpha = scores.logsumexp(axis=0)
+        final = alpha + trans[0 : self.num_tags, self.end_idx]
+        return final.logsumexp(axis=0)
+
+    def nll(self, emissions: Tensor, tags: "np.ndarray | list[int]") -> Tensor:
+        """Negative log-likelihood of ``tags`` given emissions (T, C)."""
+        tags = np.asarray(tags, dtype=np.int64)
+        if emissions.shape[0] != len(tags):
+            raise ValueError("emissions and tags length mismatch")
+        if emissions.shape[0] == 0:
+            raise ValueError("empty sequence")
+        return self._partition(emissions) - self._score_sequence(emissions, tags)
+
+    def decode(self, emissions: "Tensor | np.ndarray") -> list[int]:
+        """Viterbi-decode the best tag sequence from (T, C) emissions."""
+        em = emissions.data if isinstance(emissions, Tensor) else np.asarray(emissions)
+        seq_len, num_tags = em.shape
+        if seq_len == 0:
+            return []
+        trans = self.transitions.data
+        trans_block = trans[0:num_tags, 0:num_tags]
+        viterbi = trans[self.start_idx, 0:num_tags] + em[0]
+        backpointers: list[np.ndarray] = []
+        for t in range(1, seq_len):
+            scores = viterbi[:, None] + trans_block + em[t][None, :]
+            backpointers.append(scores.argmax(axis=0))
+            viterbi = scores.max(axis=0)
+        viterbi = viterbi + trans[0:num_tags, self.end_idx]
+        best = int(viterbi.argmax())
+        path = [best]
+        for bp in reversed(backpointers):
+            best = int(bp[best])
+            path.append(best)
+        path.reverse()
+        return path

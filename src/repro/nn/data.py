@@ -1,0 +1,92 @@
+"""Batching and split utilities for the numpy training loops.
+
+The models here train example-by-example (graphs and variable-length
+sequences don't batch naturally without padding machinery), but epoch
+shuffling, mini-batch index iteration, and stratified splitting recur in
+every training loop and baseline — this module centralises them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, TypeVar
+
+import numpy as np
+
+from ..config import make_rng
+
+T = TypeVar("T")
+
+
+def batch_indices(n: int, batch_size: int,
+                  rng: "np.random.Generator | int | None" = None,
+                  shuffle: bool = True) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n)`` in batches.
+
+    Args:
+        n: dataset size.
+        batch_size: maximum batch size (last batch may be smaller).
+        rng: generator or seed for shuffling.
+        shuffle: randomise order each call.
+    """
+    if n <= 0:
+        return
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(n)
+    if shuffle:
+        make_rng(rng).shuffle(order)
+    for start in range(0, n, batch_size):
+        yield order[start : start + batch_size]
+
+
+def epoch_order(n: int, epoch: int, seed: int = 0) -> np.ndarray:
+    """Deterministic per-epoch shuffle (same seed + epoch -> same order)."""
+    rng = np.random.default_rng(np.random.SeedSequence([seed, epoch]))
+    order = np.arange(n)
+    rng.shuffle(order)
+    return order
+
+
+def stratified_split(items: "Sequence[T]", labels: "Sequence",
+                     test_frac: float = 0.2,
+                     rng: "np.random.Generator | int | None" = None
+                     ) -> tuple[list[T], list[T]]:
+    """Split items into train/test keeping per-label proportions.
+
+    Every label with at least two items contributes at least one item to
+    each side when the fraction allows.
+    """
+    if len(items) != len(labels):
+        raise ValueError("items/labels length mismatch")
+    if not 0.0 < test_frac < 1.0:
+        raise ValueError("test_frac must be in (0, 1)")
+    rng = make_rng(rng)
+    by_label: dict = {}
+    for idx, label in enumerate(labels):
+        by_label.setdefault(label, []).append(idx)
+    train_idx: list[int] = []
+    test_idx: list[int] = []
+    for label in sorted(by_label, key=str):
+        indices = np.array(by_label[label])
+        rng.shuffle(indices)
+        n_test = int(round(len(indices) * test_frac))
+        if len(indices) >= 2:
+            n_test = min(max(n_test, 1), len(indices) - 1)
+        test_idx.extend(indices[:n_test].tolist())
+        train_idx.extend(indices[n_test:].tolist())
+    return ([items[i] for i in sorted(train_idx)],
+            [items[i] for i in sorted(test_idx)])
+
+
+def pad_sequences(sequences: "list[list[int]]", pad_value: int = 0
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Pad integer sequences to a (N, max_len) matrix + boolean mask."""
+    if not sequences:
+        return np.zeros((0, 0), dtype=np.int64), np.zeros((0, 0), dtype=bool)
+    max_len = max(len(s) for s in sequences)
+    out = np.full((len(sequences), max_len), pad_value, dtype=np.int64)
+    mask = np.zeros((len(sequences), max_len), dtype=bool)
+    for i, seq in enumerate(sequences):
+        out[i, : len(seq)] = seq
+        mask[i, : len(seq)] = True
+    return out, mask

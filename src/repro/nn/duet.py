@@ -1,0 +1,108 @@
+"""Duet-style matching network for event/topic document tagging.
+
+The paper (Section 4, "Document Tagging") gates event/topic tags with the
+Duet model (Mitra et al. 2017), which combines a *local* exact-match signal
+with a *distributed* semantic-representation signal.  This reproduction
+implements both sub-networks at reduced width:
+
+* local: a binary interaction matrix (phrase token == doc token) is pooled
+  into per-phrase-token match statistics and passed through an MLP;
+* distributed: mean word-embedding encodings of phrase and document are
+  combined via elementwise product (Hadamard match) and an MLP.
+
+The two scores are summed into a single matching logit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor
+from .functional import binary_cross_entropy_with_logits
+from .layers import Module, Embedding, Linear
+from .optim import Adam
+
+
+class DuetMatcher(Module):
+    """Binary matcher: does this attention phrase match this document text?"""
+
+    def __init__(self, vocab: "dict[str, int]", embed_dim: int = 16,
+                 hidden: int = 16, max_phrase_len: int = 12,
+                 rng: "np.random.Generator | None" = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.vocab = dict(vocab)
+        self.unk = len(self.vocab)
+        self.max_phrase_len = max_phrase_len
+        self.embedding = Embedding(len(self.vocab) + 1, embed_dim, rng=rng)
+        # Local sub-network over pooled interaction features (3 per slot).
+        self.local_fc1 = Linear(3 * max_phrase_len, hidden, rng=rng)
+        self.local_fc2 = Linear(hidden, 1, rng=rng)
+        # Distributed sub-network over Hadamard-matched encodings.
+        self.dist_fc1 = Linear(embed_dim, hidden, rng=rng)
+        self.dist_fc2 = Linear(hidden, 1, rng=rng)
+
+    def _ids(self, tokens: list[str]) -> list[int]:
+        return [self.vocab.get(t, self.unk) for t in tokens]
+
+    def _local_features(self, phrase: list[str], doc: list[str]) -> np.ndarray:
+        """Pooled exact-match statistics per phrase-token slot."""
+        feats = np.zeros(3 * self.max_phrase_len)
+        if not doc:
+            return feats
+        doc_positions = {}
+        for pos, tok in enumerate(doc):
+            doc_positions.setdefault(tok, []).append(pos)
+        n = len(doc)
+        for slot, tok in enumerate(phrase[: self.max_phrase_len]):
+            positions = doc_positions.get(tok, [])
+            base = 3 * slot
+            feats[base] = 1.0 if positions else 0.0
+            feats[base + 1] = len(positions) / n
+            feats[base + 2] = 1.0 - positions[0] / n if positions else 0.0
+        return feats
+
+    def score(self, phrase: list[str], doc: list[str]) -> Tensor:
+        """Matching logit for (phrase tokens, document tokens)."""
+        local = Tensor(self._local_features(phrase, doc))
+        local_score = self.local_fc2(self.local_fc1(local).relu())
+
+        phrase_ids = self._ids(phrase) or [self.unk]
+        doc_ids = self._ids(doc) or [self.unk]
+        phrase_enc = self.embedding(phrase_ids).mean(axis=0)
+        doc_enc = self.embedding(doc_ids).mean(axis=0)
+        hadamard = phrase_enc * doc_enc
+        dist_score = self.dist_fc2(self.dist_fc1(hadamard).relu())
+        return (local_score + dist_score)[0]
+
+    def predict(self, phrase: list[str], doc: list[str]) -> bool:
+        """True if the phrase is predicted to match the document."""
+        from .autograd import no_grad
+
+        with no_grad():
+            return self.score(phrase, doc).item() > 0.0
+
+    def fit(self, examples: "list[tuple[list[str], list[str], int]]",
+            epochs: int = 10, lr: float = 0.01,
+            rng: "np.random.Generator | None" = None) -> list[float]:
+        """Train on (phrase, doc, label) triples; returns per-epoch losses."""
+        if not examples:
+            raise ValueError("no training examples")
+        rng = rng or np.random.default_rng(0)
+        optimizer = Adam(self.parameters(), lr=lr)
+        losses = []
+        indices = np.arange(len(examples))
+        for _epoch in range(epochs):
+            rng.shuffle(indices)
+            total = 0.0
+            for i in indices:
+                phrase, doc, label = examples[i]
+                optimizer.zero_grad()
+                logit = self.score(phrase, doc)
+                loss = binary_cross_entropy_with_logits(
+                    logit.reshape(1), np.asarray([float(label)])
+                )
+                loss.backward()
+                optimizer.step()
+                total += loss.item()
+            losses.append(total / len(examples))
+        return losses

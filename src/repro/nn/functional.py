@@ -1,0 +1,78 @@
+"""Functional building blocks: softmax, losses.
+
+All functions take and return :class:`repro.nn.autograd.Tensor`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (stable, built from autograd primitives)."""
+    lse = x.logsumexp(axis=axis, keepdims=True)
+    return (x - lse).exp()
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis``."""
+    return x - x.logsumexp(axis=axis, keepdims=True)
+
+
+def cross_entropy(logits: Tensor, targets: "np.ndarray | list[int]") -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer targets (N,)."""
+    targets = np.asarray(targets, dtype=np.int64)
+    logp = log_softmax(logits, axis=-1)
+    n = logits.shape[0]
+    picked = logp[np.arange(n), targets]
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor, targets: "np.ndarray | list[float]",
+    pos_weight: "float | None" = None,
+) -> Tensor:
+    """Mean BCE between raw logits and {0,1} targets.
+
+    Uses the stable formulation ``max(x,0) - x*y + log(1+exp(-|x|))`` via the
+    identity BCE(x, y) = logsumexp([0, x]) - x*y, expressed in autograd ops.
+
+    Args:
+        logits: raw scores, any shape.
+        targets: same shape, values in {0, 1}.
+        pos_weight: optional multiplier on positive-class terms; GIANT's node
+            classification is heavily imbalanced (few phrase tokens per QTIG)
+            so up-weighting positives speeds convergence.
+    """
+    y = np.asarray(targets, dtype=np.float64)
+    zeros = Tensor(np.zeros_like(logits.data))
+    from .autograd import stack
+
+    # log(1 + exp(x)) computed stably as logsumexp over [0, x].
+    pair = stack([zeros, logits], axis=0)
+    log1pexp = pair.logsumexp(axis=0)
+    loss = log1pexp - logits * y
+    if pos_weight is not None:
+        weights = np.where(y > 0.5, pos_weight, 1.0)
+        loss = loss * weights
+        return loss.sum() * (1.0 / weights.sum())
+    return loss.mean()
+
+
+def mse(pred: Tensor, targets: "np.ndarray | list[float]") -> Tensor:
+    """Mean squared error."""
+    y = np.asarray(targets, dtype=np.float64)
+    diff = pred - y
+    return (diff * diff).mean()
+
+
+def hinge_pair_loss(pos_dist: Tensor, neg_dist: Tensor, margin: float = 1.0) -> Tensor:
+    """Mean hinge loss ``max(0, margin + pos - neg)`` over paired distances.
+
+    Used for the entity correlate-embedding training (paper Section 3.2,
+    "Edges between Entities").
+    """
+    raw = pos_dist - neg_dist + margin
+    return raw.relu().mean()

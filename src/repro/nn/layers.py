@@ -1,0 +1,208 @@
+"""Module/Parameter abstractions and basic layers."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as trainable."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class with recursive parameter discovery.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; :meth:`parameters` walks them recursively.
+    """
+
+    training: bool = True
+
+    def parameters(self) -> Iterator[Parameter]:
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            yield from _collect_params(value, seen)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in self.__dict__.values():
+            for mod in _collect_modules(value):
+                mod.training = training
+
+    def num_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def state_dict(self) -> "dict[str, np.ndarray]":
+        """Flat mapping of parameter path -> array copy (for checkpoints)."""
+        out: dict[str, np.ndarray] = {}
+        _collect_state("", self, out)
+        return out
+
+    def load_state_dict(self, state: "dict[str, np.ndarray]") -> None:
+        """Load arrays saved by :meth:`state_dict` (shapes must match)."""
+        current: dict[str, np.ndarray] = {}
+        _collect_state("", self, current)
+        missing = set(current) - set(state)
+        if missing:
+            raise KeyError(f"missing parameters in state dict: {sorted(missing)}")
+        params: dict[str, Parameter] = {}
+        _collect_param_refs("", self, params)
+        for name, param in params.items():
+            array = np.asarray(state[name], dtype=np.float64)
+            if array.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {array.shape} vs {param.data.shape}"
+                )
+            param.data = array.copy()
+
+
+def _collect_params(value, seen: set[int]) -> Iterator[Parameter]:
+    if isinstance(value, Parameter):
+        if id(value) not in seen:
+            seen.add(id(value))
+            yield value
+    elif isinstance(value, Module):
+        for sub in value.__dict__.values():
+            yield from _collect_params(sub, seen)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _collect_params(item, seen)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _collect_params(item, seen)
+
+
+def _collect_modules(value) -> Iterator["Module"]:
+    if isinstance(value, Module):
+        yield value
+        for sub in value.__dict__.values():
+            yield from _collect_modules(sub)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _collect_modules(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _collect_modules(item)
+
+
+def _walk_named(prefix: str, value, visit) -> None:
+    if isinstance(value, Parameter):
+        visit(prefix, value)
+    elif isinstance(value, Module):
+        for name, sub in value.__dict__.items():
+            _walk_named(f"{prefix}.{name}" if prefix else name, sub, visit)
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            _walk_named(f"{prefix}[{i}]", item, visit)
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            _walk_named(f"{prefix}[{key}]", item, visit)
+
+
+def _collect_state(prefix: str, module: "Module", out: "dict[str, np.ndarray]") -> None:
+    _walk_named(prefix, module, lambda name, p: out.__setitem__(name, p.data.copy()))
+
+
+def _collect_param_refs(prefix: str, module: "Module", out: "dict[str, Parameter]") -> None:
+    _walk_named(prefix, module, lambda name, p: out.__setitem__(name, p))
+
+
+def _glorot(rng: np.random.Generator, fan_in: int, fan_out: int,
+            shape: "tuple[int, ...] | None" = None) -> np.ndarray:
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape or (fan_in, fan_out))
+
+
+class Linear(Module):
+    """Affine layer ``x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: "np.random.Generator | None" = None, bias: bool = True) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(_glorot(rng, in_features, out_features))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, dim: int,
+                 rng: "np.random.Generator | None" = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(rng.standard_normal((num_embeddings, dim)) * 0.1)
+
+    def forward(self, ids: "np.ndarray | list[int]") -> Tensor:
+        return self.weight.gather_rows(np.asarray(ids, dtype=np.int64))
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: "np.random.Generator | None" = None) -> None:
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = (self._rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        return x * Tensor(mask)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        self.modules = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for mod in self.modules:
+            x = mod(x)
+        return x

@@ -1,0 +1,86 @@
+"""LSTM, BiLSTM sequence encoders built on the autograd engine.
+
+Used by the LSTM-CRF baselines (paper Section 5.2: BiLSTM hidden size 25 per
+direction over 200-d word embeddings) and by the TextSummary seq2seq model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor, concat, stack
+from .layers import Module, Parameter, _glorot
+
+
+class LSTMCell(Module):
+    """A single LSTM cell with fused gate weights."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: "np.random.Generator | None" = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = Parameter(_glorot(rng, input_size, 4 * hidden_size))
+        self.w_hh = Parameter(_glorot(rng, hidden_size, 4 * hidden_size))
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget-gate bias = 1
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        """One step. ``x``: (D,), ``h``/``c``: (H,). Returns (h', c')."""
+        gates = x @ self.w_ih + h @ self.w_hh + self.bias
+        hs = self.hidden_size
+        i = gates[0:hs].sigmoid()
+        f = gates[hs : 2 * hs].sigmoid()
+        g = gates[2 * hs : 3 * hs].tanh()
+        o = gates[3 * hs : 4 * hs].sigmoid()
+        c_new = f * c + i * g
+        h_new = o * c_new.tanh()
+        return h_new, c_new
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over a (T, D) sequence; returns (T, H)."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: "np.random.Generator | None" = None, reverse: bool = False) -> None:
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+        self.reverse = reverse
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        seq_len = inputs.shape[0]
+        h = Tensor(np.zeros(self.hidden_size))
+        c = Tensor(np.zeros(self.hidden_size))
+        order = range(seq_len - 1, -1, -1) if self.reverse else range(seq_len)
+        outputs: list[Tensor | None] = [None] * seq_len
+        for t in order:
+            h, c = self.cell(inputs[t], h, c)
+            outputs[t] = h
+        return stack([o for o in outputs], axis=0)  # type: ignore[misc]
+
+    def final_state(self, inputs: Tensor) -> tuple[Tensor, Tensor]:
+        """Run the sequence and return the final (h, c)."""
+        seq_len = inputs.shape[0]
+        h = Tensor(np.zeros(self.hidden_size))
+        c = Tensor(np.zeros(self.hidden_size))
+        order = range(seq_len - 1, -1, -1) if self.reverse else range(seq_len)
+        for t in order:
+            h, c = self.cell(inputs[t], h, c)
+        return h, c
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM; concatenates forward/backward states to (T, 2H)."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: "np.random.Generator | None" = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.forward_lstm = LSTM(input_size, hidden_size, rng=rng, reverse=False)
+        self.backward_lstm = LSTM(input_size, hidden_size, rng=rng, reverse=True)
+        self.hidden_size = hidden_size
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        fw = self.forward_lstm(inputs)
+        bw = self.backward_lstm(inputs)
+        return concat([fw, bw], axis=1)

@@ -1,0 +1,113 @@
+"""Relational Graph Convolutional Network with basis decomposition.
+
+Implements Eq. (5)-(6) of the paper (following Schlichtkrull et al. 2017):
+
+    h_v^{l+1} = sigma( sum_r sum_{w in N_r(v)} (1/c_vw) W_r^l h_w^l + W_0^l h_v^l )
+
+with basis decomposition  W_r^l = sum_b a_{rb}^l V_b^l  so the per-relation
+parameter count stays bounded as |R| grows (QTIGs have a relation per
+dependency label and direction).
+
+The graph is presented as a list of per-relation *normalised* adjacency
+matrices A_r (dense; QTIGs have at most a few hundred nodes), so one layer is
+``sigma( sum_r A_r H W_r + H W_0 )``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor, stack
+from .layers import Module, Parameter, _glorot
+
+
+def normalize_adjacency(adj: np.ndarray) -> np.ndarray:
+    """Row-normalise an adjacency matrix (c_vw = |N_r(v)|, paper default)."""
+    adj = np.asarray(adj, dtype=np.float64)
+    deg = adj.sum(axis=1, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        norm = np.where(deg > 0, adj / deg, 0.0)
+    return norm
+
+
+class RGCNLayer(Module):
+    """One R-GCN layer with basis decomposition over ``num_relations``."""
+
+    def __init__(self, in_dim: int, out_dim: int, num_relations: int,
+                 num_bases: int, rng: "np.random.Generator | None" = None,
+                 activation: str = "relu") -> None:
+        rng = rng or np.random.default_rng(0)
+        if num_bases < 1:
+            raise ValueError("num_bases must be >= 1")
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.num_relations = num_relations
+        self.num_bases = min(num_bases, num_relations) if num_relations > 0 else num_bases
+        # V_b in R^{B x in x out}; a_{rb} in R^{R x B}; W_0 self-loop.
+        self.bases = Parameter(
+            np.stack([_glorot(rng, in_dim, out_dim) for _ in range(self.num_bases)])
+        )
+        self.coefficients = Parameter(rng.standard_normal((num_relations, self.num_bases)) * 0.3)
+        self.self_weight = Parameter(_glorot(rng, in_dim, out_dim))
+        self.bias = Parameter(np.zeros(out_dim))
+        if activation not in ("relu", "tanh", "none"):
+            raise ValueError(f"unknown activation {activation!r}")
+        self.activation = activation
+
+    def forward(self, h: Tensor, adjacencies: "list[np.ndarray]") -> Tensor:
+        """Apply the layer.
+
+        Args:
+            h: node features (N, in_dim).
+            adjacencies: per-relation row-normalised adjacency matrices
+                (each (N, N)); length must equal ``num_relations``.
+        """
+        if len(adjacencies) != self.num_relations:
+            raise ValueError(
+                f"expected {self.num_relations} adjacency matrices, got {len(adjacencies)}"
+            )
+        out = h @ self.self_weight + self.bias
+        # Flatten bases to (B, in*out) so W_r for all r comes from one matmul.
+        bases_flat = self.bases.reshape(self.num_bases, self.in_dim * self.out_dim)
+        weights_flat = self.coefficients @ bases_flat  # (R, in*out)
+        for r, adj in enumerate(adjacencies):
+            if not adj.any():
+                continue
+            w_r = weights_flat[r].reshape(self.in_dim, self.out_dim)
+            out = out + Tensor(adj) @ (h @ w_r)
+        if self.activation == "relu":
+            return out.relu()
+        if self.activation == "tanh":
+            return out.tanh()
+        return out
+
+
+class RGCN(Module):
+    """Multi-layer R-GCN stack ending in per-node logits.
+
+    This is the encoder + node classifier of the GCTSP-Net: the paper stacks
+    5 layers of hidden size 32 with B=5 bases and a per-node softmax output.
+    """
+
+    def __init__(self, in_dim: int, hidden_dim: int, num_classes: int,
+                 num_relations: int, num_layers: int = 5, num_bases: int = 5,
+                 rng: "np.random.Generator | None" = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.layers: list[RGCNLayer] = []
+        dim = in_dim
+        for _ in range(num_layers):
+            self.layers.append(
+                RGCNLayer(dim, hidden_dim, num_relations, num_bases, rng=rng)
+            )
+            dim = hidden_dim
+        self.output = RGCNLayer(dim, num_classes, num_relations, num_bases,
+                                rng=rng, activation="none")
+
+    def forward(self, features: "Tensor | np.ndarray",
+                adjacencies: "list[np.ndarray]") -> Tensor:
+        h = features if isinstance(features, Tensor) else Tensor(features)
+        for layer in self.layers:
+            h = layer(h, adjacencies)
+        return self.output(h, adjacencies)

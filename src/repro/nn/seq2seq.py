@@ -1,0 +1,141 @@
+"""Seq2seq summarizer with attention — the TextSummary baseline (Table 6).
+
+The paper configures TextSummary as: 200-d word embeddings, two-layer BiLSTM
+encoder (256 hidden per direction), one-layer LSTM decoder (512 hidden) with
+attention and beam-size-10 decoding.  This reproduction keeps the
+architecture but scales widths down (numpy training); the benchmark harness
+reports its (expectedly poor — paper EM 0.0047) phrase-generation scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor, concat, no_grad
+from .functional import cross_entropy, log_softmax
+from .attention import DotAttention
+from .layers import Module, Embedding, Linear
+from .lstm import BiLSTM, LSTMCell
+
+PAD, SOS, EOS, UNK = 0, 1, 2, 3
+SPECIAL_TOKENS = ("<pad>", "<sos>", "<eos>", "<unk>")
+
+
+class Vocabulary:
+    """Token <-> id mapping with the four special symbols reserved."""
+
+    def __init__(self) -> None:
+        self._token_to_id: dict[str, int] = {t: i for i, t in enumerate(SPECIAL_TOKENS)}
+        self._id_to_token: list[str] = list(SPECIAL_TOKENS)
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def add(self, token: str) -> int:
+        idx = self._token_to_id.get(token)
+        if idx is None:
+            idx = len(self._id_to_token)
+            self._token_to_id[token] = idx
+            self._id_to_token.append(token)
+        return idx
+
+    def fit(self, corpus: "list[list[str]]") -> "Vocabulary":
+        for sent in corpus:
+            for tok in sent:
+                self.add(tok)
+        return self
+
+    def encode(self, tokens: list[str]) -> list[int]:
+        return [self._token_to_id.get(t, UNK) for t in tokens]
+
+    def decode(self, ids: list[int]) -> list[str]:
+        return [self._id_to_token[i] for i in ids if i >= len(SPECIAL_TOKENS)]
+
+
+class Seq2SeqSummarizer(Module):
+    """Encoder-decoder with attention generating a phrase from query+titles."""
+
+    def __init__(self, vocab: Vocabulary, embed_dim: int = 32, hidden: int = 32,
+                 rng: "np.random.Generator | None" = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.vocab = vocab
+        self.embedding = Embedding(len(vocab), embed_dim, rng=rng)
+        self.encoder = BiLSTM(embed_dim, hidden, rng=rng)
+        self.decoder_cell = LSTMCell(embed_dim + 2 * hidden, hidden, rng=rng)
+        self.attention = DotAttention(hidden, 2 * hidden, rng=rng)
+        self.out = Linear(hidden + 2 * hidden, len(vocab), rng=rng)
+        self.hidden = hidden
+
+    def _encode(self, input_ids: list[int]) -> Tensor:
+        embedded = self.embedding(input_ids)
+        return self.encoder(embedded)
+
+    def loss(self, input_ids: list[int], target_ids: list[int]) -> Tensor:
+        """Teacher-forced cross-entropy over the target sequence."""
+        if not input_ids or not target_ids:
+            raise ValueError("empty input or target")
+        memory = self._encode(input_ids)  # (T, 2H)
+        h = Tensor(np.zeros(self.hidden))
+        c = Tensor(np.zeros(self.hidden))
+        context = Tensor(np.zeros(2 * self.hidden))
+        logits_steps = []
+        teacher = [SOS] + list(target_ids)
+        targets = list(target_ids) + [EOS]
+        for tok in teacher:
+            emb = self.embedding([tok])[0]
+            step_in = concat([emb, context], axis=0)
+            h, c = self.decoder_cell(step_in, h, c)
+            context, _w = self.attention(h, memory)
+            logits_steps.append(self.out(concat([h, context], axis=0)))
+        from .autograd import stack
+
+        logits = stack(logits_steps, axis=0)
+        return cross_entropy(logits, np.asarray(targets))
+
+    def generate(self, input_ids: list[int], max_len: int = 12,
+                 beam_size: int = 4) -> list[int]:
+        """Beam-search decode a phrase (token ids without specials)."""
+        if not input_ids:
+            return []
+        with no_grad():
+            memory = self._encode(input_ids)
+            zero_h = np.zeros(self.hidden)
+            zero_ctx = np.zeros(2 * self.hidden)
+            # Beam entries: (score, token_ids, h, c, context, finished)
+            beams = [(0.0, [], zero_h, zero_h.copy(), zero_ctx, False)]
+            for _step in range(max_len + 1):
+                candidates = []
+                for score, toks, h_np, c_np, ctx_np, finished in beams:
+                    if finished:
+                        candidates.append((score, toks, h_np, c_np, ctx_np, True))
+                        continue
+                    prev = toks[-1] if toks else SOS
+                    emb = self.embedding([prev])[0]
+                    step_in = concat([emb, Tensor(ctx_np)], axis=0)
+                    h, c = self.decoder_cell(step_in, Tensor(h_np), Tensor(c_np))
+                    ctx, _w = self.attention(h, memory)
+                    logits = self.out(concat([h, ctx], axis=0))
+                    logp = log_softmax(logits, axis=0).data
+                    top = np.argsort(-logp)[: beam_size + 1]
+                    for tok_id in top:
+                        tok_id = int(tok_id)
+                        if tok_id in (PAD, SOS, UNK):
+                            continue
+                        new_score = score + float(logp[tok_id])
+                        if tok_id == EOS:
+                            candidates.append((new_score, toks, h.data, c.data, ctx.data, True))
+                        else:
+                            candidates.append(
+                                (new_score, toks + [tok_id], h.data, c.data, ctx.data, False)
+                            )
+                candidates.sort(key=lambda b: -b[0])
+                beams = candidates[:beam_size]
+                if all(b[5] for b in beams):
+                    break
+            best = max(beams, key=lambda b: b[0] / max(1, len(b[1])))
+            return best[1]
+
+    def summarize(self, tokens: list[str], max_len: int = 12) -> list[str]:
+        """Convenience wrapper: tokens in, generated phrase tokens out."""
+        ids = self.vocab.encode(tokens)
+        return self.vocab.decode(self.generate(ids, max_len=max_len))

@@ -1,0 +1,441 @@
+"""End-to-end GIANT pipeline: click logs in, Attention Ontology out.
+
+Orchestrates the full paper flow (Figure 2): random-walk clustering ->
+GCTSP-Net phrase mining -> normalization -> derivation (CSD/CPD) ->
+linking (categories, attention isA/involve, concept-entity classifier,
+event key elements, entity correlate embeddings).
+
+Entities enter the ontology from the NER gazetteer observed in the logs —
+the production system seeds them from an existing knowledge base; DESIGN.md
+documents this substitution.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .config import GiantConfig
+from .core.derivation import common_pattern_discovery, common_suffix_discovery
+from .core.features import NodeFeatureExtractor
+from .core.gctsp import GCTSPNet, prepare_example
+from .core.linking.attentions import link_attention_isa, link_concept_topic_involve
+from .core.linking.categories import link_attention_categories
+from .core.linking.concept_entity import (
+    ConceptEntityClassifier,
+    ConceptEntityExample,
+    build_concept_entity_dataset,
+)
+from .core.linking.entity_entity import EntityEmbeddingTrainer, mine_cooccurrence_pairs
+from .core.linking.key_elements import recognize_key_elements
+from .core.mining import AttentionMiner, MinedAttention
+from .core.ontology import AttentionOntology, EdgeType, NodeType
+from .graph.click_graph import ClickGraph
+from .text.dependency import DependencyParser
+from .text.ner import NerTagger
+from .text.pos import PosTagger
+from .text.tokenizer import tokenize
+
+
+@dataclass
+class PipelineReport:
+    """Counters from one pipeline run (feeds the Table 1/2 benches)."""
+
+    concepts_mined: int = 0
+    events_mined: int = 0
+    topics_derived: int = 0
+    concepts_derived: int = 0
+    entities_registered: int = 0
+    edges: dict[str, int] = field(default_factory=dict)
+
+
+class GiantPipeline:
+    """Builds an Attention Ontology from a click graph + session log."""
+
+    def __init__(self, graph: ClickGraph,
+                 pos_tagger: PosTagger, ner_tagger: NerTagger,
+                 concept_model: "GCTSPNet | None" = None,
+                 event_model: "GCTSPNet | None" = None,
+                 key_element_model: "GCTSPNet | None" = None,
+                 categories: "list[str] | None" = None,
+                 config: "GiantConfig | None" = None) -> None:
+        self._graph = graph
+        self._pos = pos_tagger
+        self._ner = ner_tagger
+        self._parser = DependencyParser(pos_tagger)
+        self._extractor = NodeFeatureExtractor(pos_tagger, ner_tagger)
+        self._config = config or GiantConfig()
+        self._concept_model = concept_model
+        self._event_model = event_model
+        self._key_element_model = key_element_model
+        self._categories = categories or []
+        self._miner = AttentionMiner(
+            graph,
+            concept_model=concept_model,
+            event_model=event_model,
+            extractor=self._extractor,
+            parser=self._parser,
+            config=self._config,
+        )
+        self.ontology = AttentionOntology()
+        self.report = PipelineReport()
+        self._mined_concepts: list[MinedAttention] = []
+        self._mined_events: list[MinedAttention] = []
+        self._sessions: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # seed routing
+    # ------------------------------------------------------------------
+    def _is_event_query(self, query: str) -> bool:
+        """Heuristic router: queries with a verb describe events."""
+        tokens = tokenize(query)
+        tags = self._pos.tag(tokens)
+        return "VERB" in tags
+
+    def split_seeds(self, queries: "list[str] | None" = None
+                    ) -> tuple[list[str], list[str]]:
+        """Split seed queries into (concept seeds, event seeds)."""
+        seeds = queries if queries is not None else self._graph.queries()
+        concept_seeds, event_seeds = [], []
+        for query in seeds:
+            (event_seeds if self._is_event_query(query) else concept_seeds).append(query)
+        return concept_seeds, event_seeds
+
+    # ------------------------------------------------------------------
+    # stage 1: nodes
+    # ------------------------------------------------------------------
+    def register_entities(self) -> int:
+        """Create ENTITY nodes for gazetteer entities observed in the logs."""
+        observed: set[str] = set()
+        for query in self._graph.queries():
+            observed.update(self._ner.entities(tokenize(query)))
+        for doc_id in self._graph.doc_ids():
+            title = self._graph.title(doc_id)
+            if title:
+                observed.update(self._ner.entities(tokenize(title)))
+        for entity in sorted(observed):
+            self.ontology.add_node(NodeType.ENTITY, entity)
+        self.report.entities_registered = len(observed)
+        return len(observed)
+
+    def register_categories(self) -> None:
+        for category in self._categories:
+            self.ontology.add_node(NodeType.CATEGORY, category)
+
+    def mine_attentions(self, queries: "list[str] | None" = None
+                        ) -> tuple[list[MinedAttention], list[MinedAttention]]:
+        """Mine concept and event attentions; create ontology nodes."""
+        concept_seeds, event_seeds = self.split_seeds(queries)
+        concepts = self._miner.mine(concept_seeds, kind="concept")
+        events = self._miner.mine(event_seeds, kind="event")
+
+        for mined in concepts:
+            node = self.ontology.add_node(
+                NodeType.CONCEPT, mined.text,
+                payload={"context_titles": mined.phrase.context_titles,
+                         "support": mined.phrase.support},
+            )
+            for alias in mined.phrase.aliases:
+                self.ontology.add_alias(node.node_id, alias)
+        for mined in events:
+            self.ontology.add_node(
+                NodeType.EVENT, mined.text,
+                payload={"context_titles": mined.phrase.context_titles},
+            )
+        # Accumulate across incremental runs, deduplicating by canonical
+        # phrase object (the shared normalizer keeps these stable).
+        known = {id(m.phrase) for m in self._mined_concepts}
+        self._mined_concepts.extend(
+            m for m in concepts if id(m.phrase) not in known
+        )
+        known = {id(m.phrase) for m in self._mined_events}
+        self._mined_events.extend(m for m in events if id(m.phrase) not in known)
+        self.report.concepts_mined = len(self._mined_concepts)
+        self.report.events_mined = len(self._mined_events)
+        return concepts, events
+
+    # ------------------------------------------------------------------
+    # stage 2: derivation
+    # ------------------------------------------------------------------
+    def derive(self) -> None:
+        """CSD parent concepts and CPD topics, with isA edges.
+
+        CSD iterates to a fixpoint: derived parents can themselves share
+        suffixes, yielding grandparents ("hayao miyazaki animated films" ->
+        "animated films" -> "films") — bounded by phrase length.
+        """
+        total_derived = 0
+        for _level in range(8):  # longest phrases are < 8 tokens
+            concept_nodes = self.ontology.nodes(NodeType.CONCEPT)
+            derived = common_suffix_discovery(
+                [n.tokens for n in concept_nodes], self._pos, min_count=2
+            )
+            added = 0
+            for suffix, children in derived.items():
+                parent = self.ontology.add_node(NodeType.CONCEPT, " ".join(suffix))
+                for child_tokens in children:
+                    child = self.ontology.find(NodeType.CONCEPT, " ".join(child_tokens))
+                    if child is not None and child.node_id != parent.node_id:
+                        if not self.ontology.has_edge(parent.node_id, child.node_id,
+                                                      EdgeType.ISA):
+                            self.ontology.add_edge(parent.node_id, child.node_id,
+                                                   EdgeType.ISA)
+                            added += 1
+            total_derived += len(derived)
+            if added == 0:
+                break
+        self.report.concepts_derived = total_derived
+
+        event_nodes = self.ontology.nodes(NodeType.EVENT)
+        entity_concepts: dict[str, list[tuple[str, ...]]] = defaultdict(list)
+        for concept in self.ontology.nodes(NodeType.CONCEPT):
+            for instance in self.ontology.instances_of(concept.node_id):
+                if instance.node_type == NodeType.ENTITY:
+                    entity_concepts[instance.phrase].append(tuple(concept.tokens))
+        topics = common_pattern_discovery(
+            [n.tokens for n in event_nodes], self._ner, entity_concepts,
+            min_count=2,
+        )
+        for topic in topics:
+            node = self.ontology.add_node(
+                NodeType.TOPIC, " ".join(topic.phrase),
+                payload={"pattern": topic.pattern, "concept": topic.concept,
+                         "events": topic.events},
+            )
+            for event_tokens in topic.events:
+                event = self.ontology.find(NodeType.EVENT, " ".join(event_tokens))
+                if event is not None:
+                    if not self.ontology.has_edge(node.node_id, event.node_id,
+                                                  EdgeType.ISA):
+                        self.ontology.add_edge(node.node_id, event.node_id,
+                                               EdgeType.ISA)
+        self.report.topics_derived = len(topics)
+
+    # ------------------------------------------------------------------
+    # stage 3: linking
+    # ------------------------------------------------------------------
+    def link_categories(self) -> int:
+        distributions = {
+            m.text: m.categories for m in self._mined_concepts + self._mined_events
+        }
+        return link_attention_categories(
+            self.ontology, distributions,
+            threshold=self._config.linking.category_threshold,
+        )
+
+    def link_concept_entities(self, sessions: "list[tuple[str, str]]") -> int:
+        """Train the Figure-4 classifier and add concept-entity isA edges."""
+        concept_nodes = self.ontology.nodes(NodeType.CONCEPT)
+        entity_names = {n.phrase for n in self.ontology.nodes(NodeType.ENTITY)}
+
+        # Map queries -> the concept they convey (concept tokens contained).
+        concept_of_query: dict[str, str] = {}
+        docs_of_concept: dict[str, list[list[str]]] = defaultdict(list)
+        for node in concept_nodes:
+            ptoks = node.tokens
+            if not ptoks:
+                continue
+            for query in self._graph.queries():
+                qtoks = tokenize(query)
+                k = len(ptoks)
+                if any(qtoks[i:i + k] == ptoks for i in range(len(qtoks) - k + 1)):
+                    concept_of_query[query] = node.phrase
+                    for doc_id in self._graph.docs_for_query(query):
+                        title = self._graph.title(doc_id)
+                        if title:
+                            docs_of_concept[node.phrase].append(tokenize(title))
+
+        entity_category: dict[str, str] = {}
+        for doc_id in self._graph.doc_ids():
+            title = self._graph.title(doc_id)
+            category = self._graph.category(doc_id)
+            if not title or not category:
+                continue
+            for entity in self._ner.entities(tokenize(title)):
+                entity_category.setdefault(entity, category)
+
+        dataset = build_concept_entity_dataset(
+            sessions, concept_of_query, entity_names, entity_category,
+            docs_of_concept, seed=self._config.seed,
+        )
+        if not dataset or len({e.label for e in dataset}) < 2:
+            return 0
+        classifier = ConceptEntityClassifier()
+        classifier.fit(dataset)
+
+        # Candidate pairs: entities mentioned in a concept's clicked docs.
+        created = 0
+        for node in concept_nodes:
+            docs = docs_of_concept.get(node.phrase, [])
+            candidates: dict[str, list[list[str]]] = defaultdict(list)
+            for doc in docs:
+                for entity in self._ner.entities(doc):
+                    candidates[entity].append(doc)
+            if not candidates:
+                continue
+            examples = []
+            session_counts = defaultdict(int)
+            for first, follow in sessions:
+                if concept_of_query.get(first) == node.phrase and follow in entity_names:
+                    session_counts[follow] += 1
+            for entity, mention_docs in sorted(candidates.items()):
+                examples.append(ConceptEntityExample(
+                    node.phrase, entity, mention_docs[0], label=-1,
+                    session_count=session_counts.get(entity, 0),
+                    click_count=len(mention_docs),
+                ))
+            predictions = classifier.predict(examples)
+            for example, positive in zip(examples, predictions):
+                if not positive:
+                    continue
+                entity_node = self.ontology.find(NodeType.ENTITY, example.entity)
+                if entity_node is None:
+                    continue
+                if not self.ontology.has_edge(node.node_id, entity_node.node_id,
+                                              EdgeType.ISA):
+                    self.ontology.add_edge(node.node_id, entity_node.node_id,
+                                           EdgeType.ISA)
+                    created += 1
+        return created
+
+    def link_event_elements(self) -> int:
+        """Key-element recognition -> involve edges + event payload."""
+        created = 0
+        for mined in getattr(self, "_mined_events", []):
+            node = self.ontology.find(NodeType.EVENT, mined.text)
+            if node is None:
+                continue
+            queries, titles, _weights = self._miner.cluster_tokens(mined.cluster)
+            if self._key_element_model is not None:
+                example = prepare_example(queries, titles, self._extractor,
+                                          self._parser)
+                elements = recognize_key_elements(self._key_element_model, example)
+                # Keep only elements supported by the event phrase or its
+                # queries (the paper's manual revision step removes
+                # unimportant elements; this is its automatic analogue).
+                phrase_text = " ".join(node.tokens)
+                query_texts = [" ".join(q) for q in queries]
+                entities = [
+                    e for e in elements.entities
+                    if e in phrase_text or any(e in q for q in query_texts)
+                ]
+                node.payload["triggers"] = elements.triggers
+                node.payload["locations"] = elements.locations
+            else:
+                entities = self._ner.entities(node.tokens)
+            for entity in entities:
+                entity_node = self.ontology.find(NodeType.ENTITY, entity)
+                if entity_node is None:
+                    continue
+                if not self.ontology.has_edge(node.node_id, entity_node.node_id,
+                                              EdgeType.INVOLVE):
+                    self.ontology.add_edge(node.node_id, entity_node.node_id,
+                                           EdgeType.INVOLVE)
+                    created += 1
+        return created
+
+    def link_entity_correlations(self, epochs: int = 25) -> int:
+        """Hinge-loss embeddings over query/doc co-occurrence -> correlate."""
+        texts: list[str] = list(self._graph.queries())
+        texts.extend(self._graph.title(d) for d in self._graph.doc_ids())
+        pairs = mine_cooccurrence_pairs(
+            texts, self._ner, min_count=self._config.linking.min_cooccurrence
+        )
+        entities = [n.phrase for n in self.ontology.nodes(NodeType.ENTITY)]
+        if not pairs or len(entities) < 3:
+            return 0
+        trainer = EntityEmbeddingTrainer(entities, self._config.linking,
+                                         seed=self._config.seed)
+        try:
+            trainer.fit(pairs, epochs=epochs)
+        except ValueError:
+            return 0
+        created = 0
+        for a, b, distance in trainer.correlated_pairs():
+            na = self.ontology.find(NodeType.ENTITY, a)
+            nb = self.ontology.find(NodeType.ENTITY, b)
+            if na is None or nb is None:
+                continue
+            if not self.ontology.has_edge(na.node_id, nb.node_id, EdgeType.CORRELATE):
+                self.ontology.add_edge(na.node_id, nb.node_id, EdgeType.CORRELATE,
+                                       weight=1.0 / (1.0 + distance))
+                created += 1
+        return created
+
+    def link_concept_correlations(self, epochs: int = 40) -> int:
+        """Optional extension: correlate edges between concepts (paper
+        Section 3.2 closing note)."""
+        from .core.linking.concept_concept import link_concept_correlations
+
+        return link_concept_correlations(self.ontology, self._config.linking,
+                                         epochs=epochs, seed=self._config.seed)
+
+    # ------------------------------------------------------------------
+    def run(self, sessions: "list[tuple[str, str]] | None" = None,
+            queries: "list[str] | None" = None,
+            concept_correlations: bool = False) -> AttentionOntology:
+        """Execute all stages; returns the ontology.
+
+        Args:
+            sessions: consecutive-query session pairs (Figure 4 signal).
+            queries: seed queries (defaults to every query in the graph).
+            concept_correlations: also run the concept-correlate extension.
+        """
+        self._sessions = list(sessions or [])
+        self.register_categories()
+        self.register_entities()
+        self.mine_attentions(queries)
+        self._link_all(concept_correlations)
+        return self.ontology
+
+    def _link_all(self, concept_correlations: bool = False,
+                  max_passes: int = 3) -> None:
+        """Derivation + every linking stage, iterated to a fixpoint.
+
+        CSD/CPD can derive new parents from previously derived nodes (e.g.
+        a grandparent suffix of a derived suffix), so the stage loop runs
+        until the ontology stops changing (bounded by ``max_passes``).
+        """
+        for _pass in range(max_passes):
+            before = self.ontology.stats()
+            self.link_concept_entities(self._sessions)
+            self.derive()
+            link_attention_isa(self.ontology)
+            link_concept_topic_involve(self.ontology)
+            self.link_categories()
+            self.link_event_elements()
+            self.link_entity_correlations()
+            if concept_correlations:
+                self.link_concept_correlations()
+            if self.ontology.stats() == before:
+                break
+        self.report.edges = {
+            etype.value: len(self.ontology.edges(etype)) for etype in EdgeType
+        }
+
+    def extend(self, new_graph: ClickGraph,
+               sessions: "list[tuple[str, str]] | None" = None,
+               concept_correlations: bool = False) -> dict[str, int]:
+        """Fold one more day of logs into the ontology (incremental growth).
+
+        The paper's system "keeps growing with newly retrieved nodes and
+        identified relationships every day"; this merges the new click
+        graph, mines only the newly observed queries (the shared normalizer
+        merges re-discoveries into existing nodes), and re-runs the
+        idempotent derivation/linking stages.
+
+        Returns:
+            Per-stat growth: new ontology stats minus previous stats.
+        """
+        before = self.ontology.stats()
+        existing_queries = set(self._graph.queries())
+        self._graph.merge(new_graph)
+        new_queries = [q for q in new_graph.queries() if q not in existing_queries]
+        if sessions:
+            self._sessions.extend(sessions)
+        self.register_entities()
+        if new_queries:
+            self.mine_attentions(new_queries)
+        self._link_all(concept_correlations)
+        after = self.ontology.stats()
+        return {key: after[key] - before.get(key, 0) for key in after}

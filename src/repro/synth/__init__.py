@@ -1,0 +1,45 @@
+"""Synthetic search-click-log world.
+
+The paper builds the Attention Ontology from Tencent QQ-Browser query logs,
+which are proprietary.  This package provides the substitution documented in
+DESIGN.md: a deterministic *ground-truth world* (categories, entities,
+concepts, events, topics across several content domains) and generators that
+emit the artifacts GIANT consumes — queries, clicked document titles, click
+counts, user sessions, document bodies, and day-by-day log streams — with
+gold labels attached for evaluation.
+
+The generators exercise the same statistical structure the real logs have:
+Zipf-distributed clicks, paraphrased queries, titles that contain the concept
+tokens in order but with extra tokens interleaved (the paper's query-title
+alignment signal), subtitle-structured event headlines, and consecutive
+concept->entity query sessions (the paper's Figure 4 signal).
+"""
+
+from .vocab import DOMAINS, DomainSpec
+from .world import (
+    World,
+    WorldConfig,
+    EntitySpec,
+    ConceptSpec,
+    EventSpec,
+    TopicSpec,
+    build_world,
+)
+from .querylog import QueryLogGenerator, LogDay
+from .documents import DocumentGenerator, SyntheticDocument
+
+__all__ = [
+    "DOMAINS",
+    "DomainSpec",
+    "World",
+    "WorldConfig",
+    "EntitySpec",
+    "ConceptSpec",
+    "EventSpec",
+    "TopicSpec",
+    "build_world",
+    "QueryLogGenerator",
+    "LogDay",
+    "DocumentGenerator",
+    "SyntheticDocument",
+]

@@ -1,0 +1,141 @@
+"""Full synthetic documents for the tagging application.
+
+Document tagging (paper Section 4) needs documents with *bodies*, not just
+titles: concept tagging works from the key entities a document mentions even
+when the concept phrase itself never appears.  The generator therefore emits
+two kinds of documents:
+
+* **concept documents** — mention 2-3 member entities of a gold concept plus
+  domain context words, *without* the concept phrase (tests abstractive
+  tagging, e.g. the paper's "Marvel Super Hero Movies" example);
+* **event documents** — lead with the event headline and mention the
+  involved entity/location (tests LCS + Duet event tagging).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import make_rng
+from ..text.tokenizer import tokenize
+from .world import World
+
+
+@dataclass
+class SyntheticDocument:
+    """A generated document with gold tags."""
+
+    doc_id: str
+    title: str
+    sentences: list[list[str]] = field(default_factory=list)
+    category: str = ""
+    day: int = 0
+    gold_concepts: set[str] = field(default_factory=set)
+    gold_events: set[str] = field(default_factory=set)
+    key_entities: list[str] = field(default_factory=list)
+
+    @property
+    def title_tokens(self) -> list[str]:
+        return tokenize(self.title)
+
+    @property
+    def all_tokens(self) -> list[str]:
+        out = self.title_tokens
+        for sent in self.sentences:
+            out = out + sent
+        return out
+
+
+_CONCEPT_SENTENCES = (
+    "many readers ask about {entity} and how it compares",
+    "the {entity} stands out in recent coverage",
+    "{entity} has received strong reviews this season",
+    "experts often recommend {entity} to newcomers",
+)
+
+_EVENT_SENTENCES = (
+    "the story about {entity} is developing quickly",
+    "reactions to the news about {entity} keep coming in",
+    "observers say {entity} will dominate headlines this week",
+)
+
+
+class DocumentGenerator:
+    """Generates tagged evaluation documents from a world."""
+
+    def __init__(self, world: World, seed: "int | None" = None) -> None:
+        self._world = world
+        self._rng = make_rng(world.config.seed + 101 if seed is None else seed)
+        self._counter = 0
+
+    def _next_id(self) -> str:
+        self._counter += 1
+        return f"doc_{self._counter:06d}"
+
+    def concept_document(self, concept_phrase: str) -> SyntheticDocument:
+        """A document about a concept that never states the concept phrase."""
+        concept = self._world.concepts[concept_phrase]
+        rng = self._rng
+        members = list(concept.members)
+        k = min(len(members), int(rng.integers(2, 4)))
+        idx = rng.choice(len(members), size=k, replace=False)
+        chosen = [members[int(i)] for i in idx]
+        domain = next(d for d in self._world.domains if d.name == concept.domain)
+
+        title = f"{chosen[0]} and {chosen[-1]} : what buyers should know"
+        sentences = []
+        for entity in chosen:
+            template = str(rng.choice(list(_CONCEPT_SENTENCES)))
+            sentences.append(tokenize(template.format(entity=entity)))
+        if domain.context_words:
+            ctx = rng.choice(list(domain.context_words),
+                             size=min(3, len(domain.context_words)), replace=False)
+            sentences.append(tokenize("coverage focuses on " + " and ".join(ctx)))
+
+        return SyntheticDocument(
+            doc_id=self._next_id(),
+            title=title,
+            sentences=sentences,
+            category=concept.category[2],
+            gold_concepts={concept.phrase},
+            key_entities=chosen,
+        )
+
+    def event_document(self, event_id: str) -> SyntheticDocument:
+        """A news document about an event, headline first."""
+        event = self._world.events[event_id]
+        rng = self._rng
+        title = f"{event.phrase} , report"
+        first = tokenize(f"{event.phrase} according to sources")
+        sentences = [first]
+        template = str(rng.choice(list(_EVENT_SENTENCES)))
+        sentences.append(tokenize(template.format(entity=event.entity)))
+        if event.location:
+            sentences.append(tokenize(f"the report came from {event.location}"))
+
+        return SyntheticDocument(
+            doc_id=self._next_id(),
+            title=title,
+            sentences=sentences,
+            category=event.category[2],
+            day=event.day,
+            gold_events={event.phrase},
+            gold_concepts=set(),
+            key_entities=[event.entity],
+        )
+
+    def corpus(self, num_concept_docs: int = 20, num_event_docs: int = 10
+               ) -> list[SyntheticDocument]:
+        """A mixed evaluation corpus."""
+        rng = self._rng
+        docs: list[SyntheticDocument] = []
+        concepts = list(self._world.concepts)
+        for _i in range(num_concept_docs):
+            phrase = concepts[int(rng.integers(0, len(concepts)))]
+            docs.append(self.concept_document(phrase))
+        events = list(self._world.events)
+        if events:
+            for _i in range(num_event_docs):
+                event_id = events[int(rng.integers(0, len(events)))]
+                docs.append(self.event_document(event_id))
+        return docs

@@ -1,0 +1,245 @@
+"""Search-click-log generation from a ground-truth world.
+
+Each simulated day produces:
+
+* **clicks** — (query, doc_id, title, category, count) records forming the
+  day's bipartite click graph.  Click counts are Zipf-distributed; titles
+  contain concept tokens in order but interleaved with modifier tokens (the
+  paper's query-title alignment signal, Figure 3) and event headlines carry
+  a subtitle structure (commas) for CoverRank.
+* **sessions** — consecutive-query pairs per simulated user; concept query
+  followed by a member-entity query is the positive signal of the paper's
+  Figure 4 (concept-entity isA classifier training data).
+* **entity co-queries** — "x vs y" queries whose entity pairs share a
+  concept (the correlate-edge signal).
+
+Everything is deterministic given the world's config seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import make_rng
+from ..text.tokenizer import tokenize
+from .vocab import (
+    CONCEPT_MODIFIERS,
+    CONCEPT_QUERY_TEMPLATES,
+    CONCEPT_TITLE_TEMPLATES,
+    ENTITY_TITLE_TEMPLATES,
+    EVENT_QUERY_TEMPLATES,
+    EVENT_TITLE_TEMPLATES,
+)
+from .world import ConceptSpec, EventSpec, World
+
+
+@dataclass(frozen=True)
+class ClickRecord:
+    """One aggregated (query, document) click edge for a day."""
+
+    query: str
+    doc_id: str
+    title: str
+    category: str  # leaf category label of the document
+    count: int
+
+
+@dataclass
+class LogDay:
+    """All log artifacts of one simulated day."""
+
+    day: int
+    clicks: list[ClickRecord] = field(default_factory=list)
+    sessions: list[tuple[str, str]] = field(default_factory=list)
+    event_ids: list[str] = field(default_factory=list)
+
+    @property
+    def queries(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for rec in self.clicks:
+            seen.setdefault(rec.query, None)
+        return list(seen)
+
+
+def mention_with_insertion(phrase: str, modifier: "str | None") -> str:
+    """Insert ``modifier`` inside the phrase (before its last two tokens).
+
+    "hayao miyazaki animated films" + "famous" ->
+    "hayao miyazaki famous animated films" — concept tokens stay in order
+    but are no longer a contiguous span (paper Figure 3).
+    """
+    tokens = phrase.split()
+    if modifier is None or len(tokens) < 3:
+        return phrase if modifier is None else f"{modifier} {phrase}"
+    cut = max(1, len(tokens) - 2)
+    return " ".join(tokens[:cut] + [modifier] + tokens[cut:])
+
+
+class QueryLogGenerator:
+    """Generates day-by-day click logs from a :class:`World`."""
+
+    def __init__(self, world: World, seed: "int | None" = None,
+                 concepts_per_day: "int | None" = None,
+                 zipf_exponent: float = 1.3, base_clicks: int = 60) -> None:
+        self._world = world
+        self._rng = make_rng(world.config.seed if seed is None else seed)
+        self._concepts_per_day = concepts_per_day
+        self._zipf_exponent = zipf_exponent
+        self._base_clicks = base_clicks
+        self._doc_counter = 0
+
+    # ------------------------------------------------------------------
+    def _new_doc_id(self, day: int) -> str:
+        self._doc_counter += 1
+        return f"d{day:03d}_{self._doc_counter:06d}"
+
+    def _zipf_counts(self, n: int) -> list[int]:
+        """Zipf-shaped click counts for n ranked documents."""
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = ranks ** (-self._zipf_exponent)
+        counts = np.maximum(1, (self._base_clicks * weights)).astype(int)
+        return counts.tolist()
+
+    # ------------------------------------------------------------------
+    def _concept_day_records(self, concept: ConceptSpec, day: int
+                             ) -> tuple[list[ClickRecord], list[tuple[str, str]]]:
+        rng = self._rng
+        leaf_category = concept.category[2]
+        records: list[ClickRecord] = []
+
+        num_queries = int(rng.integers(2, min(4, len(CONCEPT_QUERY_TEMPLATES)) + 1))
+        query_idx = rng.choice(len(CONCEPT_QUERY_TEMPLATES), size=num_queries, replace=False)
+        queries = [CONCEPT_QUERY_TEMPLATES[i].format(concept.phrase) for i in query_idx]
+
+        # Concept-level documents: titles mention the concept, sometimes with
+        # an inserted modifier token.
+        titles: list[tuple[str, str]] = []  # (title, category)
+        num_docs = int(rng.integers(2, 4))
+        title_idx = rng.choice(len(CONCEPT_TITLE_TEMPLATES), size=num_docs, replace=False)
+        for i in title_idx:
+            modifier = (
+                str(rng.choice(list(CONCEPT_MODIFIERS)))
+                if rng.random() < 0.5
+                else None
+            )
+            mention = mention_with_insertion(concept.phrase, modifier)
+            titles.append((CONCEPT_TITLE_TEMPLATES[i].format(mention), leaf_category))
+
+        # Entity-level documents: a couple of member-entity docs.
+        members = list(concept.members)
+        member_count = min(2, len(members))
+        member_idx = rng.choice(len(members), size=member_count, replace=False)
+        for i in member_idx:
+            entity = members[int(i)]
+            template = str(rng.choice(list(ENTITY_TITLE_TEMPLATES)))
+            titles.append(
+                (template.format(entity=entity, concept=concept.phrase), leaf_category)
+            )
+
+        counts = self._zipf_counts(len(titles))
+        doc_ids = [self._new_doc_id(day) for _ in titles]
+        for query in queries:
+            for (title, category), doc_id, count in zip(titles, doc_ids, counts):
+                # Every query clicks every doc with a per-query jitter.
+                jitter = int(rng.integers(0, 5))
+                records.append(
+                    ClickRecord(query, doc_id, title, category, max(1, count - jitter))
+                )
+
+        # Sessions: concept query followed by a member entity query.
+        sessions: list[tuple[str, str]] = []
+        for i in member_idx:
+            entity = members[int(i)]
+            sessions.append((queries[0], entity))
+        return records, sessions
+
+    # ------------------------------------------------------------------
+    def _event_day_records(self, event: EventSpec, day: int) -> list[ClickRecord]:
+        rng = self._rng
+        leaf_category = event.category[2]
+        records: list[ClickRecord] = []
+        phrase = event.phrase
+        if event.location and rng.random() < 0.7:
+            phrase = f"{phrase} in {event.location}"
+
+        num_queries = int(rng.integers(1, len(EVENT_QUERY_TEMPLATES) + 1))
+        query_idx = rng.choice(len(EVENT_QUERY_TEMPLATES), size=num_queries, replace=False)
+        queries = [EVENT_QUERY_TEMPLATES[i].format(event.phrase) for i in query_idx]
+        # An entity+trigger shorthand query, like real user behaviour.
+        queries.append(f"{event.entity} {event.trigger}")
+
+        num_titles = int(rng.integers(2, 4))
+        title_idx = rng.choice(len(EVENT_TITLE_TEMPLATES), size=num_titles, replace=False)
+        titles = [EVENT_TITLE_TEMPLATES[i].format(phrase) for i in title_idx]
+        counts = self._zipf_counts(len(titles))
+        doc_ids = [self._new_doc_id(day) for _ in titles]
+        for query in queries:
+            for title, doc_id, count in zip(titles, doc_ids, counts):
+                jitter = int(rng.integers(0, 3))
+                records.append(
+                    ClickRecord(query, doc_id, title, leaf_category, max(1, count - jitter))
+                )
+        return records
+
+    # ------------------------------------------------------------------
+    def _entity_co_queries(self, day: int) -> list[ClickRecord]:
+        """Queries mentioning two correlated entities ("x vs y")."""
+        rng = self._rng
+        records: list[ClickRecord] = []
+        concepts = list(self._world.concepts.values())
+        num = max(1, len(concepts) // 3)
+        chosen = rng.choice(len(concepts), size=min(num, len(concepts)), replace=False)
+        for i in chosen:
+            concept = concepts[int(i)]
+            if len(concept.members) < 2:
+                continue
+            pair_idx = rng.choice(len(concept.members), size=2, replace=False)
+            a, b = (concept.members[int(j)] for j in pair_idx)
+            query = f"{a} vs {b}"
+            title = f"comparison : {a} vs {b} , which is better"
+            records.append(
+                ClickRecord(query, self._new_doc_id(day), title,
+                            concept.category[2], int(rng.integers(3, 20)))
+            )
+        return records
+
+    # ------------------------------------------------------------------
+    def generate_day(self, day: int) -> LogDay:
+        """Generate one day's log."""
+        world = self._world
+        log = LogDay(day=day)
+
+        concepts = list(world.concepts.values())
+        if self._concepts_per_day is not None and self._concepts_per_day < len(concepts):
+            idx = self._rng.choice(len(concepts), size=self._concepts_per_day, replace=False)
+            concepts = [concepts[int(i)] for i in idx]
+        for concept in concepts:
+            records, sessions = self._concept_day_records(concept, day)
+            log.clicks.extend(records)
+            log.sessions.extend(sessions)
+
+        for event in world.events_on_day(day):
+            log.clicks.extend(self._event_day_records(event, day))
+            log.event_ids.append(event.event_id)
+
+        log.clicks.extend(self._entity_co_queries(day))
+        return log
+
+    def generate_days(self, num_days: "int | None" = None) -> list[LogDay]:
+        """Generate the full day range of the world config."""
+        total = num_days if num_days is not None else self._world.config.num_days
+        return [self.generate_day(d) for d in range(total)]
+
+
+def build_click_graph(days: "list[LogDay]"):
+    """Aggregate log days into a single :class:`ClickGraph`."""
+    from ..graph.click_graph import ClickGraph
+
+    graph = ClickGraph()
+    for day in days:
+        for rec in day.clicks:
+            graph.add_click(rec.query, rec.doc_id, rec.count,
+                            title=rec.title, category=rec.category)
+    return graph

@@ -1,0 +1,440 @@
+"""Seed vocabularies for the synthetic world.
+
+Each :class:`DomainSpec` describes one content domain: its category path,
+entity gazetteer, the attribute groups that define ground-truth concepts,
+event templates with triggers/locations, and topic patterns.  The hand-
+written seeds mirror the paper's showcase examples (Tables 3-4: famous
+long-distance runners, american crime drama series, cellphone launch events,
+LoL season finals, ...); :func:`repro.synth.world.build_world` expands them
+procedurally to reach configurable scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ConceptSeed:
+    """A ground-truth concept: a noun phrase naming a group of entities."""
+
+    phrase: str  # e.g. "fuel efficient cars"
+    members: tuple[str, ...]  # entity names belonging to the concept
+
+
+@dataclass(frozen=True)
+class EventTemplate:
+    """A template stamping out events: ``{entity} <trigger clause>``.
+
+    ``pattern`` tokens use the placeholder ``X`` for the entity slot; the
+    topic phrase generalises the slot to the concept name (paper CPD).
+    """
+
+    pattern: str  # e.g. "X launches new flagship phone"
+    trigger: str  # the trigger word, e.g. "launches"
+    topic: str  # e.g. "cellphone launch events"
+    entity_pool: str  # name of the concept whose members fill X
+    location_pool: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One content domain of the synthetic world."""
+
+    name: str
+    category_path: tuple[str, str, str]  # 3-level hierarchy, root -> leaf
+    entity_type: str  # NER type of this domain's entities
+    entities: tuple[str, ...]
+    concepts: tuple[ConceptSeed, ...]
+    events: tuple[EventTemplate, ...]
+    # Generic per-domain context words used in titles and documents.
+    context_words: tuple[str, ...] = ()
+
+
+LOCATIONS: tuple[str, ...] = (
+    "california", "beijing", "london", "tokyo", "berlin", "seoul",
+    "shanghai", "paris", "austin", "vancouver",
+)
+
+# ---------------------------------------------------------------------------
+# hand-written seed domains (mirroring the paper's showcases)
+# ---------------------------------------------------------------------------
+
+CARS = DomainSpec(
+    name="cars",
+    category_path=("auto", "cars", "sedans"),
+    entity_type="PROD",
+    entities=(
+        "honda civic", "toyota corolla", "toyota prius", "ford focus",
+        "honda odyssey", "ford edge", "tesla model3", "nissan leaf",
+        "mazda cx5", "subaru outback", "honda accord", "hyundai elantra",
+    ),
+    concepts=(
+        ConceptSeed("fuel efficient cars",
+                    ("honda civic", "toyota corolla", "toyota prius", "hyundai elantra")),
+        ConceptSeed("economy cars",
+                    ("honda civic", "toyota corolla", "ford focus", "hyundai elantra")),
+        ConceptSeed("family road trip vehicles",
+                    ("honda odyssey", "ford edge", "subaru outback")),
+        ConceptSeed("electric cars",
+                    ("tesla model3", "nissan leaf")),
+    ),
+    events=(
+        EventTemplate("X recalls thousands of vehicles", "recalls",
+                      "car recall events", "economy cars", LOCATIONS[:4]),
+        EventTemplate("X unveils new electric suv", "unveils",
+                      "new car launch events", "electric cars", LOCATIONS[:4]),
+    ),
+    context_words=("mpg", "sedan", "engine", "mileage", "dealer", "hybrid"),
+)
+
+MOVIES = DomainSpec(
+    name="movies",
+    category_path=("entertainment", "film", "animation"),
+    entity_type="WORK",
+    entities=(
+        "spirited away", "my neighbor totoro", "princess mononoke",
+        "howls moving castle", "iron man", "captain america",
+        "avengers endgame", "black panther", "toy story", "frozen",
+        "the lion king", "coco",
+    ),
+    concepts=(
+        ConceptSeed("hayao miyazaki animated films",
+                    ("spirited away", "my neighbor totoro", "princess mononoke",
+                     "howls moving castle")),
+        ConceptSeed("marvel superhero movies",
+                    ("iron man", "captain america", "avengers endgame", "black panther")),
+        ConceptSeed("classic animated films",
+                    ("toy story", "the lion king", "spirited away", "frozen")),
+    ),
+    events=(
+        EventTemplate("X premiere breaks box office record", "breaks",
+                      "box office record events", "marvel superhero movies", LOCATIONS[:3]),
+        EventTemplate("X sequel officially announced", "announced",
+                      "movie sequel announcement events", "classic animated films"),
+    ),
+    context_words=("film", "review", "director", "box", "office", "animated", "studio"),
+)
+
+PHONES = DomainSpec(
+    name="phones",
+    category_path=("technology", "gadgets", "cellphones"),
+    entity_type="PROD",
+    entities=(
+        "iphone xs", "iphone 6", "huawei mate20 pro", "samsung galaxy s9",
+        "samsung galaxy note7", "xiaomi mi8", "pixel 3", "oneplus 6t",
+        "huawei p30", "iphone 12",
+    ),
+    concepts=(
+        ConceptSeed("huawei cellphones", ("huawei mate20 pro", "huawei p30")),
+        ConceptSeed("flagship smartphones",
+                    ("iphone xs", "huawei mate20 pro", "samsung galaxy s9", "pixel 3")),
+        ConceptSeed("budget smartphones", ("xiaomi mi8", "oneplus 6t")),
+        ConceptSeed("apple cellphones", ("iphone xs", "iphone 6", "iphone 12")),
+    ),
+    events=(
+        EventTemplate("X officially released", "released",
+                      "cellphone launch events", "flagship smartphones", LOCATIONS[:5]),
+        EventTemplate("X explosion reported", "explosion",
+                      "cellphone explosion events", "apple cellphones", LOCATIONS[:5]),
+        EventTemplate("X battery recall announced", "recall",
+                      "cellphone recall events", "flagship smartphones"),
+    ),
+    context_words=("battery", "camera", "screen", "specs", "price", "android", "chip"),
+)
+
+GAMES = DomainSpec(
+    name="games",
+    category_path=("entertainment", "esports", "moba games"),
+    entity_type="PROD",
+    entities=(
+        "league of legends", "dota 2", "honor of kings", "overwatch",
+        "ig team", "fnatic team", "skt team", "g2 team",
+    ),
+    concepts=(
+        ConceptSeed("moba games", ("league of legends", "dota 2", "honor of kings")),
+        ConceptSeed("esports teams", ("ig team", "fnatic team", "skt team", "g2 team")),
+    ),
+    events=(
+        EventTemplate("X wins the s8 final", "wins",
+                      "league of legends season finals", "esports teams", LOCATIONS[:3]),
+        EventTemplate("X announces championship roster", "announces",
+                      "esports roster events", "esports teams"),
+    ),
+    context_words=("finals", "season", "tournament", "match", "player", "champion"),
+)
+
+SPORTS = DomainSpec(
+    name="sports",
+    category_path=("sports", "athletics", "marathon"),
+    entity_type="PER",
+    entities=(
+        "dennis kimetto", "kenenisa bekele", "eliud kipchoge",
+        "mo farah", "usain bolt", "allyson felix",
+    ),
+    concepts=(
+        ConceptSeed("famous long distance runners",
+                    ("dennis kimetto", "kenenisa bekele", "eliud kipchoge", "mo farah")),
+        ConceptSeed("olympic sprinters", ("usain bolt", "allyson felix")),
+    ),
+    events=(
+        EventTemplate("X breaks marathon world record", "breaks",
+                      "marathon record events", "famous long distance runners",
+                      LOCATIONS[2:6]),
+        EventTemplate("X retires from competition", "retires",
+                      "athlete retirement events", "olympic sprinters"),
+    ),
+    context_words=("marathon", "record", "race", "olympics", "finish", "coach"),
+)
+
+MUSIC = DomainSpec(
+    name="music",
+    category_path=("entertainment", "music", "pop singers"),
+    entity_type="PER",
+    entities=(
+        "jay chou", "taylor swift", "katy perry", "adele",
+        "ed sheeran", "beyonce", "eason chan",
+    ),
+    concepts=(
+        ConceptSeed("pop singers",
+                    ("jay chou", "taylor swift", "katy perry", "adele", "ed sheeran")),
+        ConceptSeed("grammy winners", ("taylor swift", "adele", "beyonce")),
+    ),
+    events=(
+        EventTemplate("X will have a concert", "concert",
+                      "singer concert events", "pop singers", LOCATIONS[:6]),
+        EventTemplate("X won the golden melody awards", "won",
+                      "singers win music awards", "pop singers"),
+        EventTemplate("X won the grammy awards", "won",
+                      "singers win music awards", "grammy winners"),
+    ),
+    context_words=("album", "concert", "award", "stage", "tour", "single"),
+)
+
+DRAMA = DomainSpec(
+    name="drama",
+    category_path=("entertainment", "tv", "drama series"),
+    entity_type="WORK",
+    entities=(
+        "american crime story", "breaking bad", "criminal minds",
+        "true detective", "sherlock", "the wire", "narcos",
+    ),
+    concepts=(
+        ConceptSeed("american crime drama series",
+                    ("american crime story", "breaking bad", "criminal minds", "the wire")),
+        ConceptSeed("detective drama series",
+                    ("true detective", "sherlock", "criminal minds")),
+    ),
+    events=(
+        EventTemplate("X season finale airs tonight", "airs",
+                      "season finale events", "american crime drama series"),
+        EventTemplate("X renewed for another season", "renewed",
+                      "series renewal events", "detective drama series"),
+    ),
+    context_words=("season", "episode", "series", "finale", "cast", "plot"),
+)
+
+POLITICS = DomainSpec(
+    name="politics",
+    category_path=("current events", "world politics", "trade policy"),
+    entity_type="PER",
+    entities=(
+        "theresa may", "donald trump", "angela merkel", "boris johnson",
+        "emmanuel macron", "shinzo abe",
+    ),
+    concepts=(
+        ConceptSeed("european leaders",
+                    ("theresa may", "angela merkel", "boris johnson", "emmanuel macron")),
+        ConceptSeed("world leaders",
+                    ("donald trump", "angela merkel", "emmanuel macron", "shinzo abe")),
+    ),
+    events=(
+        EventTemplate("X resignation speech", "resignation",
+                      "brexit negotiation", "european leaders", ("london",)),
+        EventTemplate("X imposes new tariffs", "imposes",
+                      "trade war events", "world leaders", ("beijing", "london")),
+        EventTemplate("X signs trade agreement", "signs",
+                      "trade war events", "world leaders"),
+    ),
+    context_words=("government", "policy", "minister", "tariffs", "summit", "vote"),
+)
+
+FICTION = DomainSpec(
+    name="fiction",
+    category_path=("culture", "books", "fiction"),
+    entity_type="WORK",
+    entities=(
+        "adventure of sherlock holmes", "the maltese falcon",
+        "murder on the orient express", "gone girl", "the big sleep",
+    ),
+    concepts=(
+        ConceptSeed("detective fiction",
+                    ("adventure of sherlock holmes", "the maltese falcon",
+                     "murder on the orient express", "the big sleep")),
+    ),
+    events=(
+        EventTemplate("X adaptation announced by studio", "announced",
+                      "book adaptation events", "detective fiction"),
+    ),
+    context_words=("novel", "author", "mystery", "chapter", "plot"),
+)
+
+FOOD = DomainSpec(
+    name="food",
+    category_path=("lifestyle", "dining", "restaurants"),
+    entity_type="ORG",
+    entities=(
+        "maple leaf bistro", "golden dragon palace", "casa verde",
+        "the salty anchor", "bluebird diner", "sakura garden",
+        "little havana grill",
+    ),
+    concepts=(
+        ConceptSeed("family friendly restaurants",
+                    ("maple leaf bistro", "bluebird diner", "casa verde")),
+        ConceptSeed("top rated seafood restaurants",
+                    ("the salty anchor", "sakura garden")),
+    ),
+    events=(
+        EventTemplate("X opens second location", "opens",
+                      "restaurant expansion events", "family friendly restaurants",
+                      LOCATIONS[6:]),
+        EventTemplate("X wins michelin star", "wins",
+                      "michelin award events", "top rated seafood restaurants"),
+    ),
+    context_words=("menu", "chef", "reservation", "dish", "brunch", "patio"),
+)
+
+TRAVEL = DomainSpec(
+    name="travel",
+    category_path=("lifestyle", "travel", "destinations"),
+    entity_type="LOC",
+    entities=(
+        "banff national park", "santorini island", "kyoto old town",
+        "patagonia trail", "amalfi coast", "zion canyon",
+    ),
+    concepts=(
+        ConceptSeed("best hiking destinations",
+                    ("banff national park", "patagonia trail", "zion canyon")),
+        ConceptSeed("romantic island getaways",
+                    ("santorini island", "amalfi coast")),
+    ),
+    events=(
+        EventTemplate("X reopens after restoration", "reopens",
+                      "destination reopening events", "best hiking destinations"),
+    ),
+    context_words=("itinerary", "trail", "booking", "season", "flights", "views"),
+)
+
+FINANCE = DomainSpec(
+    name="finance",
+    category_path=("finance", "markets", "tech stocks"),
+    entity_type="ORG",
+    entities=(
+        "vertex dynamics", "nimbus cloudworks", "atlas semiconductors",
+        "brightpath capital", "orchid biotech", "quantum forge labs",
+    ),
+    concepts=(
+        ConceptSeed("fast growing tech stocks",
+                    ("vertex dynamics", "nimbus cloudworks", "atlas semiconductors")),
+        ConceptSeed("dividend paying stocks",
+                    ("brightpath capital", "orchid biotech")),
+    ),
+    events=(
+        EventTemplate("X reports record quarterly earnings", "reports",
+                      "earnings report events", "fast growing tech stocks"),
+        EventTemplate("X announces stock buyback", "announces",
+                      "stock buyback events", "dividend paying stocks"),
+    ),
+    context_words=("earnings", "shares", "dividend", "quarter", "revenue", "ipo"),
+)
+
+ANIME = DomainSpec(
+    name="anime",
+    category_path=("entertainment", "anime", "shonen series"),
+    entity_type="WORK",
+    entities=(
+        "attack on titan", "fullmetal alchemist", "demon slayer",
+        "one piece", "death note", "cowboy bebop",
+    ),
+    concepts=(
+        ConceptSeed("classic shonen anime",
+                    ("attack on titan", "fullmetal alchemist", "one piece",
+                     "demon slayer")),
+        ConceptSeed("psychological thriller anime",
+                    ("death note", "cowboy bebop")),
+    ),
+    events=(
+        EventTemplate("X final season trailer released", "released",
+                      "anime season trailer events", "classic shonen anime"),
+    ),
+    context_words=("episode", "manga", "season", "studio", "arc", "dub"),
+)
+
+DOMAINS: tuple[DomainSpec, ...] = (
+    CARS, MOVIES, PHONES, GAMES, SPORTS, MUSIC, DRAMA, POLITICS, FICTION,
+    FOOD, TRAVEL, FINANCE, ANIME,
+)
+
+# Query scaffolds for concepts: `{}` is replaced by the concept phrase.
+CONCEPT_QUERY_TEMPLATES: tuple[str, ...] = (
+    "{}",
+    "best {}",
+    "top 5 {}",
+    "what are the {}",
+    "list of {}",
+    "most popular {}",
+)
+
+# Noisy query scaffolds: free-form phrasings that match no Hearst-style
+# pattern (the reason pattern matching alone has low coverage on real logs).
+CONCEPT_QUERY_TEMPLATES_NOISY: tuple[str, ...] = (
+    "recommend some {} please",
+    "looking for {} this year",
+    "{} 2018 picks",
+    "which {} should i buy",
+    "any good {} out there",
+)
+
+# Title scaffolds for concept docs: first `{}` concept, second `{}` entity.
+CONCEPT_TITLE_TEMPLATES: tuple[str, ...] = (
+    "the famous {} you should know",
+    "review of the best {} this year",
+    "{} ranked : our picks",
+    "why {} are worth your attention",
+    "10 {} that critics love",
+)
+
+ENTITY_TITLE_TEMPLATES: tuple[str, ...] = (
+    "{entity} review : a solid pick among {concept}",
+    "{entity} vs rivals : the {concept} showdown",
+    "everything about {entity} , one of the famous {concept}",
+)
+
+# Modifier words inserted inside concept mentions (the paper's Figure 3
+# "famous" insertion), exercising non-contiguous phrase extraction.
+CONCEPT_MODIFIERS: tuple[str, ...] = (
+    "famous", "classic", "popular", "new", "great", "top", "best",
+)
+
+# Event headline scaffolds: `{}` is the event phrase; commas create the
+# subtitle structure CoverRank depends on.
+EVENT_TITLE_TEMPLATES: tuple[str, ...] = (
+    "breaking : {} , full coverage here",
+    "{} , what we know so far",
+    "just in : {} , live updates",
+    "{} , analysis and reactions",
+)
+
+# Split-headline scaffolds: the event phrase is broken across two subtitles
+# ("{head}" / "{tail}") — single-span taggers and subtitle ranking cannot
+# recover the full phrase from these, graph aggregation can.
+EVENT_TITLE_SPLIT_TEMPLATES: tuple[str, ...] = (
+    "{head} update : {tail} , analysis here",
+    "{head} story : {tail} , reactions pour in",
+)
+
+EVENT_QUERY_TEMPLATES: tuple[str, ...] = (
+    "{}",
+    "{} news",
+    "{} latest",
+)

@@ -1,0 +1,333 @@
+"""Ground-truth world construction.
+
+A :class:`World` is the synthetic substitute for "reality as seen through
+Tencent's query logs": a category hierarchy, entity gazetteer, ground-truth
+concepts (entity groups with natural-language names), timed events and their
+topics.  Generators in :mod:`repro.synth.querylog` emit logs *from* this
+world; evaluation measures how much of the world GIANT recovers.
+
+Scale is controlled by :class:`WorldConfig` — seed domains are hand-written
+(mirroring the paper's showcase tables) and procedural domains are stamped
+out from pronounceable generated vocabulary until the requested size is
+reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import make_rng
+from ..text.ner import NerTagger
+from ..text.pos import PosTagger
+from ..text.tokenizer import tokenize
+from .vocab import DOMAINS, LOCATIONS, ConceptSeed, DomainSpec, EventTemplate
+
+_SYLLABLES = (
+    "ka", "lor", "vin", "mek", "tra", "zu", "bel", "dor", "fi", "gan",
+    "hu", "jin", "kel", "lu", "mor", "nex", "pol", "qui", "rud", "sol",
+    "tam", "ul", "vex", "wil", "xan", "yor", "zet", "bri", "cas", "del",
+)
+
+_PRODUCT_NOUNS = (
+    "routers", "drones", "laptops", "cameras", "speakers", "tablets",
+    "monitors", "keyboards", "headsets", "printers", "scooters", "watches",
+    "consoles", "projectors", "chargers",
+)
+
+_MODIFIERS = (
+    "premium", "compact", "wireless", "vintage", "portable", "rugged",
+    "budget", "flagship", "smart", "foldable",
+)
+
+_EXTRA_TRIGGERS = (
+    ("launches", "launch events"),
+    ("recalls", "recall events"),
+    ("discontinues", "discontinuation events"),
+    ("upgrades", "upgrade events"),
+)
+
+
+@dataclass(frozen=True)
+class EntitySpec:
+    """A ground-truth entity."""
+
+    name: str
+    entity_type: str
+    domain: str
+    category: tuple[str, str, str]
+
+    @property
+    def tokens(self) -> list[str]:
+        return tokenize(self.name)
+
+
+@dataclass(frozen=True)
+class ConceptSpec:
+    """A ground-truth concept: named group of entities."""
+
+    phrase: str
+    members: tuple[str, ...]
+    domain: str
+    category: tuple[str, str, str]
+
+    @property
+    def tokens(self) -> list[str]:
+        return tokenize(self.phrase)
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """A ground-truth event instance."""
+
+    event_id: str
+    phrase: str
+    entity: str
+    trigger: str
+    location: "str | None"
+    day: int
+    topic: str
+    domain: str
+    category: tuple[str, str, str]
+
+    @property
+    def tokens(self) -> list[str]:
+        return tokenize(self.phrase)
+
+
+@dataclass(frozen=True)
+class TopicSpec:
+    """A ground-truth topic: events sharing a pattern."""
+
+    phrase: str
+    pattern: str
+    concept: str  # the concept generalising the entity slot
+    event_ids: tuple[str, ...]
+    domain: str
+
+    @property
+    def tokens(self) -> list[str]:
+        return tokenize(self.phrase)
+
+
+@dataclass
+class WorldConfig:
+    """Scale knobs for world construction.
+
+    Attributes:
+        num_extra_domains: procedural domains beyond the hand-written seeds.
+        entities_per_extra_domain: entity count per procedural domain.
+        concepts_per_extra_domain: concept count per procedural domain.
+        num_days: length of the simulated log window (events are placed on
+            days in [0, num_days)).
+        events_per_template: event instances stamped per event template.
+        seed: RNG seed.
+    """
+
+    num_extra_domains: int = 0
+    entities_per_extra_domain: int = 8
+    concepts_per_extra_domain: int = 3
+    num_days: int = 7
+    events_per_template: int = 3
+    seed: int = 0
+
+
+@dataclass
+class World:
+    """The assembled ground truth."""
+
+    config: WorldConfig
+    categories: list[tuple[str, str, str]] = field(default_factory=list)
+    entities: dict[str, EntitySpec] = field(default_factory=dict)
+    concepts: dict[str, ConceptSpec] = field(default_factory=dict)
+    events: dict[str, EventSpec] = field(default_factory=dict)
+    topics: dict[str, TopicSpec] = field(default_factory=dict)
+    domains: list[DomainSpec] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # gold relations (used by evaluation)
+    # ------------------------------------------------------------------
+    def gold_concept_entity_pairs(self) -> set[tuple[str, str]]:
+        """All true (concept phrase, entity name) isA pairs."""
+        return {
+            (concept.phrase, member)
+            for concept in self.concepts.values()
+            for member in concept.members
+        }
+
+    def gold_event_involvements(self) -> set[tuple[str, str, str]]:
+        """(event phrase, element, role) involve triples."""
+        out: set[tuple[str, str, str]] = set()
+        for event in self.events.values():
+            out.add((event.phrase, event.entity, "entity"))
+            out.add((event.phrase, event.trigger, "trigger"))
+            if event.location:
+                out.add((event.phrase, event.location, "location"))
+        return out
+
+    def gold_correlated_entities(self) -> set[frozenset[str]]:
+        """Unordered entity pairs sharing at least one concept."""
+        out: set[frozenset[str]] = set()
+        for concept in self.concepts.values():
+            members = list(concept.members)
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    out.add(frozenset((a, b)))
+        return out
+
+    def gold_concept_category(self) -> dict[str, tuple[str, str, str]]:
+        return {c.phrase: c.category for c in self.concepts.values()}
+
+    def events_on_day(self, day: int) -> list[EventSpec]:
+        return [e for e in self.events.values() if e.day == day]
+
+    # ------------------------------------------------------------------
+    # text-model registration
+    # ------------------------------------------------------------------
+    def register_text_models(self, pos_tagger: "PosTagger | None" = None,
+                             ner_tagger: "NerTagger | None" = None
+                             ) -> tuple[PosTagger, NerTagger]:
+        """Register world entities in POS/NER taggers; returns the taggers."""
+        pos_tagger = pos_tagger or PosTagger()
+        ner_tagger = ner_tagger or NerTagger()
+        for entity in self.entities.values():
+            pos_tagger.register_proper_nouns([entity.name])
+            ner_tagger.register(entity.name, entity.entity_type)
+        for location in LOCATIONS:
+            pos_tagger.register_proper_nouns([location])
+            ner_tagger.register(location, "LOC")
+        return pos_tagger, ner_tagger
+
+
+def _generate_word(rng: np.random.Generator, num_syllables: int = 2) -> str:
+    return "".join(rng.choice(_SYLLABLES) for _ in range(num_syllables))
+
+
+def _make_procedural_domain(index: int, rng: np.random.Generator,
+                            config: WorldConfig) -> DomainSpec:
+    """Stamp out one procedural domain with unique generated names."""
+    noun = _PRODUCT_NOUNS[index % len(_PRODUCT_NOUNS)]
+    brand_count = max(2, config.entities_per_extra_domain // 4)
+    brands = [f"{_generate_word(rng)}{index}" for _ in range(brand_count)]
+    entities = tuple(
+        f"{rng.choice(brands)} {_generate_word(rng)}"
+        for _ in range(config.entities_per_extra_domain)
+    )
+    # Concepts: "<modifier> <noun>" with random member subsets.
+    concepts = []
+    used_modifiers = rng.choice(
+        len(_MODIFIERS), size=min(config.concepts_per_extra_domain, len(_MODIFIERS)),
+        replace=False,
+    )
+    for mod_idx in used_modifiers:
+        size = int(rng.integers(2, max(3, len(entities) // 2) + 1))
+        member_idx = rng.choice(len(entities), size=min(size, len(entities)), replace=False)
+        concepts.append(
+            ConceptSeed(
+                f"{_MODIFIERS[mod_idx]} {noun}",
+                tuple(sorted(entities[i] for i in member_idx)),
+            )
+        )
+    trigger, topic_suffix = _EXTRA_TRIGGERS[index % len(_EXTRA_TRIGGERS)]
+    events = (
+        EventTemplate(
+            f"X {trigger} new {noun[:-1]} model",
+            trigger,
+            f"{noun[:-1]} {topic_suffix}",
+            concepts[0].phrase,
+            tuple(LOCATIONS[:4]),
+        ),
+    )
+    return DomainSpec(
+        name=f"domain{index}_{noun}",
+        category_path=("technology", "consumer products", noun),
+        entity_type="PROD",
+        entities=entities,
+        concepts=tuple(concepts),
+        events=events,
+        context_words=("specs", "price", "model", "release", noun[:-1]),
+    )
+
+
+def build_world(config: "WorldConfig | None" = None) -> World:
+    """Build the ground-truth world from seeds + procedural expansion."""
+    config = config or WorldConfig()
+    rng = make_rng(config.seed)
+    domains: list[DomainSpec] = list(DOMAINS)
+    for i in range(config.num_extra_domains):
+        domains.append(_make_procedural_domain(i, rng, config))
+
+    world = World(config=config, domains=domains)
+
+    for domain in domains:
+        if domain.category_path not in world.categories:
+            world.categories.append(domain.category_path)
+        for name in domain.entities:
+            world.entities[name] = EntitySpec(
+                name=name,
+                entity_type=domain.entity_type,
+                domain=domain.name,
+                category=domain.category_path,
+            )
+        for seed in domain.concepts:
+            world.concepts[seed.phrase] = ConceptSpec(
+                phrase=seed.phrase,
+                members=seed.members,
+                domain=domain.name,
+                category=domain.category_path,
+            )
+        for template in domain.events:
+            _stamp_events(world, domain, template, rng, config)
+
+    return world
+
+
+def _stamp_events(world: World, domain: DomainSpec, template: EventTemplate,
+                  rng: np.random.Generator, config: WorldConfig) -> None:
+    pool_concept = world.concepts.get(template.entity_pool)
+    if pool_concept is None:
+        return
+    members = list(pool_concept.members)
+    count = min(config.events_per_template, len(members))
+    chosen_idx = rng.choice(len(members), size=count, replace=False)
+    event_ids: list[str] = []
+    for idx in chosen_idx:
+        entity = members[int(idx)]
+        day = int(rng.integers(0, max(1, config.num_days)))
+        location = (
+            str(rng.choice(list(template.location_pool)))
+            if template.location_pool
+            else None
+        )
+        phrase = template.pattern.replace("X", entity)
+        event_id = f"ev_{len(world.events):05d}"
+        world.events[event_id] = EventSpec(
+            event_id=event_id,
+            phrase=phrase,
+            entity=entity,
+            trigger=template.trigger,
+            location=location,
+            day=day,
+            topic=template.topic,
+            domain=domain.name,
+            category=domain.category_path,
+        )
+        event_ids.append(event_id)
+    topic = world.topics.get(template.topic)
+    if topic is None:
+        world.topics[template.topic] = TopicSpec(
+            phrase=template.topic,
+            pattern=template.pattern,
+            concept=template.entity_pool,
+            event_ids=tuple(event_ids),
+            domain=domain.name,
+        )
+    else:
+        world.topics[template.topic] = TopicSpec(
+            phrase=topic.phrase,
+            pattern=topic.pattern,
+            concept=topic.concept,
+            event_ids=tuple(list(topic.event_ids) + event_ids),
+            domain=topic.domain,
+        )

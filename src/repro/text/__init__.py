@@ -1,0 +1,45 @@
+"""NLP substrate for the GIANT reproduction.
+
+The paper's production system runs a Chinese NLP stack (word segmentation,
+POS tagging, NER, dependency parsing).  The GIANT algorithms only consume the
+*outputs* of that stack — token identities, tag embeddings and dependency
+arcs — so this package provides an English-token equivalent: a deterministic
+tokenizer, a lexicon/suffix POS tagger, a gazetteer NER, a rule-based
+dependency parser, TF-IDF vectorization and PPMI-SVD word embeddings.
+"""
+
+from .tokenizer import tokenize, Token
+from .stopwords import STOPWORDS, is_stopword, content_words
+from .pos import PosTagger, POS_TAGS
+from .ner import NerTagger, NER_TAGS
+from .dependency import DependencyParser, DependencyArc
+from .vectorizer import TfidfVectorizer
+from .similarity import (
+    cosine_similarity,
+    dict_cosine,
+    tfidf_similarity,
+    longest_common_subsequence,
+    jaccard,
+)
+from .embeddings import WordEmbeddings
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "STOPWORDS",
+    "is_stopword",
+    "content_words",
+    "PosTagger",
+    "POS_TAGS",
+    "NerTagger",
+    "NER_TAGS",
+    "DependencyParser",
+    "DependencyArc",
+    "TfidfVectorizer",
+    "cosine_similarity",
+    "dict_cosine",
+    "tfidf_similarity",
+    "longest_common_subsequence",
+    "jaccard",
+    "WordEmbeddings",
+]

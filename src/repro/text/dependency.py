@@ -1,0 +1,178 @@
+"""Rule-based dependency parser.
+
+QTIG construction (paper Algorithm 2) adds a typed, bi-directional edge for
+every syntactic dependency between non-adjacent tokens.  The production
+system uses a full statistical parser; the GIANT algorithms only need arcs
+that are *consistent* across queries and titles so that shared structure
+(e.g. the compound "hayao miyazaki ... film") is visible to the R-GCN.
+
+This parser is a deterministic head-finding algorithm over POS tags:
+
+* noun phrases: maximal DET/ADJ/NUM/NOUN/PROPN runs; the last noun-like
+  token is the NP head; earlier tokens attach to it (det / amod / nummod /
+  compound).
+* verbs: the first verb is the sentence root; the NP head immediately left
+  of a verb attaches as nsubj, the first NP head right of it as dobj.
+* adpositions: attach to the following NP head (case); that NP head attaches
+  to the preceding head as nmod.
+* punctuation attaches to the root.
+
+Arc labels: det amod nummod compound nsubj dobj case nmod advmod punct dep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .pos import PosTagger
+
+DEP_LABELS: tuple[str, ...] = (
+    "det",
+    "amod",
+    "nummod",
+    "compound",
+    "nsubj",
+    "dobj",
+    "case",
+    "nmod",
+    "advmod",
+    "punct",
+    "dep",
+    "root",
+)
+
+_NOMINAL = {"NOUN", "PROPN", "PRON"}
+_NP_MEMBER = {"DET", "ADJ", "NUM", "NOUN", "PROPN"}
+
+
+@dataclass(frozen=True)
+class DependencyArc:
+    """A directed dependency arc ``head -> dependent`` with a label."""
+
+    head: int
+    dependent: int
+    label: str
+
+
+class DependencyParser:
+    """Deterministic dependency parser built on :class:`PosTagger` output."""
+
+    def __init__(self, pos_tagger: "PosTagger | None" = None) -> None:
+        self._pos = pos_tagger or PosTagger()
+
+    @property
+    def pos_tagger(self) -> PosTagger:
+        return self._pos
+
+    def parse(self, tokens: list[str], tags: "list[str] | None" = None) -> list[DependencyArc]:
+        """Parse ``tokens`` and return the arc list.
+
+        Args:
+            tokens: token strings.
+            tags: optional pre-computed POS tags (must align with tokens).
+        """
+        n = len(tokens)
+        if n == 0:
+            return []
+        if tags is None:
+            tags = self._pos.tag(tokens)
+        if len(tags) != n:
+            raise ValueError("tags must align with tokens")
+
+        heads: list[int] = [-1] * n  # head index per token, -1 = unattached
+        labels: list[str] = ["dep"] * n
+
+        np_head_of: list[int] = [-1] * n  # for each token, head of its NP
+        np_heads: list[int] = []
+
+        # Pass 1: find noun phrases and attach internal modifiers.
+        i = 0
+        while i < n:
+            if tags[i] in _NP_MEMBER:
+                j = i
+                while j + 1 < n and tags[j + 1] in _NP_MEMBER:
+                    j += 1
+                # Head = last nominal token in the run, else last token.
+                head = j
+                for k in range(j, i - 1, -1):
+                    if tags[k] in _NOMINAL:
+                        head = k
+                        break
+                for k in range(i, j + 1):
+                    np_head_of[k] = head
+                    if k == head:
+                        continue
+                    heads[k] = head
+                    if tags[k] == "DET":
+                        labels[k] = "det"
+                    elif tags[k] == "ADJ":
+                        labels[k] = "amod"
+                    elif tags[k] == "NUM":
+                        labels[k] = "nummod"
+                    else:
+                        labels[k] = "compound"
+                np_heads.append(head)
+                i = j + 1
+            else:
+                i += 1
+
+        # Pass 2: pick the root (first verb, else first NP head, else token 0).
+        root = next((k for k in range(n) if tags[k] == "VERB"), -1)
+        if root == -1:
+            root = np_heads[0] if np_heads else 0
+        heads[root] = root
+        labels[root] = "root"
+
+        # Pass 3: verb arguments.
+        for k in range(n):
+            if tags[k] != "VERB":
+                continue
+            if k != root and heads[k] == -1:
+                heads[k] = root
+                labels[k] = "dep"
+            left = next((h for h in reversed(np_heads) if h < k), None)
+            if left is not None and heads[left] == -1:
+                heads[left] = k
+                labels[left] = "nsubj"
+            right = next((h for h in np_heads if h > k), None)
+            if right is not None and heads[right] == -1:
+                heads[right] = k
+                labels[right] = "dobj"
+
+        # Pass 4: adpositions and their objects.
+        for k in range(n):
+            if tags[k] == "ADP":
+                obj = next((h for h in np_heads if h > k), None)
+                if obj is not None:
+                    heads[k] = obj
+                    labels[k] = "case"
+                    if heads[obj] == -1:
+                        prev = next((h for h in reversed(np_heads) if h < k), None)
+                        if prev is not None:
+                            heads[obj] = prev
+                            labels[obj] = "nmod"
+
+        # Pass 5: adverbs attach to nearest verb (else root); leftovers to root.
+        for k in range(n):
+            if heads[k] != -1:
+                continue
+            if tags[k] == "ADV":
+                verb = min(
+                    (v for v in range(n) if tags[v] == "VERB"),
+                    key=lambda v: abs(v - k),
+                    default=root,
+                )
+                heads[k] = verb
+                labels[k] = "advmod"
+            elif tags[k] == "PUNCT":
+                heads[k] = root
+                labels[k] = "punct"
+            else:
+                heads[k] = root
+                labels[k] = "dep"
+
+        return [
+            DependencyArc(heads[k], k, labels[k])
+            for k in range(n)
+            if k != root and heads[k] != -1
+        ]

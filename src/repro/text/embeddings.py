@@ -1,0 +1,142 @@
+"""Word embeddings: deterministic hash vectors + PPMI-SVD corpus training.
+
+The paper uses directional skip-gram vectors (Song et al. 2018) for the
+trigger-similarity term fg() of the story-tree event similarity (Eq. 10) and
+to initialise LSTM baselines, plus BERT phrase encodings for fm() (Eq. 9).
+Neither model is available offline, so this module provides the standard
+count-based equivalent: positive PMI co-occurrence statistics factorised with
+truncated SVD — the classic result that SVD-of-PPMI approximates skip-gram
+with negative sampling (Levy & Goldberg 2014).
+
+Out-of-vocabulary words fall back to a deterministic hash-seeded Gaussian
+vector so that similarity is well defined for every token.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+
+import numpy as np
+
+
+def _hash_vector(word: str, dim: int) -> np.ndarray:
+    """Deterministic unit-norm Gaussian vector derived from the word hash."""
+    digest = hashlib.sha256(word.encode("utf-8")).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    rng = np.random.default_rng(seed)
+    vec = rng.standard_normal(dim)
+    norm = np.linalg.norm(vec)
+    return vec / norm if norm > 0 else vec
+
+
+class WordEmbeddings:
+    """Trainable word-vector table with deterministic OOV fallback.
+
+    Usage::
+
+        emb = WordEmbeddings(dim=32)
+        emb.train(corpus)            # corpus: list of token lists
+        v = emb.vector("film")       # numpy array, unit norm
+        s = emb.similarity("film", "movie")
+    """
+
+    def __init__(self, dim: int = 32, window: int = 3) -> None:
+        if dim < 2:
+            raise ValueError("dim must be >= 2")
+        self.dim = dim
+        self.window = window
+        self._vectors: dict[str, np.ndarray] = {}
+        self._trained = False
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._vectors
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def train(self, corpus: "list[list[str]]", min_count: int = 1) -> "WordEmbeddings":
+        """Fit PPMI-SVD vectors on ``corpus`` (list of token lists)."""
+        word_counts: Counter[str] = Counter()
+        for sent in corpus:
+            word_counts.update(sent)
+        vocab = sorted(w for w, c in word_counts.items() if c >= min_count)
+        if not vocab:
+            self._trained = True
+            return self
+        index = {w: i for i, w in enumerate(vocab)}
+        n = len(vocab)
+
+        cooc: Counter[tuple[int, int]] = Counter()
+        for sent in corpus:
+            ids = [index[t] for t in sent if t in index]
+            for i, wi in enumerate(ids):
+                lo = max(0, i - self.window)
+                hi = min(len(ids), i + self.window + 1)
+                for j in range(lo, hi):
+                    if j != i:
+                        cooc[(wi, ids[j])] += 1
+
+        total = sum(cooc.values())
+        if total == 0:
+            for w in vocab:
+                self._vectors[w] = _hash_vector(w, self.dim)
+            self._trained = True
+            return self
+
+        row_sums = np.zeros(n)
+        for (i, _j), c in cooc.items():
+            row_sums[i] += c
+
+        # Build dense PPMI (vocab sizes here are a few thousand at most).
+        ppmi = np.zeros((n, n))
+        for (i, j), c in cooc.items():
+            pmi = np.log((c * total) / (row_sums[i] * row_sums[j] + 1e-12) + 1e-12)
+            if pmi > 0:
+                ppmi[i, j] = pmi
+
+        k = min(self.dim, n - 1)
+        if k < 1:
+            vectors = np.ones((n, 1))
+        else:
+            try:
+                from scipy.sparse.linalg import svds
+                from scipy.sparse import csr_matrix
+
+                u, s, _vt = svds(csr_matrix(ppmi), k=k)
+                order = np.argsort(-s)
+                vectors = u[:, order] * np.sqrt(s[order])
+            except Exception:
+                u, s, _vt = np.linalg.svd(ppmi, full_matrices=False)
+                vectors = u[:, :k] * np.sqrt(s[:k])
+
+        if vectors.shape[1] < self.dim:
+            pad = np.zeros((n, self.dim - vectors.shape[1]))
+            vectors = np.hstack([vectors, pad])
+
+        for w, i in index.items():
+            vec = vectors[i]
+            norm = np.linalg.norm(vec)
+            self._vectors[w] = vec / norm if norm > 0 else _hash_vector(w, self.dim)
+        self._trained = True
+        return self
+
+    def vector(self, word: str) -> np.ndarray:
+        """Unit-norm vector for ``word`` (hash fallback when OOV)."""
+        vec = self._vectors.get(word)
+        if vec is None:
+            vec = _hash_vector(word, self.dim)
+        return vec
+
+    def encode_phrase(self, tokens: list[str]) -> np.ndarray:
+        """Mean-of-word-vectors phrase encoding (unit norm)."""
+        if not tokens:
+            return np.zeros(self.dim)
+        mat = np.stack([self.vector(t) for t in tokens])
+        vec = mat.mean(axis=0)
+        norm = np.linalg.norm(vec)
+        return vec / norm if norm > 0 else vec
+
+    def similarity(self, word_a: str, word_b: str) -> float:
+        """Cosine similarity between two word vectors."""
+        return float(np.dot(self.vector(word_a), self.vector(word_b)))

@@ -1,0 +1,83 @@
+"""Gazetteer-based named entity recognizer.
+
+The production GIANT system uses an in-house Chinese NER.  Here entities come
+from the synthetic world's gazetteer (and any user-registered names), matched
+greedily longest-first, producing per-token BIO-style tags that feed the QTIG
+node features and the event key-element heuristics.
+
+Tagset: PER ORG LOC PROD WORK MISC O (B-/I- prefixes in BIO output).
+"""
+
+from __future__ import annotations
+
+NER_TAGS: tuple[str, ...] = ("PER", "ORG", "LOC", "PROD", "WORK", "MISC", "O")
+
+
+class NerTagger:
+    """Longest-match gazetteer NER over token sequences."""
+
+    def __init__(self) -> None:
+        # Maps token tuple -> entity type.
+        self._gazetteer: dict[tuple[str, ...], str] = {}
+        self._max_len = 1
+
+    def register(self, name: str, entity_type: str) -> None:
+        """Register an entity surface form with its type."""
+        if entity_type not in NER_TAGS or entity_type == "O":
+            raise ValueError(f"unknown entity type {entity_type!r}")
+        key = tuple(name.lower().split())
+        if not key:
+            raise ValueError("entity name must be non-empty")
+        self._gazetteer[key] = entity_type
+        self._max_len = max(self._max_len, len(key))
+
+    def register_many(self, names: "dict[str, str]") -> None:
+        """Register a mapping of surface form -> entity type."""
+        for name, etype in names.items():
+            self.register(name, etype)
+
+    def __len__(self) -> int:
+        return len(self._gazetteer)
+
+    def tag(self, tokens: list[str]) -> list[str]:
+        """Return a BIO tag per token (``B-PER``, ``I-PER``, ..., ``O``)."""
+        n = len(tokens)
+        tags = ["O"] * n
+        i = 0
+        lowered = [t.lower() for t in tokens]
+        while i < n:
+            matched = False
+            for span in range(min(self._max_len, n - i), 0, -1):
+                key = tuple(lowered[i : i + span])
+                etype = self._gazetteer.get(key)
+                if etype is not None:
+                    tags[i] = f"B-{etype}"
+                    for j in range(i + 1, i + span):
+                        tags[j] = f"I-{etype}"
+                    i += span
+                    matched = True
+                    break
+            if not matched:
+                i += 1
+        return tags
+
+    def entity_spans(self, tokens: list[str]) -> list[tuple[int, int, str]]:
+        """Return (start, end, type) spans; ``end`` is exclusive."""
+        tags = self.tag(tokens)
+        spans: list[tuple[int, int, str]] = []
+        i = 0
+        while i < len(tags):
+            if tags[i].startswith("B-"):
+                etype = tags[i][2:]
+                j = i + 1
+                while j < len(tags) and tags[j] == f"I-{etype}":
+                    j += 1
+                spans.append((i, j, etype))
+                i = j
+            else:
+                i += 1
+        return spans
+
+    def entities(self, tokens: list[str]) -> list[str]:
+        """Return matched entity surface strings (space-joined)."""
+        return [" ".join(tokens[s:e]) for s, e, _ in self.entity_spans(tokens)]

@@ -1,0 +1,139 @@
+"""Lexicon + suffix-rule part-of-speech tagger.
+
+QTIG node features include a POS-tag embedding (paper Section 3.1, "Node
+Classification with R-GCN").  A deterministic tagger is sufficient — the
+R-GCN only needs *consistent* tags, not linguistically perfect ones — and
+determinism keeps every experiment reproducible.
+
+Tagset (a compact universal-style set):
+    NOUN PROPN VERB ADJ ADV DET ADP PRON NUM CONJ PART PUNCT X
+"""
+
+from __future__ import annotations
+
+POS_TAGS: tuple[str, ...] = (
+    "NOUN",
+    "PROPN",
+    "VERB",
+    "ADJ",
+    "ADV",
+    "DET",
+    "ADP",
+    "PRON",
+    "NUM",
+    "CONJ",
+    "PART",
+    "PUNCT",
+    "X",
+)
+
+_DETERMINERS = {"a", "an", "the", "this", "that", "these", "those", "some", "any", "each", "every"}
+_PRONOUNS = {"i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us", "them", "what", "who", "which", "whose"}
+_ADPOSITIONS = {
+    "of", "in", "on", "at", "by", "for", "with", "about", "from", "to",
+    "into", "over", "under", "between", "during", "against", "through",
+}
+_CONJUNCTIONS = {"and", "or", "but", "nor", "so", "yet", "because", "while", "when", "if", "than", "as"}
+_PARTICLES = {"not", "'s", "s"}
+_COMMON_VERBS = {
+    "is", "are", "was", "were", "be", "been", "being", "am",
+    "do", "does", "did", "have", "has", "had", "having",
+    "will", "would", "can", "could", "may", "might", "shall", "should", "must",
+    "wins", "win", "won", "launches", "launch", "launched", "announces",
+    "announce", "announced", "releases", "release", "released", "resigns",
+    "resign", "resigned", "explodes", "explode", "exploded", "imposes",
+    "impose", "imposed", "raises", "raise", "raised", "bans", "ban", "banned",
+    "signs", "sign", "signed", "beats", "beat", "defeats", "defeat",
+    "defeated", "unveils", "unveil", "unveiled", "acquires", "acquire",
+    "acquired", "holds", "hold", "held", "opens", "open", "opened",
+    "starts", "start", "started", "ends", "end", "ended", "visits", "visit",
+    "visited", "meets", "meet", "met", "recalls", "recall", "recalled",
+    "sues", "sue", "sued", "buy", "buys", "bought", "sell", "sells", "sold",
+    "review", "reviews", "reviewed", "watch", "watched", "committed",
+    "commit", "commits", "get", "gets", "got", "make", "makes", "made",
+    "choose", "chose", "drive", "drives", "drove", "play", "plays", "played",
+    "delays", "delay", "delayed", "cancels", "cancel", "cancelled",
+}
+_COMMON_ADVERBS = {"very", "most", "really", "quite", "too", "also", "just", "now", "here", "there", "officially", "again"}
+_COMMON_ADJECTIVES = {
+    "best", "top", "new", "old", "famous", "classic", "classical", "popular",
+    "great", "good", "bad", "cheap", "affordable", "reliable", "fast",
+    "slow", "big", "small", "long", "short", "high", "low", "hot",
+    "upcoming", "latest", "major", "minor", "free", "safe",
+}
+
+_ADJ_SUFFIXES = ("ous", "ful", "ive", "able", "ible", "ic", "al", "ish", "less", "ant", "ent")
+_ADV_SUFFIXES = ("ly",)
+_VERB_SUFFIXES = ("ize", "ise", "ify", "ate")
+
+
+class PosTagger:
+    """Deterministic POS tagger with an extensible lexicon.
+
+    Domain generators (``repro.synth``) register their proper nouns so the
+    tagger distinguishes PROPN entities from common NOUNs.
+    """
+
+    def __init__(self) -> None:
+        self._lexicon: dict[str, str] = {}
+        for word in _DETERMINERS:
+            self._lexicon[word] = "DET"
+        for word in _PRONOUNS:
+            self._lexicon[word] = "PRON"
+        for word in _ADPOSITIONS:
+            self._lexicon[word] = "ADP"
+        for word in _CONJUNCTIONS:
+            self._lexicon[word] = "CONJ"
+        for word in _PARTICLES:
+            self._lexicon[word] = "PART"
+        for word in _COMMON_VERBS:
+            self._lexicon[word] = "VERB"
+        for word in _COMMON_ADVERBS:
+            self._lexicon[word] = "ADV"
+        for word in _COMMON_ADJECTIVES:
+            self._lexicon[word] = "ADJ"
+
+    def register(self, word: str, tag: str) -> None:
+        """Register a word with a fixed POS tag (e.g. PROPN gazetteer)."""
+        if tag not in POS_TAGS:
+            raise ValueError(f"unknown POS tag {tag!r}")
+        self._lexicon[word.lower()] = tag
+
+    def register_proper_nouns(self, words: "list[str] | set[str]") -> None:
+        """Register many proper nouns at once."""
+        for word in words:
+            for part in word.lower().split():
+                self._lexicon.setdefault(part, "PROPN")
+
+    def tag_word(self, word: str) -> str:
+        """Tag a single token."""
+        if not word:
+            return "X"
+        if len(word) == 1 and not word.isalnum():
+            return "PUNCT"
+        if word.replace(".", "").replace("-", "").isdigit():
+            return "NUM"
+        lower = word.lower()
+        tag = self._lexicon.get(lower)
+        if tag is not None:
+            return tag
+        for suffix in _ADV_SUFFIXES:
+            if lower.endswith(suffix) and len(lower) > len(suffix) + 2:
+                return "ADV"
+        for suffix in _ADJ_SUFFIXES:
+            if lower.endswith(suffix) and len(lower) > len(suffix) + 2:
+                return "ADJ"
+        for suffix in _VERB_SUFFIXES:
+            if lower.endswith(suffix) and len(lower) > len(suffix) + 2:
+                return "VERB"
+        return "NOUN"
+
+    def tag(self, tokens: list[str]) -> list[str]:
+        """Tag a token sequence, with small contextual corrections."""
+        tags = [self.tag_word(t) for t in tokens]
+        for i, tag in enumerate(tags):
+            # "top 5" / "best 10": number after ADJ stays NUM; but a NOUN
+            # reading of an -ed word after a DET becomes ADJ ("the famous").
+            if tag == "VERB" and i > 0 and tags[i - 1] == "DET" and tokens[i].endswith("ed"):
+                tags[i] = "ADJ"
+        return tags

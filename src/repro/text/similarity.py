@@ -1,0 +1,84 @@
+"""Similarity kernels used across mining, linking and applications.
+
+* cosine over numpy vectors — story-tree fm()/fg() terms (Eq. 9-10);
+* cosine over sparse dict vectors — TF-IDF similarities (Eq. 11, phrase
+  normalization, document tagging coherence);
+* longest common subsequence — LCS-based event/topic tagging (Section 4);
+* jaccard — cluster sanity checks and ablations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two dense vectors (0.0 if either is zero)."""
+    na = float(np.linalg.norm(a))
+    nb = float(np.linalg.norm(b))
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))
+
+
+def dict_cosine(a: "dict[str, float]", b: "dict[str, float]") -> float:
+    """Cosine similarity of two sparse dict vectors."""
+    if not a or not b:
+        return 0.0
+    if len(a) > len(b):
+        a, b = b, a
+    dot = sum(w * b.get(k, 0.0) for k, w in a.items())
+    na = math.sqrt(sum(w * w for w in a.values()))
+    nb = math.sqrt(sum(w * w for w in b.values()))
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return dot / (na * nb)
+
+
+def tfidf_similarity(tokens_a: list[str], tokens_b: list[str],
+                     idf: "dict[str, float] | None" = None) -> float:
+    """TF-IDF cosine between two token lists with optional external IDF.
+
+    When ``idf`` is None all tokens weigh 1.0 (pure TF cosine). This is the
+    similarity used for the entity-set term fe() of Eq. (11).
+    """
+    from collections import Counter
+
+    ca = Counter(tokens_a)
+    cb = Counter(tokens_b)
+    weight = (lambda t: idf.get(t, 1.0)) if idf is not None else (lambda t: 1.0)
+    va = {t: c * weight(t) for t, c in ca.items()}
+    vb = {t: c * weight(t) for t, c in cb.items()}
+    return dict_cosine(va, vb)
+
+
+def longest_common_subsequence(a: list[str], b: list[str]) -> int:
+    """Length of the longest common subsequence of two token lists.
+
+    Dynamic programming, O(len(a) * len(b)); inputs here are phrase-vs-title
+    so sizes stay small.
+    """
+    if not a or not b:
+        return 0
+    m, n = len(a), len(b)
+    prev = [0] * (n + 1)
+    for i in range(1, m + 1):
+        cur = [0] * (n + 1)
+        ai = a[i - 1]
+        for j in range(1, n + 1):
+            if ai == b[j - 1]:
+                cur[j] = prev[j - 1] + 1
+            else:
+                cur[j] = max(prev[j], cur[j - 1])
+        prev = cur
+    return prev[n]
+
+
+def jaccard(a: "set[str] | list[str]", b: "set[str] | list[str]") -> float:
+    """Jaccard similarity of two token collections."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 0.0
+    return len(sa & sb) / len(sa | sb)

@@ -1,0 +1,40 @@
+"""English stopword list used throughout phrase mining.
+
+The paper repeatedly filters "non-stop words" — when counting query-token
+coverage (CoverRank), when validating random-walk clusters, and when
+comparing normalized phrases.  This module is the single source of truth for
+that predicate.
+"""
+
+from __future__ import annotations
+
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a an the this that these those which what who whom whose
+    i you he she it we they me him her us them my your his its our their
+    is are was were be been being am
+    do does did doing have has had having
+    will would shall should can could may might must
+    and or but if then else when while because so than as
+    of in on at by for with about against between into through during
+    before after above below to from up down out off over under again
+    not no nor only own same too very just also
+    s t don now ll re ve d m o y
+    how where why all any both each few more most other some such
+    there here
+    ?  . , ! ; : ' " ( ) [ ] { } - — ...
+    """.split()
+)
+
+# Tokens that are pure punctuation (subset of STOPWORDS, used by CoverRank).
+PUNCTUATION: frozenset[str] = frozenset(".,!?;:'\"()[]{}-—…|/\\")
+
+
+def is_stopword(token: str) -> bool:
+    """Return True if ``token`` is a stopword or punctuation mark."""
+    return token in STOPWORDS or (len(token) == 1 and not token.isalnum())
+
+
+def content_words(tokens: list[str]) -> list[str]:
+    """Filter ``tokens`` down to non-stop, non-punctuation words."""
+    return [t for t in tokens if not is_stopword(t)]

@@ -1,0 +1,67 @@
+"""Deterministic word tokenizer.
+
+Queries and titles in the synthetic click logs are whitespace-delimited
+English-style text.  The tokenizer lower-cases, splits punctuation into
+separate tokens and preserves intra-word hyphens (``fuel-efficient`` stays a
+single token, mirroring how the paper's Chinese segmenter keeps multi-char
+words together).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_TOKEN_RE = re.compile(
+    r"[A-Za-z0-9]+(?:[-'][A-Za-z0-9]+)*"  # words, hyphenated words, contractions
+    r"|[^\sA-Za-z0-9]"  # any single punctuation mark
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A token with its surface form and character offsets."""
+
+    text: str
+    start: int
+    end: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.text
+
+
+def tokenize(text: str, lowercase: bool = True) -> list[str]:
+    """Split ``text`` into a list of token strings.
+
+    Args:
+        text: raw input string.
+        lowercase: lower-case token surface forms (default True; the click
+            graph merges tokens by identity so casing must be normalised).
+
+    Returns:
+        List of token strings in input order.
+    """
+    tokens = [m.group(0) for m in _TOKEN_RE.finditer(text)]
+    if lowercase:
+        tokens = [t.lower() for t in tokens]
+    return tokens
+
+
+def tokenize_with_offsets(text: str, lowercase: bool = True) -> list[Token]:
+    """Tokenize returning :class:`Token` objects with character offsets."""
+    out = []
+    for m in _TOKEN_RE.finditer(text):
+        surface = m.group(0).lower() if lowercase else m.group(0)
+        out.append(Token(surface, m.start(), m.end()))
+    return out
+
+
+def detokenize(tokens: list[str]) -> str:
+    """Join tokens back into a display string (punctuation unspaced)."""
+    pieces: list[str] = []
+    for tok in tokens:
+        if pieces and re.fullmatch(r"[^\sA-Za-z0-9]", tok):
+            pieces[-1] = pieces[-1] + tok
+        else:
+            pieces.append(tok)
+    return " ".join(pieces)

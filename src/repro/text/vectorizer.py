@@ -1,0 +1,69 @@
+"""TF-IDF vectorization over token lists.
+
+Used for attention-phrase normalization (context-enriched phrase
+representations, paper Section 3.1), document-concept coherence scoring in
+document tagging (Section 4), and the entity-set similarity term of the
+story-tree event similarity (Eq. 11).
+
+Vectors are sparse ``dict[token, weight]`` maps; at GIANT's vocabulary sizes
+this is faster and clearer than building scipy sparse matrices for the mostly
+pairwise similarity computations the pipeline performs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+
+class TfidfVectorizer:
+    """Fit document frequencies on a corpus; transform token lists to TF-IDF.
+
+    The vectorizer is intentionally minimal: smooth IDF
+    ``log((1 + N) / (1 + df)) + 1`` and L2-normalised vectors, matching the
+    conventional formulation.
+    """
+
+    def __init__(self) -> None:
+        self._df: Counter[str] = Counter()
+        self._num_docs = 0
+
+    @property
+    def num_docs(self) -> int:
+        return self._num_docs
+
+    def fit(self, corpus: "list[list[str]]") -> "TfidfVectorizer":
+        """Count document frequencies over ``corpus`` (lists of tokens)."""
+        for doc in corpus:
+            self._df.update(set(doc))
+            self._num_docs += 1
+        return self
+
+    def partial_fit(self, doc: list[str]) -> None:
+        """Incorporate one more document into the document frequencies."""
+        self._df.update(set(doc))
+        self._num_docs += 1
+
+    def idf(self, token: str) -> float:
+        """Smoothed inverse document frequency of ``token``."""
+        df = self._df.get(token, 0)
+        return math.log((1.0 + self._num_docs) / (1.0 + df)) + 1.0
+
+    def transform(self, doc: list[str]) -> dict[str, float]:
+        """Return the L2-normalised TF-IDF vector of a token list."""
+        if not doc:
+            return {}
+        counts = Counter(doc)
+        vec = {tok: count * self.idf(tok) for tok, count in counts.items()}
+        norm = math.sqrt(sum(w * w for w in vec.values()))
+        if norm == 0.0:
+            return {}
+        return {tok: w / norm for tok, w in vec.items()}
+
+    def similarity(self, doc_a: list[str], doc_b: list[str]) -> float:
+        """Cosine similarity between the TF-IDF vectors of two token lists."""
+        va = self.transform(doc_a)
+        vb = self.transform(doc_b)
+        if len(va) > len(vb):
+            va, vb = vb, va
+        return sum(w * vb.get(tok, 0.0) for tok, w in va.items())

@@ -1,0 +1,13 @@
+"""Asymmetric travelling-salesman solver used by ATSP-decoding.
+
+The paper orders predicted phrase tokens by solving an asymmetric TSP with
+the Lin-Kernighan heuristic (Helsgaun 2000).  This package provides an exact
+Held-Karp dynamic program for the small instances that dominate GIANT's
+workload (phrases rarely exceed a dozen tokens) and a Lin-Kernighan-style
+local-search heuristic (greedy construction + Or-opt segment moves + node
+swaps, all asymmetric-safe) for larger ones.
+"""
+
+from .atsp import solve_path_atsp, held_karp_path, LinKernighanSolver
+
+__all__ = ["solve_path_atsp", "held_karp_path", "LinKernighanSolver"]

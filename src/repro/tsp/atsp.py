@@ -1,0 +1,190 @@
+"""Asymmetric TSP path solvers.
+
+The decoding problem (paper Section 3.1, "Node Ordering with ATSP Decoding")
+is an open *path* ATSP: start at ``sos``, visit every predicted-positive
+node exactly once, end at ``eos``.  We solve it exactly with Held-Karp for
+up to ``exact_limit`` interior nodes, and with a Lin-Kernighan-style local
+search beyond that.
+
+All distances are a dense matrix ``dist[i, j]`` = cost of travelling i -> j
+(asymmetric; produced by BFS on the decoding QTIG variant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DecodingError
+
+
+def _path_cost(dist: np.ndarray, path: list[int]) -> float:
+    return float(sum(dist[a, b] for a, b in zip(path, path[1:])))
+
+
+def held_karp_path(dist: np.ndarray, start: int, end: int) -> list[int]:
+    """Exact open-path ATSP via Held-Karp dynamic programming.
+
+    Args:
+        dist: (n, n) asymmetric distance matrix.
+        start: index of the fixed first node.
+        end: index of the fixed last node.
+
+    Returns:
+        The optimal node ordering (a permutation of range(n)) as a list.
+    """
+    n = dist.shape[0]
+    if dist.shape != (n, n):
+        raise DecodingError("distance matrix must be square")
+    if start == end and n > 1:
+        raise DecodingError("start and end must differ")
+    interior = [i for i in range(n) if i not in (start, end)]
+    k = len(interior)
+    if k == 0:
+        return [start, end] if start != end else [start]
+    pos = {node: i for i, node in enumerate(interior)}
+
+    # dp[mask][i] = min cost path start -> ... -> interior[i] covering mask.
+    size = 1 << k
+    dp = np.full((size, k), np.inf)
+    parent = np.full((size, k), -1, dtype=np.int64)
+    for i, node in enumerate(interior):
+        dp[1 << i][i] = dist[start, node]
+    for mask in range(size):
+        row = dp[mask]
+        for i in range(k):
+            cost = row[i]
+            if not np.isfinite(cost) or not (mask >> i) & 1:
+                continue
+            node_i = interior[i]
+            for j in range(k):
+                if (mask >> j) & 1:
+                    continue
+                new_mask = mask | (1 << j)
+                new_cost = cost + dist[node_i, interior[j]]
+                if new_cost < dp[new_mask][j]:
+                    dp[new_mask][j] = new_cost
+                    parent[new_mask][j] = i
+    full = size - 1
+    best_i = int(np.argmin(dp[full] + np.array([dist[node, end] for node in interior])))
+    order = [best_i]
+    mask = full
+    while parent[mask][order[-1]] >= 0:
+        prev = int(parent[mask][order[-1]])
+        mask ^= 1 << order[-1]
+        order.append(prev)
+    order.reverse()
+    return [start] + [interior[i] for i in order] + [end]
+
+
+class LinKernighanSolver:
+    """Lin-Kernighan-style local search for open-path ATSP.
+
+    Construction: greedy nearest neighbour from ``start``.
+    Improvement: repeated rounds of
+      * Or-opt — relocate segments of length 1..3 to every other position;
+      * pairwise node swaps;
+    both moves are valid for asymmetric instances (no segment reversal).
+    """
+
+    def __init__(self, max_rounds: int = 20, segment_lengths: tuple[int, ...] = (1, 2, 3)) -> None:
+        self.max_rounds = max_rounds
+        self.segment_lengths = segment_lengths
+
+    def solve(self, dist: np.ndarray, start: int, end: int) -> list[int]:
+        n = dist.shape[0]
+        interior = [i for i in range(n) if i not in (start, end)]
+        if not interior:
+            return [start, end] if start != end else [start]
+
+        # Greedy construction.
+        path = [start]
+        remaining = set(interior)
+        current = start
+        while remaining:
+            nxt = min(remaining, key=lambda j: (dist[current, j], j))
+            path.append(nxt)
+            remaining.remove(nxt)
+            current = nxt
+        path.append(end)
+
+        best_cost = _path_cost(dist, path)
+        for _round in range(self.max_rounds):
+            improved = False
+            path, best_cost, moved = self._or_opt_round(dist, path, best_cost)
+            improved |= moved
+            path, best_cost, moved = self._swap_round(dist, path, best_cost)
+            improved |= moved
+            if not improved:
+                break
+        return path
+
+    def _or_opt_round(self, dist: np.ndarray, path: list[int], cost: float
+                      ) -> tuple[list[int], float, bool]:
+        improved = False
+        for seg_len in self.segment_lengths:
+            i = 1
+            while i + seg_len <= len(path) - 1:
+                segment = path[i : i + seg_len]
+                rest = path[:i] + path[i + seg_len :]
+                base = _path_cost(dist, rest)
+                seg_cost = _path_cost(dist, segment)
+                best_insert = None
+                best_new = cost
+                for j in range(1, len(rest)):
+                    new_cost = (
+                        base
+                        - dist[rest[j - 1], rest[j]]
+                        + dist[rest[j - 1], segment[0]]
+                        + seg_cost
+                        + dist[segment[-1], rest[j]]
+                    )
+                    if new_cost < best_new - 1e-12:
+                        best_new = new_cost
+                        best_insert = j
+                if best_insert is not None:
+                    path = rest[:best_insert] + segment + rest[best_insert:]
+                    cost = best_new
+                    improved = True
+                else:
+                    i += 1
+        return path, cost, improved
+
+    def _swap_round(self, dist: np.ndarray, path: list[int], cost: float
+                    ) -> tuple[list[int], float, bool]:
+        improved = False
+        n = len(path)
+        for i in range(1, n - 1):
+            for j in range(i + 1, n - 1):
+                candidate = path.copy()
+                candidate[i], candidate[j] = candidate[j], candidate[i]
+                new_cost = _path_cost(dist, candidate)
+                if new_cost < cost - 1e-12:
+                    path = candidate
+                    cost = new_cost
+                    improved = True
+        return path, cost, improved
+
+
+def solve_path_atsp(dist: np.ndarray, start: int, end: int,
+                    exact_limit: int = 11) -> list[int]:
+    """Solve open-path ATSP, exact for small instances, heuristic otherwise.
+
+    Args:
+        dist: (n, n) asymmetric distance matrix.
+        start: fixed first node index.
+        end: fixed last node index.
+        exact_limit: maximum number of *interior* nodes for Held-Karp.
+
+    Returns:
+        Ordered node indices from ``start`` to ``end``.
+    """
+    dist = np.asarray(dist, dtype=np.float64)
+    n = dist.shape[0]
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+    interior = n - 2
+    if interior <= exact_limit:
+        return held_karp_path(dist, start, end)
+    return LinKernighanSolver().solve(dist, start, end)

@@ -1,0 +1,116 @@
+"""Shared fixtures: a small synthetic world, its click logs, taggers, and
+session-scoped trained models (training is amortised across the suite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import GCTSPConfig
+from repro.core.features import NodeFeatureExtractor
+from repro.core.gctsp import GCTSPNet, prepare_example
+from repro.datasets import build_cmd, build_emd, split_dataset
+from repro.synth.querylog import QueryLogGenerator, build_click_graph
+from repro.synth.world import WorldConfig, build_world
+from repro.text.dependency import DependencyParser
+
+
+@pytest.fixture(scope="session")
+def world():
+    return build_world(WorldConfig(num_extra_domains=1, num_days=4, seed=0))
+
+
+@pytest.fixture(scope="session")
+def log_days(world):
+    return QueryLogGenerator(world).generate_days()
+
+
+@pytest.fixture(scope="session")
+def click_graph(log_days):
+    return build_click_graph(log_days)
+
+
+@pytest.fixture(scope="session")
+def sessions(log_days):
+    return [s for day in log_days for s in day.sessions]
+
+
+@pytest.fixture(scope="session")
+def taggers(world):
+    return world.register_text_models()
+
+
+@pytest.fixture(scope="session")
+def pos_tagger(taggers):
+    return taggers[0]
+
+
+@pytest.fixture(scope="session")
+def ner_tagger(taggers):
+    return taggers[1]
+
+
+@pytest.fixture(scope="session")
+def parser(pos_tagger):
+    return DependencyParser(pos_tagger)
+
+
+@pytest.fixture(scope="session")
+def extractor(pos_tagger, ner_tagger):
+    return NodeFeatureExtractor(pos_tagger, ner_tagger)
+
+
+@pytest.fixture(scope="session")
+def cmd_dataset(world):
+    return build_cmd(world, examples_per_concept=2, seed=7)
+
+
+@pytest.fixture(scope="session")
+def emd_dataset(world):
+    return build_emd(world, examples_per_event=1, seed=13)
+
+
+def _prepare(examples, extractor, parser, roles=False):
+    out = []
+    for e in examples:
+        out.append(
+            prepare_example(
+                e.queries, e.titles, extractor, parser,
+                gold_tokens=e.gold_tokens,
+                token_roles=e.token_roles if roles else None,
+            )
+        )
+    return out
+
+
+@pytest.fixture(scope="session")
+def cmd_splits(cmd_dataset, extractor, parser):
+    train, dev, test = split_dataset(cmd_dataset, seed=0)
+    return (
+        _prepare(train, extractor, parser),
+        _prepare(dev, extractor, parser),
+        _prepare(test, extractor, parser),
+        (train, dev, test),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_gctsp_config():
+    return GCTSPConfig(num_layers=2, hidden_size=16, num_bases=3,
+                       epochs=6, learning_rate=0.02, seed=0)
+
+
+@pytest.fixture(scope="session")
+def trained_concept_model(cmd_splits, tiny_gctsp_config):
+    train, _dev, _test, _raw = cmd_splits
+    model = GCTSPNet(tiny_gctsp_config)
+    model.fit(train[:30])
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_key_element_model(emd_dataset, extractor, parser, tiny_gctsp_config):
+    train, _dev, _test = split_dataset(emd_dataset, seed=1)
+    examples = _prepare(train[:25], extractor, parser, roles=True)
+    model = GCTSPNet(tiny_gctsp_config, num_classes=4)
+    model.fit(examples)
+    return model

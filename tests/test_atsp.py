@@ -1,0 +1,124 @@
+"""Tests for repro.tsp.atsp, including brute-force optimality checks."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecodingError
+from repro.tsp.atsp import LinKernighanSolver, held_karp_path, solve_path_atsp
+
+
+def brute_force(dist, start, end):
+    n = dist.shape[0]
+    interior = [i for i in range(n) if i not in (start, end)]
+    best, best_cost = None, np.inf
+    for perm in itertools.permutations(interior):
+        path = [start] + list(perm) + [end]
+        cost = sum(dist[a, b] for a, b in zip(path, path[1:]))
+        if cost < best_cost:
+            best, best_cost = path, cost
+    return best, best_cost
+
+
+def path_cost(dist, path):
+    return sum(dist[a, b] for a, b in zip(path, path[1:]))
+
+
+class TestHeldKarp:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            n = 7
+            dist = rng.random((n, n)) * 10
+            np.fill_diagonal(dist, 0)
+            path = held_karp_path(dist, 0, n - 1)
+            _bf, bf_cost = brute_force(dist, 0, n - 1)
+            assert path_cost(dist, path) == pytest.approx(bf_cost)
+
+    def test_path_is_permutation(self):
+        rng = np.random.default_rng(1)
+        dist = rng.random((6, 6))
+        path = held_karp_path(dist, 0, 5)
+        assert sorted(path) == list(range(6))
+        assert path[0] == 0 and path[-1] == 5
+
+    def test_two_nodes(self):
+        dist = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert held_karp_path(dist, 0, 1) == [0, 1]
+
+    def test_asymmetric_matters(self):
+        # Going 0->1->2->3 is cheap; reverse directions are expensive.
+        dist = np.full((4, 4), 100.0)
+        np.fill_diagonal(dist, 0.0)
+        dist[0, 1] = dist[1, 2] = dist[2, 3] = 1.0
+        assert held_karp_path(dist, 0, 3) == [0, 1, 2, 3]
+
+    def test_nonsquare_raises(self):
+        with pytest.raises(DecodingError):
+            held_karp_path(np.ones((2, 3)), 0, 1)
+
+    def test_same_start_end_raises(self):
+        with pytest.raises(DecodingError):
+            held_karp_path(np.ones((3, 3)), 0, 0)
+
+
+class TestLinKernighan:
+    def test_valid_permutation(self):
+        rng = np.random.default_rng(2)
+        dist = rng.random((15, 15)) * 10
+        path = LinKernighanSolver().solve(dist, 0, 14)
+        assert sorted(path) == list(range(15))
+        assert path[0] == 0 and path[-1] == 14
+
+    def test_near_optimal_on_small(self):
+        rng = np.random.default_rng(3)
+        for trial in range(3):
+            dist = rng.random((8, 8)) * 10
+            np.fill_diagonal(dist, 0)
+            heur = LinKernighanSolver().solve(dist, 0, 7)
+            exact = held_karp_path(dist, 0, 7)
+            assert path_cost(dist, heur) <= path_cost(dist, exact) * 1.25
+
+    def test_chain_structure_recovered(self):
+        n = 12
+        dist = np.full((n, n), 50.0)
+        np.fill_diagonal(dist, 0.0)
+        for i in range(n - 1):
+            dist[i, i + 1] = 1.0
+        path = LinKernighanSolver().solve(dist, 0, n - 1)
+        assert path == list(range(n))
+
+
+class TestSolvePathAtsp:
+    def test_dispatches_exact_small(self):
+        rng = np.random.default_rng(4)
+        dist = rng.random((6, 6))
+        path = solve_path_atsp(dist, 0, 5)
+        assert path_cost(dist, path) == pytest.approx(brute_force(dist, 0, 5)[1])
+
+    def test_large_instance_uses_heuristic(self):
+        rng = np.random.default_rng(5)
+        n = 18
+        dist = rng.random((n, n))
+        path = solve_path_atsp(dist, 0, n - 1, exact_limit=5)
+        assert sorted(path) == list(range(n))
+
+    def test_empty_and_singleton(self):
+        assert solve_path_atsp(np.zeros((0, 0)), 0, 0) == []
+        assert solve_path_atsp(np.zeros((1, 1)), 0, 0) == [0]
+
+    def test_two_nodes(self):
+        assert solve_path_atsp(np.ones((2, 2)), 0, 1) == [0, 1]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(3, 7), st.integers(0, 10_000))
+def test_exact_beats_or_ties_heuristic(n, seed):
+    rng = np.random.default_rng(seed)
+    dist = rng.random((n, n)) * 10
+    np.fill_diagonal(dist, 0)
+    exact = held_karp_path(dist, 0, n - 1)
+    heur = LinKernighanSolver().solve(dist, 0, n - 1)
+    assert path_cost(dist, exact) <= path_cost(dist, heur) + 1e-9

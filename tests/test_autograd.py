@@ -1,0 +1,212 @@
+"""Tests for the autograd engine, including finite-difference gradient
+checks and hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.autograd import Tensor, concat, no_grad, stack
+from repro.nn import functional as F
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    """Central-difference gradient of scalar fn at x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        xp, xm = x.copy(), x.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        grad[idx] = (fn(xp) - fn(xm)) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_grad(build, x, tol=1e-6):
+    """build(tensor) -> scalar Tensor; compares autograd vs numeric grad."""
+    t = Tensor(x, requires_grad=True)
+    out = build(t)
+    out.backward()
+    num = numeric_grad(lambda arr: build(Tensor(arr, requires_grad=True)).item(), x)
+    assert np.abs(t.grad - num).max() < tol
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestGradients:
+    def test_add_mul(self):
+        x = RNG.standard_normal((3, 4))
+        check_grad(lambda t: ((t * 2.0 + 1.0) * t).sum(), x)
+
+    def test_sub_div(self):
+        x = RNG.standard_normal((3,)) + 3.0
+        check_grad(lambda t: ((t - 0.5) / (t + 2.0)).sum(), x)
+
+    def test_matmul(self):
+        x = RNG.standard_normal((3, 4))
+        w = RNG.standard_normal((4, 2))
+        check_grad(lambda t: (t @ Tensor(w)).sum(), x)
+
+    def test_matmul_vector(self):
+        x = RNG.standard_normal(4)
+        w = RNG.standard_normal((4, 3))
+        check_grad(lambda t: (t @ Tensor(w)).sum(), x)
+
+    def test_tanh_sigmoid_relu_exp_log(self):
+        x = np.abs(RNG.standard_normal((2, 3))) + 0.5
+        check_grad(lambda t: (t.tanh() + t.sigmoid() + t.relu() + t.exp() + t.log()).sum(), x)
+
+    def test_pow(self):
+        x = np.abs(RNG.standard_normal(5)) + 0.5
+        check_grad(lambda t: (t ** 3).sum(), x)
+
+    def test_sum_axis(self):
+        x = RNG.standard_normal((3, 4))
+        check_grad(lambda t: (t.sum(axis=1) ** 2).sum(), x)
+
+    def test_mean(self):
+        x = RNG.standard_normal((4, 2))
+        check_grad(lambda t: (t.mean(axis=0) ** 2).sum(), x)
+
+    def test_logsumexp(self):
+        x = RNG.standard_normal((3, 5))
+        check_grad(lambda t: t.logsumexp(axis=1).sum(), x)
+
+    def test_max(self):
+        x = RNG.standard_normal((3, 5))
+        check_grad(lambda t: t.max(axis=1).sum(), x)
+
+    def test_getitem(self):
+        x = RNG.standard_normal((5, 3))
+        check_grad(lambda t: (t[1:4] * 2).sum(), x)
+
+    def test_gather_rows_repeated_indices(self):
+        x = RNG.standard_normal((4, 3))
+        idx = [0, 0, 2, 3, 0]
+        check_grad(lambda t: (t.gather_rows(idx) ** 2).sum(), x)
+
+    def test_reshape_transpose(self):
+        x = RNG.standard_normal((2, 6))
+        w = RNG.standard_normal((3, 2))
+        check_grad(lambda t: (t.reshape(3, 4).T @ Tensor(w)).sum(), x)
+
+    def test_concat(self):
+        x = RNG.standard_normal((2, 3))
+        check_grad(lambda t: (concat([t, t * 2], axis=0) ** 2).sum(), x)
+
+    def test_stack(self):
+        x = RNG.standard_normal(4)
+        check_grad(lambda t: (stack([t, t * 3], axis=0) ** 2).sum(), x)
+
+    def test_broadcast_add(self):
+        x = RNG.standard_normal(4)
+        m = RNG.standard_normal((3, 4))
+        check_grad(lambda t: (Tensor(m) + t).sum(), x)
+
+    def test_broadcast_mul(self):
+        x = RNG.standard_normal((3, 1))
+        m = RNG.standard_normal((3, 4))
+        check_grad(lambda t: (Tensor(m) * t).sum(), x)
+
+
+class TestLosses:
+    def test_cross_entropy_positive(self):
+        logits = Tensor(RNG.standard_normal((4, 3)), requires_grad=True)
+        loss = F.cross_entropy(logits, [0, 1, 2, 0])
+        assert loss.item() > 0
+
+    def test_cross_entropy_grad(self):
+        x = RNG.standard_normal((4, 3))
+        check_grad(lambda t: F.cross_entropy(t, [0, 1, 2, 0]), x)
+
+    def test_bce_with_logits_grad(self):
+        x = RNG.standard_normal(6)
+        check_grad(lambda t: F.binary_cross_entropy_with_logits(t, [1, 0, 1, 0, 1, 0]), x)
+
+    def test_bce_pos_weight(self):
+        x = RNG.standard_normal(4)
+        check_grad(
+            lambda t: F.binary_cross_entropy_with_logits(t, [1, 0, 0, 0], pos_weight=3.0),
+            x,
+        )
+
+    def test_mse_zero_at_target(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        assert F.mse(pred, [1.0, 2.0]).item() == 0.0
+
+    def test_hinge_pair_loss_zero_when_separated(self):
+        pos = Tensor(np.array([0.1]), requires_grad=True)
+        neg = Tensor(np.array([5.0]))
+        assert F.hinge_pair_loss(pos, neg, margin=1.0).item() == 0.0
+
+    def test_softmax_sums_to_one(self):
+        x = Tensor(RNG.standard_normal((3, 4)))
+        s = F.softmax(x, axis=1)
+        assert np.allclose(s.data.sum(axis=1), 1.0)
+
+
+class TestMechanics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_on_nograd_raises(self):
+        t = Tensor(np.ones(2))
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_no_grad_context(self):
+        with no_grad():
+            t = Tensor(np.ones(2), requires_grad=True)
+            out = t * 2
+        assert not out.requires_grad
+
+    def test_grad_accumulates_across_backwards(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t * 2).sum().backward()
+        (t * 2).sum().backward()
+        assert np.allclose(t.grad, 4.0)
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t.sum()).backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_diamond_graph_gradient(self):
+        # y = x*x + x*x reuses x twice along two paths.
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * x + x * x
+        y.sum().backward()
+        assert np.allclose(x.grad, 12.0)
+
+    def test_detach_breaks_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        d = x.detach()
+        assert not d.requires_grad
+
+    def test_cannot_wrap_tensor(self):
+        with pytest.raises(TypeError):
+            Tensor(Tensor(np.ones(1)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 5), st.integers(2, 5))
+def test_matmul_grad_shapes_random(n, m):
+    x = np.random.default_rng(n * 10 + m).standard_normal((n, m))
+    t = Tensor(x, requires_grad=True)
+    w = Tensor(np.random.default_rng(1).standard_normal((m, 3)))
+    (t @ w).sum().backward()
+    assert t.grad.shape == x.shape
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(-5, 5), min_size=2, max_size=8))
+def test_logsumexp_upper_bounds_max(values):
+    x = Tensor(np.array(values))
+    lse = x.logsumexp(axis=0).item()
+    assert lse >= max(values) - 1e-9
+    assert lse <= max(values) + np.log(len(values)) + 1e-9

@@ -1,0 +1,193 @@
+"""Tests for repro.baselines."""
+
+import pytest
+
+from repro.baselines.autophrase import AutoPhraseMiner
+from repro.baselines.coverrank import CoverRankBaseline
+from repro.baselines.lstm_crf import (
+    LstmCrfTagger,
+    QueryLstmCrf,
+    TitleLstmCrf,
+    bio_decode,
+    bio_encode,
+)
+from repro.baselines.lstm_tagger import LstmRoleTagger
+from repro.baselines.matchers import AlignExtractor, MatchAlignExtractor, MatchExtractor
+from repro.baselines.textrank import TextRankExtractor
+from repro.errors import TrainingError
+
+
+QUERIES = [["best", "fuel", "efficient", "cars"], ["fuel", "efficient", "cars"]]
+TITLES = [["the", "fuel", "efficient", "cars", "ranked"],
+          ["review", "of", "fuel", "efficient", "cars", "today"]]
+
+
+class TestTextRank:
+    def test_extracts_frequent_content_words(self):
+        out = TextRankExtractor(top_k=3).extract(QUERIES, TITLES)
+        assert "fuel" in out and "cars" in out
+
+    def test_order_follows_appearance(self):
+        out = TextRankExtractor(top_k=3).extract(QUERIES, TITLES)
+        assert out.index("fuel") < out.index("cars")
+
+    def test_empty_inputs(self):
+        assert TextRankExtractor().extract([], []) == []
+
+    def test_top_k_limits_output(self):
+        out = TextRankExtractor(top_k=2).extract(QUERIES, TITLES)
+        assert len(out) <= 2
+
+
+class TestAutoPhrase:
+    def test_fit_and_extract(self):
+        miner = AutoPhraseMiner(min_count=2, top_k=3)
+        corpus = QUERIES + TITLES + QUERIES
+        miner.fit(corpus)
+        out = miner.extract(QUERIES, TITLES)
+        assert "cars" in out
+
+    def test_unfitted_fits_on_cluster(self):
+        miner = AutoPhraseMiner(min_count=1)
+        out = miner.extract(QUERIES, TITLES)
+        assert out  # should produce something
+
+    def test_multiword_phrases_scored(self):
+        miner = AutoPhraseMiner(min_count=2)
+        miner.fit(QUERIES + TITLES + QUERIES + TITLES)
+        assert any(len(p) > 1 for p in miner._phrase_scores)
+
+
+class TestMatchers:
+    def test_match_extracts_pattern_slot(self):
+        out = MatchExtractor().extract(QUERIES, TITLES)
+        assert out == ["fuel", "efficient", "cars"]
+
+    def test_match_empty_when_no_pattern(self):
+        out = MatchExtractor().extract([["random", "words", "here"]], [])
+        assert out == []
+
+    def test_align_extracts_title_chunk(self):
+        out = AlignExtractor().extract(QUERIES, TITLES)
+        assert out == ["fuel", "efficient", "cars"]
+
+    def test_matchalign_most_frequent(self):
+        out = MatchAlignExtractor().extract(QUERIES, TITLES)
+        assert out == ["fuel", "efficient", "cars"]
+
+    def test_match_bootstrap_grows_patterns(self):
+        m = MatchExtractor()
+        before = len(m.patterns)
+        corpus = [
+            ["best", "economy", "cars"],
+            ["list", "of", "economy", "cars"],
+            ["list", "of", "pop", "singers"],
+            ["best", "pop", "singers"],
+        ]
+        m.bootstrap(corpus)
+        assert len(m.patterns) > before
+
+
+class TestBio:
+    def test_encode_contiguous(self):
+        labels = bio_encode(["a", "b", "c", "d"], ["b", "c"])
+        assert labels == [0, 1, 2, 0]
+
+    def test_encode_fallback_membership(self):
+        labels = bio_encode(["b", "x", "c"], ["b", "c"])
+        assert labels == [1, 0, 1]
+
+    def test_decode_longest_span(self):
+        tokens = ["a", "b", "c", "d", "e"]
+        labels = [1, 0, 1, 2, 0]
+        assert bio_decode(tokens, labels) == ["c", "d"]
+
+    def test_round_trip(self):
+        tokens = ["x", "fuel", "efficient", "cars", "y"]
+        labels = bio_encode(tokens, ["fuel", "efficient", "cars"])
+        assert bio_decode(tokens, labels) == ["fuel", "efficient", "cars"]
+
+    def test_empty(self):
+        assert bio_encode([], ["a"]) == []
+        assert bio_decode([], []) == []
+
+
+class TestLstmCrfTagger:
+    def test_overfits_single_pattern(self):
+        tagger = LstmCrfTagger(embed_dim=12, hidden=8)
+        seqs = [["best", "fuel", "efficient", "cars"]] * 4
+        labels = [bio_encode(s, ["fuel", "efficient", "cars"]) for s in seqs]
+        tagger.fit(seqs, labels, epochs=15, lr=0.05)
+        assert tagger.extract(["best", "fuel", "efficient", "cars"]) == [
+            "fuel", "efficient", "cars",
+        ]
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(TrainingError):
+            LstmCrfTagger().fit([], [])
+
+    def test_predict_empty(self):
+        assert LstmCrfTagger().predict([]) == []
+
+    def test_vocab_grows(self):
+        tagger = LstmCrfTagger(embed_dim=8, hidden=4)
+        tagger.fit([["a", "b"]], [[0, 0]], epochs=1)
+        before = tagger.embedding.weight.data.shape[0]
+        tagger.fit([["c", "d", "e"]], [[0, 0, 0]], epochs=1)
+        assert tagger.embedding.weight.data.shape[0] > before
+
+
+class TestVariantWrappers:
+    def _examples(self):
+        from repro.datasets.examples import MiningExample
+
+        return [
+            MiningExample(queries=[q], titles=TITLES,
+                          gold_tokens=["fuel", "efficient", "cars"])
+            for q in QUERIES * 2
+        ]
+
+    def test_query_variant(self):
+        model = QueryLstmCrf(embed_dim=12, hidden=8)
+        model.fit_examples(self._examples(), epochs=12, lr=0.05)
+        out = model.extract(QUERIES, TITLES)
+        assert "cars" in out
+
+    def test_title_variant_filters_by_length(self):
+        model = TitleLstmCrf(min_len=2, max_len=5, embed_dim=12, hidden=8)
+        model.fit_examples(self._examples(), epochs=10, lr=0.05)
+        out = model.extract(QUERIES, TITLES)
+        assert out == [] or 2 <= len(out) <= 5
+
+    def test_query_variant_empty_queries(self):
+        model = QueryLstmCrf(embed_dim=8, hidden=4)
+        model.fit_examples(self._examples(), epochs=1)
+        assert model.extract([], TITLES) == []
+
+
+class TestLstmRoleTagger:
+    def test_learns_role_pattern(self):
+        tagger = LstmRoleTagger(num_classes=3, embed_dim=12, hidden=8)
+        seqs = [["apple", "launches", "iphone"]] * 4
+        labels = [[1, 2, 1]] * 4
+        tagger.fit(seqs, labels, epochs=20, lr=0.05)
+        assert tagger.predict(["apple", "launches", "iphone"]) == [1, 2, 1]
+
+    def test_empty_predict(self):
+        assert LstmRoleTagger().predict([]) == []
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(TrainingError):
+            LstmRoleTagger().fit([], [])
+
+
+class TestCoverRankBaseline:
+    def test_unsupervised_fit_noop(self):
+        assert CoverRankBaseline().fit_examples([]) == []
+
+    def test_extract_event_subtitle(self):
+        queries = [["apple", "launches", "iphone"]]
+        titles = [["breaking", ":", "apple", "launches", "iphone", "12", ",",
+                   "what", "we", "know", "so", "far"]]
+        out = CoverRankBaseline().extract(queries, titles)
+        assert out == ["apple", "launches", "iphone", "12"]

@@ -1,0 +1,105 @@
+"""Tests for repro.cli and repro.config."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.config import (
+    GCTSPConfig,
+    GiantConfig,
+    LinkingConfig,
+    MiningConfig,
+    make_rng,
+)
+from repro.errors import ConfigError
+
+
+class TestMakeRng:
+    def test_from_seed_deterministic(self):
+        assert make_rng(3).random() == make_rng(3).random()
+
+    def test_passthrough_generator(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_bad_type_raises(self):
+        with pytest.raises(ConfigError):
+            make_rng("nope")
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        GiantConfig().validate()
+
+    def test_bad_visit_threshold(self):
+        with pytest.raises(ConfigError):
+            MiningConfig(visit_threshold=0.0).validate()
+
+    def test_bad_event_lengths(self):
+        with pytest.raises(ConfigError):
+            MiningConfig(event_min_len=10, event_max_len=5).validate()
+
+    def test_bad_walk_steps(self):
+        with pytest.raises(ConfigError):
+            MiningConfig(walk_steps=0).validate()
+
+    def test_bad_category_threshold(self):
+        with pytest.raises(ConfigError):
+            LinkingConfig(category_threshold=0.0).validate()
+
+    def test_bad_embedding_dim(self):
+        with pytest.raises(ConfigError):
+            LinkingConfig(embedding_dim=1).validate()
+
+    def test_bad_gctsp_layers(self):
+        with pytest.raises(ConfigError):
+            GCTSPConfig(num_layers=0).validate()
+
+    def test_bad_gctsp_bases(self):
+        with pytest.raises(ConfigError):
+            GCTSPConfig(num_bases=0).validate()
+
+
+class TestCli:
+    @pytest.fixture(scope="class")
+    def ontology_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "onto.json"
+        rc = main(["build", "--days", "2", "--out", str(path)])
+        assert rc == 0
+        return str(path)
+
+    def test_build_writes_file(self, ontology_path):
+        import json
+        import pathlib
+
+        data = json.loads(pathlib.Path(ontology_path).read_text())
+        assert data["nodes"]
+
+    def test_stats(self, ontology_path, capsys):
+        assert main(["stats", "--ontology", ontology_path]) == 0
+        out = capsys.readouterr().out
+        assert "concept" in out and "isA" in out
+
+    def test_query(self, ontology_path, capsys):
+        rc = main(["query", "--ontology", ontology_path,
+                   "--q", "best fuel efficient cars"])
+        assert rc == 0
+        assert "concepts" in capsys.readouterr().out
+
+    def test_tag(self, ontology_path, capsys):
+        rc = main(["tag", "--ontology", ontology_path,
+                   "--title", "honda civic and toyota corolla reviewed",
+                   "--body", "the honda civic stands out. toyota corolla too."])
+        assert rc == 0
+        assert "concepts" in capsys.readouterr().out
+
+    def test_showcase(self, ontology_path, capsys):
+        assert main(["showcase", "--ontology", ontology_path]) == 0
+        assert "concepts" in capsys.readouterr().out
+
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

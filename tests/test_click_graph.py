@@ -1,0 +1,115 @@
+"""Tests for repro.graph.click_graph and repro.graph.random_walk."""
+
+import pytest
+
+from repro.config import MiningConfig
+from repro.errors import GraphError
+from repro.graph.click_graph import ClickGraph, QueryDocCluster
+from repro.graph.random_walk import RandomWalkClusterer
+
+
+@pytest.fixture
+def graph():
+    g = ClickGraph()
+    g.add_click("best cars", "d1", 8, title="the best cars ranked", category="cars")
+    g.add_click("best cars", "d2", 2, title="best cars review", category="cars")
+    g.add_click("top cars", "d1", 4, title="the best cars ranked", category="cars")
+    g.add_click("unrelated films", "d3", 5, title="famous films", category="film")
+    return g
+
+
+class TestClickGraph:
+    def test_counts(self, graph):
+        assert graph.num_queries == 3
+        assert graph.num_docs == 3
+        assert graph.num_edges == 4
+
+    def test_clicks_accumulate(self):
+        g = ClickGraph()
+        g.add_click("q", "d", 1)
+        g.add_click("q", "d", 2)
+        assert g.clicks("q", "d") == 3
+
+    def test_nonpositive_count_raises(self):
+        with pytest.raises(GraphError):
+            ClickGraph().add_click("q", "d", 0)
+
+    def test_transport_probabilities_sum_to_one(self, graph):
+        p = graph.p_doc_given_query("best cars")
+        assert sum(p.values()) == pytest.approx(1.0)
+        q = graph.p_query_given_doc("d1")
+        assert sum(q.values()) == pytest.approx(1.0)
+
+    def test_transport_probability_values(self, graph):
+        p = graph.p_doc_given_query("best cars")
+        assert p["d1"] == pytest.approx(0.8)
+        assert p["d2"] == pytest.approx(0.2)
+
+    def test_unknown_query_empty(self, graph):
+        assert graph.p_doc_given_query("nope") == {}
+
+    def test_titles_and_categories(self, graph):
+        assert graph.title("d1") == "the best cars ranked"
+        assert graph.category("d3") == "film"
+        assert graph.title("missing") == ""
+
+    def test_merge(self, graph):
+        other = ClickGraph()
+        other.add_click("best cars", "d1", 1)
+        other.add_click("new query", "d9", 2, title="t9")
+        graph.merge(other)
+        assert graph.clicks("best cars", "d1") == 9
+        assert graph.title("d9") == "t9"
+
+
+class TestQueryDocCluster:
+    def test_seed_inserted_first(self):
+        c = QueryDocCluster(seed_query="s", queries=["a"])
+        assert c.queries[0] == "s"
+
+    def test_seed_not_duplicated(self):
+        c = QueryDocCluster(seed_query="s", queries=["s", "a"])
+        assert c.queries.count("s") == 1
+
+
+class TestRandomWalk:
+    def test_cluster_contains_related_query(self, graph):
+        clusterer = RandomWalkClusterer(graph, MiningConfig(visit_threshold=0.01))
+        cluster = clusterer.cluster("best cars")
+        assert "top cars" in cluster.queries  # shares doc d1 and word "cars"
+
+    def test_cluster_excludes_unrelated(self, graph):
+        clusterer = RandomWalkClusterer(graph, MiningConfig(visit_threshold=0.01))
+        cluster = clusterer.cluster("best cars")
+        assert "unrelated films" not in cluster.queries
+        assert "d3" not in cluster.doc_ids
+
+    def test_cluster_docs_sorted_by_weight(self, graph):
+        clusterer = RandomWalkClusterer(graph, MiningConfig(visit_threshold=0.001))
+        cluster = clusterer.cluster("best cars")
+        weights = [cluster.doc_weights[d] for d in cluster.doc_ids]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_seed_always_kept(self, graph):
+        clusterer = RandomWalkClusterer(graph, MiningConfig(visit_threshold=0.9))
+        cluster = clusterer.cluster("best cars")
+        assert cluster.seed_query in cluster.queries
+
+    def test_isolated_query_cluster(self):
+        g = ClickGraph()
+        g.add_click("lonely query", "d1", 1, title="t")
+        clusterer = RandomWalkClusterer(g)
+        cluster = clusterer.cluster("lonely query")
+        assert cluster.queries == ["lonely query"]
+
+    def test_cluster_all(self, graph):
+        clusterer = RandomWalkClusterer(graph)
+        clusters = clusterer.cluster_all()
+        assert len(clusters) == graph.num_queries
+
+    def test_caps_respected(self, graph):
+        cfg = MiningConfig(max_cluster_queries=1, max_cluster_docs=1,
+                           visit_threshold=0.001)
+        cluster = RandomWalkClusterer(graph, cfg).cluster("best cars")
+        assert len(cluster.queries) <= 1
+        assert len(cluster.doc_ids) <= 1

@@ -1,0 +1,270 @@
+"""Tests for bootstrap, align, coverrank, derivation, phrase normalization."""
+
+import pytest
+
+from repro.config import MiningConfig
+from repro.core.align import align_query_title, extract_aligned_candidates
+from repro.core.bootstrap import Pattern, PatternBootstrapper
+from repro.core.coverrank import cover_rank, select_event_candidate, split_subtitles
+from repro.core.derivation import common_pattern_discovery, common_suffix_discovery
+from repro.core.phrase import AttentionPhrase, PhraseNormalizer
+from repro.text.ner import NerTagger
+from repro.text.pos import PosTagger
+
+
+class TestPattern:
+    def test_prefix_match(self):
+        assert Pattern(("best",)).match(["best", "cars"]) == ("cars",)
+
+    def test_prefix_suffix_match(self):
+        p = Pattern(("what", "are"), ("?",))
+        assert p.match(["what", "are", "economy", "cars", "?"]) == ("economy", "cars")
+
+    def test_no_match(self):
+        assert Pattern(("best",)).match(["top", "cars"]) is None
+
+    def test_empty_slot_rejected(self):
+        assert Pattern(("best",)).match(["best"]) is None
+
+
+class TestBootstrapper:
+    def test_learns_new_patterns_and_concepts(self):
+        queries = [
+            "best economy cars",
+            "best detective fiction",
+            "list of economy cars",
+            "list of detective fiction",
+            "list of pop singers",
+        ]
+        bootstrapper = PatternBootstrapper(min_pattern_support=2)
+        concepts, patterns = bootstrapper.run(queries)
+        assert ("economy", "cars") in concepts
+        # "list of X" must be learned from the two seed-extracted concepts,
+        # then extract "pop singers".
+        assert any(p.prefix == ("list", "of") for p in patterns)
+        assert ("pop", "singers") in concepts
+
+    def test_no_queries(self):
+        concepts, patterns = PatternBootstrapper().run([])
+        assert concepts == set()
+
+    def test_accepts_pretokenized(self):
+        concepts, _p = PatternBootstrapper().run([["best", "cars"]])
+        assert ("cars",) in concepts
+
+
+class TestAlign:
+    def test_exact_alignment(self):
+        out = align_query_title(["economy", "cars"], ["the", "economy", "cars", "win"])
+        assert out == ["economy", "cars"]
+
+    def test_alignment_with_insertion(self):
+        out = align_query_title(
+            ["fuel", "efficient", "cars"],
+            ["review", "fuel", "very", "efficient", "compact", "cars", "today"],
+        )
+        assert out == ["fuel", "very", "efficient", "compact", "cars"]
+
+    def test_gap_limit(self):
+        out = align_query_title(
+            ["cars", "win"], ["cars", "x1", "x2", "x3", "x4", "win"], max_gap=2
+        )
+        assert out is None
+
+    def test_stopwords_ignored_in_query(self):
+        out = align_query_title(["the", "cars"], ["nice", "cars", "here"])
+        assert out == ["cars"]
+
+    def test_no_alignment(self):
+        assert align_query_title(["cars"], ["films", "only"]) is None
+
+    def test_candidates_deduplicated(self):
+        titles = [["economy", "cars", "rock"], ["economy", "cars", "rock"]]
+        out = extract_aligned_candidates(["economy", "cars"], titles)
+        assert out == [["economy", "cars"]]
+
+
+class TestCoverRank:
+    def test_split_subtitles(self):
+        tokens = ["breaking", ":", "apple", "launches", "iphone", ",", "live"]
+        subs = split_subtitles(tokens)
+        assert subs == [["breaking"], ["apple", "launches", "iphone"], ["live"]]
+
+    def test_selects_covering_subtitle(self):
+        queries = [["apple", "launches", "iphone"]]
+        titles = [
+            [
+                "breaking", ":", "apple", "launches", "iphone", "12", ",",
+                "what", "we", "know",
+            ]
+        ]
+        out = select_event_candidate(queries, titles, min_len=3, max_len=10)
+        assert out == ["apple", "launches", "iphone", "12"]
+
+    def test_length_band_enforced(self):
+        queries = [["apple", "launches"]]
+        titles = [["apple", "launches", ",", "w1", "w2", "w3", "w4", "w5", "w6"]]
+        # The covering subtitle (len 2) is below min_len; the filler subtitle
+        # (len 6) is above max_len: nothing qualifies.
+        assert select_event_candidate(queries, titles, min_len=3, max_len=5) is None
+        # Widening the band admits the filler subtitle.
+        out = select_event_candidate(queries, titles, min_len=2, max_len=20)
+        assert out == ["apple", "launches"]
+
+    def test_ctr_tie_break(self):
+        queries = [["x", "y", "z"]]
+        titles = [["x", "y", "z", "one"], ["x", "y", "z", "two"]]
+        # Equal cover scores: higher-CTR (first) title wins.
+        ranked = cover_rank(queries, titles)
+        assert ranked[0][0] == ["x", "y", "z", "one"]
+
+    def test_empty_inputs(self):
+        assert select_event_candidate([], []) is None
+
+
+class TestCSD:
+    def test_derives_common_suffix(self):
+        concepts = [
+            ["famous", "animated", "films"],
+            ["hayao", "miyazaki", "animated", "films"],
+            ["award", "winning", "animated", "films"],
+        ]
+        derived = common_suffix_discovery(concepts, PosTagger(), min_count=2)
+        assert ("animated", "films") in derived
+        assert len(derived[("animated", "films")]) == 3
+
+    def test_min_count_respected(self):
+        concepts = [["big", "cars"], ["fast", "boats"]]
+        derived = common_suffix_discovery(concepts, PosTagger(), min_count=2)
+        assert derived == {}
+
+    def test_non_noun_suffix_rejected(self):
+        concepts = [["teams", "that", "win"], ["players", "that", "win"]]
+        derived = common_suffix_discovery(concepts, PosTagger(), min_count=2)
+        assert ("that", "win") not in derived
+
+    def test_redundant_shorter_suffix_dropped(self):
+        concepts = [
+            ["famous", "animated", "films"],
+            ["classic", "animated", "films"],
+        ]
+        derived = common_suffix_discovery(concepts, PosTagger(), min_count=2)
+        # ("films",) covers the same children as ("animated", "films").
+        assert ("animated", "films") in derived
+        assert ("films",) not in derived
+
+
+class TestCPD:
+    @pytest.fixture
+    def ner(self):
+        t = NerTagger()
+        t.register("jay chou", "PER")
+        t.register("taylor swift", "PER")
+        return t
+
+    def test_derives_topic(self, ner):
+        events = [
+            ["jay", "chou", "will", "have", "a", "concert"],
+            ["taylor", "swift", "will", "have", "a", "concert"],
+        ]
+        entity_concepts = {
+            "jay chou": [("pop", "singers")],
+            "taylor swift": [("pop", "singers")],
+        }
+        topics = common_pattern_discovery(events, ner, entity_concepts, min_count=2)
+        assert len(topics) == 1
+        assert topics[0].phrase == ("pop", "singers", "will", "have", "a", "concert")
+        assert topics[0].concept == ("pop", "singers")
+
+    def test_no_common_concept_no_topic(self, ner):
+        events = [
+            ["jay", "chou", "will", "have", "a", "concert"],
+            ["taylor", "swift", "will", "have", "a", "concert"],
+        ]
+        entity_concepts = {
+            "jay chou": [("male", "singers")],
+            "taylor swift": [("female", "singers")],
+        }
+        assert common_pattern_discovery(events, ner, entity_concepts, min_count=2) == []
+
+    def test_search_support_filter(self, ner):
+        events = [
+            ["jay", "chou", "will", "have", "a", "concert"],
+            ["taylor", "swift", "will", "have", "a", "concert"],
+        ]
+        entity_concepts = {
+            "jay chou": [("pop", "singers")],
+            "taylor swift": [("pop", "singers")],
+        }
+        topics = common_pattern_discovery(
+            events, ner, entity_concepts, min_count=2,
+            min_search_support=5, search_counts={},
+        )
+        assert topics == []
+
+    def test_most_fine_grained_concept_chosen(self, ner):
+        events = [
+            ["jay", "chou", "will", "have", "a", "concert"],
+            ["taylor", "swift", "will", "have", "a", "concert"],
+        ]
+        entity_concepts = {
+            "jay chou": [("singers",), ("famous", "pop", "singers")],
+            "taylor swift": [("singers",), ("famous", "pop", "singers")],
+        }
+        topics = common_pattern_discovery(events, ner, entity_concepts, min_count=2)
+        assert topics[0].concept == ("famous", "pop", "singers")
+
+
+class TestNormalizer:
+    def _phrase(self, tokens, titles=None):
+        return AttentionPhrase(tokens=tokens, kind="concept",
+                               context_titles=titles or [tokens])
+
+    def test_identical_phrases_merge(self):
+        norm = PhraseNormalizer(MiningConfig(merge_threshold=0.3))
+        a = norm.add(self._phrase(["economy", "cars"], [["economy", "cars", "ranked"]]))
+        b = norm.add(self._phrase(["economy", "cars"], [["economy", "cars", "ranked"]]))
+        assert a is b
+        assert len(norm) == 1
+
+    def test_different_content_words_not_merged(self):
+        norm = PhraseNormalizer(MiningConfig(merge_threshold=0.1))
+        norm.add(self._phrase(["economy", "cars"]))
+        norm.add(self._phrase(["detective", "fiction"]))
+        assert len(norm) == 2
+
+    def test_stopword_variants_merge(self):
+        norm = PhraseNormalizer(MiningConfig(merge_threshold=0.3))
+        ctx = [["economy", "cars", "ranked", "for", "buyers"]]
+        a = norm.add(self._phrase(["the", "economy", "cars"], ctx))
+        b = norm.add(self._phrase(["economy", "cars"], ctx))
+        assert b is a
+        # The shorter phrase becomes canonical.
+        assert a.tokens == ["economy", "cars"]
+        assert "the economy cars" in a.aliases
+
+    def test_context_dissimilar_not_merged(self):
+        norm = PhraseNormalizer(MiningConfig(merge_threshold=0.95))
+        norm.add(self._phrase(["economy", "cars"], [["aaa", "bbb", "ccc", "ddd"]]))
+        norm.add(self._phrase(["economy", "cars"], [["eee", "fff", "ggg", "hhh"]]))
+        assert len(norm) == 2
+
+    def test_support_accumulates(self):
+        norm = PhraseNormalizer(MiningConfig(merge_threshold=0.3))
+        ctx = [["economy", "cars", "ranked"]]
+        a = norm.add(AttentionPhrase(["economy", "cars"], "concept", ctx, support=2.0))
+        norm.add(AttentionPhrase(["economy", "cars"], "concept", ctx, support=3.0))
+        assert a.support == 5.0
+
+    def test_kind_separates(self):
+        norm = PhraseNormalizer(MiningConfig(merge_threshold=0.3))
+        ctx = [["economy", "cars", "ranked"]]
+        a = norm.add(AttentionPhrase(["economy", "cars"], "concept", ctx))
+        b = norm.add(AttentionPhrase(["economy", "cars"], "event", ctx))
+        assert a is not b
+
+    def test_empty_phrase_noop(self):
+        norm = PhraseNormalizer()
+        p = norm.add(AttentionPhrase([], "concept"))
+        assert len(norm) == 0
+        assert p.tokens == []

@@ -1,0 +1,99 @@
+"""Tests for repro.datasets (CMD / EMD builders and splits)."""
+
+import pytest
+
+from repro.datasets import build_cmd, build_emd, split_dataset
+from repro.synth.world import WorldConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig(num_days=3, seed=3))
+
+
+@pytest.fixture(scope="module")
+def cmd(world):
+    return build_cmd(world, examples_per_concept=2, seed=4)
+
+
+@pytest.fixture(scope="module")
+def emd(world):
+    return build_emd(world, examples_per_event=1, seed=5)
+
+
+class TestCmd:
+    def test_size(self, world, cmd):
+        assert len(cmd) == 2 * len(world.concepts)
+
+    def test_gold_tokens_subsequence_of_some_text(self, cmd):
+        for example in cmd:
+            found = False
+            for text in example.queries + example.titles:
+                it = iter(text)
+                if all(tok in it for tok in example.gold_tokens):
+                    found = True
+                    break
+            assert found, example.source_phrase
+
+    def test_kind_and_category(self, cmd):
+        assert all(e.kind == "concept" for e in cmd)
+        assert all(e.category for e in cmd)
+
+    def test_queries_and_titles_nonempty(self, cmd):
+        assert all(e.queries and e.titles for e in cmd)
+
+    def test_deterministic(self, world):
+        a = build_cmd(world, examples_per_concept=1, seed=11)
+        b = build_cmd(world, examples_per_concept=1, seed=11)
+        assert [e.queries for e in a] == [e.queries for e in b]
+
+
+class TestEmd:
+    def test_size(self, world, emd):
+        assert len(emd) == len(world.events)
+
+    def test_roles_cover_entity_and_trigger(self, emd):
+        for example in emd:
+            roles = set(example.token_roles.values())
+            assert "entity" in roles
+            assert "trigger" in roles
+
+    def test_role_tokens_in_gold_or_titles(self, emd):
+        for example in emd:
+            all_tokens = {t for text in example.queries + example.titles for t in text}
+            for token in example.token_roles:
+                assert token in all_tokens
+
+    def test_day_matches_world(self, world, emd):
+        by_phrase = {e.phrase: e.day for e in world.events.values()}
+        for example in emd:
+            assert example.day == by_phrase[example.source_phrase]
+
+    def test_event_titles_contain_subtitles(self, emd):
+        from repro.core.coverrank import split_subtitles
+
+        for example in emd:
+            assert any(len(split_subtitles(t)) >= 2 for t in example.titles)
+
+
+class TestSplit:
+    def test_fractions(self, cmd):
+        train, dev, test = split_dataset(cmd, seed=0)
+        assert len(train) + len(dev) + len(test) == len(cmd)
+        assert len(train) >= len(dev) >= 0
+        assert len(train) > len(test)
+
+    def test_disjoint(self, cmd):
+        train, dev, test = split_dataset(cmd, seed=0)
+        ids = [id(e) for e in train + dev + test]
+        assert len(ids) == len(set(ids))
+
+    def test_deterministic(self, cmd):
+        t1, _d1, _x1 = split_dataset(cmd, seed=3)
+        t2, _d2, _x2 = split_dataset(cmd, seed=3)
+        assert [e.source_phrase for e in t1] == [e.source_phrase for e in t2]
+
+    def test_seed_changes_order(self, cmd):
+        t1, _d, _x = split_dataset(cmd, seed=1)
+        t2, _d2, _x2 = split_dataset(cmd, seed=2)
+        assert [e.source_phrase for e in t1] != [e.source_phrase for e in t2]

@@ -1,0 +1,78 @@
+"""Tests for repro.text.dependency."""
+
+import pytest
+
+from repro.text.dependency import DEP_LABELS, DependencyParser
+from repro.text.pos import PosTagger
+
+
+@pytest.fixture
+def parser():
+    tagger = PosTagger()
+    tagger.register_proper_nouns(["hayao miyazaki", "jay chou"])
+    return DependencyParser(tagger)
+
+
+def arcs_by_label(arcs):
+    out = {}
+    for a in arcs:
+        out.setdefault(a.label, []).append((a.head, a.dependent))
+    return out
+
+
+class TestNounPhrases:
+    def test_det_attaches_to_head_noun(self, parser):
+        arcs = arcs_by_label(parser.parse(["the", "films"]))
+        assert (1, 0) in arcs["det"]
+
+    def test_amod(self, parser):
+        arcs = arcs_by_label(parser.parse(["best", "famous", "cars"]))
+        assert set(arcs["amod"]) == {(2, 0), (2, 1)}
+
+    def test_compound_chain(self, parser):
+        arcs = arcs_by_label(parser.parse(["hayao", "miyazaki", "films"]))
+        assert set(arcs["compound"]) == {(2, 0), (2, 1)}
+
+    def test_nummod(self, parser):
+        arcs = arcs_by_label(parser.parse(["top", "5", "cars"]))
+        assert (2, 1) in arcs["nummod"]
+
+
+class TestVerbArguments:
+    def test_nsubj_and_dobj(self, parser):
+        # "jay chou wins awards": chou <- nsubj, awards <- dobj
+        arcs = arcs_by_label(parser.parse(["jay", "chou", "wins", "awards"]))
+        assert (2, 1) in arcs["nsubj"]
+        assert (2, 3) in arcs["dobj"]
+
+    def test_punct_attaches_to_root(self, parser):
+        arcs = parser.parse(["cars", "win", "races", "!"])
+        punct = [a for a in arcs if a.label == "punct"]
+        assert punct and punct[0].head == 1
+
+
+class TestStructure:
+    def test_every_non_root_token_has_one_head(self, parser):
+        tokens = ["what", "are", "the", "famous", "films", "of", "miyazaki", "?"]
+        arcs = parser.parse(tokens)
+        dependents = [a.dependent for a in arcs]
+        assert len(dependents) == len(set(dependents))
+        assert len(dependents) == len(tokens) - 1  # all but root
+
+    def test_labels_are_known(self, parser):
+        arcs = parser.parse(["the", "big", "cars", "win", "in", "london"])
+        assert all(a.label in DEP_LABELS for a in arcs)
+
+    def test_empty_input(self, parser):
+        assert parser.parse([]) == []
+
+    def test_single_token(self, parser):
+        assert parser.parse(["cars"]) == []
+
+    def test_tags_length_mismatch_raises(self, parser):
+        with pytest.raises(ValueError):
+            parser.parse(["a", "b"], tags=["DET"])
+
+    def test_no_self_loops(self, parser):
+        arcs = parser.parse(["best", "cars", "win", "races", "today"])
+        assert all(a.head != a.dependent for a in arcs)

@@ -1,0 +1,75 @@
+"""Tests for repro.text.embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.text.embeddings import WordEmbeddings
+
+
+@pytest.fixture(scope="module")
+def trained():
+    corpus = [
+        ["film", "review", "great", "film"],
+        ["movie", "review", "great", "movie"],
+        ["film", "director", "movie", "director"],
+        ["car", "engine", "fast", "car"],
+        ["car", "mpg", "engine"],
+    ] * 4
+    return WordEmbeddings(dim=8, window=2).train(corpus)
+
+
+class TestTraining:
+    def test_vocabulary_learned(self, trained):
+        assert "film" in trained
+        assert "car" in trained
+
+    def test_vectors_unit_norm(self, trained):
+        assert np.linalg.norm(trained.vector("film")) == pytest.approx(1.0, abs=1e-6)
+
+    def test_related_words_closer_than_unrelated(self, trained):
+        related = trained.similarity("film", "movie")
+        unrelated = trained.similarity("film", "mpg")
+        assert related > unrelated
+
+    def test_min_count_filters(self):
+        emb = WordEmbeddings(dim=4).train([["a", "b"], ["a", "c"]], min_count=2)
+        assert "a" in emb
+        assert "b" not in emb
+
+    def test_empty_corpus_ok(self):
+        emb = WordEmbeddings(dim=4).train([])
+        assert len(emb) == 0
+
+
+class TestOovFallback:
+    def test_oov_vector_deterministic(self):
+        emb = WordEmbeddings(dim=16)
+        v1 = emb.vector("neverseen")
+        v2 = emb.vector("neverseen")
+        assert np.allclose(v1, v2)
+
+    def test_oov_vector_unit_norm(self):
+        emb = WordEmbeddings(dim=16)
+        assert np.linalg.norm(emb.vector("xyzzy")) == pytest.approx(1.0, abs=1e-6)
+
+    def test_different_words_different_vectors(self):
+        emb = WordEmbeddings(dim=16)
+        assert not np.allclose(emb.vector("alpha"), emb.vector("beta"))
+
+
+class TestPhraseEncoding:
+    def test_phrase_encoding_unit_norm(self, trained):
+        v = trained.encode_phrase(["film", "review"])
+        assert np.linalg.norm(v) == pytest.approx(1.0, abs=1e-6)
+
+    def test_empty_phrase_zero_vector(self, trained):
+        assert np.allclose(trained.encode_phrase([]), 0.0)
+
+    def test_similarity_in_range(self, trained):
+        s = trained.similarity("film", "car")
+        assert -1.0 - 1e-9 <= s <= 1.0 + 1e-9
+
+
+def test_invalid_dim_raises():
+    with pytest.raises(ValueError):
+        WordEmbeddings(dim=1)

@@ -1,0 +1,127 @@
+"""Tests for repro.eval.metrics and repro.eval.reporting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eval.metrics import (
+    evaluate_phrases,
+    exact_match,
+    multiclass_f1,
+    precision_recall_f1,
+    token_f1,
+)
+from repro.eval.reporting import render_series, render_table
+
+
+class TestExactMatchAndF1:
+    def test_em_exact(self):
+        assert exact_match(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_em_order_sensitive(self):
+        assert exact_match(["b", "a"], ["a", "b"]) == 0.0
+
+    def test_f1_full_overlap(self):
+        assert token_f1(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_f1_partial(self):
+        # pred {a,b}, gold {b,c}: overlap 1, p=r=0.5 -> f1=0.5
+        assert token_f1(["a", "b"], ["b", "c"]) == pytest.approx(0.5)
+
+    def test_f1_multiset(self):
+        assert token_f1(["a", "a"], ["a"]) == pytest.approx(2 / 3)
+
+    def test_f1_empty_cases(self):
+        assert token_f1([], []) == 1.0
+        assert token_f1(["a"], []) == 0.0
+        assert token_f1([], ["a"]) == 0.0
+
+
+class TestEvaluatePhrases:
+    def test_coverage_counts_empties(self):
+        scores = evaluate_phrases([["a"], []], [["a"], ["b"]])
+        assert scores.coverage == 0.5
+        assert scores.em == 1.0  # conditional on non-empty
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            evaluate_phrases([["a"]], [])
+
+    def test_empty_dataset(self):
+        scores = evaluate_phrases([], [])
+        assert scores.count == 0
+
+    def test_as_row(self):
+        scores = evaluate_phrases([["a"]], [["a"]])
+        assert scores.as_row() == {"EM": 1.0, "F1": 1.0, "COV": 1.0}
+
+
+class TestMulticlassF1:
+    def test_perfect(self):
+        out = multiclass_f1([0, 1, 2], [0, 1, 2], 3)
+        assert out["F1-macro"] == 1.0
+        assert out["F1-micro"] == 1.0
+        assert out["F1-weighted"] == 1.0
+
+    def test_all_wrong(self):
+        out = multiclass_f1([0, 0], [1, 1], 2)
+        assert out["F1-micro"] == 0.0
+
+    def test_micro_ge_macro_with_imbalance(self):
+        # Majority class correct, minority wrong: micro > macro.
+        y_true = [0] * 9 + [1]
+        y_pred = [0] * 10
+        out = multiclass_f1(y_true, y_pred, 2)
+        assert out["F1-micro"] > out["F1-macro"]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            multiclass_f1([0], [0, 1], 2)
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_sets(self):
+        assert precision_recall_f1({1, 2}, {1, 2}) == (1.0, 1.0, 1.0)
+
+    def test_half_precision(self):
+        p, r, f1 = precision_recall_f1({1}, {1, 2})
+        assert p == 0.5 and r == 1.0
+
+    def test_empty_pred(self):
+        assert precision_recall_f1({1}, set()) == (0.0, 0.0, 0.0)
+        assert precision_recall_f1(set(), set()) == (1.0, 1.0, 1.0)
+
+
+class TestReporting:
+    def test_table_contains_rows_and_columns(self):
+        out = render_table("Table X", ["EM", "F1"],
+                           [("MethodA", {"EM": 0.5, "F1": 0.75})])
+        assert "Table X" in out
+        assert "MethodA" in out
+        assert "0.5000" in out and "0.7500" in out
+
+    def test_table_missing_metric_dash(self):
+        out = render_table("T", ["EM"], [("M", {})])
+        assert "-" in out
+
+    def test_series_renders_means(self):
+        out = render_series("Fig", ["d1", "d2"], {"arm": [1.0, 3.0]})
+        assert "mean" in out
+        assert "2.00" in out
+
+    def test_series_unit_suffix(self):
+        out = render_series("Fig", ["d1"], {"arm": [12.5]}, unit="%")
+        assert "12.50%" in out
+
+
+@given(st.lists(st.sampled_from("abc"), max_size=6),
+       st.lists(st.sampled_from("abc"), max_size=6))
+def test_token_f1_symmetric_and_bounded(a, b):
+    f = token_f1(a, b)
+    assert 0.0 <= f <= 1.0
+    assert f == pytest.approx(token_f1(b, a))
+
+
+@given(st.lists(st.sampled_from("abc"), min_size=1, max_size=6))
+def test_em_implies_f1_one(a):
+    assert token_f1(a, a) == 1.0
+    assert exact_match(a, a) == 1.0

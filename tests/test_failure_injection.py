@@ -1,0 +1,122 @@
+"""Failure-injection and degenerate-input tests.
+
+Every stage of the pipeline must degrade gracefully — return empty results
+or raise the library's typed exceptions — when fed pathological inputs:
+empty worlds, all-stopword queries, singleton graphs, adversarial payloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import GiantConfig, MiningConfig
+from repro.core.features import NodeFeatureExtractor
+from repro.core.gctsp import GCTSPNet, prepare_example
+from repro.core.mining import AttentionMiner
+from repro.core.phrase import AttentionPhrase, PhraseNormalizer
+from repro.eval.metrics import evaluate_phrases
+from repro.graph.click_graph import ClickGraph
+from repro.graph.qtig import build_qtig
+from repro.graph.random_walk import RandomWalkClusterer
+from repro.tsp import solve_path_atsp
+
+
+class TestDegenerateClickGraphs:
+    def test_empty_graph_clusters_nothing(self):
+        clusterer = RandomWalkClusterer(ClickGraph())
+        assert clusterer.cluster_all() == []
+
+    def test_unknown_seed_query_yields_singleton(self):
+        graph = ClickGraph()
+        graph.add_click("q", "d", 1, title="t")
+        cluster = RandomWalkClusterer(graph).cluster("never seen query")
+        assert cluster.queries == ["never seen query"]
+        assert cluster.doc_ids == []
+
+    def test_miner_on_empty_graph(self):
+        miner = AttentionMiner(ClickGraph())
+        assert miner.mine([]) == []
+
+    def test_miner_cluster_without_titles(self):
+        graph = ClickGraph()
+        graph.add_click("some plain query", "d1", 1)  # no title recorded
+        miner = AttentionMiner(graph)
+        cluster = miner.cluster("some plain query")
+        assert miner.mine_cluster(cluster) is None
+
+
+class TestDegenerateText:
+    def test_all_stopword_query_cluster(self):
+        graph = ClickGraph()
+        graph.add_click("the of and", "d1", 2, title="what is this even")
+        clusterer = RandomWalkClusterer(graph, MiningConfig(visit_threshold=0.01))
+        cluster = clusterer.cluster("the of and")
+        # Seed always kept; no content words means no expansion criteria.
+        assert cluster.seed_query in cluster.queries
+
+    def test_qtig_with_single_token_texts(self):
+        graph = build_qtig([["a"]], [["a"]])
+        assert graph.num_nodes == 3  # sos, eos, "a"
+        mats, _names = graph.adjacency_matrices()
+        assert all(np.isfinite(m).all() for m in mats)
+
+    def test_normalizer_whitespace_phrase(self):
+        norm = PhraseNormalizer()
+        phrase = norm.add(AttentionPhrase([], "concept"))
+        assert phrase.tokens == []
+        assert len(norm) == 0
+
+
+class TestModelRobustness:
+    def test_gctsp_predicts_on_unseen_relation_pattern(self, extractor, parser,
+                                                       tiny_gctsp_config):
+        # A graph whose texts produce dependency labels never seen in
+        # training must still classify (unknown labels map to index 0).
+        model = GCTSPNet(tiny_gctsp_config)
+        example = prepare_example([["cars", "win", "!"]], [["cars", "!"]],
+                                  extractor, parser)
+        labels = model.predict_labels(example)
+        assert labels.shape == (example.graph.num_nodes,)
+
+    def test_gctsp_no_positive_nodes_empty_phrase(self, extractor, parser,
+                                                  tiny_gctsp_config):
+        model = GCTSPNet(tiny_gctsp_config)
+        example = prepare_example([["the", "of"]], [["and", "the"]],
+                                  extractor, parser)
+        # Whatever the untrained model predicts, extract_phrase must not
+        # crash and must return a list.
+        assert isinstance(model.extract_phrase(example), list)
+
+    def test_atsp_with_infinite_penalties(self):
+        dist = np.full((4, 4), 1e9)
+        np.fill_diagonal(dist, 0.0)
+        path = solve_path_atsp(dist, 0, 3)
+        assert sorted(path) == [0, 1, 2, 3]
+
+    def test_atsp_with_zero_matrix(self):
+        path = solve_path_atsp(np.zeros((5, 5)), 0, 4)
+        assert sorted(path) == list(range(5))
+
+
+class TestMetricsRobustness:
+    def test_all_empty_predictions(self):
+        scores = evaluate_phrases([[], [], []], [["a"], ["b"], ["c"]])
+        assert scores.coverage == 0.0
+        assert scores.em == 0.0
+
+    def test_unicode_tokens(self):
+        scores = evaluate_phrases([["宫崎骏", "电影"]], [["宫崎骏", "电影"]])
+        assert scores.em == 1.0
+
+
+class TestConfigInjection:
+    def test_invalid_config_rejected_by_miner(self):
+        config = GiantConfig()
+        config.mining.visit_threshold = 2.0  # corrupted after construction
+        with pytest.raises(Exception):
+            AttentionMiner(ClickGraph(), config=config)
+
+    def test_negative_click_count_rejected(self):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            ClickGraph().add_click("q", "d", -5)

@@ -1,0 +1,140 @@
+"""Tests for repro.core.features and repro.core.gctsp."""
+
+import numpy as np
+import pytest
+
+from repro.config import GCTSPConfig
+from repro.core.features import FEATURE_FIELDS, NodeFeatureExtractor
+from repro.core.gctsp import (
+    GCTSPNet,
+    KEY_ELEMENT_CLASSES,
+    RELATION_VOCAB,
+    prepare_example,
+)
+from repro.errors import TrainingError
+from repro.graph.qtig import build_qtig
+
+
+@pytest.fixture(scope="module")
+def example(extractor, parser):
+    queries = [["best", "fuel", "efficient", "cars"],
+               ["fuel", "efficient", "cars"]]
+    titles = [["the", "fuel", "efficient", "cars", "ranked", "today"],
+              ["review", "of", "famous", "fuel", "efficient", "cars"]]
+    return prepare_example(queries, titles, extractor, parser,
+                           gold_tokens=["fuel", "efficient", "cars"])
+
+
+class TestFeatures:
+    def test_feature_matrix_shape(self, example):
+        assert example.features.shape == (example.graph.num_nodes, len(FEATURE_FIELDS))
+
+    def test_special_rows_all_zero(self, example):
+        assert np.all(example.features[0] == 0)  # sos
+        assert np.all(example.features[1] == 0)  # eos
+
+    def test_features_within_vocab(self, example):
+        for col, (_name, vocab_size) in enumerate(FEATURE_FIELDS):
+            assert example.features[:, col].max() < vocab_size
+            assert example.features[:, col].min() >= 0
+
+    def test_stopword_flag(self, example, extractor):
+        graph = example.graph
+        the = graph.node_id("the")
+        cars = graph.node_id("cars")
+        assert example.features[the, 2] == 2  # stop
+        assert example.features[cars, 2] == 1  # content
+
+    def test_labels_mark_gold_tokens(self, example):
+        graph = example.graph
+        for token in ("fuel", "efficient", "cars"):
+            assert example.labels[graph.node_id(token)] == 1
+        assert example.labels[graph.node_id("best")] == 0
+        assert example.labels[0] == 0  # sos never positive
+
+    def test_role_labels(self, extractor, parser):
+        ex = prepare_example(
+            [["apple", "launches", "iphone"]],
+            [["apple", "launches", "iphone", "in", "california"]],
+            extractor, parser,
+            token_roles={"apple": "entity", "launches": "trigger",
+                         "california": "location"},
+        )
+        graph = ex.graph
+        assert ex.labels[graph.node_id("apple")] == KEY_ELEMENT_CLASSES.index("entity")
+        assert ex.labels[graph.node_id("launches")] == KEY_ELEMENT_CLASSES.index("trigger")
+        assert ex.labels[graph.node_id("california")] == KEY_ELEMENT_CLASSES.index("location")
+        assert ex.labels[graph.node_id("in")] == 0
+
+    def test_adjacency_count_matches_relation_vocab(self, example):
+        assert len(example.adjacencies) == 2 * len(RELATION_VOCAB)
+
+
+class TestGCTSPNet:
+    def test_logits_shape(self, example, tiny_gctsp_config):
+        model = GCTSPNet(tiny_gctsp_config)
+        logits = model.node_logits(example)
+        assert logits.shape == (example.graph.num_nodes, 2)
+
+    def test_fit_reduces_loss(self, example, tiny_gctsp_config):
+        model = GCTSPNet(tiny_gctsp_config)
+        losses = model.fit([example], epochs=10)
+        assert losses[-1] < losses[0]
+
+    def test_fit_empty_raises(self, tiny_gctsp_config):
+        with pytest.raises(TrainingError):
+            GCTSPNet(tiny_gctsp_config).fit([])
+
+    def test_fit_unlabeled_raises(self, extractor, parser, tiny_gctsp_config):
+        ex = prepare_example([["a", "b"]], [["a", "b"]], extractor, parser)
+        with pytest.raises(TrainingError):
+            GCTSPNet(tiny_gctsp_config).fit([ex])
+
+    def test_overfits_single_example(self, example, tiny_gctsp_config):
+        model = GCTSPNet(tiny_gctsp_config)
+        model.fit([example], epochs=30)
+        assert model.extract_phrase(example) == ["fuel", "efficient", "cars"]
+
+    def test_order_nodes_respects_text_order(self, example):
+        graph = example.graph
+        positives = [graph.node_id("cars"), graph.node_id("fuel"),
+                     graph.node_id("efficient")]
+        ordered = GCTSPNet.order_nodes(graph, positives)
+        assert ordered == ["fuel", "efficient", "cars"]
+
+    def test_order_nodes_empty(self, example):
+        assert GCTSPNet.order_nodes(example.graph, []) == []
+
+    def test_predict_labels_binary(self, example, tiny_gctsp_config):
+        model = GCTSPNet(tiny_gctsp_config)
+        labels = model.predict_labels(example)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_trained_model_generalises(self, trained_concept_model, cmd_splits):
+        _train, _dev, test, _raw = cmd_splits
+        from repro.eval import evaluate_phrases
+
+        preds = [trained_concept_model.extract_phrase(e) for e in test]
+        golds = [e.gold_tokens for e in test]
+        scores = evaluate_phrases(preds, golds)
+        assert scores.f1 > 0.6
+        assert scores.coverage > 0.8
+
+    def test_key_element_model_predicts_roles(self, trained_key_element_model,
+                                              emd_dataset, extractor, parser):
+        example = prepare_example(
+            emd_dataset[0].queries, emd_dataset[0].titles, extractor, parser,
+            token_roles=emd_dataset[0].token_roles,
+        )
+        roles = trained_key_element_model.predict_key_elements(example)
+        assert isinstance(roles, dict)
+        assert all(r in ("entity", "trigger", "location") for r in roles.values())
+
+    def test_state_dict_round_trip(self, example, tiny_gctsp_config):
+        model = GCTSPNet(tiny_gctsp_config)
+        before = model.predict_labels(example)
+        state = model.state_dict()
+        clone = GCTSPNet(tiny_gctsp_config)
+        clone.load_state_dict(state)
+        after = clone.predict_labels(example)
+        assert np.array_equal(before, after)

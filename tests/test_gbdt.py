@@ -1,0 +1,76 @@
+"""Tests for repro.nn.gbdt."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gbdt import DecisionTreeRegressor, GradientBoostedClassifier
+
+
+class TestDecisionTree:
+    def test_fits_step_function(self):
+        x = np.linspace(0, 1, 50)[:, None]
+        y = (x[:, 0] > 0.5).astype(float)
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        pred = tree.predict(x)
+        assert np.abs(pred - y).max() < 0.01
+
+    def test_constant_target(self):
+        x = np.random.default_rng(0).standard_normal((10, 2))
+        tree = DecisionTreeRegressor().fit(x, np.ones(10))
+        assert np.allclose(tree.predict(x), 1.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.ones((1, 2)))
+
+    def test_bad_shapes_raise(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.ones(5), np.ones(5))
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.ones((5, 2)), np.ones(4))
+
+    def test_single_row_prediction(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        tree = DecisionTreeRegressor(max_depth=1, min_samples_leaf=1).fit(x, y)
+        assert tree.predict(np.array([2.5]))[0] == pytest.approx(1.0)
+
+
+class TestGBDT:
+    def test_learns_xor(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(200, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+        clf = GradientBoostedClassifier(n_estimators=40, max_depth=3).fit(x, y)
+        assert (clf.predict(x) == y).mean() > 0.95
+
+    def test_probabilities_in_range(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((50, 3))
+        y = (x[:, 0] > 0).astype(int)
+        clf = GradientBoostedClassifier(n_estimators=10).fit(x, y)
+        proba = clf.predict_proba(x)
+        assert np.all(proba >= 0) and np.all(proba <= 1)
+
+    def test_single_class_degenerates_to_prior(self):
+        x = np.random.default_rng(0).standard_normal((10, 2))
+        clf = GradientBoostedClassifier().fit(x, np.ones(10))
+        assert np.all(clf.predict(x) == 1)
+
+    def test_more_estimators_do_not_hurt_train_fit(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((100, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        small = GradientBoostedClassifier(n_estimators=3).fit(x, y)
+        large = GradientBoostedClassifier(n_estimators=30).fit(x, y)
+        assert (large.predict(x) == y).mean() >= (small.predict(x) == y).mean()
+
+    def test_1d_input_to_predict(self):
+        x = np.random.default_rng(0).standard_normal((20, 2))
+        y = (x[:, 0] > 0).astype(int)
+        clf = GradientBoostedClassifier(n_estimators=5).fit(x, y)
+        assert clf.predict(x[0]).shape == (1,)
+
+    def test_bad_shapes_raise(self):
+        with pytest.raises(ValueError):
+            GradientBoostedClassifier().fit(np.ones((5, 2)), np.ones(4))

@@ -1,0 +1,93 @@
+"""Tests for incremental pipeline growth and model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro import GiantPipeline
+from repro.core.gctsp import GCTSPNet
+from repro.config import GCTSPConfig
+from repro.core.ontology import NodeType
+from repro.nn.checkpoint import load_checkpoint, save_checkpoint
+from repro.nn.layers import Linear
+from repro.synth.querylog import QueryLogGenerator, build_click_graph
+from repro.synth.world import WorldConfig, build_world
+
+
+class TestCheckpoint:
+    def test_round_trip_linear(self, tmp_path):
+        layer = Linear(3, 2, rng=np.random.default_rng(1))
+        path = str(tmp_path / "layer.npz")
+        save_checkpoint(layer, path)
+        clone = Linear(3, 2, rng=np.random.default_rng(99))
+        load_checkpoint(clone, path)
+        assert np.allclose(clone.weight.data, layer.weight.data)
+        assert np.allclose(clone.bias.data, layer.bias.data)
+
+    def test_round_trip_gctsp(self, tmp_path, cmd_splits, tiny_gctsp_config):
+        train, _dev, test, _raw = cmd_splits
+        model = GCTSPNet(tiny_gctsp_config)
+        model.fit(train[:5], epochs=2)
+        path = str(tmp_path / "gctsp.npz")
+        save_checkpoint(model, path)
+        clone = GCTSPNet(tiny_gctsp_config)
+        load_checkpoint(clone, path)
+        example = test[0]
+        assert np.array_equal(model.predict_labels(example),
+                              clone.predict_labels(example))
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        layer = Linear(3, 2)
+        path = str(tmp_path / "layer.npz")
+        save_checkpoint(layer, path)
+        wrong = Linear(4, 2)
+        with pytest.raises((ValueError, KeyError)):
+            load_checkpoint(wrong, path)
+
+
+class TestIncrementalPipeline:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        world = build_world(WorldConfig(num_days=3, seed=11))
+        gen = QueryLogGenerator(world)
+        days = gen.generate_days()
+        pos, ner = world.register_text_models()
+        categories = sorted({c[2] for c in world.categories})
+        return world, days, pos, ner, categories
+
+    def test_extend_grows_ontology(self, setup):
+        world, days, pos, ner, categories = setup
+        pipe = GiantPipeline(build_click_graph(days[:1]), pos, ner,
+                             categories=categories)
+        pipe.run(sessions=days[0].sessions)
+        before = pipe.ontology.stats()
+
+        growth = pipe.extend(build_click_graph(days[1:2]),
+                             sessions=days[1].sessions)
+        after = pipe.ontology.stats()
+        # Growth deltas must be consistent and non-negative.
+        for key, delta in growth.items():
+            assert after[key] - before[key] == delta
+            assert delta >= 0
+        assert growth["concept"] + growth["event"] > 0
+
+    def test_extend_is_stable_on_repeat(self, setup):
+        world, days, pos, ner, categories = setup
+        pipe = GiantPipeline(build_click_graph(days[:1]), pos, ner,
+                             categories=categories)
+        pipe.run(sessions=days[0].sessions)
+        pipe.extend(build_click_graph(days[1:2]), sessions=days[1].sessions)
+        snapshot = pipe.ontology.stats()
+        # Extending with the same day again adds no new queries -> node
+        # counts stay fixed (linking is idempotent).
+        growth = pipe.extend(build_click_graph(days[1:2]))
+        assert pipe.ontology.stats()["concept"] == snapshot["concept"]
+        assert growth["concept"] == 0
+
+    def test_report_accumulates(self, setup):
+        world, days, pos, ner, categories = setup
+        pipe = GiantPipeline(build_click_graph(days[:1]), pos, ner,
+                             categories=categories)
+        pipe.run(sessions=days[0].sessions)
+        first = pipe.report.concepts_mined
+        pipe.extend(build_click_graph(days[1:3]))
+        assert pipe.report.concepts_mined >= first

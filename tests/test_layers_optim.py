@@ -1,0 +1,137 @@
+"""Tests for repro.nn.layers and repro.nn.optim."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn import functional as F
+from repro.nn.layers import Dropout, Embedding, Linear, Module, Parameter, ReLU, Sequential, Tanh
+from repro.nn.optim import SGD, Adam
+
+
+class TestModule:
+    def test_parameters_discovered_recursively(self):
+        class Net(Module):
+            def __init__(self):
+                self.fc1 = Linear(2, 3)
+                self.list = [Linear(3, 3)]
+                self.map = {"x": Linear(3, 1)}
+
+        net = Net()
+        params = list(net.parameters())
+        assert len(params) == 6  # three layers x (weight, bias)
+
+    def test_num_parameters(self):
+        assert Linear(2, 3).num_parameters() == 2 * 3 + 3
+
+    def test_train_eval_mode_propagates(self):
+        seq = Sequential(Linear(2, 2), Dropout(0.5))
+        seq.eval()
+        assert not seq.modules[1].training
+        seq.train()
+        assert seq.modules[1].training
+
+    def test_state_dict_round_trip(self):
+        net = Sequential(Linear(2, 3), Linear(3, 1))
+        state = net.state_dict()
+        for p in net.parameters():
+            p.data += 1.0
+        net.load_state_dict(state)
+        fresh = net.state_dict()
+        for key in state:
+            assert np.allclose(state[key], fresh[key])
+
+    def test_load_state_dict_shape_mismatch(self):
+        net = Linear(2, 3)
+        state = {k: np.zeros((1, 1)) for k in net.state_dict()}
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_load_state_dict_missing_key(self):
+        net = Linear(2, 3)
+        with pytest.raises(KeyError):
+            net.load_state_dict({})
+
+
+class TestLayers:
+    def test_linear_shape(self):
+        out = Linear(4, 2)(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_linear_no_bias(self):
+        layer = Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_embedding_lookup(self):
+        emb = Embedding(5, 3)
+        out = emb([1, 1, 4])
+        assert out.shape == (3, 3)
+        assert np.allclose(out.data[0], out.data[1])
+
+    def test_relu_tanh(self):
+        x = Tensor(np.array([-1.0, 2.0]))
+        assert np.allclose(ReLU()(x).data, [0.0, 2.0])
+        assert np.allclose(Tanh()(x).data, np.tanh([-1.0, 2.0]))
+
+    def test_dropout_eval_identity(self):
+        d = Dropout(0.9)
+        d.eval()
+        x = Tensor(np.ones(100))
+        assert np.allclose(d(x).data, 1.0)
+
+    def test_dropout_train_scales(self):
+        d = Dropout(0.5, rng=np.random.default_rng(0))
+        out = d(Tensor(np.ones(1000)))
+        # Kept values are scaled by 1/(1-p) = 2.
+        kept = out.data[out.data > 0]
+        assert np.allclose(kept, 2.0)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+def _fit_linear(optimizer_factory, steps=200):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((32, 3))
+    true_w = np.array([[1.0], [-2.0], [0.5]])
+    y = x @ true_w
+    layer = Linear(3, 1, rng=rng)
+    opt = optimizer_factory(layer.parameters())
+    for _step in range(steps):
+        opt.zero_grad()
+        pred = layer(Tensor(x))
+        loss = F.mse(pred, y)
+        loss.backward()
+        opt.step()
+    return np.abs(layer.weight.data - true_w).max()
+
+
+class TestOptim:
+    def test_sgd_converges(self):
+        assert _fit_linear(lambda p: SGD(p, lr=0.1)) < 0.01
+
+    def test_sgd_momentum_converges(self):
+        assert _fit_linear(lambda p: SGD(p, lr=0.05, momentum=0.9)) < 0.01
+
+    def test_adam_converges(self):
+        assert _fit_linear(lambda p: Adam(p, lr=0.05)) < 0.01
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        opt = SGD([p], lr=0.1)
+        norm = opt.clip_grad_norm(1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.ones(2) * 10)
+        p.grad = np.zeros(2)
+        SGD([p], lr=0.1, weight_decay=1.0).step()
+        assert np.all(p.data < 10)

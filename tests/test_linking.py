@@ -1,0 +1,190 @@
+"""Tests for repro.core.linking.*"""
+
+import numpy as np
+import pytest
+
+from repro.config import LinkingConfig
+from repro.core.linking.attentions import link_attention_isa, link_concept_topic_involve
+from repro.core.linking.categories import category_distribution, link_attention_categories
+from repro.core.linking.concept_entity import (
+    ConceptEntityClassifier,
+    ConceptEntityExample,
+    build_concept_entity_dataset,
+)
+from repro.core.linking.entity_entity import EntityEmbeddingTrainer, mine_cooccurrence_pairs
+from repro.core.linking.key_elements import recognize_key_elements
+from repro.core.gctsp import prepare_example
+from repro.core.ontology import AttentionOntology, EdgeType, NodeType
+from repro.text.ner import NerTagger
+
+
+class TestCategories:
+    def test_distribution_normalised(self):
+        dist = category_distribution({"a": 3.0, "b": 1.0})
+        assert dist["a"] == pytest.approx(0.75)
+
+    def test_edges_above_threshold_only(self):
+        onto = AttentionOntology()
+        onto.add_node(NodeType.CONCEPT, "economy cars")
+        created = link_attention_categories(
+            onto, {"economy cars": {"cars": 0.8, "film": 0.2}}, threshold=0.3
+        )
+        assert created == 1
+        cat = onto.find(NodeType.CATEGORY, "cars")
+        concept = onto.find(NodeType.CONCEPT, "economy cars")
+        assert onto.has_edge(cat.node_id, concept.node_id, EdgeType.ISA)
+        assert onto.find(NodeType.CATEGORY, "film") is None
+
+    def test_unknown_attention_skipped(self):
+        onto = AttentionOntology()
+        assert link_attention_categories(onto, {"ghost": {"cars": 1.0}}) == 0
+
+
+class TestAttentionIsa:
+    def test_suffix_concepts_linked(self):
+        onto = AttentionOntology()
+        parent = onto.add_node(NodeType.CONCEPT, "animated films")
+        child = onto.add_node(NodeType.CONCEPT, "famous animated films")
+        created = link_attention_isa(onto)
+        assert created >= 1
+        assert onto.has_edge(parent.node_id, child.node_id, EdgeType.ISA)
+
+    def test_topic_event_subsequence_linked(self):
+        onto = AttentionOntology()
+        topic = onto.add_node(NodeType.TOPIC, "have a concert")
+        event = onto.add_node(NodeType.EVENT, "jay chou will have a concert")
+        link_attention_isa(onto)
+        assert onto.has_edge(topic.node_id, event.node_id, EdgeType.ISA)
+
+    def test_topic_child_events_payload_linked(self):
+        onto = AttentionOntology()
+        topic = onto.add_node(
+            NodeType.TOPIC, "pop singers will have a concert",
+            payload={"pattern": ("X", "will", "have", "a", "concert"),
+                     "concept": ("pop", "singers"),
+                     "events": (("jay", "chou", "will", "have", "a", "concert"),)},
+        )
+        event = onto.add_node(NodeType.EVENT, "jay chou will have a concert")
+        link_attention_isa(onto)
+        assert onto.has_edge(topic.node_id, event.node_id, EdgeType.ISA)
+
+    def test_concept_contained_in_topic_involve(self):
+        onto = AttentionOntology()
+        topic = onto.add_node(NodeType.TOPIC, "pop singers will have a concert")
+        concept = onto.add_node(NodeType.CONCEPT, "pop singers")
+        created = link_concept_topic_involve(onto)
+        assert created == 1
+        assert onto.has_edge(topic.node_id, concept.node_id, EdgeType.INVOLVE)
+
+
+class TestConceptEntityDataset:
+    def _base(self):
+        sessions = [("best economy cars", "honda civic"),
+                    ("best economy cars", "honda civic"),
+                    ("best economy cars", "ford focus")]
+        concept_of_query = {"best economy cars": "economy cars"}
+        entities = {"honda civic", "ford focus", "toyota corolla"}
+        categories = {"honda civic": "cars", "ford focus": "cars",
+                      "toyota corolla": "cars"}
+        docs = {"economy cars": [
+            ["the", "honda", "civic", "is", "an", "economy", "car"],
+            ["ford", "focus", "review"],
+        ]}
+        return sessions, concept_of_query, entities, categories, docs
+
+    def test_positives_require_session_and_mention(self):
+        args = self._base()
+        data = build_concept_entity_dataset(*args, seed=0)
+        positives = [e for e in data if e.label == 1]
+        assert {(e.concept, e.entity) for e in positives} == {
+            ("economy cars", "honda civic"), ("economy cars", "ford focus"),
+        }
+
+    def test_negatives_same_category(self):
+        args = self._base()
+        data = build_concept_entity_dataset(*args, negatives_per_positive=1, seed=0)
+        negatives = [e for e in data if e.label == 0]
+        assert negatives
+        assert all(e.entity == "toyota corolla" for e in negatives)
+
+    def test_negative_doc_contains_inserted_entity(self):
+        args = self._base()
+        data = build_concept_entity_dataset(*args, seed=0)
+        for e in data:
+            if e.label == 0:
+                joined = " ".join(e.doc_tokens)
+                assert e.entity in joined
+
+    def test_classifier_learns_dataset(self):
+        args = self._base()
+        data = build_concept_entity_dataset(*args, negatives_per_positive=2, seed=0)
+        clf = ConceptEntityClassifier(n_estimators=10)
+        clf.fit(data)
+        preds = clf.predict(data)
+        labels = np.array([e.label for e in data])
+        assert (preds == labels).mean() >= 0.8
+
+    def test_predict_before_fit_raises(self):
+        clf = ConceptEntityClassifier()
+        with pytest.raises(RuntimeError):
+            clf.predict([ConceptEntityExample("c", "e", ["e"], 1)])
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            ConceptEntityClassifier().fit([])
+
+
+class TestEntityEntity:
+    def test_mine_cooccurrence_pairs(self):
+        ner = NerTagger()
+        ner.register("honda civic", "PROD")
+        ner.register("toyota corolla", "PROD")
+        texts = ["honda civic vs toyota corolla"] * 3 + ["honda civic alone"]
+        pairs = mine_cooccurrence_pairs(texts, ner, min_count=2)
+        assert pairs == {("honda civic", "toyota corolla"): 3}
+
+    def test_training_pulls_positives_together(self):
+        entities = [f"e{i}" for i in range(10)]
+        positives = {("e0", "e1"): 5, ("e2", "e3"): 5}
+        trainer = EntityEmbeddingTrainer(entities, LinkingConfig(embedding_dim=8),
+                                         seed=0)
+        trainer.fit(positives, epochs=60)
+        pos_dist = trainer.distance("e0", "e1")
+        unrelated = trainer.distance("e0", "e5")
+        assert pos_dist < unrelated
+
+    def test_correlated_pairs_threshold(self):
+        entities = ["a", "b", "c", "d"]
+        trainer = EntityEmbeddingTrainer(entities, LinkingConfig(embedding_dim=4),
+                                         seed=1)
+        trainer.fit({("a", "b"): 3}, epochs=80)
+        close = trainer.correlated_pairs(threshold=trainer.distance("a", "b") + 0.01)
+        assert ("a", "b") in [(x, y) for x, y, _d in close]
+
+    def test_unknown_entity_distance_raises(self):
+        trainer = EntityEmbeddingTrainer(["a", "b"], seed=0)
+        with pytest.raises(KeyError):
+            trainer.distance("a", "zzz")
+
+    def test_empty_entities_raises(self):
+        with pytest.raises(ValueError):
+            EntityEmbeddingTrainer([])
+
+    def test_no_trainable_pairs_raises(self):
+        trainer = EntityEmbeddingTrainer(["a", "b"], seed=0)
+        with pytest.raises(ValueError):
+            trainer.fit({("x", "y"): 3})
+
+
+class TestKeyElements:
+    def test_recognize_groups_consecutive_tokens(self, trained_key_element_model,
+                                                 emd_dataset, extractor, parser):
+        example_src = emd_dataset[0]
+        example = prepare_example(example_src.queries, example_src.titles,
+                                  extractor, parser)
+        elements = recognize_key_elements(trained_key_element_model, example)
+        out = elements.as_dict()
+        assert set(out) == {"entity", "trigger", "location"}
+        # Multi-token surfaces are space-joined strings.
+        for values in out.values():
+            assert all(isinstance(v, str) for v in values)

@@ -1,0 +1,122 @@
+"""Tests for repro.nn.lstm and repro.nn.crf."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn.crf import LinearChainCRF
+from repro.nn.layers import Embedding, Linear
+from repro.nn.lstm import LSTM, BiLSTM, LSTMCell
+from repro.nn.optim import Adam
+
+
+class TestLSTM:
+    def test_cell_shapes(self):
+        cell = LSTMCell(4, 3)
+        h, c = cell(Tensor(np.zeros(4)), Tensor(np.zeros(3)), Tensor(np.zeros(3)))
+        assert h.shape == (3,)
+        assert c.shape == (3,)
+
+    def test_lstm_output_shape(self):
+        out = LSTM(4, 6)(Tensor(np.random.default_rng(0).standard_normal((5, 4))))
+        assert out.shape == (5, 6)
+
+    def test_bilstm_output_shape(self):
+        out = BiLSTM(4, 6)(Tensor(np.random.default_rng(0).standard_normal((5, 4))))
+        assert out.shape == (5, 12)
+
+    def test_reverse_lstm_differs(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((5, 4)))
+        rng = np.random.default_rng(1)
+        fw = LSTM(4, 6, rng=np.random.default_rng(1))(x)
+        bw = LSTM(4, 6, rng=np.random.default_rng(1), reverse=True)(x)
+        assert not np.allclose(fw.data, bw.data)
+
+    def test_final_state_matches_last_output(self):
+        lstm = LSTM(3, 4)
+        x = Tensor(np.random.default_rng(0).standard_normal((6, 3)))
+        outputs = lstm(x)
+        h, _c = lstm.final_state(x)
+        assert np.allclose(outputs.data[-1], h.data)
+
+    def test_lstm_learns_sequence_sum_sign(self):
+        # Classify whether the sequence sum is positive — needs memory.
+        rng = np.random.default_rng(0)
+        lstm = LSTM(1, 8, rng=rng)
+        head = Linear(8, 2, rng=rng)
+        opt = Adam(list(lstm.parameters()) + list(head.parameters()), lr=0.02)
+        data = [rng.standard_normal((4, 1)) for _ in range(20)]
+        labels = [int(d.sum() > 0) for d in data]
+        from repro.nn.functional import cross_entropy
+
+        for _epoch in range(30):
+            for seq, label in zip(data, labels):
+                opt.zero_grad()
+                h, _c = lstm.final_state(Tensor(seq))
+                loss = cross_entropy(head(h).reshape(1, 2), [label])
+                loss.backward()
+                opt.step()
+        correct = 0
+        for seq, label in zip(data, labels):
+            h, _c = lstm.final_state(Tensor(seq))
+            correct += int(head(h).data.argmax() == label)
+        assert correct >= 18
+
+
+class TestCRF:
+    def test_nll_positive(self):
+        crf = LinearChainCRF(3)
+        em = Tensor(np.random.default_rng(0).standard_normal((4, 3)))
+        assert crf.nll(em, [0, 1, 2, 0]).item() > 0
+
+    def test_decode_length(self):
+        crf = LinearChainCRF(3)
+        em = np.random.default_rng(0).standard_normal((6, 3))
+        assert len(crf.decode(em)) == 6
+
+    def test_decode_empty(self):
+        crf = LinearChainCRF(3)
+        assert crf.decode(np.zeros((0, 3))) == []
+
+    def test_decode_follows_strong_emissions(self):
+        crf = LinearChainCRF(2)
+        em = np.array([[10.0, -10.0], [-10.0, 10.0], [10.0, -10.0]])
+        assert crf.decode(em) == [0, 1, 0]
+
+    def test_nll_length_mismatch_raises(self):
+        crf = LinearChainCRF(2)
+        with pytest.raises(ValueError):
+            crf.nll(Tensor(np.zeros((3, 2))), [0, 1])
+
+    def test_empty_sequence_raises(self):
+        crf = LinearChainCRF(2)
+        with pytest.raises(ValueError):
+            crf.nll(Tensor(np.zeros((0, 2))), [])
+
+    def test_invalid_num_tags(self):
+        with pytest.raises(ValueError):
+            LinearChainCRF(0)
+
+    def test_training_learns_transition_pattern(self):
+        # Label alternates 0,1,0,1 regardless of input: transitions must learn it.
+        rng = np.random.default_rng(0)
+        emb = Embedding(4, 6, rng=rng)
+        proj = Linear(6, 2, rng=rng)
+        crf = LinearChainCRF(2, rng=rng)
+        params = list(emb.parameters()) + list(proj.parameters()) + list(crf.parameters())
+        opt = Adam(params, lr=0.05)
+        seqs = [[0, 1, 2, 3], [3, 2, 1, 0], [1, 1, 2, 2]]
+        tags = [0, 1, 0, 1]
+        for _epoch in range(40):
+            for seq in seqs:
+                opt.zero_grad()
+                loss = crf.nll(proj(emb(seq)), tags)
+                loss.backward()
+                opt.step()
+        assert crf.decode(proj(emb([2, 0, 3, 1]))) == tags
+
+    def test_partition_exceeds_path_score(self):
+        crf = LinearChainCRF(3)
+        em = Tensor(np.random.default_rng(1).standard_normal((5, 3)))
+        nll = crf.nll(em, [0, 1, 2, 1, 0])
+        assert nll.item() > 0  # log Z > score of any single path

@@ -1,0 +1,69 @@
+"""Tests for repro.core.mining (Algorithm 1 pipeline)."""
+
+import pytest
+
+from repro.config import GiantConfig
+from repro.core.mining import AttentionMiner
+from repro.text.dependency import DependencyParser
+
+
+@pytest.fixture(scope="module")
+def miner(click_graph, trained_concept_model, extractor, pos_tagger):
+    return AttentionMiner(
+        click_graph,
+        concept_model=trained_concept_model,
+        extractor=extractor,
+        parser=DependencyParser(pos_tagger),
+        config=GiantConfig(),
+    )
+
+
+class TestClusterTokens:
+    def test_tokens_align_with_cluster(self, miner, click_graph):
+        seed = click_graph.queries()[0]
+        cluster = miner.cluster(seed)
+        queries, titles, weights = miner.cluster_tokens(cluster)
+        assert len(queries) == len(cluster.queries)
+        assert len(titles) == len(weights)
+
+
+class TestMineCluster:
+    def test_concept_mining_with_model(self, miner, click_graph):
+        seed = next(q for q in click_graph.queries() if "fuel efficient cars" in q)
+        cluster = miner.cluster(seed)
+        phrase = miner.mine_cluster(cluster, kind="concept")
+        assert phrase is not None
+        assert "cars" in phrase.tokens
+
+    def test_event_mining_falls_back_to_coverrank(self, click_graph, extractor,
+                                                  pos_tagger, world):
+        miner = AttentionMiner(click_graph, extractor=extractor,
+                               parser=DependencyParser(pos_tagger))
+        event = next(iter(world.events.values()))
+        seed = f"{event.phrase} news"
+        if seed not in set(click_graph.queries()):
+            seed = event.phrase
+        if seed in set(click_graph.queries()):
+            cluster = miner.cluster(seed)
+            phrase = miner.mine_cluster(cluster, kind="event")
+            assert phrase is None or phrase.kind == "event"
+
+    def test_empty_cluster_returns_none(self, miner):
+        from repro.graph.click_graph import QueryDocCluster
+
+        cluster = QueryDocCluster(seed_query="ghost query words")
+        assert miner.mine_cluster(cluster) is None
+
+
+class TestMine:
+    def test_mine_normalises_duplicates(self, miner, click_graph):
+        seeds = [q for q in click_graph.queries() if "fuel efficient cars" in q]
+        mined = miner.mine(seeds, kind="concept")
+        # All seed variants describe the same concept -> few canonical nodes.
+        assert 1 <= len(mined) <= len(seeds)
+
+    def test_mined_attention_has_categories(self, miner, click_graph):
+        seeds = [q for q in click_graph.queries() if "fuel efficient cars" in q][:2]
+        mined = miner.mine(seeds, kind="concept")
+        assert all(isinstance(m.categories, dict) for m in mined)
+        assert any("sedans" in m.categories for m in mined)

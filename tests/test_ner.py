@@ -1,0 +1,77 @@
+"""Tests for repro.text.ner."""
+
+import pytest
+
+from repro.text.ner import NerTagger
+
+
+@pytest.fixture
+def tagger():
+    t = NerTagger()
+    t.register("hayao miyazaki", "PER")
+    t.register("honda civic", "PROD")
+    t.register("honda", "ORG")
+    t.register("london", "LOC")
+    return t
+
+
+class TestTagging:
+    def test_single_token_entity(self, tagger):
+        assert tagger.tag(["visit", "london"]) == ["O", "B-LOC"]
+
+    def test_multi_token_entity_bio(self, tagger):
+        tags = tagger.tag(["the", "hayao", "miyazaki", "films"])
+        assert tags == ["O", "B-PER", "I-PER", "O"]
+
+    def test_longest_match_wins(self, tagger):
+        # "honda civic" (PROD) beats "honda" (ORG) at the same position.
+        tags = tagger.tag(["honda", "civic", "review"])
+        assert tags == ["B-PROD", "I-PROD", "O"]
+
+    def test_shorter_match_when_longer_absent(self, tagger):
+        assert tagger.tag(["honda", "odyssey"]) == ["B-ORG", "O"]
+
+    def test_no_entities(self, tagger):
+        assert tagger.tag(["just", "words"]) == ["O", "O"]
+
+    def test_empty_sequence(self, tagger):
+        assert tagger.tag([]) == []
+
+    def test_case_insensitive(self, tagger):
+        assert tagger.tag(["London"]) == ["B-LOC"]
+
+
+class TestSpansAndEntities:
+    def test_entity_spans(self, tagger):
+        spans = tagger.entity_spans(["hayao", "miyazaki", "in", "london"])
+        assert spans == [(0, 2, "PER"), (3, 4, "LOC")]
+
+    def test_entities_surface_forms(self, tagger):
+        out = tagger.entities(["honda", "civic", "vs", "london"])
+        assert out == ["honda civic", "london"]
+
+    def test_adjacent_entities(self, tagger):
+        spans = tagger.entity_spans(["london", "london"])
+        assert len(spans) == 2
+
+
+class TestRegistration:
+    def test_register_invalid_type_raises(self):
+        t = NerTagger()
+        with pytest.raises(ValueError):
+            t.register("x", "NOPE")
+
+    def test_register_o_type_raises(self):
+        t = NerTagger()
+        with pytest.raises(ValueError):
+            t.register("x", "O")
+
+    def test_register_empty_raises(self):
+        t = NerTagger()
+        with pytest.raises(ValueError):
+            t.register("   ", "PER")
+
+    def test_register_many_and_len(self):
+        t = NerTagger()
+        t.register_many({"a b": "PER", "c": "LOC"})
+        assert len(t) == 2

@@ -1,0 +1,90 @@
+"""Tests for repro.nn.data."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.data import batch_indices, epoch_order, pad_sequences, stratified_split
+
+
+class TestBatchIndices:
+    def test_covers_all_indices(self):
+        seen = np.concatenate(list(batch_indices(10, 3, rng=0)))
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_batch_sizes(self):
+        batches = list(batch_indices(10, 4, shuffle=False))
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_no_shuffle_ordered(self):
+        batches = list(batch_indices(5, 2, shuffle=False))
+        assert batches[0].tolist() == [0, 1]
+
+    def test_empty(self):
+        assert list(batch_indices(0, 3)) == []
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            list(batch_indices(5, 0))
+
+
+class TestEpochOrder:
+    def test_deterministic(self):
+        assert np.array_equal(epoch_order(8, 3, seed=1), epoch_order(8, 3, seed=1))
+
+    def test_epochs_differ(self):
+        assert not np.array_equal(epoch_order(8, 0), epoch_order(8, 1))
+
+    def test_is_permutation(self):
+        assert sorted(epoch_order(6, 5).tolist()) == list(range(6))
+
+
+class TestStratifiedSplit:
+    def test_proportions_kept(self):
+        items = list(range(100))
+        labels = ["a"] * 80 + ["b"] * 20
+        train, test = stratified_split(items, labels, test_frac=0.25, rng=0)
+        test_b = sum(1 for i in test if i >= 80)
+        assert test_b == 5  # 25% of 20
+
+    def test_every_label_in_both_sides(self):
+        items = list(range(4))
+        labels = ["a", "a", "b", "b"]
+        train, test = stratified_split(items, labels, test_frac=0.5, rng=0)
+        assert {labels[i] for i in train} == {"a", "b"}
+        assert {labels[i] for i in test} == {"a", "b"}
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            stratified_split([1], [], test_frac=0.5)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            stratified_split([1], ["a"], test_frac=1.5)
+
+
+class TestPadSequences:
+    def test_shapes_and_mask(self):
+        out, mask = pad_sequences([[1, 2], [3]], pad_value=-1)
+        assert out.shape == (2, 2)
+        assert out[1, 1] == -1
+        assert mask.tolist() == [[True, True], [True, False]]
+
+    def test_empty(self):
+        out, mask = pad_sequences([])
+        assert out.shape == (0, 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 30), st.integers(1, 10))
+def test_batches_partition(n, batch_size):
+    seen = np.concatenate(list(batch_indices(n, batch_size, rng=0)))
+    assert sorted(seen.tolist()) == list(range(n))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.sampled_from("ab"), min_size=4, max_size=40))
+def test_stratified_split_partitions(labels):
+    items = list(range(len(labels)))
+    train, test = stratified_split(items, labels, test_frac=0.3, rng=0)
+    assert sorted(train + test) == items

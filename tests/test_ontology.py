@@ -1,0 +1,120 @@
+"""Tests for repro.core.ontology."""
+
+import pytest
+
+from repro.core.ontology import AttentionOntology, EdgeType, NodeType
+from repro.errors import OntologyError
+
+
+@pytest.fixture
+def ontology():
+    o = AttentionOntology()
+    concept = o.add_node(NodeType.CONCEPT, "fuel efficient cars")
+    entity = o.add_node(NodeType.ENTITY, "honda civic")
+    category = o.add_node(NodeType.CATEGORY, "cars")
+    o.add_edge(concept.node_id, entity.node_id, EdgeType.ISA)
+    o.add_edge(category.node_id, concept.node_id, EdgeType.ISA)
+    return o
+
+
+class TestNodes:
+    def test_add_node_idempotent(self, ontology):
+        a = ontology.add_node(NodeType.CONCEPT, "fuel efficient cars")
+        b = ontology.add_node(NodeType.CONCEPT, "Fuel Efficient Cars")
+        assert a.node_id == b.node_id  # case-insensitive phrase key
+
+    def test_same_phrase_different_type_distinct(self, ontology):
+        e = ontology.add_node(NodeType.ENTITY, "fuel efficient cars")
+        c = ontology.find(NodeType.CONCEPT, "fuel efficient cars")
+        assert e.node_id != c.node_id
+
+    def test_payload_merged(self, ontology):
+        ontology.add_node(NodeType.CONCEPT, "fuel efficient cars", payload={"x": 1})
+        node = ontology.find(NodeType.CONCEPT, "fuel efficient cars")
+        assert node.payload["x"] == 1
+
+    def test_find_missing(self, ontology):
+        assert ontology.find(NodeType.TOPIC, "nope") is None
+
+    def test_unknown_node_raises(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.node("missing")
+
+    def test_alias_lookup(self, ontology):
+        node = ontology.find(NodeType.CONCEPT, "fuel efficient cars")
+        ontology.add_alias(node.node_id, "economical cars")
+        assert ontology.find(NodeType.CONCEPT, "economical cars").node_id == node.node_id
+
+    def test_nodes_filter_by_type(self, ontology):
+        assert len(ontology.nodes(NodeType.ENTITY)) == 1
+        assert len(ontology.nodes()) == 3
+
+    def test_tokens_property(self, ontology):
+        node = ontology.find(NodeType.CONCEPT, "fuel efficient cars")
+        assert node.tokens == ["fuel", "efficient", "cars"]
+
+
+class TestEdges:
+    def test_isa_cycle_rejected(self, ontology):
+        concept = ontology.find(NodeType.CONCEPT, "fuel efficient cars")
+        category = ontology.find(NodeType.CATEGORY, "cars")
+        with pytest.raises(OntologyError):
+            ontology.add_edge(concept.node_id, category.node_id, EdgeType.ISA)
+
+    def test_self_loop_rejected(self, ontology):
+        node = ontology.find(NodeType.ENTITY, "honda civic")
+        with pytest.raises(OntologyError):
+            ontology.add_edge(node.node_id, node.node_id, EdgeType.CORRELATE)
+
+    def test_edge_requires_existing_nodes(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.add_edge("ghost", "honda civic", EdgeType.ISA)
+
+    def test_correlate_symmetric(self, ontology):
+        a = ontology.add_node(NodeType.ENTITY, "toyota corolla")
+        b = ontology.find(NodeType.ENTITY, "honda civic")
+        ontology.add_edge(a.node_id, b.node_id, EdgeType.CORRELATE)
+        assert ontology.has_edge(b.node_id, a.node_id, EdgeType.CORRELATE)
+
+    def test_correlate_counted_once(self, ontology):
+        a = ontology.add_node(NodeType.ENTITY, "toyota corolla")
+        b = ontology.find(NodeType.ENTITY, "honda civic")
+        ontology.add_edge(a.node_id, b.node_id, EdgeType.CORRELATE)
+        assert len(ontology.edges(EdgeType.CORRELATE)) == 1
+
+    def test_parents_and_instances(self, ontology):
+        concept = ontology.find(NodeType.CONCEPT, "fuel efficient cars")
+        entity = ontology.find(NodeType.ENTITY, "honda civic")
+        assert [p.phrase for p in ontology.parents_of(entity.node_id)] == [
+            "fuel efficient cars"
+        ]
+        assert [i.phrase for i in ontology.instances_of(concept.node_id)] == [
+            "honda civic"
+        ]
+
+    def test_concepts_of_entity(self, ontology):
+        out = ontology.concepts_of_entity("honda civic")
+        assert [c.phrase for c in out] == ["fuel efficient cars"]
+
+    def test_entities_of_concept(self, ontology):
+        out = ontology.entities_of_concept("fuel efficient cars")
+        assert [e.phrase for e in out] == ["honda civic"]
+
+    def test_deep_isa_chain_cycle_detection(self, ontology):
+        # cars -> concept -> entity; entity -> cars would close a 3-cycle.
+        entity = ontology.find(NodeType.ENTITY, "honda civic")
+        category = ontology.find(NodeType.CATEGORY, "cars")
+        with pytest.raises(OntologyError):
+            ontology.add_edge(entity.node_id, category.node_id, EdgeType.ISA)
+
+
+class TestStats:
+    def test_stats_counts(self, ontology):
+        stats = ontology.stats()
+        assert stats["concept"] == 1
+        assert stats["entity"] == 1
+        assert stats["category"] == 1
+        assert stats["isA"] == 2
+
+    def test_len(self, ontology):
+        assert len(ontology) == 3

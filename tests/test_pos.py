@@ -1,0 +1,77 @@
+"""Tests for repro.text.pos."""
+
+import pytest
+
+from repro.text.pos import POS_TAGS, PosTagger
+
+
+@pytest.fixture
+def tagger():
+    return PosTagger()
+
+
+class TestTagWord:
+    def test_determiner(self, tagger):
+        assert tagger.tag_word("the") == "DET"
+
+    def test_pronoun(self, tagger):
+        assert tagger.tag_word("what") == "PRON"
+
+    def test_adposition(self, tagger):
+        assert tagger.tag_word("of") == "ADP"
+
+    def test_verb(self, tagger):
+        assert tagger.tag_word("wins") == "VERB"
+
+    def test_number(self, tagger):
+        assert tagger.tag_word("5") == "NUM"
+
+    def test_punct(self, tagger):
+        assert tagger.tag_word("?") == "PUNCT"
+
+    def test_adverb_suffix(self, tagger):
+        assert tagger.tag_word("quickly") == "ADV"
+
+    def test_adjective_suffix(self, tagger):
+        assert tagger.tag_word("fabulous") == "ADJ"
+
+    def test_default_noun(self, tagger):
+        assert tagger.tag_word("zorblat") == "NOUN"
+
+    def test_empty_token(self, tagger):
+        assert tagger.tag_word("") == "X"
+
+
+class TestRegistration:
+    def test_register_proper_noun(self, tagger):
+        tagger.register_proper_nouns(["hayao miyazaki"])
+        assert tagger.tag_word("hayao") == "PROPN"
+        assert tagger.tag_word("miyazaki") == "PROPN"
+
+    def test_register_does_not_override_existing(self, tagger):
+        tagger.register_proper_nouns(["the beatles"])
+        # "the" keeps its DET entry (setdefault semantics).
+        assert tagger.tag_word("the") == "DET"
+
+    def test_register_explicit_tag(self, tagger):
+        tagger.register("blorp", "VERB")
+        assert tagger.tag_word("blorp") == "VERB"
+
+    def test_register_invalid_tag_raises(self, tagger):
+        with pytest.raises(ValueError):
+            tagger.register("x", "NOT_A_TAG")
+
+
+class TestTagSequence:
+    def test_sequence_length(self, tagger):
+        tokens = ["the", "best", "cars"]
+        assert len(tagger.tag(tokens)) == 3
+
+    def test_all_tags_valid(self, tagger):
+        tags = tagger.tag(["what", "are", "the", "famous", "films", "?"])
+        assert all(t in POS_TAGS for t in tags)
+
+    def test_past_participle_after_det_becomes_adj(self, tagger):
+        tagger.register("animated", "VERB")
+        tags = tagger.tag(["the", "animated", "films"])
+        assert tags[1] == "ADJ"

@@ -1,0 +1,123 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.gctsp import GCTSPNet
+from repro.core.coverrank import cover_rank
+from repro.core.ontology import AttentionOntology, EdgeType, NodeType
+from repro.core.phrase import AttentionPhrase, PhraseNormalizer
+from repro.errors import OntologyError
+from repro.graph.qtig import build_qtig
+from repro.text.vectorizer import TfidfVectorizer
+
+WORDS = ["cars", "best", "fuel", "films", "top", "the", "of", "new", "5"]
+tokens_list = st.lists(st.sampled_from(WORDS), min_size=1, max_size=8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(tokens_list, min_size=1, max_size=3),
+       st.lists(tokens_list, min_size=0, max_size=3))
+def test_qtig_structural_invariants(queries, titles):
+    graph = build_qtig(queries, titles)
+    unique_tokens = {t for text in queries + titles for t in text}
+    # node count: unique tokens + sos + eos
+    assert graph.num_nodes == len(unique_tokens) + 2
+    # at most one edge per unordered pair
+    seen = set()
+    for (u, v) in graph.edges:
+        pair = frozenset((u, v))
+        assert pair not in seen
+        seen.add(pair)
+    # adjacency matrices row-normalised
+    mats, names = graph.adjacency_matrices()
+    for m in mats:
+        sums = m.sum(axis=1)
+        assert np.all((np.isclose(sums, 0)) | (np.isclose(sums, 1)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(tokens_list, min_size=1, max_size=3))
+def test_order_nodes_is_permutation_of_positives(queries):
+    graph = build_qtig(queries, [])
+    candidates = [i for i in range(2, graph.num_nodes)]
+    positives = candidates[: max(1, len(candidates) // 2)]
+    ordered = GCTSPNet.order_nodes(graph, positives)
+    assert sorted(ordered) == sorted(graph.tokens[i] for i in positives)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=20))
+def test_ontology_isa_never_cyclic(edge_requests):
+    onto = AttentionOntology()
+    nodes = [onto.add_node(NodeType.CONCEPT, f"concept {i}") for i in range(9)]
+    for a, b in edge_requests:
+        if a == b:
+            continue
+        try:
+            onto.add_edge(nodes[a].node_id, nodes[b].node_id, EdgeType.ISA)
+        except OntologyError:
+            pass  # rejected precisely when it would create a cycle
+    # Verify global acyclicity with Kahn's algorithm.
+    indeg = {n.node_id: 0 for n in nodes}
+    adj = {n.node_id: [] for n in nodes}
+    for edge in onto.edges(EdgeType.ISA):
+        adj[edge.source].append(edge.target)
+        indeg[edge.target] += 1
+    queue = [n for n, d in indeg.items() if d == 0]
+    seen = 0
+    while queue:
+        node = queue.pop()
+        seen += 1
+        for nxt in adj[node]:
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                queue.append(nxt)
+    assert seen == len(nodes)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.sampled_from(["economy", "cars", "fast", "films"]),
+                min_size=1, max_size=4))
+def test_normalizer_idempotent(tokens):
+    norm = PhraseNormalizer()
+    ctx = [tokens + ["context", "words"]]
+    first = norm.add(AttentionPhrase(list(tokens), "concept", list(ctx)))
+    second = norm.add(AttentionPhrase(list(tokens), "concept", list(ctx)))
+    assert second is first
+    assert len(norm) <= 1 + 0  # single canonical entry
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(tokens_list, min_size=1, max_size=3),
+       st.lists(tokens_list, min_size=1, max_size=3),
+       st.integers(1, 4), st.integers(4, 10))
+def test_cover_rank_respects_length_band(queries, titles, min_len, max_len):
+    for subtitle, _score, _ctr in cover_rank(queries, titles,
+                                             min_len=min_len, max_len=max_len):
+        assert min_len <= len(subtitle) <= max_len
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(tokens_list, min_size=1, max_size=5), tokens_list, tokens_list)
+def test_tfidf_similarity_bounded(corpus, doc_a, doc_b):
+    v = TfidfVectorizer().fit(corpus)
+    sim = v.similarity(doc_a, doc_b)
+    assert -1e-9 <= sim <= 1.0 + 1e-9
+    assert v.similarity(doc_a, doc_a) in (0.0, 1.0) or abs(
+        v.similarity(doc_a, doc_a) - 1.0) < 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_world_build_never_crashes_and_is_consistent(seed):
+    from repro.synth.world import WorldConfig, build_world
+
+    world = build_world(WorldConfig(num_extra_domains=1, num_days=3, seed=seed))
+    # Entities referenced by concepts/events always exist.
+    for concept in world.concepts.values():
+        for member in concept.members:
+            assert member in world.entities
+    for event in world.events.values():
+        assert event.entity in world.entities
+        assert event.topic in world.topics

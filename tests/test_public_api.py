@@ -1,0 +1,63 @@
+"""Public-API sanity: exports exist, examples compile, docstrings present."""
+
+import importlib
+import pathlib
+import py_compile
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.core.linking",
+    "repro.graph",
+    "repro.tsp",
+    "repro.nn",
+    "repro.text",
+    "repro.synth",
+    "repro.datasets",
+    "repro.apps",
+    "repro.baselines",
+    "repro.eval",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_has_docstring(package):
+    module = importlib.import_module(package)
+    assert module.__doc__ and module.__doc__.strip()
+
+
+def _repo_root() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.parametrize("example", sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+), ids=lambda p: p.name)
+def test_examples_compile(example):
+    py_compile.compile(str(example), doraise=True)
+
+
+def test_public_modules_have_docstrings():
+    src = _repo_root() / "src" / "repro"
+    missing = []
+    for path in src.rglob("*.py"):
+        text = path.read_text()
+        stripped = text.lstrip()
+        if not (stripped.startswith('"""') or stripped.startswith("'''")):
+            missing.append(str(path.relative_to(src)))
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__ == "1.0.0"

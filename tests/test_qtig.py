@@ -1,0 +1,148 @@
+"""Tests for repro.graph.qtig (Algorithm 2) and its decoding variant."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.qtig import EOS, SOS, QueryTitleGraph, build_qtig
+from repro.text.dependency import DependencyParser
+from repro.text.pos import PosTagger
+
+
+@pytest.fixture
+def simple_graph():
+    queries = [["best", "fuel", "efficient", "cars"]]
+    titles = [["the", "fuel", "efficient", "cars", "ranked"],
+              ["fuel", "efficient", "famous", "cars"]]
+    return build_qtig(queries, titles)
+
+
+class TestConstruction:
+    def test_sos_eos_present(self, simple_graph):
+        assert simple_graph.tokens[0] == SOS
+        assert simple_graph.tokens[1] == EOS
+
+    def test_tokens_merged(self, simple_graph):
+        # "fuel" appears in all three texts but is one node.
+        assert simple_graph.tokens.count("fuel") == 1
+
+    def test_adjacent_tokens_get_seq_edge(self, simple_graph):
+        u = simple_graph.node_id("fuel")
+        v = simple_graph.node_id("efficient")
+        assert simple_graph.edges.get((u, v)) == "seq"
+
+    def test_first_edge_kept_policy(self, simple_graph):
+        # "efficient"->"cars" adjacent in query (seq wins); the later
+        # dependency between them must not overwrite it.
+        u = simple_graph.node_id("efficient")
+        v = simple_graph.node_id("cars")
+        labels = [simple_graph.edges.get((u, v)), simple_graph.edges.get((v, u))]
+        assert "seq" in labels
+
+    def test_each_pair_single_edge(self, simple_graph):
+        seen = set()
+        for (u, v) in simple_graph.edges:
+            assert frozenset((u, v)) not in seen
+            seen.add(frozenset((u, v)))
+
+    def test_keep_all_edges_ablation_has_more_edges(self):
+        queries = [["best", "fuel", "efficient", "cars"]]
+        titles = [["cars", "fuel", "review"]]
+        normal = build_qtig(queries, titles)
+        ablated = build_qtig(queries, titles, keep_all_edges=True)
+        assert len(ablated.edges) >= len(normal.edges)
+
+    def test_dependency_edges_present(self):
+        tagger = PosTagger()
+        parser = DependencyParser(tagger)
+        # "win" -> "races" is a non-adjacent dobj arc (seq edges cover the
+        # adjacent pairs), so a typed dependency edge must appear.
+        graph = build_qtig([["cars", "win", "the", "big", "races"]], [],
+                           parser=parser)
+        labels = set(graph.edges.values())
+        assert "dobj" in labels
+
+    def test_texts_recorded_with_sos_eos(self, simple_graph):
+        for text in simple_graph.texts:
+            assert text[0] == simple_graph.sos_id
+            assert text[-1] == simple_graph.eos_id
+
+    def test_unknown_token_raises(self, simple_graph):
+        with pytest.raises(GraphError):
+            simple_graph.node_id("nope")
+
+    def test_empty_inputs(self):
+        graph = build_qtig([], [])
+        assert graph.num_nodes == 2
+
+
+class TestAdjacencyMatrices:
+    def test_shapes_and_relations(self, simple_graph):
+        mats, names = simple_graph.adjacency_matrices()
+        n = simple_graph.num_nodes
+        assert all(m.shape == (n, n) for m in mats)
+        assert len(mats) == len(names)
+        assert len(mats) % 2 == 0  # forward + inverse per label
+
+    def test_fixed_vocab_indexing(self, simple_graph):
+        vocab = ["seq", "det", "amod"]
+        mats, names = simple_graph.adjacency_matrices(vocab)
+        assert len(mats) == 6
+        assert names[0] == "seq"
+        assert names[1] == "seq_inv"
+
+    def test_forward_inverse_are_transposed_patterns(self, simple_graph):
+        mats, names = simple_graph.adjacency_matrices(["seq"])
+        fwd = mats[0] > 0
+        inv = mats[1] > 0
+        assert np.array_equal(fwd, inv.T)
+
+    def test_rows_normalised(self, simple_graph):
+        mats, _names = simple_graph.adjacency_matrices()
+        for m in mats:
+            sums = m.sum(axis=1)
+            assert np.all((np.isclose(sums, 0.0)) | (np.isclose(sums, 1.0)))
+
+
+class TestDecodingVariant:
+    def test_sos_connects_to_first_positive(self, simple_graph):
+        positives = {simple_graph.node_id("fuel"), simple_graph.node_id("cars")}
+        succ = simple_graph.decoding_adjacency(positives)
+        assert simple_graph.node_id("fuel") in succ[simple_graph.sos_id]
+
+    def test_last_positive_connects_to_eos(self, simple_graph):
+        positives = {simple_graph.node_id("cars")}
+        succ = simple_graph.decoding_adjacency(positives)
+        assert simple_graph.eos_id in succ[simple_graph.node_id("cars")]
+
+    def test_seq_edges_unidirectional(self, simple_graph):
+        positives = {simple_graph.node_id("fuel")}
+        succ = simple_graph.decoding_adjacency(positives)
+        fuel = simple_graph.node_id("fuel")
+        efficient = simple_graph.node_id("efficient")
+        assert efficient in succ[fuel]
+        assert fuel not in succ[efficient]
+
+    def test_distances_follow_text_order(self, simple_graph):
+        fuel = simple_graph.node_id("fuel")
+        cars = simple_graph.node_id("cars")
+        positives = [fuel, cars]
+        nodes = [simple_graph.sos_id, fuel, cars, simple_graph.eos_id]
+        dist = simple_graph.decoding_distances(nodes, positives)
+        # fuel -> cars is 2 hops (fuel, efficient, cars); cars -> fuel needs
+        # a different text path or is unreachable (penalty).
+        assert dist[1, 2] == 2.0
+        assert dist[2, 1] > dist[1, 2]
+
+    def test_diagonal_zero(self, simple_graph):
+        nodes = [simple_graph.sos_id, simple_graph.node_id("cars"), simple_graph.eos_id]
+        dist = simple_graph.decoding_distances(nodes, [simple_graph.node_id("cars")])
+        assert np.all(np.diag(dist) == 0.0)
+
+    def test_unreachable_gets_penalty(self, simple_graph):
+        # eos has no outgoing edges, so eos -> anything is the penalty.
+        cars = simple_graph.node_id("cars")
+        nodes = [simple_graph.sos_id, cars, simple_graph.eos_id]
+        dist = simple_graph.decoding_distances(nodes, [cars])
+        penalty = 2 * simple_graph.num_nodes + 1
+        assert dist[2, 1] == penalty

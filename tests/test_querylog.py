@@ -1,0 +1,130 @@
+"""Tests for repro.synth.querylog and repro.synth.documents."""
+
+import pytest
+
+from repro.synth.documents import DocumentGenerator
+from repro.synth.querylog import QueryLogGenerator, build_click_graph, mention_with_insertion
+from repro.synth.world import WorldConfig, build_world
+from repro.text.tokenizer import tokenize
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig(num_days=3, seed=2))
+
+
+@pytest.fixture(scope="module")
+def days(world):
+    return QueryLogGenerator(world).generate_days()
+
+
+class TestMentionInsertion:
+    def test_inserts_before_last_two_tokens(self):
+        out = mention_with_insertion("hayao miyazaki animated films", "famous")
+        assert out == "hayao miyazaki famous animated films"
+
+    def test_short_phrase_prefixes(self):
+        assert mention_with_insertion("pop singers", "famous") == "famous pop singers"
+
+    def test_none_modifier_identity(self):
+        assert mention_with_insertion("pop singers", None) == "pop singers"
+
+    def test_tokens_stay_in_order(self):
+        phrase = "family road trip vehicles"
+        out = tokenize(mention_with_insertion(phrase, "best"))
+        gold = tokenize(phrase)
+        it = iter(out)
+        assert all(tok in it for tok in gold)  # subsequence
+
+
+class TestQueryLog:
+    def test_day_count(self, days):
+        assert len(days) == 3
+
+    def test_deterministic(self, world):
+        d1 = QueryLogGenerator(world, seed=9).generate_day(0)
+        d2 = QueryLogGenerator(world, seed=9).generate_day(0)
+        assert [(r.query, r.doc_id, r.count) for r in d1.clicks] == [
+            (r.query, r.doc_id, r.count) for r in d2.clicks
+        ]
+
+    def test_clicks_positive(self, days):
+        assert all(r.count >= 1 for d in days for r in d.clicks)
+
+    def test_event_queries_present_on_event_days(self, world, days):
+        for day in days:
+            for eid in day.event_ids:
+                event = world.events[eid]
+                queries = set(day.queries)
+                assert any(event.trigger in q for q in queries)
+
+    def test_sessions_reference_concept_queries(self, world, days):
+        concepts = set(world.concepts)
+        entity_names = set(world.entities)
+        for day in days:
+            for first, follow in day.sessions:
+                assert any(c in first for c in concepts)
+                assert follow in entity_names
+
+    def test_concept_subsampling(self, world):
+        gen = QueryLogGenerator(world, concepts_per_day=3)
+        day = gen.generate_day(0)
+        mentioned = {c for c in world.concepts if any(c in q for q in day.queries)}
+        assert len(mentioned) <= 3
+
+    def test_event_titles_have_subtitle_structure(self, world, days):
+        # Event headlines must contain a comma (CoverRank's split signal).
+        for day in days:
+            event_titles = [
+                r.title for r in day.clicks
+                if any(world.events[e].phrase in r.query for e in day.event_ids)
+            ]
+            for title in event_titles:
+                assert "," in title or ":" in title
+
+
+class TestBuildClickGraph:
+    def test_aggregates_all_days(self, days):
+        g = build_click_graph(days)
+        assert g.num_queries > 0
+        assert g.num_docs == len({r.doc_id for d in days for r in d.clicks})
+
+    def test_titles_preserved(self, days):
+        g = build_click_graph(days)
+        some = days[0].clicks[0]
+        assert g.title(some.doc_id) == some.title
+        assert g.category(some.doc_id) == some.category
+
+
+class TestDocumentGenerator:
+    def test_concept_document_omits_concept_phrase(self, world):
+        gen = DocumentGenerator(world)
+        phrase = next(iter(world.concepts))
+        doc = gen.concept_document(phrase)
+        assert phrase not in doc.title
+        assert doc.gold_concepts == {phrase}
+        assert doc.key_entities
+
+    def test_concept_document_mentions_members(self, world):
+        gen = DocumentGenerator(world)
+        phrase = next(iter(world.concepts))
+        doc = gen.concept_document(phrase)
+        members = set(world.concepts[phrase].members)
+        text = " ".join(doc.all_tokens)
+        assert any(m in text for m in members)
+
+    def test_event_document_leads_with_phrase(self, world):
+        gen = DocumentGenerator(world)
+        eid = next(iter(world.events))
+        doc = gen.event_document(eid)
+        assert world.events[eid].phrase in doc.title
+
+    def test_corpus_mix(self, world):
+        docs = DocumentGenerator(world).corpus(num_concept_docs=5, num_event_docs=4)
+        assert len(docs) == 9
+        assert sum(1 for d in docs if d.gold_events) == 4
+
+    def test_doc_ids_unique(self, world):
+        docs = DocumentGenerator(world).corpus(6, 3)
+        ids = [d.doc_id for d in docs]
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,88 @@
+"""Tests for repro.apps.recsys (the Figure 6-7 CTR simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.recsys import (
+    ArmConfig,
+    FeedSimulator,
+    default_figure6_arms,
+    default_figure7_arms,
+)
+from repro.synth.world import WorldConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig(num_days=6, seed=4, events_per_template=3))
+
+
+@pytest.fixture(scope="module")
+def simulator(world):
+    return FeedSimulator(world, num_users=200, seed=0)
+
+
+class TestArmConfig:
+    def test_invalid_tag_type_raises(self):
+        with pytest.raises(ValueError):
+            ArmConfig("bad", ("nonsense",))
+
+    def test_default_arm_sets(self):
+        fig6 = default_figure6_arms()
+        assert [a.name for a in fig6] == ["all types of tags", "category + entity"]
+        fig7 = default_figure7_arms()
+        assert len(fig7) == 5
+
+
+class TestSimulation:
+    def test_day_results_cover_range(self, simulator, world):
+        results = simulator.simulate_arm(ArmConfig("cat", ("category",)))
+        assert len(results) == world.config.num_days
+        assert all(r.impressions >= 0 for r in results)
+
+    def test_ctr_within_unit_interval(self, simulator):
+        for arm in default_figure7_arms():
+            for r in simulator.simulate_arm(arm):
+                assert 0.0 <= r.ctr <= 1.0
+
+    def test_deterministic_given_seed(self, world):
+        a = FeedSimulator(world, num_users=100, seed=7).simulate_arm(
+            ArmConfig("t", ("topic",)))
+        b = FeedSimulator(world, num_users=100, seed=7).simulate_arm(
+            ArmConfig("t", ("topic",)))
+        assert [(r.impressions, r.clicks) for r in a] == [
+            (r.impressions, r.clicks) for r in b
+        ]
+
+    def _mean_ctr(self, results):
+        total_clicks = sum(r.clicks for r in results)
+        total_impr = sum(r.impressions for r in results)
+        return total_clicks / total_impr if total_impr else 0.0
+
+    def test_topic_beats_category(self, simulator):
+        topic = self._mean_ctr(simulator.simulate_arm(ArmConfig("t", ("topic",))))
+        category = self._mean_ctr(simulator.simulate_arm(ArmConfig("c", ("category",))))
+        assert topic > category
+
+    def test_all_tags_beat_category_entity(self, simulator):
+        arms = default_figure6_arms()
+        results = simulator.compare_arms(arms)
+        all_tags = self._mean_ctr(results["all types of tags"])
+        baseline = self._mean_ctr(results["category + entity"])
+        assert all_tags > baseline
+
+    def test_figure7_ordering_topic_event_top(self, simulator):
+        results = simulator.compare_arms(default_figure7_arms())
+        means = {name: self._mean_ctr(rs) for name, rs in results.items()}
+        assert means["topic"] > means["entity"]
+        assert means["event"] > means["entity"]
+        assert means["entity"] > means["category"]
+
+    def test_event_arm_more_volatile_than_topic(self, simulator):
+        topic = simulator.simulate_arm(ArmConfig("t", ("topic",)))
+        event = simulator.simulate_arm(ArmConfig("e", ("event",)))
+        def day_std(rs):
+            ctrs = [r.ctr for r in rs if r.impressions > 0]
+            return float(np.std(ctrs)) if ctrs else 0.0
+        # Event supply is bursty; its daily CTR varies at least as much.
+        assert day_std(event) >= day_std(topic) * 0.5

@@ -1,0 +1,69 @@
+"""Tests for FeedSimulator with a mined (imperfect) ontology."""
+
+import pytest
+
+from repro.apps.recsys import ArmConfig, FeedSimulator
+from repro.core.ontology import AttentionOntology, EdgeType, NodeType
+from repro.synth.world import WorldConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig(num_days=4, seed=6))
+
+
+def gold_ontology(world) -> AttentionOntology:
+    onto = AttentionOntology()
+    for concept in world.concepts.values():
+        cnode = onto.add_node(NodeType.CONCEPT, concept.phrase)
+        for member in concept.members:
+            enode = onto.add_node(NodeType.ENTITY, member)
+            onto.add_edge(cnode.node_id, enode.node_id, EdgeType.ISA)
+    return onto
+
+
+def degraded_ontology(world) -> AttentionOntology:
+    """Half the concept-entity edges missing (noisy mining)."""
+    onto = AttentionOntology()
+    for concept in world.concepts.values():
+        cnode = onto.add_node(NodeType.CONCEPT, concept.phrase)
+        for i, member in enumerate(concept.members):
+            if i % 2 == 1:
+                continue
+            enode = onto.add_node(NodeType.ENTITY, member)
+            onto.add_edge(cnode.node_id, enode.node_id, EdgeType.ISA)
+    return onto
+
+
+def mean_ctr(results):
+    clicks = sum(r.clicks for r in results)
+    impressions = sum(r.impressions for r in results)
+    return clicks / impressions if impressions else 0.0
+
+
+class TestMinedOntologyMode:
+    def test_gold_ontology_matches_default(self, world):
+        arm = ArmConfig("c", ("concept",))
+        default = FeedSimulator(world, num_users=120, seed=3).simulate_arm(arm)
+        with_gold = FeedSimulator(world, num_users=120, seed=3,
+                                  ontology=gold_ontology(world)).simulate_arm(arm)
+        assert [(r.impressions, r.clicks) for r in default] == [
+            (r.impressions, r.clicks) for r in with_gold
+        ]
+
+    def test_degraded_ontology_reduces_concept_reach(self, world):
+        arm = ArmConfig("c", ("concept",))
+        full = FeedSimulator(world, num_users=120, seed=3,
+                             ontology=gold_ontology(world)).simulate_arm(arm)
+        degraded = FeedSimulator(world, num_users=120, seed=3,
+                                 ontology=degraded_ontology(world)).simulate_arm(arm)
+        assert sum(r.impressions for r in degraded) < sum(r.impressions for r in full)
+
+    def test_other_arms_unaffected_by_ontology(self, world):
+        arm = ArmConfig("t", ("topic",))
+        a = FeedSimulator(world, num_users=100, seed=1,
+                          ontology=degraded_ontology(world)).simulate_arm(arm)
+        b = FeedSimulator(world, num_users=100, seed=1).simulate_arm(arm)
+        assert [(r.impressions, r.clicks) for r in a] == [
+            (r.impressions, r.clicks) for r in b
+        ]

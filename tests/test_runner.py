@@ -1,0 +1,98 @@
+"""Tests for repro.eval.runner."""
+
+import pytest
+
+from repro.datasets.examples import MiningExample
+from repro.eval.runner import PhraseMiningExperiment, error_analysis
+
+
+class PerfectMiner:
+    """Echoes the first query (which is the gold phrase in the fixture)."""
+
+    def extract(self, queries, titles):
+        return queries[0]
+
+
+class EmptyMiner:
+    def extract(self, queries, titles):
+        return []
+
+
+class FittableMiner:
+    def __init__(self):
+        self.fitted_with = None
+
+    def fit_examples(self, train, lr=0.1):
+        self.fitted_with = (len(train), lr)
+
+    def extract(self, queries, titles):
+        return ["wrong"]
+
+
+@pytest.fixture
+def split():
+    examples = [
+        MiningExample(queries=[["economy", "cars"]], titles=[["x"]],
+                      gold_tokens=["economy", "cars"]),
+        MiningExample(queries=[["pop", "singers"]], titles=[["y"]],
+                      gold_tokens=["pop", "singers"]),
+    ]
+    return examples, examples
+
+
+class TestExperiment:
+    def test_perfect_method_scores_one(self, split):
+        train, test = split
+        exp = PhraseMiningExperiment().add("perfect", PerfectMiner())
+        results = exp.run(train, test)
+        assert results[0].scores.em == 1.0
+        assert results[0].scores.coverage == 1.0
+
+    def test_empty_method_zero_coverage(self, split):
+        train, test = split
+        results = PhraseMiningExperiment().add("empty", EmptyMiner()).run(train, test)
+        assert results[0].scores.coverage == 0.0
+
+    def test_fit_called_with_kwargs(self, split):
+        train, test = split
+        miner = FittableMiner()
+        PhraseMiningExperiment().add("fit", miner, lr=0.5).run(train, test)
+        assert miner.fitted_with == (2, 0.5)
+
+    def test_rows_format(self, split):
+        train, test = split
+        exp = PhraseMiningExperiment().add("perfect", PerfectMiner())
+        rows = exp.rows(exp.run(train, test))
+        assert rows[0][0] == "perfect"
+        assert set(rows[0][1]) == {"EM", "F1", "COV"}
+
+    def test_method_without_extract_rejected(self):
+        with pytest.raises(TypeError):
+            PhraseMiningExperiment().add("bad", object())
+
+    def test_multiple_methods_ordered(self, split):
+        train, test = split
+        exp = (PhraseMiningExperiment()
+               .add("a", PerfectMiner())
+               .add("b", EmptyMiner()))
+        results = exp.run(train, test)
+        assert [r.name for r in results] == ["a", "b"]
+
+
+class TestErrorAnalysis:
+    def test_reports_mismatches(self, split):
+        train, test = split
+        results = PhraseMiningExperiment().add("f", FittableMiner()).run(train, test)
+        errors = error_analysis(results[0], test)
+        assert len(errors) == 2
+        assert errors[0]["predicted"] == ["wrong"]
+
+    def test_limit_respected(self, split):
+        train, test = split
+        results = PhraseMiningExperiment().add("f", FittableMiner()).run(train, test)
+        assert len(error_analysis(results[0], test, limit=1)) == 1
+
+    def test_perfect_method_no_errors(self, split):
+        train, test = split
+        results = PhraseMiningExperiment().add("p", PerfectMiner()).run(train, test)
+        assert error_analysis(results[0], test) == []

@@ -1,0 +1,123 @@
+"""Tests for repro.nn.seq2seq and repro.nn.duet."""
+
+import numpy as np
+import pytest
+
+from repro.nn.duet import DuetMatcher
+from repro.nn.optim import Adam
+from repro.nn.seq2seq import EOS, SOS, UNK, Seq2SeqSummarizer, Vocabulary
+
+
+class TestVocabulary:
+    def test_specials_reserved(self):
+        v = Vocabulary()
+        assert len(v) == 4
+
+    def test_add_and_encode(self):
+        v = Vocabulary()
+        v.add("cars")
+        assert v.encode(["cars", "unknown"]) == [4, UNK]
+
+    def test_decode_skips_specials(self):
+        v = Vocabulary()
+        idx = v.add("cars")
+        assert v.decode([SOS, idx, EOS]) == ["cars"]
+
+    def test_fit_corpus(self):
+        v = Vocabulary().fit([["a", "b"], ["b", "c"]])
+        assert len(v) == 4 + 3
+
+
+class TestSeq2Seq:
+    @pytest.fixture(scope="class")
+    def model(self):
+        vocab = Vocabulary().fit([["copy", "this", "phrase", "now"]])
+        rng = np.random.default_rng(0)
+        model = Seq2SeqSummarizer(vocab, embed_dim=12, hidden=12, rng=rng)
+        opt = Adam(model.parameters(), lr=0.05)
+        inputs = vocab.encode(["copy", "this", "phrase", "now"])
+        target = vocab.encode(["copy", "phrase"])
+        for _step in range(60):
+            opt.zero_grad()
+            loss = model.loss(inputs, target)
+            loss.backward()
+            opt.step()
+        return model, inputs, target, loss.item()
+
+    def test_loss_decreases(self, model):
+        _m, _i, _t, final_loss = model
+        assert final_loss < 0.5
+
+    def test_generate_memorised_target(self, model):
+        m, inputs, target, _loss = model
+        assert m.generate(inputs, max_len=4) == target
+
+    def test_generate_empty_input(self, model):
+        m, _i, _t, _l = model
+        assert m.generate([]) == []
+
+    def test_summarize_returns_tokens(self, model):
+        m, _i, _t, _l = model
+        out = m.summarize(["copy", "this", "phrase", "now"])
+        assert out == ["copy", "phrase"]
+
+    def test_loss_empty_raises(self, model):
+        m, _i, _t, _l = model
+        with pytest.raises(ValueError):
+            m.loss([], [1])
+
+
+class TestDuet:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        vocab = {w: i for i, w in enumerate(
+            ["brexit", "negotiation", "cars", "review", "concert", "tour",
+             "news", "report", "match"]
+        )}
+        matcher = DuetMatcher(vocab, embed_dim=8, hidden=8, max_phrase_len=4)
+        examples = [
+            (["brexit", "negotiation"], ["brexit", "negotiation", "news", "report"], 1),
+            (["brexit", "negotiation"], ["cars", "review", "match"], 0),
+            (["cars", "review"], ["cars", "review", "news"], 1),
+            (["cars", "review"], ["concert", "tour", "report"], 0),
+            (["concert", "tour"], ["concert", "tour", "news"], 1),
+            (["concert", "tour"], ["brexit", "news"], 0),
+        ] * 3
+        matcher.fit(examples, epochs=15, lr=0.05)
+        return matcher
+
+    def test_positive_pair(self, trained):
+        assert trained.predict(["brexit", "negotiation"],
+                               ["brexit", "negotiation", "news"])
+
+    def test_training_negative_pair(self, trained):
+        assert not trained.predict(["brexit", "negotiation"],
+                                   ["cars", "review", "match"])
+
+    def test_scores_separate_labels(self, trained):
+        from repro.nn.autograd import no_grad
+
+        with no_grad():
+            pos = trained.score(["cars", "review"], ["cars", "review", "news"]).item()
+            neg = trained.score(["cars", "review"], ["concert", "tour", "report"]).item()
+        assert pos > neg
+
+    def test_score_is_scalar(self, trained):
+        s = trained.score(["cars"], ["cars", "news"])
+        assert s.shape == ()
+
+    def test_empty_doc_handled(self, trained):
+        # Should not raise.
+        trained.predict(["cars"], [])
+
+    def test_fit_empty_raises(self):
+        matcher = DuetMatcher({"a": 0})
+        with pytest.raises(ValueError):
+            matcher.fit([])
+
+    def test_local_features_shape(self):
+        matcher = DuetMatcher({"a": 0}, max_phrase_len=3)
+        feats = matcher._local_features(["a", "b"], ["a", "c", "a"])
+        assert feats.shape == (9,)
+        assert feats[0] == 1.0  # "a" present
+        assert feats[3] == 0.0  # "b" absent

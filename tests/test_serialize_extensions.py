@@ -1,0 +1,117 @@
+"""Tests for ontology serialization and the concept-correlate extension."""
+
+import json
+
+import pytest
+
+from repro.core.linking.concept_concept import (
+    concept_cooccurrence_pairs,
+    link_concept_correlations,
+)
+from repro.core.ontology import AttentionOntology, EdgeType, NodeType
+from repro.core.serialize import (
+    load_ontology,
+    ontology_from_dict,
+    ontology_to_dict,
+    save_ontology,
+)
+from repro.errors import OntologyError
+
+
+@pytest.fixture
+def ontology():
+    onto = AttentionOntology()
+    c1 = onto.add_node(NodeType.CONCEPT, "economy cars",
+                       payload={"context_titles": [["economy", "cars", "ranked"]]})
+    c2 = onto.add_node(NodeType.CONCEPT, "fuel efficient cars")
+    c3 = onto.add_node(NodeType.CONCEPT, "detective fiction")
+    e1 = onto.add_node(NodeType.ENTITY, "honda civic")
+    e2 = onto.add_node(NodeType.ENTITY, "toyota corolla")
+    e3 = onto.add_node(NodeType.ENTITY, "sherlock")
+    onto.add_edge(c1.node_id, e1.node_id, EdgeType.ISA)
+    onto.add_edge(c1.node_id, e2.node_id, EdgeType.ISA)
+    onto.add_edge(c2.node_id, e1.node_id, EdgeType.ISA)
+    onto.add_edge(c2.node_id, e2.node_id, EdgeType.ISA)
+    onto.add_edge(c3.node_id, e3.node_id, EdgeType.ISA)
+    onto.add_edge(e1.node_id, e2.node_id, EdgeType.CORRELATE, weight=0.9)
+    onto.add_alias(c1.node_id, "cheap cars")
+    return onto
+
+
+class TestSerialization:
+    def test_round_trip_preserves_stats(self, ontology):
+        rebuilt = ontology_from_dict(ontology_to_dict(ontology))
+        assert rebuilt.stats() == ontology.stats()
+
+    def test_round_trip_preserves_aliases(self, ontology):
+        rebuilt = ontology_from_dict(ontology_to_dict(ontology))
+        node = rebuilt.find(NodeType.CONCEPT, "cheap cars")
+        assert node is not None
+        assert node.phrase == "economy cars"
+
+    def test_round_trip_preserves_payload(self, ontology):
+        rebuilt = ontology_from_dict(ontology_to_dict(ontology))
+        node = rebuilt.find(NodeType.CONCEPT, "economy cars")
+        assert node.payload["context_titles"] == [["economy", "cars", "ranked"]]
+
+    def test_round_trip_preserves_edge_weights(self, ontology):
+        rebuilt = ontology_from_dict(ontology_to_dict(ontology))
+        edges = rebuilt.edges(EdgeType.CORRELATE)
+        assert len(edges) == 1
+        assert edges[0].weight == 0.9
+
+    def test_file_round_trip(self, ontology, tmp_path):
+        path = tmp_path / "onto.json"
+        save_ontology(ontology, str(path))
+        rebuilt = load_ontology(str(path))
+        assert rebuilt.stats() == ontology.stats()
+
+    def test_serialized_is_valid_json(self, ontology, tmp_path):
+        path = tmp_path / "onto.json"
+        save_ontology(ontology, str(path))
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert len(data["nodes"]) == len(ontology)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(OntologyError):
+            ontology_from_dict({"version": 99, "nodes": [], "edges": []})
+
+    def test_dangling_edge_rejected(self):
+        with pytest.raises(OntologyError):
+            ontology_from_dict({
+                "version": 1,
+                "nodes": [],
+                "edges": [{"source": "x", "target": "y", "type": "isA"}],
+            })
+
+    def test_tuple_payload_becomes_list(self):
+        onto = AttentionOntology()
+        onto.add_node(NodeType.TOPIC, "t", payload={"pattern": ("X", "wins")})
+        rebuilt = ontology_from_dict(ontology_to_dict(onto))
+        node = rebuilt.find(NodeType.TOPIC, "t")
+        assert node.payload["pattern"] == ["X", "wins"]
+
+
+class TestConceptCorrelate:
+    def test_cooccurrence_counts_shared_members(self, ontology):
+        pairs = concept_cooccurrence_pairs(ontology)
+        assert pairs[("economy cars", "fuel efficient cars")] == 2
+        assert ("economy cars", "detective fiction") not in pairs
+
+    def test_link_creates_correlate_edges(self, ontology):
+        created = link_concept_correlations(ontology, epochs=60, seed=0)
+        assert created >= 1
+        a = ontology.find(NodeType.CONCEPT, "economy cars")
+        b = ontology.find(NodeType.CONCEPT, "fuel efficient cars")
+        assert ontology.has_edge(a.node_id, b.node_id, EdgeType.CORRELATE)
+
+    def test_no_concepts_no_edges(self):
+        onto = AttentionOntology()
+        assert link_concept_correlations(onto) == 0
+
+    def test_unrelated_concepts_not_linked(self, ontology):
+        link_concept_correlations(ontology, epochs=60, seed=0)
+        a = ontology.find(NodeType.CONCEPT, "economy cars")
+        c = ontology.find(NodeType.CONCEPT, "detective fiction")
+        assert not ontology.has_edge(a.node_id, c.node_id, EdgeType.CORRELATE)

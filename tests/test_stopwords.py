@@ -1,0 +1,38 @@
+"""Tests for repro.text.stopwords."""
+
+from repro.text.stopwords import STOPWORDS, content_words, is_stopword
+
+
+class TestIsStopword:
+    def test_common_stopwords(self):
+        for word in ("the", "a", "of", "is", "what"):
+            assert is_stopword(word)
+
+    def test_content_words_pass(self):
+        for word in ("cars", "film", "miyazaki", "concert"):
+            assert not is_stopword(word)
+
+    def test_punctuation_is_stop(self):
+        for mark in (".", ",", "?", "|", "—"):
+            assert is_stopword(mark)
+
+    def test_single_nonalnum_char_is_stop(self):
+        assert is_stopword("~")
+
+
+class TestContentWords:
+    def test_filters_stopwords(self):
+        assert content_words(["the", "best", "cars", "?"]) == ["best", "cars"]
+
+    def test_empty(self):
+        assert content_words([]) == []
+
+    def test_all_stop(self):
+        assert content_words(["the", "of", "."]) == []
+
+    def test_order_preserved(self):
+        assert content_words(["cars", "the", "films"]) == ["cars", "films"]
+
+
+def test_stopwords_are_lowercase():
+    assert all(w == w.lower() for w in STOPWORDS)

@@ -1,0 +1,92 @@
+"""Tests for repro.apps.story_tracker (incremental story tracking)."""
+
+import pytest
+
+from repro.apps.story_tracker import StoryTracker
+from repro.apps.story_tree import EventRecord, StoryTreeBuilder
+
+
+def event(phrase, trigger, entities, day):
+    return EventRecord(phrase=phrase, trigger=trigger, entities=entities, day=day)
+
+
+@pytest.fixture
+def trade_events():
+    return [
+        event("usa imposes new tariffs on chinese goods", "imposes", ["usa", "china"], 1),
+        event("china imposes tariffs on usa products", "imposes", ["china", "usa"], 2),
+        event("usa imposes more tariffs on chinese commodities", "imposes", ["usa", "china"], 5),
+    ]
+
+
+@pytest.fixture
+def concert_events():
+    return [
+        event("jay chou will have a concert", "concert", ["jay chou"], 2),
+        event("jay chou concert tickets sold out", "concert", ["jay chou"], 3),
+    ]
+
+
+class TestRouting:
+    def test_related_events_share_story(self, trade_events):
+        tracker = StoryTracker()
+        tracker.add_events(trade_events)
+        assert len(tracker) == 1
+        assert len(tracker.stories[0].events) == 3
+
+    def test_unrelated_events_get_new_story(self, trade_events, concert_events):
+        tracker = StoryTracker()
+        tracker.add_events(trade_events + concert_events)
+        assert len(tracker) == 2
+
+    def test_fast_match_trigger_and_entity(self, concert_events):
+        tracker = StoryTracker(attach_threshold=100.0)  # force fast path only
+        tracker.add_events(concert_events)
+        assert len(tracker) == 1
+
+    def test_chronological_insertion(self, trade_events):
+        tracker = StoryTracker()
+        tracker.add_events(list(reversed(trade_events)))
+        days = [e.day for e in tracker.stories[0].events]
+        assert days == sorted(days)
+
+    def test_empty_tracker(self):
+        tracker = StoryTracker()
+        assert len(tracker) == 0
+        assert tracker.story_of("nothing") is None
+
+
+class TestFollowUps:
+    def test_follow_ups_are_later_same_story(self, trade_events):
+        tracker = StoryTracker()
+        tracker.add_events(trade_events)
+        ups = tracker.follow_ups("usa imposes new tariffs on chinese goods")
+        assert [e.day for e in ups] == [2, 5]
+
+    def test_follow_ups_limit(self, trade_events):
+        tracker = StoryTracker()
+        tracker.add_events(trade_events)
+        ups = tracker.follow_ups("usa imposes new tariffs on chinese goods", limit=1)
+        assert len(ups) == 1
+
+    def test_follow_ups_unknown_event(self):
+        assert StoryTracker().follow_ups("ghost") == []
+
+    def test_no_follow_ups_for_latest(self, trade_events):
+        tracker = StoryTracker()
+        tracker.add_events(trade_events)
+        assert tracker.follow_ups(
+            "usa imposes more tariffs on chinese commodities") == []
+
+
+class TestTreeMaterialisation:
+    def test_tree_of_story(self, trade_events):
+        tracker = StoryTracker(builder=StoryTreeBuilder(cluster_threshold=1.0))
+        tracker.add_events(trade_events)
+        tree = tracker.tree_of(trade_events[1].phrase)
+        assert tree is not None
+        assert tree.num_events == 3
+        assert tree.root.event.day == 1
+
+    def test_tree_of_unknown(self):
+        assert StoryTracker().tree_of("ghost") is None

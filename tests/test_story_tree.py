@@ -1,0 +1,109 @@
+"""Tests for repro.apps.story_tree."""
+
+import pytest
+
+from repro.apps.story_tree import EventRecord, StoryTreeBuilder
+
+
+@pytest.fixture
+def trade_war_events():
+    """A miniature of the paper's Figure 5 'China-US Trade' story."""
+    return [
+        EventRecord("usa imposes new tariffs on chinese goods", "imposes",
+                    ["usa", "china"], day=1),
+        EventRecord("china imposes tariffs on usa products", "imposes",
+                    ["china", "usa"], day=2),
+        EventRecord("usa raises tariff rates on chinese goods", "raises",
+                    ["usa", "china"], day=3),
+        EventRecord("trade consultations joint statement", "statement",
+                    ["usa", "china"], day=4),
+        EventRecord("pop star will have a concert", "concert",
+                    ["jay chou"], day=2),
+    ]
+
+
+@pytest.fixture
+def builder():
+    return StoryTreeBuilder(cluster_threshold=1.0)
+
+
+class TestRetrieval:
+    def test_common_entity_required(self, builder, trade_war_events):
+        seed = trade_war_events[0]
+        related = builder.retrieve_correlated(seed, trade_war_events)
+        phrases = {e.phrase for e in related}
+        assert "pop star will have a concert" not in phrases
+        assert len(related) == 3
+
+    def test_same_trigger_filter(self, builder, trade_war_events):
+        seed = trade_war_events[0]
+        related = builder.retrieve_correlated(seed, trade_war_events,
+                                              require_same_trigger=True)
+        assert all(e.trigger == "imposes" for e in related)
+
+    def test_seed_excluded(self, builder, trade_war_events):
+        seed = trade_war_events[0]
+        related = builder.retrieve_correlated(seed, trade_war_events)
+        assert seed not in related
+
+
+class TestSimilarity:
+    def test_similar_events_score_higher(self, builder, trade_war_events):
+        s_related = builder.similarity(trade_war_events[0], trade_war_events[1])
+        s_unrelated = builder.similarity(trade_war_events[0], trade_war_events[4])
+        assert s_related > s_unrelated
+
+    def test_self_similarity_is_max(self, builder, trade_war_events):
+        sim = builder.similarity_matrix(trade_war_events[:3])
+        assert all(sim[i, i] == pytest.approx(3.0) for i in range(3))
+
+    def test_matrix_symmetric(self, builder, trade_war_events):
+        sim = builder.similarity_matrix(trade_war_events[:4])
+        assert (sim == sim.T).all()
+
+
+class TestClustering:
+    def test_related_events_cluster_together(self, builder, trade_war_events):
+        clusters = builder.cluster(trade_war_events)
+        by_event = {}
+        for ci, members in enumerate(clusters):
+            for m in members:
+                by_event[trade_war_events[m].phrase] = ci
+        # The two 'imposes tariffs' events must share a cluster...
+        assert by_event["usa imposes new tariffs on chinese goods"] == \
+            by_event["china imposes tariffs on usa products"]
+        # ...and the concert must not join them.
+        assert by_event["pop star will have a concert"] != \
+            by_event["usa imposes new tariffs on chinese goods"]
+
+    def test_empty_input(self, builder):
+        assert builder.cluster([]) == []
+
+    def test_threshold_controls_merging(self, trade_war_events):
+        strict = StoryTreeBuilder(cluster_threshold=3.1)  # nothing can merge
+        clusters = strict.cluster(trade_war_events)
+        assert len(clusters) == len(trade_war_events)
+
+
+class TestTreeFormation:
+    def test_root_is_earliest_event(self, builder, trade_war_events):
+        tree = builder.build(trade_war_events[2], trade_war_events)
+        assert tree.root.event.day == min(
+            e.day for b in tree.branches for e in b
+        )
+
+    def test_branches_chronological(self, builder, trade_war_events):
+        tree = builder.build(trade_war_events[0], trade_war_events)
+        for branch in tree.branches:
+            days = [e.day for e in branch]
+            assert days == sorted(days)
+
+    def test_all_retrieved_events_in_tree(self, builder, trade_war_events):
+        tree = builder.build(trade_war_events[0], trade_war_events)
+        assert tree.num_events == 4  # concert filtered by entity overlap
+
+    def test_render_contains_phrases(self, builder, trade_war_events):
+        tree = builder.build(trade_war_events[0], trade_war_events)
+        text = tree.render()
+        assert "story:" in text
+        assert "usa imposes new tariffs on chinese goods" in text

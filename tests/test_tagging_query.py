@@ -1,0 +1,130 @@
+"""Tests for repro.apps.tagging and repro.apps.query."""
+
+import pytest
+
+from repro.apps.query import QueryUnderstander
+from repro.apps.tagging import DocumentTagger
+from repro.core.ontology import AttentionOntology, EdgeType, NodeType
+from repro.text.ner import NerTagger
+from repro.text.tokenizer import tokenize
+
+
+@pytest.fixture
+def small_ontology():
+    onto = AttentionOntology()
+    concept = onto.add_node(
+        NodeType.CONCEPT, "marvel superhero movies",
+        payload={"context_titles": [tokenize("the best marvel superhero movies ranked"),
+                                    tokenize("marvel superhero movies you must watch")]},
+    )
+    for name in ("iron man", "captain america", "black panther"):
+        entity = onto.add_node(NodeType.ENTITY, name)
+        onto.add_edge(concept.node_id, entity.node_id, EdgeType.ISA)
+    onto.add_node(NodeType.EVENT, "black panther premiere breaks box office record")
+    onto.add_node(NodeType.TOPIC, "box office record events")
+    a = onto.find(NodeType.ENTITY, "iron man")
+    b = onto.find(NodeType.ENTITY, "captain america")
+    onto.add_edge(a.node_id, b.node_id, EdgeType.CORRELATE)
+    return onto
+
+
+@pytest.fixture
+def ner():
+    t = NerTagger()
+    for name in ("iron man", "captain america", "black panther"):
+        t.register(name, "WORK")
+    return t
+
+
+@pytest.fixture
+def tagger(small_ontology, ner):
+    return DocumentTagger(small_ontology, ner, coherence_threshold=0.01,
+                          lcs_threshold=0.6)
+
+
+class TestConceptTagging:
+    def test_tags_concept_not_mentioned(self, tagger):
+        # Document names two member entities, never the concept phrase.
+        title = tokenize("iron man and captain america reviewed")
+        body = tokenize("both iron man and captain america delight fans")
+        tags = tagger.tag_concepts(title, body)
+        assert tags and tags[0][0] == "marvel superhero movies"
+
+    def test_no_entities_no_tags(self, tagger):
+        tags = tagger.tag_concepts(tokenize("cooking pasta at home"), [])
+        assert tags == []
+
+    def test_key_entities_deduplicated(self, tagger):
+        tokens = tokenize("iron man meets iron man")
+        assert tagger.key_entities(tokens) == ["iron man"]
+
+    def test_inference_path_via_context_words(self, small_ontology, ner):
+        # Entity with no isA parent: concept inferred from context words that
+        # are substrings of concept phrases (Eq. 12-14).
+        onto = small_ontology
+        onto.add_node(NodeType.ENTITY, "spiderman")
+        ner.register("spiderman", "WORK")
+        tagger = DocumentTagger(onto, ner, inference_threshold=0.01)
+        title = tokenize("spiderman story")
+        body = tokenize("spiderman joins the marvel superhero movies universe .")
+        tags = tagger.tag_concepts(title, body)
+        assert any(t == "marvel superhero movies" for t, _s in tags)
+
+
+class TestEventTagging:
+    def test_event_tagged_by_lcs(self, tagger):
+        title = tokenize("black panther premiere breaks box office record , report")
+        tags = tagger.tag_events(title, tokenize("the premiere was huge"))
+        assert tags and tags[0][0] == "black panther premiere breaks box office record"
+
+    def test_unrelated_title_not_tagged(self, tagger):
+        tags = tagger.tag_events(tokenize("cooking pasta tonight"), [])
+        assert tags == []
+
+    def test_topic_tagging(self, tagger):
+        title = tokenize("box office record events keep coming")
+        tags = tagger.tag_topics(title, [])
+        assert tags and tags[0][0] == "box office record events"
+
+    def test_tag_full_document(self, tagger):
+        doc = tagger.tag(
+            "doc1",
+            tokenize("iron man and captain america : a retrospective"),
+            [tokenize("iron man and captain america shaped the genre")],
+        )
+        assert doc.doc_id == "doc1"
+        assert "marvel superhero movies" in doc.concept_tags
+
+
+class TestQueryUnderstanding:
+    def test_concept_query_rewrites(self, small_ontology):
+        qu = QueryUnderstander(small_ontology)
+        analysis = qu.analyze("best marvel superhero movies")
+        assert analysis.conveys_concept
+        assert analysis.rewrites
+        assert all(r.startswith("best marvel superhero movies ") for r in analysis.rewrites)
+
+    def test_entity_query_recommends_correlated(self, small_ontology):
+        qu = QueryUnderstander(small_ontology)
+        analysis = qu.analyze("iron man review")
+        assert analysis.conveys_entity
+        assert "captain america" in analysis.recommendations
+
+    def test_unknown_query(self, small_ontology):
+        qu = QueryUnderstander(small_ontology)
+        analysis = qu.analyze("gardening tips")
+        assert not analysis.conveys_concept
+        assert not analysis.conveys_entity
+        assert analysis.rewrites == []
+
+    def test_most_specific_concept_preferred(self, small_ontology):
+        onto = small_ontology
+        onto.add_node(NodeType.CONCEPT, "movies")
+        qu = QueryUnderstander(onto)
+        analysis = qu.analyze("best marvel superhero movies")
+        assert analysis.concepts[0] == "marvel superhero movies"
+
+    def test_rewrite_cap(self, small_ontology):
+        qu = QueryUnderstander(small_ontology, max_rewrites=2)
+        analysis = qu.analyze("marvel superhero movies")
+        assert len(analysis.rewrites) <= 2

@@ -1,0 +1,80 @@
+"""Tests for repro.text.tokenizer."""
+
+from hypothesis import given, strategies as st
+
+from repro.text.tokenizer import detokenize, tokenize, tokenize_with_offsets
+
+
+class TestTokenize:
+    def test_simple_sentence(self):
+        assert tokenize("Best fuel efficient cars") == [
+            "best", "fuel", "efficient", "cars",
+        ]
+
+    def test_punctuation_split(self):
+        assert tokenize("breaking : news , here") == ["breaking", ":", "news", ",", "here"]
+
+    def test_punctuation_attached(self):
+        assert tokenize("what are films?") == ["what", "are", "films", "?"]
+
+    def test_hyphenated_word_stays_together(self):
+        assert tokenize("fuel-efficient cars") == ["fuel-efficient", "cars"]
+
+    def test_contraction_stays_together(self):
+        assert tokenize("miyazaki's films") == ["miyazaki's", "films"]
+
+    def test_numbers(self):
+        assert tokenize("top 5 picks") == ["top", "5", "picks"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \t\n") == []
+
+    def test_case_normalisation(self):
+        assert tokenize("Theresa May") == ["theresa", "may"]
+
+    def test_preserve_case_option(self):
+        assert tokenize("Theresa May", lowercase=False) == ["Theresa", "May"]
+
+    def test_alnum_model_names(self):
+        assert tokenize("iphone xs and mate20 pro") == [
+            "iphone", "xs", "and", "mate20", "pro",
+        ]
+
+
+class TestOffsets:
+    def test_offsets_align_with_source(self):
+        text = "Best cars, ever!"
+        for token in tokenize_with_offsets(text):
+            assert text[token.start : token.end].lower() == token.text
+
+    def test_offsets_count_matches_tokenize(self):
+        text = "what are the best films?"
+        assert len(tokenize_with_offsets(text)) == len(tokenize(text))
+
+
+class TestDetokenize:
+    def test_round_trip_words(self):
+        assert detokenize(["best", "cars"]) == "best cars"
+
+    def test_punctuation_attaches_left(self):
+        assert detokenize(["films", "?"]) == "films?"
+
+    def test_empty(self):
+        assert detokenize([]) == ""
+
+
+@given(st.text(max_size=200))
+def test_tokenize_never_raises_and_lowercases(text):
+    tokens = tokenize(text)
+    assert all(t == t.lower() for t in tokens)
+    assert all(t for t in tokens)  # no empty tokens
+
+
+@given(st.lists(st.sampled_from(["cars", "best", "5", ",", "?", "films"]), max_size=10))
+def test_detokenize_tokenize_round_trip_words(tokens):
+    # Round trip preserves the token sequence for word tokens.
+    rebuilt = tokenize(detokenize(tokens))
+    assert rebuilt == tokens

@@ -1,0 +1,116 @@
+"""Tests for repro.text.vectorizer and repro.text.similarity."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.similarity import (
+    cosine_similarity,
+    dict_cosine,
+    jaccard,
+    longest_common_subsequence,
+    tfidf_similarity,
+)
+from repro.text.vectorizer import TfidfVectorizer
+
+
+class TestTfidfVectorizer:
+    def test_identical_docs_similarity_one(self):
+        v = TfidfVectorizer().fit([["a", "b"], ["c", "d"]])
+        assert v.similarity(["a", "b"], ["a", "b"]) == pytest.approx(1.0)
+
+    def test_disjoint_docs_similarity_zero(self):
+        v = TfidfVectorizer().fit([["a"], ["b"]])
+        assert v.similarity(["a"], ["b"]) == pytest.approx(0.0)
+
+    def test_vector_is_unit_norm(self):
+        v = TfidfVectorizer().fit([["a", "b", "c"]])
+        vec = v.transform(["a", "b", "b"])
+        assert math.sqrt(sum(w * w for w in vec.values())) == pytest.approx(1.0)
+
+    def test_rare_word_gets_higher_idf(self):
+        corpus = [["common", "rare"]] + [["common"]] * 9
+        v = TfidfVectorizer().fit(corpus)
+        assert v.idf("rare") > v.idf("common")
+
+    def test_empty_doc_transform(self):
+        v = TfidfVectorizer().fit([["a"]])
+        assert v.transform([]) == {}
+
+    def test_partial_fit_accumulates(self):
+        v = TfidfVectorizer()
+        v.partial_fit(["a"])
+        v.partial_fit(["b"])
+        assert v.num_docs == 2
+
+
+class TestCosine:
+    def test_parallel_vectors(self):
+        a = np.array([1.0, 2.0])
+        assert cosine_similarity(a, 3 * a) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 0.0
+
+    def test_zero_vector(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_dict_cosine_identical(self):
+        assert dict_cosine({"a": 1.0, "b": 2.0}, {"a": 1.0, "b": 2.0}) == pytest.approx(1.0)
+
+    def test_dict_cosine_empty(self):
+        assert dict_cosine({}, {"a": 1.0}) == 0.0
+
+
+class TestLCS:
+    def test_identical(self):
+        assert longest_common_subsequence(["a", "b", "c"], ["a", "b", "c"]) == 3
+
+    def test_subsequence_with_gaps(self):
+        assert longest_common_subsequence(["a", "c"], ["a", "b", "c"]) == 2
+
+    def test_no_overlap(self):
+        assert longest_common_subsequence(["x"], ["y"]) == 0
+
+    def test_empty(self):
+        assert longest_common_subsequence([], ["a"]) == 0
+
+    def test_order_matters(self):
+        assert longest_common_subsequence(["b", "a"], ["a", "b"]) == 1
+
+
+class TestJaccardAndTfidfSim:
+    def test_jaccard_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_jaccard_empty_both(self):
+        assert jaccard(set(), set()) == 0.0
+
+    def test_tfidf_similarity_symmetric(self):
+        a, b = ["x", "y", "y"], ["y", "z"]
+        assert tfidf_similarity(a, b) == pytest.approx(tfidf_similarity(b, a))
+
+    def test_tfidf_similarity_with_idf_weights(self):
+        idf = {"x": 10.0, "y": 0.1}
+        # Heavy shared word dominates.
+        high = tfidf_similarity(["x", "y"], ["x"], idf)
+        low = tfidf_similarity(["x", "y"], ["y"], idf)
+        assert high > low
+
+
+@given(st.lists(st.sampled_from("abcd"), max_size=12),
+       st.lists(st.sampled_from("abcd"), max_size=12))
+def test_lcs_bounded_and_symmetric(a, b):
+    lcs = longest_common_subsequence(a, b)
+    assert 0 <= lcs <= min(len(a), len(b))
+    assert lcs == longest_common_subsequence(b, a)
+
+
+@given(st.lists(st.sampled_from("abc"), min_size=1, max_size=10))
+def test_lcs_identity(a):
+    assert longest_common_subsequence(a, a) == len(a)

@@ -1,0 +1,94 @@
+"""Tests for repro.synth.world and repro.synth.vocab."""
+
+import pytest
+
+from repro.synth.vocab import DOMAINS
+from repro.synth.world import WorldConfig, build_world
+
+
+class TestSeedDomains:
+    def test_concept_members_are_domain_entities(self):
+        for domain in DOMAINS:
+            for concept in domain.concepts:
+                for member in concept.members:
+                    assert member in domain.entities, (domain.name, member)
+
+    def test_event_pools_reference_domain_concepts(self):
+        for domain in DOMAINS:
+            names = {c.phrase for c in domain.concepts}
+            for template in domain.events:
+                assert template.entity_pool in names
+
+    def test_category_paths_are_three_level(self):
+        for domain in DOMAINS:
+            assert len(domain.category_path) == 3
+
+
+class TestBuildWorld:
+    def test_deterministic(self):
+        w1 = build_world(WorldConfig(num_extra_domains=2, seed=5))
+        w2 = build_world(WorldConfig(num_extra_domains=2, seed=5))
+        assert list(w1.entities) == list(w2.entities)
+        assert {e.phrase for e in w1.events.values()} == {
+            e.phrase for e in w2.events.values()
+        }
+
+    def test_seed_changes_world(self):
+        w1 = build_world(WorldConfig(num_extra_domains=2, seed=1))
+        w2 = build_world(WorldConfig(num_extra_domains=2, seed=2))
+        assert {e.phrase for e in w1.events.values()} != {
+            e.phrase for e in w2.events.values()
+        }
+
+    def test_extra_domains_add_entities(self):
+        base = build_world(WorldConfig(num_extra_domains=0))
+        extended = build_world(WorldConfig(num_extra_domains=3))
+        assert len(extended.entities) > len(base.entities)
+        assert len(extended.concepts) > len(base.concepts)
+
+    def test_events_within_day_range(self):
+        w = build_world(WorldConfig(num_days=5))
+        assert all(0 <= e.day < 5 for e in w.events.values())
+
+    def test_event_phrase_contains_entity(self):
+        w = build_world(WorldConfig())
+        for event in w.events.values():
+            assert event.entity in event.phrase
+
+    def test_topics_group_events(self):
+        w = build_world(WorldConfig())
+        for topic in w.topics.values():
+            assert topic.event_ids
+            for eid in topic.event_ids:
+                assert w.events[eid].topic == topic.phrase
+
+
+class TestGoldRelations:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_world(WorldConfig(num_days=3))
+
+    def test_concept_entity_pairs(self, world):
+        pairs = world.gold_concept_entity_pairs()
+        assert ("fuel efficient cars", "honda civic") in pairs
+
+    def test_event_involvements_have_roles(self, world):
+        triples = world.gold_event_involvements()
+        roles = {r for _p, _e, r in triples}
+        assert roles <= {"entity", "trigger", "location"}
+        assert "entity" in roles and "trigger" in roles
+
+    def test_correlated_entities_symmetric_storage(self, world):
+        pairs = world.gold_correlated_entities()
+        assert frozenset(("honda civic", "toyota corolla")) in pairs
+
+    def test_events_on_day_partition(self, world):
+        total = sum(len(world.events_on_day(d)) for d in range(3))
+        assert total == len(world.events)
+
+    def test_register_text_models(self, world):
+        pos, ner = world.register_text_models()
+        assert pos.tag_word("honda") == "PROPN"
+        assert ner.tag(["honda", "civic"])[0] == "B-PROD"
+        # Locations registered too.
+        assert ner.tag(["london"])[0] == "B-LOC"
