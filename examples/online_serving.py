@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Online serving: delta-refreshed replicas tagging and interpreting batches.
+
+Shows the storage/serving split (DESIGN.md): a builder process runs the
+GIANT pipeline and emits OntologyDelta batches; a serving replica starts
+empty, catches up by replaying the deltas, and then serves batched
+document-tagging and query-interpretation requests from its own indexed
+store — with version-keyed LRU caching underneath.
+
+Run:  python examples/online_serving.py
+"""
+
+from repro import GiantPipeline, OntologyService, WorldConfig, build_world
+from repro.core.ontology import AttentionOntology
+from repro.synth.documents import DocumentGenerator
+from repro.synth.querylog import QueryLogGenerator, build_click_graph
+
+
+def main() -> None:
+    world = build_world(WorldConfig(num_days=3, seed=0))
+    days = QueryLogGenerator(world).generate_days()
+    sessions = [s for d in days for s in d.sessions]
+    pos_tagger, ner_tagger = world.register_text_models()
+
+    # --- builder process: click logs -> ontology, emitted as deltas.
+    pipeline = GiantPipeline(
+        build_click_graph(days), pos_tagger, ner_tagger,
+        categories=sorted({c[2] for c in world.categories}),
+    )
+    pipeline.run(sessions=sessions)
+    print("builder ontology:", pipeline.ontology.stats())
+    print(f"emitted {len(pipeline.deltas)} delta batches "
+          f"({sum(len(d) for d in pipeline.deltas)} ops)")
+
+    # --- serving replica: starts empty, catches up from the delta stream.
+    replica = OntologyService(
+        AttentionOntology(), ner=ner_tagger,
+        tagger_options={"coherence_threshold": 0.02},
+    )
+    applied = replica.refresh(pipeline.deltas)
+    print(f"replica applied {applied} deltas -> version {replica.version}")
+    assert replica.ontology.stats() == pipeline.ontology.stats()
+
+    # --- batched document tagging off the inverted index.
+    corpus = DocumentGenerator(world).corpus(num_concept_docs=4,
+                                             num_event_docs=2)
+    tagged = replica.tag_documents(corpus)
+    print("\nbatched tagging:")
+    for doc, result in zip(corpus, tagged):
+        top = result.concept_tags[:1] or result.event_tags[:1]
+        print(f"  {doc.title!r} -> {top}")
+
+    # --- batched query interpretation.
+    queries = [f"best {concept}" for concept in sorted(world.concepts)[:3]]
+    print("\nbatched query interpretation:")
+    for analysis in replica.interpret_queries(queries):
+        print(f"  {analysis.query!r} -> concepts={analysis.concepts[:1]} "
+              f"rewrites={analysis.rewrites[:2]}")
+
+    print("\nserving stats:", {
+        k: v for k, v in replica.stats().items() if k != "ontology"
+    })
+
+
+if __name__ == "__main__":
+    main()

@@ -4,14 +4,17 @@ Ontology (Liu, Guo, Niu et al., SIGMOD 2020).
 Public API overview::
 
     from repro import (
-        GiantPipeline,            # end-to-end: click logs -> ontology
-        AttentionOntology,        # the ontology DAG
+        GiantPipeline,            # end-to-end: click logs -> ontology deltas
+        AttentionOntology,        # the ontology DAG (façade over the store)
+        OntologyStore,            # indexed storage engine + deltas
+        OntologyService,          # online serving: batched tagging/queries
         GCTSPNet,                 # the paper's phrase-mining model
         build_world, QueryLogGenerator,  # synthetic click-log substrate
     )
 
 Subpackages:
-    repro.core       — ontology, GCTSP-Net, mining, derivation, linking
+    repro.core       — ontology store/façade, GCTSP-Net, mining,
+                       derivation, linking
     repro.graph      — click graph, random-walk clustering, QTIG
     repro.tsp        — ATSP solvers for ATSP-decoding
     repro.nn         — numpy autograd, R-GCN, LSTM-CRF, seq2seq, Duet, GBDT
@@ -21,13 +24,17 @@ Subpackages:
     repro.baselines  — TextRank, AutoPhrase, Match/Align, LSTM-CRF, ...
     repro.apps       — story trees, document tagging, query understanding,
                        feed-recommendation CTR simulation
+    repro.serving    — OntologyService: batched online tagging/query APIs,
+                       LRU caching, incremental delta refresh
     repro.eval       — metrics and table/figure rendering
 """
 
 from .config import GiantConfig, MiningConfig, LinkingConfig, GCTSPConfig
 from .core.gctsp import GCTSPNet
 from .core.ontology import AttentionOntology, NodeType, EdgeType
+from .core.store import OntologyStore, OntologyDelta
 from .pipeline import GiantPipeline, PipelineReport
+from .serving import OntologyService
 from .synth.world import build_world, WorldConfig
 from .synth.querylog import QueryLogGenerator
 
@@ -42,6 +49,9 @@ __all__ = [
     "AttentionOntology",
     "NodeType",
     "EdgeType",
+    "OntologyStore",
+    "OntologyDelta",
+    "OntologyService",
     "GiantPipeline",
     "PipelineReport",
     "build_world",

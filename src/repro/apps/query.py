@@ -3,6 +3,10 @@
 Paper Section 4 ("Query Understanding"): when a query conveys a concept pc,
 rewrite it by concatenating the query with each entity that isA pc ("q e_i");
 when it conveys an entity e, recommend the entities correlated with e.
+
+Phrase detection runs off the :class:`~repro.core.store.OntologyStore`
+inverted token index (``contained_phrases``) rather than scanning every
+node of the partition per query (DESIGN.md).
 """
 
 from __future__ import annotations
@@ -38,22 +42,17 @@ class QueryUnderstander:
     def __init__(self, ontology: AttentionOntology, max_rewrites: int = 5,
                  max_recommendations: int = 5) -> None:
         self._ontology = ontology
+        self._store = ontology.store
         self._max_rewrites = max_rewrites
         self._max_recommendations = max_recommendations
 
     def _contained_phrases(self, query_tokens: list[str], node_type: NodeType
                            ) -> list[str]:
-        """Ontology phrases of ``node_type`` contained in the query."""
-        out: list[tuple[int, str]] = []
-        for node in self._ontology.nodes(node_type):
-            ptoks = node.tokens
-            if not ptoks or len(ptoks) > len(query_tokens):
-                continue
-            k = len(ptoks)
-            if any(query_tokens[i : i + k] == ptoks
-                   for i in range(len(query_tokens) - k + 1)):
-                out.append((-k, node.phrase))
-        out.sort()
+        """Ontology phrases of ``node_type`` contained in the query,
+        most specific (longest) first — candidates come from the store's
+        inverted token index."""
+        nodes = self._store.contained_phrases(query_tokens, node_type)
+        out = sorted((-len(node.tokens), node.phrase) for node in nodes)
         return [phrase for _neg_len, phrase in out]
 
     def analyze(self, query: str) -> QueryAnalysis:

@@ -104,7 +104,10 @@ class FeedSimulator:
     its concept-entity isA edges instead of the ground-truth world — so the
     concept arm's CTR reflects the constructed ontology's quality, exactly
     as in the paper's deployment (Section 5.4 notes concept CTR dips below
-    entity CTR because of inference noise in the isA edges).
+    entity CTR because of inference noise in the isA edges).  Ontology
+    lookups go through an :class:`~repro.serving.service.OntologyService`
+    replica (also accepted directly as ``ontology``), whose LRU cache
+    amortises the per-article concept expansion across the day's feed.
     """
 
     def __init__(self, world: World, num_users: int = 500,
@@ -114,7 +117,14 @@ class FeedSimulator:
                  click_probs: "dict[str, float] | None" = None,
                  ontology=None, seed: int = 0) -> None:
         self._world = world
-        self._ontology = ontology
+        self._service = None
+        if ontology is not None:
+            # Imported here: repro.serving builds on repro.apps at import
+            # time, so the reverse dependency must bind lazily.
+            from ..serving.service import OntologyService
+
+            self._service = (ontology if isinstance(ontology, OntologyService)
+                             else OntologyService(ontology))
         self._num_users = num_users
         self._impressions_per_user = impressions_per_user
         self._articles_per_event = articles_per_event
@@ -127,8 +137,8 @@ class FeedSimulator:
 
     def _concepts_of_entity(self, entity: str) -> set[str]:
         """Concept tags of an entity: mined ontology if given, else gold."""
-        if self._ontology is not None:
-            return {c.phrase for c in self._ontology.concepts_of_entity(entity)}
+        if self._service is not None:
+            return set(self._service.concepts_of_entity(entity))
         return {
             c.phrase for c in self._world.concepts.values()
             if entity in c.members

@@ -8,10 +8,16 @@ event either joins the best-matching existing story (when its Eq. 8
 similarity to that story's events clears a threshold, or it shares a
 trigger+entity) or starts a new story.  Follow-up recommendation then reads
 the freshest unseen events of a user's stories.
+
+Serving-grade routing (DESIGN.md): the tracker keeps inverted indexes —
+phrase -> story, trigger -> stories, entity -> stories — so the structural
+fast path and ``story_of`` lookups resolve without scanning every story;
+only the Eq. 8 similarity fallback still touches each story.
 """
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -58,6 +64,12 @@ class StoryTracker:
         self._max_compare = max_compare_events
         self._stories: list[Story] = []
         self._next_id = 0
+        self._by_id: dict[int, Story] = {}
+        # Inverted indexes; story ids increase in creation order, so the
+        # minimum id in a candidate set is the earliest-created story.
+        self._phrase_index: dict[str, set[int]] = defaultdict(set)
+        self._trigger_index: dict[str, set[int]] = defaultdict(set)
+        self._entity_index: dict[str, set[int]] = defaultdict(set)
 
     @property
     def stories(self) -> list[Story]:
@@ -72,28 +84,48 @@ class StoryTracker:
         sims = [self._builder.similarity(event, other) for other in recent]
         return float(np.mean(sims)) if sims else -np.inf
 
-    def _fast_match(self, event: EventRecord, story: Story) -> bool:
-        """Cheap structural attachment: shared trigger + shared entity."""
-        return (event.trigger in story.triggers
-                and bool(set(event.entities) & story.entities))
+    def _fast_match_story(self, event: EventRecord) -> "Story | None":
+        """Earliest story sharing the event's trigger and an entity, via
+        the trigger/entity inverted indexes (no per-story scan)."""
+        trigger_ids = self._trigger_index.get(event.trigger)
+        if not trigger_ids:
+            return None
+        entity_ids: set[int] = set()
+        for entity in event.entities:
+            hit = self._entity_index.get(entity)
+            if hit:
+                entity_ids.update(hit)
+        matched = trigger_ids & entity_ids
+        if not matched:
+            return None
+        return self._by_id[min(matched)]
 
     def add_event(self, event: EventRecord) -> Story:
-        """Route one event to its story (creating one when nothing fits)."""
-        best_story: "Story | None" = None
-        best_score = self._attach_threshold
-        for story in self._stories:
-            if self._fast_match(event, story):
-                best_story = story
-                break
-            score = self._score_against(event, story)
-            if score >= best_score:
-                best_score = score
-                best_story = story
+        """Route one event to its story (creating one when nothing fits).
+
+        The structural fast path (shared trigger + shared entity) resolves
+        through the indexes and takes precedence; otherwise every story is
+        scored with the Eq. 8 similarity kernel as before.
+        """
+        best_story = self._fast_match_story(event)
+        if best_story is None:
+            best_score = self._attach_threshold
+            for story in self._stories:
+                score = self._score_against(event, story)
+                if score >= best_score:
+                    best_score = score
+                    best_story = story
         if best_story is None:
             best_story = Story(self._next_id)
             self._next_id += 1
             self._stories.append(best_story)
+            self._by_id[best_story.story_id] = best_story
         best_story.events.append(event)
+        story_id = best_story.story_id
+        self._phrase_index[event.phrase].add(story_id)
+        self._trigger_index[event.trigger].add(story_id)
+        for entity in event.entities:
+            self._entity_index[entity].add(story_id)
         return best_story
 
     def add_events(self, events: "list[EventRecord]") -> None:
@@ -103,10 +135,11 @@ class StoryTracker:
 
     # ------------------------------------------------------------------
     def story_of(self, phrase: str) -> "Story | None":
-        for story in self._stories:
-            if any(e.phrase == phrase for e in story.events):
-                return story
-        return None
+        """The earliest-created story containing ``phrase`` (indexed)."""
+        story_ids = self._phrase_index.get(phrase)
+        if not story_ids:
+            return None
+        return self._by_id[min(story_ids)]
 
     def follow_ups(self, read_phrase: str, limit: int = 3) -> list[EventRecord]:
         """Events in the same story published after the one just read."""

@@ -13,6 +13,12 @@ Concept tagging combines:
 
 Event/topic tagging gates candidates with LCS-based textual matching over
 title + first sentence, optionally combined with the Duet semantic matcher.
+
+Candidate generation is index-driven (DESIGN.md): event/topic candidates
+and inference-path concepts come from the
+:class:`~repro.core.store.OntologyStore` inverted token index, so tagging
+cost scales with the document's vocabulary overlap instead of the total
+node count.
 """
 
 from __future__ import annotations
@@ -55,6 +61,7 @@ class DocumentTagger:
                  lcs_threshold: float = 0.6,
                  duet: "DuetMatcher | None" = None) -> None:
         self._ontology = ontology
+        self._store = ontology.store
         self._ner = ner
         self._coherence_threshold = coherence_threshold
         self._inference_threshold = inference_threshold
@@ -123,13 +130,6 @@ class DocumentTagger:
         """Probabilistic inference Eq. 12-14 over entity context words."""
         if not entities:
             return {}
-        concepts = self._ontology.nodes(NodeType.CONCEPT)
-        # Index: context word -> concepts containing it as a substring token.
-        word_concepts: dict[str, list[str]] = defaultdict(list)
-        for concept in concepts:
-            for token in set(concept.tokens):
-                word_concepts[token].append(concept.phrase)
-
         # P(e|d): document frequency of each entity.
         entity_counts = {
             e: max(1, _count_mentions(doc_tokens, tokenize(e))) for e in entities
@@ -138,6 +138,9 @@ class DocumentTagger:
 
         scores: dict[str, float] = defaultdict(float)
         sentences = _split_sentences(doc_tokens)
+        # Per-document memo: entities share context words, so each word's
+        # index lookup is paid once per document, not once per entity.
+        word_candidates: dict[str, list] = {}
         for entity, count in entity_counts.items():
             p_entity = count / total_mentions
             context = _context_words(sentences, tokenize(entity))
@@ -145,13 +148,19 @@ class DocumentTagger:
                 continue
             total_ctx = sum(context.values())
             for word, ctx_count in context.items():
-                candidates = word_concepts.get(word, [])
+                # Concepts containing the context word, via the store's
+                # inverted token index (was an O(all-concepts) scan).
+                candidates = word_candidates.get(word)
+                if candidates is None:
+                    candidates = self._store.nodes_with_token(
+                        word, NodeType.CONCEPT)
+                    word_candidates[word] = candidates
                 if not candidates:
                     continue
                 p_word = ctx_count / total_ctx
                 p_concept = 1.0 / len(candidates)
-                for phrase in candidates:
-                    scores[phrase] += p_concept * p_word * p_entity
+                for concept in candidates:
+                    scores[concept.phrase] += p_concept * p_word * p_entity
         return {
             phrase: score for phrase, score in scores.items()
             if score >= self._inference_threshold
@@ -172,8 +181,15 @@ class DocumentTagger:
     def _tag_phrases(self, node_type: NodeType, title_tokens: list[str],
                      first_sentence: list[str]) -> list[tuple[str, float]]:
         target = title_tokens + first_sentence
+        # Any phrase clearing a positive LCS threshold shares at least one
+        # token with the target, so the inverted index yields the exact
+        # candidate set without scanning the whole partition.
+        if self._lcs_threshold > 0:
+            candidates = self._store.candidates(target, node_type)
+        else:
+            candidates = self._store.nodes(node_type)
         out: list[tuple[str, float]] = []
-        for node in self._ontology.nodes(node_type):
+        for node in candidates:
             phrase_tokens = node.tokens
             if not phrase_tokens:
                 continue

@@ -3,7 +3,10 @@
 This package is the paper's primary contribution:
 
 * :mod:`repro.core.ontology` — the Attention Ontology DAG (five node types,
-  three edge types, Section 2);
+  three edge types, Section 2), a façade over the storage engine;
+* :mod:`repro.core.store` — the indexed :class:`OntologyStore` engine:
+  type-partitioned tables, inverted token index, phrase/alias map,
+  versioned :class:`OntologyDelta` batches and snapshots;
 * :mod:`repro.core.features` — QTIG node features (NER/POS/stopword/
   length/sequence-id embeddings, Section 3.1);
 * :mod:`repro.core.gctsp` — GCTSP-Net: R-GCN node classification + ATSP
@@ -18,6 +21,7 @@ This package is the paper's primary contribution:
 """
 
 from .ontology import AttentionOntology, AttentionNode, NodeType, EdgeType, Edge
+from .store import OntologyStore, OntologyDelta, StoreSnapshot
 from .features import NodeFeatureExtractor, FEATURE_FIELDS
 from .gctsp import GCTSPNet, GraphExample, prepare_example
 from .phrase import AttentionPhrase, PhraseNormalizer
@@ -26,7 +30,16 @@ from .align import align_query_title, extract_aligned_candidates
 from .coverrank import split_subtitles, cover_rank, select_event_candidate
 from .derivation import common_suffix_discovery, common_pattern_discovery
 from .mining import AttentionMiner, MinedAttention
-from .serialize import save_ontology, load_ontology, ontology_to_dict, ontology_from_dict
+from .serialize import (
+    save_ontology,
+    load_ontology,
+    ontology_to_dict,
+    ontology_from_dict,
+    delta_to_dict,
+    delta_from_dict,
+    save_deltas,
+    load_deltas,
+)
 
 __all__ = [
     "AttentionOntology",
@@ -34,6 +47,9 @@ __all__ = [
     "NodeType",
     "EdgeType",
     "Edge",
+    "OntologyStore",
+    "OntologyDelta",
+    "StoreSnapshot",
     "NodeFeatureExtractor",
     "FEATURE_FIELDS",
     "GCTSPNet",
@@ -56,4 +72,8 @@ __all__ = [
     "load_ontology",
     "ontology_to_dict",
     "ontology_from_dict",
+    "delta_to_dict",
+    "delta_from_dict",
+    "save_deltas",
+    "load_deltas",
 ]

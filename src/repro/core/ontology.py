@@ -3,76 +3,43 @@
 Five node types (category, concept, entity, event, topic) and three edge
 types (isA, involve, correlate) as defined in paper Section 2.  isA edges
 must stay acyclic (the ontology is a DAG); correlate edges are symmetric.
+
+Since the storage/serving split (DESIGN.md), :class:`AttentionOntology` is
+a thin façade over :class:`~repro.core.store.OntologyStore` — the indexed
+engine holding type-partitioned node tables, the inverted token index, the
+phrase/alias exact-match map and versioned deltas/snapshots.  The façade
+preserves the original public API; apps and the serving layer reach the
+index through :attr:`AttentionOntology.store`.
 """
 
 from __future__ import annotations
 
-import enum
-from collections import defaultdict
-from dataclasses import dataclass, field
-
-from ..errors import OntologyError
-
-
-class NodeType(enum.Enum):
-    CATEGORY = "category"
-    CONCEPT = "concept"
-    ENTITY = "entity"
-    EVENT = "event"
-    TOPIC = "topic"
-
-
-class EdgeType(enum.Enum):
-    ISA = "isA"
-    INVOLVE = "involve"
-    CORRELATE = "correlate"
-
-
-@dataclass
-class AttentionNode:
-    """One ontology node.
-
-    Attributes:
-        node_id: unique id, assigned by the ontology.
-        node_type: one of the five attention types.
-        phrase: canonical surface phrase.
-        aliases: merged near-duplicate phrases (attention normalization).
-        payload: free-form attributes — events store trigger/time/location,
-            concepts may store member hints, etc.
-    """
-
-    node_id: str
-    node_type: NodeType
-    phrase: str
-    aliases: set[str] = field(default_factory=set)
-    payload: dict = field(default_factory=dict)
-
-    @property
-    def tokens(self) -> list[str]:
-        from ..text.tokenizer import tokenize
-
-        return tokenize(self.phrase)
-
-
-@dataclass(frozen=True)
-class Edge:
-    """A typed directed edge source -> target."""
-
-    source: str
-    target: str
-    edge_type: EdgeType
-    weight: float = 1.0
+from .store import (  # noqa: F401  (re-exported for backward compatibility)
+    AttentionNode,
+    Edge,
+    EdgeType,
+    NodeType,
+    OntologyDelta,
+    OntologyStore,
+    StoreSnapshot,
+)
 
 
 class AttentionOntology:
-    """Mutable attention-ontology DAG."""
+    """Mutable attention-ontology DAG (façade over :class:`OntologyStore`)."""
 
-    def __init__(self) -> None:
-        self._nodes: dict[str, AttentionNode] = {}
-        self._by_phrase: dict[str, str] = {}
-        self._out: dict[str, dict[tuple[str, EdgeType], Edge]] = defaultdict(dict)
-        self._in: dict[str, dict[tuple[str, EdgeType], Edge]] = defaultdict(dict)
-        self._counter = 0
+    def __init__(self, store: "OntologyStore | None" = None) -> None:
+        self._store = store if store is not None else OntologyStore()
+
+    @property
+    def store(self) -> OntologyStore:
+        """The underlying indexed storage engine."""
+        return self._store
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter of the backing store."""
+        return self._store.version
 
     # ------------------------------------------------------------------
     # nodes
@@ -80,49 +47,44 @@ class AttentionOntology:
     def add_node(self, node_type: NodeType, phrase: str,
                  payload: "dict | None" = None) -> AttentionNode:
         """Add (or return the existing) node for ``phrase``/``node_type``."""
-        key = self._phrase_key(node_type, phrase)
-        existing_id = self._by_phrase.get(key)
-        if existing_id is not None:
-            node = self._nodes[existing_id]
-            if payload:
-                node.payload.update(payload)
-            return node
-        self._counter += 1
-        node_id = f"{node_type.value[:3]}_{self._counter:06d}"
-        node = AttentionNode(node_id, node_type, phrase, payload=dict(payload or {}))
-        self._nodes[node_id] = node
-        self._by_phrase[key] = node_id
-        return node
-
-    @staticmethod
-    def _phrase_key(node_type: NodeType, phrase: str) -> str:
-        return f"{node_type.value}::{phrase.lower()}"
+        return self._store.add_node(node_type, phrase, payload=payload)
 
     def add_alias(self, node_id: str, alias: str) -> None:
-        node = self.node(node_id)
-        node.aliases.add(alias)
-        self._by_phrase.setdefault(self._phrase_key(node.node_type, alias), node_id)
+        self._store.add_alias(node_id, alias)
+
+    def update_payload(self, node_id: str, payload: dict) -> None:
+        """Merge payload keys into a node through the store (delta-recorded)."""
+        self._store.update_payload(node_id, payload)
 
     def node(self, node_id: str) -> AttentionNode:
-        try:
-            return self._nodes[node_id]
-        except KeyError:
-            raise OntologyError(f"unknown node {node_id!r}") from None
+        return self._store.node(node_id)
 
     def find(self, node_type: NodeType, phrase: str) -> "AttentionNode | None":
-        node_id = self._by_phrase.get(self._phrase_key(node_type, phrase))
-        return self._nodes[node_id] if node_id is not None else None
+        return self._store.find(node_type, phrase)
 
     def nodes(self, node_type: "NodeType | None" = None) -> list[AttentionNode]:
-        if node_type is None:
-            return list(self._nodes.values())
-        return [n for n in self._nodes.values() if n.node_type == node_type]
+        return self._store.nodes(node_type)
 
     def __contains__(self, node_id: str) -> bool:
-        return node_id in self._nodes
+        return node_id in self._store
 
     def __len__(self) -> int:
-        return len(self._nodes)
+        return len(self._store)
+
+    # ------------------------------------------------------------------
+    # deltas / snapshots
+    # ------------------------------------------------------------------
+    def begin_delta(self, stage: str = "") -> None:
+        self._store.begin_delta(stage)
+
+    def commit_delta(self) -> "OntologyDelta | None":
+        return self._store.commit_delta()
+
+    def apply_delta(self, delta: OntologyDelta) -> None:
+        self._store.apply_delta(delta)
+
+    def snapshot(self) -> StoreSnapshot:
+        return self._store.snapshot()
 
     # ------------------------------------------------------------------
     # edges
@@ -133,84 +95,36 @@ class AttentionOntology:
 
         Correlate edges are stored in both directions (symmetric relation).
         """
-        if source_id not in self._nodes or target_id not in self._nodes:
-            raise OntologyError("both endpoints must exist before adding an edge")
-        if source_id == target_id:
-            raise OntologyError("self-loops are not allowed")
-        if edge_type == EdgeType.ISA and self._reaches(target_id, source_id, EdgeType.ISA):
-            raise OntologyError(
-                f"isA edge {source_id}->{target_id} would create a cycle"
-            )
-        edge = Edge(source_id, target_id, edge_type, weight)
-        self._out[source_id][(target_id, edge_type)] = edge
-        self._in[target_id][(source_id, edge_type)] = edge
-        if edge_type == EdgeType.CORRELATE:
-            mirror = Edge(target_id, source_id, edge_type, weight)
-            self._out[target_id][(source_id, edge_type)] = mirror
-            self._in[source_id][(target_id, edge_type)] = mirror
-        return edge
+        return self._store.add_edge(source_id, target_id, edge_type, weight)
 
     def has_edge(self, source_id: str, target_id: str, edge_type: EdgeType) -> bool:
-        return (target_id, edge_type) in self._out.get(source_id, {})
+        return self._store.has_edge(source_id, target_id, edge_type)
 
     def edges(self, edge_type: "EdgeType | None" = None) -> list[Edge]:
         """All edges (correlate pairs reported once, canonical direction)."""
-        seen: set[tuple[str, str, EdgeType]] = set()
-        out: list[Edge] = []
-        for source, targets in self._out.items():
-            for (target, etype), edge in targets.items():
-                if edge_type is not None and etype != edge_type:
-                    continue
-                if etype == EdgeType.CORRELATE:
-                    key = (min(source, target), max(source, target), etype)
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                out.append(edge)
-        return out
+        return self._store.edges(edge_type)
 
     def successors(self, node_id: str, edge_type: "EdgeType | None" = None
                    ) -> list[AttentionNode]:
-        out = []
-        for (target, etype) in self._out.get(node_id, {}):
-            if edge_type is None or etype == edge_type:
-                out.append(self._nodes[target])
-        return out
+        return self._store.successors(node_id, edge_type)
 
     def predecessors(self, node_id: str, edge_type: "EdgeType | None" = None
                      ) -> list[AttentionNode]:
-        out = []
-        for (source, etype) in self._in.get(node_id, {}):
-            if edge_type is None or etype == edge_type:
-                out.append(self._nodes[source])
-        return out
+        return self._store.predecessors(node_id, edge_type)
 
     def parents_of(self, node_id: str) -> list[AttentionNode]:
         """Nodes X with an isA edge X -> node (node is an instance of X)."""
-        return self.predecessors(node_id, EdgeType.ISA)
+        return self._store.predecessors(node_id, EdgeType.ISA)
 
     def instances_of(self, node_id: str) -> list[AttentionNode]:
         """Nodes Y with an isA edge node -> Y (Y is an instance of node)."""
-        return self.successors(node_id, EdgeType.ISA)
+        return self._store.successors(node_id, EdgeType.ISA)
 
     def has_path(self, start: str, goal: str,
                  edge_type: EdgeType = EdgeType.ISA) -> bool:
         """True when ``goal`` is reachable from ``start`` along edges of
         ``edge_type`` (e.g. start is an isA ancestor of goal)."""
-        return self._reaches(start, goal, edge_type)
-
-    def _reaches(self, start: str, goal: str, edge_type: EdgeType) -> bool:
-        stack = [start]
-        visited = {start}
-        while stack:
-            current = stack.pop()
-            if current == goal:
-                return True
-            for (target, etype) in self._out.get(current, {}):
-                if etype == edge_type and target not in visited:
-                    visited.add(target)
-                    stack.append(target)
-        return False
+        return self._store.has_path(start, goal, edge_type)
 
     # ------------------------------------------------------------------
     # queries used by applications
@@ -231,13 +145,8 @@ class AttentionOntology:
                 if c.node_type == NodeType.ENTITY]
 
     def correlated(self, node_id: str) -> list[AttentionNode]:
-        return self.successors(node_id, EdgeType.CORRELATE)
+        return self._store.successors(node_id, EdgeType.CORRELATE)
 
     def stats(self) -> dict[str, int]:
         """Node counts per type and edge counts per type (Table 1-2 shape)."""
-        out: dict[str, int] = {t.value: 0 for t in NodeType}
-        for node in self._nodes.values():
-            out[node.node_type.value] += 1
-        for etype in EdgeType:
-            out[etype.value] = len(self.edges(etype))
-        return out
+        return self._store.stats()

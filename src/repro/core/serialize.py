@@ -1,9 +1,13 @@
-"""Ontology persistence: JSON round-trip.
+"""Ontology persistence: JSON round-trip for stores and deltas.
 
 The production system stores the ontology in MySQL behind Tars RPC
 services; this module provides the equivalent durable representation for
 the reproduction — a deterministic JSON document that fully reconstructs
-nodes (with aliases and payloads) and edges (with types and weights).
+nodes (with aliases and payloads) and edges (with types and weights) —
+plus the :class:`~repro.core.store.OntologyDelta` round-trip that lets a
+serving process refresh its :class:`~repro.core.store.OntologyStore`
+incrementally from pipeline-emitted update batches instead of reloading a
+full dump.
 """
 
 from __future__ import annotations
@@ -13,8 +17,10 @@ from typing import Any
 
 from ..errors import OntologyError
 from .ontology import AttentionOntology, EdgeType, NodeType
+from .store import OntologyDelta
 
 FORMAT_VERSION = 1
+DELTA_FORMAT_VERSION = 1
 
 
 def _jsonable(value: Any) -> Any:
@@ -77,6 +83,46 @@ def ontology_from_dict(data: dict) -> AttentionOntology:
             ontology.add_edge(source, target, etype,
                               weight=edge_data.get("weight", 1.0))
     return ontology
+
+
+def delta_to_dict(delta: OntologyDelta) -> dict:
+    """Serialise one update batch to a plain dict."""
+    return {
+        "version": DELTA_FORMAT_VERSION,
+        "stage": delta.stage,
+        "base_version": delta.base_version,
+        "store_version": delta.version,
+        "ops": [_jsonable(op) for op in delta.ops],
+    }
+
+
+def delta_from_dict(data: dict) -> OntologyDelta:
+    """Reconstruct an update batch from :func:`delta_to_dict` output.
+
+    Payload tuples become lists on the way through JSON (exactly as in the
+    full-ontology round-trip); node/edge structure replays identically.
+    """
+    if data.get("version") != DELTA_FORMAT_VERSION:
+        raise OntologyError(f"unsupported delta format: {data.get('version')!r}")
+    return OntologyDelta(
+        stage=data.get("stage", ""),
+        base_version=data["base_version"],
+        version=data["store_version"],
+        ops=[dict(op) for op in data["ops"]],
+    )
+
+
+def save_deltas(deltas: "list[OntologyDelta]", path: str) -> None:
+    """Write a delta sequence (one pipeline run's update batches) to JSON."""
+    payload = [delta_to_dict(d) for d in deltas]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+
+
+def load_deltas(path: str) -> "list[OntologyDelta]":
+    """Read a delta sequence written by :func:`save_deltas`."""
+    with open(path, encoding="utf-8") as handle:
+        return [delta_from_dict(d) for d in json.load(handle)]
 
 
 def save_ontology(ontology: AttentionOntology, path: str) -> None:

@@ -8,11 +8,18 @@ event key elements, entity correlate embeddings).
 Entities enter the ontology from the NER gazetteer observed in the logs —
 the production system seeds them from an existing knowledge base; DESIGN.md
 documents this substitution.
+
+Every mutating stage runs inside an :class:`OntologyDelta` batch: the
+ontology is built exclusively through recorded deltas (collected in
+:attr:`GiantPipeline.deltas`), so a serving process can replay the same
+batches against its own :class:`~repro.core.store.OntologyStore` and
+refresh incrementally instead of rebuilding (DESIGN.md).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from .config import GiantConfig
@@ -29,7 +36,7 @@ from .core.linking.concept_entity import (
 from .core.linking.entity_entity import EntityEmbeddingTrainer, mine_cooccurrence_pairs
 from .core.linking.key_elements import recognize_key_elements
 from .core.mining import AttentionMiner, MinedAttention
-from .core.ontology import AttentionOntology, EdgeType, NodeType
+from .core.ontology import AttentionOntology, EdgeType, NodeType, OntologyDelta
 from .graph.click_graph import ClickGraph
 from .text.dependency import DependencyParser
 from .text.ner import NerTagger
@@ -79,9 +86,21 @@ class GiantPipeline:
         )
         self.ontology = AttentionOntology()
         self.report = PipelineReport()
+        self.deltas: list[OntologyDelta] = []
         self._mined_concepts: list[MinedAttention] = []
         self._mined_events: list[MinedAttention] = []
         self._sessions: list[tuple[str, str]] = []
+
+    @contextmanager
+    def _stage(self, name: str):
+        """Record one stage's ontology mutations as an OntologyDelta."""
+        self.ontology.begin_delta(name)
+        try:
+            yield
+        finally:
+            delta = self.ontology.commit_delta()
+            if delta:
+                self.deltas.append(delta)
 
     # ------------------------------------------------------------------
     # seed routing
@@ -113,14 +132,16 @@ class GiantPipeline:
             title = self._graph.title(doc_id)
             if title:
                 observed.update(self._ner.entities(tokenize(title)))
-        for entity in sorted(observed):
-            self.ontology.add_node(NodeType.ENTITY, entity)
+        with self._stage("register_entities"):
+            for entity in sorted(observed):
+                self.ontology.add_node(NodeType.ENTITY, entity)
         self.report.entities_registered = len(observed)
         return len(observed)
 
     def register_categories(self) -> None:
-        for category in self._categories:
-            self.ontology.add_node(NodeType.CATEGORY, category)
+        with self._stage("register_categories"):
+            for category in self._categories:
+                self.ontology.add_node(NodeType.CATEGORY, category)
 
     def mine_attentions(self, queries: "list[str] | None" = None
                         ) -> tuple[list[MinedAttention], list[MinedAttention]]:
@@ -129,19 +150,20 @@ class GiantPipeline:
         concepts = self._miner.mine(concept_seeds, kind="concept")
         events = self._miner.mine(event_seeds, kind="event")
 
-        for mined in concepts:
-            node = self.ontology.add_node(
-                NodeType.CONCEPT, mined.text,
-                payload={"context_titles": mined.phrase.context_titles,
-                         "support": mined.phrase.support},
-            )
-            for alias in mined.phrase.aliases:
-                self.ontology.add_alias(node.node_id, alias)
-        for mined in events:
-            self.ontology.add_node(
-                NodeType.EVENT, mined.text,
-                payload={"context_titles": mined.phrase.context_titles},
-            )
+        with self._stage("mine_attentions"):
+            for mined in concepts:
+                node = self.ontology.add_node(
+                    NodeType.CONCEPT, mined.text,
+                    payload={"context_titles": mined.phrase.context_titles,
+                             "support": mined.phrase.support},
+                )
+                for alias in mined.phrase.aliases:
+                    self.ontology.add_alias(node.node_id, alias)
+            for mined in events:
+                self.ontology.add_node(
+                    NodeType.EVENT, mined.text,
+                    payload={"context_titles": mined.phrase.context_titles},
+                )
         # Accumulate across incremental runs, deduplicating by canonical
         # phrase object (the shared normalizer keeps these stable).
         known = {id(m.phrase) for m in self._mined_concepts}
@@ -164,6 +186,10 @@ class GiantPipeline:
         suffixes, yielding grandparents ("hayao miyazaki animated films" ->
         "animated films" -> "films") — bounded by phrase length.
         """
+        with self._stage("derive"):
+            self._run_derivation()
+
+    def _run_derivation(self) -> None:
         total_derived = 0
         for _level in range(8):  # longest phrases are < 8 tokens
             concept_nodes = self.ontology.nodes(NodeType.CONCEPT)
@@ -218,32 +244,35 @@ class GiantPipeline:
         distributions = {
             m.text: m.categories for m in self._mined_concepts + self._mined_events
         }
-        return link_attention_categories(
-            self.ontology, distributions,
-            threshold=self._config.linking.category_threshold,
-        )
+        with self._stage("link_categories"):
+            return link_attention_categories(
+                self.ontology, distributions,
+                threshold=self._config.linking.category_threshold,
+            )
 
     def link_concept_entities(self, sessions: "list[tuple[str, str]]") -> int:
         """Train the Figure-4 classifier and add concept-entity isA edges."""
         concept_nodes = self.ontology.nodes(NodeType.CONCEPT)
         entity_names = {n.phrase for n in self.ontology.nodes(NodeType.ENTITY)}
 
-        # Map queries -> the concept they convey (concept tokens contained).
+        # Map queries -> the concept they convey (concept tokens contained),
+        # resolved per query through the store's inverted index instead of
+        # scanning every (concept, query) pair.
         concept_of_query: dict[str, str] = {}
         docs_of_concept: dict[str, list[list[str]]] = defaultdict(list)
-        for node in concept_nodes:
-            ptoks = node.tokens
-            if not ptoks:
-                continue
-            for query in self._graph.queries():
-                qtoks = tokenize(query)
-                k = len(ptoks)
-                if any(qtoks[i:i + k] == ptoks for i in range(len(qtoks) - k + 1)):
-                    concept_of_query[query] = node.phrase
-                    for doc_id in self._graph.docs_for_query(query):
-                        title = self._graph.title(doc_id)
-                        if title:
-                            docs_of_concept[node.phrase].append(tokenize(title))
+        store = self.ontology.store
+        for query in self._graph.queries():
+            qtoks = tokenize(query)
+            titles = None
+            for node in store.contained_phrases(qtoks, NodeType.CONCEPT):
+                concept_of_query[query] = node.phrase
+                if titles is None:
+                    titles = [
+                        tokenize(self._graph.title(doc_id))
+                        for doc_id in self._graph.docs_for_query(query)
+                        if self._graph.title(doc_id)
+                    ]
+                docs_of_concept[node.phrase].extend(titles)
 
         entity_category: dict[str, str] = {}
         for doc_id in self._graph.doc_ids():
@@ -265,73 +294,81 @@ class GiantPipeline:
 
         # Candidate pairs: entities mentioned in a concept's clicked docs.
         created = 0
-        for node in concept_nodes:
-            docs = docs_of_concept.get(node.phrase, [])
-            candidates: dict[str, list[list[str]]] = defaultdict(list)
-            for doc in docs:
-                for entity in self._ner.entities(doc):
-                    candidates[entity].append(doc)
-            if not candidates:
-                continue
-            examples = []
-            session_counts = defaultdict(int)
-            for first, follow in sessions:
-                if concept_of_query.get(first) == node.phrase and follow in entity_names:
-                    session_counts[follow] += 1
-            for entity, mention_docs in sorted(candidates.items()):
-                examples.append(ConceptEntityExample(
-                    node.phrase, entity, mention_docs[0], label=-1,
-                    session_count=session_counts.get(entity, 0),
-                    click_count=len(mention_docs),
-                ))
-            predictions = classifier.predict(examples)
-            for example, positive in zip(examples, predictions):
-                if not positive:
+        with self._stage("link_concept_entities"):
+            for node in concept_nodes:
+                docs = docs_of_concept.get(node.phrase, [])
+                candidates: dict[str, list[list[str]]] = defaultdict(list)
+                for doc in docs:
+                    for entity in self._ner.entities(doc):
+                        candidates[entity].append(doc)
+                if not candidates:
                     continue
-                entity_node = self.ontology.find(NodeType.ENTITY, example.entity)
-                if entity_node is None:
-                    continue
-                if not self.ontology.has_edge(node.node_id, entity_node.node_id,
-                                              EdgeType.ISA):
-                    self.ontology.add_edge(node.node_id, entity_node.node_id,
-                                           EdgeType.ISA)
-                    created += 1
+                examples = []
+                session_counts = defaultdict(int)
+                for first, follow in sessions:
+                    if (concept_of_query.get(first) == node.phrase
+                            and follow in entity_names):
+                        session_counts[follow] += 1
+                for entity, mention_docs in sorted(candidates.items()):
+                    examples.append(ConceptEntityExample(
+                        node.phrase, entity, mention_docs[0], label=-1,
+                        session_count=session_counts.get(entity, 0),
+                        click_count=len(mention_docs),
+                    ))
+                predictions = classifier.predict(examples)
+                for example, positive in zip(examples, predictions):
+                    if not positive:
+                        continue
+                    entity_node = self.ontology.find(NodeType.ENTITY, example.entity)
+                    if entity_node is None:
+                        continue
+                    if not self.ontology.has_edge(node.node_id, entity_node.node_id,
+                                                  EdgeType.ISA):
+                        self.ontology.add_edge(node.node_id, entity_node.node_id,
+                                               EdgeType.ISA)
+                        created += 1
         return created
 
     def link_event_elements(self) -> int:
         """Key-element recognition -> involve edges + event payload."""
         created = 0
-        for mined in getattr(self, "_mined_events", []):
-            node = self.ontology.find(NodeType.EVENT, mined.text)
-            if node is None:
-                continue
-            queries, titles, _weights = self._miner.cluster_tokens(mined.cluster)
-            if self._key_element_model is not None:
-                example = prepare_example(queries, titles, self._extractor,
-                                          self._parser)
-                elements = recognize_key_elements(self._key_element_model, example)
-                # Keep only elements supported by the event phrase or its
-                # queries (the paper's manual revision step removes
-                # unimportant elements; this is its automatic analogue).
-                phrase_text = " ".join(node.tokens)
-                query_texts = [" ".join(q) for q in queries]
-                entities = [
-                    e for e in elements.entities
-                    if e in phrase_text or any(e in q for q in query_texts)
-                ]
-                node.payload["triggers"] = elements.triggers
-                node.payload["locations"] = elements.locations
-            else:
-                entities = self._ner.entities(node.tokens)
-            for entity in entities:
-                entity_node = self.ontology.find(NodeType.ENTITY, entity)
-                if entity_node is None:
+        with self._stage("link_event_elements"):
+            for mined in getattr(self, "_mined_events", []):
+                node = self.ontology.find(NodeType.EVENT, mined.text)
+                if node is None:
                     continue
-                if not self.ontology.has_edge(node.node_id, entity_node.node_id,
-                                              EdgeType.INVOLVE):
-                    self.ontology.add_edge(node.node_id, entity_node.node_id,
-                                           EdgeType.INVOLVE)
-                    created += 1
+                queries, titles, _weights = self._miner.cluster_tokens(mined.cluster)
+                if self._key_element_model is not None:
+                    example = prepare_example(queries, titles, self._extractor,
+                                              self._parser)
+                    elements = recognize_key_elements(self._key_element_model,
+                                                      example)
+                    # Keep only elements supported by the event phrase or its
+                    # queries (the paper's manual revision step removes
+                    # unimportant elements; this is its automatic analogue).
+                    phrase_text = " ".join(node.tokens)
+                    query_texts = [" ".join(q) for q in queries]
+                    entities = [
+                        e for e in elements.entities
+                        if e in phrase_text or any(e in q for q in query_texts)
+                    ]
+                    self.ontology.update_payload(node.node_id, {
+                        "triggers": elements.triggers,
+                        "locations": elements.locations,
+                    })
+                else:
+                    entities = self._ner.entities(node.tokens)
+                for entity in entities:
+                    entity_node = self.ontology.find(NodeType.ENTITY, entity)
+                    if entity_node is None:
+                        continue
+                    if not self.ontology.has_edge(node.node_id,
+                                                  entity_node.node_id,
+                                                  EdgeType.INVOLVE):
+                        self.ontology.add_edge(node.node_id,
+                                               entity_node.node_id,
+                                               EdgeType.INVOLVE)
+                        created += 1
         return created
 
     def link_entity_correlations(self, epochs: int = 25) -> int:
@@ -351,15 +388,18 @@ class GiantPipeline:
         except ValueError:
             return 0
         created = 0
-        for a, b, distance in trainer.correlated_pairs():
-            na = self.ontology.find(NodeType.ENTITY, a)
-            nb = self.ontology.find(NodeType.ENTITY, b)
-            if na is None or nb is None:
-                continue
-            if not self.ontology.has_edge(na.node_id, nb.node_id, EdgeType.CORRELATE):
-                self.ontology.add_edge(na.node_id, nb.node_id, EdgeType.CORRELATE,
-                                       weight=1.0 / (1.0 + distance))
-                created += 1
+        with self._stage("link_entity_correlations"):
+            for a, b, distance in trainer.correlated_pairs():
+                na = self.ontology.find(NodeType.ENTITY, a)
+                nb = self.ontology.find(NodeType.ENTITY, b)
+                if na is None or nb is None:
+                    continue
+                if not self.ontology.has_edge(na.node_id, nb.node_id,
+                                              EdgeType.CORRELATE):
+                    self.ontology.add_edge(na.node_id, nb.node_id,
+                                           EdgeType.CORRELATE,
+                                           weight=1.0 / (1.0 + distance))
+                    created += 1
         return created
 
     def link_concept_correlations(self, epochs: int = 40) -> int:
@@ -367,8 +407,10 @@ class GiantPipeline:
         Section 3.2 closing note)."""
         from .core.linking.concept_concept import link_concept_correlations
 
-        return link_concept_correlations(self.ontology, self._config.linking,
-                                         epochs=epochs, seed=self._config.seed)
+        with self._stage("link_concept_correlations"):
+            return link_concept_correlations(self.ontology, self._config.linking,
+                                             epochs=epochs,
+                                             seed=self._config.seed)
 
     # ------------------------------------------------------------------
     def run(self, sessions: "list[tuple[str, str]] | None" = None,
@@ -386,6 +428,7 @@ class GiantPipeline:
         self.register_entities()
         self.mine_attentions(queries)
         self._link_all(concept_correlations)
+        self.ontology.snapshot()
         return self.ontology
 
     def _link_all(self, concept_correlations: bool = False,
@@ -400,8 +443,10 @@ class GiantPipeline:
             before = self.ontology.stats()
             self.link_concept_entities(self._sessions)
             self.derive()
-            link_attention_isa(self.ontology)
-            link_concept_topic_involve(self.ontology)
+            with self._stage("link_attention_isa"):
+                link_attention_isa(self.ontology)
+            with self._stage("link_concept_topic_involve"):
+                link_concept_topic_involve(self.ontology)
             self.link_categories()
             self.link_event_elements()
             self.link_entity_correlations()
@@ -437,5 +482,6 @@ class GiantPipeline:
         if new_queries:
             self.mine_attentions(new_queries)
         self._link_all(concept_correlations)
+        self.ontology.snapshot()
         after = self.ontology.stats()
         return {key: after[key] - before.get(key, 0) for key in after}

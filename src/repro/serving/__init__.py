@@ -1,0 +1,26 @@
+"""Online serving layer for the Attention Ontology (DESIGN.md).
+
+The paper's deployment serves the ontology to heavy-traffic consumers —
+document tagging at ~350 docs/second and query understanding in the search
+stack — through RPC services over the MySQL store.  This package is the
+reproduction's serving tier:
+
+* :mod:`repro.serving.service` — :class:`OntologyService`: batched
+  ``tag_documents()`` / ``interpret_queries()`` APIs, LRU-cached
+  neighborhood expansion, and incremental ``refresh()`` from
+  :class:`~repro.core.store.OntologyDelta` batches;
+* :mod:`repro.serving.cache` — the version-aware :class:`LruCache` behind
+  the service's caches.
+
+Candidate generation inside the service runs off the
+:class:`~repro.core.store.OntologyStore` inverted token index, replacing
+the seed reproduction's O(all-nodes) scans per request.
+"""
+
+from .cache import LruCache
+from .service import OntologyService
+
+__all__ = [
+    "LruCache",
+    "OntologyService",
+]

@@ -1,0 +1,67 @@
+"""A small LRU cache for the serving layer.
+
+``functools.lru_cache`` memoizes per-function and cannot be invalidated
+when the backing ontology changes; this cache is an explicit object whose
+keys embed the store version, so a refresh naturally misses and stale
+entries age out of the LRU order instead of being served.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+_MISSING = object()
+
+
+class LruCache:
+    """Bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self._maxsize = maxsize
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self._maxsize:
+            self._data.popitem(last=False)
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value, computing and storing it on a miss."""
+        value = self._data.get(key, _MISSING)
+        if value is not _MISSING:
+            self.hits += 1
+            self._data.move_to_end(key)
+            return value
+        self.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"size": len(self._data), "hits": self.hits,
+                "misses": self.misses}

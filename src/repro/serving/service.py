@@ -1,0 +1,208 @@
+"""OntologyService: the online serving facade over an OntologyStore.
+
+The production GIANT system serves two heavy-traffic workloads against the
+ontology — tagging ~1.5M documents/day and interpreting user queries — via
+RPC services backed by the MySQL store.  This module is the reproduction's
+equivalent: a process-local service that
+
+* answers **batched** ``tag_documents()`` / ``interpret_queries()``
+  requests with taggers whose candidate generation runs off the store's
+  inverted token index (no full node scans);
+* **caches** neighborhood expansions and concept lookups in an LRU keyed
+  by the store version, so entries invalidate themselves when the
+  ontology changes;
+* **refreshes incrementally** from pipeline-emitted
+  :class:`~repro.core.store.OntologyDelta` batches — a serving replica
+  replays the day's deltas instead of rebuilding or reloading a full
+  snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..apps.query import QueryAnalysis, QueryUnderstander
+from ..apps.tagging import DocumentTagger, TaggedDocument
+from ..core.ontology import AttentionOntology
+from ..core.store import EdgeType, OntologyDelta, OntologyStore
+from ..errors import ReproError
+from .cache import LruCache
+
+
+class OntologyService:
+    """Batched online access to one ontology replica.
+
+    Args:
+        ontology: the :class:`AttentionOntology` façade (or a bare
+            :class:`OntologyStore`) this replica serves.
+        ner: gazetteer NER used by document tagging; ``tag_documents``
+            raises without it, query interpretation works regardless.
+        duet: optional Duet semantic matcher forwarded to the tagger.
+        tagger_options: extra :class:`DocumentTagger` keyword arguments
+            (thresholds).
+        max_rewrites / max_recommendations: query-understanding caps.
+        cache_size: LRU capacity for neighborhood/concept caches.
+    """
+
+    def __init__(self, ontology: "AttentionOntology | OntologyStore",
+                 ner=None, duet=None,
+                 tagger_options: "dict[str, Any] | None" = None,
+                 max_rewrites: int = 5, max_recommendations: int = 5,
+                 cache_size: int = 4096) -> None:
+        if isinstance(ontology, OntologyStore):
+            ontology = AttentionOntology(store=ontology)
+        self._ontology = ontology
+        self._store = ontology.store
+        self._ner = ner
+        self._duet = duet
+        self._tagger_options = dict(tagger_options or {})
+        self._max_rewrites = max_rewrites
+        self._max_recommendations = max_recommendations
+        self._cache = LruCache(cache_size)
+        self._tagger: "DocumentTagger | None" = None
+        self._understander: "QueryUnderstander | None" = None
+        self._built_version = -1
+        self._documents_tagged = 0
+        self._queries_interpreted = 0
+        self._deltas_applied = 0
+
+    # ------------------------------------------------------------------
+    # replica state
+    # ------------------------------------------------------------------
+    @property
+    def ontology(self) -> AttentionOntology:
+        return self._ontology
+
+    @property
+    def version(self) -> int:
+        """Store version this replica currently serves."""
+        return self._store.version
+
+    def refresh(self, deltas: "Iterable[OntologyDelta]") -> int:
+        """Apply pipeline update batches; returns how many were applied.
+
+        Deltas already behind the replica's version are skipped (an
+        at-least-once delivery of the same day's batches is harmless);
+        a delta from the future raises, signalling a gap in the stream.
+        """
+        applied = 0
+        for delta in deltas:
+            if delta.version <= self._store.version:
+                continue
+            self._store.apply_delta(delta)
+            applied += 1
+        self._deltas_applied += applied
+        return applied
+
+    def _ensure_current(self) -> None:
+        """(Re)build version-bound helpers after any store change."""
+        if self._built_version == self._store.version:
+            return
+        self._understander = QueryUnderstander(
+            self._ontology, max_rewrites=self._max_rewrites,
+            max_recommendations=self._max_recommendations,
+        )
+        self._tagger = None  # rebuilt lazily; needs the NER gazetteer
+        self._built_version = self._store.version
+
+    def _get_tagger(self) -> DocumentTagger:
+        self._ensure_current()
+        if self._tagger is None:
+            if self._ner is None:
+                raise ReproError(
+                    "OntologyService needs a NER tagger to tag documents"
+                )
+            self._tagger = DocumentTagger(self._ontology, self._ner,
+                                          duet=self._duet,
+                                          **self._tagger_options)
+        return self._tagger
+
+    # ------------------------------------------------------------------
+    # batched serving APIs
+    # ------------------------------------------------------------------
+    def tag_documents(self, documents: Sequence) -> list[TaggedDocument]:
+        """Tag a batch of documents.
+
+        Each item is either an object with ``doc_id`` / ``title_tokens`` /
+        ``sentences`` attributes (e.g. the synth corpus documents) or a
+        ``(doc_id, title_tokens, sentences)`` tuple.
+        """
+        tagger = self._get_tagger()
+        out: list[TaggedDocument] = []
+        for doc in documents:
+            if isinstance(doc, tuple):
+                doc_id, title_tokens, sentences = doc
+            else:
+                doc_id, title_tokens, sentences = (
+                    doc.doc_id, doc.title_tokens, doc.sentences
+                )
+            out.append(tagger.tag(doc_id, title_tokens, sentences))
+        self._documents_tagged += len(out)
+        return out
+
+    def interpret_queries(self, queries: Sequence[str]) -> list[QueryAnalysis]:
+        """Analyze a batch of raw query strings."""
+        self._ensure_current()
+        out = [self._understander.analyze(query) for query in queries]
+        self._queries_interpreted += len(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # cached graph expansion
+    # ------------------------------------------------------------------
+    def neighborhood(self, node_id: str, depth: int = 1,
+                     edge_type: "EdgeType | None" = None) -> tuple[str, ...]:
+        """Node ids reachable from ``node_id`` within ``depth`` hops
+        (undirected over ``edge_type``, or all edge types when ``None``);
+        LRU-cached per store version."""
+        key = ("nbhd", self._store.version, node_id, depth,
+               edge_type.value if edge_type is not None else None)
+        return self._cache.get_or_compute(
+            key, lambda: self._expand(node_id, depth, edge_type)
+        )
+
+    def _expand(self, node_id: str, depth: int,
+                edge_type: "EdgeType | None") -> tuple[str, ...]:
+        store = self._store
+        frontier = {node_id}
+        visited = {node_id}
+        for _hop in range(depth):
+            nxt: set[str] = set()
+            for current in frontier:
+                for node in store.successors(current, edge_type):
+                    if node.node_id not in visited:
+                        nxt.add(node.node_id)
+                for node in store.predecessors(current, edge_type):
+                    if node.node_id not in visited:
+                        nxt.add(node.node_id)
+            visited.update(nxt)
+            frontier = nxt
+            if not frontier:
+                break
+        visited.discard(node_id)
+        return tuple(sorted(visited))
+
+    def concepts_of_entity(self, entity_phrase: str) -> tuple[str, ...]:
+        """Concept phrases whose isA instances include the entity; cached."""
+        key = ("coe", self._store.version, entity_phrase)
+        return self._cache.get_or_compute(
+            key,
+            lambda: tuple(sorted(
+                c.phrase
+                for c in self._ontology.concepts_of_entity(entity_phrase)
+            )),
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Serving counters plus the replica's ontology stats."""
+        return {
+            "version": self._store.version,
+            "documents_tagged": self._documents_tagged,
+            "queries_interpreted": self._queries_interpreted,
+            "deltas_applied": self._deltas_applied,
+            "cache": self._cache.stats,
+            "ontology": self._store.stats(),
+        }

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import GiantPipeline
-from repro.core.ontology import EdgeType, NodeType
+from repro.core.ontology import AttentionOntology, EdgeType, NodeType
 
 
 @pytest.fixture(scope="module")
@@ -38,6 +38,23 @@ class TestPipelineStructure:
         assert report.events_mined > 0
         assert report.entities_registered > 0
         assert set(report.edges) == {"isA", "involve", "correlate"}
+
+    def test_built_exclusively_through_deltas(self, pipeline):
+        # Every mutation is recorded: replaying the emitted deltas against
+        # a fresh store reproduces the ontology (Table 1/2 counts) exactly.
+        assert pipeline.deltas
+        assert pipeline.ontology.version == pipeline.deltas[-1].version
+        fresh = AttentionOntology()
+        for delta in pipeline.deltas:
+            fresh.apply_delta(delta)
+        assert fresh.stats() == pipeline.ontology.stats()
+        assert sorted(n.node_id for n in fresh.nodes()) == sorted(
+            n.node_id for n in pipeline.ontology.nodes()
+        )
+
+    def test_run_snapshots_store(self, pipeline):
+        snaps = pipeline.ontology.store.snapshots()
+        assert snaps and snaps[-1].stats == pipeline.ontology.stats()
 
     def test_seed_split_routes_verbs_to_events(self, pipeline):
         concept_seeds, event_seeds = pipeline.split_seeds(

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.synth",
     "repro.datasets",
     "repro.apps",
+    "repro.serving",
     "repro.baselines",
     "repro.eval",
 ]

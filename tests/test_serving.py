@@ -1,0 +1,181 @@
+"""Tests for repro.serving: OntologyService and the LRU cache."""
+
+import pytest
+
+from repro.apps.tagging import DocumentTagger
+from repro.core.ontology import AttentionOntology, EdgeType, NodeType
+from repro.errors import ReproError
+from repro.serving import LruCache, OntologyService
+from repro.text.ner import NerTagger
+from repro.text.tokenizer import tokenize
+
+
+@pytest.fixture
+def small_ontology():
+    onto = AttentionOntology()
+    concept = onto.add_node(
+        NodeType.CONCEPT, "marvel superhero movies",
+        payload={"context_titles": [tokenize("best marvel superhero movies")]},
+    )
+    for name in ("iron man", "captain america", "black panther"):
+        entity = onto.add_node(NodeType.ENTITY, name)
+        onto.add_edge(concept.node_id, entity.node_id, EdgeType.ISA)
+    onto.add_node(NodeType.EVENT, "black panther premiere breaks box office record")
+    a = onto.find(NodeType.ENTITY, "iron man")
+    b = onto.find(NodeType.ENTITY, "captain america")
+    onto.add_edge(a.node_id, b.node_id, EdgeType.CORRELATE)
+    return onto
+
+
+@pytest.fixture
+def ner():
+    t = NerTagger()
+    for name in ("iron man", "captain america", "black panther"):
+        t.register(name, "WORK")
+    return t
+
+
+@pytest.fixture
+def service(small_ontology, ner):
+    return OntologyService(
+        small_ontology, ner=ner,
+        tagger_options={"coherence_threshold": 0.01, "lcs_threshold": 0.6},
+    )
+
+
+class TestLruCache:
+    def test_get_put_and_hit_counters(self):
+        cache = LruCache(maxsize=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats["hits"] == 1 and cache.stats["misses"] == 1
+
+    def test_eviction_order(self):
+        cache = LruCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_get_or_compute(self):
+        cache = LruCache(maxsize=2)
+        assert cache.get_or_compute("k", lambda: 41) == 41
+        assert cache.get_or_compute("k", lambda: 42) == 41
+
+    def test_bad_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            LruCache(maxsize=0)
+
+
+class TestBatchedServing:
+    def test_tag_documents_matches_direct_tagger(self, small_ontology, ner,
+                                                 service):
+        title = tokenize("iron man and captain america reviewed")
+        sentences = [tokenize("both iron man and captain america delight fans")]
+        [served] = service.tag_documents([("d1", title, sentences)])
+        direct = DocumentTagger(small_ontology, ner, coherence_threshold=0.01,
+                                lcs_threshold=0.6).tag("d1", title, sentences)
+        assert served.concepts == direct.concepts
+        assert served.events == direct.events
+        assert served.topics == direct.topics
+
+    def test_tag_documents_accepts_objects(self, service):
+        class Doc:
+            doc_id = "d2"
+            title_tokens = tokenize("black panther premiere breaks box office record")
+            sentences = [tokenize("a huge premiere")]
+
+        [tagged] = service.tag_documents([Doc()])
+        assert tagged.doc_id == "d2"
+        assert tagged.event_tags
+
+    def test_tagging_without_ner_rejected(self, small_ontology):
+        service = OntologyService(small_ontology)
+        with pytest.raises(ReproError):
+            service.tag_documents([("d", [], [])])
+
+    def test_interpret_queries_batch(self, service):
+        first, second = service.interpret_queries(
+            ["best marvel superhero movies", "iron man review"]
+        )
+        assert first.conveys_concept and first.rewrites
+        assert second.conveys_entity
+        assert "captain america" in second.recommendations
+
+    def test_serving_counters(self, service):
+        service.interpret_queries(["iron man review"])
+        service.tag_documents([("d", tokenize("iron man story"), [])])
+        stats = service.stats()
+        assert stats["queries_interpreted"] == 1
+        assert stats["documents_tagged"] == 1
+        assert stats["ontology"]["concept"] == 1
+
+
+class TestNeighborhoodCache:
+    def test_neighborhood_expansion(self, service, small_ontology):
+        concept = small_ontology.find(NodeType.CONCEPT, "marvel superhero movies")
+        one_hop = service.neighborhood(concept.node_id, depth=1)
+        assert len(one_hop) == 3  # the three member entities
+        two_hop = service.neighborhood(concept.node_id, depth=2)
+        assert set(one_hop) <= set(two_hop)
+
+    def test_neighborhood_cached(self, service, small_ontology):
+        concept = small_ontology.find(NodeType.CONCEPT, "marvel superhero movies")
+        service.neighborhood(concept.node_id)
+        before = service.stats()["cache"]["hits"]
+        service.neighborhood(concept.node_id)
+        assert service.stats()["cache"]["hits"] == before + 1
+
+    def test_cache_invalidated_by_version_bump(self, service, small_ontology):
+        concept = small_ontology.find(NodeType.CONCEPT, "marvel superhero movies")
+        assert len(service.neighborhood(concept.node_id)) == 3
+        spiderman = small_ontology.add_node(NodeType.ENTITY, "spiderman")
+        small_ontology.add_edge(concept.node_id, spiderman.node_id, EdgeType.ISA)
+        assert len(service.neighborhood(concept.node_id)) == 4
+
+    def test_concepts_of_entity_cached(self, service):
+        assert service.concepts_of_entity("iron man") == (
+            "marvel superhero movies",
+        )
+        assert service.concepts_of_entity("unknown entity") == ()
+
+
+class TestDeltaRefresh:
+    def test_refresh_from_recorded_history(self, ner):
+        producer = AttentionOntology()
+        producer.begin_delta("build")
+        concept = producer.add_node(NodeType.CONCEPT, "space probes")
+        entity = producer.add_node(NodeType.ENTITY, "voyager 1")
+        producer.add_edge(concept.node_id, entity.node_id, EdgeType.ISA)
+        first = producer.commit_delta()
+
+        replica = OntologyService(AttentionOntology(), ner=ner)
+        assert replica.refresh([first]) == 1
+        assert replica.concepts_of_entity("voyager 1") == ("space probes",)
+
+        producer.begin_delta("day2")
+        other = producer.add_node(NodeType.ENTITY, "voyager 2")
+        producer.add_edge(concept.node_id, other.node_id, EdgeType.ISA)
+        second = producer.commit_delta()
+
+        # Old cache entry is version-keyed; refresh makes new data visible.
+        assert replica.refresh([first, second]) == 1  # first already applied
+        assert replica.concepts_of_entity("voyager 2") == ("space probes",)
+        assert replica.stats()["deltas_applied"] == 2
+
+    def test_refresh_updates_query_interpretation(self, ner):
+        producer = AttentionOntology()
+        producer.begin_delta("build")
+        concept = producer.add_node(NodeType.CONCEPT, "space probes")
+        entity = producer.add_node(NodeType.ENTITY, "voyager 1")
+        producer.add_edge(concept.node_id, entity.node_id, EdgeType.ISA)
+        delta = producer.commit_delta()
+
+        replica = OntologyService(AttentionOntology(), ner=ner)
+        assert not replica.interpret_queries(["space probes"])[0].conveys_concept
+        replica.refresh([delta])
+        analysis = replica.interpret_queries(["famous space probes"])[0]
+        assert analysis.conveys_concept
+        assert analysis.rewrites == ["famous space probes voyager 1"]

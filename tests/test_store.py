@@ -1,0 +1,207 @@
+"""Tests for repro.core.store: indexes, deltas, snapshots, invariants."""
+
+import pytest
+
+from repro.core.ontology import AttentionOntology
+from repro.core.serialize import (
+    delta_from_dict,
+    delta_to_dict,
+    load_deltas,
+    save_deltas,
+)
+from repro.core.store import EdgeType, NodeType, OntologyDelta, OntologyStore
+from repro.errors import OntologyError
+
+
+@pytest.fixture
+def store():
+    s = OntologyStore()
+    concept = s.add_node(NodeType.CONCEPT, "fuel efficient cars")
+    entity = s.add_node(NodeType.ENTITY, "honda civic")
+    category = s.add_node(NodeType.CATEGORY, "cars")
+    s.add_edge(concept.node_id, entity.node_id, EdgeType.ISA)
+    s.add_edge(category.node_id, concept.node_id, EdgeType.ISA)
+    return s
+
+
+class TestPartitionsAndIndexes:
+    def test_type_partitioned_counts(self, store):
+        assert store.count(NodeType.CONCEPT) == 1
+        assert store.count(NodeType.ENTITY) == 1
+        assert store.count() == 3
+
+    def test_nodes_with_token(self, store):
+        hits = store.nodes_with_token("cars", NodeType.CONCEPT)
+        assert [n.phrase for n in hits] == ["fuel efficient cars"]
+        assert store.nodes_with_token("cars", NodeType.ENTITY) == []
+
+    def test_candidates_union_over_tokens(self, store):
+        store.add_node(NodeType.CONCEPT, "detective fiction")
+        hits = store.candidates(["fuel", "fiction"], NodeType.CONCEPT)
+        assert {n.phrase for n in hits} == {"fuel efficient cars",
+                                           "detective fiction"}
+
+    def test_candidates_no_overlap_empty(self, store):
+        assert store.candidates(["gardening"], NodeType.CONCEPT) == []
+
+    def test_contained_phrases_contiguous_only(self, store):
+        tokens = "best fuel efficient cars of 2020".split()
+        hits = store.contained_phrases(tokens, NodeType.CONCEPT)
+        assert [n.phrase for n in hits] == ["fuel efficient cars"]
+        # Shared tokens but not contiguous: no match.
+        scattered = "fuel prices hurt efficient compact cars".split()
+        assert store.contained_phrases(scattered, NodeType.CONCEPT) == []
+
+    def test_index_covers_new_nodes(self, store):
+        store.add_node(NodeType.EVENT, "honda recalls civic models")
+        hits = store.candidates(["recalls"], NodeType.EVENT)
+        assert len(hits) == 1
+
+
+class TestInvariants:
+    def test_isa_cycle_rejected(self, store):
+        concept = store.find(NodeType.CONCEPT, "fuel efficient cars")
+        category = store.find(NodeType.CATEGORY, "cars")
+        with pytest.raises(OntologyError):
+            store.add_edge(concept.node_id, category.node_id, EdgeType.ISA)
+
+    def test_deep_isa_cycle_rejected(self, store):
+        entity = store.find(NodeType.ENTITY, "honda civic")
+        category = store.find(NodeType.CATEGORY, "cars")
+        with pytest.raises(OntologyError):
+            store.add_edge(entity.node_id, category.node_id, EdgeType.ISA)
+
+    def test_alias_merge_on_duplicate_phrase(self, store):
+        node = store.find(NodeType.CONCEPT, "fuel efficient cars")
+        store.add_alias(node.node_id, "economical cars")
+        # Adding the alias phrase as a node merges into the alias target.
+        merged = store.add_node(NodeType.CONCEPT, "economical cars",
+                                payload={"x": 1})
+        assert merged.node_id == node.node_id
+        assert node.payload["x"] == 1
+        assert store.count(NodeType.CONCEPT) == 1
+
+    def test_alias_is_exact_match_lookup(self, store):
+        node = store.find(NodeType.CONCEPT, "fuel efficient cars")
+        store.add_alias(node.node_id, "economical cars")
+        assert store.find(NodeType.CONCEPT, "Economical Cars") is node
+
+    def test_version_bumps_on_mutation(self, store):
+        before = store.version
+        store.add_node(NodeType.TOPIC, "car recalls")
+        assert store.version == before + 1
+        # Idempotent re-add without payload is not a mutation.
+        store.add_node(NodeType.TOPIC, "car recalls")
+        assert store.version == before + 1
+
+    def test_snapshot_records_version_and_stats(self, store):
+        snap = store.snapshot()
+        assert snap.version == store.version
+        assert snap.stats == store.stats()
+        assert store.snapshots() == [snap]
+
+
+class TestDeltas:
+    def _record_build(self):
+        store = OntologyStore()
+        store.begin_delta("build")
+        concept = store.add_node(NodeType.CONCEPT, "marvel movies",
+                                 payload={"support": 3})
+        entity = store.add_node(NodeType.ENTITY, "iron man")
+        store.add_alias(concept.node_id, "marvel films")
+        store.add_edge(concept.node_id, entity.node_id, EdgeType.ISA,
+                       weight=0.8)
+        store.update_payload(entity.node_id, {"seen": 1})
+        delta = store.commit_delta()
+        return store, delta
+
+    def test_replay_reproduces_store(self):
+        store, delta = self._record_build()
+        fresh = OntologyStore()
+        fresh.apply_delta(delta)
+        assert fresh.stats() == store.stats()
+        assert fresh.version == store.version
+        node = fresh.find(NodeType.CONCEPT, "marvel films")
+        assert node is not None and node.phrase == "marvel movies"
+        assert fresh.find(NodeType.ENTITY, "iron man").payload == {"seen": 1}
+
+    def test_serialize_round_trip_of_delta_built_store(self, tmp_path):
+        store, delta = self._record_build()
+        path = tmp_path / "deltas.json"
+        save_deltas([delta], str(path))
+        fresh = OntologyStore()
+        for loaded in load_deltas(str(path)):
+            fresh.apply_delta(loaded)
+        assert fresh.stats() == store.stats()
+        edges = fresh.edges(EdgeType.ISA)
+        assert len(edges) == 1 and edges[0].weight == 0.8
+
+    def test_delta_counters(self):
+        _store, delta = self._record_build()
+        assert delta.nodes_added == 2
+        assert delta.edges_added == 1
+        assert delta.stage == "build"
+        assert len(delta) == 5
+
+    def test_apply_delta_version_mismatch_rejected(self):
+        _store, delta = self._record_build()
+        fresh = OntologyStore()
+        fresh.add_node(NodeType.TOPIC, "already ahead")
+        with pytest.raises(OntologyError):
+            fresh.apply_delta(delta)
+
+    def test_truncated_delta_rejected_before_mutation(self):
+        _store, delta = self._record_build()
+        delta.ops.pop()  # simulate a truncated batch
+        fresh = OntologyStore()
+        with pytest.raises(OntologyError):
+            fresh.apply_delta(delta)
+        assert fresh.version == 0 and len(fresh) == 0  # untouched
+
+    def test_unknown_op_rejected(self):
+        fresh = OntologyStore()
+        bad = OntologyDelta(version=1, ops=[{"op": "explode"}])
+        with pytest.raises(OntologyError):
+            fresh.apply_delta(bad)
+
+    def test_nested_delta_recording(self):
+        store = OntologyStore()
+        store.begin_delta("outer")
+        store.add_node(NodeType.CONCEPT, "a")
+        store.begin_delta("inner")
+        store.add_node(NodeType.CONCEPT, "b")
+        assert store.commit_delta() is None  # inner commit: still recording
+        delta = store.commit_delta()
+        assert delta is not None and delta.nodes_added == 2
+
+    def test_delta_dict_round_trip(self):
+        _store, delta = self._record_build()
+        clone = delta_from_dict(delta_to_dict(delta))
+        assert clone.stage == delta.stage
+        assert clone.base_version == delta.base_version
+        assert clone.version == delta.version
+        fresh = OntologyStore()
+        fresh.apply_delta(clone)
+        assert fresh.stats() == _store.stats()
+
+    def test_commit_without_begin_rejected(self):
+        with pytest.raises(OntologyError):
+            OntologyStore().commit_delta()
+
+
+class TestFacade:
+    def test_facade_wraps_given_store(self, store):
+        onto = AttentionOntology(store=store)
+        assert onto.store is store
+        assert len(onto) == len(store)
+        assert onto.version == store.version
+
+    def test_facade_mutations_reach_store(self):
+        onto = AttentionOntology()
+        onto.begin_delta("x")
+        node = onto.add_node(NodeType.CONCEPT, "space probes")
+        onto.update_payload(node.node_id, {"k": "v"})
+        delta = onto.commit_delta()
+        fresh = AttentionOntology()
+        fresh.apply_delta(delta)
+        assert fresh.find(NodeType.CONCEPT, "space probes").payload == {"k": "v"}
