@@ -7,6 +7,7 @@ run in one pytest invocation).
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -23,6 +24,24 @@ def write_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print("\n" + text + "\n")
+
+
+def write_json(name: str, payload: dict) -> dict:
+    """Merge ``payload`` into ``results/<name>.json`` (machine-readable
+    bench output, trackable across PRs); returns the merged document.
+
+    Bench tests in one module contribute sections independently, so the
+    file is read-merge-written rather than overwritten.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    merged: dict = {}
+    if path.exists():
+        merged = json.loads(path.read_text())
+    merged.update(payload)
+    path.write_text(json.dumps(merged, indent=1, sort_keys=True) + "\n")
+    print(f"\n[{name}.json] " + json.dumps(payload, sort_keys=True) + "\n")
+    return merged
 
 
 def prepare(examples, extractor, parser, roles=False):

@@ -7,20 +7,32 @@ concept-tagging precision is 88% overall and event tagging 96%.
 The bench tags a synthetic evaluation corpus through the serving layer's
 batched :meth:`OntologyService.tag_documents` API (index-driven candidate
 generation) and reports precision against gold document tags, the fraction
-of documents tagged, and docs/second.
+of documents tagged, and docs/second.  The cluster benches then (a) verify
+the 4-shard :class:`ClusterService` tags/interprets byte-identically to
+the single store, and (b) measure the multi-process
+:class:`TaggingWorkerPool` docs/sec against the single-process path,
+emitting machine-readable numbers to ``results/BENCH_tagging.json`` so
+the perf trajectory is trackable across PRs.
 """
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
 from repro import GiantPipeline
+from repro.cluster import ClusterService, TaggingWorkerPool
+from repro.core.store import OntologyStore
 from repro.eval.reporting import render_table
 from repro.serving import OntologyService
 from repro.synth.documents import DocumentGenerator
 from repro.synth.querylog import build_click_graph
 
-from bench_common import SCALE, write_result
+from bench_common import SCALE, write_json, write_result
+
+TAGGER_OPTIONS = {"coherence_threshold": 0.02, "lcs_threshold": 0.6}
 
 
 @pytest.fixture(scope="module")
@@ -35,17 +47,16 @@ def service_and_corpus(bench_days, bench_taggers, bench_sessions, bench_world,
     )
     pipe.run(sessions=bench_sessions)
     service = OntologyService(
-        pipe.ontology, ner=ner,
-        tagger_options={"coherence_threshold": 0.02, "lcs_threshold": 0.6},
+        pipe.ontology, ner=ner, tagger_options=dict(TAGGER_OPTIONS),
     )
     n_concept = 80 if SCALE == "full" else 40
     n_event = 40 if SCALE == "full" else 20
     corpus = DocumentGenerator(bench_world).corpus(n_concept, n_event)
-    return service, corpus
+    return service, corpus, pipe, ner
 
 
 def test_tagging_precision_and_throughput(benchmark, service_and_corpus):
-    service, corpus = service_and_corpus
+    service, corpus, _pipe, _ner = service_and_corpus
 
     def tag_all():
         return service.tag_documents(corpus)
@@ -124,8 +135,95 @@ def test_tagging_precision_and_throughput(benchmark, service_and_corpus):
     table += (f"\nthroughput: {docs_per_sec:.1f} docs/sec "
               f"({len(corpus)} docs, serving batch API)")
     write_result("tagging_precision", table)
+    write_json("BENCH_tagging", {
+        "scale": SCALE,
+        "single_process": {
+            "docs_per_sec": round(docs_per_sec, 1),
+            "corpus_docs": len(corpus),
+            "concept_precision": round(concept_precision, 3),
+            "event_precision": round(event_precision, 3),
+        },
+    })
 
     # Paper shape: both precisions high; event tagging the more precise.
     assert concept_precision >= 0.6
     assert event_precision >= 0.6
     assert docs_with_concept > 0 and docs_with_event > 0
+
+
+def test_cluster_service_identical_on_benchmark_world(service_and_corpus):
+    """Acceptance gate: at 4 shards, scatter-gather serving output is
+    byte-identical to the single-store service on the benchmark world."""
+    service, corpus, pipe, ner = service_and_corpus
+    cluster = ClusterService(num_shards=4, ner=ner,
+                             tagger_options=dict(TAGGER_OPTIONS),
+                             deltas=pipe.deltas)
+    assert cluster.stats()["ontology"] == service.stats()["ontology"]
+    assert cluster.tag_documents(corpus) == service.tag_documents(corpus)
+    queries = [f"best {node.phrase}"
+               for node in pipe.ontology.nodes()[:40]]
+    assert (cluster.interpret_queries(queries)
+            == service.interpret_queries(queries))
+    shards = cluster.stats()["shards"]
+    write_json("BENCH_tagging", {
+        "cluster_identity": {
+            "num_shards": 4,
+            "verified_docs": len(corpus),
+            "verified_queries": len(queries),
+            "owned_per_shard": [line["owned"] for line in shards],
+            "ghosts_per_shard": [line["ghosts"] for line in shards],
+        },
+    })
+
+
+def test_multiprocess_tagging_throughput(service_and_corpus):
+    """Multi-process docs/sec vs the single-process indexed path.
+
+    Workers bootstrap replicas from a compacted snapshot + tail deltas
+    (the cluster bootstrap protocol), then tag disjoint corpus chunks.
+    The ≥2x speedup assertion only fires on machines with ≥4 cores —
+    on fewer cores the numbers are still measured and recorded.
+    """
+    service, corpus, pipe, ner = service_and_corpus
+    cores = os.cpu_count() or 1
+    workers = max(2, min(4, cores))
+    repeat = 8 if SCALE == "full" else 4
+    big_corpus = [(f"{doc.doc_id}#{i}", doc.title_tokens, doc.sentences)
+                  for i in range(repeat) for doc in corpus]
+
+    start = time.perf_counter()
+    single_results = service.tag_documents(big_corpus)
+    single_secs = time.perf_counter() - start
+    single_dps = len(big_corpus) / single_secs
+
+    split = max(1, len(pipe.deltas) // 2)
+    snapshot = OntologyStore.bootstrap(None, pipe.deltas[:split]).compact()
+    with TaggingWorkerPool(pipe.deltas, ner=ner, snapshot=snapshot,
+                           tagger_options=dict(TAGGER_OPTIONS),
+                           num_workers=workers) as pool:
+        pool.tag_documents(big_corpus[:workers])  # warm-up past bootstrap
+        start = time.perf_counter()
+        pool_results = pool.tag_documents(big_corpus)
+        pool_secs = time.perf_counter() - start
+    pool_dps = len(big_corpus) / pool_secs
+    speedup = pool_dps / single_dps
+
+    assert pool_results == single_results  # scatter-gather is lossless
+    write_json("BENCH_tagging", {
+        "multiprocess": {
+            "docs_per_sec": round(pool_dps, 1),
+            "single_docs_per_sec": round(single_dps, 1),
+            "speedup": round(speedup, 2),
+            "workers": workers,
+            "cores": cores,
+            "corpus_docs": len(big_corpus),
+            "snapshot_bootstrap": True,
+        },
+    })
+    print(f"\nmulti-process tagging: {pool_dps:.1f} docs/sec with "
+          f"{workers} workers vs {single_dps:.1f} single "
+          f"({speedup:.2f}x on {cores} cores)")
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"expected >=2x docs/sec with {workers} workers on {cores} "
+            f"cores, got {speedup:.2f}x")

@@ -8,6 +8,8 @@ Public API overview::
         AttentionOntology,        # the ontology DAG (façade over the store)
         OntologyStore,            # indexed storage engine + deltas
         OntologyService,          # online serving: batched tagging/queries
+        ClusterService,           # sharded scatter-gather serving tier
+        TaggingWorkerPool,        # multi-process tagging over replicas
         GCTSPNet,                 # the paper's phrase-mining model
         build_world, QueryLogGenerator,  # synthetic click-log substrate
     )
@@ -26,9 +28,13 @@ Subpackages:
                        feed-recommendation CTR simulation
     repro.serving    — OntologyService: batched online tagging/query APIs,
                        LRU caching, incremental delta refresh
+    repro.cluster    — sharded cluster tier: hash-partitioned stores,
+                       scatter-gather ClusterService, multi-process
+                       tagging workers
     repro.eval       — metrics and table/figure rendering
 """
 
+from .cluster import ClusterService, TaggingWorkerPool
 from .config import GiantConfig, MiningConfig, LinkingConfig, GCTSPConfig
 from .core.gctsp import GCTSPNet
 from .core.ontology import AttentionOntology, NodeType, EdgeType
@@ -52,6 +58,8 @@ __all__ = [
     "OntologyStore",
     "OntologyDelta",
     "OntologyService",
+    "ClusterService",
+    "TaggingWorkerPool",
     "GiantPipeline",
     "PipelineReport",
     "build_world",

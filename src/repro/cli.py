@@ -7,6 +7,8 @@ Subcommands::
     python -m repro.cli tag      --ontology ontology.json --title "..." --body "..."
     python -m repro.cli query    --ontology ontology.json --q "best economy cars"
     python -m repro.cli showcase --ontology ontology.json
+    python -m repro.cli serve    --ontology ontology.json --shards 4 \
+                                 --q "best economy cars" --compare
 
 ``build`` generates a synthetic world, trains a small GCTSP-Net, runs the
 full pipeline and writes the ontology JSON; the other commands operate on a
@@ -107,6 +109,57 @@ def _query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve(args: argparse.Namespace) -> int:
+    """Shard a saved ontology and serve sample requests scatter-gather."""
+    from .cluster import ClusterService
+    from .serving import OntologyService
+
+    ontology, ner = _load_with_ner(args.ontology)
+    tagger_options = {"coherence_threshold": args.threshold}
+    cluster = ClusterService(num_shards=args.shards, ner=ner,
+                             tagger_options=tagger_options,
+                             ontology=ontology)
+    stats = cluster.stats()
+    print(f"cluster: {args.shards} shards at stream version {cluster.version}")
+    for line in stats["shards"]:
+        print(f"  shard {line['shard']}: owned={line['owned']} "
+              f"ghosts={line['ghosts']} version={line['version']}")
+    print("ontology:", stats["ontology"])
+
+    queries = args.q or []
+    if not queries:
+        # No queries given: interpret one per sampled concept phrase.
+        queries = [f"best {node.phrase}"
+                   for node in ontology.nodes(NodeType.CONCEPT)[:3]]
+    analyses = cluster.interpret_queries(queries)
+    for analysis in analyses:
+        print(f"query {analysis.query!r}: concepts={analysis.concepts[:2]} "
+              f"rewrites={analysis.rewrites[:2]}")
+
+    tagged = None
+    request = None
+    if args.title:
+        title = tokenize(args.title)
+        sentences = [tokenize(s) for s in args.body.split(".") if s.strip()]
+        request = ("cli-doc", title, sentences)
+        [tagged] = cluster.tag_documents([request])
+        print("tag concepts:", tagged.concepts[:5])
+        print("tag events:  ", tagged.events[:5])
+
+    if args.compare:
+        single = OntologyService(ontology, ner=ner,
+                                 tagger_options=tagger_options)
+        mismatch = single.interpret_queries(queries) != analyses
+        if request is not None:
+            [direct] = single.tag_documents([request])
+            mismatch = mismatch or direct != tagged
+        if mismatch:
+            print("compare: MISMATCH between cluster and single store")
+            return 1
+        print("compare: cluster results identical to single store")
+    return 0
+
+
 def _showcase(args: argparse.Namespace) -> int:
     ontology, _ner = _load_with_ner(args.ontology)
     print("== concepts ==")
@@ -148,6 +201,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--ontology", required=True)
     p_query.add_argument("--q", required=True)
     p_query.set_defaults(func=_query)
+
+    p_serve = sub.add_parser(
+        "serve", help="shard an ontology and serve scatter-gather requests")
+    p_serve.add_argument("--ontology", required=True)
+    p_serve.add_argument("--shards", type=int, default=4)
+    p_serve.add_argument("--q", action="append",
+                         help="query to interpret (repeatable)")
+    p_serve.add_argument("--title", default="",
+                         help="optional document title to tag")
+    p_serve.add_argument("--body", default="")
+    p_serve.add_argument("--threshold", type=float, default=0.02)
+    p_serve.add_argument("--compare", action="store_true",
+                         help="verify cluster output against a single store")
+    p_serve.set_defaults(func=_serve)
 
     p_show = sub.add_parser("showcase", help="print sample concepts/topics")
     p_show.add_argument("--ontology", required=True)

@@ -1,0 +1,37 @@
+"""Sharded ontology cluster: partitioned stores + scatter-gather serving.
+
+The production GIANT system scales by fleet: the MySQL-backed ontology is
+replicated and fronted by Tars RPC services, and tagging traffic fans out
+over many machines.  This package is the reproduction's cluster tier
+(DESIGN.md §6), built on PR 1's store/serving split:
+
+* :mod:`repro.cluster.router` — :class:`ShardRouter`: stable hash
+  partitioning of node ids by canonical phrase key, and splitting of the
+  global :class:`~repro.core.store.OntologyDelta` stream into per-shard
+  sub-deltas with ghost replication for cross-shard edges;
+* :mod:`repro.cluster.shards` — :class:`ShardReplica` (one shard's store
+  + owned/ghost bookkeeping) and :class:`ShardedStoreView` (a read-only
+  object implementing the store read API by deterministic scatter-gather
+  merges);
+* :mod:`repro.cluster.service` — :class:`ClusterService`: the same
+  serving API as :class:`~repro.serving.service.OntologyService`, with
+  results byte-identical to a single store at the same stream version;
+* :mod:`repro.cluster.workers` — :class:`TaggingWorkerPool`: a
+  multi-process executor whose workers bootstrap replicas from
+  ``snapshot + tail deltas`` (:meth:`OntologyStore.compact` /
+  :meth:`OntologyStore.bootstrap`) and tag disjoint corpus chunks.
+"""
+
+from .router import ShardRouter, stable_hash
+from .service import ClusterService
+from .shards import ShardReplica, ShardedStoreView
+from .workers import TaggingWorkerPool
+
+__all__ = [
+    "ClusterService",
+    "ShardReplica",
+    "ShardRouter",
+    "ShardedStoreView",
+    "TaggingWorkerPool",
+    "stable_hash",
+]

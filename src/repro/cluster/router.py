@@ -1,0 +1,157 @@
+"""Hash partitioning and per-shard delta routing (DESIGN.md §6).
+
+The cluster partitions the ontology across N shards by a **stable hash of
+the canonical phrase key** (``type::phrase``, lower-cased — the same key
+the store's exact-match map uses).  Ownership is decided once, at node
+creation, and never moves; every component can recompute it from the
+node's type and canonical phrase, so no shared mutable state is needed to
+agree on placement.
+
+:class:`ShardRouter` consumes the global :class:`~repro.core.store.
+OntologyDelta` stream in order and splits each batch into per-shard
+sub-deltas:
+
+* **node / alias / payload ops** go to the owning shard only;
+* **edge ops** go to the owner shard of *each* endpoint; when an edge
+  crosses shards, the router first materialises a **ghost replica** of
+  the foreign endpoint (a node op marked ``"ghost": true`` carrying the
+  explicit node id), so each shard holds every edge incident to its
+  owned nodes — the edge-cut partitioning used by distributed graph
+  systems.  Ghosts never receive payload/alias updates; readers resolve
+  node objects through the owner shard (see ``ShardedStoreView``).
+
+Per-shard version lines are independent: a sub-delta's
+``base_version``/``version`` count only that shard's ops, so the strict
+consistency checks of :meth:`OntologyStore.apply_delta` hold shard-
+locally, and the router's ``version`` mirrors the global stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..core.store import NodeType, OntologyDelta
+from ..errors import OntologyError
+
+
+def stable_hash(key: str) -> int:
+    """Process-independent 64-bit hash (``hash()`` is salted per run)."""
+    digest = hashlib.blake2s(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardRouter:
+    """Assigns nodes to shards and splits the delta stream per shard."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards <= 0:
+            raise OntologyError("a cluster needs at least one shard")
+        self._num_shards = num_shards
+        self._owner: dict[str, int] = {}
+        self._meta: dict[str, tuple[str, str]] = {}  # id -> (type, phrase)
+        self._materialized: list[set[str]] = [set() for _ in range(num_shards)]
+        self._shard_versions = [0] * num_shards
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    @property
+    def version(self) -> int:
+        """Version of the global delta stream routed so far."""
+        return self._version
+
+    @property
+    def shard_versions(self) -> tuple[int, ...]:
+        """Per-shard store versions after the routed stream."""
+        return tuple(self._shard_versions)
+
+    def shard_of_phrase(self, node_type: NodeType, phrase: str) -> int:
+        """The sharding function: stable hash of the canonical phrase key."""
+        return stable_hash(f"{node_type.value}::{phrase.lower()}") % self._num_shards
+
+    def owner_of(self, node_id: str) -> int:
+        """Owning shard of a routed node id."""
+        try:
+            return self._owner[node_id]
+        except KeyError:
+            raise OntologyError(f"unrouted node {node_id!r}") from None
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._owner
+
+    def __len__(self) -> int:
+        return len(self._owner)
+
+    # ------------------------------------------------------------------
+    def split(self, delta: OntologyDelta) -> "list[OntologyDelta | None]":
+        """Split one global delta into per-shard sub-deltas (``None`` for
+        shards the batch does not touch).
+
+        The router must see the stream gap-free and in order — exactly
+        the contract :meth:`OntologyStore.apply_delta` enforces for a
+        single store.
+        """
+        if delta.base_version != self._version:
+            raise OntologyError(
+                f"delta expects stream version {delta.base_version}, "
+                f"router is at {self._version}"
+            )
+        per_shard: list[list[dict]] = [[] for _ in range(self._num_shards)]
+        for index, op in enumerate(delta.ops):
+            kind = op["op"]
+            if kind == "node":
+                node_id = op.get("node_id")
+                if node_id is None:
+                    raise OntologyError(
+                        "cannot route a node op without a node_id — "
+                        "re-record the delta stream with a current store"
+                    )
+                if node_id not in self._owner:
+                    shard = self.shard_of_phrase(NodeType(op["type"]),
+                                                 op["phrase"])
+                    self._owner[node_id] = shard
+                    self._meta[node_id] = (op["type"], op["phrase"])
+                    self._materialized[shard].add(node_id)
+                per_shard[self._owner[node_id]].append(dict(op))
+            elif kind == "alias":
+                routed = dict(op)
+                # Global stream position: lets replicas rank competing
+                # setdefault claims on a contested alias key across
+                # shards exactly as a single store would.
+                routed["pos"] = delta.base_version + index + 1
+                per_shard[self.owner_of(op["node_id"])].append(routed)
+            elif kind == "payload":
+                per_shard[self.owner_of(op["node_id"])].append(dict(op))
+            elif kind == "edge":
+                endpoints = (op["source"], op["target"])
+                shards = {self.owner_of(nid) for nid in endpoints}
+                for shard in sorted(shards):
+                    for node_id in endpoints:
+                        if node_id in self._materialized[shard]:
+                            continue
+                        type_value, phrase = self._meta[node_id]
+                        per_shard[shard].append({
+                            "op": "node", "type": type_value,
+                            "phrase": phrase, "payload": {},
+                            "node_id": node_id, "created": True,
+                            "ghost": True,
+                        })
+                        self._materialized[shard].add(node_id)
+                    per_shard[shard].append(dict(op))
+            else:
+                raise OntologyError(f"unknown delta op {kind!r}")
+        subs: "list[OntologyDelta | None]" = []
+        for shard, ops in enumerate(per_shard):
+            if not ops:
+                subs.append(None)
+                continue
+            base = self._shard_versions[shard]
+            sub = OntologyDelta(stage=delta.stage, base_version=base,
+                                version=base + len(ops), ops=ops)
+            self._shard_versions[shard] = sub.version
+            subs.append(sub)
+        self._version = delta.version
+        return subs

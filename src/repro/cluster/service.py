@@ -1,0 +1,182 @@
+"""ClusterService: scatter-gather serving over hash-partitioned shards.
+
+The production GIANT deployment fronts a *fleet* of ontology stores with
+RPC services; this is the reproduction's cluster tier (DESIGN.md §6).  A
+:class:`ClusterService` owns
+
+* a :class:`~repro.cluster.router.ShardRouter` that hash-partitions node
+  ids and splits every incoming :class:`~repro.core.store.OntologyDelta`
+  batch into per-shard sub-deltas,
+* N :class:`~repro.cluster.shards.ShardReplica` stores, and
+* a :class:`~repro.cluster.shards.ShardedStoreView` that reconstructs
+  exact single-store read semantics by deterministic scatter-gather
+  merges,
+
+and exposes the *same* serving API as
+:class:`~repro.serving.service.OntologyService` — ``tag_documents``,
+``interpret_queries``, ``neighborhood``, ``concepts_of_entity``, user
+profiles and story follow-ups — by running an ordinary
+``OntologyService`` over the view.  Results are therefore byte-identical
+to a single-store service at the same stream version (the cluster tests
+assert this), while storage, inverted indexes and candidate generation
+are partitioned N ways.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..core.ontology import AttentionOntology
+from ..core.serialize import store_to_delta
+from ..core.store import EdgeType, OntologyDelta, OntologyStore
+from ..errors import OntologyError
+from ..serving.service import OntologyService
+from .router import ShardRouter
+from .shards import ShardReplica, ShardedStoreView
+
+
+class ClusterService:
+    """Sharded drop-in for :class:`OntologyService`.
+
+    Args:
+        num_shards: number of hash partitions.
+        ner / duet / tagger_options / max_rewrites / max_recommendations /
+            cache_size: forwarded to the inner :class:`OntologyService`.
+        deltas: optional delta stream to apply at construction.
+        ontology: optional existing :class:`AttentionOntology` (or bare
+            store) to shard — folded into one synthetic bootstrap delta
+            via :func:`~repro.core.serialize.store_to_delta`.  Mutually
+            exclusive with ``deltas``: a folded dump starts a *new*
+            stream whose versions do not align with previously recorded
+            batches.
+    """
+
+    def __init__(self, num_shards: int = 4, ner=None, duet=None,
+                 tagger_options: "dict[str, Any] | None" = None,
+                 max_rewrites: int = 5, max_recommendations: int = 5,
+                 cache_size: int = 4096,
+                 deltas: "Iterable[OntologyDelta] | None" = None,
+                 ontology: "AttentionOntology | OntologyStore | None" = None
+                 ) -> None:
+        self._router = ShardRouter(num_shards)
+        self._replicas = [ShardReplica(i) for i in range(num_shards)]
+        self._view = ShardedStoreView(self._router, self._replicas)
+        self._service = OntologyService(
+            AttentionOntology(store=self._view), ner=ner, duet=duet,
+            tagger_options=tagger_options, max_rewrites=max_rewrites,
+            max_recommendations=max_recommendations, cache_size=cache_size,
+        )
+        self._deltas_applied = 0
+        if ontology is not None and deltas is not None:
+            raise OntologyError(
+                "pass either a delta stream or an ontology to fold, not "
+                "both — store_to_delta starts a new stream whose versions "
+                "do not align with previously recorded deltas"
+            )
+        if ontology is not None:
+            store = ontology.store if isinstance(ontology, AttentionOntology) \
+                else ontology
+            self.refresh([store_to_delta(store)])
+        if deltas is not None:
+            self.refresh(deltas)
+
+    # ------------------------------------------------------------------
+    # cluster state
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self._router.num_shards
+
+    @property
+    def version(self) -> int:
+        """Global delta-stream version the cluster serves."""
+        return self._router.version
+
+    @property
+    def ontology(self) -> AttentionOntology:
+        """The merged read view, as an :class:`AttentionOntology` façade."""
+        return self._service.ontology
+
+    @property
+    def router(self) -> ShardRouter:
+        return self._router
+
+    @property
+    def replicas(self) -> "list[ShardReplica]":
+        return list(self._replicas)
+
+    def refresh(self, deltas: "Iterable[OntologyDelta]") -> int:
+        """Route update batches to their shards; returns batches applied.
+
+        Mirrors :meth:`OntologyService.refresh`: already-applied batches
+        are skipped (at-least-once delivery), a gap in the stream raises.
+        """
+        applied = 0
+        for delta in deltas:
+            if delta.version <= self._router.version:
+                continue
+            sub_deltas = self._router.split(delta)
+            for replica, sub in zip(self._replicas, sub_deltas):
+                if sub is None:
+                    continue
+                try:
+                    replica.apply(sub)
+                except Exception as exc:
+                    # The router already advanced past this batch; like a
+                    # single store's mid-replay failure (see
+                    # OntologyStore.apply_delta), the cluster is now
+                    # inconsistent and must be rebuilt, not retried.
+                    raise OntologyError(
+                        f"shard {replica.shard_id} failed mid-refresh "
+                        f"({exc}); cluster replicas are inconsistent — "
+                        "rebuild from a snapshot plus a clean delta stream"
+                    ) from exc
+            applied += 1
+        self._deltas_applied += applied
+        return applied
+
+    # ------------------------------------------------------------------
+    # serving APIs (delegated to the inner service over the view)
+    # ------------------------------------------------------------------
+    def tag_documents(self, documents: Sequence):
+        """Tag a batch of documents via scatter-gather candidate reads."""
+        return self._service.tag_documents(documents)
+
+    def interpret_queries(self, queries: Sequence[str]):
+        """Analyze a batch of raw query strings."""
+        return self._service.interpret_queries(queries)
+
+    def neighborhood(self, node_id: str, depth: int = 1,
+                     edge_type: "EdgeType | None" = None) -> tuple[str, ...]:
+        return self._service.neighborhood(node_id, depth=depth,
+                                          edge_type=edge_type)
+
+    def concepts_of_entity(self, entity_phrase: str) -> tuple[str, ...]:
+        return self._service.concepts_of_entity(entity_phrase)
+
+    def record_read(self, user_id: str, tags: "list[str]",
+                    weight: float = 1.0):
+        return self._service.record_read(user_id, tags, weight=weight)
+
+    def user_interests(self, user_id: str, k: int = 10, node_type=None):
+        return self._service.user_interests(user_id, k=k, node_type=node_type)
+
+    def recommend_for_user(self, user_id: str, k: int = 5):
+        return self._service.recommend_for_user(user_id, k=k)
+
+    def track_events(self, events) -> int:
+        return self._service.track_events(events)
+
+    def follow_ups(self, read_phrase: str, limit: int = 3):
+        return self._service.follow_ups(read_phrase, limit=limit)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Inner serving stats plus per-shard placement/version lines."""
+        stats = self._service.stats()
+        stats["num_shards"] = self.num_shards
+        stats["cluster_deltas_applied"] = self._deltas_applied
+        stats["shards"] = [replica.describe() for replica in self._replicas]
+        return stats

@@ -1,0 +1,313 @@
+"""Shard replicas and the scatter-gather read view (DESIGN.md §6).
+
+:class:`ShardReplica` wraps one shard's :class:`~repro.core.store.
+OntologyStore`: it applies the sub-deltas the
+:class:`~repro.cluster.router.ShardRouter` routes to it and tracks which
+local nodes are *owned* (hash-assigned) versus *ghost* endpoint replicas
+materialised for cross-shard edges.
+
+:class:`ShardedStoreView` then exposes the cluster as one read-only
+object implementing the :class:`OntologyStore` read API, so the ordinary
+:class:`~repro.apps.tagging.DocumentTagger` /
+:class:`~repro.apps.query.QueryUnderstander` /
+:class:`~repro.serving.service.OntologyService` stack runs over a
+partitioned cluster unchanged.  Merge semantics are deterministic and
+reconstruct single-store behaviour exactly:
+
+* point lookups (``node``) route to the owning shard;
+* index scans (``candidates``, ``nodes_with_token``) scatter to every
+  shard, drop ghost duplicates, merge by sorted node id — the same order
+  a single store returns;
+* ``nodes`` merges owned partitions in creation order (ids embed the
+  global counter);
+* traversals (``successors`` / ``predecessors`` / ``has_path``) read the
+  owner shard's edge lists — complete by the ghost-replication invariant
+  — and resolve every returned node through *its* owner shard, so
+  payloads are never served from a stale ghost;
+* ``stats`` counts owned nodes per shard and de-duplicates gathered
+  edges, reproducing the single store's Table 1/2 numbers exactly.
+
+Mutations raise: cluster replicas are serving replicas, fed exclusively
+by the delta stream through ``ClusterService.refresh``.
+"""
+
+from __future__ import annotations
+
+from ..core.store import (
+    AttentionNode,
+    Edge,
+    EdgeType,
+    NodeType,
+    OntologyDelta,
+    OntologyStore,
+    creation_order,
+)
+from ..errors import OntologyError
+from .router import ShardRouter
+
+
+class ShardReplica:
+    """One shard: a store plus owned/ghost bookkeeping."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.store = OntologyStore()
+        self._owned: dict[NodeType, set[str]] = {t: set() for t in NodeType}
+        self._ghosts: set[str] = set()
+        self._alias_claims: dict[str, int] = {}
+        self.deltas_applied = 0
+
+    def apply(self, sub_delta: OntologyDelta) -> None:
+        """Apply one routed sub-delta, tracking owned vs ghost nodes and
+        the global stream position of each alias key's first claim."""
+        self.store.apply_delta(sub_delta)
+        for op in sub_delta.ops:
+            if op["op"] == "alias":
+                pos = op.get("pos")
+                if pos is not None:
+                    node = self.store.node(op["node_id"])
+                    key = f"{node.node_type.value}::{op['alias'].lower()}"
+                    self._alias_claims.setdefault(key, pos)
+                continue
+            if op["op"] != "node" or not op.get("created"):
+                continue
+            if op.get("ghost"):
+                self._ghosts.add(op["node_id"])
+            else:
+                self._owned[NodeType(op["type"])].add(op["node_id"])
+        self.deltas_applied += 1
+
+    def alias_claim(self, key: str) -> "int | None":
+        """Stream position at which this shard first claimed ``key``."""
+        return self._alias_claims.get(key)
+
+    # ------------------------------------------------------------------
+    def owns(self, node_id: str) -> bool:
+        return any(node_id in ids for ids in self._owned.values())
+
+    def owned_ids(self, node_type: "NodeType | None" = None) -> set[str]:
+        if node_type is not None:
+            return set(self._owned[node_type])
+        out: set[str] = set()
+        for ids in self._owned.values():
+            out.update(ids)
+        return out
+
+    def owned_count(self, node_type: "NodeType | None" = None) -> int:
+        if node_type is not None:
+            return len(self._owned[node_type])
+        return sum(len(ids) for ids in self._owned.values())
+
+    @property
+    def ghost_count(self) -> int:
+        return len(self._ghosts)
+
+    def describe(self) -> dict:
+        """Per-shard introspection line for cluster stats."""
+        return {
+            "shard": self.shard_id,
+            "version": self.store.version,
+            "owned": self.owned_count(),
+            "ghosts": self.ghost_count,
+            "deltas_applied": self.deltas_applied,
+        }
+
+
+class ShardedStoreView:
+    """Read-only OntologyStore-compatible view over the shard set."""
+
+    def __init__(self, router: ShardRouter,
+                 replicas: "list[ShardReplica]") -> None:
+        if router.num_shards != len(replicas):
+            raise OntologyError("router/replica shard counts disagree")
+        self._router = router
+        self._replicas = list(replicas)
+
+    # ------------------------------------------------------------------
+    # versioning (read side only)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Version of the global delta stream the cluster has applied."""
+        return self._router.version
+
+    # ------------------------------------------------------------------
+    # mutations are rejected: replicas are fed by the delta stream
+    # ------------------------------------------------------------------
+    def _read_only(self, *_args, **_kwargs):
+        raise OntologyError(
+            "the sharded view is read-only — route OntologyDelta batches "
+            "through ClusterService.refresh()"
+        )
+
+    add_node = _read_only
+    add_alias = _read_only
+    add_edge = _read_only
+    update_payload = _read_only
+    begin_delta = _read_only
+    commit_delta = _read_only
+    apply_delta = _read_only
+    snapshot = _read_only
+
+    # ------------------------------------------------------------------
+    # point lookups
+    # ------------------------------------------------------------------
+    def node(self, node_id: str) -> AttentionNode:
+        """Canonical node object, resolved through its owner shard."""
+        return self._replicas[self._router.owner_of(node_id)].store.node(node_id)
+
+    def find(self, node_type: NodeType, phrase: str) -> "AttentionNode | None":
+        """Exact phrase/alias lookup.
+
+        Canonical phrases hash straight to their owner shard, but alias
+        keys live wherever the *target* node is owned, so the lookup
+        scatters.  Merges reproduce single-store semantics exactly: a
+        canonical-phrase claimant always wins (in a single store, a node
+        whose canonical phrase is the key must have been created before
+        any alias could claim it — later ``add_node`` calls merge rather
+        than create); otherwise the *earliest alias claim* in the global
+        stream wins, matching the store's ``setdefault`` first-wins rule
+        (replicas record each key's first claim position as routed).
+        """
+        ids = set()
+        for replica in self._replicas:
+            hit = replica.store.find(node_type, phrase)
+            if hit is not None:
+                ids.add(hit.node_id)
+        if not ids:
+            return None
+        if len(ids) > 1:
+            exact = {nid for nid in ids
+                     if self.node(nid).phrase.lower() == phrase.lower()}
+            if exact:
+                ids = exact
+            else:
+                key = f"{node_type.value}::{phrase.lower()}"
+
+                def first_claim(nid: str) -> "tuple[int, tuple[int, str]]":
+                    owner = self._replicas[self._router.owner_of(nid)]
+                    claim = owner.alias_claim(key)
+                    return (claim if claim is not None else 1 << 62,
+                            creation_order(nid))
+
+                return self.node(min(ids, key=first_claim))
+        return self.node(min(ids, key=creation_order))
+
+    def nodes(self, node_type: "NodeType | None" = None) -> list[AttentionNode]:
+        ids: list[str] = []
+        for replica in self._replicas:
+            ids.extend(replica.owned_ids(node_type))
+        ids.sort(key=creation_order)
+        return [self.node(node_id) for node_id in ids]
+
+    def count(self, node_type: "NodeType | None" = None) -> int:
+        return sum(r.owned_count(node_type) for r in self._replicas)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._router
+
+    def __len__(self) -> int:
+        return self.count()
+
+    # ------------------------------------------------------------------
+    # inverted-index candidate generation (scatter-gather)
+    # ------------------------------------------------------------------
+    def nodes_with_token(self, token: str, node_type: NodeType
+                         ) -> list[AttentionNode]:
+        ids: set[str] = set()
+        for replica in self._replicas:
+            ids.update(
+                n.node_id
+                for n in replica.store.nodes_with_token(token, node_type)
+                if replica.owns(n.node_id)
+            )
+        return [self.node(node_id) for node_id in sorted(ids)]
+
+    def candidates(self, tokens: "list[str] | set[str]", node_type: NodeType
+                   ) -> list[AttentionNode]:
+        ids: set[str] = set()
+        for replica in self._replicas:
+            ids.update(
+                n.node_id
+                for n in replica.store.candidates(tokens, node_type)
+                if replica.owns(n.node_id)
+            )
+        return [self.node(node_id) for node_id in sorted(ids)]
+
+    def contained_phrases(self, tokens: list[str], node_type: NodeType
+                          ) -> list[AttentionNode]:
+        out: list[AttentionNode] = []
+        for node in self.candidates(tokens, node_type):
+            ptoks = node.tokens
+            if not ptoks or len(ptoks) > len(tokens):
+                continue
+            k = len(ptoks)
+            if any(tokens[i:i + k] == ptoks
+                   for i in range(len(tokens) - k + 1)):
+                out.append(node)
+        return out
+
+    # ------------------------------------------------------------------
+    # edges / traversal
+    # ------------------------------------------------------------------
+    def _owner_store(self, node_id: str) -> OntologyStore:
+        return self._replicas[self._router.owner_of(node_id)].store
+
+    def successors(self, node_id: str, edge_type: "EdgeType | None" = None
+                   ) -> list[AttentionNode]:
+        local = self._owner_store(node_id).successors(node_id, edge_type)
+        return [self.node(n.node_id) for n in local]
+
+    def predecessors(self, node_id: str, edge_type: "EdgeType | None" = None
+                     ) -> list[AttentionNode]:
+        local = self._owner_store(node_id).predecessors(node_id, edge_type)
+        return [self.node(n.node_id) for n in local]
+
+    def has_edge(self, source_id: str, target_id: str,
+                 edge_type: EdgeType) -> bool:
+        return self._owner_store(source_id).has_edge(source_id, target_id,
+                                                     edge_type)
+
+    def edges(self, edge_type: "EdgeType | None" = None) -> list[Edge]:
+        """All edges, gathered and de-duplicated (each cross-shard edge
+        is stored on both endpoint owner shards)."""
+        seen: set[tuple[str, str, EdgeType]] = set()
+        out: list[Edge] = []
+        for replica in self._replicas:
+            for edge in replica.store.edges(edge_type):
+                if edge.edge_type == EdgeType.CORRELATE:
+                    key = (min(edge.source, edge.target),
+                           max(edge.source, edge.target), edge.edge_type)
+                else:
+                    key = (edge.source, edge.target, edge.edge_type)
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(edge)
+        return out
+
+    def has_path(self, start: str, goal: str,
+                 edge_type: EdgeType = EdgeType.ISA) -> bool:
+        """Distributed reachability: BFS hopping owner shards per node."""
+        stack = [start]
+        visited = {start}
+        while stack:
+            current = stack.pop()
+            if current == goal:
+                return True
+            for node in self._owner_store(current).successors(current,
+                                                              edge_type):
+                if node.node_id not in visited:
+                    visited.add(node.node_id)
+                    stack.append(node.node_id)
+        return False
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Cluster-wide Table 1/2-shape stats (owned nodes, unique edges)."""
+        out: dict[str, int] = {t.value: self.count(t) for t in NodeType}
+        for etype in EdgeType:
+            out[etype.value] = len(self.edges(etype))
+        return out

@@ -1,0 +1,201 @@
+"""Multi-process tagging executor over bootstrapped replicas (DESIGN.md §6).
+
+Document tagging is embarrassingly parallel over documents, but each
+worker needs its own ontology replica (stores are process-local, like the
+production system's per-machine MySQL replicas).  The bootstrap protocol
+is the cluster's compaction path: every worker cold-starts from a
+``snapshot`` (:meth:`OntologyStore.compact` output) plus the ``tail``
+delta batches recorded after it — :meth:`OntologyStore.bootstrap` — and
+later keeps converged with the builder through ``refresh(deltas)``
+broadcasts of the shared stream.
+
+Scatter-gather is deterministic: a corpus is split into per-worker
+contiguous chunks, each worker tags its chunk with a full
+:class:`~repro.serving.service.OntologyService`, and the pool reassembles
+results in chunk order — output is identical to a single-process
+``tag_documents`` call, just fanned across cores.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+from typing import Any, Sequence
+
+from ..core.serialize import delta_from_dict, delta_to_dict
+from ..core.store import OntologyDelta, OntologyStore
+from ..errors import ReproError
+
+
+def _as_request(doc) -> tuple:
+    """Normalise a document to the picklable tuple form the serving
+    batch API accepts."""
+    if isinstance(doc, tuple):
+        return doc
+    return (doc.doc_id, doc.title_tokens, doc.sentences)
+
+
+def _worker_main(worker_id: int, inbox, outbox, snapshot: "dict | None",
+                 delta_dicts: "list[dict]", ner,
+                 tagger_options: "dict[str, Any]") -> None:
+    """Worker loop: bootstrap a replica, then serve tag/refresh requests."""
+    from ..serving.service import OntologyService
+
+    try:
+        store = OntologyStore.bootstrap(
+            snapshot, [delta_from_dict(d) for d in delta_dicts])
+        service = OntologyService(store, ner=ner,
+                                  tagger_options=tagger_options)
+    except Exception as exc:  # surface bootstrap failures to the pool
+        outbox.put(("error", worker_id, f"bootstrap failed: {exc!r}"))
+        return
+    while True:
+        message = inbox.get()
+        kind = message[0]
+        try:
+            if kind == "stop":
+                outbox.put(("stopped", worker_id, None))
+                return
+            if kind == "tag":
+                _kind, chunk_id, docs = message
+                outbox.put(("tagged", chunk_id, service.tag_documents(docs)))
+            elif kind == "refresh":
+                deltas = [delta_from_dict(d) for d in message[1]]
+                outbox.put(("refreshed", worker_id, service.refresh(deltas)))
+            else:
+                outbox.put(("error", worker_id,
+                            f"unknown message kind {kind!r}"))
+        except Exception as exc:
+            outbox.put(("error", worker_id, repr(exc)))
+
+
+class TaggingWorkerPool:
+    """N worker processes, each holding a bootstrapped serving replica.
+
+    Args:
+        deltas: tail delta batches applied on top of ``snapshot`` (pass
+            the full stream with ``snapshot=None`` to replay from zero).
+        ner: gazetteer NER forwarded to each worker's tagger.
+        snapshot: optional :meth:`OntologyStore.compact` dump.
+        tagger_options: :class:`DocumentTagger` keyword arguments.
+        num_workers: process count; defaults to ``min(4, cpu_count)``.
+        timeout: seconds to wait for any single worker response.
+    """
+
+    def __init__(self, deltas: "Sequence[OntologyDelta]", ner=None,
+                 snapshot: "dict | None" = None,
+                 tagger_options: "dict[str, Any] | None" = None,
+                 num_workers: "int | None" = None,
+                 timeout: float = 600.0) -> None:
+        if num_workers is None:
+            num_workers = min(4, os.cpu_count() or 1)
+        if num_workers <= 0:
+            raise ReproError("the pool needs at least one worker")
+        self._timeout = timeout
+        self._closed = False
+        self._failed = False
+        context = multiprocessing.get_context()
+        self._outbox = context.Queue()
+        self._inboxes = []
+        self._processes = []
+        delta_dicts = [delta_to_dict(d) for d in deltas]
+        for worker_id in range(num_workers):
+            inbox = context.Queue()
+            process = context.Process(
+                target=_worker_main,
+                args=(worker_id, inbox, self._outbox, snapshot, delta_dicts,
+                      ner, dict(tagger_options or {})),
+                daemon=True,
+            )
+            process.start()
+            self._inboxes.append(inbox)
+            self._processes.append(process)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self._processes)
+
+    def _collect(self, expected_kind: str, count: int) -> "list[tuple]":
+        """Gather ``count`` responses; any failure poisons the pool —
+        stale responses could otherwise be mistaken for a later call's."""
+        responses = []
+        for _ in range(count):
+            try:
+                message = self._outbox.get(timeout=self._timeout)
+            except queue.Empty:
+                self._failed = True
+                raise ReproError(
+                    f"timed out after {self._timeout}s waiting for a "
+                    "worker response; the pool is now unusable") from None
+            if message[0] == "error":
+                self._failed = True
+                raise ReproError(
+                    f"worker {message[1]} failed: {message[2]}")
+            if message[0] != expected_kind:
+                self._failed = True
+                raise ReproError(
+                    f"unexpected worker response {message[0]!r}")
+            responses.append(message)
+        return responses
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ReproError("the worker pool is closed")
+        if self._failed:
+            raise ReproError(
+                "the worker pool is in a failed state (a previous call "
+                "errored); create a new pool")
+
+    # ------------------------------------------------------------------
+    def tag_documents(self, documents: Sequence) -> list:
+        """Scatter a corpus across workers; gather results in order."""
+        self._ensure_open()
+        requests = [_as_request(doc) for doc in documents]
+        if not requests:
+            return []
+        workers = self.num_workers
+        chunk_size = (len(requests) + workers - 1) // workers
+        chunks = [requests[i:i + chunk_size]
+                  for i in range(0, len(requests), chunk_size)]
+        for chunk_id, chunk in enumerate(chunks):
+            self._inboxes[chunk_id].put(("tag", chunk_id, chunk))
+        by_chunk = {m[1]: m[2]
+                    for m in self._collect("tagged", len(chunks))}
+        out = []
+        for chunk_id in range(len(chunks)):
+            out.extend(by_chunk[chunk_id])
+        return out
+
+    def refresh(self, deltas: "Sequence[OntologyDelta]") -> int:
+        """Broadcast update batches to every replica; returns the number
+        applied per replica (replicas advance in lockstep)."""
+        self._ensure_open()
+        delta_dicts = [delta_to_dict(d) for d in deltas]
+        for inbox in self._inboxes:
+            inbox.put(("refresh", delta_dicts))
+        applied = {m[2] for m in self._collect("refreshed", self.num_workers)}
+        if len(applied) != 1:
+            raise ReproError(f"replicas diverged during refresh: {applied}")
+        return applied.pop()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop all workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for inbox in self._inboxes:
+            inbox.put(("stop",))
+        for process in self._processes:
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+
+    def __enter__(self) -> "TaggingWorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

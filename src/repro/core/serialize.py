@@ -8,19 +8,36 @@ plus the :class:`~repro.core.store.OntologyDelta` round-trip that lets a
 serving process refresh its :class:`~repro.core.store.OntologyStore`
 incrementally from pipeline-emitted update batches instead of reloading a
 full dump.
+
+Two representations coexist (DESIGN.md):
+
+* the **portable ontology dump** (:func:`ontology_to_dict`) re-assigns
+  node ids on load — the seed format, fine for CLI hand-offs;
+* the **store snapshot** (:func:`store_to_dict`) preserves node ids, the
+  mutation ``version`` and the id counter, so tail
+  :class:`~repro.core.store.OntologyDelta` batches recorded *after* the
+  snapshot apply cleanly — the compaction/bootstrap format behind
+  :meth:`OntologyStore.compact` and :meth:`OntologyStore.bootstrap`.
+
+:func:`store_to_delta` additionally folds a whole store into one
+synthetic bootstrap delta (explicit node ids, base version 0) — the form
+the cluster's :class:`~repro.cluster.router.ShardRouter` can split across
+shards when only a saved ontology, not its delta history, is available.
 """
 
 from __future__ import annotations
 
+import copy
 import json
 from typing import Any
 
 from ..errors import OntologyError
 from .ontology import AttentionOntology, EdgeType, NodeType
-from .store import OntologyDelta
+from .store import OntologyDelta, OntologyStore, creation_order
 
 FORMAT_VERSION = 1
 DELTA_FORMAT_VERSION = 1
+STORE_FORMAT_VERSION = 1
 
 
 def _jsonable(value: Any) -> Any:
@@ -123,6 +140,140 @@ def load_deltas(path: str) -> "list[OntologyDelta]":
     """Read a delta sequence written by :func:`save_deltas`."""
     with open(path, encoding="utf-8") as handle:
         return [delta_from_dict(d) for d in json.load(handle)]
+
+
+def _alias_key_map(store: OntologyStore) -> dict[str, str]:
+    """The store's exact-match entries that come from *aliases* (not
+    canonical phrases) — key -> winning node id.  Contested alias keys
+    resolve by first registration (``setdefault``); the map preserves
+    that outcome across snapshot/bootstrap round-trips, where aliases
+    are otherwise re-registered in node-creation order."""
+    out: dict[str, str] = {}
+    for key, node_id in store._by_phrase.items():
+        node = store.node(node_id)
+        if key != store._phrase_key(node.node_type, node.phrase):
+            out[key] = node_id
+    return out
+
+
+def store_to_dict(store: OntologyStore) -> dict:
+    """Serialise a store to a snapshot dict preserving ids and version.
+
+    Unlike :func:`ontology_to_dict`, the snapshot is *addressable*: node
+    ids, the mutation version, the id counter and the alias-key winners
+    survive the round-trip, so deltas recorded after the snapshot apply
+    to the reloaded store and exact-match lookups answer identically.
+    """
+    nodes = []
+    for node in sorted(store.nodes(), key=lambda n: creation_order(n.node_id)):
+        nodes.append({
+            "id": node.node_id,
+            "type": node.node_type.value,
+            "phrase": node.phrase,
+            "aliases": sorted(node.aliases),
+            "payload": _jsonable(node.payload),
+        })
+    edges = [
+        {
+            "source": e.source,
+            "target": e.target,
+            "type": e.edge_type.value,
+            "weight": e.weight,
+        }
+        for e in sorted(store.edges(),
+                        key=lambda e: (e.source, e.target, e.edge_type.value))
+    ]
+    return {
+        "format": STORE_FORMAT_VERSION,
+        "store_version": store.version,
+        "counter": store._counter,
+        "alias_map": _alias_key_map(store),
+        "nodes": nodes,
+        "edges": edges,
+    }
+
+
+def store_from_dict(data: dict) -> OntologyStore:
+    """Reconstruct a store from :func:`store_to_dict` output.
+
+    Nodes keep their recorded ids; the mutation version and id counter
+    are restored afterwards, so a tail delta whose ``base_version``
+    equals the snapshot's ``store_version`` applies directly.
+    """
+    if data.get("format") != STORE_FORMAT_VERSION:
+        raise OntologyError(
+            f"unsupported store snapshot format: {data.get('format')!r}")
+    store = OntologyStore()
+    for node_data in data["nodes"]:
+        store.add_node(NodeType(node_data["type"]), node_data["phrase"],
+                       payload=node_data.get("payload") or None,
+                       node_id=node_data["id"])
+        for alias in node_data.get("aliases", []):
+            store.add_alias(node_data["id"], alias)
+    for edge_data in data["edges"]:
+        etype = EdgeType(edge_data["type"])
+        if not store.has_edge(edge_data["source"], edge_data["target"], etype):
+            store.add_edge(edge_data["source"], edge_data["target"], etype,
+                           weight=edge_data.get("weight", 1.0))
+    # Contested alias keys: restore the original first-registration
+    # winners (the rebuild above registered aliases in node order).
+    for key, node_id in data.get("alias_map", {}).items():
+        store._by_phrase[key] = node_id
+    store._version = data["store_version"]
+    store._counter = data["counter"]
+    return store
+
+
+def save_store(store: OntologyStore, path: str) -> None:
+    """Write a store snapshot (compaction output) to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(store_to_dict(store), handle, indent=1, sort_keys=True)
+
+
+def load_store(path: str) -> OntologyStore:
+    """Read a store snapshot written by :func:`save_store`."""
+    with open(path, encoding="utf-8") as handle:
+        return store_from_dict(json.load(handle))
+
+
+def store_to_delta(store: OntologyStore, stage: str = "bootstrap"
+                   ) -> OntologyDelta:
+    """Fold a whole store into one synthetic, replayable bootstrap delta.
+
+    Ops carry explicit node ids (shard-aware addressing) and are ordered
+    so replay is valid on a fresh store: nodes in creation order (with
+    their full merged payloads), then aliases — the current exact-match
+    *winners* first, so replayed ``setdefault`` claims resolve contested
+    alias keys exactly as the source store does — then edges.  The delta
+    starts a *new* stream (``base_version`` 0); its version is the op
+    count, not the source store's mutation version.
+    """
+    ops: list[dict] = []
+    nodes = sorted(store.nodes(), key=lambda n: creation_order(n.node_id))
+    for node in nodes:
+        ops.append({"op": "node", "type": node.node_type.value,
+                    "phrase": node.phrase,
+                    "payload": copy.deepcopy(node.payload),
+                    "node_id": node.node_id, "created": True})
+    winner_ops: list[dict] = []
+    loser_ops: list[dict] = []
+    for node in nodes:
+        for alias in sorted(node.aliases):
+            op = {"op": "alias", "node_id": node.node_id, "alias": alias}
+            key = store._phrase_key(node.node_type, alias)
+            if store._by_phrase.get(key) == node.node_id:
+                winner_ops.append(op)
+            else:
+                loser_ops.append(op)
+    ops.extend(winner_ops)
+    ops.extend(loser_ops)
+    for edge in sorted(store.edges(),
+                       key=lambda e: (e.source, e.target, e.edge_type.value)):
+        ops.append({"op": "edge", "source": edge.source,
+                    "target": edge.target, "type": edge.edge_type.value,
+                    "weight": edge.weight})
+    return OntologyDelta(stage=stage, base_version=0, version=len(ops),
+                         ops=ops)
 
 
 def save_ontology(ontology: AttentionOntology, path: str) -> None:

@@ -25,9 +25,21 @@ import copy
 import enum
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..errors import OntologyError
 from ..text.tokenizer import tokenize
+
+
+def creation_order(node_id: str) -> "tuple[int, str]":
+    """Sort key restoring store creation order — ids embed the global
+    counter (``con_000042``); ids without a numeric suffix sort after,
+    by string.  Shared by serialization and the cluster's merge rules so
+    the ordering convention lives next to the id format."""
+    try:
+        return (int(node_id.rsplit("_", 1)[1]), node_id)
+    except (IndexError, ValueError):
+        return (1 << 62, node_id)
 
 
 class NodeType(enum.Enum):
@@ -87,7 +99,11 @@ class OntologyDelta:
     exactly (node ids are assigned deterministically from creation order).
     ``ops`` entries are JSON-ready dicts with an ``op`` discriminator:
 
-    * ``{"op": "node", "type", "phrase", "payload"}`` — create-or-merge;
+    * ``{"op": "node", "type", "phrase", "payload", "node_id"}`` —
+      create-or-merge; ``node_id`` pins the id the recording store
+      assigned, so a replay on any store (a shard, a replica whose
+      counter has diverged) addresses the same node — older deltas
+      without it fall back to counter-assigned ids;
     * ``{"op": "alias", "node_id", "alias"}`` — attach an alias;
     * ``{"op": "edge", "source", "target", "type", "weight"}``;
     * ``{"op": "payload", "node_id", "payload"}`` — merge payload keys.
@@ -208,7 +224,8 @@ class OntologyStore:
             kind = op["op"]
             if kind == "node":
                 self.add_node(NodeType(op["type"]), op["phrase"],
-                              payload=copy.deepcopy(op["payload"]) or None)
+                              payload=copy.deepcopy(op["payload"]) or None,
+                              node_id=op.get("node_id"))
             elif kind == "alias":
                 self.add_alias(op["node_id"], op["alias"])
             elif kind == "edge":
@@ -230,24 +247,83 @@ class OntologyStore:
             self._recording.ops.append(op)
 
     # ------------------------------------------------------------------
+    # compaction / bootstrap
+    # ------------------------------------------------------------------
+    def compact(self) -> dict:
+        """Fold the store's state into a full snapshot dump (a JSON-ready
+        dict preserving node ids, version and id counter).
+
+        Long delta histories replay linearly; compaction lets a cold
+        replica bootstrap from ``snapshot + tail deltas`` instead — see
+        :meth:`bootstrap` and :func:`repro.core.serialize.store_to_dict`.
+        """
+        from .serialize import store_to_dict  # local: avoids import cycle
+
+        return store_to_dict(self)
+
+    @classmethod
+    def bootstrap(cls, snapshot: "dict | None" = None,
+                  deltas: "Iterable[OntologyDelta] | None" = None
+                  ) -> "OntologyStore":
+        """Cold-start a store from a :meth:`compact` snapshot plus tail
+        deltas.
+
+        Deltas at or behind the snapshot's version are skipped (the tail
+        may overlap the compacted prefix under at-least-once delivery);
+        the result is identical to replaying the full delta stream.
+        """
+        from .serialize import store_from_dict  # local: avoids import cycle
+
+        store = store_from_dict(snapshot) if snapshot is not None else cls()
+        for delta in deltas or ():
+            if delta.version <= store.version:
+                continue
+            store.apply_delta(delta)
+        return store
+
+    # ------------------------------------------------------------------
     # nodes
     # ------------------------------------------------------------------
     def add_node(self, node_type: NodeType, phrase: str,
-                 payload: "dict | None" = None) -> AttentionNode:
-        """Add (or return the existing) node for ``phrase``/``node_type``."""
+                 payload: "dict | None" = None,
+                 node_id: "str | None" = None) -> AttentionNode:
+        """Add (or return the existing) node for ``phrase``/``node_type``.
+
+        ``node_id`` pins an explicit id (shard-aware delta addressing): a
+        replayed op carries the id the recording store assigned, so every
+        replica — including hash-partitioned shards that only see a
+        subset of the stream — agrees on global node ids.  The counter is
+        advanced past any explicit id so later auto-assigned ids never
+        collide.
+        """
         key = self._phrase_key(node_type, phrase)
         existing_id = self._by_phrase.get(key)
         if existing_id is not None:
             node = self._by_id[existing_id]
+            if node_id is not None and node_id != existing_id:
+                raise OntologyError(
+                    f"node {phrase!r} already exists as {existing_id}, "
+                    f"cannot re-create it as {node_id}"
+                )
             if payload:
                 node.payload.update(payload)
                 self._record({"op": "node", "type": node_type.value,
                               "phrase": phrase,
                               "payload": copy.deepcopy(payload),
+                              "node_id": existing_id,
                               "created": False})
             return node
-        self._counter += 1
-        node_id = f"{node_type.value[:3]}_{self._counter:06d}"
+        if node_id is None:
+            self._counter += 1
+            node_id = f"{node_type.value[:3]}_{self._counter:06d}"
+        else:
+            if node_id in self._by_id:
+                raise OntologyError(f"node id {node_id!r} is already taken")
+            try:
+                self._counter = max(self._counter,
+                                    int(node_id.rsplit("_", 1)[1]))
+            except (IndexError, ValueError):
+                pass
         node = AttentionNode(node_id, node_type, phrase, payload=dict(payload or {}))
         self._tables[node_type][node_id] = node
         self._by_id[node_id] = node
@@ -256,7 +332,8 @@ class OntologyStore:
         for token in set(node.tokens):
             index[token].add(node_id)
         self._record({"op": "node", "type": node_type.value, "phrase": phrase,
-                      "payload": copy.deepcopy(payload or {}), "created": True})
+                      "payload": copy.deepcopy(payload or {}),
+                      "node_id": node_id, "created": True})
         return node
 
     @staticmethod

@@ -7,7 +7,8 @@ reproduction's serving tier:
 
 * :mod:`repro.serving.service` — :class:`OntologyService`: batched
   ``tag_documents()`` / ``interpret_queries()`` APIs, LRU-cached
-  neighborhood expansion, and incremental ``refresh()`` from
+  neighborhood expansion, user-profile and story-follow-up endpoints,
+  and incremental ``refresh()`` from
   :class:`~repro.core.store.OntologyDelta` batches;
 * :mod:`repro.serving.cache` — the version-aware :class:`LruCache` behind
   the service's caches.

@@ -14,16 +14,22 @@ equivalent: a process-local service that
 * **refreshes incrementally** from pipeline-emitted
   :class:`~repro.core.store.OntologyDelta` batches — a serving replica
   replays the day's deltas instead of rebuilding or reloading a full
-  snapshot.
+  snapshot;
+* serves **user profiles** (interest accumulation + edge expansion) and
+  **story follow-ups** as endpoints with the same version/revision-keyed
+  caching, closing the serving-coverage gap for the paper's
+  recommendation applications.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
+from ..apps.profiles import InterestProfile, UserProfiler
 from ..apps.query import QueryAnalysis, QueryUnderstander
+from ..apps.story_tracker import StoryTracker
 from ..apps.tagging import DocumentTagger, TaggedDocument
-from ..core.ontology import AttentionOntology
+from ..core.ontology import AttentionOntology, NodeType
 from ..core.store import EdgeType, OntologyDelta, OntologyStore
 from ..errors import ReproError
 from .cache import LruCache
@@ -42,13 +48,18 @@ class OntologyService:
             (thresholds).
         max_rewrites / max_recommendations: query-understanding caps.
         cache_size: LRU capacity for neighborhood/concept caches.
+        profiler_options: :class:`UserProfiler` keyword arguments
+            (decay/discounts).
+        tracker_options: :class:`StoryTracker` keyword arguments.
     """
 
     def __init__(self, ontology: "AttentionOntology | OntologyStore",
                  ner=None, duet=None,
                  tagger_options: "dict[str, Any] | None" = None,
                  max_rewrites: int = 5, max_recommendations: int = 5,
-                 cache_size: int = 4096) -> None:
+                 cache_size: int = 4096,
+                 profiler_options: "dict[str, Any] | None" = None,
+                 tracker_options: "dict[str, Any] | None" = None) -> None:
         if isinstance(ontology, OntologyStore):
             ontology = AttentionOntology(store=ontology)
         self._ontology = ontology
@@ -65,6 +76,12 @@ class OntologyService:
         self._documents_tagged = 0
         self._queries_interpreted = 0
         self._deltas_applied = 0
+        self._profiler_options = dict(profiler_options or {})
+        self._tracker_options = dict(tracker_options or {})
+        self._profiler: "UserProfiler | None" = None
+        self._tracker: "StoryTracker | None" = None
+        self._profile_revisions: dict[str, int] = {}
+        self._events_tracked = 0
 
     # ------------------------------------------------------------------
     # replica state
@@ -194,6 +211,80 @@ class OntologyService:
         )
 
     # ------------------------------------------------------------------
+    # user-profile endpoints (paper Figure 2 application component)
+    # ------------------------------------------------------------------
+    def _get_profiler(self) -> UserProfiler:
+        if self._profiler is None:
+            self._profiler = UserProfiler(self._ontology,
+                                          **self._profiler_options)
+        return self._profiler
+
+    def record_read(self, user_id: str, tags: "list[str]",
+                    weight: float = 1.0) -> InterestProfile:
+        """Fold one read document's tags into a user's interest profile.
+
+        Bumps the user's profile revision, so cached recommendation /
+        interest entries for that user invalidate themselves.
+        """
+        profile = self._get_profiler().record_read(user_id, tags,
+                                                   weight=weight)
+        self._profile_revisions[user_id] = (
+            self._profile_revisions.get(user_id, 0) + 1)
+        return profile
+
+    def user_interests(self, user_id: str, k: int = 10,
+                       node_type: "NodeType | None" = None
+                       ) -> tuple[tuple[str, float], ...]:
+        """Top-k (phrase, weight) interests after edge expansion; cached
+        per (store version, profile revision)."""
+        key = ("interests", self._store.version,
+               self._profile_revisions.get(user_id, 0), user_id, k,
+               node_type.value if node_type is not None else None)
+        return self._cache.get_or_compute(
+            key,
+            lambda: tuple(self._get_profiler().infer(user_id)
+                          .top(self._ontology, k=k, node_type=node_type)),
+        )
+
+    def recommend_for_user(self, user_id: str, k: int = 5
+                           ) -> tuple[tuple[str, float], ...]:
+        """Ranked *inferred* tags (hidden interests) for a user; cached
+        per (store version, profile revision)."""
+        key = ("urec", self._store.version,
+               self._profile_revisions.get(user_id, 0), user_id, k)
+        return self._cache.get_or_compute(
+            key,
+            lambda: tuple(self._get_profiler().recommend_tags(user_id, k=k)),
+        )
+
+    # ------------------------------------------------------------------
+    # story-tracking endpoints (developing stories, paper Section 2/4)
+    # ------------------------------------------------------------------
+    def _get_tracker(self) -> StoryTracker:
+        if self._tracker is None:
+            self._tracker = StoryTracker(**self._tracker_options)
+        return self._tracker
+
+    def track_events(self, events) -> int:
+        """Route a batch of event records into tracked stories; returns
+        the number of stories currently tracked."""
+        events = list(events)
+        tracker = self._get_tracker()
+        tracker.add_events(events)
+        self._events_tracked += len(events)
+        return len(tracker)
+
+    def follow_ups(self, read_phrase: str, limit: int = 3) -> tuple:
+        """Fresh unseen events in the story of a just-read event; cached
+        per tracker revision (the number of events routed so far)."""
+        key = ("fup", self._events_tracked, read_phrase, limit)
+        return self._cache.get_or_compute(
+            key,
+            lambda: tuple(self._get_tracker().follow_ups(read_phrase,
+                                                         limit=limit)),
+        )
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -203,6 +294,9 @@ class OntologyService:
             "documents_tagged": self._documents_tagged,
             "queries_interpreted": self._queries_interpreted,
             "deltas_applied": self._deltas_applied,
+            "profiles": len(self._profile_revisions),
+            "events_tracked": self._events_tracked,
+            "stories_tracked": len(self._tracker) if self._tracker else 0,
             "cache": self._cache.stats,
             "ontology": self._store.stats(),
         }

@@ -142,6 +142,74 @@ class TestNeighborhoodCache:
         assert service.concepts_of_entity("unknown entity") == ()
 
 
+class TestProfileEndpoints:
+    def test_record_read_then_recommend_inferred_tags(self, service):
+        service.record_read("u1", ["iron man"])
+        recommended = dict(service.recommend_for_user("u1"))
+        # Hidden interests: the isA parent concept and the correlate peer.
+        assert "marvel superhero movies" in recommended
+        assert "captain america" in recommended
+
+    def test_user_interests_filter_by_type(self, service):
+        service.record_read("u1", ["iron man"])
+        concepts = service.user_interests("u1", node_type=NodeType.CONCEPT)
+        assert [phrase for phrase, _w in concepts] == [
+            "marvel superhero movies"]
+
+    def test_recommendations_cached_per_profile_revision(self, service):
+        service.record_read("u1", ["iron man"])
+        service.recommend_for_user("u1")
+        before = service.stats()["cache"]["hits"]
+        first = service.recommend_for_user("u1")
+        assert service.stats()["cache"]["hits"] == before + 1
+        # A new read bumps the revision: the stale entry is not served.
+        service.record_read("u1", ["black panther"])
+        second = service.recommend_for_user("u1")
+        assert service.stats()["cache"]["hits"] == before + 1
+        assert first != second
+
+    def test_profiles_counted_in_stats(self, service):
+        service.record_read("u1", ["iron man"])
+        service.record_read("u2", ["black panther"])
+        assert service.stats()["profiles"] == 2
+
+
+class TestStoryEndpoints:
+    @staticmethod
+    def _events():
+        from repro.apps.story_tree import EventRecord
+
+        return [
+            EventRecord("black panther premiere announced", "announce",
+                        ["black panther"], day=0),
+            EventRecord("black panther premiere breaks records", "break",
+                        ["black panther"], day=1),
+            EventRecord("black panther premiere announced worldwide",
+                        "announce", ["black panther"], day=2),
+        ]
+
+    def test_track_events_and_follow_ups(self, service):
+        stories = service.track_events(self._events())
+        assert stories >= 1
+        follow = service.follow_ups("black panther premiere announced")
+        assert [e.day for e in follow] == sorted(e.day for e in follow)
+        assert any(e.phrase == "black panther premiere announced worldwide"
+                   for e in follow)
+        assert service.stats()["events_tracked"] == 3
+
+    def test_follow_ups_cached_per_tracker_revision(self, service):
+        events = self._events()
+        service.track_events(events[:2])
+        phrase = "black panther premiere announced"
+        first = service.follow_ups(phrase)
+        before = service.stats()["cache"]["hits"]
+        assert service.follow_ups(phrase) == first
+        assert service.stats()["cache"]["hits"] == before + 1
+        # Tracking more events invalidates follow-up caching.
+        service.track_events(events[2:])
+        assert len(service.follow_ups(phrase)) > len(first)
+
+
 class TestDeltaRefresh:
     def test_refresh_from_recorded_history(self, ner):
         producer = AttentionOntology()

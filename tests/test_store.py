@@ -189,6 +189,114 @@ class TestDeltas:
             OntologyStore().commit_delta()
 
 
+class TestCompaction:
+    def _record_days(self):
+        """Three delta batches simulating a growing ontology."""
+        store = OntologyStore()
+        store.begin_delta("day1")
+        concept = store.add_node(NodeType.CONCEPT, "fuel efficient cars")
+        entity = store.add_node(NodeType.ENTITY, "honda civic")
+        store.add_edge(concept.node_id, entity.node_id, EdgeType.ISA)
+        store.add_alias(concept.node_id, "economical cars")
+        first = store.commit_delta()
+        store.begin_delta("day2")
+        other = store.add_node(NodeType.ENTITY, "toyota prius")
+        store.add_edge(concept.node_id, other.node_id, EdgeType.ISA)
+        store.update_payload(entity.node_id, {"support": 3})
+        second = store.commit_delta()
+        store.begin_delta("day3")
+        topic = store.add_node(NodeType.TOPIC, "hybrid car reviews")
+        store.add_edge(topic.node_id, other.node_id, EdgeType.INVOLVE)
+        third = store.commit_delta()
+        return store, [first, second, third]
+
+    def test_bootstrap_equals_full_replay(self):
+        full, deltas = self._record_days()
+        # Compact the two-delta prefix; bootstrap from snapshot + tail.
+        prefix = OntologyStore.bootstrap(None, deltas[:2])
+        snapshot = prefix.compact()
+        cold = OntologyStore.bootstrap(snapshot, deltas)
+        replayed = OntologyStore.bootstrap(None, deltas)
+        assert cold.stats() == replayed.stats() == full.stats()
+        assert cold.version == replayed.version == full.version
+        node = cold.find(NodeType.ENTITY, "honda civic")
+        assert node.payload == {"support": 3}
+        assert node.node_id == full.find(NodeType.ENTITY,
+                                         "honda civic").node_id
+
+    def test_bootstrap_skips_already_compacted_deltas(self):
+        full, deltas = self._record_days()
+        snapshot = OntologyStore.bootstrap(None, deltas).compact()
+        # The whole stream overlaps the snapshot: everything is skipped.
+        cold = OntologyStore.bootstrap(snapshot, deltas)
+        assert cold.stats() == full.stats() and cold.version == full.version
+
+    def test_snapshot_preserves_ids_version_and_counter(self):
+        from repro.core.serialize import store_from_dict, store_to_dict
+
+        full, _deltas = self._record_days()
+        clone = store_from_dict(store_to_dict(full))
+        assert clone.version == full.version
+        assert clone._counter == full._counter
+        for node in full.nodes():
+            assert clone.node(node.node_id).phrase == node.phrase
+        assert clone.find(NodeType.CONCEPT, "economical cars") is not None
+
+    def test_new_deltas_carry_explicit_node_ids(self):
+        full, deltas = self._record_days()
+        for delta in deltas:
+            for op in delta.ops:
+                if op["op"] == "node":
+                    assert op["node_id"] in full._by_id
+        # Replay on a store whose counter diverged still lands same ids.
+        fresh = OntologyStore()
+        for delta in deltas:
+            fresh.apply_delta(delta)
+        assert {n.node_id for n in fresh.nodes()} == {
+            n.node_id for n in full.nodes()}
+
+    def test_explicit_id_conflicts_rejected(self):
+        store = OntologyStore()
+        store.add_node(NodeType.CONCEPT, "space probes", node_id="con_000009")
+        with pytest.raises(OntologyError):
+            store.add_node(NodeType.ENTITY, "voyager 1", node_id="con_000009")
+        with pytest.raises(OntologyError):
+            store.add_node(NodeType.CONCEPT, "space probes",
+                           node_id="con_000010")
+        # Counter advanced past the explicit id: no collision follows.
+        auto = store.add_node(NodeType.ENTITY, "voyager 1")
+        assert auto.node_id == "ent_000010"
+
+    def test_snapshot_preserves_contested_alias_winner(self):
+        from repro.core.serialize import (
+            store_from_dict,
+            store_to_dict,
+        )
+
+        store = OntologyStore()
+        early = store.add_node(NodeType.CONCEPT, "alpha movies")
+        late = store.add_node(NodeType.CONCEPT, "beta movies")
+        store.add_alias(late.node_id, "shared phrase")   # first claim wins
+        store.add_alias(early.node_id, "shared phrase")  # losing claim
+        assert store.find(NodeType.CONCEPT,
+                          "shared phrase").node_id == late.node_id
+        clone = store_from_dict(store_to_dict(store))
+        assert clone.find(NodeType.CONCEPT,
+                          "shared phrase").node_id == late.node_id
+
+    def test_store_file_round_trip(self, tmp_path):
+        from repro.core.serialize import load_store, save_store
+
+        full, deltas = self._record_days()
+        prefix = OntologyStore.bootstrap(None, deltas[:2])
+        path = tmp_path / "snapshot.json"
+        save_store(prefix, str(path))
+        cold = load_store(str(path))
+        assert cold.version == prefix.version
+        cold.apply_delta(deltas[2])
+        assert cold.stats() == full.stats()
+
+
 class TestFacade:
     def test_facade_wraps_given_store(self, store):
         onto = AttentionOntology(store=store)
