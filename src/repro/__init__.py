@@ -8,6 +8,7 @@ Public API overview::
         AttentionOntology,        # the ontology DAG (façade over the store)
         OntologyStore,            # indexed storage engine + deltas
         OntologyService,          # online serving: batched tagging/queries
+        AsyncOntologyService,     # asyncio front: micro-batched streams
         ClusterService,           # sharded scatter-gather serving tier
         TaggingWorkerPool,        # multi-process tagging over replicas
         GCTSPNet,                 # the paper's phrase-mining model
@@ -27,7 +28,8 @@ Subpackages:
     repro.apps       — story trees, document tagging, query understanding,
                        feed-recommendation CTR simulation
     repro.serving    — OntologyService: batched online tagging/query APIs,
-                       LRU caching, incremental delta refresh
+                       LRU caching, incremental delta refresh; the
+                       asyncio micro-batching front + JSON RPC wrapper
     repro.cluster    — sharded cluster tier: hash-partitioned stores,
                        scatter-gather ClusterService, multi-process
                        tagging workers
@@ -40,7 +42,7 @@ from .core.gctsp import GCTSPNet
 from .core.ontology import AttentionOntology, NodeType, EdgeType
 from .core.store import OntologyStore, OntologyDelta
 from .pipeline import GiantPipeline, PipelineReport
-from .serving import OntologyService
+from .serving import AsyncOntologyService, OntologyService
 from .synth.world import build_world, WorldConfig
 from .synth.querylog import QueryLogGenerator
 
@@ -58,6 +60,7 @@ __all__ = [
     "OntologyStore",
     "OntologyDelta",
     "OntologyService",
+    "AsyncOntologyService",
     "ClusterService",
     "TaggingWorkerPool",
     "GiantPipeline",

@@ -142,11 +142,22 @@ class StoryTracker:
         return self._by_id[min(story_ids)]
 
     def follow_ups(self, read_phrase: str, limit: int = 3) -> list[EventRecord]:
-        """Events in the same story published after the one just read."""
+        """Events in the same story published on or after the read day.
+
+        Events carry day granularity only, so "published after" keeps
+        *same-day siblings* — an event from the read event's own day is
+        as likely to be a fresh development as tomorrow's.  The phrase
+        index can point at a story whose matching event has since been
+        merged away or evicted from ``story.events``; that is served as
+        "no follow-ups" rather than an error.
+        """
         story = self.story_of(read_phrase)
         if story is None:
             return []
-        read = next(e for e in story.events if e.phrase == read_phrase)
+        read = next((e for e in story.events if e.phrase == read_phrase),
+                    None)
+        if read is None:
+            return []
         later = [e for e in story.events
                  if e.day >= read.day and e.phrase != read_phrase]
         later.sort(key=lambda e: (e.day, e.phrase))

@@ -9,6 +9,8 @@ Subcommands::
     python -m repro.cli showcase --ontology ontology.json
     python -m repro.cli serve    --ontology ontology.json --shards 4 \
                                  --q "best economy cars" --compare
+    python -m repro.cli serve    --ontology ontology.json --shards 4 \
+                                 --listen 127.0.0.1:8750
 
 ``build`` generates a synthetic world, trains a small GCTSP-Net, runs the
 full pipeline and writes the ontology JSON; the other commands operate on a
@@ -109,10 +111,61 @@ def _query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_listen(listen: str) -> "tuple[str, int] | None":
+    """``HOST:PORT`` -> (host, port), or None when malformed."""
+    host, _, port_text = listen.rpartition(":")
+    # isascii() guards against exotic "digits" like '²' that isdigit()
+    # accepts but int() rejects; 0 means "bind an ephemeral port".
+    if not host or not (port_text.isascii() and port_text.isdigit()):
+        return None
+    port = int(port_text)
+    if port > 65535:
+        return None
+    return host, port
+
+
+def _serve_rpc(backend, host: str, port: int,
+               args: argparse.Namespace) -> int:
+    """Put an async micro-batching front over ``backend`` behind RPC."""
+    import asyncio
+
+    from .serving.aio import AsyncOntologyService
+    from .serving.rpc import RpcServer
+
+    async def _run() -> None:
+        async with AsyncOntologyService(
+                backend, max_batch_size=args.max_batch_size,
+                max_delay=args.max_delay) as service:
+            server = RpcServer(service, host, port)
+            bound_host, bound_port = await server.start()
+            print(f"RPC serving on {bound_host}:{bound_port} "
+                  f"(length-prefixed JSON; Ctrl-C to stop)")
+            try:
+                await server.serve_forever()
+            finally:
+                await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def _serve(args: argparse.Namespace) -> int:
     """Shard a saved ontology and serve sample requests scatter-gather."""
     from .cluster import ClusterService
     from .serving import OntologyService
+
+    # Validate the listen address up front: a malformed --listen should
+    # fail fast, not after minutes of ontology load + shard bootstrap.
+    address = None
+    if args.listen:
+        address = _parse_listen(args.listen)
+        if address is None:
+            print(f"--listen expects HOST:PORT, got {args.listen!r}",
+                  file=sys.stderr)
+            return 2
 
     ontology, ner = _load_with_ner(args.ontology)
     tagger_options = {"coherence_threshold": args.threshold}
@@ -157,6 +210,11 @@ def _serve(args: argparse.Namespace) -> int:
             print("compare: MISMATCH between cluster and single store")
             return 1
         print("compare: cluster results identical to single store")
+
+    # Last, so --q/--compare still run (and a failed compare refuses
+    # to serve) before the cluster goes behind the socket.
+    if address is not None:
+        return _serve_rpc(cluster, address[0], address[1], args)
     return 0
 
 
@@ -214,6 +272,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--threshold", type=float, default=0.02)
     p_serve.add_argument("--compare", action="store_true",
                          help="verify cluster output against a single store")
+    p_serve.add_argument("--listen", default="",
+                         help="HOST:PORT — serve the cluster over the "
+                              "length-prefixed JSON RPC protocol (async "
+                              "micro-batched front) instead of exiting")
+    p_serve.add_argument("--max-batch-size", type=int, default=32,
+                         help="micro-batcher flush size for --listen")
+    p_serve.add_argument("--max-delay", type=float, default=0.005,
+                         help="micro-batcher flush deadline (seconds)")
     p_serve.set_defaults(func=_serve)
 
     p_show = sub.add_parser("showcase", help="print sample concepts/topics")

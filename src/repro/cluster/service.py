@@ -29,7 +29,7 @@ from typing import Any, Iterable, Sequence
 from ..core.ontology import AttentionOntology
 from ..core.serialize import store_to_delta
 from ..core.store import EdgeType, OntologyDelta, OntologyStore
-from ..errors import OntologyError
+from ..errors import DeltaGapError, OntologyError
 from ..serving.service import OntologyService
 from .router import ShardRouter
 from .shards import ShardReplica, ShardedStoreView
@@ -109,12 +109,16 @@ class ClusterService:
         """Route update batches to their shards; returns batches applied.
 
         Mirrors :meth:`OntologyService.refresh`: already-applied batches
-        are skipped (at-least-once delivery), a gap in the stream raises.
+        are skipped (at-least-once delivery), a gap in the stream raises
+        :class:`~repro.errors.DeltaGapError` before any shard is touched.
         """
         applied = 0
         for delta in deltas:
             if delta.version <= self._router.version:
                 continue
+            if delta.base_version > self._router.version:
+                raise DeltaGapError.for_stream(
+                    "cluster", self._router.version, delta.base_version)
             sub_deltas = self._router.split(delta)
             for replica, sub in zip(self._replicas, sub_deltas):
                 if sub is None:
@@ -132,7 +136,7 @@ class ClusterService:
                         "rebuild from a snapshot plus a clean delta stream"
                     ) from exc
             applied += 1
-        self._deltas_applied += applied
+            self._deltas_applied += 1
         return applied
 
     # ------------------------------------------------------------------

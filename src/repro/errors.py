@@ -21,6 +21,21 @@ class OntologyError(ReproError):
     """Raised for invalid ontology operations (cycles, unknown nodes, ...)."""
 
 
+class DeltaGapError(ReproError):
+    """Raised by serving-tier ``refresh`` when the delta stream skips
+    versions: the replica cannot advance without the missing batches."""
+
+    @classmethod
+    def for_stream(cls, role: str, at_version: int,
+                   base_version: int) -> "DeltaGapError":
+        """The standard gap message shared by every refresh path."""
+        return cls(
+            f"delta stream gap: {role} is at version {at_version} but "
+            f"the next delta starts at {base_version}; missing versions "
+            f"{at_version + 1}..{base_version}"
+        )
+
+
 class TrainingError(ReproError):
     """Raised when a model cannot be trained (empty dataset, shape errors)."""
 

@@ -11,17 +11,32 @@ reproduction's serving tier:
   and incremental ``refresh()`` from
   :class:`~repro.core.store.OntologyDelta` batches;
 * :mod:`repro.serving.cache` — the version-aware :class:`LruCache` behind
-  the service's caches.
+  the service's caches;
+* :mod:`repro.serving.aio` — :class:`AsyncOntologyService`: the asyncio
+  front that overlaps many concurrent client streams over one sync
+  backend, funnelled through the bounded micro-batching queue in
+  :mod:`repro.serving.batcher` (:class:`MicroBatcher`);
+* :mod:`repro.serving.rpc` — the length-prefixed JSON RPC wrapper
+  (:class:`RpcServer` / :class:`RpcClient`) that puts an async replica
+  behind a TCP socket.
 
 Candidate generation inside the service runs off the
 :class:`~repro.core.store.OntologyStore` inverted token index, replacing
 the seed reproduction's O(all-nodes) scans per request.
 """
 
+from .aio import AsyncOntologyService
+from .batcher import MicroBatcher
 from .cache import LruCache
+from .rpc import RpcClient, RpcError, RpcServer
 from .service import OntologyService
 
 __all__ = [
+    "AsyncOntologyService",
     "LruCache",
+    "MicroBatcher",
     "OntologyService",
+    "RpcClient",
+    "RpcError",
+    "RpcServer",
 ]

@@ -1,0 +1,172 @@
+"""AsyncOntologyService: the asyncio front of the serving tier.
+
+GIANT's deployment serves tagging and query interpretation as RPC
+services under heavy concurrent traffic.  The sync
+:class:`~repro.serving.service.OntologyService` (and its sharded drop-in
+:class:`~repro.cluster.service.ClusterService`) execute one call at a
+time in the caller's thread, so one slow caller stalls every stream.
+This module puts an asyncio façade in front of *any* backend exposing
+the ``OntologyService`` API:
+
+* every endpoint is awaitable — N client streams interleave on the
+  event loop instead of serializing behind a blocking call;
+* batchable endpoints (``tag_documents`` / ``interpret_queries``) funnel
+  through a bounded :class:`~repro.serving.batcher.MicroBatcher` that
+  merges concurrent requests into larger backend batches (flush on
+  max-batch-size or max-latency deadline) executed on a worker thread;
+* point endpoints (neighborhood, profiles, stories) ride the same
+  serialized queue, so the single-threaded sync backend never sees
+  concurrent access;
+* :meth:`refresh` applies delta batches **between** merged batches,
+  never mid-batch — every response is computed against exactly one
+  store version, and the backend's version-keyed caches stay correct.
+
+Results are the same objects the sync backend returns, so sync and
+async answers to identical requests are byte-identical (the aio tests
+assert this, black-box consistency-checker style).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Iterable, Sequence
+
+from ..core.store import EdgeType, OntologyDelta
+from .batcher import MicroBatcher
+
+#: Endpoints the async façade (and the RPC wrapper) expose.
+SERVING_METHODS = (
+    "tag_documents",
+    "interpret_queries",
+    "neighborhood",
+    "concepts_of_entity",
+    "record_read",
+    "user_interests",
+    "recommend_for_user",
+    "track_events",
+    "follow_ups",
+    "refresh",
+    "stats",
+)
+
+
+class AsyncOntologyService:
+    """Awaitable micro-batched access to a sync serving backend.
+
+    Args:
+        backend: any object with the :class:`OntologyService` API —
+            a single-store service or a :class:`ClusterService`.
+        max_batch_size / max_delay / max_queue: forwarded to the
+            :class:`MicroBatcher` (items per merged batch, flush
+            deadline in seconds, request-queue bound).
+
+    Use as an async context manager (or call :meth:`close`) so the
+    dispatcher task and worker thread shut down cleanly.
+    """
+
+    def __init__(self, backend, *, max_batch_size: int = 32,
+                 max_delay: float = 0.005, max_queue: int = 1024) -> None:
+        self._backend = backend
+        self._batcher = MicroBatcher(
+            self._execute, max_batch_size=max_batch_size,
+            max_delay=max_delay, max_queue=max_queue,
+        )
+
+    # ------------------------------------------------------------------
+    # worker-thread execution (single-threaded; called by the batcher)
+    # ------------------------------------------------------------------
+    def _execute(self, kind: str, items: list) -> Sequence:
+        if kind == "tag":
+            return self._backend.tag_documents(items)
+        if kind == "query":
+            return self._backend.interpret_queries(items)
+        # Generic endpoint calls: items are (method, args, kwargs)
+        # singletons, executed one by one on the same worker thread.
+        return [getattr(self._backend, method)(*args, **kwargs)
+                for method, args, kwargs in items]
+
+    async def _call(self, method: str, *args, **kwargs) -> Any:
+        [result] = await self._batcher.submit(
+            f"call:{method}", [(method, args, kwargs)], mergeable=False)
+        return result
+
+    # ------------------------------------------------------------------
+    # batchable serving APIs (merged across concurrent callers)
+    # ------------------------------------------------------------------
+    async def tag_documents(self, documents: Sequence) -> list:
+        """Tag a batch of documents; concurrent calls may be merged into
+        one backend batch, each caller still gets exactly its slice."""
+        return await self._batcher.submit("tag", list(documents))
+
+    async def interpret_queries(self, queries: "Sequence[str]") -> list:
+        """Analyze a batch of raw query strings (merged like tagging)."""
+        return await self._batcher.submit("query", list(queries))
+
+    # ------------------------------------------------------------------
+    # point endpoints (serialized, singleton batches)
+    # ------------------------------------------------------------------
+    async def neighborhood(self, node_id: str, depth: int = 1,
+                           edge_type: "EdgeType | None" = None
+                           ) -> "tuple[str, ...]":
+        return await self._call("neighborhood", node_id, depth=depth,
+                                edge_type=edge_type)
+
+    async def concepts_of_entity(self, entity_phrase: str
+                                 ) -> "tuple[str, ...]":
+        return await self._call("concepts_of_entity", entity_phrase)
+
+    async def record_read(self, user_id: str, tags: "list[str]",
+                          weight: float = 1.0):
+        return await self._call("record_read", user_id, tags, weight=weight)
+
+    async def user_interests(self, user_id: str, k: int = 10,
+                             node_type=None):
+        return await self._call("user_interests", user_id, k=k,
+                                node_type=node_type)
+
+    async def recommend_for_user(self, user_id: str, k: int = 5):
+        return await self._call("recommend_for_user", user_id, k=k)
+
+    async def track_events(self, events) -> int:
+        return await self._call("track_events", list(events))
+
+    async def follow_ups(self, read_phrase: str, limit: int = 3) -> tuple:
+        return await self._call("follow_ups", read_phrase, limit=limit)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    async def refresh(self, deltas: "Iterable[OntologyDelta]") -> int:
+        """Apply pipeline delta batches on the backend.
+
+        The refresh rides the serialized request queue, so it executes
+        *between* merged batches — in-flight batches finish against the
+        old version, later ones see the new one; no response mixes two
+        store versions.
+        """
+        return await self._call("refresh", list(deltas))
+
+    async def stats(self) -> dict:
+        """Backend counters plus the async tier's batching stats."""
+        stats = await self._call("stats")
+        stats["async"] = self._batcher.stats
+        return stats
+
+    @property
+    def backend(self):
+        return self._backend
+
+    @property
+    def version(self) -> int:
+        """Store version the backend currently serves (snapshot read)."""
+        return self._backend.version
+
+    async def close(self) -> None:
+        """Drain queued requests and stop the dispatcher/worker."""
+        await self._batcher.close()
+
+    async def __aenter__(self) -> "AsyncOntologyService":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()

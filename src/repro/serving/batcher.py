@@ -1,0 +1,206 @@
+"""Micro-batching request queue for the async serving tier.
+
+The production GIANT services sit behind RPC under heavy concurrent
+traffic; per-request execution would serialize N client streams while
+the batched APIs (:meth:`OntologyService.tag_documents`,
+:meth:`~OntologyService.interpret_queries`) amortise candidate
+generation best over *merged* batches.  The :class:`MicroBatcher` is the
+funnel between the two worlds:
+
+* callers ``await submit(kind, items)`` — requests enter a **bounded**
+  :class:`asyncio.Queue` (backpressure instead of unbounded growth);
+* a dispatcher coroutine drains the queue, **merging** consecutive
+  requests of the same mergeable ``kind`` until the batch reaches
+  ``max_batch_size`` items or ``max_delay`` seconds have passed since
+  the first request — whichever comes first (the classic
+  size-or-deadline flush);
+* each merged batch executes via ``execute(kind, items)`` on a single
+  worker thread, and the aligned result list is scattered back to every
+  caller's future by its slice.
+
+Non-mergeable kinds (point lookups, profile updates, ``refresh``) flow
+through the *same* queue as singleton batches, so every backend call is
+serialized on one worker thread: a delta refresh runs **between**
+merged batches, never mid-batch, and the sync backend needs no locking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..errors import ReproError
+
+
+@dataclass
+class _Request:
+    """One queued request: ``items`` to execute and the caller's future."""
+
+    kind: str
+    items: "list[Any]"
+    mergeable: bool
+    future: "asyncio.Future"
+
+
+_SHUTDOWN = object()
+
+
+class MicroBatcher:
+    """Bounded request queue with size-or-deadline batch flushing.
+
+    Args:
+        execute: ``execute(kind, items) -> Sequence`` run on the worker
+            thread; must return one result per item, in order.
+        max_batch_size: flush a merged batch once it holds this many
+            items (documents/queries), even if the deadline is not up.
+        max_delay: seconds to wait for more mergeable requests after the
+            first item of a batch arrives before flushing anyway.
+        max_queue: request-queue bound; ``submit`` applies backpressure
+            (awaits) when the queue is full.
+    """
+
+    def __init__(self, execute: "Callable[[str, list], Sequence]", *,
+                 max_batch_size: int = 32, max_delay: float = 0.005,
+                 max_queue: int = 1024) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self._execute = execute
+        self._max_batch_size = max_batch_size
+        self._max_delay = max_delay
+        self._max_queue = max_queue
+        self._queue: "asyncio.Queue | None" = None
+        self._task: "asyncio.Task | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._executor: "ThreadPoolExecutor | None" = None
+        self._carry: "Any | None" = None
+        self._closed = False
+        self._requests = 0
+        self._batches = 0
+        self._items = 0
+        self._max_batch_items = 0
+        self._size_flushes = 0
+        self._deadline_flushes = 0
+
+    # ------------------------------------------------------------------
+    def _ensure_running(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self._closed:
+            raise ReproError("MicroBatcher is closed")
+        if self._task is None:
+            self._loop = loop
+            self._queue = asyncio.Queue(maxsize=self._max_queue)
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-aio")
+            self._task = loop.create_task(self._run())
+        elif self._loop is not loop:
+            raise ReproError(
+                "MicroBatcher is bound to a different event loop; create "
+                "one batcher per asyncio.run()"
+            )
+
+    async def submit(self, kind: str, items: "Sequence[Any]",
+                     mergeable: bool = True) -> list:
+        """Enqueue ``items`` under ``kind``; returns their results once
+        the batch holding them has executed."""
+        self._ensure_running()
+        future = self._loop.create_future()
+        request = _Request(kind, list(items), mergeable, future)
+        await self._queue.put(request)
+        self._requests += 1
+        return await future
+
+    async def close(self) -> None:
+        """Drain already-queued requests, then stop the dispatcher."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._task is None:
+            return
+        await self._queue.put(_SHUTDOWN)
+        await self._task
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    async def _next_request(self) -> Any:
+        if self._carry is not None:
+            request, self._carry = self._carry, None
+            return request
+        return await self._queue.get()
+
+    async def _run(self) -> None:
+        loop = self._loop
+        while True:
+            request = await self._next_request()
+            if request is _SHUTDOWN:
+                return
+            batch = [request]
+            size = len(request.items)
+            if request.mergeable:
+                deadline = loop.time() + self._max_delay
+                while size < self._max_batch_size:
+                    timeout = deadline - loop.time()
+                    if timeout <= 0:
+                        self._deadline_flushes += 1
+                        break
+                    try:
+                        nxt = await asyncio.wait_for(self._queue.get(),
+                                                     timeout)
+                    except asyncio.TimeoutError:
+                        self._deadline_flushes += 1
+                        break
+                    if (nxt is _SHUTDOWN or nxt.kind != request.kind
+                            or not nxt.mergeable):
+                        self._carry = nxt
+                        break
+                    batch.append(nxt)
+                    size += len(nxt.items)
+                else:
+                    self._size_flushes += 1
+            await self._flush(batch, size)
+
+    async def _flush(self, batch: "list[_Request]", size: int) -> None:
+        merged = [item for request in batch for item in request.items]
+        try:
+            results = await self._loop.run_in_executor(
+                self._executor, self._execute, batch[0].kind, merged)
+        except Exception as exc:  # scatter the failure to every caller
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        finally:
+            self._batches += 1
+            self._items += size
+            self._max_batch_items = max(self._max_batch_items, size)
+        if len(results) != len(merged):
+            exc = ReproError(
+                f"batch executor returned {len(results)} results for "
+                f"{len(merged)} items (kind {batch[0].kind!r})"
+            )
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        offset = 0
+        for request in batch:
+            chunk = list(results[offset:offset + len(request.items)])
+            offset += len(request.items)
+            if not request.future.done():
+                request.future.set_result(chunk)
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> "dict[str, int]":
+        """Merge/flush counters for introspection and benchmarks."""
+        return {
+            "requests": self._requests,
+            "batches": self._batches,
+            "items": self._items,
+            "max_batch_items": self._max_batch_items,
+            "size_flushes": self._size_flushes,
+            "deadline_flushes": self._deadline_flushes,
+        }

@@ -1,0 +1,365 @@
+"""Length-prefixed JSON RPC for the async serving tier.
+
+A thin wire protocol so serving replicas can sit behind a real socket —
+the reproduction's stand-in for the production deployment's Tars RPC:
+
+* **Framing** — each message is a 4-byte big-endian length followed by
+  a UTF-8 JSON body (canonical form: sorted keys, compact separators),
+  so both sides parse without delimiters or chunking heuristics.
+* **Codec** — serving results are dataclasses (``TaggedDocument``,
+  ``QueryAnalysis``, ``EventRecord``, ``InterestProfile``,
+  ``OntologyDelta``) holding tuples/sets JSON cannot express; the codec
+  type-tags them (``{"__dc__": ...}``, ``{"__tuple__": ...}``,
+  ``{"__set__": ...}``, ``{"__enum__": ...}``) and reconstructs the
+  exact objects on decode.  ``dumps(sync_result) == dumps(rpc_result)``
+  is the tests' byte-identity oracle between the sync service and the
+  wire (black-box consistency checking).
+* **Server** — :class:`RpcServer` wraps an
+  :class:`~repro.serving.aio.AsyncOntologyService`; each request on a
+  connection is handled in its own task, so many requests from many
+  connections overlap and the micro-batcher merges them.
+* **Client** — :class:`RpcClient` pipelines requests by id over one
+  connection; server-side exceptions come back as :class:`RpcError`
+  with the original exception type name.
+
+Requests are ``{"id", "method", "args", "kwargs"}``; responses carry
+either ``"result"`` or ``"error": {"type", "message"}``.  Only the
+methods in :data:`~repro.serving.aio.SERVING_METHODS` are dispatchable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import enum
+import json
+from typing import Any
+
+from ..apps.profiles import InterestProfile
+from ..apps.query import QueryAnalysis
+from ..apps.story_tree import EventRecord
+from ..apps.tagging import TaggedDocument
+from ..core.store import EdgeType, NodeType, OntologyDelta
+from ..errors import ReproError
+from .aio import SERVING_METHODS, AsyncOntologyService
+
+_MAX_FRAME = 64 * 1024 * 1024  # sanity bound on one message
+_ESCAPE = "__esc__"  # prefix shielding user dict keys from codec markers
+
+_DATACLASSES = {cls.__name__: cls for cls in (
+    TaggedDocument, QueryAnalysis, EventRecord, InterestProfile,
+    OntologyDelta,
+)}
+_ENUMS = {cls.__name__: cls for cls in (EdgeType, NodeType)}
+
+
+class RpcError(ReproError):
+    """A server-side failure reported back over the wire."""
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.message = message
+
+
+# ----------------------------------------------------------------------
+# codec
+# ----------------------------------------------------------------------
+def encode(obj: Any) -> Any:
+    """Lower ``obj`` to JSON-representable form, type-tagging what JSON
+    cannot express (tuples, sets, enums, known dataclasses)."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        if type(obj).__name__ not in _ENUMS:
+            raise ReproError(f"cannot encode enum {type(obj).__name__}")
+        return {"__enum__": type(obj).__name__, "v": obj.value}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        name = type(obj).__name__
+        if name not in _DATACLASSES:
+            raise ReproError(f"cannot encode dataclass {name}")
+        fields = {f.name: encode(getattr(obj, f.name))
+                  for f in dataclasses.fields(obj)}
+        return {"__dc__": name, "f": fields}
+    if isinstance(obj, tuple):
+        return {"__tuple__": [encode(item) for item in obj]}
+    if isinstance(obj, set):
+        # Sort by canonical JSON text: element order is deterministic
+        # even when encoded elements are dicts or of mixed types.
+        return {"__set__": sorted(
+            (encode(item) for item in obj),
+            key=lambda value: json.dumps(value, sort_keys=True))}
+    if isinstance(obj, list):
+        return [encode(item) for item in obj]
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise ReproError(f"cannot encode dict key {key!r}")
+            if key.startswith("__"):
+                # Payload dicts are arbitrary: escape dunder keys so
+                # they can't collide with the codec's type markers.
+                key = _ESCAPE + key
+            out[key] = encode(value)
+        return out
+    raise ReproError(f"cannot encode {type(obj).__name__} for RPC")
+
+
+def decode(obj: Any) -> Any:
+    """Inverse of :func:`encode`: rebuild the exact Python objects."""
+    if isinstance(obj, list):
+        return [decode(item) for item in obj]
+    if isinstance(obj, dict):
+        if "__tuple__" in obj:
+            return tuple(decode(item) for item in obj["__tuple__"])
+        if "__set__" in obj:
+            return {decode(item) for item in obj["__set__"]}
+        if "__enum__" in obj:
+            return _ENUMS[obj["__enum__"]](obj["v"])
+        if "__dc__" in obj:
+            cls = _DATACLASSES[obj["__dc__"]]
+            return cls(**{key: decode(value)
+                          for key, value in obj["f"].items()})
+        return {(key[len(_ESCAPE):] if key.startswith(_ESCAPE) else key):
+                decode(value)
+                for key, value in obj.items()}
+    return obj
+
+
+def _canonical_bytes(obj: Any) -> bytes:
+    """The wire's canonical JSON form of an already-encoded value."""
+    return json.dumps(obj, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def dumps(obj: Any) -> bytes:
+    """Canonical wire bytes for ``obj`` (the byte-identity oracle)."""
+    return _canonical_bytes(encode(obj))
+
+
+def loads(data: bytes) -> Any:
+    return decode(json.loads(data.decode("utf-8")))
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+async def read_frame(reader: asyncio.StreamReader) -> "bytes | None":
+    """Read one length-prefixed frame; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise ReproError("truncated RPC frame header") from exc
+        return None
+    length = int.from_bytes(header, "big")
+    if length > _MAX_FRAME:
+        raise ReproError(f"RPC frame of {length} bytes exceeds limit")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ReproError("truncated RPC frame body") from exc
+
+
+def write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    writer.write(len(payload).to_bytes(4, "big") + payload)
+
+
+# ----------------------------------------------------------------------
+# server
+# ----------------------------------------------------------------------
+class RpcServer:
+    """Serves an :class:`AsyncOntologyService` over a TCP socket.
+
+    Each incoming frame spawns a handler task, so requests from all
+    connections run concurrently and mergeable calls micro-batch.
+    """
+
+    def __init__(self, service: AsyncOntologyService,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_inflight: int = 64) -> None:
+        if max_inflight <= 0:
+            raise ReproError("max_inflight must be positive")
+        self._service = service
+        self._host = host
+        self._port = port
+        self._max_inflight = max_inflight
+        self._server: "asyncio.AbstractServer | None" = None
+
+    async def start(self) -> "tuple[str, int]":
+        """Bind and listen; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port)
+        sockname = self._server.sockets[0].getsockname()
+        self._host, self._port = sockname[0], sockname[1]
+        return self._host, self._port
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        return self._host, self._port
+
+    async def serve_forever(self) -> None:
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        # Cap in-flight requests per connection: once full, we stop
+        # reading frames, the kernel buffers fill, and a pipelining
+        # client blocks on the socket — the batcher's bounded-queue
+        # backpressure actually reaches the wire instead of piling up
+        # as unbounded tasks here.
+        inflight = asyncio.Semaphore(self._max_inflight)
+        pending: "set[asyncio.Task]" = set()
+
+        async def handle_and_release(frame: bytes) -> None:
+            try:
+                await self._handle_request(frame, writer, write_lock)
+            finally:
+                inflight.release()
+
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except (ConnectionError, OSError, ReproError):
+                    break  # client vanished mid-frame or sent garbage
+                if frame is None:
+                    break
+                await inflight.acquire()
+                task = asyncio.ensure_future(handle_and_release(frame))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        finally:
+            for task in pending:
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(self, frame: bytes,
+                              writer: asyncio.StreamWriter,
+                              write_lock: asyncio.Lock) -> None:
+        request_id = None
+        try:
+            request = json.loads(frame.decode("utf-8"))
+            request_id = request.get("id")
+            method = request.get("method")
+            if method not in SERVING_METHODS:
+                raise ReproError(f"unknown RPC method {method!r}")
+            args = decode(request.get("args", []))
+            kwargs = decode(request.get("kwargs", {}))
+            result = await getattr(self._service, method)(*args, **kwargs)
+            body = {"id": request_id, "result": encode(result)}
+        except Exception as exc:
+            body = {"id": request_id,
+                    "error": {"type": type(exc).__name__,
+                              "message": str(exc)}}
+        payload = _canonical_bytes(body)
+        async with write_lock:
+            try:
+                write_frame(writer, payload)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; nothing to deliver the reply to
+
+
+# ----------------------------------------------------------------------
+# client
+# ----------------------------------------------------------------------
+class RpcClient:
+    """Pipelined client for :class:`RpcServer` (one connection, many
+    in-flight requests matched by id)."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._pending: "dict[int, asyncio.Future]" = {}
+        self._receiver = asyncio.ensure_future(self._receive_loop())
+        self._write_lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "RpcClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def call(self, method: str, *args, **kwargs) -> Any:
+        """Invoke a serving method remotely; raises :class:`RpcError`
+        on a server-reported failure."""
+        if self._receiver.done():
+            # The receive loop already died (close(), server EOF or a
+            # garbled frame) and failed every pending future; a future
+            # registered now would never resolve — fail fast instead.
+            raise ReproError("RPC client connection is closed")
+        loop = asyncio.get_running_loop()
+        request_id = self._next_id
+        self._next_id += 1
+        future = loop.create_future()
+        self._pending[request_id] = future
+        payload = _canonical_bytes(
+            {"id": request_id, "method": method,
+             "args": encode(list(args)), "kwargs": encode(kwargs)})
+        async with self._write_lock:
+            write_frame(self._writer, payload)
+            await self._writer.drain()
+        return await future
+
+    async def _receive_loop(self) -> None:
+        error: "BaseException | None" = None
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    raise ReproError("RPC connection closed by server")
+                body = json.loads(frame.decode("utf-8"))
+                future = self._pending.pop(body.get("id"), None)
+                if future is None or future.done():
+                    continue
+                if "error" in body:
+                    future.set_exception(RpcError(
+                        body["error"]["type"], body["error"]["message"]))
+                else:
+                    future.set_result(decode(body["result"]))
+        except asyncio.CancelledError:
+            # close() cancelled us; fail the in-flight calls (finally)
+            # rather than leaving their awaiters hanging forever.
+            error = ReproError("RPC client closed")
+            raise
+        except Exception as exc:
+            error = exc
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        error or ReproError("RPC client closed"))
+            self._pending.clear()
+
+    async def close(self) -> None:
+        self._receiver.cancel()
+        try:
+            await self._receiver
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "RpcClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()

@@ -31,7 +31,7 @@ from ..apps.story_tracker import StoryTracker
 from ..apps.tagging import DocumentTagger, TaggedDocument
 from ..core.ontology import AttentionOntology, NodeType
 from ..core.store import EdgeType, OntologyDelta, OntologyStore
-from ..errors import ReproError
+from ..errors import DeltaGapError, ReproError
 from .cache import LruCache
 
 
@@ -100,15 +100,22 @@ class OntologyService:
 
         Deltas already behind the replica's version are skipped (an
         at-least-once delivery of the same day's batches is harmless);
-        a delta from the future raises, signalling a gap in the stream.
+        a delta from the future raises :class:`DeltaGapError` *before*
+        any of its ops touch the store, signalling a gap in the stream.
+        Each delta is therefore either fully applied or cleanly
+        rejected — contiguous prefixes applied earlier in the same call
+        remain valid and the missing range can be re-delivered.
         """
         applied = 0
         for delta in deltas:
             if delta.version <= self._store.version:
                 continue
+            if delta.base_version > self._store.version:
+                raise DeltaGapError.for_stream(
+                    "replica", self._store.version, delta.base_version)
             self._store.apply_delta(delta)
             applied += 1
-        self._deltas_applied += applied
+            self._deltas_applied += 1
         return applied
 
     def _ensure_current(self) -> None:
@@ -288,7 +295,13 @@ class OntologyService:
     # introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Serving counters plus the replica's ontology stats."""
+        """Serving counters plus the replica's ontology stats.
+
+        ``stories_tracked`` is ``None`` until story tracking is first
+        used and a count (possibly 0) afterwards — ``is not None``
+        rather than truthiness, so an instantiated-but-empty tracker is
+        distinguishable from no tracker at all.
+        """
         return {
             "version": self._store.version,
             "documents_tagged": self._documents_tagged,
@@ -296,7 +309,8 @@ class OntologyService:
             "deltas_applied": self._deltas_applied,
             "profiles": len(self._profile_revisions),
             "events_tracked": self._events_tracked,
-            "stories_tracked": len(self._tracker) if self._tracker else 0,
+            "stories_tracked": (len(self._tracker)
+                                if self._tracker is not None else None),
             "cache": self._cache.stats,
             "ontology": self._store.stats(),
         }

@@ -103,3 +103,20 @@ class TestCli:
     def test_missing_subcommand_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+    @pytest.mark.parametrize("listen", [
+        "8750",             # missing HOST:
+        "127.0.0.1:",       # missing port
+        "127.0.0.1:nope",   # non-numeric port
+        "127.0.0.1:99999",  # port out of range
+        "127.0.0.1:²",      # isdigit()-true but not an int literal
+    ])
+    def test_serve_malformed_listen_fails_before_loading(self, capsys,
+                                                         listen):
+        # A bad --listen must fail fast: the ontology path here does not
+        # even exist, so reaching the load would raise instead of
+        # returning the usage error.
+        rc = main(["serve", "--ontology", "does-not-exist.json",
+                   "--listen", listen])
+        assert rc == 2
+        assert "HOST:PORT" in capsys.readouterr().err

@@ -7,7 +7,7 @@ from repro.cluster import ClusterService, ShardRouter, TaggingWorkerPool
 from repro.core.ontology import AttentionOntology, EdgeType, NodeType
 from repro.core.serialize import store_to_delta
 from repro.core.store import OntologyDelta, OntologyStore
-from repro.errors import OntologyError
+from repro.errors import DeltaGapError, OntologyError
 from repro.serving import OntologyService
 from repro.text.ner import NerTagger
 from repro.text.tokenizer import tokenize
@@ -174,6 +174,19 @@ class TestClusterReplay:
         cluster = ClusterService(num_shards=4, deltas=deltas[:2])
         assert cluster.refresh(deltas) == 1  # only the third is new
         assert cluster.refresh(deltas) == 0
+
+    def test_refresh_gap_rejected_before_any_shard_applies(
+            self, producer_and_deltas):
+        """Mirrors OntologyService.refresh: a gapped stream raises a
+        serving-level DeltaGapError naming the missing range, with no
+        shard advanced past the contiguous prefix."""
+        _producer, deltas = producer_and_deltas
+        cluster = ClusterService(num_shards=4, deltas=deltas[:1])
+        with pytest.raises(DeltaGapError, match="missing versions"):
+            cluster.refresh(deltas[2:])  # deltas[1] is missing
+        assert cluster.version == deltas[0].version
+        # Re-delivering the full tail catches the cluster up cleanly.
+        assert cluster.refresh(deltas[1:]) == len(deltas) - 1
 
     def test_bootstrap_from_existing_ontology(self, producer_and_deltas):
         producer, _deltas = producer_and_deltas

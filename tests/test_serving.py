@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps.tagging import DocumentTagger
 from repro.core.ontology import AttentionOntology, EdgeType, NodeType
-from repro.errors import ReproError
+from repro.errors import DeltaGapError, ReproError
 from repro.serving import LruCache, OntologyService
 from repro.text.ner import NerTagger
 from repro.text.tokenizer import tokenize
@@ -197,6 +197,16 @@ class TestStoryEndpoints:
                    for e in follow)
         assert service.stats()["events_tracked"] == 3
 
+    def test_stats_distinguish_empty_tracker_from_no_tracker(self, service):
+        """Regression: truthiness on a tracker with ``__len__`` made an
+        instantiated-but-empty tracker look like no tracker at all;
+        stats must use ``is not None`` and report None vs 0."""
+        assert service.stats()["stories_tracked"] is None
+        assert service.track_events([]) == 0
+        assert service.stats()["stories_tracked"] == 0
+        service.track_events(self._events())
+        assert service.stats()["stories_tracked"] >= 1
+
     def test_follow_ups_cached_per_tracker_revision(self, service):
         events = self._events()
         service.track_events(events[:2])
@@ -232,6 +242,38 @@ class TestDeltaRefresh:
         assert replica.refresh([first, second]) == 1  # first already applied
         assert replica.concepts_of_entity("voyager 2") == ("space probes",)
         assert replica.stats()["deltas_applied"] == 2
+
+    def test_refresh_gap_raises_before_touching_store(self, ner):
+        """Regression: a gapped stream must raise a serving-level
+        DeltaGapError naming the missing range *before* the gapped
+        delta applies any op — the contiguous prefix stands and the
+        missing batches can simply be re-delivered."""
+        producer = AttentionOntology()
+        producer.begin_delta("build")
+        concept = producer.add_node(NodeType.CONCEPT, "space probes")
+        first = producer.commit_delta()
+        producer.begin_delta("day2")
+        entity = producer.add_node(NodeType.ENTITY, "voyager 1")
+        producer.add_edge(concept.node_id, entity.node_id, EdgeType.ISA)
+        second = producer.commit_delta()
+        producer.begin_delta("day3")
+        other = producer.add_node(NodeType.ENTITY, "voyager 2")
+        producer.add_edge(concept.node_id, other.node_id, EdgeType.ISA)
+        third = producer.commit_delta()
+
+        replica = OntologyService(AttentionOntology(), ner=ner)
+        with pytest.raises(DeltaGapError) as excinfo:
+            replica.refresh([first, third])  # second is missing
+        assert (f"missing versions {first.version + 1}.."
+                f"{third.base_version}") in str(excinfo.value)
+        # The contiguous prefix was fully applied, the gapped delta
+        # cleanly rejected: nothing of it reached the store.
+        assert replica.version == first.version
+        assert replica.stats()["deltas_applied"] == 1
+        # Re-delivering the missing range completes the refresh.
+        assert replica.refresh([second, third]) == 2
+        assert replica.concepts_of_entity("voyager 1") == ("space probes",)
+        assert replica.concepts_of_entity("voyager 2") == ("space probes",)
 
     def test_refresh_updates_query_interpretation(self, ner):
         producer = AttentionOntology()

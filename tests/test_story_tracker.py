@@ -78,6 +78,28 @@ class TestFollowUps:
         assert tracker.follow_ups(
             "usa imposes more tariffs on chinese commodities") == []
 
+    def test_follow_ups_keep_same_day_siblings(self, trade_events):
+        """Events carry day granularity only: a same-day sibling counts
+        as "published after" the read event and must be recommended."""
+        tracker = StoryTracker()
+        sibling = event("china answers usa tariffs the same day",
+                        "imposes", ["china", "usa"], 1)
+        tracker.add_events(trade_events + [sibling])
+        ups = tracker.follow_ups("usa imposes new tariffs on chinese goods")
+        assert sibling.phrase in [e.phrase for e in ups]
+
+    def test_follow_ups_when_read_event_evicted_from_story(self, trade_events):
+        """Regression: the phrase index can point at a story whose
+        matching event was merged away/evicted; ``follow_ups`` must
+        answer "no follow-ups", not raise StopIteration."""
+        tracker = StoryTracker()
+        tracker.add_events(trade_events)
+        read_phrase = "usa imposes new tariffs on chinese goods"
+        story = tracker.story_of(read_phrase)
+        story.events[:] = [e for e in story.events
+                           if e.phrase != read_phrase]
+        assert tracker.follow_ups(read_phrase) == []
+
 
 class TestTreeMaterialisation:
     def test_tree_of_story(self, trade_events):
