@@ -5,6 +5,13 @@ coherent branches and ordered by article time.  The bench builds the tree
 for the synthetic world's richest topic and checks the structural claims:
 related events cluster onto branches, branches are chronological, and
 unrelated events stay out.
+
+The story-*serving* bench then routes the same event pool through a
+4-shard :class:`ClusterService`'s ``track_events`` / ``follow_ups``
+endpoints (ROADMAP "cluster-aware recsys/story benchmarks") and asserts
+the responses are byte-identical (``rpc.dumps``) to a single-store
+service replica, recording the result in
+``results/BENCH_tagging.json``.
 """
 
 from __future__ import annotations
@@ -12,10 +19,14 @@ from __future__ import annotations
 import pytest
 
 from repro.apps.story_tree import EventRecord, StoryTreeBuilder
+from repro.cluster import ClusterService
+from repro.core.ontology import AttentionOntology
+from repro.serving import OntologyService
+from repro.serving.rpc import dumps
 from repro.text.embeddings import WordEmbeddings
 from repro.text.tokenizer import tokenize
 
-from bench_common import write_result
+from bench_common import write_json, write_result
 
 
 @pytest.fixture(scope="module")
@@ -64,3 +75,38 @@ def test_figure5_story_tree(benchmark, event_pool, builder, bench_world):
     assert tree.root.event.day == min(all_days)
     # Same-trigger retrieval keeps the story coherent.
     assert all(e.trigger == seed.trigger for b in tree.branches for e in b)
+
+
+def test_story_endpoints_through_cluster(event_pool, bench_world):
+    """Acceptance gate for the cluster-aware story bench: routing the
+    day's events through ClusterService.track_events and reading
+    follow_ups is byte-identical to the single-store service."""
+    single = OntologyService(AttentionOntology())
+    cluster = ClusterService(num_shards=4)
+    by_day = sorted(event_pool, key=lambda e: (e.day, e.phrase))
+    assert cluster.track_events(by_day) == single.track_events(by_day)
+
+    read_phrases = [e.phrase for e in by_day[:12]]
+    verified = 0
+    with_follow_ups = 0
+    for phrase in read_phrases:
+        single_ups = single.follow_ups(phrase, limit=3)
+        cluster_ups = cluster.follow_ups(phrase, limit=3)
+        assert dumps(cluster_ups) == dumps(single_ups)
+        verified += 1
+        if cluster_ups:
+            with_follow_ups += 1
+    assert with_follow_ups > 0  # developing stories yield fresh events
+
+    stats = cluster.stats()
+    assert stats["stories_tracked"] == single.stats()["stories_tracked"]
+    write_json("BENCH_tagging", {
+        "cluster_story": {
+            "num_shards": cluster.num_shards,
+            "events_tracked": len(by_day),
+            "stories_tracked": stats["stories_tracked"],
+            "follow_up_reads_verified": verified,
+            "reads_with_follow_ups": with_follow_ups,
+            "byte_identical": True,
+        },
+    })

@@ -7,7 +7,13 @@ entity 12.93% > concept 11.82% > category 9.04%; the event curve is the
 least stable day-to-day.
 
 The simulator (see DESIGN.md for the substitution) reproduces the arm
-ordering, the all-tags uplift, and the event-curve volatility.
+ordering, the all-tags uplift, and the event-curve volatility.  Since
+the replication PR the benches run their ontology lookups through a
+4-shard :class:`ClusterService` (ROADMAP "cluster-aware recsys/story
+benchmarks"): article concept tags come from scatter-gather
+``concepts_of_entity`` reads over hash-partitioned replicas, and the
+cluster-vs-single-store CTR identity is asserted and recorded in
+``results/BENCH_tagging.json``.
 """
 
 from __future__ import annotations
@@ -16,19 +22,50 @@ import numpy as np
 import pytest
 
 from repro.apps.recsys import (
+    ArmConfig,
     FeedSimulator,
     default_figure6_arms,
     default_figure7_arms,
 )
+from repro.cluster import ClusterService
+from repro.core.ontology import AttentionOntology, EdgeType, NodeType
 from repro.eval.reporting import render_series
+from repro.serving import OntologyService
 
-from bench_common import SCALE, write_result
+from bench_common import SCALE, write_json, write_result
+
+
+def _users() -> int:
+    return 600 if SCALE == "full" else 300
 
 
 @pytest.fixture(scope="module")
-def simulator(bench_world):
-    users = 600 if SCALE == "full" else 300
-    return FeedSimulator(bench_world, num_users=users, seed=0)
+def gold_tag_delta(bench_world):
+    """The world's gold concept-entity ontology as one recorded delta
+    (the stream a cluster shards); gold tags keep the figures' CTR
+    identical to the no-ontology default (the recsys tests assert it)."""
+    onto = AttentionOntology()
+    onto.begin_delta("gold-tags")
+    for name in sorted(bench_world.concepts):
+        concept = bench_world.concepts[name]
+        cnode = onto.add_node(NodeType.CONCEPT, concept.phrase)
+        for member in concept.members:
+            enode = onto.add_node(NodeType.ENTITY, member)
+            onto.add_edge(cnode.node_id, enode.node_id, EdgeType.ISA)
+    delta = onto.commit_delta()
+    return onto, delta
+
+
+@pytest.fixture(scope="module")
+def tag_cluster(gold_tag_delta):
+    _onto, delta = gold_tag_delta
+    return ClusterService(num_shards=4, deltas=[delta])
+
+
+@pytest.fixture(scope="module")
+def simulator(bench_world, tag_cluster):
+    return FeedSimulator(bench_world, num_users=_users(), seed=0,
+                         ontology=tag_cluster)
 
 
 def _mean_ctr(results):
@@ -89,3 +126,48 @@ def test_figure7_ctr_by_tag_type(benchmark, simulator, bench_world):
         return float(np.std(ctrs)) if len(ctrs) > 1 else 0.0
 
     assert volatility(results["event"]) >= volatility(results["topic"])
+
+
+def test_cluster_routed_ctr_identical_to_single_store(bench_world,
+                                                      gold_tag_delta,
+                                                      tag_cluster):
+    """Acceptance gate for the cluster-aware CTR benches: the simulator
+    routed through 4-shard scatter-gather replicas produces exactly the
+    per-day impression/click numbers of a single-store service replica
+    (fresh simulators with identical seeds, so RNG streams align)."""
+    onto, _delta = gold_tag_delta
+    single_service = OntologyService(onto)
+    arms = [default_figure6_arms()[0], ArmConfig("concept", ("concept",))]
+    users = max(100, _users() // 3)  # smaller: this arm set runs twice
+
+    def run(ontology):
+        sim = FeedSimulator(bench_world, num_users=users, seed=0,
+                            ontology=ontology)
+        return {
+            name: [(r.day, r.impressions, r.clicks) for r in rs]
+            for name, rs in sim.compare_arms(arms).items()
+        }
+
+    via_cluster = run(tag_cluster)
+    via_single = run(single_service)
+    assert via_cluster == via_single
+
+    # Every entity's concept expansion scatter-gathers identically.
+    entities = sorted(bench_world.entities)
+    for entity in entities:
+        assert tag_cluster.concepts_of_entity(entity) == \
+            single_service.concepts_of_entity(entity)
+
+    clicks = sum(c for _d, _i, c in via_cluster["all types of tags"])
+    impressions = sum(i for _d, i, _c in via_cluster["all types of tags"])
+    write_json("BENCH_tagging", {
+        "cluster_recsys": {
+            "num_shards": tag_cluster.num_shards,
+            "simulated_users": users,
+            "arms_verified": sorted(via_cluster),
+            "entities_verified": len(entities),
+            "identical_to_single_store": True,
+            "all_tags_mean_ctr": round(clicks / impressions, 4)
+            if impressions else 0.0,
+        },
+    })

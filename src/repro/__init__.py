@@ -10,7 +10,9 @@ Public API overview::
         OntologyService,          # online serving: batched tagging/queries
         AsyncOntologyService,     # asyncio front: micro-batched streams
         ClusterService,           # sharded scatter-gather serving tier
+        RemoteClusterService,     # shards in follower-fed worker processes
         TaggingWorkerPool,        # multi-process tagging over replicas
+        DeltaLog, SnapshotCatalog,  # durable segmented WAL + compaction
         GCTSPNet,                 # the paper's phrase-mining model
         build_world, QueryLogGenerator,  # synthetic click-log substrate
     )
@@ -32,16 +34,24 @@ Subpackages:
                        asyncio micro-batching front + JSON RPC wrapper
     repro.cluster    — sharded cluster tier: hash-partitioned stores,
                        scatter-gather ClusterService, multi-process
-                       tagging workers
+                       tagging workers, remote shard worker processes
+    repro.replication — durable segmented delta log, snapshot catalog,
+                       log publisher/followers (the system of record)
     repro.eval       — metrics and table/figure rendering
 """
 
-from .cluster import ClusterService, TaggingWorkerPool
+from .cluster import ClusterService, RemoteClusterService, TaggingWorkerPool
 from .config import GiantConfig, MiningConfig, LinkingConfig, GCTSPConfig
 from .core.gctsp import GCTSPNet
 from .core.ontology import AttentionOntology, NodeType, EdgeType
 from .core.store import OntologyStore, OntologyDelta
 from .pipeline import GiantPipeline, PipelineReport
+from .replication import (
+    DeltaLog,
+    LogFollower,
+    LogPublisher,
+    SnapshotCatalog,
+)
 from .serving import AsyncOntologyService, OntologyService
 from .synth.world import build_world, WorldConfig
 from .synth.querylog import QueryLogGenerator
@@ -62,7 +72,12 @@ __all__ = [
     "OntologyService",
     "AsyncOntologyService",
     "ClusterService",
+    "RemoteClusterService",
     "TaggingWorkerPool",
+    "DeltaLog",
+    "SnapshotCatalog",
+    "LogPublisher",
+    "LogFollower",
     "GiantPipeline",
     "PipelineReport",
     "build_world",

@@ -106,8 +106,11 @@ class FeedSimulator:
     as in the paper's deployment (Section 5.4 notes concept CTR dips below
     entity CTR because of inference noise in the isA edges).  Ontology
     lookups go through an :class:`~repro.serving.service.OntologyService`
-    replica (also accepted directly as ``ontology``), whose LRU cache
-    amortises the per-article concept expansion across the day's feed.
+    replica, whose LRU cache amortises the per-article concept expansion
+    across the day's feed; any object with the serving API — a
+    :class:`~repro.cluster.service.ClusterService`, a remote cluster —
+    is accepted directly as ``ontology``, so the CTR benchmarks can run
+    their lookups through scatter-gather replicas.
     """
 
     def __init__(self, world: World, num_users: int = 500,
@@ -121,10 +124,15 @@ class FeedSimulator:
         if ontology is not None:
             # Imported here: repro.serving builds on repro.apps at import
             # time, so the reverse dependency must bind lazily.
+            from ..core.ontology import AttentionOntology
+            from ..core.store import OntologyStore
             from ..serving.service import OntologyService
 
-            self._service = (ontology if isinstance(ontology, OntologyService)
-                             else OntologyService(ontology))
+            if isinstance(ontology, (AttentionOntology, OntologyStore)):
+                ontology = OntologyService(ontology)
+            # Anything else already speaks the serving API (an
+            # OntologyService, ClusterService, remote cluster, ...).
+            self._service = ontology
         self._num_users = num_users
         self._impressions_per_user = impressions_per_user
         self._articles_per_event = articles_per_event

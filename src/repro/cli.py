@@ -3,19 +3,30 @@
 Subcommands::
 
     python -m repro.cli build    --days 4 --out ontology.json
+    python -m repro.cli build    --days 4 --out ontology.json \
+                                 --log-dir ./delta-log
     python -m repro.cli stats    --ontology ontology.json
     python -m repro.cli tag      --ontology ontology.json --title "..." --body "..."
     python -m repro.cli query    --ontology ontology.json --q "best economy cars"
     python -m repro.cli showcase --ontology ontology.json
     python -m repro.cli serve    --ontology ontology.json --shards 4 \
                                  --q "best economy cars" --compare
+    python -m repro.cli serve    --from-log ./delta-log --shards 4 --compare
+    python -m repro.cli serve    --from-log ./delta-log --remote-shards 2 \
+                                 --q "best economy cars" --compare
     python -m repro.cli serve    --ontology ontology.json --shards 4 \
                                  --listen 127.0.0.1:8750
 
 ``build`` generates a synthetic world, trains a small GCTSP-Net, runs the
-full pipeline and writes the ontology JSON; the other commands operate on a
-saved ontology.  Entities for NER are reconstructed from the ontology's
-entity nodes, so a saved ontology file is self-sufficient.
+full pipeline and writes the ontology JSON; with ``--log-dir`` it also
+appends the run's delta stream to a durable replicated log (and lets the
+snapshot catalog compact it).  The other commands operate on a saved
+ontology — or, for ``serve``, on a delta log directory (``--from-log``):
+the serving store is then bootstrapped from catalog snapshot + log tail,
+and ``--remote-shards N`` runs the cluster's shards in follower-fed
+worker processes behind RPC.  Entities for NER are reconstructed from
+the ontology's entity nodes, so a saved ontology (or log) is
+self-sufficient.
 """
 
 from __future__ import annotations
@@ -70,6 +81,28 @@ def _build(args: argparse.Namespace) -> int:
     ontology = pipeline.run(sessions=sessions)
     save_ontology(ontology, args.out)
     print(f"wrote {args.out}: {ontology.stats()}")
+    if args.log_dir:
+        from .errors import DeltaGapError, OntologyError
+        from .replication import DeltaLog, SnapshotCatalog
+
+        try:
+            with DeltaLog(args.log_dir,
+                          segment_max_bytes=args.log_segment_bytes,
+                          fsync=args.fsync) as log:
+                appended = log.extend(pipeline.deltas)
+                catalog = SnapshotCatalog(log,
+                                          compact_bytes=args.compact_bytes)
+                compacted = catalog.maybe_compact(ontology.store)
+                print(f"log {args.log_dir}: +{appended} deltas, versions "
+                      f"{log.first_version}..{log.last_version} in "
+                      f"{len(log.segments())} segment(s)"
+                      + (f"; compacted at v{compacted}" if compacted
+                         else f"; snapshot at v{catalog.latest_version}"))
+        except (DeltaGapError, OntologyError) as exc:
+            # Typically: --log-dir points at a log holding a different
+            # build's stream. The ontology JSON was already written.
+            print(f"delta log error: {exc}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -152,8 +185,37 @@ def _serve_rpc(backend, host: str, port: int,
     return 0
 
 
+def _load_from_log(log_dir: str):
+    """Bootstrap a serving ontology (and NER) from a delta log directory
+    via snapshot + tail; returns (ontology, ner, log, catalog, snapshot,
+    tail) so callers reuse the fetched halves instead of re-reading.
+
+    The log is opened read-only: a serve process must never repair (or
+    truncate) a directory a live builder may still be appending to.
+    """
+    from .core.ontology import AttentionOntology
+    from .core.store import OntologyStore
+    from .replication import DeltaLog, SnapshotCatalog
+
+    log = DeltaLog(log_dir, readonly=True)
+    catalog = SnapshotCatalog(log, readonly=True)
+    snapshot, snap_version = catalog.latest()
+    tail = log.read(snap_version if snapshot is not None else 0)
+    store = OntologyStore.bootstrap(snapshot, tail)
+    print(f"log {log_dir}: versions {log.first_version}.."
+          f"{log.last_version}, snapshot at v{snap_version}; "
+          f"bootstrapped store at v{store.version}")
+    ontology = AttentionOntology(store=store)
+    ner = NerTagger()
+    for node in ontology.nodes(NodeType.ENTITY):
+        ner.register(node.phrase, "MISC")
+    return ontology, ner, log, catalog, snapshot, tail
+
+
 def _serve(args: argparse.Namespace) -> int:
-    """Shard a saved ontology and serve sample requests scatter-gather."""
+    """Shard an ontology (saved file or delta log) and serve requests
+    scatter-gather — in-process, or with --remote-shards across worker
+    processes follower-fed from the published log."""
     from .cluster import ClusterService
     from .serving import OntologyService
 
@@ -166,56 +228,106 @@ def _serve(args: argparse.Namespace) -> int:
             print(f"--listen expects HOST:PORT, got {args.listen!r}",
                   file=sys.stderr)
             return 2
+    if bool(args.ontology) == bool(args.from_log):
+        print("pass exactly one of --ontology / --from-log",
+              file=sys.stderr)
+        return 2
+    if args.remote_shards and not args.from_log:
+        print("--remote-shards requires --from-log (shard workers "
+              "bootstrap from the published delta log)", file=sys.stderr)
+        return 2
 
-    ontology, ner = _load_with_ner(args.ontology)
     tagger_options = {"coherence_threshold": args.threshold}
-    cluster = ClusterService(num_shards=args.shards, ner=ner,
-                             tagger_options=tagger_options,
-                             ontology=ontology)
-    stats = cluster.stats()
-    print(f"cluster: {args.shards} shards at stream version {cluster.version}")
-    for line in stats["shards"]:
-        print(f"  shard {line['shard']}: owned={line['owned']} "
-              f"ghosts={line['ghosts']} version={line['version']}")
-    print("ontology:", stats["ontology"])
+    publisher = None
+    log = catalog = snapshot = None
+    tail = []
+    if args.from_log:
+        ontology, ner, log, catalog, snapshot, tail = \
+            _load_from_log(args.from_log)
+    else:
+        ontology, ner = _load_with_ner(args.ontology)
 
-    queries = args.q or []
-    if not queries:
-        # No queries given: interpret one per sampled concept phrase.
-        queries = [f"best {node.phrase}"
-                   for node in ontology.nodes(NodeType.CONCEPT)[:3]]
-    analyses = cluster.interpret_queries(queries)
-    for analysis in analyses:
-        print(f"query {analysis.query!r}: concepts={analysis.concepts[:2]} "
-              f"rewrites={analysis.rewrites[:2]}")
+    cluster = None
+    try:
+        if args.remote_shards:
+            from .cluster import RemoteClusterService
+            from .replication import PublisherThread
 
-    tagged = None
-    request = None
-    if args.title:
-        title = tokenize(args.title)
-        sentences = [tokenize(s) for s in args.body.split(".") if s.strip()]
-        request = ("cli-doc", title, sentences)
-        [tagged] = cluster.tag_documents([request])
-        print("tag concepts:", tagged.concepts[:5])
-        print("tag events:  ", tagged.events[:5])
+            publisher = PublisherThread(log, catalog)
+            host, port = publisher.start()
+            print(f"publisher on {host}:{port}; starting "
+                  f"{args.remote_shards} shard worker process(es)")
+            cluster = RemoteClusterService((host, port),
+                                           num_shards=args.remote_shards,
+                                           ner=ner,
+                                           tagger_options=tagger_options)
+            num_shards = args.remote_shards
+        elif args.from_log:
+            cluster = ClusterService(num_shards=args.shards, ner=ner,
+                                     tagger_options=tagger_options,
+                                     snapshot=snapshot, deltas=tail)
+            num_shards = args.shards
+        else:
+            cluster = ClusterService(num_shards=args.shards, ner=ner,
+                                     tagger_options=tagger_options,
+                                     ontology=ontology)
+            num_shards = args.shards
 
-    if args.compare:
-        single = OntologyService(ontology, ner=ner,
-                                 tagger_options=tagger_options)
-        mismatch = single.interpret_queries(queries) != analyses
-        if request is not None:
-            [direct] = single.tag_documents([request])
-            mismatch = mismatch or direct != tagged
-        if mismatch:
-            print("compare: MISMATCH between cluster and single store")
-            return 1
-        print("compare: cluster results identical to single store")
+        stats = cluster.stats()
+        mode = "remote worker" if args.remote_shards else "in-process"
+        print(f"cluster: {num_shards} {mode} shards at stream version "
+              f"{cluster.version}")
+        for line in stats["shards"]:
+            print(f"  shard {line['shard']}: owned={line['owned']} "
+                  f"ghosts={line['ghosts']} version={line['version']}")
+        print("ontology:", stats["ontology"])
 
-    # Last, so --q/--compare still run (and a failed compare refuses
-    # to serve) before the cluster goes behind the socket.
-    if address is not None:
-        return _serve_rpc(cluster, address[0], address[1], args)
-    return 0
+        queries = args.q or []
+        if not queries:
+            # No queries given: interpret one per sampled concept phrase.
+            queries = [f"best {node.phrase}"
+                       for node in ontology.nodes(NodeType.CONCEPT)[:3]]
+        analyses = cluster.interpret_queries(queries)
+        for analysis in analyses:
+            print(f"query {analysis.query!r}: "
+                  f"concepts={analysis.concepts[:2]} "
+                  f"rewrites={analysis.rewrites[:2]}")
+
+        tagged = None
+        request = None
+        if args.title:
+            title = tokenize(args.title)
+            sentences = [tokenize(s) for s in args.body.split(".")
+                         if s.strip()]
+            request = ("cli-doc", title, sentences)
+            [tagged] = cluster.tag_documents([request])
+            print("tag concepts:", tagged.concepts[:5])
+            print("tag events:  ", tagged.events[:5])
+
+        if args.compare:
+            single = OntologyService(ontology, ner=ner,
+                                     tagger_options=tagger_options)
+            mismatch = single.interpret_queries(queries) != analyses
+            if request is not None:
+                [direct] = single.tag_documents([request])
+                mismatch = mismatch or direct != tagged
+            if mismatch:
+                print("compare: MISMATCH between cluster and single store")
+                return 1
+            print("compare: cluster results identical to single store")
+
+        # Last, so --q/--compare still run (and a failed compare refuses
+        # to serve) before the cluster goes behind the socket.
+        if address is not None:
+            return _serve_rpc(cluster, address[0], address[1], args)
+        return 0
+    finally:
+        if args.remote_shards and cluster is not None:
+            cluster.close()
+        if publisher is not None:
+            publisher.stop()
+        if log is not None:
+            log.close()
 
 
 def _showcase(args: argparse.Namespace) -> int:
@@ -242,6 +354,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--train", action="store_true",
                          help="train a GCTSP-Net (otherwise alignment fallback)")
     p_build.add_argument("--out", default="ontology.json")
+    p_build.add_argument("--log-dir", default="",
+                         help="append the run's delta stream to a durable "
+                              "replicated log at this directory")
+    p_build.add_argument("--log-segment-bytes", type=int, default=1 << 20,
+                         help="segment roll size for --log-dir")
+    p_build.add_argument("--compact-bytes", type=int, default=256 * 1024,
+                         help="un-folded log bytes that trigger snapshot "
+                              "compaction for --log-dir")
+    p_build.add_argument("--fsync", action="store_true",
+                         help="fsync every log append (power-loss "
+                              "durability)")
     p_build.set_defaults(func=_build)
 
     p_stats = sub.add_parser("stats", help="print node/edge counts")
@@ -262,7 +385,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve", help="shard an ontology and serve scatter-gather requests")
-    p_serve.add_argument("--ontology", required=True)
+    p_serve.add_argument("--ontology", default="",
+                         help="saved ontology JSON (or use --from-log)")
+    p_serve.add_argument("--from-log", default="",
+                         help="bootstrap the serving store from a delta "
+                              "log directory (catalog snapshot + tail)")
+    p_serve.add_argument("--remote-shards", type=int, default=0,
+                         help="run N shards in worker processes follower-"
+                              "fed from the published log (needs "
+                              "--from-log)")
     p_serve.add_argument("--shards", type=int, default=4)
     p_serve.add_argument("--q", action="append",
                          help="query to interpret (repeatable)")

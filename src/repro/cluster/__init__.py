@@ -19,9 +19,15 @@ over many machines.  This package is the reproduction's cluster tier
 * :mod:`repro.cluster.workers` — :class:`TaggingWorkerPool`: a
   multi-process executor whose workers bootstrap replicas from
   ``snapshot + tail deltas`` (:meth:`OntologyStore.compact` /
-  :meth:`OntologyStore.bootstrap`) and tag disjoint corpus chunks.
+  :meth:`OntologyStore.bootstrap`) and tag disjoint corpus chunks;
+* :mod:`repro.cluster.remote` — :class:`RemoteClusterService` /
+  :class:`RemoteShardReplica`: every shard in its own worker process,
+  follower-fed from the :mod:`repro.replication` delta log, with the
+  scatter-gather reads crossing process boundaries over RPC
+  (DESIGN.md §8).
 """
 
+from .remote import RemoteClusterService, RemoteShardReplica
 from .router import ShardRouter, stable_hash
 from .service import ClusterService
 from .shards import ShardReplica, ShardedStoreView
@@ -29,6 +35,8 @@ from .workers import TaggingWorkerPool
 
 __all__ = [
     "ClusterService",
+    "RemoteClusterService",
+    "RemoteShardReplica",
     "ShardReplica",
     "ShardRouter",
     "ShardedStoreView",

@@ -1,0 +1,523 @@
+"""Cross-process shards: worker processes follower-fed from the delta log.
+
+The in-process :class:`~repro.cluster.service.ClusterService` holds its N
+:class:`~repro.cluster.shards.ShardReplica` stores in one address space.
+This module moves each shard into its own **worker process** (DESIGN.md
+§8), closing the ROADMAP's "cross-process shard servers" item:
+
+* data flows through the **replicated delta log** — every worker runs a
+  log follower against the shared
+  :class:`~repro.replication.publisher.LogPublisher`: it bootstraps from
+  the newest :class:`~repro.replication.catalog.SnapshotCatalog`
+  snapshot folded through its own (deterministic)
+  :class:`~repro.cluster.router.ShardRouter`, replays the log tail, and
+  catches up on demand; a :class:`~repro.errors.DeltaGapError` (the log
+  GC'd past the worker) is recovered by re-bootstrapping;
+* reads flow over **RPC** — the parent's
+  :class:`~repro.cluster.shards.ShardedStoreView` talks to
+  :class:`RemoteShardReplica` proxies speaking the shard read interface
+  (the same methods a local ``ShardReplica`` serves) over the
+  :mod:`repro.serving.rpc` length-prefixed framing and codec, so
+  scatter-gather merges cross process boundaries unchanged;
+* :class:`RemoteClusterService` assembles the pieces into a drop-in for
+  ``ClusterService`` whose serving responses are **byte-identical**
+  (``rpc.dumps``) to the in-process cluster and to a single store at the
+  same stream version — the tests assert all three.
+
+Workers never receive pushed state: ``sync(version)`` is a control
+signal ("the log now holds version v; catch up from it"), keeping the
+log the single source of truth.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import socket
+import time
+from typing import Any, Iterable, Sequence
+
+from ..core.ontology import AttentionOntology
+from ..core.serialize import store_from_dict, store_to_delta
+from ..core.store import AttentionNode, Edge, EdgeType, NodeType, OntologyDelta
+from ..errors import DeltaGapError, OntologyError, ReproError
+from ..replication.follower import SyncLogClient
+from ..serving.rpc import (
+    _canonical_bytes,
+    decode,
+    encode,
+    read_frame_sync,
+    write_frame_sync,
+)
+from ..serving.service import OntologyService
+from .router import ShardRouter
+from .shards import ShardReplica, ShardedStoreView
+
+#: Shard read-interface methods a worker dispatches by name.
+SHARD_READ_METHODS = frozenset({
+    "node", "find", "owns", "owned_ids", "owned_count", "alias_claim",
+    "owned_token_ids", "owned_candidate_ids", "successor_ids",
+    "predecessor_ids", "has_edge", "edges", "describe",
+})
+
+_SYNC_WAIT_SECONDS = 2.0  # one long-poll slice while catching up
+_SYNC_MAX_SECONDS = 120.0  # give up if the log never reaches the target
+
+
+def _advance(router: ShardRouter, deltas: "Iterable[OntologyDelta]",
+             shard_id: "int | None" = None,
+             replica: "ShardReplica | None" = None) -> int:
+    """Route a contiguous delta batch sequence; apply this shard's subs.
+
+    With ``replica=None`` (the parent's router) sub-deltas are split for
+    ownership bookkeeping and discarded — the parent holds no store.
+    """
+    advanced = 0
+    for delta in deltas:
+        if not DeltaGapError.check("shard follower", router.version, delta):
+            continue
+        subs = router.split(delta)
+        if replica is not None:
+            sub = subs[shard_id]
+            if sub is not None:
+                replica.apply(sub)
+        advanced += 1
+    return advanced
+
+
+def _bootstrap_shard(client: SyncLogClient, num_shards: int,
+                     shard_id: "int | None"
+                     ) -> "tuple[ShardRouter, ShardReplica | None]":
+    """Snapshot-plus-tail bootstrap of one shard (or, with
+    ``shard_id=None``, of a routing-only parent).
+
+    The catalog snapshot is folded into one synthetic delta
+    (:func:`store_to_delta`) and routed through a fresh router — every
+    process folds the *same* snapshot through the *same* deterministic
+    router, so all of them agree on ownership and ghost placement — then
+    the router is fast-forwarded to the snapshot's stream version and
+    the log tail replays on top.
+    """
+    router = ShardRouter(num_shards)
+    replica = ShardReplica(shard_id) if shard_id is not None else None
+    snapshot, version = client.latest_snapshot()
+    if snapshot is not None:
+        subs = router.split(store_to_delta(store_from_dict(snapshot)))
+        if replica is not None and subs[shard_id] is not None:
+            replica.apply(subs[shard_id])
+        router.fast_forward(version)
+    _advance(router, client.fetch(router.version), shard_id, replica)
+    return router, replica
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+def _catch_up(client: SyncLogClient, router: ShardRouter,
+              replica: ShardReplica, shard_id: int, target: int
+              ) -> "tuple[ShardRouter, ShardReplica, bool]":
+    """Advance the worker to ``target``, re-bootstrapping through a
+    :class:`DeltaGapError`; returns (router, replica, recovered)."""
+    recovered = False
+    deadline = time.monotonic() + _SYNC_MAX_SECONDS
+    while router.version < target:
+        if time.monotonic() > deadline:
+            raise ReproError(
+                f"shard {shard_id} could not catch up to version "
+                f"{target} (log at {router.version})")
+        try:
+            deltas = client.wait(router.version, timeout=_SYNC_WAIT_SECONDS)
+            _advance(router, deltas, shard_id, replica)
+        except DeltaGapError:
+            router, replica = _bootstrap_shard(client, router.num_shards,
+                                               shard_id)
+            recovered = True
+    return router, replica, recovered
+
+
+def _shard_worker_main(shard_id: int, num_shards: int,
+                       publisher_host: str, publisher_port: int,
+                       ready, accept_timeout: float) -> None:
+    """One shard behind a socket: bootstrap from the log, serve reads."""
+    try:
+        client = SyncLogClient.connect(publisher_host, publisher_port)
+        router, replica = _bootstrap_shard(client, num_shards, shard_id)
+        server = socket.create_server(("127.0.0.1", 0))
+        server.settimeout(accept_timeout)
+        ready.put(("ready", shard_id, server.getsockname()[1]))
+    except Exception as exc:
+        ready.put(("error", shard_id, f"bootstrap failed: {exc!r}"))
+        return
+    try:
+        conn, _addr = server.accept()
+    except (OSError, TimeoutError):
+        return  # the parent never connected; nothing to serve
+    with conn:
+        while True:
+            try:
+                frame = read_frame_sync(conn)
+            except (ConnectionError, OSError, ReproError):
+                break  # parent vanished mid-frame
+            if frame is None:
+                break
+            stop = False
+            request_id = None
+            try:
+                request = json.loads(frame.decode("utf-8"))
+                request_id = request.get("id")
+                method = request.get("method")
+                args = decode(request.get("args", []))
+                kwargs = decode(request.get("kwargs", {}))
+                if method == "stop":
+                    stop = True
+                    result: Any = True
+                elif method == "sync":
+                    router, replica, recovered = _catch_up(
+                        client, router, replica, shard_id, *args, **kwargs)
+                    result = dict(replica.describe(), recovered=recovered)
+                elif method == "ghost_count":
+                    result = replica.ghost_count
+                elif method in SHARD_READ_METHODS:
+                    result = getattr(replica, method)(*args, **kwargs)
+                else:
+                    raise ReproError(f"unknown shard method {method!r}")
+                body = {"id": request_id, "result": encode(result)}
+            except Exception as exc:
+                body = {"id": request_id,
+                        "error": {"type": type(exc).__name__,
+                                  "message": str(exc)}}
+            try:
+                write_frame_sync(conn, _canonical_bytes(body))
+            except (ConnectionError, OSError):
+                break
+            if stop:
+                break
+    client.close()
+    server.close()
+
+
+# ----------------------------------------------------------------------
+# parent-side proxy
+# ----------------------------------------------------------------------
+class RemoteShardReplica:
+    """Client proxy speaking the shard read interface over a socket.
+
+    Implements exactly the methods
+    :class:`~repro.cluster.shards.ShardedStoreView` consumes from a
+    local :class:`ShardReplica`, so the view scatter-gathers across
+    processes without knowing it.
+    """
+
+    def __init__(self, shard_id: int, host: str, port: int,
+                 timeout: float = 120.0) -> None:
+        self.shard_id = shard_id
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._next_id = 0
+
+    def _call(self, method: str, *args, **kwargs) -> Any:
+        request_id = self._next_id
+        self._next_id += 1
+        payload = _canonical_bytes({
+            "id": request_id, "method": method,
+            "args": encode(list(args)), "kwargs": encode(kwargs)})
+        write_frame_sync(self._sock, payload)
+        frame = read_frame_sync(self._sock)
+        if frame is None:
+            raise ReproError(
+                f"shard {self.shard_id} worker closed the connection")
+        body = json.loads(frame.decode("utf-8"))
+        if body.get("id") != request_id:
+            raise ReproError(f"shard {self.shard_id} response id mismatch")
+        error = body.get("error")
+        if error is not None:
+            kind = error.get("type")
+            message = f"shard {self.shard_id}: {error.get('message')}"
+            if kind == "DeltaGapError":
+                raise DeltaGapError(message)
+            if kind == "OntologyError":
+                raise OntologyError(message)
+            raise ReproError(f"{kind}: {message}")
+        return decode(body["result"])
+
+    # ------------------------------------------------------------------
+    # the shard read interface (see ShardReplica)
+    # ------------------------------------------------------------------
+    def node(self, node_id: str) -> AttentionNode:
+        return self._call("node", node_id)
+
+    def find(self, node_type: NodeType,
+             phrase: str) -> "AttentionNode | None":
+        return self._call("find", node_type, phrase)
+
+    def owns(self, node_id: str) -> bool:
+        return self._call("owns", node_id)
+
+    def owned_ids(self, node_type: "NodeType | None" = None) -> set:
+        return self._call("owned_ids", node_type)
+
+    def owned_count(self, node_type: "NodeType | None" = None) -> int:
+        return self._call("owned_count", node_type)
+
+    def alias_claim(self, key: str) -> "int | None":
+        return self._call("alias_claim", key)
+
+    def owned_token_ids(self, token: str, node_type: NodeType) -> list:
+        return self._call("owned_token_ids", token, node_type)
+
+    def owned_candidate_ids(self, tokens, node_type: NodeType) -> list:
+        return self._call("owned_candidate_ids", list(tokens), node_type)
+
+    def successor_ids(self, node_id: str,
+                      edge_type: "EdgeType | None" = None) -> list:
+        return self._call("successor_ids", node_id, edge_type)
+
+    def predecessor_ids(self, node_id: str,
+                        edge_type: "EdgeType | None" = None) -> list:
+        return self._call("predecessor_ids", node_id, edge_type)
+
+    def has_edge(self, source_id: str, target_id: str,
+                 edge_type: EdgeType) -> bool:
+        return self._call("has_edge", source_id, target_id, edge_type)
+
+    def edges(self, edge_type: "EdgeType | None" = None) -> "list[Edge]":
+        return self._call("edges", edge_type)
+
+    def describe(self) -> dict:
+        return self._call("describe")
+
+    @property
+    def ghost_count(self) -> int:
+        return self._call("ghost_count")
+
+    # ------------------------------------------------------------------
+    def sync(self, version: int) -> dict:
+        """Tell the worker the log holds ``version``; it catches up from
+        the shared log (re-bootstrapping through a GC gap) and returns
+        its ``describe()`` line plus a ``recovered`` flag."""
+        return self._call("sync", version)
+
+    def stop(self) -> None:
+        try:
+            self._call("stop")
+        except (ReproError, OSError):
+            pass
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# the remote cluster
+# ----------------------------------------------------------------------
+class RemoteClusterService:
+    """A :class:`ClusterService` whose shards run in worker processes.
+
+    Args:
+        publisher_address: ``(host, port)`` of the
+            :class:`~repro.replication.publisher.LogPublisher` feeding
+            the fleet.
+        num_shards: worker process count (= hash partitions).
+        ner / duet / tagger_options / max_rewrites /
+            max_recommendations / cache_size: forwarded to the inner
+            :class:`OntologyService` running over the remote view.
+        start_timeout: seconds to wait for every worker to bootstrap.
+
+    The parent holds no shard store: it keeps a routing-only
+    :class:`ShardRouter` (fed from the same log) for owner lookups and
+    runs the ordinary serving stack over a
+    :class:`~repro.cluster.shards.ShardedStoreView` of
+    :class:`RemoteShardReplica` proxies.
+    """
+
+    def __init__(self, publisher_address: "tuple[str, int]",
+                 num_shards: int = 4, ner=None, duet=None,
+                 tagger_options: "dict[str, Any] | None" = None,
+                 max_rewrites: int = 5, max_recommendations: int = 5,
+                 cache_size: int = 4096,
+                 start_timeout: float = 180.0) -> None:
+        if num_shards <= 0:
+            raise OntologyError("a cluster needs at least one shard")
+        host, port = publisher_address
+        # Spawn (not fork): the parent may run a publisher event loop in
+        # a thread, and forked children could inherit its lock state.
+        context = multiprocessing.get_context("spawn")
+        self._ready = context.Queue()
+        self._processes = []
+        self._replicas: "list[RemoteShardReplica]" = []
+        self._client: "SyncLogClient | None" = None
+        self._closed = False
+        for shard_id in range(num_shards):
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(shard_id, num_shards, host, port, self._ready,
+                      start_timeout),
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+        try:
+            ports: dict[int, int] = {}
+            deadline = time.monotonic() + start_timeout
+            while len(ports) < num_shards:
+                try:
+                    message = self._ready.get(timeout=1.0)
+                except Exception:
+                    dead = [p.pid for p in self._processes
+                            if not p.is_alive()]
+                    if dead and self._ready.empty():
+                        raise ReproError(
+                            f"shard worker process(es) {dead} died "
+                            "before reporting ready") from None
+                    if time.monotonic() > deadline:
+                        raise ReproError(
+                            "timed out waiting for shard workers to "
+                            "bootstrap from the log") from None
+                    continue
+                if message[0] != "ready":
+                    raise ReproError(
+                        f"shard worker {message[1]} failed: {message[2]}")
+                ports[message[1]] = message[2]
+            self._replicas = [
+                RemoteShardReplica(shard_id, "127.0.0.1", ports[shard_id])
+                for shard_id in range(num_shards)
+            ]
+            self._client = SyncLogClient.connect(host, port)
+            self._router, _ = _bootstrap_shard(self._client, num_shards,
+                                               None)
+            # Workers bootstrapped independently; align them with the
+            # parent's log position before the first read.
+            for replica in self._replicas:
+                replica.sync(self._router.version)
+        except Exception:
+            self.close()
+            raise
+        self._view = ShardedStoreView(self._router, self._replicas)
+        self._service = OntologyService(
+            AttentionOntology(store=self._view), ner=ner, duet=duet,
+            tagger_options=tagger_options, max_rewrites=max_rewrites,
+            max_recommendations=max_recommendations, cache_size=cache_size,
+        )
+        self._deltas_applied = 0
+
+    # ------------------------------------------------------------------
+    # cluster state
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self._router.num_shards
+
+    @property
+    def version(self) -> int:
+        """Global delta-stream version the cluster serves."""
+        return self._router.version
+
+    @property
+    def ontology(self) -> AttentionOntology:
+        return self._service.ontology
+
+    @property
+    def replicas(self) -> "list[RemoteShardReplica]":
+        return list(self._replicas)
+
+    def sync(self) -> int:
+        """Pull new batches from the shared log and fan the catch-up
+        signal to every worker; returns batches newly routed."""
+        try:
+            advanced = _advance(self._router,
+                                self._client.fetch(self._router.version))
+        except DeltaGapError:
+            # The log GC'd past the parent's routing state: rebuild it
+            # (workers re-bootstrap themselves on their own gap).
+            self._router, _ = _bootstrap_shard(
+                self._client, self.num_shards, None)
+            advanced = 0
+        for replica in self._replicas:
+            replica.sync(self._router.version)
+        self._deltas_applied += advanced
+        return advanced
+
+    def refresh(self, deltas: "Iterable[OntologyDelta]") -> int:
+        """API parity with :meth:`ClusterService.refresh` for follower-
+        fed clusters: the batches must already be *published to the
+        shared log* (the log is the only data path to the workers);
+        refresh then syncs the fleet and verifies it caught up."""
+        target = max((delta.version for delta in deltas), default=0)
+        applied = self.sync()
+        if self._router.version < target:
+            raise OntologyError(
+                f"remote shards are fed from the shared log, which is at "
+                f"version {self._router.version} < {target}; publish the "
+                f"deltas to the log before refreshing"
+            )
+        return applied
+
+    # ------------------------------------------------------------------
+    # serving APIs (delegated to the inner service over the remote view)
+    # ------------------------------------------------------------------
+    def tag_documents(self, documents: Sequence):
+        """Tag a batch via cross-process scatter-gather candidate reads."""
+        return self._service.tag_documents(documents)
+
+    def interpret_queries(self, queries: "Sequence[str]"):
+        return self._service.interpret_queries(queries)
+
+    def neighborhood(self, node_id: str, depth: int = 1,
+                     edge_type: "EdgeType | None" = None) -> tuple:
+        return self._service.neighborhood(node_id, depth=depth,
+                                          edge_type=edge_type)
+
+    def concepts_of_entity(self, entity_phrase: str) -> tuple:
+        return self._service.concepts_of_entity(entity_phrase)
+
+    def record_read(self, user_id: str, tags: "list[str]",
+                    weight: float = 1.0):
+        return self._service.record_read(user_id, tags, weight=weight)
+
+    def user_interests(self, user_id: str, k: int = 10, node_type=None):
+        return self._service.user_interests(user_id, k=k,
+                                            node_type=node_type)
+
+    def recommend_for_user(self, user_id: str, k: int = 5):
+        return self._service.recommend_for_user(user_id, k=k)
+
+    def track_events(self, events) -> int:
+        return self._service.track_events(events)
+
+    def follow_ups(self, read_phrase: str, limit: int = 3):
+        return self._service.follow_ups(read_phrase, limit=limit)
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Inner serving stats plus per-worker shard lines."""
+        stats = self._service.stats()
+        stats["num_shards"] = self.num_shards
+        stats["cluster_deltas_applied"] = self._deltas_applied
+        stats["shards"] = [replica.describe() for replica in self._replicas]
+        return stats
+
+    def close(self) -> None:
+        """Stop workers and close sockets (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for replica in self._replicas:
+            replica.stop()
+            replica.close()
+        if self._client is not None:
+            self._client.close()
+        for process in self._processes:
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+
+    def __enter__(self) -> "RemoteClusterService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -68,6 +68,25 @@ class ShardRouter:
         """Per-shard store versions after the routed stream."""
         return tuple(self._shard_versions)
 
+    def fast_forward(self, version: int) -> None:
+        """Jump the *global* stream position to ``version`` without
+        touching per-shard version lines.
+
+        Used by snapshot bootstrap: a catalog snapshot is folded into
+        one synthetic delta (``store_to_delta``, base version 0) and
+        routed, after which the router's global position must realign
+        with the stream the snapshot compacted — tail deltas recorded
+        after the snapshot carry its ``store_version`` as their base.
+        Per-shard versions stay as-is: sub-delta bounds count only each
+        shard's ops, so the shard stores' replay checks already hold.
+        """
+        if version < self._version:
+            raise OntologyError(
+                f"cannot fast-forward the router backwards "
+                f"({self._version} -> {version})"
+            )
+        self._version = version
+
     def shard_of_phrase(self, node_type: NodeType, phrase: str) -> int:
         """The sharding function: stable hash of the canonical phrase key."""
         return stable_hash(f"{node_type.value}::{phrase.lower()}") % self._num_shards

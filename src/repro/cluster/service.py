@@ -49,6 +49,14 @@ class ClusterService:
             exclusive with ``deltas``: a folded dump starts a *new*
             stream whose versions do not align with previously recorded
             batches.
+        snapshot: optional :meth:`OntologyStore.compact` dump to cold-
+            start the shards from.  The snapshot is folded through the
+            router (ghost replicas included) and the router is fast-
+            forwarded to the snapshot's stream version, so ``deltas``
+            may then be the *tail* recorded after the snapshot — the
+            cluster-side bootstrap protocol, mirroring
+            :meth:`OntologyStore.bootstrap`.  Mutually exclusive with
+            ``ontology``.
     """
 
     def __init__(self, num_shards: int = 4, ner=None, duet=None,
@@ -56,8 +64,8 @@ class ClusterService:
                  max_rewrites: int = 5, max_recommendations: int = 5,
                  cache_size: int = 4096,
                  deltas: "Iterable[OntologyDelta] | None" = None,
-                 ontology: "AttentionOntology | OntologyStore | None" = None
-                 ) -> None:
+                 ontology: "AttentionOntology | OntologyStore | None" = None,
+                 snapshot: "dict | None" = None) -> None:
         self._router = ShardRouter(num_shards)
         self._replicas = [ShardReplica(i) for i in range(num_shards)]
         self._view = ShardedStoreView(self._router, self._replicas)
@@ -73,6 +81,13 @@ class ClusterService:
                 "both — store_to_delta starts a new stream whose versions "
                 "do not align with previously recorded deltas"
             )
+        if ontology is not None and snapshot is not None:
+            raise OntologyError(
+                "pass either a snapshot to bootstrap from or an ontology "
+                "to fold, not both"
+            )
+        if snapshot is not None:
+            self.bootstrap(snapshot)
         if ontology is not None:
             store = ontology.store if isinstance(ontology, AttentionOntology) \
                 else ontology
@@ -105,20 +120,40 @@ class ClusterService:
     def replicas(self) -> "list[ShardReplica]":
         return list(self._replicas)
 
+    def bootstrap(self, snapshot: dict) -> None:
+        """Cold-start the shards from an :meth:`OntologyStore.compact`
+        dump: fold it into one synthetic delta, route it (materialising
+        ghost replicas for cross-shard edges), then fast-forward the
+        router to the snapshot's stream version so the tail recorded
+        after the snapshot applies through :meth:`refresh`.
+        """
+        if self._router.version or len(self._router):
+            raise OntologyError(
+                "snapshot bootstrap requires a fresh cluster — these "
+                "shards already hold routed state"
+            )
+        from ..core.serialize import store_from_dict  # local: avoid cycle
+
+        fold = store_to_delta(store_from_dict(snapshot))
+        for replica, sub in zip(self._replicas, self._router.split(fold)):
+            if sub is not None:
+                replica.apply(sub)
+        self._router.fast_forward(snapshot["store_version"])
+
     def refresh(self, deltas: "Iterable[OntologyDelta]") -> int:
         """Route update batches to their shards; returns batches applied.
 
         Mirrors :meth:`OntologyService.refresh`: already-applied batches
-        are skipped (at-least-once delivery), a gap in the stream raises
+        are skipped (at-least-once delivery), a gap in the stream — or a
+        batch straddling the cluster's version, e.g. a tail whose base
+        predates the bootstrap snapshot — raises
         :class:`~repro.errors.DeltaGapError` before any shard is touched.
         """
         applied = 0
         for delta in deltas:
-            if delta.version <= self._router.version:
+            if not DeltaGapError.check("cluster", self._router.version,
+                                       delta):
                 continue
-            if delta.base_version > self._router.version:
-                raise DeltaGapError.for_stream(
-                    "cluster", self._router.version, delta.base_version)
             sub_deltas = self._router.split(delta)
             for replica, sub in zip(self._replicas, sub_deltas):
                 if sub is None:

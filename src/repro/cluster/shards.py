@@ -82,6 +82,52 @@ class ShardReplica:
         return self._alias_claims.get(key)
 
     # ------------------------------------------------------------------
+    # the shard read interface
+    #
+    # Everything ShardedStoreView needs from a shard goes through these
+    # methods (never through ``.store`` directly), so a replica can live
+    # in another process behind RPC (cluster/remote.RemoteShardReplica)
+    # and the view works unchanged.  Traversal/scan methods deal in node
+    # *ids*: the view resolves every returned node through its owner
+    # shard anyway, and ids keep the wire payloads small.
+    # ------------------------------------------------------------------
+    def node(self, node_id: str) -> AttentionNode:
+        return self.store.node(node_id)
+
+    def find(self, node_type: NodeType,
+             phrase: str) -> "AttentionNode | None":
+        return self.store.find(node_type, phrase)
+
+    def owned_token_ids(self, token: str, node_type: NodeType) -> list[str]:
+        """Owned (non-ghost) ids from this shard's inverted index."""
+        return sorted(
+            n.node_id for n in self.store.nodes_with_token(token, node_type)
+            if self.owns(n.node_id))
+
+    def owned_candidate_ids(self, tokens: "list[str] | set[str]",
+                            node_type: NodeType) -> list[str]:
+        """Owned ids sharing at least one phrase token with ``tokens``."""
+        return sorted(
+            n.node_id for n in self.store.candidates(tokens, node_type)
+            if self.owns(n.node_id))
+
+    def successor_ids(self, node_id: str,
+                      edge_type: "EdgeType | None" = None) -> list[str]:
+        return [n.node_id for n in self.store.successors(node_id, edge_type)]
+
+    def predecessor_ids(self, node_id: str,
+                        edge_type: "EdgeType | None" = None) -> list[str]:
+        return [n.node_id
+                for n in self.store.predecessors(node_id, edge_type)]
+
+    def has_edge(self, source_id: str, target_id: str,
+                 edge_type: EdgeType) -> bool:
+        return self.store.has_edge(source_id, target_id, edge_type)
+
+    def edges(self, edge_type: "EdgeType | None" = None) -> list[Edge]:
+        return self.store.edges(edge_type)
+
+    # ------------------------------------------------------------------
     def owns(self, node_id: str) -> bool:
         return any(node_id in ids for ids in self._owned.values())
 
@@ -154,7 +200,7 @@ class ShardedStoreView:
     # ------------------------------------------------------------------
     def node(self, node_id: str) -> AttentionNode:
         """Canonical node object, resolved through its owner shard."""
-        return self._replicas[self._router.owner_of(node_id)].store.node(node_id)
+        return self._replicas[self._router.owner_of(node_id)].node(node_id)
 
     def find(self, node_type: NodeType, phrase: str) -> "AttentionNode | None":
         """Exact phrase/alias lookup.
@@ -171,7 +217,7 @@ class ShardedStoreView:
         """
         ids = set()
         for replica in self._replicas:
-            hit = replica.store.find(node_type, phrase)
+            hit = replica.find(node_type, phrase)
             if hit is not None:
                 ids.add(hit.node_id)
         if not ids:
@@ -216,22 +262,14 @@ class ShardedStoreView:
                          ) -> list[AttentionNode]:
         ids: set[str] = set()
         for replica in self._replicas:
-            ids.update(
-                n.node_id
-                for n in replica.store.nodes_with_token(token, node_type)
-                if replica.owns(n.node_id)
-            )
+            ids.update(replica.owned_token_ids(token, node_type))
         return [self.node(node_id) for node_id in sorted(ids)]
 
     def candidates(self, tokens: "list[str] | set[str]", node_type: NodeType
                    ) -> list[AttentionNode]:
         ids: set[str] = set()
         for replica in self._replicas:
-            ids.update(
-                n.node_id
-                for n in replica.store.candidates(tokens, node_type)
-                if replica.owns(n.node_id)
-            )
+            ids.update(replica.owned_candidate_ids(tokens, node_type))
         return [self.node(node_id) for node_id in sorted(ids)]
 
     def contained_phrases(self, tokens: list[str], node_type: NodeType
@@ -250,23 +288,23 @@ class ShardedStoreView:
     # ------------------------------------------------------------------
     # edges / traversal
     # ------------------------------------------------------------------
-    def _owner_store(self, node_id: str) -> OntologyStore:
-        return self._replicas[self._router.owner_of(node_id)].store
+    def _owner(self, node_id: str) -> ShardReplica:
+        return self._replicas[self._router.owner_of(node_id)]
 
     def successors(self, node_id: str, edge_type: "EdgeType | None" = None
                    ) -> list[AttentionNode]:
-        local = self._owner_store(node_id).successors(node_id, edge_type)
-        return [self.node(n.node_id) for n in local]
+        local = self._owner(node_id).successor_ids(node_id, edge_type)
+        return [self.node(target_id) for target_id in local]
 
     def predecessors(self, node_id: str, edge_type: "EdgeType | None" = None
                      ) -> list[AttentionNode]:
-        local = self._owner_store(node_id).predecessors(node_id, edge_type)
-        return [self.node(n.node_id) for n in local]
+        local = self._owner(node_id).predecessor_ids(node_id, edge_type)
+        return [self.node(source_id) for source_id in local]
 
     def has_edge(self, source_id: str, target_id: str,
                  edge_type: EdgeType) -> bool:
-        return self._owner_store(source_id).has_edge(source_id, target_id,
-                                                     edge_type)
+        return self._owner(source_id).has_edge(source_id, target_id,
+                                               edge_type)
 
     def edges(self, edge_type: "EdgeType | None" = None) -> list[Edge]:
         """All edges, gathered and de-duplicated (each cross-shard edge
@@ -274,7 +312,7 @@ class ShardedStoreView:
         seen: set[tuple[str, str, EdgeType]] = set()
         out: list[Edge] = []
         for replica in self._replicas:
-            for edge in replica.store.edges(edge_type):
+            for edge in replica.edges(edge_type):
                 if edge.edge_type == EdgeType.CORRELATE:
                     key = (min(edge.source, edge.target),
                            max(edge.source, edge.target), edge.edge_type)
@@ -295,11 +333,11 @@ class ShardedStoreView:
             current = stack.pop()
             if current == goal:
                 return True
-            for node in self._owner_store(current).successors(current,
-                                                              edge_type):
-                if node.node_id not in visited:
-                    visited.add(node.node_id)
-                    stack.append(node.node_id)
+            for target_id in self._owner(current).successor_ids(current,
+                                                                edge_type):
+                if target_id not in visited:
+                    visited.add(target_id)
+                    stack.append(target_id)
         return False
 
     # ------------------------------------------------------------------

@@ -129,6 +129,29 @@ def delta_from_dict(data: dict) -> OntologyDelta:
     )
 
 
+def delta_to_json_line(delta: OntologyDelta) -> str:
+    """One delta as a single canonical JSON line (no trailing newline) —
+    the record format of the replication log's segment files.  Canonical
+    form (sorted keys, compact separators) makes the on-disk bytes
+    deterministic, so identical streams produce identical segments."""
+    return json.dumps(delta_to_dict(delta), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def delta_from_json_line(line: str) -> OntologyDelta:
+    """Inverse of :func:`delta_to_json_line`.
+
+    Raises ``ValueError`` on a syntactically torn line (the replication
+    log's crash recovery catches it to find the last good record) and
+    :class:`~repro.errors.OntologyError` on a well-formed JSON document
+    of the wrong shape.
+    """
+    data = json.loads(line)
+    if not isinstance(data, dict):
+        raise OntologyError("delta log line is not a JSON object")
+    return delta_from_dict(data)
+
+
 def save_deltas(deltas: "list[OntologyDelta]", path: str) -> None:
     """Write a delta sequence (one pipeline run's update batches) to JSON."""
     payload = [delta_to_dict(d) for d in deltas]

@@ -27,7 +27,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from ..errors import OntologyError
+from ..errors import DeltaGapError, OntologyError
 from ..text.tokenizer import tokenize
 
 
@@ -268,17 +268,21 @@ class OntologyStore:
         """Cold-start a store from a :meth:`compact` snapshot plus tail
         deltas.
 
-        Deltas at or behind the snapshot's version are skipped (the tail
-        may overlap the compacted prefix under at-least-once delivery);
-        the result is identical to replaying the full delta stream.
+        Deltas *fully* at or behind the snapshot's version are skipped
+        (the tail may overlap the compacted prefix under at-least-once
+        delivery); the result is identical to replaying the full delta
+        stream.  A batch that *straddles* the store's version — its base
+        predates the snapshot but its end is ahead — can be neither
+        skipped nor replayed (part of it is already folded in), so it
+        raises :class:`~repro.errors.DeltaGapError` naming the
+        overlapping range before any op is applied.
         """
         from .serialize import store_from_dict  # local: avoids import cycle
 
         store = store_from_dict(snapshot) if snapshot is not None else cls()
         for delta in deltas or ():
-            if delta.version <= store.version:
-                continue
-            store.apply_delta(delta)
+            if DeltaGapError.check("bootstrap", store.version, delta):
+                store.apply_delta(delta)
         return store
 
     # ------------------------------------------------------------------

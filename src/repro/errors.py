@@ -22,8 +22,11 @@ class OntologyError(ReproError):
 
 
 class DeltaGapError(ReproError):
-    """Raised by serving-tier ``refresh`` when the delta stream skips
-    versions: the replica cannot advance without the missing batches."""
+    """Raised by serving-tier ``refresh``, ``OntologyStore.bootstrap`` and
+    the replication log when a delta stream is not contiguous with the
+    consumer's version: either versions are *missing* (a gap) or a batch
+    *straddles* the consumer's version (an overlap — part of the batch is
+    already folded into the state, so replaying it would double-apply)."""
 
     @classmethod
     def for_stream(cls, role: str, at_version: int,
@@ -33,6 +36,38 @@ class DeltaGapError(ReproError):
             f"delta stream gap: {role} is at version {at_version} but "
             f"the next delta starts at {base_version}; missing versions "
             f"{at_version + 1}..{base_version}"
+        )
+
+    @classmethod
+    def check(cls, role: str, at_version: int, delta) -> bool:
+        """The shared stream-contiguity guard every delta consumer
+        applies before touching state: returns ``False`` when ``delta``
+        is a fully-covered duplicate (skip it), ``True`` when it starts
+        exactly at ``at_version`` (apply it), and raises the gap or
+        overlap error otherwise."""
+        if delta.version <= at_version:
+            return False
+        if delta.base_version > at_version:
+            raise cls.for_stream(role, at_version, delta.base_version)
+        if delta.base_version < at_version:
+            raise cls.for_overlap(role, at_version, delta.base_version,
+                                  delta.version)
+        return True
+
+    @classmethod
+    def for_overlap(cls, role: str, at_version: int, base_version: int,
+                    version: int) -> "DeltaGapError":
+        """The standard overlap message: a batch whose base version
+        predates the consumer's state but whose end is ahead of it —
+        versions ``base_version + 1..at_version`` are already applied
+        (e.g. folded into a snapshot), so the batch can be neither
+        skipped nor replayed."""
+        return cls(
+            f"delta stream overlap: {role} is at version {at_version} but "
+            f"the next delta spans {base_version + 1}..{version}; versions "
+            f"{base_version + 1}..{at_version} are already applied and "
+            f"would double-apply — re-fetch a tail starting at "
+            f"{at_version}"
         )
 
 

@@ -1,0 +1,176 @@
+"""SnapshotCatalog: compaction policy and snapshot retention for a log.
+
+A long-running builder appends :class:`~repro.core.store.OntologyDelta`
+batches to a :class:`~repro.replication.log.DeltaLog` forever; replaying
+that history linearly gets slower every day.  The catalog implements the
+retention policy (DESIGN.md §8):
+
+* when the **un-folded prefix** of the log (segments holding deltas
+  newer than the latest snapshot) crosses ``compact_bytes``,
+  :meth:`maybe_compact` folds the builder's store into a snapshot via
+  :meth:`OntologyStore.compact` and records it next to the log;
+* folded segments are then **garbage-collected**
+  (:meth:`DeltaLog.drop_segments_before`), keeping the newest
+  ``retain_segments`` of them so followers slightly behind the snapshot
+  catch up from the log instead of re-bootstrapping;
+* old snapshots beyond ``retain_snapshots`` are pruned.
+
+A follower cold-starts from ``latest()`` snapshot + ``log.read(version)``
+tail — :meth:`OntologyStore.bootstrap` — with state identical to a full
+replay; the :class:`~repro.replication.publisher.LogPublisher` serves
+both halves over RPC.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from ..core.store import OntologyStore
+from ..errors import OntologyError
+from .log import DeltaLog
+
+CATALOG_FORMAT_VERSION = 1
+_CATALOG = "CATALOG.json"
+
+
+class SnapshotCatalog:
+    """Snapshots recorded alongside a :class:`DeltaLog`.
+
+    Args:
+        log: the delta log this catalog manages retention for.
+        path: snapshot directory (default ``<log dir>/snapshots``).
+        compact_bytes: un-folded log prefix size that triggers
+            compaction in :meth:`maybe_compact`.
+        retain_segments: folded segments to keep after GC (the catch-up
+            tail for slightly-stale followers).
+        retain_snapshots: snapshots to keep on disk.
+        readonly: open for reading snapshots only — nothing on disk is
+            created or modified (``record``/``maybe_compact`` raise),
+            matching a read-only :class:`DeltaLog` (the ``serve
+            --from-log`` path, which must not touch a directory a live
+            builder owns — possibly on a read-only mount).
+    """
+
+    def __init__(self, log: DeltaLog, path: "str | os.PathLike | None" = None,
+                 *, compact_bytes: int = 256 * 1024,
+                 retain_segments: int = 1,
+                 retain_snapshots: int = 2,
+                 readonly: bool = False) -> None:
+        if compact_bytes <= 0:
+            raise OntologyError("compact_bytes must be positive")
+        if retain_snapshots <= 0:
+            raise OntologyError("retain_snapshots must be positive")
+        self._log = log
+        self._readonly = readonly
+        self.path = pathlib.Path(path) if path is not None \
+            else log.path / "snapshots"
+        if not readonly:
+            self.path.mkdir(parents=True, exist_ok=True)
+        self._compact_bytes = compact_bytes
+        self._retain_segments = retain_segments
+        self._retain_snapshots = retain_snapshots
+        self._entries: list[dict] = []
+        self._load()
+
+    def _load(self) -> None:
+        path = self.path / _CATALOG
+        if not self.path.is_dir() or not path.exists():
+            return
+        data = json.loads(path.read_text())
+        if data.get("format") != CATALOG_FORMAT_VERSION:
+            raise OntologyError(
+                f"unsupported snapshot catalog format: {data.get('format')!r}")
+        # Entries whose file vanished (interrupted prune) are dropped.
+        self._entries = [entry for entry in data.get("snapshots", [])
+                         if (self.path / entry["name"]).exists()]
+
+    def _save(self) -> None:
+        payload = {"format": CATALOG_FORMAT_VERSION,
+                   "snapshots": self._entries}
+        tmp = self.path / (_CATALOG + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        os.replace(tmp, self.path / _CATALOG)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def latest_version(self) -> int:
+        """Stream version of the newest snapshot (0 when none exists)."""
+        return self._entries[-1]["version"] if self._entries else 0
+
+    def snapshots(self) -> "list[dict]":
+        return [dict(entry) for entry in self._entries]
+
+    def latest(self) -> "tuple[dict | None, int]":
+        """Newest snapshot document and its version (``(None, 0)`` when
+        the catalog is empty — bootstrap then replays the log from 0)."""
+        if not self._entries:
+            return None, 0
+        entry = self._entries[-1]
+        data = json.loads((self.path / entry["name"]).read_text())
+        return data, entry["version"]
+
+    def unfolded_bytes(self) -> int:
+        """Bytes of log segments holding deltas newer than the latest
+        snapshot — the prefix a cold follower would have to replay on
+        top of it."""
+        latest = self.latest_version
+        return sum(seg.size_bytes for seg in self._log.segments()
+                   if seg.end_version > latest)
+
+    def describe(self) -> dict:
+        return {
+            "path": str(self.path),
+            "latest_version": self.latest_version,
+            "snapshots": self.snapshots(),
+            "unfolded_bytes": self.unfolded_bytes(),
+            "compact_bytes": self._compact_bytes,
+        }
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def record(self, store: OntologyStore) -> int:
+        """Fold ``store`` into a snapshot now and GC folded segments.
+
+        The store must be a replica of this log's stream (its version is
+        the snapshot's position); recording an older-than-latest state
+        is rejected.  Returns the snapshot's version.
+        """
+        if self._readonly:
+            raise OntologyError("the snapshot catalog was opened read-only")
+        version = store.version
+        if version < self.latest_version:
+            raise OntologyError(
+                f"refusing to record a snapshot at version {version} "
+                f"behind the catalog's latest {self.latest_version}"
+            )
+        if version == self.latest_version and self._entries:
+            return version  # idempotent: nothing new to fold
+        snapshot = store.compact()
+        name = f"snapshot-{version:012d}.json"
+        tmp = self.path / (name + ".tmp")
+        tmp.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+        os.replace(tmp, self.path / name)
+        self._entries.append({"name": name, "version": version})
+        pruned = self._entries[:-self._retain_snapshots]
+        self._entries = self._entries[-self._retain_snapshots:]
+        self._save()  # catalog first: a crash leaves unreferenced files
+        for entry in pruned:
+            (self.path / entry["name"]).unlink(missing_ok=True)
+        self._log.drop_segments_before(version,
+                                       retain_tail=self._retain_segments)
+        return version
+
+    def maybe_compact(self, store: OntologyStore) -> "int | None":
+        """Compact when the un-folded prefix crossed ``compact_bytes``;
+        returns the new snapshot version, or ``None`` when below the
+        threshold (or the store has nothing newer than the snapshot)."""
+        if store.version <= self.latest_version:
+            return None
+        if self.unfolded_bytes() < self._compact_bytes:
+            return None
+        return self.record(store)

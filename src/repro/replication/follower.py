@@ -1,0 +1,217 @@
+"""LogFollower: snapshot-plus-tail recovery over a published delta log.
+
+A follower holds an :class:`~repro.core.store.OntologyStore` replica
+whose state always equals *snapshot + contiguous delta suffix* — the
+invariant incremental view-maintenance systems assume.  It is fed
+through a small client interface with two implementations:
+
+* :class:`SyncLogClient` — a blocking TCP client for
+  :class:`~repro.replication.publisher.LogPublisher` (length-prefixed
+  JSON frames, the :mod:`repro.serving.rpc` wire layout); used by shard
+  worker processes and standalone serving replicas;
+* :class:`LocalLogClient` — the same interface served directly off
+  in-process :class:`~repro.replication.log.DeltaLog` /
+  :class:`~repro.replication.catalog.SnapshotCatalog` objects (the CLI's
+  ``serve --from-log`` path, tests).
+
+``bootstrap()`` cold-starts from the newest catalog snapshot plus the
+log tail; ``poll()`` keeps the store current.  When the follower has
+fallen behind the log's garbage-collected prefix, the fetch (or the
+apply) raises :class:`~repro.errors.DeltaGapError`; ``poll()`` recovers
+by re-bootstrapping from the newest snapshot — the follower's store
+object is *replaced*, which is why consumers reach it through
+:attr:`store` rather than holding the reference.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from ..core.serialize import delta_from_dict
+from ..core.store import OntologyDelta, OntologyStore
+from ..errors import DeltaGapError, ReproError
+from ..serving.rpc import _canonical_bytes, read_frame_sync, write_frame_sync
+from .catalog import SnapshotCatalog
+from .log import DeltaLog
+
+
+class SyncLogClient:
+    """Blocking client for a :class:`LogPublisher` (one request at a
+    time over one connection — followers are sequential consumers)."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._next_id = 0
+
+    @classmethod
+    def connect(cls, host: str, port: int,
+                timeout: float = 30.0) -> "SyncLogClient":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        return cls(sock)
+
+    def _call(self, method: str, **kwargs) -> Any:
+        request_id = self._next_id
+        self._next_id += 1
+        payload = _canonical_bytes(
+            {"id": request_id, "method": method, "kwargs": kwargs})
+        write_frame_sync(self._sock, payload)
+        frame = read_frame_sync(self._sock)
+        if frame is None:
+            raise ReproError("log publisher closed the connection")
+        body = json.loads(frame.decode("utf-8"))
+        if body.get("id") != request_id:
+            raise ReproError("log publisher response id mismatch")
+        error = body.get("error")
+        if error is not None:
+            if error.get("type") == "DeltaGapError":
+                raise DeltaGapError(error.get("message", "delta stream gap"))
+            raise ReproError(
+                f"log publisher error {error.get('type')}: "
+                f"{error.get('message')}")
+        return body["result"]
+
+    # ------------------------------------------------------------------
+    def fetch(self, since: int = 0,
+              max_count: "int | None" = None) -> "list[OntologyDelta]":
+        """Deltas advancing a consumer at ``since`` (may raise
+        :class:`DeltaGapError` when that prefix was GC'd)."""
+        result = self._call("log_fetch", since=since, max_count=max_count)
+        return [delta_from_dict(d) for d in result["deltas"]]
+
+    def wait(self, since: int = 0, timeout: float = 10.0,
+             max_count: "int | None" = None) -> "list[OntologyDelta]":
+        """Long-poll fetch: blocks server-side until the log grows past
+        ``since`` or ``timeout`` lapses (then returns ``[]``)."""
+        previous = self._sock.gettimeout()
+        # The socket must outwait the server-side long poll.
+        self._sock.settimeout(max(timeout * 2, timeout + 10.0))
+        try:
+            result = self._call("log_wait", since=since, timeout=timeout,
+                                max_count=max_count)
+        finally:
+            self._sock.settimeout(previous)
+        return [delta_from_dict(d) for d in result["deltas"]]
+
+    def latest_snapshot(self) -> "tuple[dict | None, int]":
+        result = self._call("log_snapshot")
+        return result["snapshot"], result["version"]
+
+    def status(self) -> dict:
+        return self._call("log_status")
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SyncLogClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class LocalLogClient:
+    """The client interface served directly off in-process objects."""
+
+    def __init__(self, log: DeltaLog,
+                 catalog: "SnapshotCatalog | None" = None) -> None:
+        self._log = log
+        self._catalog = catalog
+
+    def fetch(self, since: int = 0,
+              max_count: "int | None" = None) -> "list[OntologyDelta]":
+        return self._log.read(since, max_count=max_count)
+
+    def wait(self, since: int = 0, timeout: float = 10.0,
+             max_count: "int | None" = None) -> "list[OntologyDelta]":
+        # In-process there is no separate producer to wait on.
+        if self._log.last_version <= since:
+            return []
+        return self.fetch(since, max_count=max_count)
+
+    def latest_snapshot(self) -> "tuple[dict | None, int]":
+        if self._catalog is None:
+            return None, 0
+        return self._catalog.latest()
+
+    def status(self) -> dict:
+        status = {"log": self._log.describe()}
+        if self._catalog is not None:
+            status["catalog"] = self._catalog.describe()
+        return status
+
+    def close(self) -> None:  # interface parity with SyncLogClient
+        pass
+
+
+class LogFollower:
+    """An :class:`OntologyStore` replica fed from a published log.
+
+    Attributes:
+        bootstraps: times a store was (re)built from snapshot + tail.
+        recoveries: times a :class:`DeltaGapError` forced a re-bootstrap
+            (the follower had fallen behind the GC'd prefix).
+        deltas_applied: tail batches applied across the follower's life.
+    """
+
+    def __init__(self, client) -> None:
+        self._client = client
+        self._store: "OntologyStore | None" = None
+        self.bootstraps = 0
+        self.recoveries = 0
+        self.deltas_applied = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> OntologyStore:
+        if self._store is None:
+            self.bootstrap()
+        return self._store
+
+    @property
+    def version(self) -> int:
+        return self.store.version
+
+    # ------------------------------------------------------------------
+    def bootstrap(self) -> OntologyStore:
+        """(Re)build the replica from catalog snapshot + log tail."""
+        snapshot, version = self._client.latest_snapshot()
+        tail = self._client.fetch(version if snapshot is not None else 0)
+        self._store = OntologyStore.bootstrap(snapshot, tail)
+        self.bootstraps += 1
+        self.deltas_applied += len(tail)
+        return self._store
+
+    def poll(self, timeout: float = 0.0) -> int:
+        """Apply new batches; returns how many were applied this call
+        (including a recovery re-bootstrap's tail).
+
+        With ``timeout > 0`` the fetch long-polls (subscribe semantics).
+        A :class:`DeltaGapError` from the fetch or the apply — the log's
+        retained prefix moved past this follower — triggers recovery by
+        re-bootstrapping from the newest snapshot.
+        """
+        if self._store is None:
+            self.bootstrap()
+            return 0
+        before = self.deltas_applied
+        try:
+            if timeout > 0:
+                deltas = self._client.wait(self._store.version,
+                                           timeout=timeout)
+            else:
+                deltas = self._client.fetch(self._store.version)
+            for delta in deltas:
+                if not DeltaGapError.check("follower", self._store.version,
+                                           delta):
+                    continue
+                self._store.apply_delta(delta)
+                self.deltas_applied += 1
+        except DeltaGapError:
+            self.recoveries += 1
+            self.bootstrap()
+        return self.deltas_applied - before

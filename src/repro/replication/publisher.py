@@ -1,0 +1,289 @@
+"""LogPublisher: the delta log behind a socket (DESIGN.md §8).
+
+The builder owns the :class:`~repro.replication.log.DeltaLog`; followers
+live in other processes (shard workers, serving replicas, other
+machines).  The publisher puts the log — and its
+:class:`~repro.replication.catalog.SnapshotCatalog` — behind the same
+length-prefixed JSON framing as :mod:`repro.serving.rpc`:
+
+* ``log_fetch(since, max_count)`` — range read: deltas advancing a
+  consumer at version ``since``; a consumer behind the GC'd prefix gets
+  a ``DeltaGapError`` back (typed over the wire) and re-bootstraps;
+* ``log_wait(since, timeout)`` — the subscribe primitive: long-poll
+  until the log grows past ``since`` (or the timeout lapses), then
+  behave like ``log_fetch``;
+* ``log_snapshot()`` — newest catalog snapshot + version, the bootstrap
+  half of snapshot-plus-tail recovery;
+* ``log_status()`` — retained range and segment/snapshot bookkeeping.
+
+:class:`PublisherThread` runs the publisher on a private event loop in
+a daemon thread so a synchronous builder can serve followers while it
+keeps building; all log access is marshalled onto that loop thread
+(``publish`` / ``call``), keeping the single-writer log unshared.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Callable, Iterable, Sequence
+
+from ..core.serialize import delta_to_dict
+from ..core.store import OntologyDelta
+from ..errors import ReproError
+from ..serving.rpc import _canonical_bytes, read_frame, write_frame
+from .catalog import SnapshotCatalog
+from .log import DeltaLog
+
+#: Methods a publisher answers over the wire.
+PUBLISHER_METHODS = ("log_fetch", "log_wait", "log_snapshot", "log_status")
+
+_POLL_INTERVAL = 0.05  # seconds between growth re-checks in log_wait
+
+
+class LogPublisher:
+    """Serves one :class:`DeltaLog` (and optional catalog) over TCP.
+
+    Args:
+        log: the delta log to publish.
+        catalog: optional snapshot catalog backing ``log_snapshot``.
+        host / port: bind address (port 0 picks an ephemeral port).
+    """
+
+    def __init__(self, log: DeltaLog,
+                 catalog: "SnapshotCatalog | None" = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self._log = log
+        self._catalog = catalog
+        self._host = host
+        self._port = port
+        self._server: "asyncio.AbstractServer | None" = None
+        self._grew = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "tuple[str, int]":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port)
+        sockname = self._server.sockets[0].getsockname()
+        self._host, self._port = sockname[0], sockname[1]
+        return self._host, self._port
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        return self._host, self._port
+
+    async def serve_forever(self) -> None:
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def publish(self, deltas: "Iterable[OntologyDelta]") -> int:
+        """Append new batches to the log and wake ``log_wait`` waiters.
+
+        Must run on the publisher's event-loop thread (use
+        :meth:`PublisherThread.publish` from other threads).
+        """
+        appended = self._log.extend(deltas)
+        if appended:
+            self._grew.set()
+            self._grew = asyncio.Event()
+        return appended
+
+    # ------------------------------------------------------------------
+    # wire handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except (ConnectionError, OSError, ReproError):
+                    break
+                if frame is None:
+                    break
+                response = await self._handle_request(frame)
+                try:
+                    write_frame(writer, _canonical_bytes(response))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(self, frame: bytes) -> dict:
+        request_id = None
+        try:
+            request = json.loads(frame.decode("utf-8"))
+            request_id = request.get("id")
+            method = request.get("method")
+            if method not in PUBLISHER_METHODS:
+                raise ReproError(f"unknown publisher method {method!r}")
+            kwargs = request.get("kwargs", {})
+            result = await getattr(self, "_" + method)(**kwargs)
+            return {"id": request_id, "result": result}
+        except Exception as exc:
+            return {"id": request_id,
+                    "error": {"type": type(exc).__name__,
+                              "message": str(exc)}}
+
+    # ------------------------------------------------------------------
+    # methods (wire handlers)
+    # ------------------------------------------------------------------
+    async def _log_fetch(self, since: int = 0,
+                         max_count: "int | None" = None) -> dict:
+        deltas = self._log.read(since, max_count=max_count)
+        return {
+            "deltas": [delta_to_dict(delta) for delta in deltas],
+            "first_version": self._log.first_version,
+            "last_version": self._log.last_version,
+        }
+
+    async def _log_wait(self, since: int = 0, timeout: float = 10.0,
+                        max_count: "int | None" = None) -> dict:
+        """Long-poll: resolve as soon as the log grows past ``since``."""
+        deadline = asyncio.get_running_loop().time() + max(0.0, timeout)
+        while self._log.last_version <= since:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                break
+            # The event wakes publish()-driven growth instantly; the
+            # short timeout also catches direct log appends made behind
+            # the publisher's back.
+            try:
+                await asyncio.wait_for(self._grew.wait(),
+                                       min(remaining, _POLL_INTERVAL))
+            except asyncio.TimeoutError:
+                pass
+        if self._log.last_version <= since:
+            return {"deltas": [],
+                    "first_version": self._log.first_version,
+                    "last_version": self._log.last_version}
+        return await self._log_fetch(since, max_count=max_count)
+
+    async def _log_snapshot(self) -> dict:
+        if self._catalog is None:
+            return {"snapshot": None, "version": 0}
+        snapshot, version = self._catalog.latest()
+        return {"snapshot": snapshot, "version": version}
+
+    async def _log_status(self) -> dict:
+        status = {"log": self._log.describe()}
+        if self._catalog is not None:
+            status["catalog"] = self._catalog.describe()
+        return status
+
+
+class PublisherThread:
+    """Runs a :class:`LogPublisher` on a daemon thread's event loop.
+
+    The thread owns all log/catalog access after :meth:`start`:
+    :meth:`publish` and :meth:`call` marshal work onto the loop, so the
+    builder thread never races the request handlers on the log's file
+    handles.
+    """
+
+    def __init__(self, log: DeltaLog,
+                 catalog: "SnapshotCatalog | None" = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self._publisher = LogPublisher(log, catalog, host, port)
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._started = threading.Event()
+        self._start_error: "BaseException | None" = None
+
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = 30.0) -> "tuple[str, int]":
+        """Start the loop thread and bind; returns the address."""
+        if self._thread is not None:
+            return self._publisher.address
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="log-publisher")
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise ReproError("log publisher failed to start in time")
+        if self._start_error is not None:
+            raise ReproError(
+                f"log publisher failed to bind: {self._start_error!r}")
+        return self._publisher.address
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._publisher.start())
+        except BaseException as exc:  # surface bind failures to start()
+            self._start_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            try:
+                loop.run_until_complete(self._publisher.close())
+                # Cancel connection handlers still parked on reads so
+                # the loop closes without destroying pending tasks.
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True))
+            finally:
+                loop.close()
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        return self._publisher.address
+
+    # ------------------------------------------------------------------
+    def call(self, fn: Callable[[], Any], timeout: float = 60.0) -> Any:
+        """Run ``fn()`` on the publisher's loop thread (e.g. a catalog
+        ``maybe_compact`` against the builder's store) and return its
+        result."""
+        if self._loop is None:
+            raise ReproError("the publisher thread is not running")
+
+        async def _invoke():
+            return fn()
+
+        future = asyncio.run_coroutine_threadsafe(_invoke(), self._loop)
+        return future.result(timeout)
+
+    def publish(self, deltas: "Sequence[OntologyDelta]",
+                timeout: float = 60.0) -> int:
+        """Thread-safe :meth:`LogPublisher.publish`."""
+        deltas = list(deltas)
+        return self.call(lambda: self._publisher.publish(deltas),
+                         timeout=timeout)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "PublisherThread":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

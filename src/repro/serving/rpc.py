@@ -39,7 +39,13 @@ from ..apps.profiles import InterestProfile
 from ..apps.query import QueryAnalysis
 from ..apps.story_tree import EventRecord
 from ..apps.tagging import TaggedDocument
-from ..core.store import EdgeType, NodeType, OntologyDelta
+from ..core.store import (
+    AttentionNode,
+    Edge,
+    EdgeType,
+    NodeType,
+    OntologyDelta,
+)
 from ..errors import ReproError
 from .aio import SERVING_METHODS, AsyncOntologyService
 
@@ -48,7 +54,7 @@ _ESCAPE = "__esc__"  # prefix shielding user dict keys from codec markers
 
 _DATACLASSES = {cls.__name__: cls for cls in (
     TaggedDocument, QueryAnalysis, EventRecord, InterestProfile,
-    OntologyDelta,
+    OntologyDelta, AttentionNode, Edge,
 )}
 _ENUMS = {cls.__name__: cls for cls in (EdgeType, NodeType)}
 
@@ -163,6 +169,39 @@ async def read_frame(reader: asyncio.StreamReader) -> "bytes | None":
 
 def write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
     writer.write(len(payload).to_bytes(4, "big") + payload)
+
+
+def read_frame_sync(sock) -> "bytes | None":
+    """Blocking-socket twin of :func:`read_frame` (same wire layout);
+    used by the replication followers and remote shard clients, which
+    are synchronous processes."""
+    header = _recv_exactly(sock, 4)
+    if header is None:
+        return None
+    length = int.from_bytes(header, "big")
+    if length > _MAX_FRAME:
+        raise ReproError(f"RPC frame of {length} bytes exceeds limit")
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ReproError("truncated RPC frame body")
+    return body
+
+
+def _recv_exactly(sock, count: int) -> "bytes | None":
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            if chunks:
+                raise ReproError("truncated RPC frame")
+            return None
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def write_frame_sync(sock, payload: bytes) -> None:
+    """Blocking-socket twin of :func:`write_frame`."""
+    sock.sendall(len(payload).to_bytes(4, "big") + payload)
 
 
 # ----------------------------------------------------------------------

@@ -101,18 +101,20 @@ class OntologyService:
         Deltas already behind the replica's version are skipped (an
         at-least-once delivery of the same day's batches is harmless);
         a delta from the future raises :class:`DeltaGapError` *before*
-        any of its ops touch the store, signalling a gap in the stream.
-        Each delta is therefore either fully applied or cleanly
-        rejected — contiguous prefixes applied earlier in the same call
-        remain valid and the missing range can be re-delivered.
+        any of its ops touch the store, signalling a gap in the stream,
+        and so does a batch *straddling* the replica's version (base
+        behind, end ahead — e.g. a tail whose base predates the snapshot
+        the replica bootstrapped from), naming the already-applied
+        overlap.  Each delta is therefore either fully applied or
+        cleanly rejected — contiguous prefixes applied earlier in the
+        same call remain valid and the missing range can be
+        re-delivered.
         """
         applied = 0
         for delta in deltas:
-            if delta.version <= self._store.version:
+            if not DeltaGapError.check("replica", self._store.version,
+                                       delta):
                 continue
-            if delta.base_version > self._store.version:
-                raise DeltaGapError.for_stream(
-                    "replica", self._store.version, delta.base_version)
             self._store.apply_delta(delta)
             applied += 1
             self._deltas_applied += 1

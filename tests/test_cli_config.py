@@ -65,11 +65,24 @@ class TestConfigValidation:
 
 class TestCli:
     @pytest.fixture(scope="class")
-    def ontology_path(self, tmp_path_factory):
-        path = tmp_path_factory.mktemp("cli") / "onto.json"
-        rc = main(["build", "--days", "2", "--out", str(path)])
+    def built(self, tmp_path_factory):
+        """One CLI build emitting both the ontology JSON and a delta
+        log (with a snapshot compacted at the tiny threshold)."""
+        root = tmp_path_factory.mktemp("cli")
+        path = root / "onto.json"
+        log_dir = root / "delta-log"
+        rc = main(["build", "--days", "2", "--out", str(path),
+                   "--log-dir", str(log_dir), "--compact-bytes", "1"])
         assert rc == 0
-        return str(path)
+        return str(path), str(log_dir)
+
+    @pytest.fixture(scope="class")
+    def ontology_path(self, built):
+        return built[0]
+
+    @pytest.fixture(scope="class")
+    def log_dir(self, built):
+        return built[1]
 
     def test_build_writes_file(self, ontology_path):
         import json
@@ -103,6 +116,47 @@ class TestCli:
     def test_missing_subcommand_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_build_wrote_delta_log_with_snapshot(self, log_dir, capsys):
+        import json
+        import pathlib
+
+        log_path = pathlib.Path(log_dir)
+        manifest = json.loads((log_path / "MANIFEST.json").read_text())
+        assert manifest["segments"]
+        catalog = json.loads(
+            (log_path / "snapshots" / "CATALOG.json").read_text())
+        assert catalog["snapshots"]  # --compact-bytes 1 forced a fold
+
+    def test_serve_from_log_compares_clean(self, log_dir, capsys):
+        rc = main(["serve", "--from-log", log_dir, "--shards", "2",
+                   "--compare"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bootstrapped store" in out
+        assert "identical to single store" in out
+
+    def test_serve_remote_shards_from_log(self, log_dir, capsys):
+        rc = main(["serve", "--from-log", log_dir, "--remote-shards", "2",
+                   "--compare"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 remote worker shards" in out
+        assert "identical to single store" in out
+
+    def test_serve_requires_exactly_one_source(self, log_dir,
+                                               ontology_path, capsys):
+        assert main(["serve"]) == 2
+        assert main(["serve", "--ontology", ontology_path,
+                     "--from-log", log_dir]) == 2
+        err = capsys.readouterr().err
+        assert "exactly one" in err
+
+    def test_serve_remote_requires_from_log(self, ontology_path, capsys):
+        rc = main(["serve", "--ontology", ontology_path,
+                   "--remote-shards", "2"])
+        assert rc == 2
+        assert "--from-log" in capsys.readouterr().err
 
     @pytest.mark.parametrize("listen", [
         "8750",             # missing HOST:

@@ -188,10 +188,49 @@ class TestClusterReplay:
         # Re-delivering the full tail catches the cluster up cleanly.
         assert cluster.refresh(deltas[1:]) == len(deltas) - 1
 
+    def test_refresh_rejects_tail_straddling_cluster_version(
+            self, producer_and_deltas):
+        """Regression: a batch straddling the cluster's stream version
+        (base behind, end ahead — e.g. a tail predating the bootstrap
+        snapshot) raises DeltaGapError naming the overlap before any
+        shard is touched, instead of a raw router error."""
+        _producer, deltas = producer_and_deltas
+        cluster = ClusterService(num_shards=4, deltas=deltas[:1])
+        straddling = OntologyDelta(
+            stage="merged", base_version=deltas[0].base_version,
+            version=deltas[1].version, ops=deltas[0].ops + deltas[1].ops)
+        with pytest.raises(DeltaGapError, match="double-apply"):
+            cluster.refresh([straddling])
+        assert cluster.version == deltas[0].version
+        assert cluster.refresh(deltas[1:]) == len(deltas) - 1
+
     def test_bootstrap_from_existing_ontology(self, producer_and_deltas):
         producer, _deltas = producer_and_deltas
         cluster = ClusterService(num_shards=4, ontology=producer)
         assert cluster.stats()["ontology"] == producer.stats()
+
+    def test_bootstrap_from_snapshot_plus_tail(self, producer_and_deltas):
+        """The cluster-side snapshot bootstrap: fold a compact() dump
+        through the router, fast-forward, then refresh with the tail —
+        state identical to routing the full stream."""
+        producer, deltas = producer_and_deltas
+        snapshot = OntologyStore.bootstrap(None, deltas[:2]).compact()
+        cluster = ClusterService(num_shards=4, snapshot=snapshot,
+                                 deltas=deltas[2:])
+        assert cluster.version == producer.version
+        assert cluster.stats()["ontology"] == producer.stats()
+        full = ClusterService(num_shards=4, deltas=deltas)
+        assert cluster.stats()["ontology"] == full.stats()["ontology"]
+        # A tail predating the snapshot is rejected as an overlap.
+        fresh = ClusterService(num_shards=4, snapshot=snapshot)
+        straddling = OntologyDelta(
+            stage="merged", base_version=deltas[1].base_version,
+            version=deltas[2].version, ops=deltas[1].ops + deltas[2].ops)
+        with pytest.raises(DeltaGapError, match="double-apply"):
+            fresh.refresh([straddling])
+        # Snapshot bootstrap needs a fresh cluster.
+        with pytest.raises(OntologyError, match="fresh cluster"):
+            cluster.bootstrap(snapshot)
 
     def test_ontology_and_deltas_mutually_exclusive(self,
                                                     producer_and_deltas):

@@ -18,6 +18,8 @@ PACKAGES = [
     "repro.datasets",
     "repro.apps",
     "repro.serving",
+    "repro.cluster",
+    "repro.replication",
     "repro.baselines",
     "repro.eval",
 ]

@@ -275,6 +275,37 @@ class TestDeltaRefresh:
         assert replica.concepts_of_entity("voyager 1") == ("space probes",)
         assert replica.concepts_of_entity("voyager 2") == ("space probes",)
 
+    def test_refresh_rejects_tail_straddling_replica_version(self, ner):
+        """Regression: a batch whose base predates the replica's version
+        while its end is ahead (a tail older than the snapshot the
+        replica bootstrapped from) must raise DeltaGapError naming the
+        already-applied overlap, not fall through to a raw store error
+        — and nothing of it may apply."""
+        producer = AttentionOntology()
+        producer.begin_delta("build")
+        concept = producer.add_node(NodeType.CONCEPT, "space probes")
+        first = producer.commit_delta()
+        producer.begin_delta("day2")
+        entity = producer.add_node(NodeType.ENTITY, "voyager 1")
+        producer.add_edge(concept.node_id, entity.node_id, EdgeType.ISA)
+        second = producer.commit_delta()
+
+        from repro.core.store import OntologyDelta
+
+        straddling = OntologyDelta(
+            stage="merged", base_version=first.base_version,
+            version=second.version, ops=first.ops + second.ops)
+        replica = OntologyService(AttentionOntology(), ner=ner)
+        replica.refresh([first])
+        with pytest.raises(DeltaGapError, match="double-apply") as excinfo:
+            replica.refresh([straddling])
+        assert f"{first.base_version + 1}..{first.version}" in \
+            str(excinfo.value)
+        assert replica.version == first.version
+        # The well-formed tail still applies afterwards.
+        assert replica.refresh([second]) == 1
+        assert replica.concepts_of_entity("voyager 1") == ("space probes",)
+
     def test_refresh_updates_query_interpretation(self, ner):
         producer = AttentionOntology()
         producer.begin_delta("build")

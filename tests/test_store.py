@@ -10,7 +10,7 @@ from repro.core.serialize import (
     save_deltas,
 )
 from repro.core.store import EdgeType, NodeType, OntologyDelta, OntologyStore
-from repro.errors import OntologyError
+from repro.errors import DeltaGapError, OntologyError
 
 
 @pytest.fixture
@@ -230,6 +230,23 @@ class TestCompaction:
         # The whole stream overlaps the snapshot: everything is skipped.
         cold = OntologyStore.bootstrap(snapshot, deltas)
         assert cold.stats() == full.stats() and cold.version == full.version
+
+    def test_bootstrap_rejects_tail_straddling_snapshot(self):
+        """Regression: a tail batch whose base version predates the
+        snapshot but whose end is ahead of it must raise DeltaGapError
+        naming the overlapping range — part of the batch is already
+        folded into the snapshot, so replaying it would double-apply
+        (and silently merge payload/alias ops a second time)."""
+        _full, deltas = self._record_days()
+        snapshot = OntologyStore.bootstrap(None, deltas[:2]).compact()
+        straddling = OntologyDelta(
+            stage="merged", base_version=deltas[1].base_version,
+            version=deltas[2].version, ops=deltas[1].ops + deltas[2].ops)
+        with pytest.raises(DeltaGapError, match="double-apply") as err:
+            OntologyStore.bootstrap(snapshot, [straddling])
+        # The message names the already-applied overlap range.
+        assert f"{deltas[1].base_version + 1}..{deltas[1].version}" in \
+            str(err.value)
 
     def test_snapshot_preserves_ids_version_and_counter(self):
         from repro.core.serialize import store_from_dict, store_to_dict
