@@ -14,6 +14,8 @@ Subcommands::
     python -m repro.cli serve    --from-log ./delta-log --shards 4 --compare
     python -m repro.cli serve    --from-log ./delta-log --remote-shards 2 \
                                  --q "best economy cars" --compare
+    python -m repro.cli serve    --from-log ./delta-log --shards 2 \
+                                 --rebalance-to 4 --compare
     python -m repro.cli serve    --ontology ontology.json --shards 4 \
                                  --listen 127.0.0.1:8750
 
@@ -185,20 +187,23 @@ def _serve_rpc(backend, host: str, port: int,
     return 0
 
 
-def _load_from_log(log_dir: str):
+def _load_from_log(log_dir: str, readonly: bool = True):
     """Bootstrap a serving ontology (and NER) from a delta log directory
     via snapshot + tail; returns (ontology, ner, log, catalog, snapshot,
     tail) so callers reuse the fetched halves instead of re-reading.
 
-    The log is opened read-only: a serve process must never repair (or
-    truncate) a directory a live builder may still be appending to.
+    The log is opened read-only by default: a serve process must never
+    repair (or truncate) a directory a live builder may still be
+    appending to.  ``--rebalance-to`` with remote shards needs to append
+    the ring-epoch record, so that path opens the log writable — the
+    serve process then *owns* the directory.
     """
     from .core.ontology import AttentionOntology
     from .core.store import OntologyStore
     from .replication import DeltaLog, SnapshotCatalog
 
-    log = DeltaLog(log_dir, readonly=True)
-    catalog = SnapshotCatalog(log, readonly=True)
+    log = DeltaLog(log_dir, readonly=readonly)
+    catalog = SnapshotCatalog(log, readonly=readonly)
     snapshot, snap_version = catalog.latest()
     tail = log.read(snap_version if snapshot is not None else 0)
     store = OntologyStore.bootstrap(snapshot, tail)
@@ -242,8 +247,12 @@ def _serve(args: argparse.Namespace) -> int:
     log = catalog = snapshot = None
     tail = []
     if args.from_log:
+        # A remote rebalance appends the ring-epoch record to the log,
+        # so that combination opens it writable (this process must own
+        # the directory); every other path stays read-only.
+        writable = bool(args.remote_shards and args.rebalance_to)
         ontology, ner, log, catalog, snapshot, tail = \
-            _load_from_log(args.from_log)
+            _load_from_log(args.from_log, readonly=not writable)
     else:
         ontology, ner = _load_with_ner(args.ontology)
 
@@ -261,22 +270,36 @@ def _serve(args: argparse.Namespace) -> int:
                                            num_shards=args.remote_shards,
                                            ner=ner,
                                            tagger_options=tagger_options)
-            num_shards = args.remote_shards
         elif args.from_log:
             cluster = ClusterService(num_shards=args.shards, ner=ner,
                                      tagger_options=tagger_options,
                                      snapshot=snapshot, deltas=tail)
-            num_shards = args.shards
         else:
             cluster = ClusterService(num_shards=args.shards, ner=ner,
                                      tagger_options=tagger_options,
                                      ontology=ontology)
-            num_shards = args.shards
+
+        if args.rebalance_to:
+            if args.remote_shards:
+                delta = cluster.rebalance(args.rebalance_to,
+                                          publish=publisher.publish)
+            else:
+                delta = cluster.rebalance(args.rebalance_to)
+                if delta is not None:
+                    # Keep the --compare oracle's version line aligned
+                    # with the cluster (the ring op changes no content).
+                    ontology.store.apply_delta(delta)
+            moved = cluster.last_rebalance or {}
+            print(f"rebalanced to {cluster.num_shards} shards (ring epoch "
+                  f"{moved.get('epoch')}): moved "
+                  f"{moved.get('moved_nodes')} node records")
 
         stats = cluster.stats()
         mode = "remote worker" if args.remote_shards else "in-process"
-        print(f"cluster: {num_shards} {mode} shards at stream version "
-              f"{cluster.version}")
+        # The log's recorded ring epoch is authoritative over --shards/
+        # --remote-shards, so report the cluster's actual count.
+        print(f"cluster: {cluster.num_shards} {mode} shards at stream "
+              f"version {cluster.version}")
         for line in stats["shards"]:
             print(f"  shard {line['shard']}: owned={line['owned']} "
                   f"ghosts={line['ghosts']} version={line['version']}")
@@ -395,6 +418,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "fed from the published log (needs "
                               "--from-log)")
     p_serve.add_argument("--shards", type=int, default=4)
+    p_serve.add_argument("--rebalance-to", type=int, default=0,
+                         help="grow/shrink the cluster to N shards via a "
+                              "consistent-hash ring-epoch flip before "
+                              "serving (with --remote-shards the ring "
+                              "record is appended to the log, so this "
+                              "process must own the log directory)")
     p_serve.add_argument("--q", action="append",
                          help="query to interpret (repeatable)")
     p_serve.add_argument("--title", default="",

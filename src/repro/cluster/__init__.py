@@ -5,10 +5,15 @@ replicated and fronted by Tars RPC services, and tagging traffic fans out
 over many machines.  This package is the reproduction's cluster tier
 (DESIGN.md §6), built on PR 1's store/serving split:
 
-* :mod:`repro.cluster.router` — :class:`ShardRouter`: stable hash
-  partitioning of node ids by canonical phrase key, and splitting of the
+* :mod:`repro.cluster.ring` — :class:`HashRing`: the consistent-hash
+  ring (virtual nodes, blake2s placement) plus the versioned ring-epoch
+  records and :class:`TransferSlice` rebalance frames (DESIGN.md §9);
+* :mod:`repro.cluster.router` — :class:`ShardRouter`: ring-based
+  partitioning of node ids by canonical phrase key, splitting of the
   global :class:`~repro.core.store.OntologyDelta` stream into per-shard
-  sub-deltas with ghost replication for cross-shard edges;
+  sub-deltas with ghost replication for cross-shard edges, and
+  :meth:`ShardRouter.apply_ring` epoch flips producing the
+  :class:`RebalancePlan` of moved records;
 * :mod:`repro.cluster.shards` — :class:`ShardReplica` (one shard's store
   + owned/ghost bookkeeping) and :class:`ShardedStoreView` (a read-only
   object implementing the store read API by deterministic scatter-gather
@@ -28,18 +33,24 @@ over many machines.  This package is the reproduction's cluster tier
 """
 
 from .remote import RemoteClusterService, RemoteShardReplica
-from .router import ShardRouter, stable_hash
+from .ring import HashRing, TransferSlice, ring_delta, ring_op_of
+from .router import RebalancePlan, ShardRouter, stable_hash
 from .service import ClusterService
 from .shards import ShardReplica, ShardedStoreView
 from .workers import TaggingWorkerPool
 
 __all__ = [
     "ClusterService",
+    "HashRing",
+    "RebalancePlan",
     "RemoteClusterService",
     "RemoteShardReplica",
     "ShardReplica",
     "ShardRouter",
     "ShardedStoreView",
     "TaggingWorkerPool",
+    "TransferSlice",
+    "ring_delta",
+    "ring_op_of",
     "stable_hash",
 ]

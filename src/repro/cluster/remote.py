@@ -3,30 +3,43 @@
 The in-process :class:`~repro.cluster.service.ClusterService` holds its N
 :class:`~repro.cluster.shards.ShardReplica` stores in one address space.
 This module moves each shard into its own **worker process** (DESIGN.md
-§8), closing the ROADMAP's "cross-process shard servers" item:
+§8/§9):
 
 * data flows through the **replicated delta log** — every worker runs a
   log follower against the shared
   :class:`~repro.replication.publisher.LogPublisher`: it bootstraps from
   the newest :class:`~repro.replication.catalog.SnapshotCatalog`
-  snapshot folded through its own (deterministic)
-  :class:`~repro.cluster.router.ShardRouter`, replays the log tail, and
-  catches up on demand; a :class:`~repro.errors.DeltaGapError` (the log
-  GC'd past the worker) is recovered by re-bootstrapping;
+  snapshot plus the log tail (crossing any ring-epoch flips the tail
+  contains), registers itself as a follower so segment GC waits for it,
+  and catches up on demand; a :class:`~repro.errors.DeltaGapError` (the
+  log GC'd past the worker) is recovered by re-bootstrapping;
 * reads flow over **RPC** — the parent's
   :class:`~repro.cluster.shards.ShardedStoreView` talks to
   :class:`RemoteShardReplica` proxies speaking the shard read interface
   (the same methods a local ``ShardReplica`` serves) over the
   :mod:`repro.serving.rpc` length-prefixed framing and codec, so
   scatter-gather merges cross process boundaries unchanged;
+* **rebalances flow through both**: :meth:`RemoteClusterService.
+  rebalance` publishes the ring-epoch record to the log, then seeds each
+  *new* worker over RPC with the parent's routing state plus the
+  :class:`~repro.cluster.ring.TransferSlice` frames pulled from the
+  current owners — streaming only the moved node records, their incident
+  edges and ghost endpoints, not a full snapshot.  Surviving workers
+  cross the flip as they consume the log record: a pure-growth flip only
+  *demotes* locally; a flip that moves keys *into* a surviving shard
+  (shrink) raises :class:`~repro.errors.RingEpochError` and the worker
+  re-bootstraps from snapshot + tail — which is also the recovery path
+  for a worker that crashed mid-rebalance;
 * :class:`RemoteClusterService` assembles the pieces into a drop-in for
   ``ClusterService`` whose serving responses are **byte-identical**
   (``rpc.dumps``) to the in-process cluster and to a single store at the
   same stream version — the tests assert all three.
 
-Workers never receive pushed state: ``sync(version)`` is a control
+Workers never receive pushed deltas: ``sync(version)`` is a control
 signal ("the log now holds version v; catch up from it"), keeping the
-log the single source of truth.
+log the single source of truth.  The one exception is the seed of a
+freshly added shard, which is pure *state transfer* at a pinned version,
+not stream data.
 """
 
 from __future__ import annotations
@@ -38,9 +51,16 @@ import time
 from typing import Any, Iterable, Sequence
 
 from ..core.ontology import AttentionOntology
-from ..core.serialize import store_from_dict, store_to_delta
-from ..core.store import AttentionNode, Edge, EdgeType, NodeType, OntologyDelta
-from ..errors import DeltaGapError, OntologyError, ReproError
+from ..core.serialize import store_to_delta
+from ..core.store import (
+    AttentionNode,
+    Edge,
+    EdgeType,
+    NodeType,
+    OntologyDelta,
+    OntologyStore,
+)
+from ..errors import DeltaGapError, OntologyError, ReproError, RingEpochError
 from ..replication.follower import SyncLogClient
 from ..serving.rpc import (
     _canonical_bytes,
@@ -50,6 +70,7 @@ from ..serving.rpc import (
     write_frame_sync,
 )
 from ..serving.service import OntologyService
+from .ring import HashRing, TransferSlice, ring_delta, ring_op_of
 from .router import ShardRouter
 from .shards import ShardReplica, ShardedStoreView
 
@@ -57,7 +78,7 @@ from .shards import ShardReplica, ShardedStoreView
 SHARD_READ_METHODS = frozenset({
     "node", "find", "owns", "owned_ids", "owned_count", "alias_claim",
     "owned_token_ids", "owned_candidate_ids", "successor_ids",
-    "predecessor_ids", "has_edge", "edges", "describe",
+    "predecessor_ids", "has_edge", "edges", "describe", "transfer_slice",
 })
 
 _SYNC_WAIT_SECONDS = 2.0  # one long-poll slice while catching up
@@ -71,10 +92,33 @@ def _advance(router: ShardRouter, deltas: "Iterable[OntologyDelta]",
 
     With ``replica=None`` (the parent's router) sub-deltas are split for
     ownership bookkeeping and discarded — the parent holds no store.
+
+    A ring-epoch record flips the router in place.  A worker can absorb
+    a flip locally only when it *loses* keys (demotion is bookkeeping);
+    a flip that moves keys into its shard needs state it does not hold,
+    so it raises :class:`RingEpochError` — the follower recovery path
+    re-bootstraps from snapshot + tail, which crosses the flip with the
+    full store in hand.
     """
     advanced = 0
     for delta in deltas:
         if not DeltaGapError.check("shard follower", router.version, delta):
+            continue
+        if ring_op_of(delta) is not None:
+            plan = router.apply_ring(delta)
+            if replica is not None:
+                if shard_id >= plan.ring.num_shards:
+                    raise RingEpochError(
+                        f"shard {shard_id} left the ring at epoch "
+                        f"{plan.ring.epoch} ({plan.ring.num_shards} shards)")
+                moved_in = plan.moved_into(shard_id)
+                if moved_in:
+                    raise RingEpochError(
+                        f"ring epoch {plan.ring.epoch} moves "
+                        f"{len(moved_in)} node records into shard "
+                        f"{shard_id}; re-bootstrap from snapshot + tail")
+                replica.demote(plan.moved_out_of(shard_id))
+            advanced += 1
             continue
         subs = router.split(delta)
         if replica is not None:
@@ -91,22 +135,34 @@ def _bootstrap_shard(client: SyncLogClient, num_shards: int,
     """Snapshot-plus-tail bootstrap of one shard (or, with
     ``shard_id=None``, of a routing-only parent).
 
-    The catalog snapshot is folded into one synthetic delta
-    (:func:`store_to_delta`) and routed through a fresh router — every
-    process folds the *same* snapshot through the *same* deterministic
-    router, so all of them agree on ownership and ghost placement — then
-    the router is fast-forwarded to the snapshot's stream version and
-    the log tail replays on top.
+    The catalog snapshot and the log tail are first materialised into a
+    full store (:meth:`OntologyStore.bootstrap` — ring-epoch records in
+    the tail apply as version-advancing metadata), whose recorded ring
+    then determines the placement; the head state is folded through a
+    fresh router on that ring and this shard's slice applied.  Every
+    process folds the *same* head through the *same* deterministic
+    router, so all of them agree on ownership and ghost placement — and
+    because the fold happens at the head, a bootstrap crosses any number
+    of ring-epoch flips in one step.  ``num_shards`` is the ring to
+    assume for a log that never recorded one.
     """
-    router = ShardRouter(num_shards)
-    replica = ShardReplica(shard_id) if shard_id is not None else None
     snapshot, version = client.latest_snapshot()
-    if snapshot is not None:
-        subs = router.split(store_to_delta(store_from_dict(snapshot)))
+    tail = client.fetch(version if snapshot is not None else 0)
+    full = OntologyStore.bootstrap(snapshot, tail)
+    ring_meta = full.ring
+    ring = HashRing.from_op(ring_meta) if ring_meta is not None \
+        else HashRing(num_shards)
+    if shard_id is not None and shard_id >= ring.num_shards:
+        raise ReproError(
+            f"shard {shard_id} is not in the ring (epoch {ring.epoch} "
+            f"spans {ring.num_shards} shards)")
+    router = ShardRouter.from_ring(ring)
+    replica = ShardReplica(shard_id) if shard_id is not None else None
+    if len(full):
+        subs = router.split(store_to_delta(full))
         if replica is not None and subs[shard_id] is not None:
             replica.apply(subs[shard_id])
-        router.fast_forward(version)
-    _advance(router, client.fetch(router.version), shard_id, replica)
+    router.fast_forward(full.version)
     return router, replica
 
 
@@ -117,7 +173,8 @@ def _catch_up(client: SyncLogClient, router: ShardRouter,
               replica: ShardReplica, shard_id: int, target: int
               ) -> "tuple[ShardRouter, ShardReplica, bool]":
     """Advance the worker to ``target``, re-bootstrapping through a
-    :class:`DeltaGapError`; returns (router, replica, recovered)."""
+    :class:`DeltaGapError` (including :class:`RingEpochError` flips it
+    cannot absorb locally); returns (router, replica, recovered)."""
     recovered = False
     deadline = time.monotonic() + _SYNC_MAX_SECONDS
     while router.version < target:
@@ -137,11 +194,22 @@ def _catch_up(client: SyncLogClient, router: ShardRouter,
 
 def _shard_worker_main(shard_id: int, num_shards: int,
                        publisher_host: str, publisher_port: int,
-                       ready, accept_timeout: float) -> None:
-    """One shard behind a socket: bootstrap from the log, serve reads."""
+                       ready, accept_timeout: float,
+                       seed: bool = False) -> None:
+    """One shard behind a socket: bootstrap from the log (or await a
+    parent seed), serve reads."""
     try:
-        client = SyncLogClient.connect(publisher_host, publisher_port)
-        router, replica = _bootstrap_shard(client, num_shards, shard_id)
+        client = SyncLogClient.connect(publisher_host, publisher_port,
+                                       follower_id=f"shard-{shard_id}")
+        if seed:
+            # A rebalance-spawned worker: the parent streams it the
+            # routing state and its TransferSlice frames instead of a
+            # full snapshot fold.
+            router: "ShardRouter | None" = None
+            replica: "ShardReplica | None" = None
+        else:
+            router, replica = _bootstrap_shard(client, num_shards, shard_id)
+            client.register(router.version)
         server = socket.create_server(("127.0.0.1", 0))
         server.settimeout(accept_timeout)
         ready.put(("ready", shard_id, server.getsockname()[1]))
@@ -171,10 +239,28 @@ def _shard_worker_main(shard_id: int, num_shards: int,
                 if method == "stop":
                     stop = True
                     result: Any = True
+                elif method == "seed":
+                    if router is not None:
+                        raise ReproError(
+                            f"shard {shard_id} already holds state")
+                    state, transfers = args
+                    router = ShardRouter.from_state(state)
+                    replica = ShardReplica(shard_id)
+                    for transfer in transfers:
+                        replica.adopt_slice(transfer)
+                    router.sync_shard_version(shard_id,
+                                              replica.store.version)
+                    client.register(router.version)
+                    result = dict(replica.describe(), epoch=router.epoch,
+                                  stream_version=router.version)
+                elif router is None or replica is None:
+                    raise ReproError(
+                        f"shard {shard_id} is awaiting its rebalance seed")
                 elif method == "sync":
                     router, replica, recovered = _catch_up(
                         client, router, replica, shard_id, *args, **kwargs)
-                    result = dict(replica.describe(), recovered=recovered)
+                    result = dict(replica.describe(), recovered=recovered,
+                                  epoch=router.epoch)
                 elif method == "ghost_count":
                     result = replica.ghost_count
                 elif method in SHARD_READ_METHODS:
@@ -232,6 +318,8 @@ class RemoteShardReplica:
         if error is not None:
             kind = error.get("type")
             message = f"shard {self.shard_id}: {error.get('message')}"
+            if kind == "RingEpochError":
+                raise RingEpochError(message)
             if kind == "DeltaGapError":
                 raise DeltaGapError(message)
             if kind == "OntologyError":
@@ -258,8 +346,9 @@ class RemoteShardReplica:
     def owned_count(self, node_type: "NodeType | None" = None) -> int:
         return self._call("owned_count", node_type)
 
-    def alias_claim(self, key: str) -> "int | None":
-        return self._call("alias_claim", key)
+    def alias_claim(self, key: str,
+                    node_id: "str | None" = None) -> "int | None":
+        return self._call("alias_claim", key, node_id)
 
     def owned_token_ids(self, token: str, node_type: NodeType) -> list:
         return self._call("owned_token_ids", token, node_type)
@@ -290,10 +379,25 @@ class RemoteShardReplica:
         return self._call("ghost_count")
 
     # ------------------------------------------------------------------
+    # rebalance transfer frames
+    # ------------------------------------------------------------------
+    def transfer_slice(self, node_ids, epoch: int,
+                       shard: int) -> TransferSlice:
+        """Pull the slice a rebalance moves from this worker to
+        ``shard`` (read-only on the worker)."""
+        return self._call("transfer_slice", list(node_ids), epoch, shard)
+
+    def seed(self, state: dict, transfers: "list[TransferSlice]") -> dict:
+        """Hand a freshly spawned worker its routing state and slices
+        (only valid once, before the worker holds any state)."""
+        return self._call("seed", state, transfers)
+
+    # ------------------------------------------------------------------
     def sync(self, version: int) -> dict:
         """Tell the worker the log holds ``version``; it catches up from
-        the shared log (re-bootstrapping through a GC gap) and returns
-        its ``describe()`` line plus a ``recovered`` flag."""
+        the shared log (re-bootstrapping through a GC gap or a ring flip
+        it cannot absorb) and returns its ``describe()`` line plus
+        ``recovered`` and ``epoch``."""
         return self._call("sync", version)
 
     def stop(self) -> None:
@@ -319,7 +423,10 @@ class RemoteClusterService:
         publisher_address: ``(host, port)`` of the
             :class:`~repro.replication.publisher.LogPublisher` feeding
             the fleet.
-        num_shards: worker process count (= hash partitions).
+        num_shards: worker process count (= ring shards) for a log that
+            has no recorded ring epoch; when the log *does* record one
+            (it has been rebalanced), the ring is authoritative and the
+            fleet comes up at its shard count.
         ner / duet / tagger_options / max_rewrites /
             max_recommendations / cache_size: forwarded to the inner
             :class:`OntologyService` running over the remote view.
@@ -340,53 +447,31 @@ class RemoteClusterService:
                  start_timeout: float = 180.0) -> None:
         if num_shards <= 0:
             raise OntologyError("a cluster needs at least one shard")
-        host, port = publisher_address
+        self._host, self._port = publisher_address
         # Spawn (not fork): the parent may run a publisher event loop in
         # a thread, and forked children could inherit its lock state.
-        context = multiprocessing.get_context("spawn")
-        self._ready = context.Queue()
-        self._processes = []
+        self._context = multiprocessing.get_context("spawn")
+        self._start_timeout = start_timeout
+        self._processes: "dict[int, multiprocessing.Process]" = {}
+        # One ready-queue per worker: a shared queue is unreliable once
+        # any consumer process has been terminated (puts from later
+        # children can vanish), and rebalance/restart terminate workers.
+        self._ready_queues: "dict[int, Any]" = {}
         self._replicas: "list[RemoteShardReplica]" = []
         self._client: "SyncLogClient | None" = None
         self._closed = False
-        for shard_id in range(num_shards):
-            process = context.Process(
-                target=_shard_worker_main,
-                args=(shard_id, num_shards, host, port, self._ready,
-                      start_timeout),
-                daemon=True,
-            )
-            process.start()
-            self._processes.append(process)
+        self.last_rebalance: "dict | None" = None
         try:
-            ports: dict[int, int] = {}
-            deadline = time.monotonic() + start_timeout
-            while len(ports) < num_shards:
-                try:
-                    message = self._ready.get(timeout=1.0)
-                except Exception:
-                    dead = [p.pid for p in self._processes
-                            if not p.is_alive()]
-                    if dead and self._ready.empty():
-                        raise ReproError(
-                            f"shard worker process(es) {dead} died "
-                            "before reporting ready") from None
-                    if time.monotonic() > deadline:
-                        raise ReproError(
-                            "timed out waiting for shard workers to "
-                            "bootstrap from the log") from None
-                    continue
-                if message[0] != "ready":
-                    raise ReproError(
-                        f"shard worker {message[1]} failed: {message[2]}")
-                ports[message[1]] = message[2]
-            self._replicas = [
-                RemoteShardReplica(shard_id, "127.0.0.1", ports[shard_id])
-                for shard_id in range(num_shards)
-            ]
-            self._client = SyncLogClient.connect(host, port)
+            self._client = SyncLogClient.connect(self._host, self._port)
             self._router, _ = _bootstrap_shard(self._client, num_shards,
                                                None)
+            for shard_id in range(self._router.num_shards):
+                self._spawn(shard_id)
+            ports = self._await_ready(set(range(self._router.num_shards)))
+            self._replicas = [
+                RemoteShardReplica(shard_id, "127.0.0.1", ports[shard_id])
+                for shard_id in range(self._router.num_shards)
+            ]
             # Workers bootstrapped independently; align them with the
             # parent's log position before the first read.
             for replica in self._replicas:
@@ -401,6 +486,108 @@ class RemoteClusterService:
             max_recommendations=max_recommendations, cache_size=cache_size,
         )
         self._deltas_applied = 0
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, shard_id: int, seed: bool = False) -> None:
+        queue = self._context.Queue()
+        process = self._context.Process(
+            target=_shard_worker_main,
+            args=(shard_id, self._router.num_shards, self._host, self._port,
+                  queue, self._start_timeout, seed),
+            daemon=True,
+        )
+        process.start()
+        self._processes[shard_id] = process
+        self._ready_queues[shard_id] = queue
+
+    def _await_ready(self, expected: "set[int]") -> "dict[int, int]":
+        """Collect (shard_id -> port) ready messages for ``expected``."""
+        ports: dict[int, int] = {}
+        deadline = time.monotonic() + self._start_timeout
+        while set(ports) != expected:
+            for shard_id in sorted(expected - set(ports)):
+                try:
+                    message = self._ready_queues[shard_id].get(timeout=0.5)
+                except Exception:
+                    process = self._processes.get(shard_id)
+                    if process is not None and not process.is_alive():
+                        try:  # drain an error posted just before death
+                            message = self._ready_queues[shard_id].get(
+                                timeout=0.5)
+                        except Exception:
+                            raise ReproError(
+                                f"shard worker process {shard_id} died "
+                                "before reporting ready") from None
+                    else:
+                        continue
+                if message[0] != "ready":
+                    raise ReproError(
+                        f"shard worker {message[1]} failed: {message[2]}")
+                ports[shard_id] = message[2]
+            if set(ports) != expected and time.monotonic() > deadline:
+                raise ReproError(
+                    "timed out waiting for shard workers to "
+                    "bootstrap from the log")
+        return ports
+
+    def _stop_worker(self, shard_id: int,
+                     proxy: "RemoteShardReplica | None") -> None:
+        if proxy is not None:
+            proxy.stop()
+            proxy.close()
+        process = self._processes.pop(shard_id, None)
+        if process is not None:
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        # A gracefully stopped worker deregisters itself; a crashed one
+        # cannot, and a retired shard is never respawned to overwrite
+        # its registration — so its stale position would pin the log's
+        # segment-GC floor forever.  Clear it from here (idempotent).
+        if self._client is not None:
+            try:
+                self._client.forget(f"shard-{shard_id}")
+            except (ReproError, OSError):
+                pass
+
+    def _restart(self, shard_id: int) -> RemoteShardReplica:
+        """Respawn one worker via the standard snapshot-plus-tail
+        bootstrap (crossing any ring flips) and reconnect its proxy."""
+        process = self._processes.pop(shard_id, None)
+        if process is not None:
+            process.terminate()
+            process.join(timeout=10.0)
+        self._spawn(shard_id)
+        ports = self._await_ready({shard_id})
+        proxy = RemoteShardReplica(shard_id, "127.0.0.1", ports[shard_id])
+        proxy.sync(self._router.version)
+        return proxy
+
+    def restart_shard(self, shard_id: int) -> dict:
+        """Replace a crashed worker: the respawn re-bootstraps from the
+        newest catalog snapshot plus the log tail — landing in the
+        current ring epoch with no gap — and rejoins the view.  Returns
+        the revived worker's ``describe()`` line."""
+        if not 0 <= shard_id < len(self._replicas):
+            raise OntologyError(f"no shard {shard_id} in this cluster")
+        old = self._replicas[shard_id]
+        old.close()
+        proxy = self._restart(shard_id)
+        self._replicas[shard_id] = proxy
+        self._view.reseat(self._router, self._replicas)
+        return proxy.describe()
+
+    def terminate_worker(self, shard_id: int) -> None:
+        """Failure injection (tests/ops): kill a worker process outright,
+        leaving its stale proxy in place — the next sync or rebalance
+        finds the corpse and triggers :meth:`restart_shard` recovery."""
+        process = self._processes.get(shard_id)
+        if process is not None:
+            process.terminate()
+            process.join(timeout=10.0)
 
     # ------------------------------------------------------------------
     # cluster state
@@ -422,18 +609,33 @@ class RemoteClusterService:
     def replicas(self) -> "list[RemoteShardReplica]":
         return list(self._replicas)
 
-    def sync(self) -> int:
-        """Pull new batches from the shared log and fan the catch-up
-        signal to every worker; returns batches newly routed."""
+    @property
+    def router(self) -> ShardRouter:
+        return self._router
+
+    def _advance_parent(self) -> int:
+        """Pull new batches from the shared log into the parent's
+        routing-only router (ring flips apply in place)."""
         try:
-            advanced = _advance(self._router,
-                                self._client.fetch(self._router.version))
+            return _advance(self._router,
+                            self._client.fetch(self._router.version))
         except DeltaGapError:
             # The log GC'd past the parent's routing state: rebuild it
             # (workers re-bootstrap themselves on their own gap).
             self._router, _ = _bootstrap_shard(
-                self._client, self.num_shards, None)
-            advanced = 0
+                self._client, self._router.num_shards, None)
+            return 0
+
+    def sync(self) -> int:
+        """Pull new batches from the shared log and fan the catch-up
+        signal to every worker; returns batches newly routed."""
+        advanced = self._advance_parent()
+        if self._router.num_shards != len(self._replicas):
+            raise OntologyError(
+                f"the log's ring epoch spans {self._router.num_shards} "
+                f"shards but this cluster runs {len(self._replicas)} "
+                f"workers — complete the resize with "
+                f"rebalance({self._router.num_shards}, ...)")
         for replica in self._replicas:
             replica.sync(self._router.version)
         self._deltas_applied += advanced
@@ -453,6 +655,168 @@ class RemoteClusterService:
                 f"deltas to the log before refreshing"
             )
         return applied
+
+    # ------------------------------------------------------------------
+    # rebalancing (ring epochs)
+    # ------------------------------------------------------------------
+    def rebalance(self, num_shards: int, publish=None,
+                  vnodes: "int | None" = None) -> "OntologyDelta | None":
+        """Resize the worker fleet to ``num_shards`` via a ring-epoch
+        flip recorded in the shared log.
+
+        ``publish`` bridges the record to the log's writer (e.g.
+        :meth:`~repro.replication.publisher.PublisherThread.publish`) —
+        data still flows to workers only through the log.  Growth spawns
+        the new shards' workers and *seeds* them over RPC with the
+        parent's routing state plus the
+        :class:`~repro.cluster.ring.TransferSlice` frames pulled from
+        the current owners, streaming only the moved node records;
+        surviving workers cross the flip as they consume the log record
+        (pure-growth flips demote locally; shrink survivors that gain
+        keys re-bootstrap from snapshot + tail).  A worker that died
+        mid-rebalance is respawned through the same snapshot-plus-tail
+        path, so re-invoking ``rebalance`` after a partial failure
+        completes the outstanding reconciliation.  Returns the ring
+        record (``None`` when the fleet was already at ``num_shards``
+        and only reconciliation ran).
+        """
+        if num_shards <= 0:
+            raise OntologyError("a cluster needs at least one shard")
+        # The whole fleet must be at the pre-flip head before slices are
+        # extracted: a lagging source would seed a new shard with stale
+        # node state that nothing ever repairs.  A dead worker found
+        # here is revived through snapshot + tail first.
+        recovered = self._sync_fleet()
+        delta = None
+        plan = None
+        if self._router.num_shards != num_shards or \
+                (vnodes is not None and vnodes != self._router.vnodes):
+            ring = HashRing(
+                num_shards,
+                self._router.vnodes if vnodes is None else vnodes,
+                self._router.epoch + 1)
+            delta = ring_delta(self._router.version, ring)
+            if publish is None:
+                raise OntologyError(
+                    "remote shards are fed from the shared log; pass "
+                    "publish= (e.g. PublisherThread.publish) so the "
+                    "ring-epoch record reaches it")
+            publish([delta])
+            plan = self._router.apply_ring(delta)
+        self._reconcile(plan, recovered)
+        if delta is not None:
+            self._deltas_applied += 1
+        return delta
+
+    def _sync_fleet(self) -> "list[int]":
+        """Bring the parent and every worker to the current log head,
+        respawning dead workers (snapshot-plus-tail); returns the shard
+        ids that had to be revived."""
+        self._advance_parent()
+        recovered = []
+        for index, replica in enumerate(self._replicas):
+            try:
+                replica.sync(self._router.version)
+            except (ReproError, OSError):
+                replica.close()
+                self._replicas[index] = self._restart(replica.shard_id)
+                recovered.append(replica.shard_id)
+        return recovered
+
+    def _reconcile(self, plan, recovered: "list[int] | None" = None) -> None:
+        """Drive the fleet to the parent router's ring: collect transfer
+        slices, retire shards that left the ring, cross survivors over
+        the flip (restarting corpses), seed or bootstrap new shards, and
+        flip the read view."""
+        target = self._router.num_shards
+        new_ids = list(range(len(self._replicas), target))
+        transfers = self._collect_transfers(plan, new_ids)
+        # Shards beyond the ring retire (their keys were sliced away or,
+        # if the slices failed, will come from re-bootstrap folds).
+        for proxy in self._replicas[target:]:
+            self._stop_worker(proxy.shard_id, proxy)
+        del self._replicas[target:]
+        moved_records = sum(
+            transfer.moved_nodes
+            for slices in transfers.values() if slices is not None
+            for transfer in slices)
+        # Survivors cross the flip from the log; a dead worker is
+        # respawned through snapshot + tail, landing in the new epoch.
+        recovered = list(recovered or [])
+        for index, replica in enumerate(self._replicas):
+            try:
+                replica.sync(self._router.version)
+            except (ReproError, OSError):
+                replica.close()
+                self._replicas[index] = self._restart(replica.shard_id)
+                if replica.shard_id not in recovered:
+                    recovered.append(replica.shard_id)
+        for shard_id in new_ids:
+            self._replicas.append(
+                self._seed_or_bootstrap(shard_id, transfers.get(shard_id)))
+        self._view.reseat(self._router, self._replicas)
+        self.last_rebalance = {
+            "epoch": self._router.epoch,
+            "num_shards": target,
+            "moved_nodes": plan.moved_nodes if plan is not None else 0,
+            "seeded_records": moved_records,
+            "recovered_shards": recovered,
+        }
+
+    def _collect_transfers(self, plan, new_ids
+                           ) -> "dict[int, list[TransferSlice] | None]":
+        """Pull each new shard's slices from the current owners; a dest
+        whose source is unreachable maps to ``None`` (it bootstraps from
+        snapshot + tail instead)."""
+        transfers: "dict[int, list[TransferSlice] | None]" = {}
+        if plan is None:
+            return {shard_id: None for shard_id in new_ids}
+        pairs = plan.by_pair()
+        for dest in new_ids:
+            slices: "list[TransferSlice] | None" = []
+            for (src, dst), node_ids in pairs:
+                if dst != dest:
+                    continue
+                if src >= len(self._replicas):
+                    slices = None  # source shard is itself new/gone
+                    break
+                try:
+                    slices.append(self._replicas[src].transfer_slice(
+                        node_ids, plan.ring.epoch, dst))
+                except (ReproError, OSError):
+                    slices = None  # source crashed mid-rebalance
+                    break
+            transfers[dest] = slices
+        return transfers
+
+    def _seed_or_bootstrap(self, shard_id: int,
+                           slices: "list[TransferSlice] | None"
+                           ) -> RemoteShardReplica:
+        """Bring one new shard's worker up — seeded with its slices when
+        they were all collected, via full snapshot-plus-tail otherwise."""
+        if slices is not None:
+            for transfer in slices:
+                self._router.note_materialized(
+                    shard_id,
+                    [node.node_id for node in transfer.nodes] +
+                    [ghost.node_id for ghost in transfer.ghosts])
+            proxy = None
+            try:
+                self._spawn(shard_id, seed=True)
+                ports = self._await_ready({shard_id})
+                proxy = RemoteShardReplica(shard_id, "127.0.0.1",
+                                           ports[shard_id])
+                seeded = proxy.seed(self._router.export_state(), slices)
+                self._router.sync_shard_version(shard_id,
+                                                seeded["version"])
+                return proxy
+            except (ReproError, OSError):
+                self._stop_worker(shard_id, proxy)
+        self._spawn(shard_id)
+        ports = self._await_ready({shard_id})
+        proxy = RemoteShardReplica(shard_id, "127.0.0.1", ports[shard_id])
+        proxy.sync(self._router.version)
+        return proxy
 
     # ------------------------------------------------------------------
     # serving APIs (delegated to the inner service over the remote view)
@@ -497,6 +861,11 @@ class RemoteClusterService:
         stats = self._service.stats()
         stats["num_shards"] = self.num_shards
         stats["cluster_deltas_applied"] = self._deltas_applied
+        stats["ring"] = {"epoch": self._router.epoch,
+                         "num_shards": self._router.num_shards,
+                         "vnodes": self._router.vnodes}
+        if self.last_rebalance is not None:
+            stats["last_rebalance"] = dict(self.last_rebalance)
         stats["shards"] = [replica.describe() for replica in self._replicas]
         return stats
 
@@ -510,7 +879,7 @@ class RemoteClusterService:
             replica.close()
         if self._client is not None:
             self._client.close()
-        for process in self._processes:
+        for process in self._processes.values():
             process.join(timeout=10.0)
             if process.is_alive():
                 process.terminate()

@@ -1,0 +1,162 @@
+"""Consistent-hash ring and rebalance records (DESIGN.md §9).
+
+PRs 2–4 partitioned the ontology with ``blake2s(key) % N`` — correct,
+but frozen: growing the cluster to M shards re-routes *every* key, so
+the only way to resize was replaying the delta stream from version 0.
+This module replaces the modulo with a **consistent-hash ring**:
+
+* every shard projects ``vnodes`` virtual points onto a 64-bit ring
+  (``blake2s("vnode::<shard>::<replica>")``); a key is owned by the
+  first point at or after its own hash, wrapping around.  Adding shards
+  adds points — only the keys whose nearest point is new move, roughly
+  ``(M - N) / M`` of them, instead of all of them;
+* placement is a pure function of ``(num_shards, vnodes)`` and the key,
+  so every process — router, shard worker, follower — recomputes it
+  identically with no shared state, exactly like the modulo before it;
+* a resize is a **ring epoch**: a ``{"op": "ring", "epoch",
+  "num_shards", "vnodes"}`` record that travels *in the delta stream*
+  (and therefore in the replicated log and in snapshots, see
+  :meth:`OntologyStore.set_ring_epoch`).  Every consumer sees the flip
+  at the same stream version, so "which ring owns key k at version v"
+  has one global answer;
+* the state a flip moves between shards ships as a
+  :class:`TransferSlice` — the moved nodes with their full payloads and
+  aliases, every edge incident to them, ghost records for the foreign
+  endpoints of those edges, and the nodes' alias-claim stream positions
+  — over the :mod:`repro.serving.rpc` codec (registered below), so the
+  same slice feeds an in-process replica and a remote shard worker.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass, field
+
+from ..core.store import AttentionNode, Edge, OntologyDelta
+from ..errors import OntologyError
+from ..serving.rpc import register_dataclass
+
+#: Delta-op discriminator for ring-epoch records.
+RING_OP = "ring"
+
+#: Virtual points per shard.  More vnodes smooth the load split and
+#: shrink the moved fraction's variance; 64 keeps ring construction and
+#: the bisect lookups cheap at reproduction scale.
+DEFAULT_VNODES = 64
+
+
+def stable_hash(key: str) -> int:
+    """Process-independent 64-bit hash (``hash()`` is salted per run)."""
+    digest = hashlib.blake2s(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A deterministic consistent-hash ring with virtual nodes.
+
+    Args:
+        num_shards: shards projecting points onto the ring.
+        vnodes: virtual points per shard.
+        epoch: monotonically increasing configuration version; epoch 0
+            is the implicit ring a cluster starts with before any
+            ``ring`` record appears in its stream.
+    """
+
+    def __init__(self, num_shards: int, vnodes: int = DEFAULT_VNODES,
+                 epoch: int = 0) -> None:
+        if num_shards <= 0:
+            raise OntologyError("a hash ring needs at least one shard")
+        if vnodes <= 0:
+            raise OntologyError("a hash ring needs at least one vnode")
+        self.num_shards = num_shards
+        self.vnodes = vnodes
+        self.epoch = epoch
+        points = []
+        for shard in range(num_shards):
+            for replica in range(vnodes):
+                points.append((stable_hash(f"vnode::{shard}::{replica}"),
+                               shard))
+        points.sort()  # hash collisions tie-break by shard id: stable
+        self._hashes = [point_hash for point_hash, _shard in points]
+        self._shards = [shard for _point_hash, shard in points]
+
+    def shard_of_key(self, key: str) -> int:
+        """Owning shard of ``key``: the first ring point clockwise."""
+        index = bisect.bisect_right(self._hashes, stable_hash(key))
+        return self._shards[index % len(self._shards)]
+
+    # ------------------------------------------------------------------
+    def to_op(self) -> dict:
+        """This ring as a delta ``ring`` op."""
+        return {"op": RING_OP, "epoch": self.epoch,
+                "num_shards": self.num_shards, "vnodes": self.vnodes}
+
+    @classmethod
+    def from_op(cls, op: dict) -> "HashRing":
+        """Rebuild the ring a ``ring`` op (or a snapshot's ``ring``
+        metadata dict) describes."""
+        return cls(op["num_shards"], op["vnodes"], op["epoch"])
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, HashRing) and \
+            (self.num_shards, self.vnodes, self.epoch) == \
+            (other.num_shards, other.vnodes, other.epoch)
+
+    def __repr__(self) -> str:
+        return (f"HashRing(num_shards={self.num_shards}, "
+                f"vnodes={self.vnodes}, epoch={self.epoch})")
+
+
+def ring_op_of(delta: OntologyDelta) -> "dict | None":
+    """The ring op when ``delta`` is a ring-epoch record, else ``None``.
+
+    Ring records must travel alone (one op per delta) so the epoch flip
+    lands exactly on a batch boundary; a batch mixing a ring op with
+    content ops is rejected.
+    """
+    ring_ops = [op for op in delta.ops if op.get("op") == RING_OP]
+    if not ring_ops:
+        return None
+    if len(delta.ops) != 1:
+        raise OntologyError(
+            "a ring-epoch record must be the only op in its delta "
+            f"(got {len(delta.ops)} ops)")
+    return ring_ops[0]
+
+
+def ring_delta(base_version: int, ring: HashRing) -> OntologyDelta:
+    """The stream record announcing ``ring`` from ``base_version + 1``."""
+    return OntologyDelta(stage="ring-epoch", base_version=base_version,
+                         version=base_version + 1, ops=[ring.to_op()])
+
+
+@dataclass
+class TransferSlice:
+    """State streamed to one destination shard during a rebalance.
+
+    A slice is extracted from the *source* shard's store (which holds
+    every moved node in full, plus all edges incident to it — the
+    ghost-replication invariant) and adopted by the destination, which
+    diffs it against what it already holds.  Slices cross process
+    boundaries via the :mod:`repro.serving.rpc` codec.
+    """
+
+    epoch: int  # ring epoch this transfer belongs to
+    shard: int  # destination shard
+    nodes: "list[AttentionNode]" = field(default_factory=list)  # full state
+    ghosts: "list[AttentionNode]" = field(default_factory=list)  # id refs
+    edges: "list[Edge]" = field(default_factory=list)  # incident edges
+    # Global stream position of each edge, aligned with ``edges`` —
+    # destinations keep adjacency in stream order across the move.
+    edge_positions: "list[int]" = field(default_factory=list)
+    # alias key -> {node_id: global stream position of its first claim}
+    alias_claims: dict = field(default_factory=dict)
+
+    @property
+    def moved_nodes(self) -> int:
+        """Owned node records this slice moves (the rebalance cost unit)."""
+        return len(self.nodes)
+
+
+register_dataclass(TransferSlice)

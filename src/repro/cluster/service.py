@@ -20,6 +20,13 @@ profiles and story follow-ups — by running an ordinary
 to a single-store service at the same stream version (the cluster tests
 assert this), while storage, inverted indexes and candidate generation
 are partitioned N ways.
+
+Since the consistent-hash ring (DESIGN.md §9) the partition is no longer
+frozen: :meth:`ClusterService.rebalance` grows or shrinks the shard set
+live by flipping a ring epoch, streaming only the moved node records
+between shards as :class:`~repro.cluster.ring.TransferSlice` transfers,
+and the same flip replays deterministically from the recorded ring-epoch
+delta on any other consumer of the stream.
 """
 
 from __future__ import annotations
@@ -31,7 +38,8 @@ from ..core.serialize import store_to_delta
 from ..core.store import EdgeType, OntologyDelta, OntologyStore
 from ..errors import DeltaGapError, OntologyError
 from ..serving.service import OntologyService
-from .router import ShardRouter
+from .ring import HashRing, ring_delta, ring_op_of
+from .router import RebalancePlan, ShardRouter
 from .shards import ShardReplica, ShardedStoreView
 
 
@@ -56,7 +64,9 @@ class ClusterService:
             may then be the *tail* recorded after the snapshot — the
             cluster-side bootstrap protocol, mirroring
             :meth:`OntologyStore.bootstrap`.  Mutually exclusive with
-            ``ontology``.
+            ``ontology``.  A snapshot recording a ring epoch is
+            authoritative: the cluster comes up on that ring, whatever
+            ``num_shards`` says.
     """
 
     def __init__(self, num_shards: int = 4, ner=None, duet=None,
@@ -75,6 +85,7 @@ class ClusterService:
             max_recommendations=max_recommendations, cache_size=cache_size,
         )
         self._deltas_applied = 0
+        self.last_rebalance: "dict | None" = None
         if ontology is not None and deltas is not None:
             raise OntologyError(
                 "pass either a delta stream or an ontology to fold, not "
@@ -134,6 +145,20 @@ class ClusterService:
             )
         from ..core.serialize import store_from_dict  # local: avoid cycle
 
+        ring_meta = snapshot.get("ring")
+        if ring_meta is not None:
+            # The snapshot records the ring epoch active at its stream
+            # version; it is authoritative — a cluster bootstrapping
+            # from a post-rebalance snapshot must come up on the
+            # rebalanced ring, whatever shard count it was constructed
+            # with, or its placement would disagree with every other
+            # consumer of the stream.
+            ring = HashRing.from_op(ring_meta)
+            if ring != self._router.ring:
+                self._router = ShardRouter.from_ring(ring)
+                self._replicas = [ShardReplica(i)
+                                  for i in range(ring.num_shards)]
+                self._view.reseat(self._router, self._replicas)
         fold = store_to_delta(store_from_dict(snapshot))
         for replica, sub in zip(self._replicas, self._router.split(fold)):
             if sub is not None:
@@ -154,6 +179,14 @@ class ClusterService:
             if not DeltaGapError.check("cluster", self._router.version,
                                        delta):
                 continue
+            if ring_op_of(delta) is not None:
+                # A ring-epoch record replayed from the stream (or log):
+                # perform the same live rebalance the recording cluster
+                # did, so replay reproduces the rebalanced topology.
+                self._apply_ring_delta(delta)
+                applied += 1
+                self._deltas_applied += 1
+                continue
             sub_deltas = self._router.split(delta)
             for replica, sub in zip(self._replicas, sub_deltas):
                 if sub is None:
@@ -173,6 +206,71 @@ class ClusterService:
             applied += 1
             self._deltas_applied += 1
         return applied
+
+    # ------------------------------------------------------------------
+    # rebalancing (ring epochs)
+    # ------------------------------------------------------------------
+    def rebalance(self, num_shards: int,
+                  vnodes: "int | None" = None) -> OntologyDelta:
+        """Grow (or shrink) the cluster to ``num_shards`` shards by
+        flipping to a new consistent-hash ring epoch.
+
+        Mints the ring-epoch record at the cluster's current stream
+        version, streams the moved node records (plus the ghost replicas
+        and incident edges they need) to their new shards as
+        :class:`~repro.cluster.ring.TransferSlice` transfers, and flips
+        the read view atomically once every transfer landed — readers
+        never observe a mixed epoch.  Returns the ring-epoch delta,
+        which the caller must feed to every *other* consumer of the
+        stream (the single-store oracle, the replicated log) so all
+        version lines stay aligned.  Transfer accounting lands on
+        :attr:`last_rebalance`.
+        """
+        ring = HashRing(num_shards,
+                        self._router.vnodes if vnodes is None else vnodes,
+                        self._router.epoch + 1)
+        delta = ring_delta(self.version, ring)
+        self._apply_ring_delta(delta)
+        self._deltas_applied += 1
+        return delta
+
+    def _apply_ring_delta(self, delta: OntologyDelta) -> dict:
+        """Execute one ring-epoch record: plan, transfer, demote, flip."""
+        plan = self._router.apply_ring(delta)
+        sources = list(self._replicas)
+        for shard_id in range(len(self._replicas), plan.ring.num_shards):
+            self._replicas.append(ShardReplica(shard_id))
+        transferred = self._run_transfers(plan, sources)
+        for shard_id, moved in enumerate(
+                map(plan.moved_out_of, range(len(sources)))):
+            if moved:
+                sources[shard_id].demote(moved)
+        if plan.ring.num_shards < len(self._replicas):
+            del self._replicas[plan.ring.num_shards:]
+        self._view.reseat(self._router, self._replicas)
+        self.last_rebalance = {
+            "epoch": plan.ring.epoch,
+            "num_shards": plan.ring.num_shards,
+            "moved_nodes": plan.moved_nodes,
+            "transfer_ops": transferred,
+        }
+        return self.last_rebalance
+
+    def _run_transfers(self, plan: RebalancePlan, sources) -> int:
+        """Stream every (source, destination) slice of the plan; returns
+        total ops applied on destinations."""
+        total_ops = 0
+        for (src, dst), node_ids in plan.by_pair():
+            transfer = sources[src].transfer_slice(node_ids,
+                                                   plan.ring.epoch, dst)
+            dest = self._replicas[dst]
+            result = dest.adopt_slice(transfer)
+            self._router.note_materialized(
+                dst, [node.node_id for node in transfer.nodes] +
+                [ghost.node_id for ghost in transfer.ghosts])
+            self._router.sync_shard_version(dst, dest.store.version)
+            total_ops += result["ops"]
+        return total_ops
 
     # ------------------------------------------------------------------
     # serving APIs (delegated to the inner service over the view)
@@ -217,5 +315,10 @@ class ClusterService:
         stats = self._service.stats()
         stats["num_shards"] = self.num_shards
         stats["cluster_deltas_applied"] = self._deltas_applied
+        stats["ring"] = {"epoch": self._router.epoch,
+                         "num_shards": self._router.num_shards,
+                         "vnodes": self._router.vnodes}
+        if self.last_rebalance is not None:
+            stats["last_rebalance"] = dict(self.last_rebalance)
         stats["shards"] = [replica.describe() for replica in self._replicas]
         return stats

@@ -33,6 +33,8 @@ by the delta stream through ``ClusterService.refresh``.
 
 from __future__ import annotations
 
+import copy
+
 from ..core.store import (
     AttentionNode,
     Edge,
@@ -43,6 +45,7 @@ from ..core.store import (
     creation_order,
 )
 from ..errors import OntologyError
+from .ring import TransferSlice
 from .router import ShardRouter
 
 
@@ -54,8 +57,25 @@ class ShardReplica:
         self.store = OntologyStore()
         self._owned: dict[NodeType, set[str]] = {t: set() for t in NodeType}
         self._ghosts: set[str] = set()
-        self._alias_claims: dict[str, int] = {}
+        # alias key -> {node_id: global stream pos of that node's first
+        # claim}.  Per-node granularity survives rebalances: when a node
+        # moves shards its claims travel with it, without contaminating
+        # (or being contaminated by) claims other local nodes hold on
+        # the same contested key.
+        self._alias_claims: dict[str, dict[str, int]] = {}
+        # canonical (source, target, type) -> global stream pos.  The
+        # single store returns traversals in edge *insertion* order;
+        # replicas sort adjacency by these positions so the order
+        # survives a rebalance interleaving adopted and local edges.
+        self._edge_pos: dict[tuple, int] = {}
         self.deltas_applied = 0
+
+    @staticmethod
+    def _edge_key(source: str, target: str,
+                  edge_type: EdgeType) -> tuple:
+        if edge_type == EdgeType.CORRELATE:  # symmetric, stored mirrored
+            return (min(source, target), max(source, target), edge_type)
+        return (source, target, edge_type)
 
     def apply(self, sub_delta: OntologyDelta) -> None:
         """Apply one routed sub-delta, tracking owned vs ghost nodes and
@@ -67,7 +87,15 @@ class ShardReplica:
                 if pos is not None:
                     node = self.store.node(op["node_id"])
                     key = f"{node.node_type.value}::{op['alias'].lower()}"
-                    self._alias_claims.setdefault(key, pos)
+                    self._alias_claims.setdefault(key, {}).setdefault(
+                        op["node_id"], pos)
+                continue
+            if op["op"] == "edge":
+                pos = op.get("pos")
+                if pos is not None:
+                    self._edge_pos.setdefault(
+                        self._edge_key(op["source"], op["target"],
+                                       EdgeType(op["type"])), pos)
                 continue
             if op["op"] != "node" or not op.get("created"):
                 continue
@@ -77,9 +105,160 @@ class ShardReplica:
                 self._owned[NodeType(op["type"])].add(op["node_id"])
         self.deltas_applied += 1
 
-    def alias_claim(self, key: str) -> "int | None":
-        """Stream position at which this shard first claimed ``key``."""
-        return self._alias_claims.get(key)
+    def alias_claim(self, key: str,
+                    node_id: "str | None" = None) -> "int | None":
+        """Stream position at which ``node_id`` (or, with ``None``,
+        anyone on this shard) first claimed ``key``."""
+        claims = self._alias_claims.get(key)
+        if not claims:
+            return None
+        if node_id is not None:
+            return claims.get(node_id)
+        return min(claims.values())
+
+    # ------------------------------------------------------------------
+    # rebalance: slice extraction / adoption / demotion
+    # ------------------------------------------------------------------
+    def transfer_slice(self, node_ids, epoch: int,
+                       shard: int) -> TransferSlice:
+        """Extract the state a rebalance moves to ``shard``: the named
+        nodes in full, every edge incident to them, ghost records for
+        the foreign endpoints of those edges, and the nodes' alias
+        claims.  Read-only — the source keeps (and later demotes) its
+        records, so slices can be re-extracted after a failed transfer.
+        """
+        ids = sorted(set(node_ids), key=creation_order)
+        id_set = set(ids)
+        nodes = []
+        for node_id in ids:
+            node = self.store.node(node_id)
+            nodes.append(AttentionNode(
+                node.node_id, node.node_type, node.phrase,
+                aliases=set(node.aliases),
+                payload=copy.deepcopy(node.payload)))
+        # Incident edges via the store's per-node adjacency (not a full
+        # edge scan), de-duplicated on the canonical key — correlate
+        # mirrors collapse to the (min, max) direction.
+        incident: dict[tuple, Edge] = {}
+        for node_id in ids:
+            for edge in (self.store.out_edges(node_id)
+                         + self.store.in_edges(node_id)):
+                key = self._edge_key(edge.source, edge.target,
+                                     edge.edge_type)
+                if key not in incident:
+                    if (edge.source, edge.target) != (key[0], key[1]):
+                        edge = Edge(key[0], key[1], edge.edge_type,
+                                    edge.weight)
+                    incident[key] = edge
+        edges = sorted(incident.values(),
+                       key=lambda e: (e.source, e.target, e.edge_type.value))
+        edge_positions = []
+        for edge in edges:
+            pos = self._edge_pos.get(
+                self._edge_key(edge.source, edge.target, edge.edge_type))
+            edge_positions.append(pos if pos is not None else 1 << 62)
+        ghost_ids = sorted(
+            {endpoint for edge in edges
+             for endpoint in (edge.source, edge.target)} - id_set,
+            key=creation_order)
+        ghosts = []
+        for ghost_id in ghost_ids:
+            ghost = self.store.node(ghost_id)
+            ghosts.append(AttentionNode(ghost.node_id, ghost.node_type,
+                                        ghost.phrase))
+        claims: dict[str, dict[str, int]] = {}
+        for node in nodes:
+            for alias in sorted(node.aliases):
+                key = f"{node.node_type.value}::{alias.lower()}"
+                pos = self.alias_claim(key, node.node_id)
+                if pos is not None:
+                    claims.setdefault(key, {})[node.node_id] = pos
+        return TransferSlice(epoch=epoch, shard=shard, nodes=nodes,
+                             ghosts=ghosts, edges=edges,
+                             edge_positions=edge_positions,
+                             alias_claims=claims)
+
+    def adopt_slice(self, transfer: TransferSlice) -> dict:
+        """Apply a :meth:`transfer_slice` to this shard.
+
+        The slice is diffed against the local store — a moved node this
+        shard already ghosts is *promoted* (payload merged, aliases
+        attached) instead of re-created, present edges and ghosts are
+        skipped — and the remainder applies as one delta on this shard's
+        own version line, so the store's replay discipline holds.
+        Returns ``{"node_records", "ops"}`` transfer accounting.
+        """
+        ops: list[dict] = []
+        for node in sorted(transfer.nodes,
+                           key=lambda n: creation_order(n.node_id)):
+            if node.node_id not in self.store:
+                ops.append({"op": "node", "type": node.node_type.value,
+                            "phrase": node.phrase,
+                            "payload": copy.deepcopy(node.payload),
+                            "node_id": node.node_id, "created": True})
+                existing_aliases: set[str] = set()
+            else:
+                existing = self.store.node(node.node_id)
+                existing_aliases = set(existing.aliases)
+                fresh = {key: value for key, value in node.payload.items()
+                         if key not in existing.payload
+                         or existing.payload[key] != value}
+                if fresh:
+                    ops.append({"op": "payload", "node_id": node.node_id,
+                                "payload": copy.deepcopy(fresh)})
+            for alias in sorted(node.aliases - existing_aliases):
+                ops.append({"op": "alias", "node_id": node.node_id,
+                            "alias": alias})
+        for ghost in sorted(transfer.ghosts,
+                            key=lambda n: creation_order(n.node_id)):
+            if ghost.node_id not in self.store:
+                ops.append({"op": "node", "type": ghost.node_type.value,
+                            "phrase": ghost.phrase, "payload": {},
+                            "node_id": ghost.node_id, "created": True,
+                            "ghost": True})
+        positions = transfer.edge_positions or [None] * len(transfer.edges)
+        for edge, pos in zip(transfer.edges, positions):
+            if not self.store.has_edge(edge.source, edge.target,
+                                       edge.edge_type):
+                op = {"op": "edge", "source": edge.source,
+                      "target": edge.target,
+                      "type": edge.edge_type.value,
+                      "weight": edge.weight}
+                if pos is not None:
+                    op["pos"] = pos
+                ops.append(op)
+        if ops:
+            base = self.store.version
+            self.apply(OntologyDelta(
+                stage=f"rebalance-epoch-{transfer.epoch}",
+                base_version=base, version=base + len(ops), ops=ops))
+        # Promote: adopted nodes are owned here even when the node op
+        # was elided because a ghost record already existed.
+        for node in transfer.nodes:
+            self._ghosts.discard(node.node_id)
+            self._owned[node.node_type].add(node.node_id)
+        for key, per_node in transfer.alias_claims.items():
+            claims = self._alias_claims.setdefault(key, {})
+            for node_id, pos in per_node.items():
+                claims.setdefault(node_id, pos)
+        return {"node_records": len(transfer.nodes), "ops": len(ops)}
+
+    def demote(self, node_ids) -> int:
+        """Mark moved-away nodes as ghosts: their records (and incident
+        edges) stay in the store — a store has no delete — but they no
+        longer count as owned, so index scans and stats skip them and
+        reads resolve through the new owner.  Returns how many were
+        owned here."""
+        demoted = 0
+        for node_id in node_ids:
+            for owned in self._owned.values():
+                if node_id in owned:
+                    owned.discard(node_id)
+                    demoted += 1
+                    break
+            if node_id in self.store:
+                self._ghosts.add(node_id)
+        return demoted
 
     # ------------------------------------------------------------------
     # the shard read interface
@@ -111,14 +290,32 @@ class ShardReplica:
             n.node_id for n in self.store.candidates(tokens, node_type)
             if self.owns(n.node_id))
 
+    def _ordered_neighbors(self, incident: "list[Edge]", pick,
+                           edge_type: "EdgeType | None") -> list[str]:
+        """Neighbor ids in global stream order: sort the adjacency by
+        each edge's recorded stream position (insertion sequence breaks
+        ties for unstamped edges), reproducing the single store's
+        insertion order even when adopted edges arrived out of band."""
+        ranked = []
+        for sequence, edge in enumerate(incident):
+            if edge_type is not None and edge.edge_type != edge_type:
+                continue
+            pos = self._edge_pos.get(
+                self._edge_key(edge.source, edge.target, edge.edge_type))
+            ranked.append((pos if pos is not None else 1 << 62,
+                           sequence, pick(edge)))
+        ranked.sort()
+        return [node_id for _pos, _sequence, node_id in ranked]
+
     def successor_ids(self, node_id: str,
                       edge_type: "EdgeType | None" = None) -> list[str]:
-        return [n.node_id for n in self.store.successors(node_id, edge_type)]
+        return self._ordered_neighbors(self.store.out_edges(node_id),
+                                       lambda edge: edge.target, edge_type)
 
     def predecessor_ids(self, node_id: str,
                         edge_type: "EdgeType | None" = None) -> list[str]:
-        return [n.node_id
-                for n in self.store.predecessors(node_id, edge_type)]
+        return self._ordered_neighbors(self.store.in_edges(node_id),
+                                       lambda edge: edge.source, edge_type)
 
     def has_edge(self, source_id: str, target_id: str,
                  edge_type: EdgeType) -> bool:
@@ -168,6 +365,22 @@ class ShardedStoreView:
             raise OntologyError("router/replica shard counts disagree")
         self._router = router
         self._replicas = list(replicas)
+
+    def reseat(self, router: ShardRouter, replicas) -> None:
+        """Swap in a rebalanced topology.
+
+        This is the reader-visible *flip* of a ring-epoch change: the
+        cluster service completes every slice transfer first, then
+        reseats the view in one call, so reads before it see the old
+        placement completely and reads after it the new one — never a
+        mix.  (The async tier serializes reads against refresh, so no
+        read is in flight across the call.)
+        """
+        replicas = list(replicas)
+        if router.num_shards != len(replicas):
+            raise OntologyError("router/replica shard counts disagree")
+        self._router = router
+        self._replicas = replicas
 
     # ------------------------------------------------------------------
     # versioning (read side only)
@@ -232,7 +445,7 @@ class ShardedStoreView:
 
                 def first_claim(nid: str) -> "tuple[int, tuple[int, str]]":
                     owner = self._replicas[self._router.owner_of(nid)]
-                    claim = owner.alias_claim(key)
+                    claim = owner.alias_claim(key, nid)
                     return (claim if claim is not None else 1 << 62,
                             creation_order(nid))
 

@@ -206,7 +206,7 @@ def store_to_dict(store: OntologyStore) -> dict:
         for e in sorted(store.edges(),
                         key=lambda e: (e.source, e.target, e.edge_type.value))
     ]
-    return {
+    out = {
         "format": STORE_FORMAT_VERSION,
         "store_version": store.version,
         "counter": store._counter,
@@ -214,6 +214,13 @@ def store_to_dict(store: OntologyStore) -> dict:
         "nodes": nodes,
         "edges": edges,
     }
+    ring = store.ring
+    if ring is not None:
+        # The active consistent-hash ring epoch rides the snapshot, so a
+        # follower bootstrapping from it derives the same placement as
+        # one that replayed the stream's ring records (cluster/ring.py).
+        out["ring"] = ring
+    return out
 
 
 def store_from_dict(data: dict) -> OntologyStore:
@@ -242,6 +249,11 @@ def store_from_dict(data: dict) -> OntologyStore:
     # winners (the rebuild above registered aliases in node order).
     for key, node_id in data.get("alias_map", {}).items():
         store._by_phrase[key] = node_id
+    ring = data.get("ring")
+    if ring is not None:
+        store._ring = {"epoch": ring["epoch"],
+                       "num_shards": ring["num_shards"],
+                       "vnodes": ring["vnodes"]}
     store._version = data["store_version"]
     store._counter = data["counter"]
     return store

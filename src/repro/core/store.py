@@ -106,7 +106,11 @@ class OntologyDelta:
       without it fall back to counter-assigned ids;
     * ``{"op": "alias", "node_id", "alias"}`` — attach an alias;
     * ``{"op": "edge", "source", "target", "type", "weight"}``;
-    * ``{"op": "payload", "node_id", "payload"}`` — merge payload keys.
+    * ``{"op": "payload", "node_id", "payload"}`` — merge payload keys;
+    * ``{"op": "ring", "epoch", "num_shards", "vnodes"}`` — a cluster
+      ring-epoch flip (no content change; see
+      :meth:`OntologyStore.set_ring_epoch`).  Ring records travel alone,
+      one op per delta, so the flip lands on a batch boundary.
     """
 
     stage: str = ""
@@ -157,6 +161,7 @@ class OntologyStore:
         self._in: dict[str, dict[tuple[str, EdgeType], Edge]] = defaultdict(dict)
         self._counter = 0
         self._version = 0
+        self._ring: "dict | None" = None
         self._snapshots: list[StoreSnapshot] = []
         self._recording: "OntologyDelta | None" = None
         self._delta_depth = 0
@@ -168,6 +173,41 @@ class OntologyStore:
     def version(self) -> int:
         """Monotonic mutation counter (bumps once per effective change)."""
         return self._version
+
+    @property
+    def ring(self) -> "dict | None":
+        """Consistent-hash ring metadata from the last applied ``ring``
+        op (``{"epoch", "num_shards", "vnodes"}``), or ``None`` when the
+        stream never recorded a ring epoch.  The store itself ignores
+        the placement — it is cluster metadata riding the delta stream
+        so snapshots carry the active ring to every bootstrapping
+        follower (see :mod:`repro.cluster.ring`)."""
+        return dict(self._ring) if self._ring is not None else None
+
+    def set_ring_epoch(self, epoch: int, num_shards: int,
+                       vnodes: int) -> dict:
+        """Record a cluster ring-epoch flip in the mutation stream.
+
+        The op changes no ontology content — it bumps the version by one
+        and pins the consistent-hash ring (shard count and virtual-node
+        fan-out) that owns every key from this stream position on, so
+        all consumers derive the same placement at the same version.
+        Returns the recorded op.
+        """
+        if num_shards <= 0:
+            raise OntologyError("a ring epoch needs at least one shard")
+        if vnodes <= 0:
+            raise OntologyError("a ring epoch needs at least one vnode")
+        if self._ring is not None and epoch <= self._ring["epoch"]:
+            raise OntologyError(
+                f"ring epoch must advance ({self._ring['epoch']} -> "
+                f"{epoch})")
+        op = {"op": "ring", "epoch": int(epoch),
+              "num_shards": int(num_shards), "vnodes": int(vnodes)}
+        self._ring = {"epoch": op["epoch"], "num_shards": op["num_shards"],
+                      "vnodes": op["vnodes"]}
+        self._record(op)
+        return op
 
     def snapshot(self) -> StoreSnapshot:
         """Record and return a version-stamped stats snapshot."""
@@ -233,6 +273,9 @@ class OntologyStore:
                               EdgeType(op["type"]), weight=op["weight"])
             elif kind == "payload":
                 self.update_payload(op["node_id"], copy.deepcopy(op["payload"]))
+            elif kind == "ring":
+                self.set_ring_epoch(op["epoch"], op["num_shards"],
+                                    op["vnodes"])
             else:
                 raise OntologyError(f"unknown delta op {kind!r}")
         if self._version != delta.version:
@@ -476,6 +519,17 @@ class OntologyStore:
                     seen.add(key)
                 out.append(edge)
         return out
+
+    def out_edges(self, node_id: str) -> list[Edge]:
+        """Outgoing edges of ``node_id`` in insertion order (correlate
+        mirrors included) — the edge-level twin of :meth:`successors`,
+        used by the cluster tier to preserve traversal order across
+        shard moves."""
+        return list(self._out.get(node_id, {}).values())
+
+    def in_edges(self, node_id: str) -> list[Edge]:
+        """Incoming edges of ``node_id`` in insertion order."""
+        return list(self._in.get(node_id, {}).values())
 
     def successors(self, node_id: str, edge_type: "EdgeType | None" = None
                    ) -> list[AttentionNode]:

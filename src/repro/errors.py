@@ -71,6 +71,15 @@ class DeltaGapError(ReproError):
         )
 
 
+class RingEpochError(DeltaGapError):
+    """Raised when a single-shard follower meets a ring-epoch flip it
+    cannot apply locally: the new consistent-hash placement moves node
+    records *into* its shard, and their state lives on other shards.
+    Subclasses :class:`DeltaGapError` because the recovery is the same —
+    re-bootstrap from the newest snapshot plus the log tail, which
+    crosses the flip with the full store in hand."""
+
+
 class TrainingError(ReproError):
     """Raised when a model cannot be trained (empty dataset, shape errors)."""
 

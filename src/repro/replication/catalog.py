@@ -13,6 +13,12 @@ retention policy (DESIGN.md §8):
   (:meth:`DeltaLog.drop_segments_before`), keeping the newest
   ``retain_segments`` of them so followers slightly behind the snapshot
   catch up from the log instead of re-bootstrapping;
+* a bound **GC floor** (:meth:`bind_gc_floor` — typically the
+  :class:`~repro.replication.publisher.LogPublisher`'s registered
+  follower positions) caps the GC point: segments a registered follower
+  still needs are kept past a compaction, so slow followers never fall
+  into the snapshot re-bootstrap path just because the builder
+  compacted;
 * old snapshots beyond ``retain_snapshots`` are pruned.
 
 A follower cold-starts from ``latest()`` snapshot + ``log.read(version)``
@@ -26,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+from typing import Callable
 
 from ..core.store import OntologyStore
 from ..errors import OntologyError
@@ -71,8 +78,20 @@ class SnapshotCatalog:
         self._compact_bytes = compact_bytes
         self._retain_segments = retain_segments
         self._retain_snapshots = retain_snapshots
+        self._gc_floor: "Callable[[], int | None] | None" = None
         self._entries: list[dict] = []
         self._load()
+
+    def bind_gc_floor(self, provider: "Callable[[], int | None]") -> None:
+        """Bind a GC floor provider (e.g. ``LogPublisher.follower_floor``):
+        segment GC never drops past the version it returns, so registered
+        followers keep a catch-up tail; ``None`` means no registered
+        follower constrains GC."""
+        self._gc_floor = provider
+
+    def _gc_version(self, version: int) -> int:
+        floor = self._gc_floor() if self._gc_floor is not None else None
+        return version if floor is None else min(version, floor)
 
     def _load(self) -> None:
         path = self.path / _CATALOG
@@ -149,7 +168,11 @@ class SnapshotCatalog:
                 f"behind the catalog's latest {self.latest_version}"
             )
         if version == self.latest_version and self._entries:
-            return version  # idempotent: nothing new to fold
+            # Idempotent fold — but a registered follower may have
+            # advanced since, so re-evaluate the delayed segment GC.
+            self._log.drop_segments_before(self._gc_version(version),
+                                           retain_tail=self._retain_segments)
+            return version
         snapshot = store.compact()
         name = f"snapshot-{version:012d}.json"
         tmp = self.path / (name + ".tmp")
@@ -161,7 +184,7 @@ class SnapshotCatalog:
         self._save()  # catalog first: a crash leaves unreferenced files
         for entry in pruned:
             (self.path / entry["name"]).unlink(missing_ok=True)
-        self._log.drop_segments_before(version,
+        self._log.drop_segments_before(self._gc_version(version),
                                        retain_tail=self._retain_segments)
         return version
 

@@ -39,17 +39,26 @@ from .log import DeltaLog
 
 class SyncLogClient:
     """Blocking client for a :class:`LogPublisher` (one request at a
-    time over one connection — followers are sequential consumers)."""
+    time over one connection — followers are sequential consumers).
 
-    def __init__(self, sock: socket.socket) -> None:
+    With a ``follower_id`` the client identifies itself on every fetch:
+    the publisher tracks the position, and the snapshot catalog delays
+    segment GC until this follower passed a segment (:meth:`register` /
+    the publisher's GC floor).  ``close`` deregisters best-effort so a
+    departed follower stops pinning the log.
+    """
+
+    def __init__(self, sock: socket.socket,
+                 follower_id: "str | None" = None) -> None:
         self._sock = sock
         self._next_id = 0
+        self.follower_id = follower_id
 
     @classmethod
-    def connect(cls, host: str, port: int,
-                timeout: float = 30.0) -> "SyncLogClient":
+    def connect(cls, host: str, port: int, timeout: float = 30.0,
+                follower_id: "str | None" = None) -> "SyncLogClient":
         sock = socket.create_connection((host, port), timeout=timeout)
-        return cls(sock)
+        return cls(sock, follower_id=follower_id)
 
     def _call(self, method: str, **kwargs) -> Any:
         request_id = self._next_id
@@ -77,8 +86,24 @@ class SyncLogClient:
               max_count: "int | None" = None) -> "list[OntologyDelta]":
         """Deltas advancing a consumer at ``since`` (may raise
         :class:`DeltaGapError` when that prefix was GC'd)."""
-        result = self._call("log_fetch", since=since, max_count=max_count)
+        kwargs = {"since": since, "max_count": max_count}
+        if self.follower_id is not None:
+            kwargs["follower"] = self.follower_id
+        result = self._call("log_fetch", **kwargs)
         return [delta_from_dict(d) for d in result["deltas"]]
+
+    def register(self, since: int = 0) -> None:
+        """Register this follower's position with the publisher so the
+        catalog's segment GC waits for it (requires ``follower_id``)."""
+        if self.follower_id is None:
+            raise ReproError("registering requires a follower_id")
+        self._call("log_register", follower=self.follower_id, since=since)
+
+    def forget(self, follower_id: str) -> None:
+        """Deregister *another* follower by name — the janitor path: a
+        supervisor reaping a crashed follower process clears its pin on
+        the GC floor (the corpse can no longer send its own goodbye)."""
+        self._call("log_forget", follower=follower_id)
 
     def wait(self, since: int = 0, timeout: float = 10.0,
              max_count: "int | None" = None) -> "list[OntologyDelta]":
@@ -88,8 +113,11 @@ class SyncLogClient:
         # The socket must outwait the server-side long poll.
         self._sock.settimeout(max(timeout * 2, timeout + 10.0))
         try:
-            result = self._call("log_wait", since=since, timeout=timeout,
-                                max_count=max_count)
+            kwargs = {"since": since, "timeout": timeout,
+                      "max_count": max_count}
+            if self.follower_id is not None:
+                kwargs["follower"] = self.follower_id
+            result = self._call("log_wait", **kwargs)
         finally:
             self._sock.settimeout(previous)
         return [delta_from_dict(d) for d in result["deltas"]]
@@ -102,6 +130,11 @@ class SyncLogClient:
         return self._call("log_status")
 
     def close(self) -> None:
+        if self.follower_id is not None:
+            try:  # best-effort: stop pinning the log's GC floor
+                self._call("log_forget", follower=self.follower_id)
+            except Exception:
+                pass
         try:
             self._sock.close()
         except OSError:
@@ -118,9 +151,19 @@ class LocalLogClient:
     """The client interface served directly off in-process objects."""
 
     def __init__(self, log: DeltaLog,
-                 catalog: "SnapshotCatalog | None" = None) -> None:
+                 catalog: "SnapshotCatalog | None" = None,
+                 follower_id: "str | None" = None) -> None:
         self._log = log
         self._catalog = catalog
+        # Interface parity with SyncLogClient; an in-process reader
+        # shares the builder's log, so there is no GC floor to pin.
+        self.follower_id = follower_id
+
+    def register(self, since: int = 0) -> None:
+        """No-op twin of :meth:`SyncLogClient.register`."""
+
+    def forget(self, follower_id: str) -> None:
+        """No-op twin of :meth:`SyncLogClient.forget`."""
 
     def fetch(self, since: int = 0,
               max_count: "int | None" = None) -> "list[OntologyDelta]":

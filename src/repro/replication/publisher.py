@@ -14,7 +14,14 @@ length-prefixed JSON framing as :mod:`repro.serving.rpc`:
   behave like ``log_fetch``;
 * ``log_snapshot()`` — newest catalog snapshot + version, the bootstrap
   half of snapshot-plus-tail recovery;
-* ``log_status()`` — retained range and segment/snapshot bookkeeping.
+* ``log_status()`` — retained range and segment/snapshot bookkeeping;
+* ``log_register(follower, since)`` / ``log_forget(follower)`` —
+  follower-offset tracking: a *registered* follower's last-fetched-from
+  position caps how far the :class:`SnapshotCatalog` garbage-collects
+  folded segments (the publisher binds itself as the catalog's GC
+  floor), so a slow registered follower catches up from the log instead
+  of falling back to a snapshot re-bootstrap.  ``log_fetch``/``log_wait``
+  accept an optional ``follower`` name and update its position.
 
 :class:`PublisherThread` runs the publisher on a private event loop in
 a daemon thread so a synchronous builder can serve followers while it
@@ -37,7 +44,8 @@ from .catalog import SnapshotCatalog
 from .log import DeltaLog
 
 #: Methods a publisher answers over the wire.
-PUBLISHER_METHODS = ("log_fetch", "log_wait", "log_snapshot", "log_status")
+PUBLISHER_METHODS = ("log_fetch", "log_wait", "log_snapshot", "log_status",
+                     "log_register", "log_forget")
 
 _POLL_INTERVAL = 0.05  # seconds between growth re-checks in log_wait
 
@@ -60,6 +68,22 @@ class LogPublisher:
         self._port = port
         self._server: "asyncio.AbstractServer | None" = None
         self._grew = asyncio.Event()
+        # Registered follower name -> the version it last fetched from
+        # ("everything at or below this is applied over there").
+        self._followers: dict[str, int] = {}
+        if catalog is not None:
+            catalog.bind_gc_floor(self.follower_floor)
+
+    # ------------------------------------------------------------------
+    # follower offsets
+    # ------------------------------------------------------------------
+    def follower_floor(self) -> "int | None":
+        """The slowest registered follower's position (``None`` when no
+        follower is registered) — the catalog's segment-GC floor."""
+        return min(self._followers.values()) if self._followers else None
+
+    def followers(self) -> "dict[str, int]":
+        return dict(self._followers)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -144,7 +168,13 @@ class LogPublisher:
     # methods (wire handlers)
     # ------------------------------------------------------------------
     async def _log_fetch(self, since: int = 0,
-                         max_count: "int | None" = None) -> dict:
+                         max_count: "int | None" = None,
+                         follower: "str | None" = None) -> dict:
+        if follower is not None:
+            # A fetch from `since` means everything <= since is applied
+            # on that follower; last write wins so a re-bootstrapped
+            # follower's position can also jump (or fall) legitimately.
+            self._followers[str(follower)] = since
         deltas = self._log.read(since, max_count=max_count)
         return {
             "deltas": [delta_to_dict(delta) for delta in deltas],
@@ -152,9 +182,20 @@ class LogPublisher:
             "last_version": self._log.last_version,
         }
 
+    async def _log_register(self, follower: str, since: int = 0) -> dict:
+        self._followers[str(follower)] = since
+        return {"followers": len(self._followers)}
+
+    async def _log_forget(self, follower: str) -> dict:
+        removed = self._followers.pop(str(follower), None) is not None
+        return {"removed": removed, "followers": len(self._followers)}
+
     async def _log_wait(self, since: int = 0, timeout: float = 10.0,
-                        max_count: "int | None" = None) -> dict:
+                        max_count: "int | None" = None,
+                        follower: "str | None" = None) -> dict:
         """Long-poll: resolve as soon as the log grows past ``since``."""
+        if follower is not None:
+            self._followers[str(follower)] = since
         deadline = asyncio.get_running_loop().time() + max(0.0, timeout)
         while self._log.last_version <= since:
             remaining = deadline - asyncio.get_running_loop().time()

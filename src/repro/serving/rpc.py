@@ -59,6 +59,26 @@ _DATACLASSES = {cls.__name__: cls for cls in (
 _ENUMS = {cls.__name__: cls for cls in (EdgeType, NodeType)}
 
 
+def register_dataclass(cls: type) -> type:
+    """Register an extra dataclass with the wire codec.
+
+    The codec only round-trips the dataclasses it knows by name; layers
+    above the serving tier (e.g. the cluster's rebalance
+    ``TransferSlice`` frames, cluster/ring.py) register theirs at import
+    time instead of this module importing them — which would invert the
+    dependency.  Re-registering the same class is a no-op; a *different*
+    class under an already-taken name is rejected, since decode
+    dispatches on the name alone.
+    """
+    existing = _DATACLASSES.get(cls.__name__)
+    if existing is not None and existing is not cls:
+        raise ReproError(
+            f"codec name {cls.__name__!r} is already registered to a "
+            f"different dataclass")
+    _DATACLASSES[cls.__name__] = cls
+    return cls
+
+
 class RpcError(ReproError):
     """A server-side failure reported back over the wire."""
 

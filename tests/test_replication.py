@@ -479,6 +479,72 @@ class TestPublisherFollower:
             with SyncLogClient.connect(host, port) as client:
                 assert client.wait(log.last_version, timeout=0.2) == []
 
+    def test_registered_follower_delays_segment_gc(self,
+                                                   producer_and_deltas,
+                                                   log_dir):
+        """Satellite regression (ROADMAP "publisher-side follower
+        offsets"): a *registered* follower's position is a GC floor —
+        compaction keeps the segments it still needs, so it catches up
+        from the log with no DeltaGapError re-bootstrap; once it has
+        advanced, re-recording the (idempotent) snapshot releases the
+        delayed GC."""
+        producer, deltas = producer_and_deltas
+        log = DeltaLog(log_dir, segment_max_bytes=128)
+        log.append(deltas[0])
+        catalog = SnapshotCatalog(log, compact_bytes=1, retain_segments=0)
+        with PublisherThread(log, catalog) as publisher:
+            host, port = publisher.address
+            with SyncLogClient.connect(host, port,
+                                       follower_id="slow") as client:
+                follower = LogFollower(client)
+                follower.bootstrap()  # fetch(0) registers position 0
+                assert follower.version == deltas[0].version
+                # The log moves on and compacts past the follower...
+                publisher.publish(deltas[1:])
+                publisher.call(lambda: catalog.record(
+                    OntologyStore.bootstrap(None, deltas)))
+                # ...but the folded segments the follower still needs
+                # survive: the GC floor held them back.
+                assert log.first_version == 0
+                assert follower.poll() > 0
+                assert follower.recoveries == 0  # caught up from the log
+                assert follower.bootstraps == 1  # no snapshot fallback
+                assert follower.store.stats() == producer.stats()
+                # One more poll reports the head position to the
+                # publisher; the idempotent re-record now completes the
+                # delayed GC.
+                assert follower.poll() == 0
+                publisher.call(lambda: catalog.record(
+                    OntologyStore.bootstrap(None, deltas)))
+                # Everything but the never-dropped active segment went.
+                assert len(log.segments()) == 1
+                assert log.first_version > 0
+            # close() deregistered the follower; nothing pins the floor.
+            assert publisher.call(
+                lambda: publisher._publisher.follower_floor()) is None
+
+    def test_unregistered_follower_still_rebootstraps(self,
+                                                      producer_and_deltas,
+                                                      log_dir):
+        """Without a follower_id nothing delays GC — the pre-offsets
+        behavior (snapshot re-bootstrap on gap) still stands."""
+        producer, deltas = producer_and_deltas
+        log = DeltaLog(log_dir, segment_max_bytes=128)
+        log.append(deltas[0])
+        catalog = SnapshotCatalog(log, compact_bytes=1, retain_segments=0)
+        with PublisherThread(log, catalog) as publisher:
+            host, port = publisher.address
+            with SyncLogClient.connect(host, port) as client:
+                follower = LogFollower(client)
+                follower.bootstrap()
+                publisher.publish(deltas[1:])
+                publisher.call(lambda: catalog.record(
+                    OntologyStore.bootstrap(None, deltas)))
+                assert log.first_version > deltas[0].version  # GC ran
+                follower.poll()
+                assert follower.recoveries == 1
+                assert follower.store.stats() == producer.stats()
+
 
 # ----------------------------------------------------------------------
 # remote shard cluster (the end-to-end byte-identity oracle)
