@@ -92,8 +92,9 @@ def _build(args: argparse.Namespace) -> int:
                           segment_max_bytes=args.log_segment_bytes,
                           fsync=args.fsync) as log:
                 appended = log.extend(pipeline.deltas)
-                catalog = SnapshotCatalog(log,
-                                          compact_bytes=args.compact_bytes)
+                catalog = SnapshotCatalog(
+                    log, compact_bytes=args.compact_bytes,
+                    snapshot_format=args.snapshot_format)
                 compacted = catalog.maybe_compact(ontology.store)
                 print(f"log {args.log_dir}: +{appended} deltas, versions "
                       f"{log.first_version}..{log.last_version} in "
@@ -187,7 +188,8 @@ def _serve_rpc(backend, host: str, port: int,
     return 0
 
 
-def _load_from_log(log_dir: str, readonly: bool = True):
+def _load_from_log(log_dir: str, readonly: bool = True,
+                   snapshot_format: str = "json"):
     """Bootstrap a serving ontology (and NER) from a delta log directory
     via snapshot + tail; returns (ontology, ner, log, catalog, snapshot,
     tail) so callers reuse the fetched halves instead of re-reading.
@@ -203,7 +205,8 @@ def _load_from_log(log_dir: str, readonly: bool = True):
     from .replication import DeltaLog, SnapshotCatalog
 
     log = DeltaLog(log_dir, readonly=readonly)
-    catalog = SnapshotCatalog(log, readonly=readonly)
+    catalog = SnapshotCatalog(log, readonly=readonly,
+                              snapshot_format=snapshot_format)
     snapshot, snap_version = catalog.latest()
     tail = log.read(snap_version if snapshot is not None else 0)
     store = OntologyStore.bootstrap(snapshot, tail)
@@ -241,6 +244,10 @@ def _serve(args: argparse.Namespace) -> int:
         print("--remote-shards requires --from-log (shard workers "
               "bootstrap from the published delta log)", file=sys.stderr)
         return 2
+    if args.wire == "binary" and not args.remote_shards:
+        print("--wire binary applies to the remote shard-read RPC; "
+              "add --remote-shards N", file=sys.stderr)
+        return 2
 
     tagger_options = {"coherence_threshold": args.threshold}
     publisher = None
@@ -252,7 +259,8 @@ def _serve(args: argparse.Namespace) -> int:
         # the directory); every other path stays read-only.
         writable = bool(args.remote_shards and args.rebalance_to)
         ontology, ner, log, catalog, snapshot, tail = \
-            _load_from_log(args.from_log, readonly=not writable)
+            _load_from_log(args.from_log, readonly=not writable,
+                           snapshot_format=args.snapshot_format)
     else:
         ontology, ner = _load_with_ner(args.ontology)
 
@@ -269,7 +277,8 @@ def _serve(args: argparse.Namespace) -> int:
             cluster = RemoteClusterService((host, port),
                                            num_shards=args.remote_shards,
                                            ner=ner,
-                                           tagger_options=tagger_options)
+                                           tagger_options=tagger_options,
+                                           wire=args.wire)
         elif args.from_log:
             cluster = ClusterService(num_shards=args.shards, ner=ner,
                                      tagger_options=tagger_options,
@@ -388,6 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--fsync", action="store_true",
                          help="fsync every log append (power-loss "
                               "durability)")
+    p_build.add_argument("--snapshot-format", choices=["json", "columnar"],
+                         default="json",
+                         help="encoding for --log-dir catalog snapshots: "
+                              "human-inspectable JSON (default) or packed "
+                              "columnar segments")
     p_build.set_defaults(func=_build)
 
     p_stats = sub.add_parser("stats", help="print node/edge counts")
@@ -440,6 +454,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="micro-batcher flush size for --listen")
     p_serve.add_argument("--max-delay", type=float, default=0.005,
                          help="micro-batcher flush deadline (seconds)")
+    p_serve.add_argument("--wire", choices=["json", "binary"],
+                         default="json",
+                         help="shard-read response encoding for "
+                              "--remote-shards workers: JSON (default) or "
+                              "negotiated packed-binary frames "
+                              "(byte-identical results, lower codec cost)")
+    p_serve.add_argument("--snapshot-format", choices=["json", "columnar"],
+                         default="json",
+                         help="encoding for any snapshot this process "
+                              "records to the --from-log catalog")
     p_serve.set_defaults(func=_serve)
 
     p_show = sub.add_parser("showcase", help="print sample concepts/topics")

@@ -63,9 +63,13 @@ from ..core.store import (
 from ..errors import DeltaGapError, OntologyError, ReproError, RingEpochError
 from ..replication.follower import SyncLogClient
 from ..serving.rpc import (
+    BINARY_CODEC_VERSION,
     _canonical_bytes,
     decode,
     encode,
+    encode_envelope,
+    loads_envelope,
+    negotiate_result,
     read_frame_sync,
     write_frame_sync,
 )
@@ -220,6 +224,10 @@ def _shard_worker_main(shard_id: int, num_shards: int,
         conn, _addr = server.accept()
     except (OSError, TimeoutError):
         return  # the parent never connected; nothing to serve
+    # Per-connection response encoding: a ``negotiate`` request flips
+    # responses to the packed binary codec (requests stay JSON — they
+    # are small; the shard-read responses carry the bulk).
+    wire_state = {"binary": False}
     with conn:
         while True:
             try:
@@ -230,6 +238,8 @@ def _shard_worker_main(shard_id: int, num_shards: int,
                 break
             stop = False
             request_id = None
+            error = None
+            result: Any = None
             try:
                 request = json.loads(frame.decode("utf-8"))
                 request_id = request.get("id")
@@ -238,7 +248,10 @@ def _shard_worker_main(shard_id: int, num_shards: int,
                 kwargs = decode(request.get("kwargs", {}))
                 if method == "stop":
                     stop = True
-                    result: Any = True
+                    result = True
+                elif method == "negotiate":
+                    result = negotiate_result(wire_state,
+                                              kwargs.get("codec"))
                 elif method == "seed":
                     if router is not None:
                         raise ReproError(
@@ -267,13 +280,11 @@ def _shard_worker_main(shard_id: int, num_shards: int,
                     result = getattr(replica, method)(*args, **kwargs)
                 else:
                     raise ReproError(f"unknown shard method {method!r}")
-                body = {"id": request_id, "result": encode(result)}
             except Exception as exc:
-                body = {"id": request_id,
-                        "error": {"type": type(exc).__name__,
-                                  "message": str(exc)}}
+                error = {"type": type(exc).__name__, "message": str(exc)}
             try:
-                write_frame_sync(conn, _canonical_bytes(body))
+                write_frame_sync(conn, encode_envelope(
+                    request_id, result, error, wire_state["binary"]))
             except (ConnectionError, OSError):
                 break
             if stop:
@@ -295,25 +306,60 @@ class RemoteShardReplica:
     """
 
     def __init__(self, shard_id: int, host: str, port: int,
-                 timeout: float = 120.0) -> None:
+                 timeout: float = 120.0, wire: str = "json") -> None:
+        if wire not in ("json", "binary"):
+            raise ReproError(f"unknown wire encoding {wire!r}")
         self.shard_id = shard_id
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._next_id = 0
+        # Replies already read while waiting for an earlier pipelined
+        # request (the worker answers its one socket strictly in order,
+        # but finish_call may be invoked out of dispatch order).
+        self._responses: "dict[Any, dict]" = {}
+        self.wire = "json"
+        if wire == "binary":
+            self._negotiate()
 
-    def _call(self, method: str, *args, **kwargs) -> Any:
+    def _negotiate(self) -> None:
+        """Request packed-binary responses; an old worker answers with
+        an unknown-method *error*, so the proxy silently degrades to
+        JSON instead of hanging on version skew."""
+        try:
+            reply = self._call("negotiate", codec=BINARY_CODEC_VERSION)
+        except (ReproError, OSError):
+            self.wire = "json"
+            return
+        self.wire = "binary" if isinstance(reply, dict) \
+            and reply.get("wire") == "binary" else "json"
+
+    # ------------------------------------------------------------------
+    # pipelined request/response plumbing
+    # ------------------------------------------------------------------
+    def begin_call(self, method: str, *args, **kwargs) -> int:
+        """Dispatch one request without waiting for its reply; pair with
+        :meth:`finish_call`.  The scatter paths in
+        :class:`~repro.cluster.shards.ShardedStoreView` dispatch to every
+        shard first and collect second, overlapping the per-shard work
+        instead of serializing one blocking round trip per shard."""
         request_id = self._next_id
         self._next_id += 1
         payload = _canonical_bytes({
             "id": request_id, "method": method,
             "args": encode(list(args)), "kwargs": encode(kwargs)})
         write_frame_sync(self._sock, payload)
-        frame = read_frame_sync(self._sock)
-        if frame is None:
-            raise ReproError(
-                f"shard {self.shard_id} worker closed the connection")
-        body = json.loads(frame.decode("utf-8"))
-        if body.get("id") != request_id:
-            raise ReproError(f"shard {self.shard_id} response id mismatch")
+        return request_id
+
+    def finish_call(self, request_id: int) -> Any:
+        """Collect the reply of a :meth:`begin_call`; raises the typed
+        error a blocking call would."""
+        while request_id not in self._responses:
+            frame = read_frame_sync(self._sock)
+            if frame is None:
+                raise ReproError(
+                    f"shard {self.shard_id} worker closed the connection")
+            body = loads_envelope(frame)
+            self._responses[body.get("id")] = body
+        body = self._responses.pop(request_id)
         error = body.get("error")
         if error is not None:
             kind = error.get("type")
@@ -325,7 +371,10 @@ class RemoteShardReplica:
             if kind == "OntologyError":
                 raise OntologyError(message)
             raise ReproError(f"{kind}: {message}")
-        return decode(body["result"])
+        return body["result"]
+
+    def _call(self, method: str, *args, **kwargs) -> Any:
+        return self.finish_call(self.begin_call(method, *args, **kwargs))
 
     # ------------------------------------------------------------------
     # the shard read interface (see ShardReplica)
@@ -431,6 +480,11 @@ class RemoteClusterService:
             max_recommendations / cache_size: forwarded to the inner
             :class:`OntologyService` running over the remote view.
         start_timeout: seconds to wait for every worker to bootstrap.
+        wire: ``"json"`` (default) or ``"binary"`` — the shard-read
+            response encoding each proxy negotiates with its worker
+            (:mod:`repro.serving.rpc` packed binary frames).  Results
+            are byte-identical either way; binary cuts the scatter
+            paths' encode/decode cost.
 
     The parent holds no shard store: it keeps a routing-only
     :class:`ShardRouter` (fed from the same log) for owner lookups and
@@ -444,9 +498,13 @@ class RemoteClusterService:
                  tagger_options: "dict[str, Any] | None" = None,
                  max_rewrites: int = 5, max_recommendations: int = 5,
                  cache_size: int = 4096,
-                 start_timeout: float = 180.0) -> None:
+                 start_timeout: float = 180.0,
+                 wire: str = "json") -> None:
         if num_shards <= 0:
             raise OntologyError("a cluster needs at least one shard")
+        if wire not in ("json", "binary"):
+            raise OntologyError(f"unknown wire encoding {wire!r}")
+        self._wire = wire
         self._host, self._port = publisher_address
         # Spawn (not fork): the parent may run a publisher event loop in
         # a thread, and forked children could inherit its lock state.
@@ -469,7 +527,8 @@ class RemoteClusterService:
                 self._spawn(shard_id)
             ports = self._await_ready(set(range(self._router.num_shards)))
             self._replicas = [
-                RemoteShardReplica(shard_id, "127.0.0.1", ports[shard_id])
+                RemoteShardReplica(shard_id, "127.0.0.1", ports[shard_id],
+                                   wire=self._wire)
                 for shard_id in range(self._router.num_shards)
             ]
             # Workers bootstrapped independently; align them with the
@@ -562,7 +621,8 @@ class RemoteClusterService:
             process.join(timeout=10.0)
         self._spawn(shard_id)
         ports = self._await_ready({shard_id})
-        proxy = RemoteShardReplica(shard_id, "127.0.0.1", ports[shard_id])
+        proxy = RemoteShardReplica(shard_id, "127.0.0.1", ports[shard_id],
+                                   wire=self._wire)
         proxy.sync(self._router.version)
         return proxy
 
@@ -805,7 +865,8 @@ class RemoteClusterService:
                 self._spawn(shard_id, seed=True)
                 ports = self._await_ready({shard_id})
                 proxy = RemoteShardReplica(shard_id, "127.0.0.1",
-                                           ports[shard_id])
+                                           ports[shard_id],
+                                           wire=self._wire)
                 seeded = proxy.seed(self._router.export_state(), slices)
                 self._router.sync_shard_version(shard_id,
                                                 seeded["version"])
@@ -814,7 +875,8 @@ class RemoteClusterService:
                 self._stop_worker(shard_id, proxy)
         self._spawn(shard_id)
         ports = self._await_ready({shard_id})
-        proxy = RemoteShardReplica(shard_id, "127.0.0.1", ports[shard_id])
+        proxy = RemoteShardReplica(shard_id, "127.0.0.1", ports[shard_id],
+                                   wire=self._wire)
         proxy.sync(self._router.version)
         return proxy
 
@@ -860,6 +922,7 @@ class RemoteClusterService:
         """Inner serving stats plus per-worker shard lines."""
         stats = self._service.stats()
         stats["num_shards"] = self.num_shards
+        stats["wire"] = self._wire
         stats["cluster_deltas_applied"] = self._deltas_applied
         stats["ring"] = {"epoch": self._router.epoch,
                          "num_shards": self._router.num_shards,

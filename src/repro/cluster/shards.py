@@ -409,6 +409,45 @@ class ShardedStoreView:
     snapshot = _read_only
 
     # ------------------------------------------------------------------
+    # pipelined scatter plumbing
+    # ------------------------------------------------------------------
+    def _scatter(self, method: str, *args) -> list:
+        """Invoke ``method(*args)`` on every replica, dispatching all
+        requests *before* collecting any reply: a remote replica
+        (anything exposing ``begin_call``/``finish_call``) has its
+        request on the wire while the other shards work, so a scatter
+        costs one overlapped round trip instead of one per shard.
+        Local replicas run inline.  Results arrive in shard order, so
+        merges are byte-identical to the sequential loop."""
+        handles = []
+        for replica in self._replicas:
+            begin = getattr(replica, "begin_call", None)
+            handles.append(None if begin is None
+                           else begin(method, *args))
+        out = []
+        for replica, handle in zip(self._replicas, handles):
+            if handle is None:
+                out.append(getattr(replica, method)(*args))
+            else:
+                out.append(replica.finish_call(handle))
+        return out
+
+    def _resolve(self, node_ids) -> list[AttentionNode]:
+        """Owner-shard point lookups for an id sequence, pipelined per
+        owning replica (each owner answers its socket in request order,
+        so replies pair up deterministically)."""
+        handles = []
+        for node_id in node_ids:
+            replica = self._replicas[self._router.owner_of(node_id)]
+            begin = getattr(replica, "begin_call", None)
+            handles.append((replica, node_id,
+                            None if begin is None
+                            else begin("node", node_id)))
+        return [replica.node(node_id) if handle is None
+                else replica.finish_call(handle)
+                for replica, node_id, handle in handles]
+
+    # ------------------------------------------------------------------
     # point lookups
     # ------------------------------------------------------------------
     def node(self, node_id: str) -> AttentionNode:
@@ -428,11 +467,9 @@ class ShardedStoreView:
         stream wins, matching the store's ``setdefault`` first-wins rule
         (replicas record each key's first claim position as routed).
         """
-        ids = set()
-        for replica in self._replicas:
-            hit = replica.find(node_type, phrase)
-            if hit is not None:
-                ids.add(hit.node_id)
+        ids = {hit.node_id
+               for hit in self._scatter("find", node_type, phrase)
+               if hit is not None}
         if not ids:
             return None
         if len(ids) > 1:
@@ -454,13 +491,13 @@ class ShardedStoreView:
 
     def nodes(self, node_type: "NodeType | None" = None) -> list[AttentionNode]:
         ids: list[str] = []
-        for replica in self._replicas:
-            ids.extend(replica.owned_ids(node_type))
+        for owned in self._scatter("owned_ids", node_type):
+            ids.extend(owned)
         ids.sort(key=creation_order)
-        return [self.node(node_id) for node_id in ids]
+        return self._resolve(ids)
 
     def count(self, node_type: "NodeType | None" = None) -> int:
-        return sum(r.owned_count(node_type) for r in self._replicas)
+        return sum(self._scatter("owned_count", node_type))
 
     def __contains__(self, node_id: str) -> bool:
         return node_id in self._router
@@ -474,16 +511,17 @@ class ShardedStoreView:
     def nodes_with_token(self, token: str, node_type: NodeType
                          ) -> list[AttentionNode]:
         ids: set[str] = set()
-        for replica in self._replicas:
-            ids.update(replica.owned_token_ids(token, node_type))
-        return [self.node(node_id) for node_id in sorted(ids)]
+        for shard_ids in self._scatter("owned_token_ids", token, node_type):
+            ids.update(shard_ids)
+        return self._resolve(sorted(ids))
 
     def candidates(self, tokens: "list[str] | set[str]", node_type: NodeType
                    ) -> list[AttentionNode]:
         ids: set[str] = set()
-        for replica in self._replicas:
-            ids.update(replica.owned_candidate_ids(tokens, node_type))
-        return [self.node(node_id) for node_id in sorted(ids)]
+        for shard_ids in self._scatter("owned_candidate_ids", tokens,
+                                       node_type):
+            ids.update(shard_ids)
+        return self._resolve(sorted(ids))
 
     def contained_phrases(self, tokens: list[str], node_type: NodeType
                           ) -> list[AttentionNode]:
@@ -507,12 +545,12 @@ class ShardedStoreView:
     def successors(self, node_id: str, edge_type: "EdgeType | None" = None
                    ) -> list[AttentionNode]:
         local = self._owner(node_id).successor_ids(node_id, edge_type)
-        return [self.node(target_id) for target_id in local]
+        return self._resolve(local)
 
     def predecessors(self, node_id: str, edge_type: "EdgeType | None" = None
                      ) -> list[AttentionNode]:
         local = self._owner(node_id).predecessor_ids(node_id, edge_type)
-        return [self.node(source_id) for source_id in local]
+        return self._resolve(local)
 
     def has_edge(self, source_id: str, target_id: str,
                  edge_type: EdgeType) -> bool:
@@ -524,8 +562,8 @@ class ShardedStoreView:
         is stored on both endpoint owner shards)."""
         seen: set[tuple[str, str, EdgeType]] = set()
         out: list[Edge] = []
-        for replica in self._replicas:
-            for edge in replica.edges(edge_type):
+        for shard_edges in self._scatter("edges", edge_type):
+            for edge in shard_edges:
                 if edge.edge_type == EdgeType.CORRELATE:
                     key = (min(edge.source, edge.target),
                            max(edge.source, edge.target), edge.edge_type)

@@ -271,6 +271,31 @@ def load_store(path: str) -> OntologyStore:
         return store_from_dict(json.load(handle))
 
 
+def save_store_columnar(store: OntologyStore, path: str) -> int:
+    """Write a store snapshot as a columnar segment
+    (:func:`~repro.core.columnar.encode_store_segment`); returns the
+    byte size written.  The JSON twin (:func:`save_store`) remains the
+    default-readable format — the segment packs the *same* snapshot
+    dict, so both decode to ``rpc.dumps``-identical stores."""
+    from .columnar import encode_store_segment
+
+    data = encode_store_segment(store_to_dict(store))
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return len(data)
+
+
+def load_store_columnar(path: str) -> OntologyStore:
+    """Read a columnar store segment written by
+    :func:`save_store_columnar`.  Raises
+    :class:`~repro.errors.SegmentIntegrityError` on a truncated or
+    corrupt segment (checksum validated before any column is parsed)."""
+    from .columnar import decode_store_segment
+
+    with open(path, "rb") as handle:
+        return store_from_dict(decode_store_segment(handle.read()))
+
+
 def store_to_delta(store: OntologyStore, stage: str = "bootstrap"
                    ) -> OntologyDelta:
     """Fold a whole store into one synthetic, replayable bootstrap delta.

@@ -32,7 +32,7 @@ a :class:`~repro.cluster.service.ClusterService` in its own
 follower-fed worker process.
 """
 
-from .catalog import SnapshotCatalog
+from .catalog import SNAPSHOT_FORMATS, SnapshotCatalog
 from .follower import LocalLogClient, LogFollower, SyncLogClient
 from .log import DeltaLog
 from .publisher import LogPublisher, PublisherThread
@@ -43,6 +43,7 @@ __all__ = [
     "LogFollower",
     "LogPublisher",
     "PublisherThread",
+    "SNAPSHOT_FORMATS",
     "SnapshotCatalog",
     "SyncLogClient",
 ]

@@ -25,6 +25,7 @@ object is *replaced*, which is why consumers reach it through
 
 from __future__ import annotations
 
+import base64
 import json
 import socket
 from typing import Any
@@ -123,7 +124,23 @@ class SyncLogClient:
         return [delta_from_dict(d) for d in result["deltas"]]
 
     def latest_snapshot(self) -> "tuple[dict | None, int]":
-        result = self._call("log_snapshot")
+        """Newest snapshot + version for bootstrap.  Advertises columnar
+        acceptance so a publisher with columnar segments ships the packed
+        bytes (decoded — and checksum-verified — here); an old publisher
+        rejects the unknown ``accept`` kwarg, so the client retries the
+        plain form and gets the decoded-JSON snapshot instead."""
+        try:
+            result = self._call("log_snapshot", accept=["columnar"])
+        except DeltaGapError:
+            raise
+        except ReproError:
+            result = self._call("log_snapshot")
+        if result.get("format") == "columnar" \
+                and result.get("segment") is not None:
+            from ..core.columnar import decode_store_segment
+
+            segment = base64.b64decode(result["segment"])
+            return decode_store_segment(segment), result["version"]
         return result["snapshot"], result["version"]
 
     def status(self) -> dict:

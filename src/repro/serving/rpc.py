@@ -25,6 +25,21 @@ the reproduction's stand-in for the production deployment's Tars RPC:
 Requests are ``{"id", "method", "args", "kwargs"}``; responses carry
 either ``"result"`` or ``"error": {"type", "message"}``.  Only the
 methods in :data:`~repro.serving.aio.SERVING_METHODS` are dispatchable.
+
+**Binary frames** (DESIGN.md §10) — the outer 4-byte length framing is
+shared by a second body encoding: ``magic (2) + codec version (1) +``
+a :mod:`repro.core.columnar` packed message (string pool + tagged
+value).  A JSON body always starts with ``{`` (0x7b), the binary magic
+is invalid JSON/UTF-8, so every reader sniffs the first bytes
+(:func:`is_binary_frame`) and the two body types coexist on one
+connection.  The binary wire is *negotiated*: a client that wants it
+calls the ``negotiate`` method (a plain JSON request) and the server
+switches that connection's responses to :func:`dumps_binary`; an old
+server answers "unknown RPC method" and the client silently stays on
+JSON — version skew degrades, never hangs.  Requests stay JSON (they
+are small); responses carry the bulk.  ``dumps`` (canonical JSON)
+remains the byte-identity oracle: tests assert the binary path decodes
+to objects whose ``dumps`` equals the JSON path's bytes.
 """
 
 from __future__ import annotations
@@ -51,6 +66,11 @@ from .aio import SERVING_METHODS, AsyncOntologyService
 
 _MAX_FRAME = 64 * 1024 * 1024  # sanity bound on one message
 _ESCAPE = "__esc__"  # prefix shielding user dict keys from codec markers
+
+#: First bytes of a binary frame body.  0xB1 cannot start UTF-8 JSON
+#: (it is a continuation byte), so sniffing is unambiguous.
+BINARY_MAGIC = b"\xb1\xc5"
+BINARY_CODEC_VERSION = 1
 
 _DATACLASSES = {cls.__name__: cls for cls in (
     TaggedDocument, QueryAnalysis, EventRecord, InterestProfile,
@@ -167,6 +187,82 @@ def loads(data: bytes) -> Any:
     return decode(json.loads(data.decode("utf-8")))
 
 
+def is_binary_frame(data: bytes) -> bool:
+    """True when a frame body is the packed binary encoding (vs JSON)."""
+    return data[:len(BINARY_MAGIC)] == BINARY_MAGIC
+
+
+def dumps_binary(obj: Any) -> bytes:
+    """Packed binary wire bytes for ``obj`` — magic, codec version, then
+    a :mod:`repro.core.columnar` message (string pool + tagged value)
+    over the same registered dataclass/enum tables as the JSON codec.
+    Unlike :func:`dumps` the value goes in *raw* (no :func:`encode`
+    lowering): the columnar codec carries tuples/sets/dataclasses
+    natively, so :func:`loads_binary` returns the final objects."""
+    from ..core.columnar import encode_message
+
+    return (BINARY_MAGIC + bytes([BINARY_CODEC_VERSION])
+            + encode_message(obj, _DATACLASSES, _ENUMS))
+
+
+def loads_binary(data: bytes) -> Any:
+    """Inverse of :func:`dumps_binary`; rejects version skew loudly."""
+    from ..core.columnar import decode_message
+
+    if not is_binary_frame(data):
+        raise ReproError("not a binary RPC frame")
+    version = data[len(BINARY_MAGIC)]
+    if version != BINARY_CODEC_VERSION:
+        raise ReproError(
+            f"unsupported binary codec version {version} "
+            f"(this side speaks {BINARY_CODEC_VERSION})")
+    return decode_message(data[len(BINARY_MAGIC) + 1:],
+                          _DATACLASSES, _ENUMS)
+
+
+def loads_envelope(frame: bytes) -> dict:
+    """Decode one response envelope of either body type into a dict
+    whose ``result`` (when present) is fully decoded Python objects."""
+    if is_binary_frame(frame):
+        return loads_binary(frame)
+    body = json.loads(frame.decode("utf-8"))
+    if "result" in body:
+        body["result"] = decode(body["result"])
+    return body
+
+
+def encode_envelope(request_id, result: Any, error: "dict | None",
+                    binary: bool) -> bytes:
+    """One response envelope in the connection's negotiated body
+    encoding.  A result the binary codec cannot pack (or, on the JSON
+    side, :func:`encode` cannot lower) degrades to an error envelope
+    rather than killing the connection."""
+    if error is not None:
+        body = {"id": request_id, "error": error}
+        return dumps_binary(body) if binary else _canonical_bytes(body)
+    try:
+        if binary:
+            return dumps_binary({"id": request_id, "result": result})
+        return _canonical_bytes({"id": request_id,
+                                 "result": encode(result)})
+    except Exception as exc:
+        body = {"id": request_id,
+                "error": {"type": type(exc).__name__,
+                          "message": str(exc)}}
+        return dumps_binary(body) if binary else _canonical_bytes(body)
+
+
+def negotiate_result(wire_state: "dict[str, bool]",
+                     codec) -> dict:
+    """Shared ``negotiate`` handler: flip the connection to binary
+    responses when the client's codec version matches, else stay JSON
+    and report the version this side speaks (the client falls back)."""
+    if codec == BINARY_CODEC_VERSION:
+        wire_state["binary"] = True
+        return {"wire": "binary", "codec": BINARY_CODEC_VERSION}
+    return {"wire": "json", "codec": BINARY_CODEC_VERSION}
+
+
 # ----------------------------------------------------------------------
 # framing
 # ----------------------------------------------------------------------
@@ -269,6 +365,10 @@ class RpcServer:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         write_lock = asyncio.Lock()
+        # Per-connection wire state: flipped by a ``negotiate`` request.
+        # In-flight responses racing the flip are harmless — the client
+        # sniffs every frame's magic instead of trusting the mode.
+        wire_state = {"binary": False}
         # Cap in-flight requests per connection: once full, we stop
         # reading frames, the kernel buffers fill, and a pipelining
         # client blocks on the socket — the batcher's bounded-queue
@@ -279,7 +379,8 @@ class RpcServer:
 
         async def handle_and_release(frame: bytes) -> None:
             try:
-                await self._handle_request(frame, writer, write_lock)
+                await self._handle_request(frame, writer, write_lock,
+                                           wire_state)
             finally:
                 inflight.release()
 
@@ -308,23 +409,28 @@ class RpcServer:
 
     async def _handle_request(self, frame: bytes,
                               writer: asyncio.StreamWriter,
-                              write_lock: asyncio.Lock) -> None:
+                              write_lock: asyncio.Lock,
+                              wire_state: "dict[str, bool]") -> None:
         request_id = None
+        error = None
+        result: Any = None
         try:
             request = json.loads(frame.decode("utf-8"))
             request_id = request.get("id")
             method = request.get("method")
-            if method not in SERVING_METHODS:
-                raise ReproError(f"unknown RPC method {method!r}")
             args = decode(request.get("args", []))
             kwargs = decode(request.get("kwargs", {}))
-            result = await getattr(self._service, method)(*args, **kwargs)
-            body = {"id": request_id, "result": encode(result)}
+            if method == "negotiate":
+                result = negotiate_result(wire_state, kwargs.get("codec"))
+            elif method not in SERVING_METHODS:
+                raise ReproError(f"unknown RPC method {method!r}")
+            else:
+                result = await getattr(self._service, method)(*args,
+                                                              **kwargs)
         except Exception as exc:
-            body = {"id": request_id,
-                    "error": {"type": type(exc).__name__,
-                              "message": str(exc)}}
-        payload = _canonical_bytes(body)
+            error = {"type": type(exc).__name__, "message": str(exc)}
+        payload = encode_envelope(request_id, result, error,
+                                  binary=wire_state["binary"])
         async with write_lock:
             try:
                 write_frame(writer, payload)
@@ -348,11 +454,35 @@ class RpcClient:
         self._pending: "dict[int, asyncio.Future]" = {}
         self._receiver = asyncio.ensure_future(self._receive_loop())
         self._write_lock = asyncio.Lock()
+        #: The negotiated response encoding ("json" until a successful
+        #: ``negotiate`` round trip flips it).
+        self.wire = "json"
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "RpcClient":
+    async def connect(cls, host: str, port: int,
+                      wire: str = "json") -> "RpcClient":
+        if wire not in ("json", "binary"):
+            raise ReproError(f"unknown wire encoding {wire!r}")
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        client = cls(reader, writer)
+        if wire == "binary":
+            await client.negotiate()
+        return client
+
+    async def negotiate(self) -> str:
+        """Ask the server for binary responses; returns the settled wire
+        ("binary", or "json" when the server is older/mismatched — an
+        old server reports an unknown method *error*, so a binary-hoping
+        client degrades instead of hanging)."""
+        try:
+            reply = await self.call("negotiate",
+                                    codec=BINARY_CODEC_VERSION)
+        except RpcError:
+            self.wire = "json"
+            return self.wire
+        self.wire = "binary" if isinstance(reply, dict) \
+            and reply.get("wire") == "binary" else "json"
+        return self.wire
 
     async def call(self, method: str, *args, **kwargs) -> Any:
         """Invoke a serving method remotely; raises :class:`RpcError`
@@ -382,7 +512,7 @@ class RpcClient:
                 frame = await read_frame(self._reader)
                 if frame is None:
                     raise ReproError("RPC connection closed by server")
-                body = json.loads(frame.decode("utf-8"))
+                body = loads_envelope(frame)
                 future = self._pending.pop(body.get("id"), None)
                 if future is None or future.done():
                     continue
@@ -390,7 +520,7 @@ class RpcClient:
                     future.set_exception(RpcError(
                         body["error"]["type"], body["error"]["message"]))
                 else:
-                    future.set_result(decode(body["result"]))
+                    future.set_result(body["result"])
         except asyncio.CancelledError:
             # close() cancelled us; fail the in-flight calls (finally)
             # rather than leaving their awaiters hanging forever.

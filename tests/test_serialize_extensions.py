@@ -1,9 +1,15 @@
 """Tests for ontology serialization and the concept-correlate extension."""
 
 import json
+import random
 
 import pytest
 
+from repro.core.columnar import (
+    check_segment,
+    decode_store_segment,
+    encode_store_segment,
+)
 from repro.core.linking.concept_concept import (
     concept_cooccurrence_pairs,
     link_concept_correlations,
@@ -11,11 +17,16 @@ from repro.core.linking.concept_concept import (
 from repro.core.ontology import AttentionOntology, EdgeType, NodeType
 from repro.core.serialize import (
     load_ontology,
+    load_store_columnar,
     ontology_from_dict,
     ontology_to_dict,
     save_ontology,
+    save_store_columnar,
+    store_to_dict,
 )
-from repro.errors import OntologyError
+from repro.core.store import OntologyStore
+from repro.errors import OntologyError, SegmentIntegrityError
+from repro.serving.rpc import dumps
 
 
 @pytest.fixture
@@ -91,6 +102,103 @@ class TestSerialization:
         rebuilt = ontology_from_dict(ontology_to_dict(onto))
         node = rebuilt.find(NodeType.TOPIC, "t")
         assert node.payload["pattern"] == ["X", "wins"]
+
+
+def _random_store(seed: int) -> OntologyStore:
+    """A seeded store stressing the columnar encoder: unicode phrases,
+    contested aliases (several nodes claiming the same text, several
+    aliases equal to other nodes' phrases — maximal interning overlap),
+    int-vs-float payload cells and mixed edge weights."""
+    rng = random.Random(seed)
+    onto = AttentionOntology()
+    phrases = ["café crème", "東京 ニュース", "naïve bayes", "zebra fish",
+               "fußball heute", "Ω résumé", "plain phrase", "🚗 cars"]
+    payload_cells = [1, 1.0, -7, 0.25, True, False, None, "käse",
+                     [1, 2.5, "三"], {"nested": {"k": [None, "v"]}}]
+    nodes = []
+    for index in range(rng.randint(0, 14)):
+        node_type = rng.choice(list(NodeType))
+        phrase = f"{rng.choice(phrases)} {index}"
+        payload = {f"k{j}": rng.choice(payload_cells)
+                   for j in range(rng.randint(0, 3))}
+        nodes.append(onto.add_node(node_type, phrase, payload=payload))
+    for node in nodes:
+        if rng.random() < 0.5:
+            # Contested alias text plus aliases colliding with phrases
+            # already interned — the pool must dedupe, not duplicate.
+            alias = rng.choice(["shared alias", "çommon", nodes[0].phrase])
+            onto.add_alias(node.node_id, alias)
+    for _ in range(rng.randint(0, 12)):
+        if len(nodes) < 2:
+            break
+        source, target = rng.sample(nodes, 2)
+        edge_type = rng.choice(list(EdgeType))
+        if not onto.store.has_edge(source.node_id, target.node_id,
+                                   edge_type):
+            try:
+                onto.add_edge(source.node_id, target.node_id, edge_type,
+                              weight=rng.choice([1, 1.0, 0.5, 3]))
+            except OntologyError:
+                pass  # random pick closed an isA cycle; skip it
+    return onto.store
+
+
+class TestColumnarSegments:
+    def test_random_stores_round_trip_byte_identical(self):
+        """Property: for seeded random stores, snapshot -> columnar
+        segment -> decode reproduces the snapshot dict *byte-identically*
+        under the canonical rpc.dumps encoding — including the int/float
+        distinction (1 vs 1.0) JSON text preserves."""
+        for seed in range(12):
+            snapshot = store_to_dict(_random_store(seed))
+            segment = encode_store_segment(snapshot)
+            assert dumps(decode_store_segment(segment)) == \
+                dumps(snapshot), f"seed {seed} round trip diverged"
+
+    def test_empty_store_round_trips(self):
+        snapshot = store_to_dict(OntologyStore())
+        decoded = decode_store_segment(encode_store_segment(snapshot))
+        assert dumps(decoded) == dumps(snapshot)
+
+    def test_unicode_phrases_and_alias_collisions_survive(self):
+        onto = AttentionOntology()
+        a = onto.add_node(NodeType.CONCEPT, "café crème")
+        b = onto.add_node(NodeType.ENTITY, "café crème")  # same text
+        onto.add_alias(a.node_id, "kaffee sahne")
+        onto.add_alias(b.node_id, "kaffee sahne")  # contested claim
+        onto.add_alias(b.node_id, "café crème extra")
+        snapshot = store_to_dict(onto.store)
+        decoded = decode_store_segment(encode_store_segment(snapshot))
+        assert dumps(decoded) == dumps(snapshot)
+
+    def test_file_round_trip_and_size(self, tmp_path):
+        store = _random_store(3)
+        path = tmp_path / "store.rcs"
+        size = save_store_columnar(store, str(path))
+        assert size == path.stat().st_size > 0
+        rebuilt = load_store_columnar(str(path))
+        assert dumps(store_to_dict(rebuilt)) == dumps(store_to_dict(store))
+
+    def test_footer_counts_match_tables(self):
+        store = _random_store(5)
+        segment = encode_store_segment(store_to_dict(store))
+        n_nodes, n_edges, _n_strings = check_segment(segment)
+        assert n_nodes == len(store)
+        assert n_edges == len(store.edges())
+
+    def test_truncated_segment_refused_by_name(self):
+        segment = encode_store_segment(store_to_dict(_random_store(7)))
+        for cut in (0, 10, len(segment) // 2, len(segment) - 1):
+            with pytest.raises(SegmentIntegrityError):
+                decode_store_segment(segment[:cut])
+
+    def test_bit_flip_refused_by_checksum(self):
+        segment = encode_store_segment(store_to_dict(_random_store(9)))
+        corrupt = bytearray(segment)
+        corrupt[len(segment) // 3] ^= 0xFF
+        with pytest.raises(SegmentIntegrityError,
+                           match="checksum mismatch"):
+            decode_store_segment(bytes(corrupt))
 
 
 class TestConceptCorrelate:
