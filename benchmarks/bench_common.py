@@ -44,6 +44,20 @@ def write_json(name: str, payload: dict) -> dict:
     return merged
 
 
+def percentiles(snapshot: dict, name: str) -> dict:
+    """Project one latency histogram out of a
+    :meth:`repro.obs.MetricsRegistry.snapshot` into the p50/p95/p99
+    summary recorded in the bench JSON alongside docs/sec."""
+    hist = snapshot[name]
+    return {
+        "count": hist["count"],
+        "p50": round(hist["p50"], 6),
+        "p95": round(hist["p95"], 6),
+        "p99": round(hist["p99"], 6),
+        "max": round(hist["max"], 6),
+    }
+
+
 def prepare(examples, extractor, parser, roles=False):
     """Prepare GraphExamples from MiningExamples."""
     return [

@@ -26,11 +26,12 @@ from repro import GiantPipeline
 from repro.cluster import ClusterService, TaggingWorkerPool
 from repro.core.store import OntologyStore
 from repro.eval.reporting import render_table
+from repro.obs import MetricsRegistry
 from repro.serving import OntologyService
 from repro.synth.documents import DocumentGenerator
 from repro.synth.querylog import build_click_graph
 
-from bench_common import SCALE, write_json, write_result
+from bench_common import SCALE, percentiles, write_json, write_result
 
 TAGGER_OPTIONS = {"coherence_threshold": 0.02, "lcs_threshold": 0.6}
 
@@ -58,8 +59,19 @@ def service_and_corpus(bench_days, bench_taggers, bench_sessions, bench_world,
 def test_tagging_precision_and_throughput(benchmark, service_and_corpus):
     service, corpus, _pipe, _ner = service_and_corpus
 
+    # Tag in fixed-size chunks through a repro.obs latency histogram so
+    # the recorded numbers carry a p50/p95/p99 distribution, not just a
+    # mean (per-document results are independent, so chunking does not
+    # change the tagging output).
+    registry = MetricsRegistry()
+    chunk = 10
+
     def tag_all():
-        return service.tag_documents(corpus)
+        tagged = []
+        for start in range(0, len(corpus), chunk):
+            with registry.time("tag_chunk_seconds"):
+                tagged.extend(service.tag_documents(corpus[start:start + chunk]))
+        return tagged
 
     tagged = benchmark.pedantic(tag_all, iterations=1, rounds=3)
 
@@ -142,6 +154,9 @@ def test_tagging_precision_and_throughput(benchmark, service_and_corpus):
             "corpus_docs": len(corpus),
             "concept_precision": round(concept_precision, 3),
             "event_precision": round(event_precision, 3),
+            "latency": dict(
+                percentiles(registry.snapshot(), "tag_chunk_seconds"),
+                chunk_docs=chunk),
         },
     })
 
@@ -162,6 +177,12 @@ def test_cluster_service_identical_on_benchmark_world(service_and_corpus):
     assert cluster.tag_documents(corpus) == service.tag_documents(corpus)
     queries = [f"best {node.phrase}"
                for node in pipe.ontology.nodes()[:40]]
+    # Per-query scatter-gather latency distribution (single-query calls
+    # so each sample is one fan-out across all four shards).
+    registry = MetricsRegistry()
+    for query in queries:
+        with registry.time("interpret_query_seconds"):
+            cluster.interpret_queries([query])
     assert (cluster.interpret_queries(queries)
             == service.interpret_queries(queries))
     shards = cluster.stats()["shards"]
@@ -172,6 +193,8 @@ def test_cluster_service_identical_on_benchmark_world(service_and_corpus):
             "verified_queries": len(queries),
             "owned_per_shard": [line["owned"] for line in shards],
             "ghosts_per_shard": [line["ghosts"] for line in shards],
+            "interpret_latency": percentiles(
+                registry.snapshot(), "interpret_query_seconds"),
         },
     })
 
@@ -203,9 +226,12 @@ def test_async_concurrent_streams_throughput(service_and_corpus):
             tagged.extend(await aio.tag_documents(corpus[start:start + chunk]))
         return tagged
 
+    registry = MetricsRegistry()
+
     async def run():
         async with AsyncOntologyService(service, max_batch_size=4 * chunk,
-                                        max_delay=0.002) as aio:
+                                        max_delay=0.002,
+                                        registry=registry) as aio:
             start = time.perf_counter()
             results = await asyncio.gather(
                 *[one_stream(aio) for _ in range(streams)])
@@ -224,6 +250,7 @@ def test_async_concurrent_streams_throughput(service_and_corpus):
     total_docs = streams * len(corpus)
     async_dps = total_docs / secs
     sync_dps = total_docs / sync_secs
+    snap = registry.snapshot()
     write_json("BENCH_tagging", {
         "async_streams": {
             "streams": streams,
@@ -234,6 +261,10 @@ def test_async_concurrent_streams_throughput(service_and_corpus):
             "batches": batcher["batches"],
             "requests": batcher["requests"],
             "max_batch_items": batcher["max_batch_items"],
+            "execute_latency": percentiles(
+                snap, "aio.batcher.execute_seconds"),
+            "queue_wait_latency": percentiles(
+                snap, "aio.batcher.queue_wait_seconds"),
         },
     })
     print(f"\nasync serving: {streams} streams at {async_dps:.1f} docs/sec "
@@ -276,6 +307,13 @@ def test_multiprocess_tagging_throughput(service_and_corpus):
         start = time.perf_counter()
         pool_results = pool.tag_documents(big_corpus)
         pool_secs = time.perf_counter() - start
+        # Separate chunked pass for the latency distribution, so the
+        # speedup measurement above stays a single fan-out call.
+        registry = MetricsRegistry()
+        hist_chunk = max(1, len(big_corpus) // 8)
+        for s in range(0, len(big_corpus), hist_chunk):
+            with registry.time("pool_request_seconds"):
+                pool.tag_documents(big_corpus[s:s + hist_chunk])
     pool_dps = len(big_corpus) / pool_secs
     speedup = pool_dps / single_dps
 
@@ -289,6 +327,9 @@ def test_multiprocess_tagging_throughput(service_and_corpus):
             "cores": cores,
             "corpus_docs": len(big_corpus),
             "snapshot_bootstrap": True,
+            "latency": dict(
+                percentiles(registry.snapshot(), "pool_request_seconds"),
+                chunk_docs=hist_chunk),
         },
     })
     print(f"\nmulti-process tagging: {pool_dps:.1f} docs/sec with "

@@ -37,6 +37,9 @@ Subpackages:
                        tagging workers, remote shard worker processes
     repro.replication — durable segmented delta log, snapshot catalog,
                        log publisher/followers (the system of record)
+    repro.obs        — process-wide metrics registry (counters, gauges,
+                       latency histograms) and cross-process request
+                       tracing with Chrome trace_event export
     repro.eval       — metrics and table/figure rendering
 """
 

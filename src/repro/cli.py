@@ -34,6 +34,7 @@ self-sufficient.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .apps.query import QueryUnderstander
@@ -117,7 +118,68 @@ def _load_with_ner(path: str):
     return ontology, ner
 
 
+def _format_metric(value) -> str:
+    if isinstance(value, dict):  # a histogram's snapshot state
+        return (f"count={value.get('count', 0)} "
+                f"avg={value.get('avg', 0.0):.6g} "
+                f"p50={value.get('p50', 0.0):.6g} "
+                f"p95={value.get('p95', 0.0):.6g} "
+                f"p99={value.get('p99', 0.0):.6g} "
+                f"max={value.get('max', 0.0):.6g}")
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _print_obs_status(status: dict) -> None:
+    tracer = status.get("tracer") or {}
+    print(f"tracer: enabled={tracer.get('enabled')} "
+          f"process={tracer.get('process')} "
+          f"trace_dir={tracer.get('trace_dir')} "
+          f"spans_written={tracer.get('spans_written')}")
+    print("metrics:")
+    for name, value in sorted((status.get("metrics") or {}).items()):
+        print(f"  {name:52s} {_format_metric(value)}")
+    shards = (status.get("backend") or {}).get("shards") or []
+    for shard in shards:
+        worker_tracer = shard.get("tracer") or {}
+        print(f"shard worker {worker_tracer.get('process')}: "
+              f"spans_written={worker_tracer.get('spans_written')}")
+        for name, value in sorted((shard.get("metrics") or {}).items()):
+            print(f"  {name:52s} {_format_metric(value)}")
+
+
+def _stats_connect(args: argparse.Namespace) -> int:
+    """Fetch a live server's ``obs_status`` over RPC and pretty-print
+    its registry snapshot (counters, gauges, latency percentiles)."""
+    import asyncio
+
+    from .serving.rpc import RpcClient
+
+    address = _parse_listen(args.connect)
+    if address is None:
+        print(f"--connect expects HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+
+    async def _run() -> dict:
+        client = await RpcClient.connect(*address)
+        try:
+            return await client.call("obs_status")
+        finally:
+            await client.close()
+
+    _print_obs_status(asyncio.run(_run()))
+    return 0
+
+
 def _stats(args: argparse.Namespace) -> int:
+    if bool(args.ontology) == bool(args.connect):
+        print("pass exactly one of --ontology / --connect",
+              file=sys.stderr)
+        return 2
+    if args.connect:
+        return _stats_connect(args)
     ontology, _ner = _load_with_ner(args.ontology)
     for key, value in ontology.stats().items():
         print(f"{key:12s} {value}")
@@ -249,6 +311,15 @@ def _serve(args: argparse.Namespace) -> int:
               "add --remote-shards N", file=sys.stderr)
         return 2
 
+    if args.trace_dir:
+        from .obs import TRACE_DIR_ENV, configure_tracer
+
+        # Env first, so spawned shard workers inherit the span-log dir;
+        # then this process's own tracer (spans land in spans-serve.jsonl).
+        os.environ[TRACE_DIR_ENV] = args.trace_dir
+        configure_tracer(args.trace_dir, process="serve")
+        print(f"tracing spans to {args.trace_dir}")
+
     tagger_options = {"coherence_threshold": args.threshold}
     publisher = None
     log = catalog = snapshot = None
@@ -278,7 +349,8 @@ def _serve(args: argparse.Namespace) -> int:
                                            num_shards=args.remote_shards,
                                            ner=ner,
                                            tagger_options=tagger_options,
-                                           wire=args.wire)
+                                           wire=args.wire,
+                                           trace_dir=args.trace_dir or None)
         elif args.from_log:
             cluster = ClusterService(num_shards=args.shards, ner=ner,
                                      tagger_options=tagger_options,
@@ -404,8 +476,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "columnar segments")
     p_build.set_defaults(func=_build)
 
-    p_stats = sub.add_parser("stats", help="print node/edge counts")
-    p_stats.add_argument("--ontology", required=True)
+    p_stats = sub.add_parser(
+        "stats", help="print node/edge counts, or a live server's "
+                      "telemetry with --connect")
+    p_stats.add_argument("--ontology", default="",
+                         help="saved ontology JSON to summarize")
+    p_stats.add_argument("--connect", default="",
+                         help="HOST:PORT of a running `serve --listen` "
+                              "process — fetch and pretty-print its "
+                              "obs_status registry snapshot instead")
     p_stats.set_defaults(func=_stats)
 
     p_tag = sub.add_parser("tag", help="tag a document")
@@ -464,6 +543,11 @@ def build_parser() -> argparse.ArgumentParser:
                          default="json",
                          help="encoding for any snapshot this process "
                               "records to the --from-log catalog")
+    p_serve.add_argument("--trace-dir", default="",
+                         help="append request spans to JSON-lines logs "
+                              "in this directory (the whole process "
+                              "tree: server, batcher, shard workers); "
+                              "export with repro.obs.write_chrome_trace")
     p_serve.set_defaults(func=_serve)
 
     p_show = sub.add_parser("showcase", help="print sample concepts/topics")

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import socket
 import time
 from typing import Any, Iterable, Sequence
@@ -61,6 +62,14 @@ from ..core.store import (
     OntologyStore,
 )
 from ..errors import DeltaGapError, OntologyError, ReproError, RingEpochError
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.tracing import (
+    TRACE_DIR_ENV,
+    TraceContext,
+    configure_tracer,
+    current_context,
+    get_tracer,
+)
 from ..replication.follower import SyncLogClient
 from ..serving.rpc import (
     BINARY_CODEC_VERSION,
@@ -199,9 +208,18 @@ def _catch_up(client: SyncLogClient, router: ShardRouter,
 def _shard_worker_main(shard_id: int, num_shards: int,
                        publisher_host: str, publisher_port: int,
                        ready, accept_timeout: float,
-                       seed: bool = False) -> None:
+                       seed: bool = False,
+                       trace_dir: "str | None" = None) -> None:
     """One shard behind a socket: bootstrap from the log (or await a
     parent seed), serve reads."""
+    # The worker's span log: explicit argument first, inherited
+    # environment second (spawn passes the parent's env through), so
+    # ``cli serve --trace-dir`` traces the whole process tree while an
+    # untraced cluster pays nothing.
+    configure_tracer(trace_dir or os.environ.get(TRACE_DIR_ENV) or None,
+                     process=f"shard-{shard_id}")
+    metrics = get_registry().scope("shard_worker")
+    requests_served = metrics.counter("requests")
     try:
         client = SyncLogClient.connect(publisher_host, publisher_port,
                                        follower_id=f"shard-{shard_id}")
@@ -246,40 +264,60 @@ def _shard_worker_main(shard_id: int, num_shards: int,
                 method = request.get("method")
                 args = decode(request.get("args", []))
                 kwargs = decode(request.get("kwargs", {}))
-                if method == "stop":
-                    stop = True
-                    result = True
-                elif method == "negotiate":
-                    result = negotiate_result(wire_state,
-                                              kwargs.get("codec"))
-                elif method == "seed":
-                    if router is not None:
-                        raise ReproError(
-                            f"shard {shard_id} already holds state")
-                    state, transfers = args
-                    router = ShardRouter.from_state(state)
-                    replica = ShardReplica(shard_id)
-                    for transfer in transfers:
-                        replica.adopt_slice(transfer)
-                    router.sync_shard_version(shard_id,
-                                              replica.store.version)
-                    client.register(router.version)
-                    result = dict(replica.describe(), epoch=router.epoch,
-                                  stream_version=router.version)
-                elif router is None or replica is None:
-                    raise ReproError(
-                        f"shard {shard_id} is awaiting its rebalance seed")
-                elif method == "sync":
-                    router, replica, recovered = _catch_up(
-                        client, router, replica, shard_id, *args, **kwargs)
-                    result = dict(replica.describe(), recovered=recovered,
-                                  epoch=router.epoch)
-                elif method == "ghost_count":
-                    result = replica.ghost_count
-                elif method in SHARD_READ_METHODS:
-                    result = getattr(replica, method)(*args, **kwargs)
-                else:
-                    raise ReproError(f"unknown shard method {method!r}")
+                # The parent's trace context rides the request envelope
+                # (same optional key as the RPC tier): the shard span
+                # below becomes a child of the scatter span that
+                # dispatched this read, across the process boundary.
+                ctx = TraceContext.from_wire(request.get("trace"))
+                requests_served.inc()
+                with get_tracer().span(f"shard.{method}", parent=ctx,
+                                       shard=shard_id):
+                    with metrics.time("request_seconds"):
+                        if method == "stop":
+                            stop = True
+                            result = True
+                        elif method == "negotiate":
+                            result = negotiate_result(wire_state,
+                                                      kwargs.get("codec"))
+                        elif method == "obs_status":
+                            result = {
+                                "metrics": get_registry().snapshot(),
+                                "tracer": get_tracer().describe(),
+                            }
+                        elif method == "seed":
+                            if router is not None:
+                                raise ReproError(
+                                    f"shard {shard_id} already holds state")
+                            state, transfers = args
+                            router = ShardRouter.from_state(state)
+                            replica = ShardReplica(shard_id)
+                            for transfer in transfers:
+                                replica.adopt_slice(transfer)
+                            router.sync_shard_version(shard_id,
+                                                      replica.store.version)
+                            client.register(router.version)
+                            result = dict(replica.describe(),
+                                          epoch=router.epoch,
+                                          stream_version=router.version)
+                        elif router is None or replica is None:
+                            raise ReproError(
+                                f"shard {shard_id} is awaiting its "
+                                "rebalance seed")
+                        elif method == "sync":
+                            router, replica, recovered = _catch_up(
+                                client, router, replica, shard_id,
+                                *args, **kwargs)
+                            result = dict(replica.describe(),
+                                          recovered=recovered,
+                                          epoch=router.epoch)
+                        elif method == "ghost_count":
+                            result = replica.ghost_count
+                        elif method in SHARD_READ_METHODS:
+                            result = getattr(replica, method)(*args,
+                                                              **kwargs)
+                        else:
+                            raise ReproError(
+                                f"unknown shard method {method!r}")
             except Exception as exc:
                 error = {"type": type(exc).__name__, "message": str(exc)}
             try:
@@ -291,6 +329,7 @@ def _shard_worker_main(shard_id: int, num_shards: int,
                 break
     client.close()
     server.close()
+    get_tracer().close()
 
 
 # ----------------------------------------------------------------------
@@ -343,10 +382,15 @@ class RemoteShardReplica:
         instead of serializing one blocking round trip per shard."""
         request_id = self._next_id
         self._next_id += 1
-        payload = _canonical_bytes({
-            "id": request_id, "method": method,
-            "args": encode(list(args)), "kwargs": encode(kwargs)})
-        write_frame_sync(self._sock, payload)
+        envelope = {"id": request_id, "method": method,
+                    "args": encode(list(args)), "kwargs": encode(kwargs)}
+        ctx = current_context()
+        if ctx is not None:
+            # Carry the caller's trace (usually the scatter span) across
+            # the process boundary; an untraced request omits the key
+            # and a pre-trace worker ignores it.
+            envelope["trace"] = ctx.to_wire()
+        write_frame_sync(self._sock, _canonical_bytes(envelope))
         return request_id
 
     def finish_call(self, request_id: int) -> Any:
@@ -420,6 +464,10 @@ class RemoteShardReplica:
     def edges(self, edge_type: "EdgeType | None" = None) -> "list[Edge]":
         return self._call("edges", edge_type)
 
+    def obs_status(self) -> dict:
+        """The worker process's registry snapshot + tracer state."""
+        return self._call("obs_status")
+
     def describe(self) -> dict:
         return self._call("describe")
 
@@ -485,6 +533,12 @@ class RemoteClusterService:
             (:mod:`repro.serving.rpc` packed binary frames).  Results
             are byte-identical either way; binary cuts the scatter
             paths' encode/decode cost.
+        trace_dir: span-log directory handed to every spawned worker
+            (workers also inherit ``REPRO_TRACE_DIR`` from the
+            environment; the explicit argument wins).
+        registry: metrics registry shared by the inner service, the
+            scatter view and the cluster's ``cluster`` scope; defaults
+            to the process registry.
 
     The parent holds no shard store: it keeps a routing-only
     :class:`ShardRouter` (fed from the same log) for owner lookups and
@@ -499,12 +553,24 @@ class RemoteClusterService:
                  max_rewrites: int = 5, max_recommendations: int = 5,
                  cache_size: int = 4096,
                  start_timeout: float = 180.0,
-                 wire: str = "json") -> None:
+                 wire: str = "json",
+                 trace_dir: "str | None" = None,
+                 registry: "MetricsRegistry | None" = None) -> None:
         if num_shards <= 0:
             raise OntologyError("a cluster needs at least one shard")
         if wire not in ("json", "binary"):
             raise OntologyError(f"unknown wire encoding {wire!r}")
         self._wire = wire
+        self._trace_dir = trace_dir
+        registry = registry if registry is not None else get_registry()
+        self._registry = registry
+        self._metrics = registry.scope("cluster")
+        self._rebalances = self._metrics.counter("rebalances")
+        self._moved_nodes = self._metrics.counter("rebalance_moved_nodes")
+        self._seeded_records = \
+            self._metrics.counter("rebalance_seeded_records")
+        self._recovered_shards = self._metrics.counter("recovered_shards")
+        self._worker_restarts = self._metrics.counter("worker_restarts")
         self._host, self._port = publisher_address
         # Spawn (not fork): the parent may run a publisher event loop in
         # a thread, and forked children could inherit its lock state.
@@ -538,11 +604,13 @@ class RemoteClusterService:
         except Exception:
             self.close()
             raise
-        self._view = ShardedStoreView(self._router, self._replicas)
+        self._view = ShardedStoreView(self._router, self._replicas,
+                                      registry=registry)
         self._service = OntologyService(
             AttentionOntology(store=self._view), ner=ner, duet=duet,
             tagger_options=tagger_options, max_rewrites=max_rewrites,
             max_recommendations=max_recommendations, cache_size=cache_size,
+            registry=registry,
         )
         self._deltas_applied = 0
 
@@ -554,7 +622,7 @@ class RemoteClusterService:
         process = self._context.Process(
             target=_shard_worker_main,
             args=(shard_id, self._router.num_shards, self._host, self._port,
-                  queue, self._start_timeout, seed),
+                  queue, self._start_timeout, seed, self._trace_dir),
             daemon=True,
         )
         process.start()
@@ -624,6 +692,7 @@ class RemoteClusterService:
         proxy = RemoteShardReplica(shard_id, "127.0.0.1", ports[shard_id],
                                    wire=self._wire)
         proxy.sync(self._router.version)
+        self._worker_restarts.inc()
         return proxy
 
     def restart_shard(self, shard_id: int) -> dict:
@@ -815,6 +884,10 @@ class RemoteClusterService:
             self._replicas.append(
                 self._seed_or_bootstrap(shard_id, transfers.get(shard_id)))
         self._view.reseat(self._router, self._replicas)
+        self._rebalances.inc()
+        self._moved_nodes.inc(plan.moved_nodes if plan is not None else 0)
+        self._seeded_records.inc(moved_records)
+        self._recovered_shards.inc(len(recovered))
         self.last_rebalance = {
             "epoch": self._router.epoch,
             "num_shards": target,
@@ -931,6 +1004,13 @@ class RemoteClusterService:
             stats["last_rebalance"] = dict(self.last_rebalance)
         stats["shards"] = [replica.describe() for replica in self._replicas]
         return stats
+
+    def obs_status(self) -> dict:
+        """Per-worker observability: each shard worker's own registry
+        snapshot and tracer state (the parent's registry is reported by
+        the serving tier's ``obs_status``, which nests this dict)."""
+        return {"shards": [replica.obs_status()
+                           for replica in self._replicas]}
 
     def close(self) -> None:
         """Stop workers and close sockets (idempotent)."""

@@ -37,6 +37,7 @@ from ..core.ontology import AttentionOntology
 from ..core.serialize import store_to_delta
 from ..core.store import EdgeType, OntologyDelta, OntologyStore
 from ..errors import DeltaGapError, OntologyError
+from ..obs.metrics import MetricsRegistry, get_registry
 from ..serving.service import OntologyService
 from .ring import HashRing, ring_delta, ring_op_of
 from .router import RebalancePlan, ShardRouter
@@ -67,6 +68,9 @@ class ClusterService:
             ``ontology``.  A snapshot recording a ring epoch is
             authoritative: the cluster comes up on that ring, whatever
             ``num_shards`` says.
+        registry: metrics registry shared by the inner service, the
+            scatter view and the cluster's own ``cluster`` scope;
+            defaults to the process registry.
     """
 
     def __init__(self, num_shards: int = 4, ner=None, duet=None,
@@ -75,16 +79,24 @@ class ClusterService:
                  cache_size: int = 4096,
                  deltas: "Iterable[OntologyDelta] | None" = None,
                  ontology: "AttentionOntology | OntologyStore | None" = None,
-                 snapshot: "dict | None" = None) -> None:
+                 snapshot: "dict | None" = None,
+                 registry: "MetricsRegistry | None" = None) -> None:
+        registry = registry if registry is not None else get_registry()
+        self._metrics = registry.scope("cluster")
         self._router = ShardRouter(num_shards)
         self._replicas = [ShardReplica(i) for i in range(num_shards)]
-        self._view = ShardedStoreView(self._router, self._replicas)
+        self._view = ShardedStoreView(self._router, self._replicas,
+                                      registry=registry)
         self._service = OntologyService(
             AttentionOntology(store=self._view), ner=ner, duet=duet,
             tagger_options=tagger_options, max_rewrites=max_rewrites,
             max_recommendations=max_recommendations, cache_size=cache_size,
+            registry=registry,
         )
         self._deltas_applied = 0
+        self._rebalances = self._metrics.counter("rebalances")
+        self._moved_nodes = self._metrics.counter("rebalance_moved_nodes")
+        self._transfer_ops = self._metrics.counter("rebalance_transfer_ops")
         self.last_rebalance: "dict | None" = None
         if ontology is not None and deltas is not None:
             raise OntologyError(
@@ -248,6 +260,9 @@ class ClusterService:
         if plan.ring.num_shards < len(self._replicas):
             del self._replicas[plan.ring.num_shards:]
         self._view.reseat(self._router, self._replicas)
+        self._rebalances.inc()
+        self._moved_nodes.inc(plan.moved_nodes)
+        self._transfer_ops.inc(transferred)
         self.last_rebalance = {
             "epoch": plan.ring.epoch,
             "num_shards": plan.ring.num_shards,

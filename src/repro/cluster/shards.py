@@ -45,6 +45,8 @@ from ..core.store import (
     creation_order,
 )
 from ..errors import OntologyError
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.tracing import get_tracer
 from .ring import TransferSlice
 from .router import ShardRouter
 
@@ -357,14 +359,33 @@ class ShardReplica:
 
 
 class ShardedStoreView:
-    """Read-only OntologyStore-compatible view over the shard set."""
+    """Read-only OntologyStore-compatible view over the shard set.
+
+    Args:
+        router: shard placement (hash ring) for the current epoch.
+        replicas: one replica per shard, local or remote.
+        registry: metrics registry for the view's ``scatter`` scope
+            (fan-out latency, per-shard completion times, straggler
+            shard id); defaults to the process registry.
+    """
 
     def __init__(self, router: ShardRouter,
-                 replicas: "list[ShardReplica]") -> None:
+                 replicas: "list[ShardReplica]",
+                 registry: "MetricsRegistry | None" = None) -> None:
         if router.num_shards != len(replicas):
             raise OntologyError("router/replica shard counts disagree")
         self._router = router
         self._replicas = list(replicas)
+        registry = registry if registry is not None else get_registry()
+        self._metrics = registry.scope("scatter")
+        self._scatters = self._metrics.counter("scatters")
+        self._resolves = self._metrics.counter("resolves")
+        self._fanout_seconds = self._metrics.histogram("fanout_seconds")
+        self._shard_seconds = self._metrics.histogram("shard_seconds")
+        # Which shard finished last on the most recent scatter — the
+        # read path's straggler (with remote replicas, usually the one
+        # whose worker process is slow or backlogged).
+        self._straggler = self._metrics.gauge("straggler_shard")
 
     def reseat(self, router: ShardRouter, replicas) -> None:
         """Swap in a rebalanced topology.
@@ -419,33 +440,54 @@ class ShardedStoreView:
         costs one overlapped round trip instead of one per shard.
         Local replicas run inline.  Results arrive in shard order, so
         merges are byte-identical to the sequential loop."""
-        handles = []
-        for replica in self._replicas:
-            begin = getattr(replica, "begin_call", None)
-            handles.append(None if begin is None
-                           else begin(method, *args))
-        out = []
-        for replica, handle in zip(self._replicas, handles):
-            if handle is None:
-                out.append(getattr(replica, method)(*args))
-            else:
-                out.append(replica.finish_call(handle))
+        clock = self._metrics.registry.clock
+        self._scatters.inc()
+        with get_tracer().span(f"scatter.{method}",
+                               shards=len(self._replicas)) as span:
+            start = clock()
+            handles = []
+            for replica in self._replicas:
+                begin = getattr(replica, "begin_call", None)
+                handles.append(None if begin is None
+                               else begin(method, *args))
+            out = []
+            done_at = []
+            for replica, handle in zip(self._replicas, handles):
+                if handle is None:
+                    out.append(getattr(replica, method)(*args))
+                else:
+                    out.append(replica.finish_call(handle))
+                # Completion is observed at collect time (in shard
+                # order), so per-shard readings include any wait behind
+                # earlier shards — an upper bound that still singles
+                # out the shard the fan-out actually waited on last.
+                done_at.append(clock() - start)
+            for elapsed in done_at:
+                self._shard_seconds.observe(elapsed)
+            self._fanout_seconds.observe(clock() - start)
+            straggler = max(range(len(done_at)),
+                            key=done_at.__getitem__) if done_at else 0
+            self._straggler.set(straggler)
+            if span is not None:
+                span.set(straggler=straggler)
         return out
 
     def _resolve(self, node_ids) -> list[AttentionNode]:
         """Owner-shard point lookups for an id sequence, pipelined per
         owning replica (each owner answers its socket in request order,
         so replies pair up deterministically)."""
-        handles = []
-        for node_id in node_ids:
-            replica = self._replicas[self._router.owner_of(node_id)]
-            begin = getattr(replica, "begin_call", None)
-            handles.append((replica, node_id,
-                            None if begin is None
-                            else begin("node", node_id)))
-        return [replica.node(node_id) if handle is None
-                else replica.finish_call(handle)
-                for replica, node_id, handle in handles]
+        self._resolves.inc()
+        with self._metrics.time("resolve_seconds"):
+            handles = []
+            for node_id in node_ids:
+                replica = self._replicas[self._router.owner_of(node_id)]
+                begin = getattr(replica, "begin_call", None)
+                handles.append((replica, node_id,
+                                None if begin is None
+                                else begin("node", node_id)))
+            return [replica.node(node_id) if handle is None
+                    else replica.finish_call(handle)
+                    for replica, node_id, handle in handles]
 
     # ------------------------------------------------------------------
     # point lookups

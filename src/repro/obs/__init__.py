@@ -1,0 +1,56 @@
+"""repro.obs: zero-dependency observability for the serving fabric.
+
+Two halves (DESIGN.md §12):
+
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  (counters, gauges, log-bucketed latency histograms) behind one lock,
+  with namespaced scopes and a consistent JSON-encodable snapshot
+  (surfaced by the ``obs_status`` RPC method and ``cli stats
+  --connect``);
+* :mod:`repro.obs.tracing` — request-scoped :class:`TraceContext`
+  propagation across asyncio tasks, worker threads, sockets and spawned
+  shard-worker processes, with spans appended to JSON-lines logs and a
+  Chrome ``trace_event`` exporter.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Scope,
+    get_registry,
+)
+from .tracing import (
+    TRACE_DIR_ENV,
+    Span,
+    TraceContext,
+    Tracer,
+    configure_tracer,
+    current_context,
+    get_tracer,
+    load_spans,
+    pop_context,
+    push_context,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Scope",
+    "get_registry",
+    "TRACE_DIR_ENV",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "configure_tracer",
+    "current_context",
+    "get_tracer",
+    "load_spans",
+    "pop_context",
+    "push_context",
+    "write_chrome_trace",
+]

@@ -1,0 +1,341 @@
+"""Process-wide metrics: counters, gauges, log-bucketed histograms.
+
+Every serving layer used to keep its own ad-hoc ``stats()`` dict of
+plain ints — unreadable as a whole and torn under concurrency (two
+fields read at different instants).  This module is the one registry
+those layers now write through (DESIGN.md §12):
+
+* a :class:`MetricsRegistry` holds named instruments behind **one
+  re-entrant lock**: every update and every :meth:`~MetricsRegistry.
+  snapshot` serializes on it, so a snapshot is a consistent
+  point-in-time cut across *all* instruments — no torn reads;
+* :class:`Histogram` is log-bucketed (geometric buckets, ~19% width)
+  with exact ``count``/``sum``/``min``/``max`` and percentile readout
+  clamped to the observed ``[min, max]`` — p50/p95/p99 never exceed the
+  true maximum, and a constant stream reads back exactly;
+* the registry's **clock is injectable** (default
+  :func:`time.perf_counter`), so latency tests drive a fake clock and
+  assert exact bucket/percentile math;
+* :meth:`MetricsRegistry.scope` hands out namespaced handles
+  (``serving``, ``serving.2``, … — auto-suffixed per instance), so two
+  service instances in one process keep distinct per-instance counters
+  while one process-wide snapshot still covers everything.
+
+Instruments are cheap plain-Python objects; there is no background
+thread and no third-party dependency.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable
+
+from ..errors import ReproError
+
+#: Geometric bucket growth: 4 buckets per power of two (~19% width), so
+#: a bucketed percentile is within one bucket (<19%) of the true value.
+_GROWTH = 2.0 ** 0.25
+_LOG_GROWTH = math.log(_GROWTH)
+#: Bucket index cap: base * _GROWTH**256 = base * 2**64 — any larger
+#: observation clamps into the overflow bucket (max stays exact).
+_MAX_BUCKET = 256
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str, lock: threading.RLock) -> None:
+        self.name = name
+        self._lock = lock
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def _state(self) -> int:  # caller holds the registry lock
+        return self._value
+
+
+class Gauge:
+    """A number that goes up and down (queue depth, lag, in-flight)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str, lock: threading.RLock) -> None:
+        self.name = name
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _state(self) -> float:  # caller holds the registry lock
+        return self._value
+
+
+class Histogram:
+    """Log-bucketed distribution with exact min/max/sum/count.
+
+    Observations land in geometric buckets (``base * _GROWTH**i``);
+    :meth:`percentile` walks the cumulative counts and returns the
+    matched bucket's upper bound clamped to the observed ``[min, max]``
+    — so percentiles are within one bucket width (<19%) of the true
+    value, never exceed the true max, and a constant stream reads back
+    its exact value at every quantile.
+
+    Args:
+        base: upper bound of the first bucket.  The default (1µs) suits
+            latencies in seconds; count-valued histograms (batch sizes)
+            pass ``base=1.0``.
+    """
+
+    __slots__ = ("name", "_lock", "_base", "_buckets", "_count", "_sum",
+                 "_min", "_max")
+
+    def __init__(self, name: str, lock: threading.RLock,
+                 base: float = 1e-6) -> None:
+        if base <= 0:
+            raise ReproError("histogram base must be positive")
+        self.name = name
+        self._lock = lock
+        self._base = base
+        self._buckets: "dict[int, int]" = {}
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def _bucket_of(self, value: float) -> int:
+        if value <= self._base:
+            return 0
+        # ceil with a tiny slack so exact bucket bounds stay in their
+        # own bucket instead of spilling into the next one.
+        index = int(math.ceil(math.log(value / self._base)
+                              / _LOG_GROWTH - 1e-9))
+        return min(index, _MAX_BUCKET)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            index = self._bucket_of(value)
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._max if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        with self._lock:
+            return self._min if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``0 < q <= 1``) as a bucket upper bound
+        clamped to the observed ``[min, max]``."""
+        with self._lock:
+            return self._percentile_locked(q)
+
+    def _percentile_locked(self, q: float) -> float:
+        if self._count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self._count))
+        cumulative = 0
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if cumulative >= rank:
+                upper = self._base * (_GROWTH ** index)
+                return min(max(upper, self._min), self._max)
+        return self._max  # unreachable; defensive
+
+    def _state(self) -> "dict[str, Any]":  # caller holds the registry lock
+        if self._count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "avg": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "avg": self._sum / self._count,
+            "p50": self._percentile_locked(0.50),
+            "p95": self._percentile_locked(0.95),
+            "p99": self._percentile_locked(0.99),
+        }
+
+    @property
+    def state(self) -> "dict[str, Any]":
+        with self._lock:
+            return self._state()
+
+
+class MetricsRegistry:
+    """Named instruments behind one lock, with a consistent snapshot.
+
+    Args:
+        clock: monotonic time source used by :meth:`time` (and by the
+            components holding a scope, e.g. the batcher's queue-wait
+            measurement).  Injectable for deterministic latency tests.
+    """
+
+    def __init__(self, clock: "Callable[[], float]" = time.perf_counter
+                 ) -> None:
+        self.clock = clock
+        self._lock = threading.RLock()
+        self._instruments: "dict[str, Any]" = {}
+        self._scopes: "dict[str, int]" = {}
+
+    # ------------------------------------------------------------------
+    # instrument accessors (get-or-create)
+    # ------------------------------------------------------------------
+    def _get(self, name: str, cls, **kwargs):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls(name, self._lock, **kwargs)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, cls):
+                raise ReproError(
+                    f"metric {name!r} is a "
+                    f"{type(instrument).__name__}, not a {cls.__name__}")
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, base: float = 1e-6) -> Histogram:
+        """Get or create; an existing histogram keeps its original
+        ``base`` (first caller wins)."""
+        return self._get(name, Histogram, base=base)
+
+    @contextmanager
+    def time(self, name: str):
+        """Observe the duration of a ``with`` block into histogram
+        ``name`` (measured on :attr:`clock`; also observed on error —
+        failures have latency too)."""
+        start = self.clock()
+        try:
+            yield
+        finally:
+            self.histogram(name).observe(self.clock() - start)
+
+    # ------------------------------------------------------------------
+    # namespacing
+    # ------------------------------------------------------------------
+    def scope(self, prefix: str) -> "Scope":
+        """A namespaced handle whose instruments live under ``prefix.``.
+
+        Each call mints a distinct namespace: the first gets ``prefix``
+        itself, later ones ``prefix.2``, ``prefix.3``, … — so two
+        service instances in one process never share (and corrupt) each
+        other's per-instance counters, while :meth:`snapshot` still
+        covers them all.
+        """
+        with self._lock:
+            nth = self._scopes.get(prefix, 0) + 1
+            self._scopes[prefix] = nth
+        return Scope(self, prefix if nth == 1 else f"{prefix}.{nth}")
+
+    # ------------------------------------------------------------------
+    # readout
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "dict[str, Any]":
+        """One consistent point-in-time cut of every instrument, sorted
+        by name.  Counters/gauges read as numbers, histograms as
+        ``{count, sum, min, max, avg, p50, p95, p99}`` dicts — plain
+        JSON-encodable values (the ``obs_status`` RPC payload)."""
+        with self._lock:
+            return {name: self._instruments[name]._state()
+                    for name in sorted(self._instruments)}
+
+
+class Scope:
+    """A prefix-namespaced view of a registry (see
+    :meth:`MetricsRegistry.scope`)."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def scope(self, name: str) -> "Scope":
+        """A child namespace (itself auto-suffixed if minted twice)."""
+        return self._registry.scope(f"{self._prefix}.{name}")
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(f"{self._prefix}.{name}")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._registry.gauge(f"{self._prefix}.{name}")
+
+    def histogram(self, name: str, base: float = 1e-6) -> Histogram:
+        return self._registry.histogram(f"{self._prefix}.{name}", base=base)
+
+    def time(self, name: str):
+        return self._registry.time(f"{self._prefix}.{name}")
+
+    def snapshot(self) -> "dict[str, Any]":
+        """This scope's slice of the registry snapshot, prefix stripped
+        — the substrate for the legacy per-instance ``stats()`` views
+        (one lock acquisition, so the slice is torn-read free)."""
+        marker = self._prefix + "."
+        with self._registry._lock:
+            return {name[len(marker):]: instrument._state()
+                    for name, instrument
+                    in sorted(self._registry._instruments.items())
+                    if name.startswith(marker)}
+
+
+#: The process-wide default registry: components that are not handed an
+#: explicit registry scope themselves here, so one ``obs_status`` call
+#: reads the whole process.
+_GLOBAL = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _GLOBAL

@@ -39,11 +39,13 @@ import asyncio
 import base64
 import json
 import threading
+from collections import deque
 from typing import Any, Callable, Iterable, Sequence
 
 from ..core.serialize import delta_to_dict
 from ..core.store import OntologyDelta
 from ..errors import ReproError
+from ..obs.metrics import MetricsRegistry, get_registry
 from ..serving.rpc import _canonical_bytes, read_frame, write_frame
 from .catalog import SnapshotCatalog
 from .log import DeltaLog
@@ -62,11 +64,15 @@ class LogPublisher:
         log: the delta log to publish.
         catalog: optional snapshot catalog backing ``log_snapshot``.
         host / port: bind address (port 0 picks an ephemeral port).
+        registry: metrics registry holding this publisher's
+            ``replication`` scope (follower lag gauges, fetch/snapshot
+            counters, frame bytes); defaults to the process registry.
     """
 
     def __init__(self, log: DeltaLog,
                  catalog: "SnapshotCatalog | None" = None,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 registry: "MetricsRegistry | None" = None) -> None:
         self._log = log
         self._catalog = catalog
         self._host = host
@@ -76,6 +82,25 @@ class LogPublisher:
         # Registered follower name -> the version it last fetched from
         # ("everything at or below this is applied over there").
         self._followers: dict[str, int] = {}
+        registry = registry if registry is not None else get_registry()
+        self._metrics = registry.scope("replication")
+        self._publishes = self._metrics.counter("publishes")
+        self._published_deltas = self._metrics.counter("published_deltas")
+        self._fetches = self._metrics.counter("fetches")
+        self._fetched_deltas = self._metrics.counter("fetched_deltas")
+        self._waits = self._metrics.counter("waits")
+        self._snapshots_served = self._metrics.counter("snapshots_served")
+        self._snapshot_bytes = self._metrics.counter("snapshot_bytes")
+        self._bytes_in = self._metrics.counter("bytes_in")
+        self._bytes_out = self._metrics.counter("bytes_out")
+        self._errors = self._metrics.counter("errors")
+        self._followers_gauge = self._metrics.gauge("followers")
+        self._last_version_gauge = self._metrics.gauge("last_version")
+        self._gc_floor_gauge = self._metrics.gauge("gc_floor")
+        # (version, clock) stamp per publish — the substrate for
+        # follower lag *in seconds*: a follower's seconds-lag is the age
+        # of the oldest publish it has not yet consumed.
+        self._append_times: "deque[tuple[int, float]]" = deque(maxlen=4096)
         if catalog is not None:
             catalog.bind_gc_floor(self.follower_floor)
 
@@ -85,10 +110,37 @@ class LogPublisher:
     def follower_floor(self) -> "int | None":
         """The slowest registered follower's position (``None`` when no
         follower is registered) — the catalog's segment-GC floor."""
-        return min(self._followers.values()) if self._followers else None
+        floor = min(self._followers.values()) if self._followers else None
+        self._gc_floor_gauge.set(-1 if floor is None else floor)
+        return floor
 
     def followers(self) -> "dict[str, int]":
         return dict(self._followers)
+
+    def _lag_seconds(self, since: int, now: float) -> float:
+        """Age of the oldest publish a follower at ``since`` has not yet
+        consumed; 0.0 when it is caught up."""
+        for version, stamped in self._append_times:
+            if version > since:
+                return max(0.0, now - stamped)
+        return 0.0
+
+    def _note_follower(self, follower: "str | None", since: int) -> None:
+        """Record a follower position and refresh the lag gauges —
+        ``follower.<name>.lag_versions`` / ``.lag_seconds`` — plus the
+        aggregate follower count and GC floor."""
+        if follower is not None:
+            self._followers[str(follower)] = since
+        self._followers_gauge.set(len(self._followers))
+        self._last_version_gauge.set(self._log.last_version)
+        now = self._metrics.registry.clock()
+        for name, position in self._followers.items():
+            scope_name = f"follower.{name}"
+            self._metrics.gauge(f"{scope_name}.lag_versions").set(
+                max(0, self._log.last_version - position))
+            self._metrics.gauge(f"{scope_name}.lag_seconds").set(
+                self._lag_seconds(position, now))
+        self.follower_floor()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -125,6 +177,11 @@ class LogPublisher:
         if appended:
             self._grew.set()
             self._grew = asyncio.Event()
+            self._publishes.inc()
+            self._published_deltas.inc(appended)
+            self._append_times.append(
+                (self._log.last_version, self._metrics.registry.clock()))
+            self._last_version_gauge.set(self._log.last_version)
         return appended
 
     # ------------------------------------------------------------------
@@ -140,9 +197,12 @@ class LogPublisher:
                     break
                 if frame is None:
                     break
+                self._bytes_in.inc(len(frame))
                 response = await self._handle_request(frame)
                 try:
-                    write_frame(writer, _canonical_bytes(response))
+                    payload = _canonical_bytes(response)
+                    self._bytes_out.inc(len(payload))
+                    write_frame(writer, payload)
                     await writer.drain()
                 except (ConnectionError, OSError):
                     break
@@ -162,9 +222,11 @@ class LogPublisher:
             if method not in PUBLISHER_METHODS:
                 raise ReproError(f"unknown publisher method {method!r}")
             kwargs = request.get("kwargs", {})
-            result = await getattr(self, "_" + method)(**kwargs)
+            with self._metrics.time(f"method.{method}.seconds"):
+                result = await getattr(self, "_" + method)(**kwargs)
             return {"id": request_id, "result": result}
         except Exception as exc:
+            self._errors.inc()
             return {"id": request_id,
                     "error": {"type": type(exc).__name__,
                               "message": str(exc)}}
@@ -175,12 +237,13 @@ class LogPublisher:
     async def _log_fetch(self, since: int = 0,
                          max_count: "int | None" = None,
                          follower: "str | None" = None) -> dict:
-        if follower is not None:
-            # A fetch from `since` means everything <= since is applied
-            # on that follower; last write wins so a re-bootstrapped
-            # follower's position can also jump (or fall) legitimately.
-            self._followers[str(follower)] = since
+        # A fetch from `since` means everything <= since is applied
+        # on that follower; last write wins so a re-bootstrapped
+        # follower's position can also jump (or fall) legitimately.
+        self._note_follower(follower, since)
+        self._fetches.inc()
         deltas = self._log.read(since, max_count=max_count)
+        self._fetched_deltas.inc(len(deltas))
         return {
             "deltas": [delta_to_dict(delta) for delta in deltas],
             "first_version": self._log.first_version,
@@ -188,19 +251,20 @@ class LogPublisher:
         }
 
     async def _log_register(self, follower: str, since: int = 0) -> dict:
-        self._followers[str(follower)] = since
+        self._note_follower(follower, since)
         return {"followers": len(self._followers)}
 
     async def _log_forget(self, follower: str) -> dict:
         removed = self._followers.pop(str(follower), None) is not None
+        self._note_follower(None, 0)
         return {"removed": removed, "followers": len(self._followers)}
 
     async def _log_wait(self, since: int = 0, timeout: float = 10.0,
                         max_count: "int | None" = None,
                         follower: "str | None" = None) -> dict:
         """Long-poll: resolve as soon as the log grows past ``since``."""
-        if follower is not None:
-            self._followers[str(follower)] = since
+        self._note_follower(follower, since)
+        self._waits.inc()
         deadline = asyncio.get_running_loop().time() + max(0.0, timeout)
         while self._log.last_version <= since:
             remaining = deadline - asyncio.get_running_loop().time()
@@ -223,12 +287,14 @@ class LogPublisher:
     async def _log_snapshot(self, accept: "list[str] | None" = None) -> dict:
         if self._catalog is None:
             return {"snapshot": None, "version": 0}
+        self._snapshots_served.inc()
         entry = self._catalog.latest_entry()
         if entry is not None and entry.get("format") == "columnar" \
                 and accept is not None and "columnar" in accept:
             # Pass the packed segment through verbatim: no server-side
             # decode, and the client's decode verifies the checksum.
             segment = self._catalog.read_segment(entry)
+            self._snapshot_bytes.inc(len(segment))
             return {"snapshot": None,
                     "segment": base64.b64encode(segment).decode("ascii"),
                     "format": "columnar",
@@ -254,8 +320,10 @@ class PublisherThread:
 
     def __init__(self, log: DeltaLog,
                  catalog: "SnapshotCatalog | None" = None,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
-        self._publisher = LogPublisher(log, catalog, host, port)
+                 host: str = "127.0.0.1", port: int = 0,
+                 registry: "MetricsRegistry | None" = None) -> None:
+        self._publisher = LogPublisher(log, catalog, host, port,
+                                       registry=registry)
         self._loop: "asyncio.AbstractEventLoop | None" = None
         self._thread: "threading.Thread | None" = None
         self._started = threading.Event()

@@ -32,6 +32,8 @@ import asyncio
 from typing import Any, Iterable, Sequence
 
 from ..core.store import EdgeType, OntologyDelta
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.tracing import get_tracer
 from .batcher import MicroBatcher
 
 #: Endpoints the async façade (and the RPC wrapper) expose.
@@ -47,6 +49,7 @@ SERVING_METHODS = (
     "follow_ups",
     "refresh",
     "stats",
+    "obs_status",
 )
 
 
@@ -59,17 +62,23 @@ class AsyncOntologyService:
         max_batch_size / max_delay / max_queue: forwarded to the
             :class:`MicroBatcher` (items per merged batch, flush
             deadline in seconds, request-queue bound).
+        registry: metrics registry for this façade's ``aio`` scope and
+            its batcher's child scope; defaults to the process registry.
 
     Use as an async context manager (or call :meth:`close`) so the
     dispatcher task and worker thread shut down cleanly.
     """
 
     def __init__(self, backend, *, max_batch_size: int = 32,
-                 max_delay: float = 0.005, max_queue: int = 1024) -> None:
+                 max_delay: float = 0.005, max_queue: int = 1024,
+                 registry: "MetricsRegistry | None" = None) -> None:
         self._backend = backend
+        self._registry = registry if registry is not None else get_registry()
+        self._metrics = self._registry.scope("aio")
         self._batcher = MicroBatcher(
             self._execute, max_batch_size=max_batch_size,
             max_delay=max_delay, max_queue=max_queue,
+            metrics=self._metrics.scope("batcher"),
         )
 
     # ------------------------------------------------------------------
@@ -82,8 +91,30 @@ class AsyncOntologyService:
             return self._backend.interpret_queries(items)
         # Generic endpoint calls: items are (method, args, kwargs)
         # singletons, executed one by one on the same worker thread.
-        return [getattr(self._backend, method)(*args, **kwargs)
-                for method, args, kwargs in items]
+        results = []
+        for method, args, kwargs in items:
+            if method == "stats":
+                # Gather backend and batcher stats together on the
+                # serialized worker thread, so concurrent streams never
+                # observe a torn pair (e.g. batcher counters from after
+                # a flush glued to backend counters from before it).
+                stats = self._backend.stats()
+                stats["async"] = self._batcher.stats
+                results.append(stats)
+            elif method == "obs_status":
+                results.append(self._obs_status())
+            else:
+                results.append(getattr(self._backend, method)(*args,
+                                                              **kwargs))
+        return results
+
+    def _obs_status(self) -> dict:
+        status = {"metrics": self._registry.snapshot(),
+                  "tracer": get_tracer().describe()}
+        backend_obs = getattr(self._backend, "obs_status", None)
+        if callable(backend_obs):
+            status["backend"] = backend_obs()
+        return status
 
     async def _call(self, method: str, *args, **kwargs) -> Any:
         [result] = await self._batcher.submit(
@@ -147,10 +178,18 @@ class AsyncOntologyService:
         return await self._call("refresh", list(deltas))
 
     async def stats(self) -> dict:
-        """Backend counters plus the async tier's batching stats."""
-        stats = await self._call("stats")
-        stats["async"] = self._batcher.stats
-        return stats
+        """Backend counters plus the async tier's batching stats.
+
+        Both halves are collected inside one serialized worker-thread
+        call (see :meth:`_execute`), so the combined dict is a
+        consistent snapshot even under concurrent request streams.
+        """
+        return await self._call("stats")
+
+    async def obs_status(self) -> dict:
+        """Registry snapshot + tracer state (the ``obs_status`` RPC
+        payload), taken on the serialized worker thread."""
+        return await self._call("obs_status")
 
     @property
     def backend(self):

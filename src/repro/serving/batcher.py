@@ -32,16 +32,32 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from ..errors import ReproError
+from ..obs.metrics import Scope, get_registry
+from ..obs.tracing import (
+    TraceContext,
+    current_context,
+    get_tracer,
+    pop_context,
+    push_context,
+)
 
 
 @dataclass
 class _Request:
-    """One queued request: ``items`` to execute and the caller's future."""
+    """One queued request: ``items`` to execute and the caller's future.
+
+    ``ctx`` is the submitter's trace context, captured at submit time —
+    the dispatcher task and the executor thread have their own context
+    vars, so the link across the queue must travel with the request.
+    ``enqueued`` stamps the registry clock for the queue-wait histogram.
+    """
 
     kind: str
     items: "list[Any]"
     mergeable: bool
     future: "asyncio.Future"
+    ctx: "TraceContext | None" = None
+    enqueued: float = 0.0
 
 
 _SHUTDOWN = object()
@@ -59,11 +75,16 @@ class MicroBatcher:
             first item of a batch arrives before flushing anyway.
         max_queue: request-queue bound; ``submit`` applies backpressure
             (awaits) when the queue is full.
+        metrics: registry :class:`~repro.obs.metrics.Scope` for the
+            batcher's counters/histograms (queue depth, queue wait,
+            batch size, flush reason); defaults to a fresh ``batcher``
+            scope on the process registry.
     """
 
     def __init__(self, execute: "Callable[[str, list], Sequence]", *,
                  max_batch_size: int = 32, max_delay: float = 0.005,
-                 max_queue: int = 1024) -> None:
+                 max_queue: int = 1024,
+                 metrics: "Scope | None" = None) -> None:
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         if max_delay < 0:
@@ -78,12 +99,20 @@ class MicroBatcher:
         self._executor: "ThreadPoolExecutor | None" = None
         self._carry: "Any | None" = None
         self._closed = False
-        self._requests = 0
-        self._batches = 0
-        self._items = 0
-        self._max_batch_items = 0
-        self._size_flushes = 0
-        self._deadline_flushes = 0
+        self._metrics = metrics if metrics is not None \
+            else get_registry().scope("batcher")
+        self._requests = self._metrics.counter("requests")
+        self._batches = self._metrics.counter("batches")
+        self._items = self._metrics.counter("items")
+        self._size_flushes = self._metrics.counter("size_flushes")
+        self._deadline_flushes = self._metrics.counter("deadline_flushes")
+        # Flushes forced by a kind change / non-mergeable request (the
+        # carry path) or by shutdown — previously uncounted.
+        self._barrier_flushes = self._metrics.counter("barrier_flushes")
+        self._queue_depth = self._metrics.gauge("queue_depth")
+        self._queue_wait = self._metrics.histogram("queue_wait_seconds")
+        self._execute_seconds = self._metrics.histogram("execute_seconds")
+        self._batch_items = self._metrics.histogram("batch_items", base=1.0)
 
     # ------------------------------------------------------------------
     def _ensure_running(self) -> None:
@@ -108,9 +137,12 @@ class MicroBatcher:
         the batch holding them has executed."""
         self._ensure_running()
         future = self._loop.create_future()
-        request = _Request(kind, list(items), mergeable, future)
+        request = _Request(kind, list(items), mergeable, future,
+                           ctx=current_context(),
+                           enqueued=self._metrics.registry.clock())
         await self._queue.put(request)
-        self._requests += 1
+        self._requests.inc()
+        self._queue_depth.set(self._queue.qsize())
         return await future
 
     async def close(self) -> None:
@@ -129,7 +161,9 @@ class MicroBatcher:
         if self._carry is not None:
             request, self._carry = self._carry, None
             return request
-        return await self._queue.get()
+        request = await self._queue.get()
+        self._queue_depth.set(self._queue.qsize())
+        return request
 
     async def _run(self) -> None:
         loop = self._loop
@@ -144,38 +178,67 @@ class MicroBatcher:
                 while size < self._max_batch_size:
                     timeout = deadline - loop.time()
                     if timeout <= 0:
-                        self._deadline_flushes += 1
+                        self._deadline_flushes.inc()
                         break
                     try:
                         nxt = await asyncio.wait_for(self._queue.get(),
                                                      timeout)
                     except asyncio.TimeoutError:
-                        self._deadline_flushes += 1
+                        self._deadline_flushes.inc()
                         break
+                    self._queue_depth.set(self._queue.qsize())
                     if (nxt is _SHUTDOWN or nxt.kind != request.kind
                             or not nxt.mergeable):
                         self._carry = nxt
+                        self._barrier_flushes.inc()
                         break
                     batch.append(nxt)
                     size += len(nxt.items)
                 else:
-                    self._size_flushes += 1
+                    self._size_flushes.inc()
+            else:
+                self._barrier_flushes.inc()
             await self._flush(batch, size)
+
+    def _run_batch(self, kind: str, merged: list,
+                   ctx: "TraceContext | None") -> Sequence:
+        """Executor-thread entry: install the batch span's context on
+        the worker thread (``run_in_executor`` does not carry context
+        vars), so downstream spans — e.g. the scatter paths — connect
+        to this batch."""
+        if ctx is None:
+            return self._execute(kind, merged)
+        token = push_context(ctx)
+        try:
+            return self._execute(kind, merged)
+        finally:
+            pop_context(token)
 
     async def _flush(self, batch: "list[_Request]", size: int) -> None:
         merged = [item for request in batch for item in request.items]
+        now = self._metrics.registry.clock()
+        for request in batch:
+            self._queue_wait.observe(now - request.enqueued)
+        self._batch_items.observe(size)
+        tracer = get_tracer()
         try:
-            results = await self._loop.run_in_executor(
-                self._executor, self._execute, batch[0].kind, merged)
+            # The batch span's parent is the first merged request's
+            # context (later requests in a merged batch share the
+            # execution; only the first keeps the cross-request link).
+            with tracer.span(f"batch.{batch[0].kind}", parent=batch[0].ctx,
+                             items=size, requests=len(batch)) as span:
+                with self._metrics.time("execute_seconds"):
+                    results = await self._loop.run_in_executor(
+                        self._executor, self._run_batch, batch[0].kind,
+                        merged, span.ctx if span is not None else None)
         except Exception as exc:  # scatter the failure to every caller
             for request in batch:
                 if not request.future.done():
                     request.future.set_exception(exc)
             return
         finally:
-            self._batches += 1
-            self._items += size
-            self._max_batch_items = max(self._max_batch_items, size)
+            self._batches.inc()
+            self._items.inc(size)
         if len(results) != len(merged):
             exc = ReproError(
                 f"batch executor returned {len(results)} results for "
@@ -194,13 +257,21 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------
     @property
+    def metrics(self) -> Scope:
+        return self._metrics
+
+    @property
     def stats(self) -> "dict[str, int]":
-        """Merge/flush counters for introspection and benchmarks."""
+        """Merge/flush counters for introspection and benchmarks — a
+        thin view over one scope snapshot (single registry-lock
+        acquisition, so the fields are a consistent cut)."""
+        snap = self._metrics.snapshot()
+        batch_items = snap.get("batch_items") or {}
         return {
-            "requests": self._requests,
-            "batches": self._batches,
-            "items": self._items,
-            "max_batch_items": self._max_batch_items,
-            "size_flushes": self._size_flushes,
-            "deadline_flushes": self._deadline_flushes,
+            "requests": snap.get("requests", 0),
+            "batches": snap.get("batches", 0),
+            "items": snap.get("items", 0),
+            "max_batch_items": int(batch_items.get("max", 0)),
+            "size_flushes": snap.get("size_flushes", 0),
+            "deadline_flushes": snap.get("deadline_flushes", 0),
         }

@@ -4,6 +4,11 @@
 when the backing ontology changes; this cache is an explicit object whose
 keys embed the store version, so a refresh naturally misses and stale
 entries age out of the LRU order instead of being served.
+
+Hit/miss accounting lives on the :mod:`repro.obs` metrics registry
+(counters under this cache's scope, plus per-endpoint counters and a
+miss-compute latency histogram), so one process-wide snapshot covers
+every cache; the legacy :attr:`stats` dict remains as a thin view.
 """
 
 from __future__ import annotations
@@ -11,19 +16,46 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
+from ..obs.metrics import Scope, get_registry
+
 _MISSING = object()
 
 
 class LruCache:
-    """Bounded mapping with least-recently-used eviction."""
+    """Bounded mapping with least-recently-used eviction.
 
-    def __init__(self, maxsize: int = 4096) -> None:
+    Args:
+        maxsize: entry capacity (strictly positive).
+        metrics: a registry :class:`~repro.obs.metrics.Scope` for this
+            cache's counters; defaults to a fresh ``cache`` scope on the
+            process registry.  The owning service passes a child of its
+            own scope so the whole service reads as one subtree.
+    """
+
+    def __init__(self, maxsize: int = 4096,
+                 metrics: "Scope | None" = None) -> None:
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
         self._maxsize = maxsize
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        self._metrics = metrics if metrics is not None \
+            else get_registry().scope("cache")
+        self._hits = self._metrics.counter("hits")
+        self._misses = self._metrics.counter("misses")
+        self._size = self._metrics.gauge("size")
+
+    # Legacy attribute views (``cache.hits`` predates the registry).
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def metrics(self) -> Scope:
+        return self._metrics
 
     def __len__(self) -> int:
         return len(self._data)
@@ -31,12 +63,19 @@ class LruCache:
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data
 
-    def get(self, key: Hashable, default: Any = None) -> Any:
+    def _record(self, hit: bool, endpoint: "str | None") -> None:
+        (self._hits if hit else self._misses).inc()
+        if endpoint is not None:
+            self._metrics.counter(
+                f"endpoint.{endpoint}.{'hits' if hit else 'misses'}").inc()
+
+    def get(self, key: Hashable, default: Any = None,
+            endpoint: "str | None" = None) -> Any:
         value = self._data.get(key, _MISSING)
         if value is _MISSING:
-            self.misses += 1
+            self._record(False, endpoint)
             return default
-        self.hits += 1
+        self._record(True, endpoint)
         self._data.move_to_end(key)
         return value
 
@@ -45,23 +84,35 @@ class LruCache:
         self._data.move_to_end(key)
         while len(self._data) > self._maxsize:
             self._data.popitem(last=False)
+        self._size.set(len(self._data))
 
-    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
-        """Return the cached value, computing and storing it on a miss."""
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any],
+                       endpoint: "str | None" = None) -> Any:
+        """Return the cached value, computing and storing it on a miss.
+
+        ``endpoint`` additionally buckets the hit/miss under
+        ``endpoint.<name>.*`` counters, and the miss's compute time is
+        observed into the ``miss_compute_seconds`` histogram.
+        """
         value = self._data.get(key, _MISSING)
         if value is not _MISSING:
-            self.hits += 1
+            self._record(True, endpoint)
             self._data.move_to_end(key)
             return value
-        self.misses += 1
-        value = compute()
+        self._record(False, endpoint)
+        with self._metrics.time("miss_compute_seconds"):
+            value = compute()
         self.put(key, value)
         return value
 
     def clear(self) -> None:
         self._data.clear()
+        self._size.set(0)
 
     @property
     def stats(self) -> dict[str, int]:
-        return {"size": len(self._data), "hits": self.hits,
-                "misses": self.misses}
+        # One scope snapshot (one registry-lock acquisition), so hits
+        # and misses are a consistent cut — not two racing reads.
+        snap = self._metrics.snapshot()
+        return {"size": len(self._data), "hits": snap.get("hits", 0),
+                "misses": snap.get("misses", 0)}

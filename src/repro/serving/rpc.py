@@ -62,6 +62,8 @@ from ..core.store import (
     OntologyDelta,
 )
 from ..errors import ReproError
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.tracing import TraceContext, current_context, get_tracer
 from .aio import SERVING_METHODS, AsyncOntologyService
 
 _MAX_FRAME = 64 * 1024 * 1024  # sanity bound on one message
@@ -332,7 +334,8 @@ class RpcServer:
 
     def __init__(self, service: AsyncOntologyService,
                  host: str = "127.0.0.1", port: int = 0,
-                 max_inflight: int = 64) -> None:
+                 max_inflight: int = 64,
+                 registry: "MetricsRegistry | None" = None) -> None:
         if max_inflight <= 0:
             raise ReproError("max_inflight must be positive")
         self._service = service
@@ -340,6 +343,16 @@ class RpcServer:
         self._port = port
         self._max_inflight = max_inflight
         self._server: "asyncio.AbstractServer | None" = None
+        registry = registry if registry is not None else get_registry()
+        self._metrics = registry.scope("rpc.server")
+        self._connections = self._metrics.counter("connections")
+        self._frames_in = self._metrics.counter("frames_in")
+        self._frames_out = self._metrics.counter("frames_out")
+        self._bytes_in = self._metrics.counter("bytes_in")
+        self._bytes_out = self._metrics.counter("bytes_out")
+        self._errors = self._metrics.counter("errors")
+        self._negotiated_binary = self._metrics.counter("negotiated_binary")
+        self._inflight = self._metrics.gauge("inflight")
 
     async def start(self) -> "tuple[str, int]":
         """Bind and listen; returns the bound (host, port)."""
@@ -376,12 +389,15 @@ class RpcServer:
         # as unbounded tasks here.
         inflight = asyncio.Semaphore(self._max_inflight)
         pending: "set[asyncio.Task]" = set()
+        self._connections.inc()
 
         async def handle_and_release(frame: bytes) -> None:
+            self._inflight.add(1)
             try:
                 await self._handle_request(frame, writer, write_lock,
                                            wire_state)
             finally:
+                self._inflight.add(-1)
                 inflight.release()
 
         try:
@@ -392,6 +408,8 @@ class RpcServer:
                     break  # client vanished mid-frame or sent garbage
                 if frame is None:
                     break
+                self._frames_in.inc()
+                self._bytes_in.inc(len(frame))
                 await inflight.acquire()
                 task = asyncio.ensure_future(handle_and_release(frame))
                 pending.add(task)
@@ -420,17 +438,32 @@ class RpcServer:
             method = request.get("method")
             args = decode(request.get("args", []))
             kwargs = decode(request.get("kwargs", {}))
-            if method == "negotiate":
-                result = negotiate_result(wire_state, kwargs.get("codec"))
-            elif method not in SERVING_METHODS:
-                raise ReproError(f"unknown RPC method {method!r}")
-            else:
-                result = await getattr(self._service, method)(*args,
-                                                              **kwargs)
+            # Caller's trace context, an optional request-envelope key —
+            # absent/malformed (old or untraced peer) means "untraced".
+            ctx = TraceContext.from_wire(request.get("trace"))
+            # Unknown method names come off the wire: fold them into one
+            # bucket so a misbehaving peer can't mint unbounded metrics.
+            known = method == "negotiate" or method in SERVING_METHODS
+            label = method if known else "unknown"
+            with get_tracer().span(f"rpc.server.{label}", parent=ctx):
+                with self._metrics.time(f"method.{label}.seconds"):
+                    if method == "negotiate":
+                        result = negotiate_result(wire_state,
+                                                  kwargs.get("codec"))
+                        if wire_state["binary"]:
+                            self._negotiated_binary.inc()
+                    elif method not in SERVING_METHODS:
+                        raise ReproError(f"unknown RPC method {method!r}")
+                    else:
+                        result = await getattr(self._service, method)(
+                            *args, **kwargs)
         except Exception as exc:
             error = {"type": type(exc).__name__, "message": str(exc)}
+            self._errors.inc()
         payload = encode_envelope(request_id, result, error,
                                   binary=wire_state["binary"])
+        self._frames_out.inc()
+        self._bytes_out.inc(len(payload))
         async with write_lock:
             try:
                 write_frame(writer, payload)
@@ -447,24 +480,35 @@ class RpcClient:
     in-flight requests matched by id)."""
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter) -> None:
+                 writer: asyncio.StreamWriter,
+                 registry: "MetricsRegistry | None" = None) -> None:
         self._reader = reader
         self._writer = writer
         self._next_id = 0
         self._pending: "dict[int, asyncio.Future]" = {}
         self._receiver = asyncio.ensure_future(self._receive_loop())
         self._write_lock = asyncio.Lock()
+        registry = registry if registry is not None else get_registry()
+        self._metrics = registry.scope("rpc.client")
+        self._frames_in = self._metrics.counter("frames_in")
+        self._frames_out = self._metrics.counter("frames_out")
+        self._bytes_in = self._metrics.counter("bytes_in")
+        self._bytes_out = self._metrics.counter("bytes_out")
+        self._errors = self._metrics.counter("errors")
+        self._inflight = self._metrics.gauge("inflight")
         #: The negotiated response encoding ("json" until a successful
         #: ``negotiate`` round trip flips it).
         self.wire = "json"
 
     @classmethod
     async def connect(cls, host: str, port: int,
-                      wire: str = "json") -> "RpcClient":
+                      wire: str = "json",
+                      registry: "MetricsRegistry | None" = None
+                      ) -> "RpcClient":
         if wire not in ("json", "binary"):
             raise ReproError(f"unknown wire encoding {wire!r}")
         reader, writer = await asyncio.open_connection(host, port)
-        client = cls(reader, writer)
+        client = cls(reader, writer, registry=registry)
         if wire == "binary":
             await client.negotiate()
         return client
@@ -497,13 +541,32 @@ class RpcClient:
         self._next_id += 1
         future = loop.create_future()
         self._pending[request_id] = future
-        payload = _canonical_bytes(
-            {"id": request_id, "method": method,
-             "args": encode(list(args)), "kwargs": encode(kwargs)})
-        async with self._write_lock:
-            write_frame(self._writer, payload)
-            await self._writer.drain()
-        return await future
+        with get_tracer().span(f"rpc.client.{method}") as span:
+            envelope = {"id": request_id, "method": method,
+                        "args": encode(list(args)),
+                        "kwargs": encode(kwargs)}
+            if span is not None:
+                # The client span is the server span's parent: its ids
+                # ride the request envelope (requests are always JSON,
+                # so one field layout covers both wire formats; an
+                # untraced request carries no key at all and an old
+                # server ignores the extra one).
+                envelope["trace"] = span.ctx.to_wire()
+            payload = _canonical_bytes(envelope)
+            self._inflight.add(1)
+            try:
+                with self._metrics.time(f"method.{method}.seconds"):
+                    async with self._write_lock:
+                        write_frame(self._writer, payload)
+                        await self._writer.drain()
+                    self._frames_out.inc()
+                    self._bytes_out.inc(len(payload))
+                    return await future
+            except RpcError:
+                self._errors.inc()
+                raise
+            finally:
+                self._inflight.add(-1)
 
     async def _receive_loop(self) -> None:
         error: "BaseException | None" = None
@@ -512,6 +575,8 @@ class RpcClient:
                 frame = await read_frame(self._reader)
                 if frame is None:
                     raise ReproError("RPC connection closed by server")
+                self._frames_in.inc()
+                self._bytes_in.inc(len(frame))
                 body = loads_envelope(frame)
                 future = self._pending.pop(body.get("id"), None)
                 if future is None or future.done():

@@ -32,6 +32,7 @@ from ..apps.tagging import DocumentTagger, TaggedDocument
 from ..core.ontology import AttentionOntology, NodeType
 from ..core.store import EdgeType, OntologyDelta, OntologyStore
 from ..errors import DeltaGapError, ReproError
+from ..obs.metrics import MetricsRegistry, get_registry
 from .cache import LruCache
 
 
@@ -51,6 +52,9 @@ class OntologyService:
         profiler_options: :class:`UserProfiler` keyword arguments
             (decay/discounts).
         tracker_options: :class:`StoryTracker` keyword arguments.
+        registry: metrics registry holding this replica's ``serving``
+            scope (counters, latency histograms, and the cache's child
+            scope); defaults to the process registry.
     """
 
     def __init__(self, ontology: "AttentionOntology | OntologyStore",
@@ -59,7 +63,8 @@ class OntologyService:
                  max_rewrites: int = 5, max_recommendations: int = 5,
                  cache_size: int = 4096,
                  profiler_options: "dict[str, Any] | None" = None,
-                 tracker_options: "dict[str, Any] | None" = None) -> None:
+                 tracker_options: "dict[str, Any] | None" = None,
+                 registry: "MetricsRegistry | None" = None) -> None:
         if isinstance(ontology, OntologyStore):
             ontology = AttentionOntology(store=ontology)
         self._ontology = ontology
@@ -69,19 +74,23 @@ class OntologyService:
         self._tagger_options = dict(tagger_options or {})
         self._max_rewrites = max_rewrites
         self._max_recommendations = max_recommendations
-        self._cache = LruCache(cache_size)
+        registry = registry if registry is not None else get_registry()
+        self._metrics = registry.scope("serving")
+        self._cache = LruCache(cache_size,
+                               metrics=self._metrics.scope("cache"))
         self._tagger: "DocumentTagger | None" = None
         self._understander: "QueryUnderstander | None" = None
         self._built_version = -1
-        self._documents_tagged = 0
-        self._queries_interpreted = 0
-        self._deltas_applied = 0
+        self._documents_tagged = self._metrics.counter("documents_tagged")
+        self._queries_interpreted = \
+            self._metrics.counter("queries_interpreted")
+        self._deltas_applied = self._metrics.counter("deltas_applied")
         self._profiler_options = dict(profiler_options or {})
         self._tracker_options = dict(tracker_options or {})
         self._profiler: "UserProfiler | None" = None
         self._tracker: "StoryTracker | None" = None
         self._profile_revisions: dict[str, int] = {}
-        self._events_tracked = 0
+        self._events_tracked = self._metrics.counter("events_tracked")
 
     # ------------------------------------------------------------------
     # replica state
@@ -117,7 +126,7 @@ class OntologyService:
                 continue
             self._store.apply_delta(delta)
             applied += 1
-            self._deltas_applied += 1
+            self._deltas_applied.inc()
         return applied
 
     def _ensure_current(self) -> None:
@@ -155,22 +164,24 @@ class OntologyService:
         """
         tagger = self._get_tagger()
         out: list[TaggedDocument] = []
-        for doc in documents:
-            if isinstance(doc, tuple):
-                doc_id, title_tokens, sentences = doc
-            else:
-                doc_id, title_tokens, sentences = (
-                    doc.doc_id, doc.title_tokens, doc.sentences
-                )
-            out.append(tagger.tag(doc_id, title_tokens, sentences))
-        self._documents_tagged += len(out)
+        with self._metrics.time("tag_seconds"):
+            for doc in documents:
+                if isinstance(doc, tuple):
+                    doc_id, title_tokens, sentences = doc
+                else:
+                    doc_id, title_tokens, sentences = (
+                        doc.doc_id, doc.title_tokens, doc.sentences
+                    )
+                out.append(tagger.tag(doc_id, title_tokens, sentences))
+        self._documents_tagged.inc(len(out))
         return out
 
     def interpret_queries(self, queries: Sequence[str]) -> list[QueryAnalysis]:
         """Analyze a batch of raw query strings."""
         self._ensure_current()
-        out = [self._understander.analyze(query) for query in queries]
-        self._queries_interpreted += len(out)
+        with self._metrics.time("query_seconds"):
+            out = [self._understander.analyze(query) for query in queries]
+        self._queries_interpreted.inc(len(out))
         return out
 
     # ------------------------------------------------------------------
@@ -184,7 +195,8 @@ class OntologyService:
         key = ("nbhd", self._store.version, node_id, depth,
                edge_type.value if edge_type is not None else None)
         return self._cache.get_or_compute(
-            key, lambda: self._expand(node_id, depth, edge_type)
+            key, lambda: self._expand(node_id, depth, edge_type),
+            endpoint="neighborhood",
         )
 
     def _expand(self, node_id: str, depth: int,
@@ -217,6 +229,7 @@ class OntologyService:
                 c.phrase
                 for c in self._ontology.concepts_of_entity(entity_phrase)
             )),
+            endpoint="concepts_of_entity",
         )
 
     # ------------------------------------------------------------------
@@ -253,6 +266,7 @@ class OntologyService:
             key,
             lambda: tuple(self._get_profiler().infer(user_id)
                           .top(self._ontology, k=k, node_type=node_type)),
+            endpoint="user_interests",
         )
 
     def recommend_for_user(self, user_id: str, k: int = 5
@@ -264,6 +278,7 @@ class OntologyService:
         return self._cache.get_or_compute(
             key,
             lambda: tuple(self._get_profiler().recommend_tags(user_id, k=k)),
+            endpoint="recommend_for_user",
         )
 
     # ------------------------------------------------------------------
@@ -280,17 +295,18 @@ class OntologyService:
         events = list(events)
         tracker = self._get_tracker()
         tracker.add_events(events)
-        self._events_tracked += len(events)
+        self._events_tracked.inc(len(events))
         return len(tracker)
 
     def follow_ups(self, read_phrase: str, limit: int = 3) -> tuple:
         """Fresh unseen events in the story of a just-read event; cached
         per tracker revision (the number of events routed so far)."""
-        key = ("fup", self._events_tracked, read_phrase, limit)
+        key = ("fup", self._events_tracked.value, read_phrase, limit)
         return self._cache.get_or_compute(
             key,
             lambda: tuple(self._get_tracker().follow_ups(read_phrase,
                                                          limit=limit)),
+            endpoint="follow_ups",
         )
 
     # ------------------------------------------------------------------
@@ -303,16 +319,26 @@ class OntologyService:
         used and a count (possibly 0) afterwards — ``is not None``
         rather than truthiness, so an instantiated-but-empty tracker is
         distinguishable from no tracker at all.
+
+        The counters are one scope snapshot (a single registry-lock
+        acquisition), so the dict is a consistent cut — this method is
+        the legacy view over the :mod:`repro.obs` registry.
         """
+        snap = self._metrics.snapshot()
         return {
             "version": self._store.version,
-            "documents_tagged": self._documents_tagged,
-            "queries_interpreted": self._queries_interpreted,
-            "deltas_applied": self._deltas_applied,
+            "documents_tagged": snap.get("documents_tagged", 0),
+            "queries_interpreted": snap.get("queries_interpreted", 0),
+            "deltas_applied": snap.get("deltas_applied", 0),
             "profiles": len(self._profile_revisions),
-            "events_tracked": self._events_tracked,
+            "events_tracked": snap.get("events_tracked", 0),
             "stories_tracked": (len(self._tracker)
                                 if self._tracker is not None else None),
             "cache": self._cache.stats,
             "ontology": self._store.stats(),
         }
+
+    @property
+    def metrics(self):
+        """This replica's ``serving`` registry scope."""
+        return self._metrics

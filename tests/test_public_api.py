@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.serving",
     "repro.cluster",
     "repro.replication",
+    "repro.obs",
     "repro.baselines",
     "repro.eval",
 ]

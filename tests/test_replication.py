@@ -545,6 +545,76 @@ class TestPublisherFollower:
                 assert follower.recoveries == 1
                 assert follower.store.stats() == producer.stats()
 
+    def test_follower_lag_gauges_reflect_induced_lag(self,
+                                                     producer_and_deltas,
+                                                     log_dir):
+        """Observability satellite: the publisher's per-follower lag
+        gauges — versions behind the head and the age (on the registry's
+        injectable clock) of the oldest unconsumed publish — track
+        induced lag exactly and return to zero once the follower
+        catches up."""
+        from repro.obs import MetricsRegistry
+
+        class _Clock:
+            now = 100.0
+
+            def __call__(self):
+                return self.now
+
+        producer, deltas = producer_and_deltas
+        clock = _Clock()
+        registry = MetricsRegistry(clock=clock)
+        log = DeltaLog(log_dir)
+        log.append(deltas[0])
+        head = log.last_version
+        with PublisherThread(log, registry=registry) as publisher:
+            host, port = publisher.address
+            with SyncLogClient.connect(host, port,
+                                       follower_id="lagger") as lagger:
+                lagger.fetch(0)     # registers at position 0
+                lagger.fetch(head)  # ...then reports itself caught up
+                snap = registry.snapshot()
+                assert snap["replication.follower.lagger.lag_versions"] == 0
+                assert snap["replication.follower.lagger.lag_seconds"] == 0.0
+                assert snap["replication.gc_floor"] == head
+                # Induce lag: two publishes age on the fake clock while
+                # the follower fetches nothing.
+                _Clock.now += 5.0
+                publisher.publish([deltas[1]])  # stamped at t=105
+                _Clock.now += 7.0
+                publisher.publish([deltas[2]])  # stamped at t=112
+                _Clock.now += 3.0               # readout time t=115
+                # Any follower interaction refreshes every lag gauge —
+                # here a second follower registering at the head.
+                with SyncLogClient.connect(host, port,
+                                           follower_id="probe") as probe:
+                    probe.register(since=log.last_version)
+                    snap = registry.snapshot()
+                    assert snap["replication.followers"] == 2
+                    assert snap[
+                        "replication.follower.lagger.lag_versions"] == \
+                        log.last_version - head
+                    # Oldest unconsumed publish is deltas[1] at t=105.
+                    assert snap[
+                        "replication.follower.lagger.lag_seconds"] == \
+                        pytest.approx(10.0)
+                    assert snap[
+                        "replication.follower.probe.lag_versions"] == 0
+                    # The slowest registered follower pins the GC floor.
+                    assert snap["replication.gc_floor"] == head
+                    # Catching up zeroes both gauges again.
+                    assert len(lagger.fetch(head)) == 2
+                    lagger.fetch(log.last_version)
+                    snap = registry.snapshot()
+                    assert snap[
+                        "replication.follower.lagger.lag_versions"] == 0
+                    assert snap[
+                        "replication.follower.lagger.lag_seconds"] == 0.0
+                    assert snap["replication.gc_floor"] == log.last_version
+                    assert snap["replication.publishes"] == 2
+                    assert snap["replication.published_deltas"] == 2
+                    assert snap["replication.fetches"] >= 3
+
 
 # ----------------------------------------------------------------------
 # remote shard cluster (the end-to-end byte-identity oracle)
