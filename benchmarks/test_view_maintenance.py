@@ -1,0 +1,164 @@
+"""Incremental view maintenance cost (DESIGN.md §13).
+
+The refresh-cost invariant behind the maintained-view layer: folding a
+delta into the serving views costs time proportional to the **delta's
+row fan-in**, never to the corpus (or the cache working set, which the
+old invalidate-and-recompute design churned on every version bump).
+
+Measured here, on two corpus sizes (~4x apart):
+
+* per-delta ``refresh()`` latency for small deltas vs ~10x-larger
+  deltas on the same corpus (``delta_scaling_ratio`` — should grow);
+* the same small-delta refresh on the small corpus vs the large corpus
+  (``corpus_scaling_ratio`` — should stay flat);
+* full ``rehydrate()`` (from-scratch rebuild, the repair path) on both
+  corpora — the cost incremental maintenance avoids paying per delta;
+* ``views_identical`` — after the whole stream, every maintained view
+  must equal its from-scratch recompute ``rpc.dumps``-byte-identically;
+  CI fails the job when this flag is missing or false.
+
+Everything lands in the ``incremental_views`` section of
+``results/BENCH_tagging.json``.  Identity is the hard gate; timing
+assertions arm only on >=2 cores (like the other throughput gates) and
+with generous margins — the *recorded* ratios are the trackable signal.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+from repro.core.ontology import AttentionOntology, EdgeType, NodeType
+from repro.serving import OntologyService
+from repro.serving.rpc import dumps
+
+from bench_common import SCALE, write_json
+
+_ADJS = ["solar", "lunar", "hyper", "rapid", "silent", "crimson",
+         "golden", "arctic", "neon", "quiet"]
+_NOUNS = ["cars", "movies", "phones", "novels", "recipes", "trails",
+          "startups", "satellites", "teams", "gadgets"]
+
+
+def _commit_growth(onto: AttentionOntology, concepts: int, tag: str):
+    """One pipeline-shaped delta: ``concepts`` concepts, each with three
+    entities, isA edges and an alias (~8 node/edge/alias ops per
+    concept, deterministic phrasing)."""
+    onto.begin_delta(tag)
+    for index in range(concepts):
+        adj = _ADJS[(len(onto.store) + index) % len(_ADJS)]
+        noun = _NOUNS[(len(onto.store) * 7 + index) % len(_NOUNS)]
+        stem = f"{adj} {noun} {tag} {index}"
+        concept = onto.add_node(NodeType.CONCEPT, stem)
+        onto.add_alias(concept.node_id, f"best {stem}")
+        for sub in range(3):
+            entity = onto.add_node(NodeType.ENTITY, f"{stem} model {sub}")
+            onto.add_edge(concept.node_id, entity.node_id, EdgeType.ISA)
+    return onto.commit_delta()
+
+
+def _build_service(corpus_concepts: int, tag: str):
+    """Producer + serving replica grown to ``corpus_concepts`` concepts
+    through the delta stream (the replica's views fold every batch)."""
+    producer = AttentionOntology()
+    service = OntologyService(producer)
+    grown = 0
+    batch = 25
+    while grown < corpus_concepts:
+        step = min(batch, corpus_concepts - grown)
+        service.refresh([_commit_growth(producer, step, f"{tag}-b{grown}")])
+        grown += step
+    return producer, service
+
+
+def _timed_refreshes(producer, service, rounds: int, concepts: int,
+                     tag: str) -> "list[float]":
+    out = []
+    for round_no in range(rounds):
+        delta = _commit_growth(producer, concepts, f"{tag}-r{round_no}")
+        start = time.perf_counter()
+        service.refresh([delta])
+        out.append(time.perf_counter() - start)
+    return out
+
+
+def _ms(seconds: float) -> float:
+    return round(seconds * 1e3, 4)
+
+
+def test_view_maintenance_cost_tracks_delta_not_corpus():
+    scale = 1 if SCALE == "small" else 3
+    small_concepts, large_concepts = 60 * scale, 240 * scale
+    rounds = 20 if SCALE == "small" else 40
+
+    producer_small, service_small = _build_service(small_concepts, "small")
+    producer_large, service_large = _build_service(large_concepts, "large")
+    small_nodes = len(producer_small.store)
+    large_nodes = len(producer_large.store)
+
+    # --- small vs large deltas on the small corpus -------------------
+    tiny = _timed_refreshes(producer_small, service_small, rounds, 1, "tiny")
+    big = _timed_refreshes(producer_small, service_small, rounds // 4,
+                           10, "big")
+    tiny_ms = statistics.median(tiny) * 1e3
+    big_ms = statistics.median(big) * 1e3
+    delta_ratio = big_ms / max(tiny_ms, 1e-9)
+
+    # --- the same small delta on the 4x corpus -----------------------
+    tiny_large = _timed_refreshes(producer_large, service_large, rounds,
+                                  1, "tiny")
+    tiny_large_ms = statistics.median(tiny_large) * 1e3
+    corpus_ratio = tiny_large_ms / max(tiny_ms, 1e-9)
+
+    # --- the cost incremental maintenance avoids: full rebuild -------
+    rebuild_ms = {}
+    for label, service in (("small", service_small),
+                           ("large", service_large)):
+        start = time.perf_counter()
+        service.views.rehydrate(service.version, count=False)
+        rebuild_ms[label] = _ms(time.perf_counter() - start)
+
+    # --- identity: maintained views == from-scratch recompute --------
+    views_identical = True
+    for service in (service_small, service_large):
+        for _name, view in service.views.items():
+            if dumps(view.materialized()) != dumps(view.recompute()):
+                views_identical = False
+
+    view_stats = service_large.stats()["views"]
+    write_json("BENCH_tagging", {
+        "incremental_views": {
+            "views_identical": views_identical,
+            "corpus_nodes": {"small": small_nodes, "large": large_nodes},
+            "refresh_ms": {
+                "small_delta": round(tiny_ms, 4),
+                "large_delta": round(big_ms, 4),
+                "small_delta_on_large_corpus": round(tiny_large_ms, 4),
+            },
+            "delta_scaling_ratio": round(delta_ratio, 2),
+            "corpus_scaling_ratio": round(corpus_ratio, 2),
+            "rebuild_ms": rebuild_ms,
+            "deltas_folded": view_stats["deltas_folded"],
+            "rows_folded": view_stats["rows_folded"],
+            "maintain_p95_ms": round(view_stats["maintain_p95"] * 1e3, 4),
+        },
+    })
+    print(f"\nviews: small delta {tiny_ms:.3f}ms, 10x delta {big_ms:.3f}ms "
+          f"(x{delta_ratio:.1f}); same delta on 4x corpus "
+          f"{tiny_large_ms:.3f}ms (x{corpus_ratio:.2f}); rebuild "
+          f"{rebuild_ms['large']:.1f}ms")
+
+    # Identity is structural, never timing-gated.
+    assert views_identical, \
+        "a maintained view diverged from its from-scratch recompute"
+    # Timing gates arm only off contended single cores, with slack: a
+    # delta fold must stay far cheaper than the rebuild it replaces, and
+    # corpus growth must not scale fold cost the way it scales rebuilds.
+    if (os.cpu_count() or 1) >= 2:
+        assert tiny_large_ms < rebuild_ms["large"], \
+            (f"small-delta refresh {tiny_large_ms:.3f}ms not cheaper than "
+             f"full rebuild {rebuild_ms['large']:.3f}ms")
+        assert corpus_ratio < 3.0, \
+            (f"fold cost scaled with the corpus (x{corpus_ratio:.2f} on a "
+             f"4x corpus) — refresh is no longer proportional to the delta")

@@ -76,6 +76,11 @@ class UserProfiler:
             self._profiles[user_id] = InterestProfile(user_id)
         return self._profiles[user_id]
 
+    def users(self) -> list[str]:
+        """Ids of every user with a profile, in first-seen order (the
+        maintained interests view enumerates these when rehydrating)."""
+        return list(self._profiles)
+
     # ------------------------------------------------------------------
     def _resolve(self, phrase: str) -> "str | None":
         for node_type in (NodeType.CONCEPT, NodeType.EVENT, NodeType.TOPIC,

@@ -128,10 +128,16 @@ class StoryTracker:
             self._entity_index[entity].add(story_id)
         return best_story
 
-    def add_events(self, events: "list[EventRecord]") -> None:
-        """Route a batch, in chronological order."""
+    def add_events(self, events: "list[EventRecord]"
+                   ) -> "list[tuple[int, EventRecord]]":
+        """Route a batch, in chronological order; returns the routing
+        decisions ``(story_id, event)`` in routing order (the maintained
+        follow-ups view folds exactly this assignment stream)."""
+        assignments: "list[tuple[int, EventRecord]]" = []
         for event in sorted(events, key=lambda e: (e.day, e.phrase)):
-            self.add_event(event)
+            story = self.add_event(event)
+            assignments.append((story.story_id, event))
+        return assignments
 
     # ------------------------------------------------------------------
     def story_of(self, phrase: str) -> "Story | None":

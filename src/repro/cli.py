@@ -137,6 +137,15 @@ def _print_obs_status(status: dict) -> None:
           f"process={tracer.get('process')} "
           f"trace_dir={tracer.get('trace_dir')} "
           f"spans_written={tracer.get('spans_written')}")
+    views = status.get("views")
+    if views:
+        print(f"views: registered={views.get('views')} "
+              f"version={views.get('version')} "
+              f"deltas_folded={views.get('deltas_folded')} "
+              f"rows_folded={views.get('rows_folded')} "
+              f"rehydrations={views.get('rehydrations')} "
+              f"stale={views.get('stale')} "
+              f"maintain_p95={views.get('maintain_p95'):.6g}")
     print("metrics:")
     for name, value in sorted((status.get("metrics") or {}).items()):
         print(f"  {name:52s} {_format_metric(value)}")

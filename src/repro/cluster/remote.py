@@ -735,6 +735,11 @@ class RemoteClusterService:
         return self._service.ontology
 
     @property
+    def views(self):
+        """The parent serving facade's maintained-view catalog."""
+        return self._service.views
+
+    @property
     def replicas(self) -> "list[RemoteShardReplica]":
         return list(self._replicas)
 
@@ -744,16 +749,23 @@ class RemoteClusterService:
 
     def _advance_parent(self) -> int:
         """Pull new batches from the shared log into the parent's
-        routing-only router (ring flips apply in place)."""
+        routing-only router (ring flips apply in place), and fold them
+        into the front service's maintained views — the parent is the
+        only process that sees the actual delta objects."""
         try:
-            return _advance(self._router,
-                            self._client.fetch(self._router.version))
+            deltas = list(self._client.fetch(self._router.version))
+            advanced = _advance(self._router, deltas)
         except DeltaGapError:
             # The log GC'd past the parent's routing state: rebuild it
-            # (workers re-bootstrap themselves on their own gap).
+            # (workers re-bootstrap themselves on their own gap).  The
+            # view catalog's version now trails the router's; the next
+            # view-backed read rehydrates it from the scatter view.
             self._router, _ = _bootstrap_shard(
                 self._client, self._router.num_shards, None)
             return 0
+        for delta in deltas:
+            self._service.fold_views(delta)
+        return advanced
 
     def sync(self) -> int:
         """Pull new batches from the shared log and fan the catch-up
@@ -832,6 +844,7 @@ class RemoteClusterService:
                     "ring-epoch record reaches it")
             publish([delta])
             plan = self._router.apply_ring(delta)
+            self._service.fold_views(delta)
         self._reconcile(plan, recovered)
         if delta is not None:
             self._deltas_applied += 1

@@ -136,6 +136,12 @@ class ClusterService:
         return self._service.ontology
 
     @property
+    def views(self):
+        """The serving facade's maintained-view catalog (per-shard
+        posting fragments live on each replica's own catalog)."""
+        return self._service.views
+
+    @property
     def router(self) -> ShardRouter:
         return self._router
 
@@ -176,6 +182,10 @@ class ClusterService:
             if sub is not None:
                 replica.apply(sub)
         self._router.fast_forward(snapshot["store_version"])
+        # The fold delta's versions do not align with the snapshot's
+        # stream version line; rebuild the front views from the hydrated
+        # shards and adopt the stream version directly.
+        self._service.fast_forward_views(snapshot["store_version"])
 
     def refresh(self, deltas: "Iterable[OntologyDelta]") -> int:
         """Route update batches to their shards; returns batches applied.
@@ -196,25 +206,29 @@ class ClusterService:
                 # perform the same live rebalance the recording cluster
                 # did, so replay reproduces the rebalanced topology.
                 self._apply_ring_delta(delta)
-                applied += 1
-                self._deltas_applied += 1
-                continue
-            sub_deltas = self._router.split(delta)
-            for replica, sub in zip(self._replicas, sub_deltas):
-                if sub is None:
-                    continue
-                try:
-                    replica.apply(sub)
-                except Exception as exc:
-                    # The router already advanced past this batch; like a
-                    # single store's mid-replay failure (see
-                    # OntologyStore.apply_delta), the cluster is now
-                    # inconsistent and must be rebuilt, not retried.
-                    raise OntologyError(
-                        f"shard {replica.shard_id} failed mid-refresh "
-                        f"({exc}); cluster replicas are inconsistent — "
-                        "rebuild from a snapshot plus a clean delta stream"
-                    ) from exc
+            else:
+                sub_deltas = self._router.split(delta)
+                for replica, sub in zip(self._replicas, sub_deltas):
+                    if sub is None:
+                        continue
+                    try:
+                        replica.apply(sub)
+                    except Exception as exc:
+                        # The router already advanced past this batch;
+                        # like a single store's mid-replay failure (see
+                        # OntologyStore.apply_delta), the cluster is now
+                        # inconsistent and must be rebuilt, not retried.
+                        raise OntologyError(
+                            f"shard {replica.shard_id} failed mid-refresh "
+                            f"({exc}); cluster replicas are inconsistent — "
+                            "rebuild from a snapshot plus a clean delta "
+                            "stream"
+                        ) from exc
+            # Advance the front-level maintained views (interest lists,
+            # follow-up sequences) from the same delta the shards
+            # consumed; per-shard posting fragments already advanced
+            # inside replica.apply().
+            self._service.fold_views(delta)
             applied += 1
             self._deltas_applied += 1
         return applied
@@ -243,6 +257,7 @@ class ClusterService:
                         self._router.epoch + 1)
         delta = ring_delta(self.version, ring)
         self._apply_ring_delta(delta)
+        self._service.fold_views(delta)
         self._deltas_applied += 1
         return delta
 

@@ -44,9 +44,12 @@ from ..core.store import (
     OntologyStore,
     creation_order,
 )
+from ..core.zsets import delta_to_zsets, token_rows
 from ..errors import OntologyError
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.tracing import get_tracer
+from ..views import ShardPostingsFragment, ViewCatalog
+from ..views.zset import ZSet
 from .ring import TransferSlice
 from .router import ShardRouter
 
@@ -71,6 +74,16 @@ class ShardReplica:
         # survives a rebalance interleaving adopted and local edges.
         self._edge_pos: dict[tuple, int] = {}
         self.deltas_applied = 0
+        # Per-shard maintained views (DESIGN.md §13): the posting
+        # fragment holds this shard's *owned* slice of the inverted
+        # index, advanced from every routed sub-delta — so scatter reads
+        # merge maintained fragments instead of re-filtering the store
+        # per read.  Ghost ops lower to zero posting rows, keeping the
+        # fragment owned-only by construction.
+        self.views = ViewCatalog(
+            metrics=get_registry().scope(f"shard.{shard_id}.views"))
+        self._postings = self.views.register(
+            "tag_postings", ShardPostingsFragment(self))
 
     @staticmethod
     def _edge_key(source: str, target: str,
@@ -105,6 +118,8 @@ class ShardReplica:
                 self._ghosts.add(op["node_id"])
             else:
                 self._owned[NodeType(op["type"])].add(op["node_id"])
+        self.views.advance(delta_to_zsets(sub_delta),
+                           version=self.store.version)
         self.deltas_applied += 1
 
     def alias_claim(self, key: str,
@@ -235,10 +250,20 @@ class ShardReplica:
                 stage=f"rebalance-epoch-{transfer.epoch}",
                 base_version=base, version=base + len(ops), ops=ops))
         # Promote: adopted nodes are owned here even when the node op
-        # was elided because a ghost record already existed.
+        # was elided because a ghost record already existed.  The
+        # posting fragment gains every adopted node's token rows — the
+        # elided-ghost case emitted none during apply() (ghosts never
+        # post), and re-adding an existing row is idempotent.
+        promoted = ZSet()
         for node in transfer.nodes:
             self._ghosts.discard(node.node_id)
             self._owned[node.node_type].add(node.node_id)
+            for row in token_rows(node.node_type.value, node.phrase,
+                                  node.node_id):
+                promoted.add(row)
+        if promoted:
+            self.views.advance({"tokens": promoted},
+                               version=self.store.version)
         for key, per_node in transfer.alias_claims.items():
             claims = self._alias_claims.setdefault(key, {})
             for node_id, pos in per_node.items():
@@ -252,14 +277,24 @@ class ShardReplica:
         reads resolve through the new owner.  Returns how many were
         owned here."""
         demoted = 0
+        retracted = ZSet()
         for node_id in node_ids:
             for owned in self._owned.values():
                 if node_id in owned:
                     owned.discard(node_id)
                     demoted += 1
+                    node = self.store.node(node_id)
+                    for row in token_rows(node.node_type.value,
+                                          node.phrase, node_id):
+                        retracted.add(row, -1)
                     break
             if node_id in self.store:
                 self._ghosts.add(node_id)
+        if retracted:
+            # Weight -1 rows: the Z-set retraction half of the algebra —
+            # moved-away nodes leave the posting fragment immediately.
+            self.views.advance({"tokens": retracted},
+                               version=self.store.version)
         return demoted
 
     # ------------------------------------------------------------------
@@ -280,17 +315,14 @@ class ShardReplica:
         return self.store.find(node_type, phrase)
 
     def owned_token_ids(self, token: str, node_type: NodeType) -> list[str]:
-        """Owned (non-ghost) ids from this shard's inverted index."""
-        return sorted(
-            n.node_id for n in self.store.nodes_with_token(token, node_type)
-            if self.owns(n.node_id))
+        """Owned (non-ghost) ids for ``token``, read off this shard's
+        maintained posting fragment (no per-read ownership filtering)."""
+        return sorted(self._postings.ids(node_type.value, token))
 
     def owned_candidate_ids(self, tokens: "list[str] | set[str]",
                             node_type: NodeType) -> list[str]:
         """Owned ids sharing at least one phrase token with ``tokens``."""
-        return sorted(
-            n.node_id for n in self.store.candidates(tokens, node_type)
-            if self.owns(n.node_id))
+        return sorted(self._postings.candidate_ids(node_type.value, tokens))
 
     def _ordered_neighbors(self, incident: "list[Edge]", pick,
                            edge_type: "EdgeType | None") -> list[str]:

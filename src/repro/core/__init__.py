@@ -40,8 +40,13 @@ from .serialize import (
     save_deltas,
     load_deltas,
 )
+# Imported last: zsets pulls in repro.views, which must see the already
+# initialised store module above.
+from .zsets import delta_to_zsets, token_rows
 
 __all__ = [
+    "delta_to_zsets",
+    "token_rows",
     "AttentionOntology",
     "AttentionNode",
     "NodeType",

@@ -1,0 +1,76 @@
+"""Lower an :class:`OntologyDelta` into per-relation Z-sets.
+
+This is the bridge between the mutation log (``core``) and the
+maintained-view layer (``repro.views``): one replayable delta batch
+becomes a dict of relation-name -> :class:`~repro.views.zset.ZSet` of
+changed rows, which a :class:`~repro.views.catalog.ViewCatalog` folds
+into every registered view in a single pass.
+
+Relation schemas (rows are plain hashable tuples):
+
+- ``"nodes"``:   ``(node_id, node_type_value, phrase)``
+- ``"edges"``:   ``(source, target, edge_type_value, weight)``
+- ``"aliases"``: ``(node_id, alias)``
+- ``"tokens"``:  ``(node_type_value, token, node_id)`` — the inverted
+  posting rows, one per *distinct* token of the phrase, mirroring the
+  store's ``set(node.tokens)`` indexing rule.
+
+Lowering mirrors :meth:`OntologyStore.apply_delta` semantics exactly:
+
+- only ``created`` node ops emit ``nodes``/``tokens`` rows (a
+  merge-into-existing node op is payload-only and changes no posting);
+- ghost node ops (``"ghost": True`` in shard sub-deltas) emit nothing —
+  ghosts are routing copies, never *owned* rows, so per-shard view
+  fragments stay owned-only for free;
+- ``payload`` and ``ring`` ops advance the version without touching any
+  relation, so they lower to zero rows (fan-in 0).
+
+Everything here is additive (weight ``+1``) because the ontology only
+grows; retractions appear only in locally-derived deltas (e.g. a shard
+demoting moved-away records during rebalance builds a weight ``-1``
+tokens Z-set by hand).
+"""
+
+from __future__ import annotations
+
+from ..text.tokenizer import tokenize
+from ..views.zset import ZSet
+from .store import OntologyDelta
+
+#: The relation names every lowered batch carries (possibly empty).
+RELATIONS = ("nodes", "edges", "aliases", "tokens")
+
+
+def token_rows(node_type_value: str, phrase: str, node_id: str
+               ) -> "list[tuple[str, str, str]]":
+    """The posting rows one node contributes: one per distinct token,
+    in sorted order (deterministic fold order)."""
+    return [(node_type_value, token, node_id)
+            for token in sorted(set(tokenize(phrase)))]
+
+
+def delta_to_zsets(delta: OntologyDelta) -> "dict[str, ZSet]":
+    """Lower ``delta`` into per-relation Z-sets of changed rows."""
+    nodes = ZSet()
+    edges = ZSet()
+    aliases = ZSet()
+    tokens = ZSet()
+    for op in delta.ops:
+        kind = op["op"]
+        if kind == "node":
+            if not op.get("created") or op.get("ghost"):
+                continue
+            node_id = op["node_id"]
+            type_value = op["type"]
+            phrase = op["phrase"]
+            nodes.add((node_id, type_value, phrase))
+            for row in token_rows(type_value, phrase, node_id):
+                tokens.add(row)
+        elif kind == "edge":
+            edges.add((op["source"], op["target"], op["type"],
+                       op["weight"]))
+        elif kind == "alias":
+            aliases.add((op["node_id"], op["alias"]))
+        # "payload" and "ring" ops advance the version only.
+    return {"nodes": nodes, "edges": edges, "aliases": aliases,
+            "tokens": tokens}

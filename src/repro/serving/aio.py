@@ -111,6 +111,12 @@ class AsyncOntologyService:
     def _obs_status(self) -> dict:
         status = {"metrics": self._registry.snapshot(),
                   "tracer": get_tracer().describe()}
+        catalog = getattr(self._backend, "views", None)
+        if catalog is not None:
+            # Headline view-maintenance counters (views maintained,
+            # deltas folded, maintenance p95) alongside the raw
+            # serving.views.* instruments in the metrics snapshot.
+            status["views"] = catalog.stats()
         backend_obs = getattr(self._backend, "obs_status", None)
         if callable(backend_obs):
             status["backend"] = backend_obs()

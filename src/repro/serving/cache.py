@@ -105,6 +105,24 @@ class LruCache:
         self.put(key, value)
         return value
 
+    def purge(self, keep: "Callable[[Hashable], bool]") -> int:
+        """Eagerly drop every entry whose key fails ``keep``.
+
+        Version-keyed entries used to linger after a refresh until
+        capacity pressure evicted them — a cache sized for one version's
+        working set silently held N versions' garbage after a refresh
+        burst.  The owning service now purges superseded versions on
+        every applied delta; returns the number of entries dropped
+        (also counted on the ``purged`` counter).
+        """
+        stale = [key for key in self._data if not keep(key)]
+        for key in stale:
+            del self._data[key]
+        if stale:
+            self._metrics.counter("purged").inc(len(stale))
+            self._size.set(len(self._data))
+        return len(stale)
+
     def clear(self) -> None:
         self._data.clear()
         self._size.set(0)

@@ -6,19 +6,25 @@ RPC services backed by the MySQL store.  This module is the reproduction's
 equivalent: a process-local service that
 
 * answers **batched** ``tag_documents()`` / ``interpret_queries()``
-  requests with taggers whose candidate generation runs off the store's
-  inverted token index (no full node scans);
-* **caches** neighborhood expansions and concept lookups in an LRU keyed
-  by the store version, so entries invalidate themselves when the
-  ontology changes;
-* **refreshes incrementally** from pipeline-emitted
-  :class:`~repro.core.store.OntologyDelta` batches — a serving replica
-  replays the day's deltas instead of rebuilding or reloading a full
-  snapshot;
-* serves **user profiles** (interest accumulation + edge expansion) and
-  **story follow-ups** as endpoints with the same version/revision-keyed
-  caching, closing the serving-coverage gap for the paper's
-  recommendation applications.
+  requests with taggers whose candidate generation reads a **maintained
+  posting view** (no full node scans, no per-version cache misses);
+* serves its four hot read paths — tag postings, ``user_interests``,
+  ``recommend_for_user``, story ``follow_ups`` — from **incrementally
+  maintained views** (DESIGN.md §13): a :class:`~repro.views.ViewCatalog`
+  folds every applied :class:`~repro.core.store.OntologyDelta` (lowered
+  to per-relation Z-sets) into the registered views, so ``refresh()``
+  cost is proportional to the delta, not to cache churn;
+* keeps the version-keyed LRU only for truly **ad-hoc** graph queries
+  (neighborhood expansion, concept-of-entity lookups), and purges
+  superseded-version entries eagerly on every applied delta;
+* **refreshes incrementally** from pipeline-emitted delta batches — a
+  serving replica replays the day's deltas instead of rebuilding or
+  reloading a full snapshot.  The view catalog keeps its *own* version
+  line: a delta that skips the store (already applied there) still
+  folds into the views, a gap marks the catalog stale, and a stale or
+  out-of-sync catalog rehydrates from the store at the next view-backed
+  read — so out-of-band store mutations degrade to a rebuild, never to
+  wrong answers.
 """
 
 from __future__ import annotations
@@ -31,9 +37,21 @@ from ..apps.story_tracker import StoryTracker
 from ..apps.tagging import DocumentTagger, TaggedDocument
 from ..core.ontology import AttentionOntology, NodeType
 from ..core.store import EdgeType, OntologyDelta, OntologyStore
+from ..core.zsets import delta_to_zsets
 from ..errors import DeltaGapError, ReproError
 from ..obs.metrics import MetricsRegistry, get_registry
+from ..views import (
+    PostingsStoreAdapter,
+    StoryFollowUpsView,
+    TokenPostingsView,
+    UserInterestsView,
+    ViewCatalog,
+)
 from .cache import LruCache
+
+#: LRU key tags that remain version-keyed (the ad-hoc query cache);
+#: entries from superseded versions are purged eagerly on refresh.
+_VERSIONED_CACHE_TAGS = ("nbhd", "coe")
 
 
 class OntologyService:
@@ -92,6 +110,31 @@ class OntologyService:
         self._profile_revisions: dict[str, int] = {}
         self._events_tracked = self._metrics.counter("events_tracked")
 
+        # Maintained views (DESIGN.md §13).  The catalog is fed by
+        # fold_views() on every refresh; reads go through _sync_views()
+        # so a stale catalog (gap, or out-of-band store mutation)
+        # rehydrates before serving.
+        self._views = ViewCatalog(metrics=self._metrics.scope("views"))
+        self._interests = self._views.register(
+            "interests", UserInterestsView(self._get_profiler,
+                                           self._ontology))
+        self._followups = self._views.register(
+            "story_follow_ups", StoryFollowUpsView(lambda: self._tracker))
+        if isinstance(self._store, OntologyStore):
+            # Single-replica serving: posting lookups come from a local
+            # maintained view spliced under the tagger via an adapter.
+            self._postings = self._views.register(
+                "tag_postings", TokenPostingsView(self._store))
+            self._tagger_ontology = AttentionOntology(
+                store=PostingsStoreAdapter(self._store, self._postings))
+        else:
+            # Cluster serving: the store is a scatter-gather view whose
+            # shards each maintain their own posting fragment
+            # (ShardReplica.views); nothing to materialize here.
+            self._postings = None
+            self._tagger_ontology = self._ontology
+        self._views.rehydrate(self._store.version, count=False)
+
     # ------------------------------------------------------------------
     # replica state
     # ------------------------------------------------------------------
@@ -121,13 +164,64 @@ class OntologyService:
         """
         applied = 0
         for delta in deltas:
-            if not DeltaGapError.check("replica", self._store.version,
-                                       delta):
-                continue
-            self._store.apply_delta(delta)
-            applied += 1
-            self._deltas_applied.inc()
+            if DeltaGapError.check("replica", self._store.version, delta):
+                self._store.apply_delta(delta)
+                applied += 1
+                self._deltas_applied.inc()
+            # Fold even store-skipped deltas: the catalog keeps its own
+            # version line (a shared-store deployment may have applied
+            # the delta to the store out-of-band already).
+            self.fold_views(delta)
         return applied
+
+    # ------------------------------------------------------------------
+    # maintained views
+    # ------------------------------------------------------------------
+    @property
+    def views(self) -> ViewCatalog:
+        """This replica's maintained-view catalog."""
+        return self._views
+
+    def fold_views(self, delta: OntologyDelta) -> str:
+        """Advance the view catalog by one delta (refresh = "apply the
+        delta to the catalog", not "bump the version and let caches
+        miss").
+
+        Gated on the *catalog's* version line: a delta at or behind it
+        is skipped, a contiguous one is lowered to per-relation Z-sets
+        and folded into every view in one pass, and a gap marks the
+        catalog stale (repaired by rehydration at the next view read).
+        Returns ``"applied"`` / ``"skipped"`` / ``"stale"``.
+        """
+        if delta.version <= self._views.version:
+            return "skipped"
+        if delta.base_version != self._views.version:
+            self._views.mark_stale()
+            return "stale"
+        self._views.advance(delta_to_zsets(delta), version=delta.version)
+        self._purge_superseded()
+        return "applied"
+
+    def fast_forward_views(self, version: int) -> None:
+        """Adopt ``version`` on the catalog without folding — for owners
+        that hydrate the store out-of-band (cluster bootstrap) while the
+        views were rebuilt from the hydrated store."""
+        self._views.rehydrate(version, count=False)
+
+    def _sync_views(self) -> None:
+        """Repair the catalog before a view-backed read if it missed
+        anything: a marked gap, or a store version the fold stream never
+        delivered (out-of-band mutation)."""
+        if self._views.stale or self._views.version != self._store.version:
+            self._views.rehydrate(self._store.version)
+
+    def _purge_superseded(self) -> None:
+        """Eagerly drop ad-hoc cache entries keyed to older versions."""
+        version = self._store.version
+        self._cache.purge(
+            lambda key: key[1] == version
+            if isinstance(key, tuple) and len(key) > 1
+            and key[0] in _VERSIONED_CACHE_TAGS else True)
 
     def _ensure_current(self) -> None:
         """(Re)build version-bound helpers after any store change."""
@@ -141,13 +235,17 @@ class OntologyService:
         self._built_version = self._store.version
 
     def _get_tagger(self) -> DocumentTagger:
+        self._sync_views()
         self._ensure_current()
         if self._tagger is None:
             if self._ner is None:
                 raise ReproError(
                     "OntologyService needs a NER tagger to tag documents"
                 )
-            self._tagger = DocumentTagger(self._ontology, self._ner,
+            # The tagger's candidate generation reads posting lists off
+            # the maintained view (via the adapter ontology) instead of
+            # re-filtering the store per version.
+            self._tagger = DocumentTagger(self._tagger_ontology, self._ner,
                                           duet=self._duet,
                                           **self._tagger_options)
         return self._tagger
@@ -248,38 +346,34 @@ class OntologyService:
         Bumps the user's profile revision, so cached recommendation /
         interest entries for that user invalidate themselves.
         """
+        self._sync_views()
         profile = self._get_profiler().record_read(user_id, tags,
                                                    weight=weight)
         self._profile_revisions[user_id] = (
             self._profile_revisions.get(user_id, 0) + 1)
+        # The profile stream does not travel in the ontology delta log,
+        # so it feeds the interests view out-of-band (timed like a fold).
+        self._views.feed(
+            "interests", lambda: self._interests.user_touched(user_id))
         return profile
 
     def user_interests(self, user_id: str, k: int = 10,
                        node_type: "NodeType | None" = None
                        ) -> tuple[tuple[str, float], ...]:
-        """Top-k (phrase, weight) interests after edge expansion; cached
-        per (store version, profile revision)."""
-        key = ("interests", self._store.version,
-               self._profile_revisions.get(user_id, 0), user_id, k,
-               node_type.value if node_type is not None else None)
-        return self._cache.get_or_compute(
-            key,
-            lambda: tuple(self._get_profiler().infer(user_id)
-                          .top(self._ontology, k=k, node_type=node_type)),
-            endpoint="user_interests",
-        )
+        """Top-k (phrase, weight) interests after edge expansion, read
+        straight off the maintained interests view (a filtered prefix of
+        the user's ranked list — no cache, no recompute)."""
+        self._sync_views()
+        return tuple(self._interests.interests(user_id, k=k,
+                                               node_type=node_type))
 
     def recommend_for_user(self, user_id: str, k: int = 5
                            ) -> tuple[tuple[str, float], ...]:
-        """Ranked *inferred* tags (hidden interests) for a user; cached
-        per (store version, profile revision)."""
-        key = ("urec", self._store.version,
-               self._profile_revisions.get(user_id, 0), user_id, k)
-        return self._cache.get_or_compute(
-            key,
-            lambda: tuple(self._get_profiler().recommend_tags(user_id, k=k)),
-            endpoint="recommend_for_user",
-        )
+        """Ranked *inferred* tags (hidden interests) for a user — the
+        non-observed prefix of the same maintained ranked list that
+        serves :meth:`user_interests`."""
+        self._sync_views()
+        return tuple(self._interests.recommendations(user_id, k=k))
 
     # ------------------------------------------------------------------
     # story-tracking endpoints (developing stories, paper Section 2/4)
@@ -291,23 +385,23 @@ class OntologyService:
 
     def track_events(self, events) -> int:
         """Route a batch of event records into tracked stories; returns
-        the number of stories currently tracked."""
+        the number of stories currently tracked.  The tracker's routing
+        decisions feed the follow-ups view, so follow-up reads stay a
+        lookup instead of a per-revision recompute."""
         events = list(events)
+        self._sync_views()
         tracker = self._get_tracker()
-        tracker.add_events(events)
+        assignments = tracker.add_events(events)
+        self._views.feed(
+            "story_follow_ups", lambda: self._followups.feed(assignments))
         self._events_tracked.inc(len(events))
         return len(tracker)
 
     def follow_ups(self, read_phrase: str, limit: int = 3) -> tuple:
-        """Fresh unseen events in the story of a just-read event; cached
-        per tracker revision (the number of events routed so far)."""
-        key = ("fup", self._events_tracked.value, read_phrase, limit)
-        return self._cache.get_or_compute(
-            key,
-            lambda: tuple(self._get_tracker().follow_ups(read_phrase,
-                                                         limit=limit)),
-            endpoint="follow_ups",
-        )
+        """Fresh unseen events in the story of a just-read event, read
+        off the maintained (story, phrase) follow-up sequences."""
+        self._sync_views()
+        return tuple(self._followups.follow_ups(read_phrase, limit=limit))
 
     # ------------------------------------------------------------------
     # introspection
@@ -335,6 +429,7 @@ class OntologyService:
             "stories_tracked": (len(self._tracker)
                                 if self._tracker is not None else None),
             "cache": self._cache.stats,
+            "views": self._views.stats(),
             "ontology": self._store.stats(),
         }
 

@@ -1,0 +1,37 @@
+"""repro.views: Z-set delta algebra + incrementally maintained views.
+
+The serving tier's refresh used to mean "bump the version and let the
+LRU miss" — refresh cost proportional to cache churn.  This package
+replaces that with DBSP-style incremental view maintenance (DESIGN.md
+§13): mutations already travel as replayable ``OntologyDelta`` batches,
+:func:`repro.core.zsets.delta_to_zsets` lowers each batch into
+per-relation :class:`ZSet` changes, and a :class:`ViewCatalog` folds
+the changes into every registered materialized view in one pass — so
+refresh cost is proportional to the *delta*, not the corpus or the
+cache.
+
+:mod:`repro.views.library` holds the concrete views behind the four hot
+read paths (tag postings, user interests, recsys recommendations, story
+follow-ups), each carrying its own ``materialized()``/``recompute()``
+byte-identity oracle.
+"""
+
+from .zset import ZSet
+from .catalog import ViewCatalog
+from .library import (
+    PostingsStoreAdapter,
+    ShardPostingsFragment,
+    StoryFollowUpsView,
+    TokenPostingsView,
+    UserInterestsView,
+)
+
+__all__ = [
+    "ZSet",
+    "ViewCatalog",
+    "PostingsStoreAdapter",
+    "ShardPostingsFragment",
+    "StoryFollowUpsView",
+    "TokenPostingsView",
+    "UserInterestsView",
+]

@@ -1,0 +1,162 @@
+"""The view catalog: named materialized views advanced from one delta.
+
+A :class:`ViewCatalog` keeps its *own* version line, deliberately
+distinct from the store it shadows.  The owning service gates folds
+against ``catalog.version`` (skip behind / apply contiguous / mark
+stale on gap) exactly the way replicas gate ``OntologyDelta`` against
+the store — so a catalog stays correct even when somebody mutates the
+underlying store out-of-band; the mismatch is detected at the next read
+and repaired by :meth:`rehydrate` (from-scratch rebuild, the one
+non-incremental escape hatch).
+
+Each registered view implements:
+
+- ``apply(relations)``  — fold one batch of per-relation Z-sets
+  (as produced by :func:`repro.core.zsets.delta_to_zsets`);
+- ``rebuild()``         — recompute from its base source (rehydration);
+- ``materialized()`` / ``recompute()`` — canonical forms for the
+  byte-identity oracle (``rpc.dumps`` equality, as in PRs 2–6).
+
+Maintenance is observable per view: ``advance`` and ``feed`` time every
+view update into ``maintain_seconds`` (catalog-wide) and
+``view.<name>.maintain_seconds`` histograms, count deltas folded and
+fan-in rows, and keep a ``views`` gauge — all inside whatever
+:class:`repro.obs.Scope` the owner mints the catalog with.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple
+
+from ..obs import Scope, get_registry
+from .zset import ZSet
+
+
+class ViewCatalog:
+    """Registers named materialized views and advances them together."""
+
+    def __init__(self, metrics: "Optional[Scope]" = None) -> None:
+        self._views: "Dict[str, Any]" = {}
+        self._version = 0
+        self._scope = metrics if metrics is not None else \
+            get_registry().scope("views")
+        self._clock = self._scope.registry.clock
+        self._views_gauge = self._scope.gauge("registered")
+        self._deltas_folded = self._scope.counter("deltas_folded")
+        self._rows_folded = self._scope.counter("rows_folded")
+        self._fanin_rows = self._scope.histogram("fanin_rows", base=1.0)
+        self._maintain = self._scope.histogram("maintain_seconds")
+        self._rehydrations = self._scope.counter("rehydrations")
+        self._stale_gauge = self._scope.gauge("stale")
+        self._per_view: "Dict[str, Any]" = {}
+
+    # ------------------------------------------------------------------
+    # registration / lookup
+    # ------------------------------------------------------------------
+    def register(self, name: str, view: Any) -> Any:
+        """Add ``view`` under ``name``; returns the view for chaining."""
+        if name in self._views:
+            raise ValueError(f"view already registered: {name}")
+        self._views[name] = view
+        self._per_view[name] = self._scope.histogram(
+            f"view.{name}.maintain_seconds")
+        self._views_gauge.set(len(self._views))
+        return view
+
+    def get(self, name: str) -> Any:
+        return self._views[name]
+
+    def items(self) -> "Iterable[Tuple[str, Any]]":
+        return self._views.items()
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    # ------------------------------------------------------------------
+    # the version line
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def fast_forward(self, version: int) -> None:
+        """Adopt ``version`` without folding — used right after views
+        hydrate from an already-populated store (bootstrap)."""
+        self._version = version
+        self._stale_gauge.set(0)
+
+    def mark_stale(self) -> None:
+        """Flag that the catalog missed a delta (gap); the next
+        :meth:`rehydrate` clears it."""
+        self._stale_gauge.set(1)
+
+    @property
+    def stale(self) -> bool:
+        return bool(self._stale_gauge.value)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def advance(self, relations: "Mapping[str, ZSet]",
+                version: "Optional[int]" = None) -> None:
+        """Fold one lowered delta batch into every registered view.
+
+        ``relations`` maps relation name -> :class:`ZSet` of changed
+        rows; the fan-in (total changed rows) is what maintenance cost
+        is proportional to — never the corpus size.
+        """
+        rows = sum(len(zset) for zset in relations.values())
+        self._fanin_rows.observe(rows)
+        self._rows_folded.inc(rows)
+        for name, view in self._views.items():
+            self._timed(name, lambda view=view: view.apply(relations))
+        self._deltas_folded.inc()
+        if version is not None:
+            self._version = version
+
+    def feed(self, name: str, update: "Callable[[], Any]") -> Any:
+        """Run an out-of-band maintenance step against one view (e.g. a
+        profile read or a story-event batch — inputs that do not travel
+        in the delta stream), timed like a fold."""
+        return self._timed(name, update)
+
+    def rehydrate(self, version: int, count: bool = True) -> None:
+        """Rebuild every view from scratch and adopt ``version`` — the
+        repair path for a stale catalog (gap in the fold stream or an
+        out-of-band store mutation).  ``count=False`` leaves the
+        ``rehydrations`` health counter alone (initial hydration at
+        service construction is expected, not a repair)."""
+        for name, view in self._views.items():
+            self._timed(name, view.rebuild)
+        if count:
+            self._rehydrations.inc()
+        self.fast_forward(version)
+
+    def _timed(self, name: str, update: "Callable[[], Any]") -> Any:
+        start = self._clock()
+        try:
+            return update()
+        finally:
+            elapsed = self._clock() - start
+            self._maintain.observe(elapsed)
+            hist = self._per_view.get(name)
+            if hist is not None:
+                hist.observe(elapsed)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Thin summary for ``service.stats()`` (full detail lives in
+        the metrics registry snapshot via ``obs_status``)."""
+        maintain = self._maintain.state
+        return {
+            "version": self._version,
+            "views": len(self._views),
+            "deltas_folded": self._deltas_folded.value,
+            "rows_folded": self._rows_folded.value,
+            "rehydrations": self._rehydrations.value,
+            "stale": bool(self._stale_gauge.value),
+            "maintain_p95": round(maintain["p95"], 6),
+        }

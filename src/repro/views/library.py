@@ -1,0 +1,415 @@
+"""The maintained views behind the serving tier's four hot read paths.
+
+Each view here is a materialized query result advanced from the delta
+stream (via :class:`~repro.views.catalog.ViewCatalog`) instead of being
+recomputed behind a version-keyed LRU:
+
+* :class:`TokenPostingsView` — the inverted posting lists
+  ``(node_type, token) -> node ids`` that ``tag_documents`` candidate
+  generation reads; maintained from the ``tokens`` relation.
+  :class:`ShardPostingsFragment` is its per-shard variant (owned rows
+  only), and :class:`PostingsStoreAdapter` splices a postings view into
+  the store interface the tagger consumes.
+* :class:`UserInterestsView` — per-user ranked interest lists (the
+  CTR-style decayed aggregates) serving both ``user_interests`` and
+  ``recommend_for_user``; maintained from the ``edges`` relation plus
+  out-of-band profile-read notifications.
+* :class:`StoryFollowUpsView` — per-(story, phrase) follow-up
+  sequences serving ``StoryTracker.follow_ups``; maintained from
+  routed-event notifications (story events do not travel in the
+  ontology delta stream).
+
+Every view implements the catalog protocol (``apply`` / ``rebuild``)
+plus the byte-identity oracle pair ``materialized()`` / ``recompute()``
+— canonical JSON-encodable forms where ``rpc.dumps(materialized) ==
+rpc.dumps(recompute)`` must hold after every delta, which the
+consistency suite asserts across randomized op scripts.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+from .zset import ZSet
+
+
+class TokenPostingsView:
+    """Maintained inverted postings: ``(type_value, token) -> {ids}``.
+
+    Mirrors the store's indexing rule exactly: one posting row per
+    *distinct* token of a node's canonical phrase, added at node
+    creation, never at alias time.  ``rebuild``/``recompute`` scan the
+    backing store (the from-scratch oracle); fragments override
+    :meth:`_scan` to restrict the scan.
+    """
+
+    def __init__(self, store: Any = None) -> None:
+        self._store = store
+        self._postings: "dict[tuple[str, str], set[str]]" = {}
+
+    # -- catalog protocol ----------------------------------------------
+    def apply(self, relations: "Mapping[str, ZSet]") -> None:
+        tokens = relations.get("tokens")
+        if not tokens:
+            return
+        for (type_value, token, node_id), weight in tokens:
+            key = (type_value, token)
+            if weight > 0:
+                self._postings.setdefault(key, set()).add(node_id)
+            else:
+                ids = self._postings.get(key)
+                if ids is not None:
+                    ids.discard(node_id)
+                    if not ids:
+                        del self._postings[key]
+
+    def rebuild(self) -> None:
+        self._postings = {}
+        for node in self._scan():
+            for token in set(node.tokens):
+                self._postings.setdefault(
+                    (node.node_type.value, token), set()).add(node.node_id)
+
+    def _scan(self) -> "Iterable[Any]":
+        if self._store is None:
+            return ()
+        return self._store.nodes()
+
+    # -- reads ----------------------------------------------------------
+    def ids(self, type_value: str, token: str) -> "set[str]":
+        return self._postings.get((type_value, token), set())
+
+    def candidate_ids(self, type_value: str, tokens: "Iterable[str]"
+                      ) -> "set[str]":
+        out: "set[str]" = set()
+        for token in set(tokens):
+            hit = self._postings.get((type_value, token))
+            if hit:
+                out.update(hit)
+        return out
+
+    # -- byte-identity oracle -------------------------------------------
+    def materialized(self) -> dict:
+        return {f"{type_value}::{token}": sorted(ids)
+                for (type_value, token), ids in sorted(self._postings.items())}
+
+    def recompute(self) -> dict:
+        fresh: "dict[tuple[str, str], set[str]]" = {}
+        for node in self._scan():
+            for token in set(node.tokens):
+                fresh.setdefault((node.node_type.value, token),
+                                 set()).add(node.node_id)
+        return {f"{type_value}::{token}": sorted(ids)
+                for (type_value, token), ids in sorted(fresh.items())}
+
+
+class ShardPostingsFragment(TokenPostingsView):
+    """A shard replica's slice of the postings view: owned rows only.
+
+    Ghost copies are indexed in the replica's *store* (they must resolve
+    by id) but never surface from ``owned_token_ids``; the fragment
+    encodes that by construction — ghost node ops lower to zero token
+    rows, and rebuild/recompute filter the store scan by ownership.
+    Scatter-gather then *merges fragments* (set union across shards)
+    instead of each shard recomputing its filter per read.
+    """
+
+    def __init__(self, replica: Any) -> None:
+        super().__init__(store=None)
+        self._replica = replica
+
+    def _scan(self) -> "Iterable[Any]":
+        replica = self._replica
+        return (node for node in replica.store.nodes()
+                if replica.owns(node.node_id))
+
+
+class PostingsStoreAdapter:
+    """Store façade whose posting lookups read a maintained view.
+
+    ``DocumentTagger`` resolves candidates through ``store.nodes_with_
+    token`` / ``store.candidates``; wrapping the real store with this
+    adapter (and handing the tagger ``AttentionOntology(store=adapter)``)
+    reroutes exactly those calls onto the :class:`TokenPostingsView`
+    while every other store method passes through untouched.  Result
+    ordering matches the store byte-for-byte: ids sorted, resolved
+    against the same tables.
+    """
+
+    def __init__(self, store: Any, view: TokenPostingsView) -> None:
+        self._store = store
+        self._view = view
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._store, name)
+
+    # __getattr__ does not cover dunders.
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._store
+
+    def nodes_with_token(self, token: str, node_type: Any) -> list:
+        resolve = self._store.node
+        return [resolve(node_id) for node_id in
+                sorted(self._view.ids(node_type.value, token))]
+
+    def candidates(self, tokens: "Iterable[str]", node_type: Any) -> list:
+        resolve = self._store.node
+        return [resolve(node_id) for node_id in
+                sorted(self._view.candidate_ids(node_type.value, tokens))]
+
+    def contained_phrases(self, tokens: "list[str]", node_type: Any) -> list:
+        out = []
+        for node in self.candidates(tokens, node_type):
+            ptoks = node.tokens
+            if not ptoks or len(ptoks) > len(tokens):
+                continue
+            k = len(ptoks)
+            if any(tokens[i:i + k] == ptoks
+                   for i in range(len(tokens) - k + 1)):
+                out.append(node)
+        return out
+
+
+class UserInterestsView:
+    """Per-user ranked interest lists (observed + edge-inferred).
+
+    One maintained list serves both hot profile reads: ``user_interests``
+    is a type-filtered prefix, ``recommend_for_user`` a
+    non-observed-filtered prefix.  Filtering the one full
+    ``(-weight, phrase)``-ranked list is byte-identical to ranking the
+    filtered subset directly because Python's sort is stable (a
+    subsequence of a stably sorted list *is* the stable sort of that
+    subsequence).
+
+    Maintenance has two inputs:
+
+    * the ``edges`` relation (graph growth) — an edge incident to a node
+      some user *observes* can change that user's 1-hop inferred
+      weights, so exactly those users re-rank (``apply``);
+    * profile reads (``user_touched``, fed out-of-band by the service)
+      — a read decays and bumps that one user's weights.
+
+    Re-ranking runs ``profiler.infer`` eagerly; inferred weights are a
+    monotone max-fold over observed weights, so eager inference commutes
+    with the lazy read-time inference the LRU path used — same floats,
+    same bytes.
+    """
+
+    def __init__(self, profiler_source: "Callable[[], Any]",
+                 ontology: Any) -> None:
+        self._profiler = profiler_source
+        self._ontology = ontology
+        #: node_id -> user ids whose profiles observe it.
+        self._observers: "dict[str, set[str]]" = {}
+        #: user -> full ranked [(phrase, weight, type_value, observed)].
+        self._ranked: "dict[str, list[tuple[str, float, str, bool]]]" = {}
+
+    # -- catalog protocol ----------------------------------------------
+    def apply(self, relations: "Mapping[str, ZSet]") -> None:
+        edges = relations.get("edges")
+        if not edges or not self._observers:
+            return
+        affected: "set[str]" = set()
+        for (source, target, _type_value, _weight), weight in edges:
+            if weight <= 0:
+                continue
+            affected.update(self._observers.get(source, ()))
+            affected.update(self._observers.get(target, ()))
+        for user_id in sorted(affected):
+            self._refresh_user(user_id)
+
+    def rebuild(self) -> None:
+        self._observers = {}
+        users = sorted(set(self._ranked) | set(self._known_users()))
+        self._ranked = {}
+        for user_id in users:
+            self._refresh_user(user_id)
+
+    def _known_users(self) -> "Iterable[str]":
+        profiler = self._profiler()
+        return profiler.users() if profiler is not None else ()
+
+    # -- out-of-band maintenance ----------------------------------------
+    def user_touched(self, user_id: str) -> None:
+        """One user's profile changed (a read was recorded)."""
+        self._refresh_user(user_id)
+
+    def _refresh_user(self, user_id: str) -> None:
+        profile = self._profiler().infer(user_id)
+        for node_id in profile.observed:
+            self._observers.setdefault(node_id, set()).add(user_id)
+        rows = []
+        for node_id, weight in profile.weights.items():
+            node = self._ontology.node(node_id)
+            rows.append((node.phrase, weight, node.node_type.value,
+                         node_id in profile.observed))
+        rows.sort(key=lambda row: (-row[1], row[0]))
+        self._ranked[user_id] = rows
+
+    # -- reads ----------------------------------------------------------
+    def interests(self, user_id: str, k: int = 10,
+                  node_type: Any = None) -> "list[tuple[str, float]]":
+        rows = self._ranked.get(user_id)
+        if rows is None:
+            return []
+        type_value = node_type.value if node_type is not None else None
+        out = [(phrase, weight)
+               for phrase, weight, row_type, _observed in rows
+               if type_value is None or row_type == type_value]
+        return out[:k]
+
+    def recommendations(self, user_id: str, k: int = 5
+                        ) -> "list[tuple[str, float]]":
+        rows = self._ranked.get(user_id, ())
+        out = [(phrase, weight)
+               for phrase, weight, _row_type, observed in rows
+               if not observed]
+        return out[:k]
+
+    # -- byte-identity oracle -------------------------------------------
+    def materialized(self) -> dict:
+        return {user_id: [list(row) for row in self._ranked[user_id]]
+                for user_id in sorted(self._ranked)}
+
+    def recompute(self) -> dict:
+        """Fresh infer + rank per known user, bypassing maintained state."""
+        profiler = self._profiler()
+        out: dict = {}
+        for user_id in sorted(set(self._ranked) | set(self._known_users())):
+            profile = profiler.infer(user_id)
+            rows = []
+            for node_id, weight in profile.weights.items():
+                node = self._ontology.node(node_id)
+                rows.append([node.phrase, weight, node.node_type.value,
+                             node_id in profile.observed])
+            rows.sort(key=lambda row: (-row[1], row[0]))
+            out[user_id] = rows
+        return out
+
+
+class _FollowUpList:
+    """One (story, phrase) follow-up sequence under incremental insert.
+
+    The batch path stable-sorts ``story.events`` filtered to ``day >=
+    cutoff and phrase != read_phrase`` by ``(day, phrase)``; inserting
+    each arriving event at ``bisect_right`` of that same key reproduces
+    the stable sort exactly (equal keys land after existing ones —
+    arrival order, which is what stability preserves).
+    """
+
+    __slots__ = ("cutoff", "keys", "events")
+
+    def __init__(self, cutoff: int) -> None:
+        self.cutoff = cutoff
+        self.keys: "list[tuple[int, str]]" = []
+        self.events: "list[Any]" = []
+
+    def insert(self, event: Any) -> None:
+        if event.day < self.cutoff:
+            return
+        key = (event.day, event.phrase)
+        index = bisect_right(self.keys, key)
+        self.keys.insert(index, key)
+        self.events.insert(index, event)
+
+
+class StoryFollowUpsView:
+    """Maintained follow-up sequences per (story, read-phrase).
+
+    ``StoryTracker.follow_ups(phrase)`` = events of the earliest story
+    containing ``phrase``, on/after the day of the first-*arriving*
+    event with that phrase, excluding the phrase itself, stable-sorted
+    by ``(day, phrase)``.  This view keeps exactly those sequences
+    up-to-date per routed event, so a read is a dict lookup + slice.
+
+    Story events do not travel in the ontology delta stream (they are
+    request payloads), so maintenance is fed out-of-band with the
+    tracker's routing decisions: ``feed([(story_id, event), ...])`` in
+    routing order.  ``recompute`` re-derives everything from the
+    tracker itself — an independent oracle, not a mirror of this view's
+    state.
+    """
+
+    def __init__(self, tracker_source: "Callable[[], Any]") -> None:
+        self._tracker = tracker_source
+        #: story_id -> events in arrival order (mirrors story.events).
+        self._events: "dict[int, list[Any]]" = {}
+        #: phrase -> story ids containing it.
+        self._phrase_stories: "dict[str, set[int]]" = {}
+        #: (story_id, phrase) -> maintained follow-up list.
+        self._lists: "dict[tuple[int, str], _FollowUpList]" = {}
+
+    # -- out-of-band maintenance ----------------------------------------
+    def feed(self, assignments: "Iterable[tuple[int, Any]]") -> None:
+        """Fold routed events (story_id, event) in routing order."""
+        for story_id, event in assignments:
+            self._events.setdefault(story_id, []).append(event)
+            self._route(story_id, event)
+
+    def _route(self, story_id: int, event: Any) -> None:
+        phrase = event.phrase
+        story_events = self._events[story_id]
+        # Grow every other maintained list of this story.
+        for (sid, read_phrase), flist in self._lists.items():
+            if sid == story_id and read_phrase != phrase:
+                flist.insert(event)
+        if story_id not in self._phrase_stories.get(phrase, ()):
+            # First arrival of this phrase in this story fixes the
+            # cutoff day; seed the list from the already-routed events.
+            self._phrase_stories.setdefault(phrase, set()).add(story_id)
+            flist = _FollowUpList(event.day)
+            self._lists[(story_id, phrase)] = flist
+            seed = [e for e in story_events
+                    if e.day >= event.day and e.phrase != phrase]
+            seed.sort(key=lambda e: (e.day, e.phrase))
+            for seeded in seed:
+                flist.keys.append((seeded.day, seeded.phrase))
+                flist.events.append(seeded)
+
+    # -- catalog protocol ----------------------------------------------
+    def apply(self, relations: "Mapping[str, ZSet]") -> None:
+        """Ontology deltas never carry story events — nothing to fold."""
+
+    def rebuild(self) -> None:
+        events = self._events
+        self._events = {}
+        self._phrase_stories = {}
+        self._lists = {}
+        for story_id in sorted(events):
+            for event in events[story_id]:
+                self._events.setdefault(story_id, []).append(event)
+                self._route(story_id, event)
+
+    # -- reads ----------------------------------------------------------
+    def follow_ups(self, read_phrase: str, limit: int = 3) -> list:
+        story_ids = self._phrase_stories.get(read_phrase)
+        if not story_ids:
+            return []
+        flist = self._lists[(min(story_ids), read_phrase)]
+        return flist.events[:limit]
+
+    # -- byte-identity oracle -------------------------------------------
+    def materialized(self) -> dict:
+        return {
+            f"{story_id}::{phrase}": list(flist.events)
+            for (story_id, phrase), flist in sorted(self._lists.items())
+        }
+
+    def recompute(self) -> dict:
+        """Batch-derive every (story, phrase) sequence from the tracker."""
+        tracker = self._tracker()
+        out: dict = {}
+        if tracker is None:
+            return out
+        for story in tracker.stories:
+            for phrase in sorted({e.phrase for e in story.events}):
+                read = next(e for e in story.events if e.phrase == phrase)
+                later = [e for e in story.events
+                         if e.day >= read.day and e.phrase != phrase]
+                later.sort(key=lambda e: (e.day, e.phrase))
+                out[f"{story.story_id}::{phrase}"] = later
+        return out

@@ -1,0 +1,169 @@
+"""Z-sets: weighted multisets, the delta algebra behind maintained views.
+
+A Z-set maps elements to signed integer weights — a positive weight is
+an insertion (possibly repeated), a negative weight a retraction, and a
+zero weight is *absence* (entries at weight 0 are dropped eagerly, so
+``a + (-a)`` is empty, not a set of zeroes).  Database states and
+database *changes* live in the same algebra: applying a change is just
+``state + delta``, and the incremental-view-maintenance discipline
+(DBSP; Berkholz et al.'s answering-queries-under-updates line in
+PAPERS.md) falls out of operator **linearity** — for a linear operator
+``Q``, ``Q(state + delta) == Q(state) + Q(delta)``, so a maintained view
+advances by folding ``Q(delta)`` instead of recomputing ``Q(state)``.
+
+``map`` / ``filter`` / ``join`` are linear in each argument; ``distinct``
+and ``aggregate`` are *not* linear (documented on each), which is exactly
+why views built on them keep indexed state rather than a single running
+Z-set.
+
+Elements are arbitrary hashable keys (the relation rows); insertion
+order is preserved (Python dict order) so folding a delta is
+deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Iterator
+
+
+class ZSet:
+    """A weighted set: element -> non-zero integer weight.
+
+    Args:
+        entries: optional iterable of ``(element, weight)`` pairs (or
+            another :class:`ZSet`); weights for repeated elements sum,
+            elements summing to zero are dropped.
+    """
+
+    __slots__ = ("_weights",)
+
+    def __init__(self, entries: "Iterable[tuple[Hashable, int]] | None"
+                 = None) -> None:
+        self._weights: "dict[Hashable, int]" = {}
+        if entries is not None:
+            for element, weight in entries:
+                self.add(element, weight)
+
+    # ------------------------------------------------------------------
+    # construction / mutation
+    # ------------------------------------------------------------------
+    def add(self, element: Hashable, weight: int = 1) -> None:
+        """Fold one weighted element in; a zero total drops the entry."""
+        if not weight:
+            return
+        total = self._weights.get(element, 0) + weight
+        if total:
+            self._weights[element] = total
+        else:
+            self._weights.pop(element, None)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def weight(self, element: Hashable) -> int:
+        """The element's weight (0 when absent)."""
+        return self._weights.get(element, 0)
+
+    def __iter__(self) -> "Iterator[tuple[Hashable, int]]":
+        """Iterate ``(element, weight)`` pairs in insertion order."""
+        return iter(self._weights.items())
+
+    def keys(self) -> "Iterator[Hashable]":
+        return iter(self._weights)
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __bool__(self) -> bool:
+        return bool(self._weights)
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._weights
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ZSet):
+            return NotImplemented
+        return self._weights == other._weights
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{element!r}: {weight:+d}"
+                          for element, weight in self)
+        return f"ZSet({{{inner}}})"
+
+    # ------------------------------------------------------------------
+    # the group structure (addition / negation)
+    # ------------------------------------------------------------------
+    def __add__(self, other: "ZSet") -> "ZSet":
+        out = ZSet(self)
+        for element, weight in other:
+            out.add(element, weight)
+        return out
+
+    def __neg__(self) -> "ZSet":
+        return ZSet((element, -weight) for element, weight in self)
+
+    def __sub__(self, other: "ZSet") -> "ZSet":
+        return self + (-other)
+
+    # ------------------------------------------------------------------
+    # linear operators: Q(a + b) == Q(a) + Q(b)
+    # ------------------------------------------------------------------
+    def map(self, fn: "Callable[[Hashable], Hashable]") -> "ZSet":
+        """Relabel elements; weights of colliding images sum (linear)."""
+        return ZSet((fn(element), weight) for element, weight in self)
+
+    def filter(self, predicate: "Callable[[Hashable], bool]") -> "ZSet":
+        """Keep elements satisfying ``predicate`` (linear)."""
+        return ZSet((element, weight) for element, weight in self
+                    if predicate(element))
+
+    def join(self, other: "ZSet",
+             on: "Callable[[Hashable], Hashable]",
+             on_other: "Callable[[Hashable], Hashable] | None" = None,
+             merge: "Callable[[Hashable, Hashable], Hashable]"
+             = lambda a, b: (a, b)) -> "ZSet":
+        """Equi-join on extracted keys; output weights are products
+        (bilinear — linear in each argument separately, which is what
+        incremental join maintenance exploits)."""
+        on_other = on_other if on_other is not None else on
+        index: "dict[Hashable, list[tuple[Hashable, int]]]" = {}
+        for element, weight in other:
+            index.setdefault(on_other(element), []).append((element, weight))
+        out = ZSet()
+        for element, weight in self:
+            for matched, matched_weight in index.get(on(element), ()):
+                out.add(merge(element, matched), weight * matched_weight)
+        return out
+
+    # ------------------------------------------------------------------
+    # non-linear operators
+    # ------------------------------------------------------------------
+    def distinct(self) -> "ZSet":
+        """The supported *set*: weight 1 for every positively-weighted
+        element.  NOT linear — ``distinct(a + b) != distinct(a) +
+        distinct(b)`` in general — so views over ``distinct`` keep the
+        underlying weighted state and re-derive support per key."""
+        return ZSet((element, 1) for element, weight in self if weight > 0)
+
+    def aggregate(self, key: "Callable[[Hashable], Hashable]",
+                  value: "Callable[[Hashable], float]" = lambda _e: 1
+                  ) -> "dict[Hashable, float]":
+        """Group by ``key`` and sum ``weight * value(element)`` — the
+        Z-set generalisation of COUNT/SUM (zero totals dropped).  The
+        *output* is not a Z-set (totals are not multiplicities), but the
+        totals themselves add group-wise across deltas, which is how
+        aggregate views stay incremental."""
+        totals: "dict[Hashable, float]" = {}
+        for element, weight in self:
+            group = key(element)
+            total = totals.get(group, 0) + weight * value(element)
+            if total:
+                totals[group] = total
+            else:
+                totals.pop(group, None)
+        return totals
+
+    # ------------------------------------------------------------------
+    def entries(self) -> "list[tuple[Any, int]]":
+        """Materialise ``(element, weight)`` pairs (insertion order)."""
+        return list(self._weights.items())

@@ -535,6 +535,11 @@ class TestSingleProcessTraceAndMetrics:
         assert metrics["rpc.server.inflight"] == 1
         assert metrics["aio.batcher.batch_items"]["max"] >= 2
         assert status["tracer"]["enabled"] is False
+        # The maintained-view catalog surfaces its headline counters in
+        # the same payload (`cli stats --connect` prints this section).
+        views = status["views"]
+        assert views["views"] == 3 and not views["stale"]
+        assert "maintain_p95" in views and "deltas_folded" in views
         # The sync backend writes through its own "serving" scope (the
         # fixture built it on the global registry); cache endpoint
         # counters and latency histograms are non-zero after the calls.

@@ -1,0 +1,335 @@
+"""Tests for repro.views: the Z-set delta algebra, the view catalog,
+delta lowering, and the serving layer's maintained-view protocol
+(fold / skip / stale / rehydrate) including the eager LRU purge."""
+
+import pytest
+
+from repro.core.ontology import AttentionOntology, EdgeType, NodeType
+from repro.core.store import OntologyDelta
+from repro.core.zsets import delta_to_zsets, token_rows
+from repro.serving import OntologyService
+from repro.serving.rpc import dumps
+from repro.text.ner import NerTagger
+from repro.text.tokenizer import tokenize
+from repro.views import TokenPostingsView, ViewCatalog, ZSet
+
+
+# ----------------------------------------------------------------------
+# the Z-set algebra
+# ----------------------------------------------------------------------
+class TestZSet:
+    def test_weights_sum_and_zero_totals_drop(self):
+        z = ZSet([("a", 1), ("b", 2)])
+        z.add("a", 3)
+        assert z.weight("a") == 4 and z.weight("b") == 2
+        z.add("a", -4)
+        assert "a" not in z and z.weight("a") == 0
+        assert len(z) == 1
+
+    def test_group_laws(self):
+        a = ZSet([("x", 2), ("y", -1)])
+        b = ZSet([("y", 1), ("z", 5)])
+        assert a + b == ZSet([("x", 2), ("z", 5)])  # y cancels
+        assert a - a == ZSet()
+        assert -(-a) == a
+        assert not (a - a)  # the empty Z-set is falsy
+
+    def test_map_is_linear(self):
+        a = ZSet([(1, 2), (2, 3)])
+        b = ZSet([(2, -3), (3, 1)])
+        fn = lambda n: n % 2  # collisions: images' weights must sum
+        assert (a + b).map(fn) == a.map(fn) + b.map(fn)
+
+    def test_filter_is_linear(self):
+        a = ZSet([(1, 1), (2, 4)])
+        b = ZSet([(2, -4), (4, 2)])
+        even = lambda n: n % 2 == 0
+        assert (a + b).filter(even) == a.filter(even) + b.filter(even)
+
+    def test_join_weights_multiply_and_is_bilinear(self):
+        left = ZSet([(("k", "l1"), 2)])
+        delta_left = ZSet([(("k", "l2"), 1)])
+        right = ZSet([(("k", "r1"), 3)])
+        on = lambda row: row[0]
+        joined = left.join(right, on=on)
+        assert joined.weight(((("k", "l1")), ("k", "r1"))) == 6
+        # Linearity in the left argument: join(a + da, b) ==
+        # join(a, b) + join(da, b).
+        assert (left + delta_left).join(right, on=on) == \
+            left.join(right, on=on) + delta_left.join(right, on=on)
+
+    def test_distinct_is_not_linear(self):
+        # The documented counterexample: support collapses weights, so
+        # distinct(a + b) != distinct(a) + distinct(b) in general.
+        a = ZSet([("x", 1)])
+        b = ZSet([("x", 1)])
+        assert (a + b).distinct() == ZSet([("x", 1)])
+        assert a.distinct() + b.distinct() == ZSet([("x", 2)])
+
+    def test_aggregate_groups_and_drops_zero_totals(self):
+        z = ZSet([(("u1", 2.0), 1), (("u1", 3.0), 2), (("u2", 1.0), 1)])
+        totals = z.aggregate(key=lambda row: row[0],
+                             value=lambda row: row[1])
+        assert totals == {"u1": 8.0, "u2": 1.0}
+        # Aggregate totals add group-wise across deltas...
+        retraction = ZSet([(("u2", 1.0), -1)])
+        after = (z + retraction).aggregate(key=lambda row: row[0],
+                                           value=lambda row: row[1])
+        # ...and a group cancelled to zero disappears entirely.
+        assert after == {"u1": 8.0}
+
+    def test_insertion_order_is_deterministic(self):
+        z = ZSet([("b", 1), ("a", 1)])
+        assert [element for element, _w in z] == ["b", "a"]
+        assert z.entries() == [("b", 1), ("a", 1)]
+
+
+# ----------------------------------------------------------------------
+# lowering OntologyDelta -> per-relation Z-sets
+# ----------------------------------------------------------------------
+class TestDeltaLowering:
+    def _delta(self):
+        onto = AttentionOntology()
+        onto.begin_delta("test")
+        concept = onto.add_node(NodeType.CONCEPT, "marvel movies")
+        entity = onto.add_node(NodeType.ENTITY, "iron man")
+        onto.add_edge(concept.node_id, entity.node_id, EdgeType.ISA)
+        onto.add_alias(concept.node_id, "mcu films")
+        onto.update_payload(concept.node_id, {"clicks": 3})
+        return onto, concept, entity, onto.commit_delta()
+
+    def test_created_nodes_emit_node_and_token_rows(self):
+        _onto, concept, entity, delta = self._delta()
+        relations = delta_to_zsets(delta)
+        assert relations["nodes"].weight(
+            (concept.node_id, "concept", "marvel movies")) == 1
+        assert relations["tokens"].weight(
+            ("concept", "marvel", concept.node_id)) == 1
+        assert relations["tokens"].weight(
+            ("entity", "iron", entity.node_id)) == 1
+        assert relations["edges"].weight(
+            (concept.node_id, entity.node_id, "isA", 1.0)) == 1
+        assert relations["aliases"].weight(
+            (concept.node_id, "mcu films")) == 1
+
+    def test_merge_and_payload_ops_lower_to_zero_rows(self):
+        onto, _concept, _entity, _delta = self._delta()
+        onto.begin_delta("again")
+        onto.add_node(NodeType.CONCEPT, "marvel movies")  # merge, not create
+        merge_delta = onto.commit_delta()
+        relations = delta_to_zsets(merge_delta)
+        assert all(not relations[name] for name in relations)
+
+    def test_ghost_node_ops_emit_nothing(self):
+        # A shard sub-delta marks unowned nodes as ghosts: routing
+        # copies, never owned posting rows.
+        delta = OntologyDelta(stage="sub", base_version=0, version=1, ops=[
+            {"op": "node", "type": "entity", "phrase": "thor",
+             "payload": {}, "node_id": "e1", "created": True,
+             "ghost": True},
+            {"op": "node", "type": "entity", "phrase": "hulk",
+             "payload": {}, "node_id": "e2", "created": True},
+        ])
+        relations = delta_to_zsets(delta)
+        assert len(relations["nodes"]) == 1
+        assert relations["tokens"].weight(("entity", "hulk", "e2")) == 1
+        assert ("entity", "thor", "e1") not in relations["tokens"]
+
+    def test_token_rows_are_distinct_and_sorted(self):
+        rows = token_rows("concept", "big big data big", "c1")
+        assert rows == [("concept", "big", "c1"), ("concept", "data", "c1")]
+
+
+# ----------------------------------------------------------------------
+# the catalog
+# ----------------------------------------------------------------------
+class _RecordingView:
+    def __init__(self):
+        self.applied = []
+        self.rebuilt = 0
+
+    def apply(self, relations):
+        self.applied.append(relations)
+
+    def rebuild(self):
+        self.rebuilt += 1
+
+
+class TestViewCatalog:
+    def test_register_rejects_duplicates(self):
+        catalog = ViewCatalog()
+        catalog.register("v", _RecordingView())
+        with pytest.raises(ValueError):
+            catalog.register("v", _RecordingView())
+        assert "v" in catalog and len(catalog) == 1
+
+    def test_advance_folds_every_view_and_adopts_version(self):
+        catalog = ViewCatalog()
+        first, second = _RecordingView(), _RecordingView()
+        catalog.register("a", first)
+        catalog.register("b", second)
+        batch = {"tokens": ZSet([(("t", "x", "n1"), 1)])}
+        catalog.advance(batch, version=7)
+        assert catalog.version == 7
+        assert len(first.applied) == len(second.applied) == 1
+        stats = catalog.stats()
+        assert stats["deltas_folded"] == 1
+        assert stats["rows_folded"] == 1
+        assert stats["views"] == 2 and not stats["stale"]
+
+    def test_stale_flag_cleared_by_rehydrate(self):
+        catalog = ViewCatalog()
+        view = catalog.register("v", _RecordingView())
+        catalog.mark_stale()
+        assert catalog.stale
+        catalog.rehydrate(version=3)
+        assert not catalog.stale
+        assert catalog.version == 3 and view.rebuilt == 1
+        assert catalog.stats()["rehydrations"] == 1
+
+    def test_initial_hydration_does_not_count_as_repair(self):
+        catalog = ViewCatalog()
+        catalog.register("v", _RecordingView())
+        catalog.rehydrate(version=1, count=False)
+        assert catalog.stats()["rehydrations"] == 0
+
+    def test_feed_runs_out_of_band_update(self):
+        catalog = ViewCatalog()
+        seen = []
+        assert catalog.feed("v", lambda: seen.append(1) or "ok") == "ok"
+        assert seen == [1]
+
+
+# ----------------------------------------------------------------------
+# the postings view against a real store
+# ----------------------------------------------------------------------
+class TestTokenPostingsView:
+    def test_maintained_matches_recompute_after_folds(self):
+        onto = AttentionOntology()
+        view = TokenPostingsView(onto.store)
+        view.rebuild()
+        for phrase in ("solar engine", "solar market", "lunar engine"):
+            onto.begin_delta("grow")
+            onto.add_node(NodeType.CONCEPT, phrase)
+            delta = onto.commit_delta()
+            view.apply(delta_to_zsets(delta))
+            assert dumps(view.materialized()) == dumps(view.recompute())
+        ids = view.ids("concept", "solar")
+        assert len(ids) == 2
+        assert view.candidate_ids("concept", ["solar", "lunar"]) == \
+            view.ids("concept", "solar") | view.ids("concept", "lunar")
+
+    def test_negative_weight_retracts_posting_rows(self):
+        view = TokenPostingsView()
+        view.apply({"tokens": ZSet([(("entity", "thor", "e1"), 1),
+                                    (("entity", "thor", "e2"), 1)])})
+        view.apply({"tokens": ZSet([(("entity", "thor", "e1"), -1)])})
+        assert view.ids("entity", "thor") == {"e2"}
+        view.apply({"tokens": ZSet([(("entity", "thor", "e2"), -1)])})
+        assert view.ids("entity", "thor") == set()
+        assert view.materialized() == {}
+
+
+# ----------------------------------------------------------------------
+# the serving protocol: fold / skip / stale / rehydrate + eager purge
+# ----------------------------------------------------------------------
+TAGGER_OPTIONS = {"coherence_threshold": 0.01, "lcs_threshold": 0.6}
+
+
+@pytest.fixture
+def ner():
+    t = NerTagger()
+    t.register("iron man", "WORK")
+    return t
+
+
+def _grow(onto, phrase):
+    onto.begin_delta("grow")
+    onto.add_node(NodeType.CONCEPT, phrase)
+    return onto.commit_delta()
+
+
+class TestServiceViewProtocol:
+    def test_fold_views_gates_on_catalog_version(self, ner):
+        onto = AttentionOntology()
+        service = OntologyService(onto, ner=ner, tagger_options=TAGGER_OPTIONS)
+        applied = _grow(onto, "solar engine")
+        assert service.fold_views(applied) == "applied"
+        assert service.views.version == onto.store.version
+        assert service.fold_views(applied) == "skipped"  # redelivery
+        skipped = _grow(onto, "lunar market")
+        gapped = _grow(onto, "arctic summit")
+        assert service.fold_views(gapped) == "stale"  # skipped one
+        assert service.views.stale
+        # The next view-backed read repairs the catalog from the store.
+        service.tag_documents([("d", tokenize("solar engine"), [])])
+        assert not service.views.stale
+        assert service.views.version == onto.store.version
+        assert service.fold_views(skipped) == "skipped"  # now behind
+
+    def test_out_of_band_store_mutation_rehydrates_at_read(self, ner):
+        onto = AttentionOntology()
+        service = OntologyService(onto, ner=ner, tagger_options=TAGGER_OPTIONS)
+        # Mutate the shared store without telling the service at all.
+        onto.begin_delta("oob")
+        onto.add_node(NodeType.EVENT, "crimson reactor overload")
+        onto.commit_delta()
+        assert service.views.version < onto.store.version
+        # Event candidates come off the maintained postings view, so the
+        # tag only lands if the stale catalog rehydrated before serving.
+        [tagged] = service.tag_documents(
+            [("d", tokenize("crimson reactor overload reported"), [])])
+        assert "crimson reactor overload" in tagged.event_tags
+        assert service.views.version == onto.store.version
+        assert service.stats()["views"]["rehydrations"] == 1
+
+    def test_postings_view_identical_through_refresh_stream(self, ner):
+        onto = AttentionOntology()
+        service = OntologyService(onto, ner=ner, tagger_options=TAGGER_OPTIONS)
+        for phrase in ("solar engine", "solar market", "rapid garden"):
+            service.refresh([_grow(onto, phrase)])
+            postings = service.views.get("tag_postings")
+            assert dumps(postings.materialized()) == \
+                dumps(postings.recompute())
+        assert service.stats()["views"]["deltas_folded"] == 3
+
+    def test_refresh_burst_purges_stale_version_cache_entries(self, ner):
+        """Regression: version-keyed LRU entries from superseded store
+        versions must be dropped eagerly on refresh, not linger until
+        capacity pressure — a refresh burst used to leave one dead
+        generation of entries per applied delta."""
+        onto = AttentionOntology()
+        concept = onto.add_node(NodeType.CONCEPT, "marvel movies")
+        entity = onto.add_node(NodeType.ENTITY, "iron man")
+        onto.add_edge(concept.node_id, entity.node_id, EdgeType.ISA)
+        service = OntologyService(onto, ner=ner, cache_size=256,
+                                  tagger_options=TAGGER_OPTIONS)
+        for round_no in range(8):
+            service.neighborhood(concept.node_id, depth=1)
+            service.neighborhood(entity.node_id, depth=2)
+            service.concepts_of_entity("iron man")
+            service.refresh([_grow(onto, f"silent league {round_no}")])
+        # After the burst only the *current* version's entries may
+        # remain; without the eager purge the cache held one dead
+        # generation per refresh (~8x the working set).
+        stats = service.stats()["cache"]
+        assert stats["size"] == 0  # burst ended on a refresh
+        service.neighborhood(concept.node_id, depth=1)
+        service.concepts_of_entity("iron man")
+        assert service.stats()["cache"]["size"] == 2
+        purged = service.metrics.snapshot()["cache.purged"]
+        assert purged == 8 * 3  # every superseded entry, eagerly
+
+    def test_purge_keeps_current_version_entries(self, ner):
+        onto = AttentionOntology()
+        concept = onto.add_node(NodeType.CONCEPT, "marvel movies")
+        service = OntologyService(onto, ner=ner, tagger_options=TAGGER_OPTIONS)
+        delta = _grow(onto, "quiet archive")
+        service.refresh([delta])  # catalog catches up to the store
+        service.neighborhood(concept.node_id, depth=1)
+        # A redelivered (skipped) delta purges nothing: the entry is
+        # keyed to the still-current version.
+        service.refresh([delta])
+        assert service.stats()["cache"]["size"] == 1
+        assert service.neighborhood(concept.node_id, depth=1) == ()
+        assert service.stats()["cache"]["hits"] >= 1
