@@ -12,9 +12,15 @@ full repro.obs telemetry stack (DESIGN.md §12) armed:
    RPC frames into the spawned shard-worker processes (they inherit
    REPRO_TRACE_DIR), so one request becomes one connected span tree
    spanning driver -> worker process boundaries;
-3. a late delta is published and the follower-lag gauges are read
+3. the continuous-telemetry layer (DESIGN.md §14) runs alongside: a
+   MetricsCollector samples the registry into time series, an SloEngine
+   turns them into burn-rate verdicts, and the FlightRecorder rings up
+   structured events from every instrumented layer;
+4. a late delta is published and the follower-lag gauges are read
    before and after the workers catch up;
-4. the per-process span logs are merged into a Chrome trace_event file
+5. a shard worker is restarted — an *anomaly* — which auto-dumps the
+   flight-recorder ring to disk; the dump is read back and shown;
+6. the per-process span logs are merged into a Chrome trace_event file
    loadable in chrome://tracing or https://ui.perfetto.dev.
 
 Run:  python examples/observability.py
@@ -29,8 +35,13 @@ from repro import GiantPipeline, WorldConfig, build_world
 from repro.cluster import RemoteClusterService
 from repro.core.ontology import NodeType
 from repro.obs import (
+    RECORDER_DIR_ENV,
     TRACE_DIR_ENV,
+    configure_collector,
+    configure_recorder,
+    configure_slo_engine,
     configure_tracer,
+    get_recorder,
     get_registry,
     get_tracer,
     load_spans,
@@ -66,6 +77,16 @@ def main() -> None:
     os.environ[TRACE_DIR_ENV] = trace_dir
     configure_tracer(trace_dir, process="driver")
     tracer = get_tracer()
+
+    # Arm the continuous-telemetry layer the same way: the recorder env
+    # var makes spawned workers dump anomalies into the same directory,
+    # the collector samples the registry into series, and the SLO
+    # engine watches the default serving objectives over them.
+    os.environ[RECORDER_DIR_ENV] = trace_dir
+    configure_recorder(trace_dir, process="driver")
+    collector = configure_collector(interval=0.2)
+    engine = configure_slo_engine(collector)
+    collector.start()
 
     # --- build a small world into a durable log (the system of record).
     world = build_world(WorldConfig(num_days=2, seed=0))
@@ -150,12 +171,56 @@ def main() -> None:
               f"(workers now at v{remote.version}):")
         show(get_registry().snapshot(), lag_keys)
 
+        # --- continuous telemetry (DESIGN.md §14): the collector has
+        # been sampling the registry in the background through the load
+        # above, deriving counter rates and windowed percentiles; the
+        # SLO engine turns those series into burn-rate verdicts.
+        collector.sample()  # close the window with one final sample
+        desc = collector.describe()
+        print(f"\ncollector: {desc['samples_taken']} samples across "
+              f"{desc['series']} series; highlights:")
+        for name in ("aio.batcher.requests.rate",
+                     "aio.batcher.execute_seconds.p95",
+                     "scatter.fanout_seconds.p95"):
+            point = collector.latest(name)
+            if point is not None:
+                print(f"  {name}: {point[1]:g} (t={point[0]:.2f})")
+        for verdict in engine.evaluate_all():
+            print(f"  slo {verdict['slo']}: {verdict['verdict']}")
+
+        # --- the flight recorder has been ringing up events from the
+        # same load (deadline flushes, stragglers, ...).  Restart a
+        # shard worker: ``worker.restart`` is in the anomaly taxonomy,
+        # so the recorder auto-dumps its ring — the black box names the
+        # affected component with no debugger attached.
+        print("\nrestarting shard 0 (an anomaly -> flight-recorder dump)")
+        remote.restart_shard(0)
+        recorder = get_recorder()
+        rdesc = recorder.describe()
+        print(f"recorder ring: {rdesc['events_held']} events held, "
+              f"{rdesc['anomalies']} anomalies, "
+              f"{rdesc['dumps_written']} dumps written")
+        dump_path = recorder.last_dump_path or recorder.dump()
+        print(f"flight-recorder dump: {dump_path}")
+        with open(dump_path, encoding="utf-8") as handle:
+            dumped = [json.loads(line) for line in handle]
+        header, events = dumped[0], dumped[1:]
+        anomalies = [e for e in events if e["anomaly"]]
+        print(f"  dump reason={header['reason']!r} holds "
+              f"{header['events']} events, {len(anomalies)} anomalous;"
+              " last anomaly:")
+        last = anomalies[-1]
+        print(f"  {last['kind']} component={last['component']!r} "
+              f"seq={last['seq']}")
+
         # --- persist the snapshot for offline diffing.
         snap_path = os.path.join(trace_dir, "registry-snapshot.json")
         with open(snap_path, "w") as handle:
             json.dump(get_registry().snapshot(), handle, indent=1,
                       sort_keys=True)
         print(f"\nfull registry snapshot dumped to {snap_path}")
+
+    collector.stop()
 
     # --- merge the per-process span logs into one Chrome trace.
     spans = load_spans(trace_dir)

@@ -160,8 +160,10 @@ def _print_obs_status(status: dict) -> None:
 
 def _stats_connect(args: argparse.Namespace) -> int:
     """Fetch a live server's ``obs_status`` over RPC and pretty-print
-    its registry snapshot (counters, gauges, latency percentiles)."""
+    its registry snapshot (counters, gauges, latency percentiles) —
+    or emit the raw payload with ``--json`` for scripts/dashboards."""
     import asyncio
+    import json
 
     from .serving.rpc import RpcClient
 
@@ -178,7 +180,11 @@ def _stats_connect(args: argparse.Namespace) -> int:
         finally:
             await client.close()
 
-    _print_obs_status(asyncio.run(_run()))
+    status = asyncio.run(_run())
+    if getattr(args, "json", False):
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        _print_obs_status(status)
     return 0
 
 
@@ -192,6 +198,75 @@ def _stats(args: argparse.Namespace) -> int:
     ontology, _ner = _load_with_ner(args.ontology)
     for key, value in ontology.stats().items():
         print(f"{key:12s} {value}")
+    return 0
+
+
+def _print_watch(watch: dict) -> None:
+    """One ``obs_watch`` frame: collector/recorder summaries, SLO
+    verdicts, and the latest value of every derived series."""
+    collector = watch.get("collector")
+    if collector is None:
+        print("collector: not configured (serve with --collect-interval)")
+    else:
+        print(f"collector: interval={collector.get('interval')} "
+              f"samples={collector.get('samples_taken')} "
+              f"series={collector.get('series')} "
+              f"last_sampled_at={collector.get('last_sampled_at')}")
+    for verdict in watch.get("slo") or []:
+        print(f"slo {verdict.get('slo', '?'):24s} {verdict.get('verdict')}")
+    series = watch.get("series") or {}
+    derived = {name: points for name, points in sorted(series.items())
+               if name.rsplit(".", 1)[-1] in ("rate", "p50", "p95", "p99")
+               and points}
+    for name, points in derived.items():
+        t, value = points[-1]
+        print(f"  {name:52s} {value:.6g} (t={t:.3f}, {len(points)} pts)")
+    recorder = watch.get("recorder") or {}
+    print(f"recorder: events={recorder.get('events_recorded')} "
+          f"held={recorder.get('events_held')} "
+          f"anomalies={recorder.get('anomalies')} "
+          f"dumps={recorder.get('dumps_written')} "
+          f"last_dump={recorder.get('last_dump_path')}")
+
+
+def _watch(args: argparse.Namespace) -> int:
+    """Live telemetry view: poll a running server's ``obs_watch`` at a
+    fixed interval, printing collector series tails, SLO burn-rate
+    verdicts, and the flight-recorder summary each frame."""
+    import asyncio
+    import json
+
+    from .serving.rpc import RpcClient
+
+    address = _parse_listen(args.connect)
+    if address is None:
+        print(f"--connect expects HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+
+    async def _run() -> None:
+        client = await RpcClient.connect(*address)
+        frames = 0
+        try:
+            while True:
+                watch = await client.call("obs_watch", points=args.points)
+                if args.json:
+                    print(json.dumps(watch, sort_keys=True))
+                else:
+                    if frames:
+                        print()
+                    _print_watch(watch)
+                frames += 1
+                if args.count and frames >= args.count:
+                    return
+                await asyncio.sleep(args.interval)
+        finally:
+            await client.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("watch stopped")
     return 0
 
 
@@ -329,6 +404,30 @@ def _serve(args: argparse.Namespace) -> int:
         configure_tracer(args.trace_dir, process="serve")
         print(f"tracing spans to {args.trace_dir}")
 
+    from .obs import RECORDER_DIR_ENV, configure_recorder
+
+    if args.recorder_dir:
+        # Same env-first rule as the tracer: spawned shard workers
+        # inherit the dump directory, so a worker anomaly lands next to
+        # the parent's flight-<serve>-*.jsonl dumps.
+        os.environ[RECORDER_DIR_ENV] = args.recorder_dir
+        print(f"flight-recorder dumps to {args.recorder_dir}")
+    configure_recorder(args.recorder_dir or None, process="serve",
+                       slow_call_seconds=args.slow_call)
+
+    collector = None
+    if args.collect_interval > 0:
+        from .obs import (
+            configure_collector,
+            configure_slo_engine,
+            default_slos,
+        )
+
+        collector = configure_collector(interval=args.collect_interval)
+        configure_slo_engine(collector, default_slos())
+        collector.start()
+        print(f"collecting metrics every {args.collect_interval}s")
+
     tagger_options = {"coherence_threshold": args.threshold}
     publisher = None
     log = catalog = snapshot = None
@@ -359,7 +458,9 @@ def _serve(args: argparse.Namespace) -> int:
                                            ner=ner,
                                            tagger_options=tagger_options,
                                            wire=args.wire,
-                                           trace_dir=args.trace_dir or None)
+                                           trace_dir=args.trace_dir or None,
+                                           recorder_dir=args.recorder_dir
+                                           or None)
         elif args.from_log:
             cluster = ClusterService(num_shards=args.shards, ner=ner,
                                      tagger_options=tagger_options,
@@ -435,6 +536,8 @@ def _serve(args: argparse.Namespace) -> int:
             return _serve_rpc(cluster, address[0], address[1], args)
         return 0
     finally:
+        if collector is not None:
+            collector.stop()
         if args.remote_shards and cluster is not None:
             cluster.close()
         if publisher is not None:
@@ -494,7 +597,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="HOST:PORT of a running `serve --listen` "
                               "process — fetch and pretty-print its "
                               "obs_status registry snapshot instead")
+    p_stats.add_argument("--json", action="store_true",
+                         help="with --connect: print the raw obs_status "
+                              "payload as JSON (machine-readable)")
     p_stats.set_defaults(func=_stats)
+
+    p_watch = sub.add_parser(
+        "watch", help="live telemetry: poll a running server's obs_watch "
+                      "(collector series, SLO verdicts, flight recorder)")
+    p_watch.add_argument("--connect", required=True,
+                         help="HOST:PORT of a running `serve --listen` "
+                              "process")
+    p_watch.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between polls")
+    p_watch.add_argument("--count", type=int, default=0,
+                         help="stop after N frames (0 = until Ctrl-C)")
+    p_watch.add_argument("--points", type=int, default=30,
+                         help="series tail length per frame")
+    p_watch.add_argument("--json", action="store_true",
+                         help="one JSON obs_watch payload per line "
+                              "instead of the pretty view")
+    p_watch.set_defaults(func=_watch)
 
     p_tag = sub.add_parser("tag", help="tag a document")
     p_tag.add_argument("--ontology", required=True)
@@ -557,6 +680,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "in this directory (the whole process "
                               "tree: server, batcher, shard workers); "
                               "export with repro.obs.write_chrome_trace")
+    p_serve.add_argument("--collect-interval", type=float, default=0.0,
+                         help="sample the metrics registry into in-memory "
+                              "time series every N seconds (enables the "
+                              "obs_watch RPC's series and SLO verdicts; "
+                              "0 disables collection)")
+    p_serve.add_argument("--recorder-dir", default="",
+                         help="dump flight-recorder anomaly rings as "
+                              "JSON-lines files in this directory (the "
+                              "whole process tree, like --trace-dir)")
+    p_serve.add_argument("--slow-call", type=float, default=0.5,
+                         help="seconds above which an RPC dispatch or a "
+                              "scatter straggler is recorded as a "
+                              "slow-call anomaly")
     p_serve.set_defaults(func=_serve)
 
     p_show = sub.add_parser("showcase", help="print sample concepts/topics")

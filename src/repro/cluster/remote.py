@@ -63,6 +63,11 @@ from ..core.store import (
 )
 from ..errors import DeltaGapError, OntologyError, ReproError, RingEpochError
 from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.recorder import (
+    RECORDER_DIR_ENV,
+    configure_recorder,
+    get_recorder,
+)
 from ..obs.tracing import (
     TRACE_DIR_ENV,
     TraceContext,
@@ -119,6 +124,10 @@ def _advance(router: ShardRouter, deltas: "Iterable[OntologyDelta]",
             continue
         if ring_op_of(delta) is not None:
             plan = router.apply_ring(delta)
+            get_recorder().record(
+                "ring.epoch_flip",
+                "cluster.parent" if replica is None else f"shard-{shard_id}",
+                epoch=plan.ring.epoch, num_shards=plan.ring.num_shards)
             if replica is not None:
                 if shard_id >= plan.ring.num_shards:
                     raise RingEpochError(
@@ -198,7 +207,10 @@ def _catch_up(client: SyncLogClient, router: ShardRouter,
         try:
             deltas = client.wait(router.version, timeout=_SYNC_WAIT_SECONDS)
             _advance(router, deltas, shard_id, replica)
-        except DeltaGapError:
+        except DeltaGapError as exc:
+            get_recorder().record(
+                "replication.gap_rebootstrap", f"shard-{shard_id}",
+                version=router.version, target=target, error=str(exc))
             router, replica = _bootstrap_shard(client, router.num_shards,
                                                shard_id)
             recovered = True
@@ -209,15 +221,20 @@ def _shard_worker_main(shard_id: int, num_shards: int,
                        publisher_host: str, publisher_port: int,
                        ready, accept_timeout: float,
                        seed: bool = False,
-                       trace_dir: "str | None" = None) -> None:
+                       trace_dir: "str | None" = None,
+                       recorder_dir: "str | None" = None) -> None:
     """One shard behind a socket: bootstrap from the log (or await a
     parent seed), serve reads."""
     # The worker's span log: explicit argument first, inherited
     # environment second (spawn passes the parent's env through), so
     # ``cli serve --trace-dir`` traces the whole process tree while an
-    # untraced cluster pays nothing.
+    # untraced cluster pays nothing.  The flight recorder follows the
+    # same rule, so a worker anomaly dumps next to the parent's dumps.
     configure_tracer(trace_dir or os.environ.get(TRACE_DIR_ENV) or None,
                      process=f"shard-{shard_id}")
+    configure_recorder(
+        recorder_dir or os.environ.get(RECORDER_DIR_ENV) or None,
+        process=f"shard-{shard_id}")
     metrics = get_registry().scope("shard_worker")
     requests_served = metrics.counter("requests")
     try:
@@ -283,6 +300,7 @@ def _shard_worker_main(shard_id: int, num_shards: int,
                             result = {
                                 "metrics": get_registry().snapshot(),
                                 "tracer": get_tracer().describe(),
+                                "recorder": get_recorder().describe(),
                             }
                         elif method == "seed":
                             if router is not None:
@@ -555,6 +573,7 @@ class RemoteClusterService:
                  start_timeout: float = 180.0,
                  wire: str = "json",
                  trace_dir: "str | None" = None,
+                 recorder_dir: "str | None" = None,
                  registry: "MetricsRegistry | None" = None) -> None:
         if num_shards <= 0:
             raise OntologyError("a cluster needs at least one shard")
@@ -562,6 +581,7 @@ class RemoteClusterService:
             raise OntologyError(f"unknown wire encoding {wire!r}")
         self._wire = wire
         self._trace_dir = trace_dir
+        self._recorder_dir = recorder_dir
         registry = registry if registry is not None else get_registry()
         self._registry = registry
         self._metrics = registry.scope("cluster")
@@ -622,7 +642,8 @@ class RemoteClusterService:
         process = self._context.Process(
             target=_shard_worker_main,
             args=(shard_id, self._router.num_shards, self._host, self._port,
-                  queue, self._start_timeout, seed, self._trace_dir),
+                  queue, self._start_timeout, seed, self._trace_dir,
+                  self._recorder_dir),
             daemon=True,
         )
         process.start()
@@ -693,6 +714,8 @@ class RemoteClusterService:
                                    wire=self._wire)
         proxy.sync(self._router.version)
         self._worker_restarts.inc()
+        get_recorder().record("worker.restart", f"shard-{shard_id}",
+                              version=self._router.version)
         return proxy
 
     def restart_shard(self, shard_id: int) -> dict:
@@ -755,11 +778,14 @@ class RemoteClusterService:
         try:
             deltas = list(self._client.fetch(self._router.version))
             advanced = _advance(self._router, deltas)
-        except DeltaGapError:
+        except DeltaGapError as exc:
             # The log GC'd past the parent's routing state: rebuild it
             # (workers re-bootstrap themselves on their own gap).  The
             # view catalog's version now trails the router's; the next
             # view-backed read rehydrates it from the scatter view.
+            get_recorder().record(
+                "replication.gap_rebootstrap", "cluster.parent",
+                version=self._router.version, error=str(exc))
             self._router, _ = _bootstrap_shard(
                 self._client, self._router.num_shards, None)
             return 0

@@ -47,6 +47,7 @@ from ..core.store import (
 from ..core.zsets import delta_to_zsets, token_rows
 from ..errors import OntologyError
 from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.recorder import get_recorder
 from ..obs.tracing import get_tracer
 from ..views import ShardPostingsFragment, ViewCatalog
 from ..views.zset import ZSet
@@ -502,6 +503,15 @@ class ShardedStoreView:
             self._straggler.set(straggler)
             if span is not None:
                 span.set(straggler=straggler)
+            # Only a straggler that crossed the recorder's slow-call
+            # threshold is an event — every scatter has *some* last
+            # shard, and recording them all would flood the ring.
+            recorder = get_recorder()
+            if done_at and done_at[straggler] >= recorder.slow_call_seconds:
+                recorder.record("scatter.straggler", f"shard-{straggler}",
+                                method=method,
+                                seconds=done_at[straggler],
+                                shards=len(self._replicas))
         return out
 
     def _resolve(self, node_ids) -> list[AttentionNode]:

@@ -1,6 +1,6 @@
 """repro.obs: zero-dependency observability for the serving fabric.
 
-Two halves (DESIGN.md §12):
+Four parts (DESIGN.md §12, §14):
 
 * :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
   (counters, gauges, log-bucketed latency histograms) behind one lock,
@@ -10,7 +10,17 @@ Two halves (DESIGN.md §12):
 * :mod:`repro.obs.tracing` — request-scoped :class:`TraceContext`
   propagation across asyncio tasks, worker threads, sockets and spawned
   shard-worker processes, with spans appended to JSON-lines logs and a
-  Chrome ``trace_event`` exporter.
+  Chrome ``trace_event`` exporter;
+* :mod:`repro.obs.timeseries` + :mod:`repro.obs.slo` — the continuous
+  layer: a :class:`MetricsCollector` sampling the registry into bounded
+  ring-buffer series (counter rates, windowed histogram percentiles)
+  and an :class:`SloEngine` turning declarative latency/error-budget
+  specs into multi-window burn-rate verdicts (``obs_watch`` RPC,
+  ``cli watch --connect``);
+* :mod:`repro.obs.recorder` — the black-box :class:`FlightRecorder`:
+  a bounded ring of structured events every serving layer reports
+  into, dumped as JSON lines on anomaly or on demand (``obs_dump``
+  RPC, ``cli serve --recorder-dir``).
 """
 
 from .metrics import (
@@ -20,6 +30,26 @@ from .metrics import (
     MetricsRegistry,
     Scope,
     get_registry,
+)
+from .recorder import (
+    ANOMALY_KINDS,
+    RECORDER_DIR_ENV,
+    FlightRecorder,
+    configure_recorder,
+    get_recorder,
+)
+from .slo import (
+    SloEngine,
+    SloSpec,
+    configure_slo_engine,
+    default_slos,
+    get_slo_engine,
+)
+from .timeseries import (
+    MetricsCollector,
+    SeriesRing,
+    configure_collector,
+    get_collector,
 )
 from .tracing import (
     TRACE_DIR_ENV,
@@ -42,6 +72,20 @@ __all__ = [
     "MetricsRegistry",
     "Scope",
     "get_registry",
+    "ANOMALY_KINDS",
+    "RECORDER_DIR_ENV",
+    "FlightRecorder",
+    "configure_recorder",
+    "get_recorder",
+    "SloEngine",
+    "SloSpec",
+    "configure_slo_engine",
+    "default_slos",
+    "get_slo_engine",
+    "MetricsCollector",
+    "SeriesRing",
+    "configure_collector",
+    "get_collector",
     "TRACE_DIR_ENV",
     "Span",
     "TraceContext",

@@ -181,20 +181,30 @@ class Histogram:
                 return min(max(upper, self._min), self._max)
         return self._max  # unreachable; defensive
 
-    def _state(self) -> "dict[str, Any]":  # caller holds the registry lock
+    def _state(self, buckets: bool = False) -> "dict[str, Any]":
+        # caller holds the registry lock
         if self._count == 0:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                    "avg": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
-        return {
-            "count": self._count,
-            "sum": self._sum,
-            "min": self._min,
-            "max": self._max,
-            "avg": self._sum / self._count,
-            "p50": self._percentile_locked(0.50),
-            "p95": self._percentile_locked(0.95),
-            "p99": self._percentile_locked(0.99),
-        }
+            state = {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                     "avg": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        else:
+            state = {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "avg": self._sum / self._count,
+                "p50": self._percentile_locked(0.50),
+                "p95": self._percentile_locked(0.95),
+                "p99": self._percentile_locked(0.99),
+            }
+        if buckets:
+            # Opt-in raw bucket counts (plus the geometric base), so a
+            # sampler can diff two snapshots and compute *windowed*
+            # percentiles from the bucket-count deltas.  Off by default:
+            # the plain state is the stable ``obs_status`` wire shape.
+            state["base"] = self._base
+            state["buckets"] = dict(self._buckets)
+        return state
 
     @property
     def state(self) -> "dict[str, Any]":
@@ -275,14 +285,36 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # readout
     # ------------------------------------------------------------------
-    def snapshot(self) -> "dict[str, Any]":
+    def snapshot(self, buckets: bool = False) -> "dict[str, Any]":
         """One consistent point-in-time cut of every instrument, sorted
         by name.  Counters/gauges read as numbers, histograms as
         ``{count, sum, min, max, avg, p50, p95, p99}`` dicts — plain
-        JSON-encodable values (the ``obs_status`` RPC payload)."""
+        JSON-encodable values (the ``obs_status`` RPC payload).
+
+        The cut carries a ``"sampled_at"`` key stamped from this
+        registry's injectable :attr:`clock`, taken under the same lock —
+        so two snapshots diff on a consistent time base without any
+        consumer calling wall-clock itself.  With ``buckets=True``
+        histogram states additionally expose their raw bucket counts
+        (see :meth:`Histogram._state`) for windowed-percentile math.
+        """
         with self._lock:
-            return {name: self._instruments[name]._state()
-                    for name in sorted(self._instruments)}
+            cut: "dict[str, Any]" = {"sampled_at": self.clock()}
+            for name, instrument in self._instruments.items():
+                if buckets and isinstance(instrument, Histogram):
+                    cut[name] = instrument._state(buckets=True)
+                else:
+                    cut[name] = instrument._state()
+            return dict(sorted(cut.items()))
+
+    def kinds(self) -> "dict[str, str]":
+        """Instrument kind (``counter`` / ``gauge`` / ``histogram``) by
+        name — how a sampler tells a cumulative counter (derive a rate)
+        from a gauge (record the level) without guessing from values."""
+        with self._lock:
+            return {name: type(instrument).__name__.lower()
+                    for name in sorted(self._instruments)
+                    for instrument in (self._instruments[name],)}
 
 
 class Scope:

@@ -1,0 +1,262 @@
+"""Declarative SLOs with multi-window burn-rate verdicts.
+
+An SLO here is what an on-call rotation would page on (DESIGN.md §14):
+a latency target over a collector percentile series, an error budget
+over a pair of cumulative counter series, or both.  The
+:class:`SloEngine` evaluates specs against a
+:class:`~repro.obs.timeseries.MetricsCollector`'s rings and yields one
+of four verdicts:
+
+* ``page`` — the error budget is burning at ``page_burn``× or faster in
+  **both** the short and the long window (the classic multi-window
+  rule: the long window proves the burn is sustained, the short window
+  proves it is still happening), or the latency series exceeds
+  ``latency_page_factor`` × target;
+* ``warn`` — both windows burn at ``warn_burn``× or faster, or latency
+  exceeds its target;
+* ``healthy`` — data present, no threshold crossed;
+* ``unknown`` — not enough samples to say (a collector that never ran,
+  or series the spec names that were never derived).
+
+A burn rate of 1.0 means "spending the budget exactly as provisioned";
+the window's error fraction is computed from the *raw counter* series
+the collector records: the delta between the newest sample and the
+nearest sample **at or before the window start** — so a window that
+straddles a sampling gap (idle collector, missed ticks) still measures
+the true cumulative movement instead of dropping to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from .timeseries import MetricsCollector
+
+_SEVERITY = {"unknown": 0, "healthy": 1, "warn": 2, "page": 3}
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective over collector series.
+
+    Args:
+        name: verdict label (``serving-latency``, ``rpc-errors``, …).
+        latency_series: collector series holding the guarded latency
+            percentile (e.g. ``aio.batcher.execute_seconds.p95``).
+        latency_target: seconds the series must stay at or under.
+        latency_page_factor: multiple of the target that escalates a
+            latency breach from ``warn`` to ``page``.
+        error_series / total_series: *raw cumulative counter* series
+            (the collector records counters under their own name)
+            whose windowed deltas form the error fraction.
+        error_budget: allowed error fraction (0 < budget <= 1); burn
+            rate = window error fraction / budget.
+        short_window / long_window: trailing windows (seconds) that
+            must **both** exceed a threshold to cross it.
+        warn_burn / page_burn: burn-rate thresholds.
+    """
+
+    name: str
+    latency_series: "str | None" = None
+    latency_target: "float | None" = None
+    latency_page_factor: float = 2.0
+    error_series: "str | None" = None
+    total_series: "str | None" = None
+    error_budget: float = 0.01
+    short_window: float = 300.0
+    long_window: float = 3600.0
+    warn_burn: float = 1.0
+    page_burn: float = 10.0
+
+    def __post_init__(self) -> None:
+        has_latency = self.latency_series is not None \
+            and self.latency_target is not None
+        has_errors = self.error_series is not None \
+            and self.total_series is not None
+        if not has_latency and not has_errors:
+            raise ValueError(
+                f"SLO {self.name!r} needs a latency objective "
+                "(latency_series + latency_target) and/or an error "
+                "objective (error_series + total_series)")
+        if not 0.0 < self.error_budget <= 1.0:
+            raise ValueError("error_budget must be in (0, 1]")
+        if self.short_window <= 0 or self.long_window < self.short_window:
+            raise ValueError(
+                "windows must satisfy 0 < short_window <= long_window")
+        if self.warn_burn <= 0 or self.page_burn < self.warn_burn:
+            raise ValueError(
+                "burn thresholds must satisfy 0 < warn_burn <= page_burn")
+
+
+def _windowed_delta(samples: "list[tuple[float, float]]", now: float,
+                    window: float) -> "float | None":
+    """Movement of a cumulative counter over ``[now - window, now]``.
+
+    The baseline is the nearest sample at or before the window start —
+    falling back to the oldest held sample when the series begins
+    inside the window — so a window straddling missing samples still
+    sees the cumulative movement across the gap.  ``None`` when fewer
+    than two usable samples exist.
+    """
+    usable = [s for s in samples if s[0] <= now]
+    if len(usable) < 2:
+        return None
+    start = now - window
+    baseline = usable[0]
+    for sample in usable:
+        if sample[0] <= start:
+            baseline = sample
+        else:
+            break
+    newest = usable[-1]
+    if newest[0] <= baseline[0]:
+        return None
+    return newest[1] - baseline[1]
+
+
+class SloEngine:
+    """Evaluates :class:`SloSpec` objectives over one collector."""
+
+    def __init__(self, collector: MetricsCollector,
+                 specs: "Iterable[SloSpec]" = ()) -> None:
+        self._collector = collector
+        self._specs: "list[SloSpec]" = list(specs)
+
+    @property
+    def specs(self) -> "list[SloSpec]":
+        return list(self._specs)
+
+    def add(self, spec: SloSpec) -> SloSpec:
+        self._specs.append(spec)
+        return spec
+
+    # ------------------------------------------------------------------
+    def evaluate(self, spec: SloSpec,
+                 now: "float | None" = None) -> "dict[str, Any]":
+        """One spec's verdict dict (JSON-encodable)."""
+        if now is None:
+            now = self._collector.last_sampled_at
+        verdict = "unknown"
+        out: "dict[str, Any]" = {"slo": spec.name, "evaluated_at": now}
+        if now is None:  # the collector never sampled
+            out["verdict"] = verdict
+            return out
+        latency = self._latency_part(spec, now)
+        if latency is not None:
+            out["latency"] = latency
+            verdict = _worst(verdict, latency["status"])
+        errors = self._error_part(spec, now)
+        if errors is not None:
+            out["error_budget"] = errors
+            verdict = _worst(verdict, errors["status"])
+        out["verdict"] = verdict
+        return out
+
+    def evaluate_all(self, now: "float | None" = None
+                     ) -> "list[dict[str, Any]]":
+        return [self.evaluate(spec, now=now) for spec in self._specs]
+
+    # ------------------------------------------------------------------
+    def _latency_part(self, spec: SloSpec,
+                      now: float) -> "dict[str, Any] | None":
+        if spec.latency_series is None or spec.latency_target is None:
+            return None
+        part = {"series": spec.latency_series,
+                "target": spec.latency_target}
+        points = self._collector.window(spec.latency_series,
+                                        spec.long_window, now=now)
+        if not points:
+            part["status"] = "unknown"
+            return part
+        t, value = points[-1]
+        part["value"] = value
+        part["at"] = t
+        if value > spec.latency_target * spec.latency_page_factor:
+            part["status"] = "page"
+        elif value > spec.latency_target:
+            part["status"] = "warn"
+        else:
+            part["status"] = "healthy"
+        return part
+
+    def _error_part(self, spec: SloSpec,
+                    now: float) -> "dict[str, Any] | None":
+        if spec.error_series is None or spec.total_series is None:
+            return None
+        part: "dict[str, Any]" = {"budget": spec.error_budget,
+                                  "windows": {}}
+        burns = []
+        error_samples = self._collector.series(spec.error_series)
+        total_samples = self._collector.series(spec.total_series)
+        for label, window in (("short", spec.short_window),
+                              ("long", spec.long_window)):
+            errors = _windowed_delta(error_samples, now, window)
+            total = _windowed_delta(total_samples, now, window)
+            burn = None
+            fraction = None
+            if errors is not None and total is not None and total > 0:
+                fraction = errors / total
+                burn = fraction / spec.error_budget
+                burns.append(burn)
+            part["windows"][label] = {"seconds": window, "errors": errors,
+                                      "total": total,
+                                      "error_fraction": fraction,
+                                      "burn": burn}
+        if not burns:
+            part["status"] = "unknown"
+            return part
+        # Both windows must cross a threshold (when only one window has
+        # data it decides alone): min() over the available burns.
+        confirmed = min(burns)
+        if confirmed >= spec.page_burn:
+            part["status"] = "page"
+        elif confirmed >= spec.warn_burn:
+            part["status"] = "warn"
+        else:
+            part["status"] = "healthy"
+        return part
+
+
+def _worst(a: str, b: str) -> str:
+    return a if _SEVERITY[a] >= _SEVERITY[b] else b
+
+
+def default_slos(short_window: float = 30.0,
+                 long_window: float = 120.0) -> "list[SloSpec]":
+    """The objectives ``cli serve --collect-interval`` watches out of
+    the box: micro-batcher execute latency and RPC server errors.  The
+    default windows are interactive-scale (seconds, not hours) because
+    ``cli watch`` is a live view, not an alerting pipeline."""
+    return [
+        SloSpec(name="serving-latency",
+                latency_series="aio.batcher.execute_seconds.p95",
+                latency_target=0.25,
+                short_window=short_window, long_window=long_window),
+        SloSpec(name="rpc-errors",
+                error_series="rpc.server.errors",
+                total_series="rpc.server.frames_in",
+                error_budget=0.05,
+                short_window=short_window, long_window=long_window,
+                warn_burn=1.0, page_burn=10.0),
+    ]
+
+
+#: The process-wide engine, configured alongside the collector by
+#: ``cli serve --collect-interval`` and surfaced by ``obs_watch``.
+_ENGINE: "SloEngine | None" = None
+
+
+def get_slo_engine() -> "SloEngine | None":
+    return _ENGINE
+
+
+def configure_slo_engine(collector: MetricsCollector,
+                         specs: "Iterable[SloSpec] | None" = None
+                         ) -> SloEngine:
+    """Replace the process-wide engine (``specs=None`` installs
+    :func:`default_slos`)."""
+    global _ENGINE
+    _ENGINE = SloEngine(collector,
+                        default_slos() if specs is None else specs)
+    return _ENGINE

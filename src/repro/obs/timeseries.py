@@ -1,0 +1,313 @@
+"""Continuous metric sampling: bounded ring-buffer time series.
+
+A :class:`~repro.obs.metrics.MetricsRegistry` snapshot is a
+point-in-time cut; watching a serving process under load needs the cut
+*over time*.  The :class:`MetricsCollector` samples a registry on a
+fixed interval and keeps, per derived series, a bounded ring of
+``(t, value)`` points (DESIGN.md §14):
+
+* **counters** record their raw cumulative value under their own name
+  (what the SLO burn-rate math diffs across windows) plus a derived
+  ``<name>.rate`` — the per-second delta between consecutive snapshots;
+* **gauges** record their level as-is;
+* **histograms** record ``<name>.rate`` (observations/second) and
+  *windowed* ``<name>.p50`` / ``.p95`` / ``.p99`` — percentiles of only
+  the observations that landed **between** the two snapshots, computed
+  from the bucket-count deltas (``snapshot(buckets=True)``), so a
+  latency regression shows up immediately instead of being averaged
+  into the process's lifetime distribution.  Windows with no new
+  observations append no percentile points — consumers (the SLO
+  engine) must straddle such gaps.
+
+Timestamps come from the snapshot's ``sampled_at`` stamp — the
+registry's injectable clock — so the collector never calls wall-clock
+itself and fake-clock tests drive exact series.  Sampling is either
+manual (:meth:`MetricsCollector.sample`, what tests and the pull-based
+``obs_watch`` path use) or a background daemon thread
+(:meth:`~MetricsCollector.start`, what ``cli serve --collect-interval``
+runs).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+from .metrics import _GROWTH, MetricsRegistry, get_registry
+
+_QUANTILES = ((0.50, "p50"), (0.95, "p95"), (0.99, "p99"))
+
+
+class SeriesRing:
+    """A bounded ring of ``(t, value)`` samples, oldest evicted first."""
+
+    __slots__ = ("name", "capacity", "_buf", "_next", "_len")
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("series capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._buf: "list[tuple[float, float] | None]" = [None] * capacity
+        self._next = 0
+        self._len = 0
+
+    def append(self, t: float, value: float) -> None:
+        self._buf[self._next] = (t, value)
+        self._next = (self._next + 1) % self.capacity
+        if self._len < self.capacity:
+            self._len += 1
+
+    def __len__(self) -> int:
+        return self._len
+
+    def samples(self) -> "list[tuple[float, float]]":
+        """All held samples, oldest first."""
+        if self._len < self.capacity:
+            return [s for s in self._buf[:self._len]]
+        return (self._buf[self._next:] + self._buf[:self._next])  # type: ignore[operator]
+
+    def latest(self) -> "tuple[float, float] | None":
+        if self._len == 0:
+            return None
+        return self._buf[(self._next - 1) % self.capacity]
+
+    def since(self, t0: float) -> "list[tuple[float, float]]":
+        """Samples with ``t >= t0``, oldest first."""
+        return [s for s in self.samples() if s[0] >= t0]
+
+
+class MetricsCollector:
+    """Samples a registry into per-series rings (see module docstring).
+
+    Args:
+        registry: the registry to sample; defaults to the process one.
+        interval: seconds between background-thread samples (manual
+            :meth:`sample` calls ignore it).
+        capacity: ring length per series — at the default 1s interval,
+            240 points is four minutes of history per series.
+    """
+
+    def __init__(self, registry: "MetricsRegistry | None" = None, *,
+                 interval: float = 1.0, capacity: int = 240) -> None:
+        if interval <= 0:
+            raise ValueError("collector interval must be positive")
+        self._registry = registry if registry is not None else get_registry()
+        self.interval = interval
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._series: "dict[str, SeriesRing]" = {}
+        self._prev: "dict[str, Any] | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._stop = threading.Event()
+        self.samples_taken = 0
+        self.last_sampled_at: "float | None" = None
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample(self) -> float:
+        """Take one sample; returns its ``sampled_at`` timestamp."""
+        snap = self._registry.snapshot(buckets=True)
+        kinds = self._registry.kinds()
+        now = snap["sampled_at"]
+        with self._lock:
+            prev = self._prev
+            self._prev = snap
+            self.samples_taken += 1
+            self.last_sampled_at = now
+            dt = now - prev["sampled_at"] if prev is not None else 0.0
+            for name, value in snap.items():
+                if name == "sampled_at":
+                    continue
+                kind = kinds.get(name)
+                if kind == "counter":
+                    self._append(name, now, value)
+                    if prev is not None and dt > 0:
+                        before = prev.get(name)
+                        if isinstance(before, (int, float)):
+                            self._append(f"{name}.rate", now,
+                                         (value - before) / dt)
+                elif kind == "gauge":
+                    self._append(name, now, value)
+                elif kind == "histogram":
+                    self._sample_histogram(name, value,
+                                           prev.get(name) if prev is not None
+                                           else None,
+                                           now, dt,
+                                           first=prev is None)
+        return now
+
+    def _sample_histogram(self, name: str, cur: dict,
+                          before: "dict | None", now: float, dt: float,
+                          first: bool) -> None:
+        if first or dt <= 0:
+            return
+        count_before = before["count"] if isinstance(before, dict) else 0
+        count_delta = cur["count"] - count_before
+        self._append(f"{name}.rate", now, count_delta / dt)
+        if count_delta <= 0:
+            return  # an idle window appends no percentile points
+        pcts = _windowed_percentiles(cur, before)
+        if pcts is None:
+            return
+        for q, label in _QUANTILES:
+            self._append(f"{name}.{label}", now, pcts[q])
+
+    def _append(self, name: str, t: float, value: float) -> None:
+        ring = self._series.get(name)
+        if ring is None:
+            ring = self._series[name] = SeriesRing(name, self.capacity)
+        ring.append(t, float(value))
+
+    # ------------------------------------------------------------------
+    # background sampling
+    # ------------------------------------------------------------------
+    def start(self) -> "MetricsCollector":
+        """Sample every ``interval`` seconds on a daemon thread."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-collector", daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.sample()
+            except Exception:
+                pass  # telemetry must never take the serving process down
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=10.0)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    # ------------------------------------------------------------------
+    # readout
+    # ------------------------------------------------------------------
+    def names(self) -> "list[str]":
+        with self._lock:
+            return sorted(self._series)
+
+    def series(self, name: str) -> "list[tuple[float, float]]":
+        """All held points of one series, oldest first (empty list for
+        a series that was never derived)."""
+        with self._lock:
+            ring = self._series.get(name)
+            return ring.samples() if ring is not None else []
+
+    def latest(self, name: str) -> "tuple[float, float] | None":
+        with self._lock:
+            ring = self._series.get(name)
+            return ring.latest() if ring is not None else None
+
+    def window(self, name: str, seconds: float,
+               now: "float | None" = None
+               ) -> "list[tuple[float, float]]":
+        """Points of ``name`` within the trailing ``seconds`` window."""
+        with self._lock:
+            ring = self._series.get(name)
+            if ring is None:
+                return []
+            if now is None:
+                now = self.last_sampled_at
+            if now is None:
+                return []
+            return ring.since(now - seconds)
+
+    def tail(self, points: int = 30, prefix: "str | None" = None
+             ) -> "dict[str, list[list[float]]]":
+        """The last ``points`` of every series (optionally filtered by
+        name prefix) as JSON-encodable ``{name: [[t, v], ...]}`` — the
+        ``obs_watch`` payload."""
+        with self._lock:
+            out = {}
+            for name in sorted(self._series):
+                if prefix is not None and not name.startswith(prefix):
+                    continue
+                samples = self._series[name].samples()[-points:]
+                out[name] = [[t, v] for t, v in samples]
+            return out
+
+    def describe(self) -> "dict[str, Any]":
+        with self._lock:
+            return {
+                "interval": self.interval,
+                "capacity": self.capacity,
+                "running": self.running,
+                "samples_taken": self.samples_taken,
+                "last_sampled_at": self.last_sampled_at,
+                "series": len(self._series),
+            }
+
+
+def _windowed_percentiles(cur: dict, before: "dict | None"
+                          ) -> "dict[float, float] | None":
+    """Percentiles of the observations between two bucketed histogram
+    states, from their bucket-count deltas.  Like
+    :meth:`~repro.obs.metrics.Histogram.percentile`, the readout is the
+    matched bucket's upper bound — clamped to the cumulative ``max``
+    (the window's own max is unknown, but can never exceed it)."""
+    base = cur.get("base")
+    cur_buckets = cur.get("buckets")
+    if base is None or cur_buckets is None:
+        return None  # snapshot taken without buckets=True
+    prev_buckets = (before or {}).get("buckets") or {}
+    deltas = {}
+    for index, count in cur_buckets.items():
+        moved = count - prev_buckets.get(index, 0)
+        if moved > 0:
+            deltas[index] = moved
+    total = sum(deltas.values())
+    if total == 0:
+        return None
+    out = {}
+    ordered = sorted(deltas)
+    for q, _label in _QUANTILES:
+        rank = max(1, math.ceil(q * total))
+        cumulative = 0
+        for index in ordered:
+            cumulative += deltas[index]
+            if cumulative >= rank:
+                upper = base * (_GROWTH ** index)
+                out[q] = min(upper, cur["max"])
+                break
+    return out
+
+
+#: The process-wide collector.  Unlike the tracer/recorder there is no
+#: environment default: continuous sampling is opt-in per process
+#: (``cli serve --collect-interval``, the traffic harness, tests).
+_COLLECTOR: "MetricsCollector | None" = None
+
+
+def get_collector() -> "MetricsCollector | None":
+    return _COLLECTOR
+
+
+def configure_collector(registry: "MetricsRegistry | None" = None, *,
+                        interval: float = 1.0,
+                        capacity: int = 240) -> MetricsCollector:
+    """Replace the process-wide collector (stopping the old one's
+    thread)."""
+    global _COLLECTOR
+    if _COLLECTOR is not None:
+        _COLLECTOR.stop()
+    _COLLECTOR = MetricsCollector(registry, interval=interval,
+                                  capacity=capacity)
+    return _COLLECTOR

@@ -39,6 +39,7 @@ import json
 import os
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
@@ -237,9 +238,20 @@ def configure_tracer(trace_dir: "str | None" = None,
 # ----------------------------------------------------------------------
 # span-log readout / Chrome trace_event export
 # ----------------------------------------------------------------------
+#: Keys :func:`write_chrome_trace` indexes unconditionally; a span line
+#: missing any of them is malformed (e.g. torn mid-record by a crash).
+_SPAN_KEYS = ("name", "trace", "span", "process", "ts", "dur")
+
+
 def load_spans(trace_dir: str) -> "list[dict]":
     """All spans under ``trace_dir`` (every ``spans-*.jsonl``), in
-    deterministic (filename, line) order."""
+    deterministic (filename, line) order.
+
+    Span logs are written by live processes that can die mid-line, so a
+    log may end in a torn (truncated) record, and a mid-file line may
+    parse but lack span fields.  Such lines are **skipped with a
+    warning** — one bad tail must not make a whole trace directory
+    unexportable."""
     spans: "list[dict]" = []
     try:
         names = sorted(os.listdir(trace_dir))
@@ -249,10 +261,21 @@ def load_spans(trace_dir: str) -> "list[dict]":
         if not (name.startswith("spans-") and name.endswith(".jsonl")):
             continue
         with open(os.path.join(trace_dir, name), encoding="utf-8") as fh:
-            for line in fh:
+            for number, line in enumerate(fh, start=1):
                 line = line.strip()
-                if line:
-                    spans.append(json.loads(line))
+                if not line:
+                    continue
+                try:
+                    span = json.loads(line)
+                except json.JSONDecodeError:
+                    span = None
+                if not isinstance(span, dict) or \
+                        any(key not in span for key in _SPAN_KEYS):
+                    warnings.warn(
+                        f"skipping malformed span line {name}:{number} "
+                        f"({line[:40]!r}...)", stacklevel=2)
+                    continue
+                spans.append(span)
     return spans
 
 

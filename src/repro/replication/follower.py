@@ -33,6 +33,7 @@ from typing import Any
 from ..core.serialize import delta_from_dict
 from ..core.store import OntologyDelta, OntologyStore
 from ..errors import DeltaGapError, ReproError
+from ..obs.recorder import get_recorder
 from ..serving.rpc import _canonical_bytes, read_frame_sync, write_frame_sync
 from .catalog import SnapshotCatalog
 from .log import DeltaLog
@@ -271,7 +272,10 @@ class LogFollower:
                     continue
                 self._store.apply_delta(delta)
                 self.deltas_applied += 1
-        except DeltaGapError:
+        except DeltaGapError as exc:
             self.recoveries += 1
+            get_recorder().record(
+                "replication.gap_rebootstrap", "replication.follower",
+                version=self._store.version, error=str(exc))
             self.bootstrap()
         return self.deltas_applied - before

@@ -33,6 +33,9 @@ from typing import Any, Iterable, Sequence
 
 from ..core.store import EdgeType, OntologyDelta
 from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.recorder import get_recorder
+from ..obs.slo import get_slo_engine
+from ..obs.timeseries import get_collector
 from ..obs.tracing import get_tracer
 from .batcher import MicroBatcher
 
@@ -50,6 +53,8 @@ SERVING_METHODS = (
     "refresh",
     "stats",
     "obs_status",
+    "obs_watch",
+    "obs_dump",
 )
 
 
@@ -103,6 +108,10 @@ class AsyncOntologyService:
                 results.append(stats)
             elif method == "obs_status":
                 results.append(self._obs_status())
+            elif method == "obs_watch":
+                results.append(self._obs_watch(*args, **kwargs))
+            elif method == "obs_dump":
+                results.append(self._obs_dump())
             else:
                 results.append(getattr(self._backend, method)(*args,
                                                               **kwargs))
@@ -121,6 +130,38 @@ class AsyncOntologyService:
         if callable(backend_obs):
             status["backend"] = backend_obs()
         return status
+
+    def _obs_watch(self, points: int = 30,
+                   prefix: "str | None" = None) -> dict:
+        """The continuous-telemetry payload (DESIGN.md §14): collector
+        series tails, SLO verdicts, and the flight-recorder summary.
+        Runs on the serialized worker thread like ``obs_status``, so the
+        series/verdict pair is a consistent cut.  With no background
+        collector thread the call samples on demand — each ``watch``
+        poll advances the series (pull-based collection)."""
+        watch: dict = {"recorder": get_recorder().describe()}
+        collector = get_collector()
+        if collector is None:
+            watch["collector"] = None
+            watch["series"] = {}
+            watch["slo"] = []
+            return watch
+        if not collector.running:
+            collector.sample()
+        watch["collector"] = collector.describe()
+        watch["series"] = collector.tail(points, prefix=prefix)
+        engine = get_slo_engine()
+        watch["slo"] = engine.evaluate_all() if engine is not None else []
+        return watch
+
+    def _obs_dump(self) -> dict:
+        """Dump the flight-recorder ring on demand; returns the events
+        themselves too, so a remote operator gets them even when the
+        serving process has no recorder directory configured."""
+        recorder = get_recorder()
+        path = recorder.dump(reason="on-demand")
+        return {"path": path, "events": recorder.events(),
+                "recorder": recorder.describe()}
 
     async def _call(self, method: str, *args, **kwargs) -> Any:
         [result] = await self._batcher.submit(
@@ -196,6 +237,17 @@ class AsyncOntologyService:
         """Registry snapshot + tracer state (the ``obs_status`` RPC
         payload), taken on the serialized worker thread."""
         return await self._call("obs_status")
+
+    async def obs_watch(self, points: int = 30,
+                        prefix: "str | None" = None) -> dict:
+        """Collector series tails + SLO verdicts + recorder summary
+        (the ``obs_watch`` RPC payload / ``cli watch`` view)."""
+        return await self._call("obs_watch", points=points, prefix=prefix)
+
+    async def obs_dump(self) -> dict:
+        """Dump the flight-recorder ring (the ``obs_dump`` RPC
+        payload); returns the dump path and the events."""
+        return await self._call("obs_dump")
 
     @property
     def backend(self):

@@ -33,6 +33,7 @@ from typing import Any, Callable, Sequence
 
 from ..errors import ReproError
 from ..obs.metrics import Scope, get_registry
+from ..obs.recorder import get_recorder
 from ..obs.tracing import (
     TraceContext,
     current_context,
@@ -178,13 +179,13 @@ class MicroBatcher:
                 while size < self._max_batch_size:
                     timeout = deadline - loop.time()
                     if timeout <= 0:
-                        self._deadline_flushes.inc()
+                        self._deadline_flush(request.kind, size)
                         break
                     try:
                         nxt = await asyncio.wait_for(self._queue.get(),
                                                      timeout)
                     except asyncio.TimeoutError:
-                        self._deadline_flushes.inc()
+                        self._deadline_flush(request.kind, size)
                         break
                     self._queue_depth.set(self._queue.qsize())
                     if (nxt is _SHUTDOWN or nxt.kind != request.kind
@@ -199,6 +200,16 @@ class MicroBatcher:
             else:
                 self._barrier_flushes.inc()
             await self._flush(batch, size)
+
+    def _deadline_flush(self, kind: str, size: int) -> None:
+        """A batch flushed because its latency deadline expired, not
+        because it filled — normal under light load, but a *pattern* of
+        small deadline flushes under heavy load means the flush delay is
+        mistuned, so each one also lands in the flight recorder."""
+        self._deadline_flushes.inc()
+        get_recorder().record("batcher.deadline_flush",
+                              self._metrics.prefix, batch_kind=kind,
+                              items=size)
 
     def _run_batch(self, kind: str, merged: list,
                    ctx: "TraceContext | None") -> Sequence:

@@ -63,6 +63,7 @@ from ..core.store import (
 )
 from ..errors import ReproError
 from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.recorder import get_recorder
 from ..obs.tracing import TraceContext, current_context, get_tracer
 from .aio import SERVING_METHODS, AsyncOntologyService
 
@@ -432,6 +433,9 @@ class RpcServer:
         request_id = None
         error = None
         result: Any = None
+        label = "unknown"
+        recorder = get_recorder()
+        start = self._metrics.registry.clock()
         try:
             request = json.loads(frame.decode("utf-8"))
             request_id = request.get("id")
@@ -460,6 +464,14 @@ class RpcServer:
         except Exception as exc:
             error = {"type": type(exc).__name__, "message": str(exc)}
             self._errors.inc()
+            recorder.record("rpc.error", f"rpc.server.{label}",
+                            method=label, error_type=type(exc).__name__,
+                            message=str(exc))
+        else:
+            elapsed = self._metrics.registry.clock() - start
+            if elapsed >= recorder.slow_call_seconds:
+                recorder.record("rpc.slow_call", f"rpc.server.{label}",
+                                method=label, seconds=elapsed)
         payload = encode_envelope(request_id, result, error,
                                   binary=wire_state["binary"])
         self._frames_out.inc()

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple
 
 from ..obs import Scope, get_registry
+from ..obs.recorder import get_recorder
 from .zset import ZSet
 
 
@@ -133,6 +134,8 @@ class ViewCatalog:
             self._timed(name, view.rebuild)
         if count:
             self._rehydrations.inc()
+            get_recorder().record("views.rehydrate", self._scope.prefix,
+                                  version=version, views=len(self._views))
         self.fast_forward(version)
 
     def _timed(self, name: str, update: "Callable[[], Any]") -> Any:
