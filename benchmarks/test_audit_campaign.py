@@ -1,0 +1,59 @@
+"""Audit campaign bench: consistency under faults, with numbers.
+
+Runs the seeded fault-injection campaign (worker kill + restart,
+follower delay, GC under lag, one mid-traffic chunked rebalance) and
+records the outcome under ``audit_campaign`` in
+``results/BENCH_tagging.json``:
+
+* ``violations`` — the headline: **must be 0** (the assert enforces it;
+  a non-zero count is a consistency bug, not a slow run);
+* ``rebalance_read_p99_ms`` — p99 latency of the stamped reads served
+  *between* transfer chunks of the staged rebalance, i.e. what the
+  chunked transfer exists to bound (the old monolithic transfer served
+  nothing until the flip);
+* the campaign's traffic and fault volume, so the two numbers above
+  have denominators.
+"""
+
+from __future__ import annotations
+
+from bench_common import SCALE, write_json
+from repro.audit import generate_schedule, run_campaign
+
+_SEED = 3
+
+
+def _p99_ms(latencies: "list[float]") -> "float | None":
+    if not latencies:
+        return None
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, int(len(ordered) * 0.99))
+    return round(ordered[index] * 1000, 3)
+
+
+def test_audit_campaign(tmp_path):
+    steps = 12 if SCALE == "small" else 36
+    schedule = generate_schedule(seed=_SEED, steps=steps, start_shards=2,
+                                 rebalance_to=3, chunk_nodes=2)
+    report = run_campaign(schedule, tmp_path / "log", name="bench")
+    rebalance = report["rebalance"] or {}
+    write_json("BENCH_tagging", {
+        "audit_campaign": {
+            "seed": _SEED,
+            "steps": steps,
+            "ops": report["ops"],
+            "stamped_reads": report["reads"],
+            "writes": report["writes"],
+            "faults": len(report["faults"]),
+            "fault_kinds": sorted({f["kind"] for f in report["faults"]}),
+            "violations": len(report["violations"]),
+            "rebalance_transfer_chunks": rebalance.get("transfer_chunks"),
+            "rebalance_interleaved_reads": len(
+                rebalance.get("interleaved_read_latencies") or []),
+            "rebalance_read_p99_ms": _p99_ms(
+                rebalance.get("interleaved_read_latencies") or []),
+            "final_version": report["final_version"],
+        },
+    })
+    assert report["violations"] == [], report["violations"]
+    assert rebalance.get("transfer_chunks", 0) >= 1

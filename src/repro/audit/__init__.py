@@ -1,0 +1,45 @@
+"""Online black-box consistency auditing + fault injection (DESIGN.md §15).
+
+The serving fabric is treated as a black box, after Huang et al.'s
+snapshot-isolation checking discipline: every read a campaign client
+issues carries a *session id* and comes back *stamped* with the store
+version the serving side answered at (the ``"stamp"`` key riding the
+RPC envelope next to ``"trace"``).  The :class:`AuditLog` replays the
+published :class:`~repro.replication.log.DeltaLog` — the system of
+record — into a private single-store oracle and checks each stamped
+observation online:
+
+* **monotonic reads** — a session's stamp versions never go backwards;
+* **read-your-writes** — a session's profile/story writes are applied
+  to the oracle in arrival order, so its later reads must reflect them;
+* **version-consistent merges** — a read's payload must byte-equal
+  (``rpc.dumps``) the oracle's answer at the stamped version; a scatter
+  merge torn across two versions matches *no* single version and fails.
+
+The :class:`FaultInjector` supplies the weather: worker kills and
+restarts, injected follower delays and partitions at the log publisher,
+log GC under a lagging consumer, and mid-traffic chunked rebalances.
+:func:`generate_schedule` / :func:`run_campaign` tie both together into
+a seeded, replayable campaign whose failure artifact (a JSON op/fault
+schedule written to ``$REPRO_AUDIT_ARTIFACTS``) shrinks by deleting
+ops, exactly like the consistency-harness op lists.
+"""
+
+from .campaign import (
+    AUDIT_ARTIFACTS_ENV,
+    generate_schedule,
+    replay_artifact,
+    run_campaign,
+)
+from .faults import FaultInjector
+from .log import AuditLog, Violation
+
+__all__ = [
+    "AUDIT_ARTIFACTS_ENV",
+    "AuditLog",
+    "FaultInjector",
+    "Violation",
+    "generate_schedule",
+    "replay_artifact",
+    "run_campaign",
+]

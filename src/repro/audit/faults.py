@@ -1,0 +1,114 @@
+"""Fault-injection primitives for the audit campaign.
+
+:class:`FaultInjector` is the campaign's hand on the chaos levers — it
+owns no policy (the seeded schedule decides *when*), just the
+mechanics, each of which maps to a real failure mode of the fabric:
+
+* :meth:`kill_worker` — a shard worker process dies mid-traffic
+  (``terminate_worker``); the next read through its proxy surfaces
+  :class:`~repro.errors.ShardUnavailableError` and the serving view's
+  recovery hook respawns it.
+* :meth:`restart_worker` — an operator-driven ``restart_shard``: reap,
+  respawn from snapshot + tail, all-or-nothing proxy swap.
+* :meth:`delay_follower` / :meth:`partition_follower` / :meth:`heal` —
+  publisher-side injected latency or refusal on one follower's log
+  reads (:meth:`~repro.replication.publisher.LogPublisher
+  .inject_fault`), lagging or cutting off a worker without touching its
+  process.
+* :meth:`sync_workers` + :meth:`gc_log` — drive every *worker* to the
+  log head, then snapshot-and-GC the log so a consumer still sitting on
+  the old prefix (the parent's routing client is unregistered on
+  purpose) meets :class:`~repro.errors.DeltaGapError` and must
+  re-bootstrap.
+
+Every injection is counted under the ``audit.faults`` metrics scope and
+recorded (kind ``fault.injected``) on the flight recorder — a violation
+dump therefore shows the fault weather around it.
+"""
+
+from __future__ import annotations
+
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.recorder import get_recorder
+
+
+class FaultInjector:
+    """Chaos levers over one live campaign topology.
+
+    Args:
+        remote: the :class:`~repro.cluster.remote.RemoteClusterService`
+            under test.
+        publisher: the :class:`~repro.replication.publisher
+            .PublisherThread` feeding it.
+        catalog: the publisher's :class:`~repro.replication.catalog
+            .SnapshotCatalog` (needed for :meth:`gc_log`).
+        registry: metrics registry for the ``audit.faults`` scope.
+    """
+
+    def __init__(self, remote, publisher, catalog=None,
+                 registry: "MetricsRegistry | None" = None) -> None:
+        self._remote = remote
+        self._publisher = publisher
+        self._catalog = catalog
+        registry = registry if registry is not None else get_registry()
+        self._metrics = registry.scope("audit.faults")
+        self.injected: "list[dict]" = []
+
+    def _note(self, kind: str, **fields) -> None:
+        self._metrics.counter(kind).inc()
+        self.injected.append(dict(fields, kind=kind))
+        get_recorder().record("fault.injected", "audit",
+                              fault=kind, **fields)
+
+    # ------------------------------------------------------------------
+    def kill_worker(self, shard_id: int) -> None:
+        """Terminate a shard worker outright, stale proxy left seated."""
+        self._remote.terminate_worker(shard_id)
+        self._note("kill_worker", shard=shard_id)
+
+    def restart_worker(self, shard_id: int) -> dict:
+        """Operator restart: reap + respawn + all-or-nothing swap."""
+        line = self._remote.restart_shard(shard_id)
+        self._note("restart_worker", shard=shard_id)
+        return line
+
+    # ------------------------------------------------------------------
+    def delay_follower(self, follower: str, seconds: float) -> None:
+        """Every log fetch/wait by ``follower`` sleeps ``seconds``."""
+        self._publisher.inject_fault(follower, delay=seconds)
+        self._note("delay_follower", follower=follower, seconds=seconds)
+
+    def partition_follower(self, follower: str) -> None:
+        """Cut ``follower`` off from the log (its fetches fail)."""
+        self._publisher.inject_fault(follower, partition=True)
+        self._note("partition_follower", follower=follower)
+
+    def heal(self, follower: "str | None" = None) -> None:
+        """Heal one follower's partition+delay, or all of them."""
+        if follower is None:
+            self._publisher.clear_faults()
+        else:
+            self._publisher.inject_fault(follower, delay=0.0,
+                                         partition=False)
+        self._note("heal", follower=follower or "*")
+
+    # ------------------------------------------------------------------
+    def sync_workers(self, version: int) -> None:
+        """Drive every worker replica to ``version`` directly (bypassing
+        the parent), leaving the parent's router behind — the setup for
+        a GC-under-lag fault.  Only safe with no reads in flight."""
+        for replica in self._remote.replicas:
+            replica.sync(version)
+        self._note("sync_workers", version=version)
+
+    def gc_log(self, store) -> int:
+        """Snapshot ``store`` (which must be at the log head) into the
+        catalog on the publisher's loop thread; segment GC then drops
+        every log prefix below the registered-follower floor, stranding
+        any unregistered consumer that still needs it."""
+        if self._catalog is None:
+            raise ValueError("gc_log needs the publisher's catalog")
+        version = self._publisher.call(
+            lambda: self._catalog.record(store))
+        self._note("gc_log", version=version)
+        return version

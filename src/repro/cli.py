@@ -558,6 +558,117 @@ def _showcase(args: argparse.Namespace) -> int:
     return 0
 
 
+def _audit(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+    import tempfile
+
+    from .audit import generate_schedule, replay_artifact, run_campaign
+
+    if args.connect:
+        return _audit_connect(args)
+    if args.replay:
+        if args.log_dir:
+            report = replay_artifact(args.replay, args.log_dir)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-audit-") as tmp:
+                report = replay_artifact(args.replay,
+                                         pathlib.Path(tmp) / "log")
+    else:
+        schedule = generate_schedule(
+            seed=args.seed, steps=args.steps, start_shards=args.shards,
+            rebalance_to=args.rebalance_to, chunk_nodes=args.chunk_nodes,
+            sessions=args.sessions)
+        if args.log_dir:
+            report = run_campaign(schedule, args.log_dir, wire=args.wire)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-audit-") as tmp:
+                report = run_campaign(schedule, pathlib.Path(tmp) / "log",
+                                      wire=args.wire)
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        rebalance = report.get("rebalance") or {}
+        latencies = sorted(
+            rebalance.get("interleaved_read_latencies") or [])
+        print(f"campaign seed={report.get('seed')}: "
+              f"{report['ops']} ops, {report['reads']} reads, "
+              f"{report['writes']} writes, "
+              f"{len(report['faults'])} faults, "
+              f"final version {report['final_version']}")
+        if latencies:
+            p99 = latencies[min(len(latencies) - 1,
+                                int(len(latencies) * 0.99))]
+            print(f"rebalance: {rebalance.get('transfer_chunks')} chunks "
+                  f"of <= {rebalance.get('chunk_nodes')} nodes, "
+                  f"{len(latencies)} interleaved reads, "
+                  f"p99 {p99 * 1000:.2f} ms")
+        for violation in report["violations"]:
+            print(f"VIOLATION [{violation['kind']}] session "
+                  f"{violation['session']} {violation['method']} "
+                  f"@v{violation['version']}: {violation['detail']}")
+        if report.get("artifact"):
+            print(f"artifact: {report['artifact']}")
+    return 1 if report["violations"] else 0
+
+
+def _audit_connect(args: argparse.Namespace) -> int:
+    """Stamped probe sessions against an already-running ``serve
+    --listen`` process.  Without the server's delta log there is no
+    oracle, so only the session-local guarantees (stamp presence,
+    session echo, monotonic reads) are checkable here — the full
+    value-level audit needs ``--campaign``'s self-hosted topology."""
+    import asyncio
+
+    from .serving.rpc import RpcClient
+
+    address = _parse_listen(args.connect)
+    if address is None:
+        print(f"malformed --connect {args.connect!r} (want HOST:PORT)")
+        return 2
+    queries = args.q or ["audit probe query"]
+
+    async def probe() -> "tuple[int, int]":
+        clients: dict = {}
+        last: dict = {}
+        observed = violations = 0
+        try:
+            for _ in range(args.rounds):
+                for index in range(args.sessions):
+                    session = f"cli-{index}"
+                    client = clients.get(session)
+                    if client is None:
+                        client = await RpcClient.connect(*address)
+                        clients[session] = client
+                    _result, stamp = await client.call_stamped(
+                        "interpret_queries", queries, session=session)
+                    observed += 1
+                    if stamp is None or "version" not in stamp:
+                        violations += 1
+                        print(f"VIOLATION [unstamped] session {session}")
+                        continue
+                    version = int(stamp["version"])
+                    if stamp.get("session") != session:
+                        violations += 1
+                        print(f"VIOLATION [session-mismatch] session "
+                              f"{session} echoed {stamp.get('session')!r}")
+                    previous = last.get(session)
+                    if previous is not None and version < previous:
+                        violations += 1
+                        print(f"VIOLATION [monotonic-reads] session "
+                              f"{session}: {previous} -> {version}")
+                    last[session] = max(version, previous or 0)
+        finally:
+            for client in clients.values():
+                await client.close()
+        return observed, violations
+
+    observed, violations = asyncio.run(probe())
+    print(f"probed {observed} stamped reads over {args.sessions} "
+          f"session(s): {violations} violation(s)")
+    return 1 if violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -694,6 +805,49 @@ def build_parser() -> argparse.ArgumentParser:
                               "scatter straggler is recorded as a "
                               "slow-call anomaly")
     p_serve.set_defaults(func=_serve)
+
+    p_audit = sub.add_parser(
+        "audit", help="online consistency audit: run a seeded fault-"
+                      "injection campaign against a self-hosted cluster, "
+                      "or stamped monotonic probes against --connect")
+    p_audit.add_argument("--connect", default="",
+                         help="HOST:PORT of a running `serve --listen` "
+                              "process — stamped probe sessions checking "
+                              "the session-local guarantees only (no log "
+                              "access, so no value oracle)")
+    p_audit.add_argument("--replay", default="",
+                         help="violation artifact JSON to re-run (the "
+                              "shrink loop) instead of generating a "
+                              "schedule")
+    p_audit.add_argument("--seed", type=int, default=0)
+    p_audit.add_argument("--steps", type=int, default=18,
+                         help="traffic volume knob for the generated "
+                              "schedule")
+    p_audit.add_argument("--shards", type=int, default=2,
+                         help="shard workers the campaign topology starts "
+                              "with")
+    p_audit.add_argument("--rebalance-to", type=int, default=3,
+                         help="target size of the mid-traffic chunked "
+                              "rebalance")
+    p_audit.add_argument("--chunk-nodes", type=int, default=2,
+                         help="max nodes per transfer chunk during the "
+                              "staged rebalance")
+    p_audit.add_argument("--sessions", type=int, default=3,
+                         help="concurrent client sessions")
+    p_audit.add_argument("--rounds", type=int, default=5,
+                         help="with --connect: probe rounds per session")
+    p_audit.add_argument("--q", action="append",
+                         help="with --connect: probe query (repeatable)")
+    p_audit.add_argument("--log-dir", default="",
+                         help="directory for the campaign's delta log "
+                              "(default: a temporary directory)")
+    p_audit.add_argument("--wire", choices=["json", "binary"],
+                         default="json",
+                         help="shard-read response encoding in the "
+                              "campaign topology")
+    p_audit.add_argument("--json", action="store_true",
+                         help="print the full campaign report as JSON")
+    p_audit.set_defaults(func=_audit)
 
     p_show = sub.add_parser("showcase", help="print sample concepts/topics")
     p_show.add_argument("--ontology", required=True)

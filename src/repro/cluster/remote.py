@@ -61,7 +61,13 @@ from ..core.store import (
     OntologyDelta,
     OntologyStore,
 )
-from ..errors import DeltaGapError, OntologyError, ReproError, RingEpochError
+from ..errors import (
+    DeltaGapError,
+    OntologyError,
+    ReproError,
+    RingEpochError,
+    ShardUnavailableError,
+)
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.recorder import (
     RECORDER_DIR_ENV,
@@ -214,6 +220,11 @@ def _catch_up(client: SyncLogClient, router: ShardRouter,
             router, replica = _bootstrap_shard(client, router.num_shards,
                                                shard_id)
             recovered = True
+    # A follower's pinned position is the `since` of its last fetch,
+    # which trails the version it just applied by one batch; confirm
+    # the applied position so the segment-GC floor reflects reality.
+    if client.follower_id is not None:
+        client.register(router.version)
     return router, replica, recovered
 
 
@@ -408,17 +419,31 @@ class RemoteShardReplica:
             # the process boundary; an untraced request omits the key
             # and a pre-trace worker ignores it.
             envelope["trace"] = ctx.to_wire()
-        write_frame_sync(self._sock, _canonical_bytes(envelope))
+        try:
+            write_frame_sync(self._sock, _canonical_bytes(envelope))
+        except (ConnectionError, OSError) as exc:
+            raise self._unavailable(repr(exc)) from exc
         return request_id
+
+    def _unavailable(self, detail: str) -> ShardUnavailableError:
+        """A connection-level failure, typed: the worker process died or
+        its socket broke.  Raw ``OSError``s must not escape to serving
+        callers — the typed error names the shard so the cluster's
+        recovery path can respawn it and retry."""
+        return ShardUnavailableError(
+            self.shard_id,
+            f"shard {self.shard_id} worker unavailable: {detail}")
 
     def finish_call(self, request_id: int) -> Any:
         """Collect the reply of a :meth:`begin_call`; raises the typed
         error a blocking call would."""
         while request_id not in self._responses:
-            frame = read_frame_sync(self._sock)
+            try:
+                frame = read_frame_sync(self._sock)
+            except (ConnectionError, OSError) as exc:
+                raise self._unavailable(repr(exc)) from exc
             if frame is None:
-                raise ReproError(
-                    f"shard {self.shard_id} worker closed the connection")
+                raise self._unavailable("worker closed the connection")
             body = loads_envelope(frame)
             self._responses[body.get("id")] = body
         body = self._responses.pop(request_id)
@@ -591,6 +616,8 @@ class RemoteClusterService:
             self._metrics.counter("rebalance_seeded_records")
         self._recovered_shards = self._metrics.counter("recovered_shards")
         self._worker_restarts = self._metrics.counter("worker_restarts")
+        self._shard_unavailable = self._metrics.counter("shard_unavailable")
+        self._transfer_chunks = self._metrics.counter("transfer_chunks")
         self._host, self._port = publisher_address
         # Spawn (not fork): the parent may run a publisher event loop in
         # a thread, and forked children could inherit its lock state.
@@ -605,6 +632,9 @@ class RemoteClusterService:
         self._client: "SyncLogClient | None" = None
         self._closed = False
         self.last_rebalance: "dict | None" = None
+        # In-progress chunked resize (begin_rebalance .. finish_rebalance):
+        # the staged router/plan/chunk queue; None outside a resize.
+        self._staged: "dict | None" = None
         try:
             self._client = SyncLogClient.connect(self._host, self._port)
             self._router, _ = _bootstrap_shard(self._client, num_shards,
@@ -626,6 +656,10 @@ class RemoteClusterService:
             raise
         self._view = ShardedStoreView(self._router, self._replicas,
                                       registry=registry)
+        # Reads that hit a dead worker's proxy raise a typed
+        # ShardUnavailableError; the view calls back here to respawn the
+        # worker, then retries the read (see _recover_shard).
+        self._view.bind_recovery(self._recover_shard)
         self._service = OntologyService(
             AttentionOntology(store=self._view), ner=ner, duet=duet,
             tagger_options=tagger_options, max_rewrites=max_rewrites,
@@ -701,18 +735,48 @@ class RemoteClusterService:
             except (ReproError, OSError):
                 pass
 
+    def _reap(self, shard_id: int) -> None:
+        """Make sure the outgoing worker process is actually dead before
+        a replacement is spawned: ``terminate`` escalates to ``kill``,
+        and a corpse that survives both is a hard error — respawning
+        over a wedged process would leak it (and whatever it still has
+        bound) for the rest of the run."""
+        process = self._processes.pop(shard_id, None)
+        if process is None:
+            return
+        process.terminate()
+        process.join(timeout=10.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=10.0)
+        if process.is_alive() or process.exitcode is None:
+            self._processes[shard_id] = process  # keep it visible
+            raise ReproError(
+                f"shard {shard_id} worker (pid {process.pid}) survived "
+                "terminate and kill; refusing to respawn over a wedged "
+                "process")
+
     def _restart(self, shard_id: int) -> RemoteShardReplica:
         """Respawn one worker via the standard snapshot-plus-tail
-        bootstrap (crossing any ring flips) and reconnect its proxy."""
-        process = self._processes.pop(shard_id, None)
-        if process is not None:
-            process.terminate()
-            process.join(timeout=10.0)
+        bootstrap (crossing any ring flips) and reconnect its proxy.
+
+        The corpse is reaped (kill-escalated) *before* the respawn; a
+        respawn that fails to come up raises without having touched the
+        caller's proxy table, so the old proxy keeps its retry path."""
+        self._reap(shard_id)
         self._spawn(shard_id)
-        ports = self._await_ready({shard_id})
-        proxy = RemoteShardReplica(shard_id, "127.0.0.1", ports[shard_id],
-                                   wire=self._wire)
-        proxy.sync(self._router.version)
+        try:
+            ports = self._await_ready({shard_id})
+            proxy = RemoteShardReplica(shard_id, "127.0.0.1",
+                                       ports[shard_id], wire=self._wire)
+            proxy.sync(self._router.version)
+        except Exception:
+            # The failed respawn's process must not linger either.
+            failed = self._processes.pop(shard_id, None)
+            if failed is not None:
+                failed.kill()
+                failed.join(timeout=10.0)
+            raise
         self._worker_restarts.inc()
         get_recorder().record("worker.restart", f"shard-{shard_id}",
                               version=self._router.version)
@@ -722,24 +786,36 @@ class RemoteClusterService:
         """Replace a crashed worker: the respawn re-bootstraps from the
         newest catalog snapshot plus the log tail — landing in the
         current ring epoch with no gap — and rejoins the view.  Returns
-        the revived worker's ``describe()`` line."""
+        the revived worker's ``describe()`` line.
+
+        The swap is all-or-nothing: the replacement worker is spawned,
+        readied and synced *before* the old proxy is replaced and
+        closed.  A failed respawn raises with the old proxy still seated
+        (and still open), so the caller can retry — the old code closed
+        first and left ``_replicas[shard_id]`` holding a dead socket
+        with no recovery path."""
         if not 0 <= shard_id < len(self._replicas):
             raise OntologyError(f"no shard {shard_id} in this cluster")
-        old = self._replicas[shard_id]
-        old.close()
         proxy = self._restart(shard_id)
+        old = self._replicas[shard_id]
         self._replicas[shard_id] = proxy
         self._view.reseat(self._router, self._replicas)
+        old.close()
         return proxy.describe()
 
     def terminate_worker(self, shard_id: int) -> None:
         """Failure injection (tests/ops): kill a worker process outright,
-        leaving its stale proxy in place — the next sync or rebalance
-        finds the corpse and triggers :meth:`restart_shard` recovery."""
+        leaving its stale proxy in place — the next read through the
+        proxy raises :class:`~repro.errors.ShardUnavailableError` and
+        triggers :meth:`restart_shard` recovery (as does the next sync
+        or rebalance finding the corpse)."""
         process = self._processes.get(shard_id)
         if process is not None:
             process.terminate()
             process.join(timeout=10.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=10.0)
 
     # ------------------------------------------------------------------
     # cluster state
@@ -770,6 +846,11 @@ class RemoteClusterService:
     def router(self) -> ShardRouter:
         return self._router
 
+    @property
+    def rebalance_staged(self) -> bool:
+        """True while a chunked rebalance is staged but not flipped."""
+        return self._staged is not None
+
     def _advance_parent(self) -> int:
         """Pull new batches from the shared log into the parent's
         routing-only router (ring flips apply in place), and fold them
@@ -788,14 +869,42 @@ class RemoteClusterService:
                 version=self._router.version, error=str(exc))
             self._router, _ = _bootstrap_shard(
                 self._client, self._router.num_shards, None)
+            # The serving view still routes on the old router object —
+            # without a reseat every node past the gap stays "unrouted"
+            # for point reads even though the workers hold it.
+            self._view.reseat(self._router, self._replicas)
             return 0
         for delta in deltas:
             self._service.fold_views(delta)
         return advanced
 
+    def _recover_shard(self, shard_id: int) -> None:
+        """Serving-read recovery (the :class:`ShardedStoreView` calls
+        back here when a scatter/point read raises
+        :class:`~repro.errors.ShardUnavailableError`): respawn the dead
+        worker and reseat the view, after which the view retries the
+        read.  During a staged chunked rebalance the respawn would
+        bootstrap across the pending ring record and land in the new
+        epoch while the live view still routes on the old one — so the
+        staged resize is driven to completion first (its reconciliation
+        revives corpses on the way)."""
+        self._shard_unavailable.inc()
+        get_recorder().record("shard.unavailable", f"shard-{shard_id}",
+                              version=self._router.version,
+                              staged=self._staged is not None)
+        if self._staged is not None:
+            self.finish_rebalance()
+        else:
+            self.restart_shard(shard_id)
+
     def sync(self) -> int:
         """Pull new batches from the shared log and fan the catch-up
         signal to every worker; returns batches newly routed."""
+        if self._staged is not None:
+            raise OntologyError(
+                "a staged rebalance is in progress (its ring record is "
+                "already in the log); drive it through rebalance_step() "
+                "to finish_rebalance() before syncing")
         advanced = self._advance_parent()
         if self._router.num_shards != len(self._replicas):
             raise OntologyError(
@@ -827,7 +936,9 @@ class RemoteClusterService:
     # rebalancing (ring epochs)
     # ------------------------------------------------------------------
     def rebalance(self, num_shards: int, publish=None,
-                  vnodes: "int | None" = None) -> "OntologyDelta | None":
+                  vnodes: "int | None" = None,
+                  chunk_nodes: "int | None" = None,
+                  between_chunks=None) -> "OntologyDelta | None":
         """Resize the worker fleet to ``num_shards`` via a ring-epoch
         flip recorded in the shared log.
 
@@ -846,9 +957,31 @@ class RemoteClusterService:
         completes the outstanding reconciliation.  Returns the ring
         record (``None`` when the fleet was already at ``num_shards``
         and only reconciliation ran).
+
+        With ``chunk_nodes`` set the resize runs *chunked* — the
+        :meth:`begin_rebalance` / :meth:`rebalance_step` /
+        :meth:`finish_rebalance` protocol with at most ``chunk_nodes``
+        node records per :class:`~repro.cluster.ring.TransferSlice`,
+        calling ``between_chunks()`` (when given) between steps; reads
+        keep serving the old placement the whole time.
         """
+        if chunk_nodes is not None:
+            pending = self.begin_rebalance(num_shards, publish=publish,
+                                           vnodes=vnodes,
+                                           chunk_nodes=chunk_nodes)
+            if self._staged is None:
+                return None  # already at size; reconciliation ran
+            while pending:
+                pending = self.rebalance_step()
+                if pending and between_chunks is not None:
+                    between_chunks()
+            return self.finish_rebalance()
         if num_shards <= 0:
             raise OntologyError("a cluster needs at least one shard")
+        if self._staged is not None:
+            raise OntologyError(
+                "a staged rebalance is already in progress; drive it to "
+                "finish_rebalance() first")
         # The whole fleet must be at the pre-flip head before slices are
         # extracted: a lagging source would seed a new shard with stale
         # node state that nothing ever repairs.  A dead worker found
@@ -876,6 +1009,128 @@ class RemoteClusterService:
             self._deltas_applied += 1
         return delta
 
+    # ------------------------------------------------------------------
+    # chunked (staged) rebalancing: serving interleaves between chunks
+    # ------------------------------------------------------------------
+    def begin_rebalance(self, num_shards: int, publish=None,
+                        vnodes: "int | None" = None,
+                        chunk_nodes: int = 256) -> int:
+        """Stage a chunked resize: publish the ring record, compute the
+        move plan on a *staged copy* of the router, and queue the
+        transfer work as bounded chunks of at most ``chunk_nodes`` node
+        records each.  Returns the number of chunks queued.
+
+        The live router and read view are **not** flipped — reads keep
+        serving the old placement (stale relative to the pending ring
+        record but internally consistent, which is exactly what the
+        stamped-read auditor checks) while :meth:`rebalance_step` calls
+        interleave with them on the serialized serving queue.  The old
+        monolithic path extracted every shard's entire slice in one call
+        between two reads; a big resize stalled serving for the whole
+        transfer.  ``sync``/``refresh`` are refused while staged: the
+        ring record already sits in the log, and consuming it mid-stage
+        would flip survivors under the old view.
+        """
+        if num_shards <= 0:
+            raise OntologyError("a cluster needs at least one shard")
+        if chunk_nodes <= 0:
+            raise OntologyError("chunk_nodes must be positive")
+        if self._staged is not None:
+            raise OntologyError(
+                "a staged rebalance is already in progress; drive it to "
+                "finish_rebalance() first")
+        recovered = self._sync_fleet()
+        if self._router.num_shards == num_shards and \
+                (vnodes is None or vnodes == self._router.vnodes):
+            self._reconcile(None, recovered)
+            return 0
+        if publish is None:
+            raise OntologyError(
+                "remote shards are fed from the shared log; pass "
+                "publish= (e.g. PublisherThread.publish) so the "
+                "ring-epoch record reaches it")
+        ring = HashRing(
+            num_shards,
+            self._router.vnodes if vnodes is None else vnodes,
+            self._router.epoch + 1)
+        delta = ring_delta(self._router.version, ring)
+        publish([delta])
+        # Plan on a staged router copy: apply_ring mutates in place, and
+        # the live router must keep routing reads on the old placement
+        # until every chunk has been pulled.
+        staged_router = ShardRouter.from_state(self._router.export_state())
+        plan = staged_router.apply_ring(delta)
+        chunks: "list[tuple[int, int, list[str]]]" = []
+        for (src, dst), node_ids in plan.by_pair():
+            if dst < len(self._replicas):
+                # Moves into survivors (shrink) are not sliced — those
+                # workers re-bootstrap from snapshot + tail at the flip,
+                # same as the monolithic path.
+                continue
+            for start in range(0, len(node_ids), chunk_nodes):
+                chunks.append((src, dst,
+                               list(node_ids[start:start + chunk_nodes])))
+        self._staged = {
+            "delta": delta,
+            "plan": plan,
+            "recovered": recovered,
+            "chunks": chunks,
+            "chunk_count": len(chunks),
+            "transfers": {dst: []
+                          for dst in range(len(self._replicas), num_shards)},
+        }
+        return len(chunks)
+
+    def rebalance_step(self) -> int:
+        """Pull one bounded :class:`TransferSlice` chunk from its source
+        worker into the staged transfer set; returns the number of
+        chunks still pending.  Serving reads interleave between steps —
+        each step holds the serialized queue only for its own chunk.  A
+        source that fails mid-stream drops its destination to the
+        snapshot-plus-tail bootstrap path (remaining chunks for that
+        destination are discarded), exactly like the monolithic
+        collector."""
+        staged = self._staged
+        if staged is None:
+            raise OntologyError(
+                "no staged rebalance; call begin_rebalance first")
+        if staged["chunks"]:
+            src, dst, node_ids = staged["chunks"].pop(0)
+            transfers = staged["transfers"]
+            if transfers.get(dst) is not None:
+                try:
+                    if src >= len(self._replicas):
+                        raise OntologyError(
+                            f"transfer source shard {src} is not running")
+                    transfers[dst].append(self._replicas[src].transfer_slice(
+                        node_ids, staged["plan"].ring.epoch, dst))
+                    self._transfer_chunks.inc()
+                except (ReproError, OSError):
+                    transfers[dst] = None
+                    staged["chunks"] = [chunk for chunk in staged["chunks"]
+                                        if chunk[1] != dst]
+        return len(staged["chunks"])
+
+    def finish_rebalance(self) -> OntologyDelta:
+        """Flip the live router and read view to the staged ring epoch
+        and reconcile the fleet with the chunk-collected transfers
+        (draining any chunks still pending first).  Returns the ring
+        record."""
+        staged = self._staged
+        if staged is None:
+            raise OntologyError("no staged rebalance to finish")
+        while staged["chunks"]:
+            self.rebalance_step()
+        self._staged = None
+        delta = staged["delta"]
+        plan = self._router.apply_ring(delta)
+        self._service.fold_views(delta)
+        self._reconcile(plan, staged["recovered"],
+                        transfers=staged["transfers"])
+        self.last_rebalance["transfer_chunks"] = staged["chunk_count"]
+        self._deltas_applied += 1
+        return delta
+
     def _sync_fleet(self) -> "list[int]":
         """Bring the parent and every worker to the current log head,
         respawning dead workers (snapshot-plus-tail); returns the shard
@@ -886,19 +1141,26 @@ class RemoteClusterService:
             try:
                 replica.sync(self._router.version)
             except (ReproError, OSError):
-                replica.close()
+                # Respawn first, swap second, close last (all-or-nothing
+                # like restart_shard): a failed respawn leaves the old
+                # proxy seated for the next attempt.
                 self._replicas[index] = self._restart(replica.shard_id)
+                replica.close()
                 recovered.append(replica.shard_id)
         return recovered
 
-    def _reconcile(self, plan, recovered: "list[int] | None" = None) -> None:
+    def _reconcile(self, plan, recovered: "list[int] | None" = None,
+                   transfers: "dict | None" = None) -> None:
         """Drive the fleet to the parent router's ring: collect transfer
         slices, retire shards that left the ring, cross survivors over
         the flip (restarting corpses), seed or bootstrap new shards, and
-        flip the read view."""
+        flip the read view.  A staged rebalance passes its
+        chunk-collected ``transfers`` in; the monolithic path collects
+        them here in one sweep."""
         target = self._router.num_shards
         new_ids = list(range(len(self._replicas), target))
-        transfers = self._collect_transfers(plan, new_ids)
+        if transfers is None:
+            transfers = self._collect_transfers(plan, new_ids)
         # Shards beyond the ring retire (their keys were sliced away or,
         # if the slices failed, will come from re-bootstrap folds).
         for proxy in self._replicas[target:]:
@@ -915,8 +1177,8 @@ class RemoteClusterService:
             try:
                 replica.sync(self._router.version)
             except (ReproError, OSError):
-                replica.close()
                 self._replicas[index] = self._restart(replica.shard_id)
+                replica.close()
                 if replica.shard_id not in recovered:
                     recovered.append(replica.shard_id)
         for shard_id in new_ids:

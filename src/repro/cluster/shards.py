@@ -45,7 +45,7 @@ from ..core.store import (
     creation_order,
 )
 from ..core.zsets import delta_to_zsets, token_rows
-from ..errors import OntologyError
+from ..errors import OntologyError, ShardUnavailableError
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.recorder import get_recorder
 from ..obs.tracing import get_tracer
@@ -419,6 +419,7 @@ class ShardedStoreView:
         # read path's straggler (with remote replicas, usually the one
         # whose worker process is slow or backlogged).
         self._straggler = self._metrics.gauge("straggler_shard")
+        self._recover = None
 
     def reseat(self, router: ShardRouter, replicas) -> None:
         """Swap in a rebalanced topology.
@@ -428,13 +429,38 @@ class ShardedStoreView:
         reseats the view in one call, so reads before it see the old
         placement completely and reads after it the new one — never a
         mix.  (The async tier serializes reads against refresh, so no
-        read is in flight across the call.)
+        read is in flight across the call; a read that *fails* over a
+        dead worker re-enters through :meth:`bind_recovery`'s hook,
+        which may reseat before the retry.)
         """
         replicas = list(replicas)
         if router.num_shards != len(replicas):
             raise OntologyError("router/replica shard counts disagree")
         self._router = router
         self._replicas = replicas
+
+    def bind_recovery(self, hook) -> None:
+        """Install the cluster's shard-recovery hook: called with the
+        dead ``shard_id`` when a read surfaces
+        :class:`ShardUnavailableError`, expected to respawn the worker
+        (and :meth:`reseat` this view) before the read retries.  Only
+        *reads* retry — they are idempotent; mutating endpoints such as
+        ``record_read`` apply their decay before resolving phrases, so
+        a blind endpoint-level replay would double-apply it."""
+        self._recover = hook
+
+    def _with_recovery(self, attempt):
+        """Run one idempotent read closure, routing a dead worker
+        through the recovery hook and retrying exactly once.  The
+        closure must re-read ``self._replicas`` / ``self._router`` on
+        entry — recovery reseats them."""
+        try:
+            return attempt()
+        except ShardUnavailableError as exc:
+            if self._recover is None:
+                raise
+            self._recover(exc.shard_id)
+            return attempt()
 
     # ------------------------------------------------------------------
     # versioning (read side only)
@@ -472,29 +498,54 @@ class ShardedStoreView:
         request on the wire while the other shards work, so a scatter
         costs one overlapped round trip instead of one per shard.
         Local replicas run inline.  Results arrive in shard order, so
-        merges are byte-identical to the sequential loop."""
+        merges are byte-identical to the sequential loop.  A dead
+        worker surfaces :class:`ShardUnavailableError`; the healthy
+        shards' in-flight replies are drained first (keeping each
+        socket's request/reply pairing intact), then the recovery hook
+        respawns the worker and the whole scatter retries."""
+        return self._with_recovery(lambda: self._scatter_once(method, *args))
+
+    def _scatter_once(self, method: str, *args) -> list:
         clock = self._metrics.registry.clock
         self._scatters.inc()
         with get_tracer().span(f"scatter.{method}",
                                shards=len(self._replicas)) as span:
             start = clock()
             handles = []
+            failed: "ShardUnavailableError | None" = None
             for replica in self._replicas:
                 begin = getattr(replica, "begin_call", None)
-                handles.append(None if begin is None
-                               else begin(method, *args))
+                if begin is None:
+                    handles.append(None)
+                    continue
+                try:
+                    handles.append(begin(method, *args))
+                except ShardUnavailableError as exc:
+                    # Marker: nothing went on this wire, nothing to
+                    # collect — but keep dispatching so the healthy
+                    # shards' sockets stay begin/finish-paired.
+                    handles.append(exc)
+                    failed = failed if failed is not None else exc
             out = []
             done_at = []
             for replica, handle in zip(self._replicas, handles):
-                if handle is None:
-                    out.append(getattr(replica, method)(*args))
-                else:
-                    out.append(replica.finish_call(handle))
+                try:
+                    if isinstance(handle, ShardUnavailableError):
+                        raise handle
+                    if handle is None:
+                        out.append(getattr(replica, method)(*args))
+                    else:
+                        out.append(replica.finish_call(handle))
+                except ShardUnavailableError as exc:
+                    failed = failed if failed is not None else exc
+                    continue
                 # Completion is observed at collect time (in shard
                 # order), so per-shard readings include any wait behind
                 # earlier shards — an upper bound that still singles
                 # out the shard the fan-out actually waited on last.
                 done_at.append(clock() - start)
+            if failed is not None:
+                raise failed
             for elapsed in done_at:
                 self._shard_seconds.observe(elapsed)
             self._fanout_seconds.observe(clock() - start)
@@ -517,26 +568,49 @@ class ShardedStoreView:
     def _resolve(self, node_ids) -> list[AttentionNode]:
         """Owner-shard point lookups for an id sequence, pipelined per
         owning replica (each owner answers its socket in request order,
-        so replies pair up deterministically)."""
+        so replies pair up deterministically).  Dead-worker failures
+        recover and retry like :meth:`_scatter`."""
+        node_ids = list(node_ids)
+        return self._with_recovery(lambda: self._resolve_once(node_ids))
+
+    def _resolve_once(self, node_ids) -> list[AttentionNode]:
         self._resolves.inc()
         with self._metrics.time("resolve_seconds"):
             handles = []
+            failed: "ShardUnavailableError | None" = None
             for node_id in node_ids:
                 replica = self._replicas[self._router.owner_of(node_id)]
                 begin = getattr(replica, "begin_call", None)
-                handles.append((replica, node_id,
-                                None if begin is None
-                                else begin("node", node_id)))
-            return [replica.node(node_id) if handle is None
-                    else replica.finish_call(handle)
-                    for replica, node_id, handle in handles]
+                if begin is None:
+                    handles.append((replica, node_id, None))
+                    continue
+                try:
+                    handles.append((replica, node_id,
+                                    begin("node", node_id)))
+                except ShardUnavailableError as exc:
+                    handles.append((replica, node_id, exc))
+                    failed = failed if failed is not None else exc
+            out = []
+            for replica, node_id, handle in handles:
+                try:
+                    if isinstance(handle, ShardUnavailableError):
+                        raise handle
+                    out.append(replica.node(node_id) if handle is None
+                               else replica.finish_call(handle))
+                except ShardUnavailableError as exc:
+                    failed = failed if failed is not None else exc
+            if failed is not None:
+                raise failed
+            return out
 
     # ------------------------------------------------------------------
     # point lookups
     # ------------------------------------------------------------------
     def node(self, node_id: str) -> AttentionNode:
         """Canonical node object, resolved through its owner shard."""
-        return self._replicas[self._router.owner_of(node_id)].node(node_id)
+        return self._with_recovery(
+            lambda: self._replicas[self._router.owner_of(node_id)]
+            .node(node_id))
 
     def find(self, node_type: NodeType, phrase: str) -> "AttentionNode | None":
         """Exact phrase/alias lookup.
@@ -565,8 +639,8 @@ class ShardedStoreView:
                 key = f"{node_type.value}::{phrase.lower()}"
 
                 def first_claim(nid: str) -> "tuple[int, tuple[int, str]]":
-                    owner = self._replicas[self._router.owner_of(nid)]
-                    claim = owner.alias_claim(key, nid)
+                    claim = self._with_recovery(
+                        lambda: self._owner(nid).alias_claim(key, nid))
                     return (claim if claim is not None else 1 << 62,
                             creation_order(nid))
 
@@ -628,18 +702,21 @@ class ShardedStoreView:
 
     def successors(self, node_id: str, edge_type: "EdgeType | None" = None
                    ) -> list[AttentionNode]:
-        local = self._owner(node_id).successor_ids(node_id, edge_type)
+        local = self._with_recovery(
+            lambda: self._owner(node_id).successor_ids(node_id, edge_type))
         return self._resolve(local)
 
     def predecessors(self, node_id: str, edge_type: "EdgeType | None" = None
                      ) -> list[AttentionNode]:
-        local = self._owner(node_id).predecessor_ids(node_id, edge_type)
+        local = self._with_recovery(
+            lambda: self._owner(node_id).predecessor_ids(node_id, edge_type))
         return self._resolve(local)
 
     def has_edge(self, source_id: str, target_id: str,
                  edge_type: EdgeType) -> bool:
-        return self._owner(source_id).has_edge(source_id, target_id,
-                                               edge_type)
+        return self._with_recovery(
+            lambda: self._owner(source_id).has_edge(source_id, target_id,
+                                                    edge_type))
 
     def edges(self, edge_type: "EdgeType | None" = None) -> list[Edge]:
         """All edges, gathered and de-duplicated (each cross-shard edge
@@ -668,8 +745,10 @@ class ShardedStoreView:
             current = stack.pop()
             if current == goal:
                 return True
-            for target_id in self._owner(current).successor_ids(current,
-                                                                edge_type):
+            targets = self._with_recovery(
+                lambda: self._owner(current).successor_ids(current,
+                                                           edge_type))
+            for target_id in targets:
                 if target_id not in visited:
                     visited.add(target_id)
                     stack.append(target_id)

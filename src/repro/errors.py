@@ -80,6 +80,18 @@ class RingEpochError(DeltaGapError):
     crosses the flip with the full store in hand."""
 
 
+class ShardUnavailableError(ReproError):
+    """Raised when a shard worker's connection fails mid-call — the
+    socket broke, the peer closed it, or the worker process died.  The
+    typed error (instead of a raw ``OSError`` escaping to the serving
+    caller) carries the shard id so the cluster's recovery path knows
+    which worker to respawn before retrying the read."""
+
+    def __init__(self, shard_id: int, message: str) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
 class SegmentIntegrityError(OntologyError):
     """Raised when a columnar segment (a snapshot file or a binary wire
     message) fails structural validation — bad magic, an unsupported

@@ -50,6 +50,8 @@ ANOMALY_KINDS = frozenset({
     "worker.restart",
     "replication.gap_rebootstrap",
     "views.rehydrate",
+    "shard.unavailable",
+    "audit.violation",
 })
 
 

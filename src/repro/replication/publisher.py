@@ -101,8 +101,55 @@ class LogPublisher:
         # follower lag *in seconds*: a follower's seconds-lag is the age
         # of the oldest publish it has not yet consumed.
         self._append_times: "deque[tuple[int, float]]" = deque(maxlen=4096)
+        # Fault injection (the audit campaign's follower-side faults):
+        # per-follower artificial fetch/wait delay in seconds, and a
+        # partition set whose members' fetches fail outright.
+        self._injected_delay: "dict[str, float]" = {}
+        self._injected_partition: "set[str]" = set()
         if catalog is not None:
             catalog.bind_gc_floor(self.follower_floor)
+
+    # ------------------------------------------------------------------
+    # fault injection (test/audit hooks; loop thread only)
+    # ------------------------------------------------------------------
+    def inject_fault(self, follower: str, *,
+                     delay: "float | None" = None,
+                     partition: "bool | None" = None) -> None:
+        """Install an artificial fault on one follower's log reads:
+        ``delay`` sleeps every ``log_fetch``/``log_wait`` that long
+        before answering; ``partition=True`` makes them fail outright
+        (``False`` heals).  Must run on the event-loop thread — marshal
+        through :meth:`PublisherThread.call` from other threads.  Used
+        by the fault-injection campaign to lag and partition followers
+        without touching their processes."""
+        name = str(follower)
+        if delay is not None:
+            if delay > 0:
+                self._injected_delay[name] = float(delay)
+            else:
+                self._injected_delay.pop(name, None)
+        if partition is not None:
+            if partition:
+                self._injected_partition.add(name)
+            else:
+                self._injected_partition.discard(name)
+
+    def clear_faults(self) -> None:
+        """Drop every injected delay and heal every partition."""
+        self._injected_delay.clear()
+        self._injected_partition.clear()
+
+    async def _maybe_inject(self, follower: "str | None") -> None:
+        if follower is None:
+            return
+        name = str(follower)
+        if name in self._injected_partition:
+            raise ReproError(
+                f"injected partition: follower {name!r} is cut off "
+                f"from the log")
+        delay = self._injected_delay.get(name)
+        if delay:
+            await asyncio.sleep(delay)
 
     # ------------------------------------------------------------------
     # follower offsets
@@ -240,6 +287,7 @@ class LogPublisher:
         # A fetch from `since` means everything <= since is applied
         # on that follower; last write wins so a re-bootstrapped
         # follower's position can also jump (or fall) legitimately.
+        await self._maybe_inject(follower)
         self._note_follower(follower, since)
         self._fetches.inc()
         deltas = self._log.read(since, max_count=max_count)
@@ -263,6 +311,7 @@ class LogPublisher:
                         max_count: "int | None" = None,
                         follower: "str | None" = None) -> dict:
         """Long-poll: resolve as soon as the log grows past ``since``."""
+        await self._maybe_inject(follower)
         self._note_follower(follower, since)
         self._waits.inc()
         deadline = asyncio.get_running_loop().time() + max(0.0, timeout)
@@ -389,6 +438,19 @@ class PublisherThread:
 
         future = asyncio.run_coroutine_threadsafe(_invoke(), self._loop)
         return future.result(timeout)
+
+    def inject_fault(self, follower: str, *,
+                     delay: "float | None" = None,
+                     partition: "bool | None" = None) -> None:
+        """Thread-safe :meth:`LogPublisher.inject_fault` (marshalled
+        onto the loop thread) — the fault campaign's follower-side
+        delay/partition switch."""
+        self.call(lambda: self._publisher.inject_fault(
+            follower, delay=delay, partition=partition))
+
+    def clear_faults(self) -> None:
+        """Thread-safe :meth:`LogPublisher.clear_faults`."""
+        self.call(self._publisher.clear_faults)
 
     def publish(self, deltas: "Sequence[OntologyDelta]",
                 timeout: float = 60.0) -> int:

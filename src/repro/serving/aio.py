@@ -94,28 +94,37 @@ class AsyncOntologyService:
             return self._backend.tag_documents(items)
         if kind == "query":
             return self._backend.interpret_queries(items)
+        if kind.startswith("stamped:"):
+            # Stamped execution (the consistency auditor's observable
+            # read): pair each result with the backend version it was
+            # answered at.  Every backend mutation — refresh, sync,
+            # rebalance steps — rides this same serialized queue, so the
+            # version read *after* the call is exactly the version the
+            # call executed against; the stamp cannot tear.
+            return [(self._dispatch(method, args, kwargs),
+                     self._backend.version)
+                    for method, args, kwargs in items]
         # Generic endpoint calls: items are (method, args, kwargs)
         # singletons, executed one by one on the same worker thread.
-        results = []
-        for method, args, kwargs in items:
-            if method == "stats":
-                # Gather backend and batcher stats together on the
-                # serialized worker thread, so concurrent streams never
-                # observe a torn pair (e.g. batcher counters from after
-                # a flush glued to backend counters from before it).
-                stats = self._backend.stats()
-                stats["async"] = self._batcher.stats
-                results.append(stats)
-            elif method == "obs_status":
-                results.append(self._obs_status())
-            elif method == "obs_watch":
-                results.append(self._obs_watch(*args, **kwargs))
-            elif method == "obs_dump":
-                results.append(self._obs_dump())
-            else:
-                results.append(getattr(self._backend, method)(*args,
-                                                              **kwargs))
-        return results
+        return [self._dispatch(method, args, kwargs)
+                for method, args, kwargs in items]
+
+    def _dispatch(self, method: str, args: tuple, kwargs: dict) -> Any:
+        if method == "stats":
+            # Gather backend and batcher stats together on the
+            # serialized worker thread, so concurrent streams never
+            # observe a torn pair (e.g. batcher counters from after
+            # a flush glued to backend counters from before it).
+            stats = self._backend.stats()
+            stats["async"] = self._batcher.stats
+            return stats
+        if method == "obs_status":
+            return self._obs_status()
+        if method == "obs_watch":
+            return self._obs_watch(*args, **kwargs)
+        if method == "obs_dump":
+            return self._obs_dump()
+        return getattr(self._backend, method)(*args, **kwargs)
 
     def _obs_status(self) -> dict:
         status = {"metrics": self._registry.snapshot(),
@@ -167,6 +176,19 @@ class AsyncOntologyService:
         [result] = await self._batcher.submit(
             f"call:{method}", [(method, args, kwargs)], mergeable=False)
         return result
+
+    async def stamped(self, method: str, *args,
+                      **kwargs) -> "tuple[Any, int]":
+        """Execute one serving call and return ``(result, version)``
+        where ``version`` is the backend version the call was answered
+        at — captured atomically on the serialized worker thread (see
+        :meth:`_execute`).  This is the server half of the auditor's
+        stamped-read protocol; stamped ``tag_documents`` /
+        ``interpret_queries`` calls trade batch merging for the exact
+        stamp (they flush as singleton barrier batches)."""
+        [pair] = await self._batcher.submit(
+            f"stamped:{method}", [(method, args, kwargs)], mergeable=False)
+        return pair
 
     # ------------------------------------------------------------------
     # batchable serving APIs (merged across concurrent callers)

@@ -235,19 +235,27 @@ def loads_envelope(frame: bytes) -> dict:
 
 
 def encode_envelope(request_id, result: Any, error: "dict | None",
-                    binary: bool) -> bytes:
+                    binary: bool, stamp: "dict | None" = None) -> bytes:
     """One response envelope in the connection's negotiated body
     encoding.  A result the binary codec cannot pack (or, on the JSON
     side, :func:`encode` cannot lower) degrades to an error envelope
-    rather than killing the connection."""
+    rather than killing the connection.  ``stamp`` (the consistency
+    auditor's read stamp: the backend version the call was answered at,
+    plus the caller's session id) rides as an extra plain-dict key in
+    either body encoding, mirroring how ``"trace"`` rides requests."""
     if error is not None:
         body = {"id": request_id, "error": error}
         return dumps_binary(body) if binary else _canonical_bytes(body)
     try:
         if binary:
-            return dumps_binary({"id": request_id, "result": result})
-        return _canonical_bytes({"id": request_id,
-                                 "result": encode(result)})
+            body = {"id": request_id, "result": result}
+            if stamp is not None:
+                body["stamp"] = stamp
+            return dumps_binary(body)
+        body = {"id": request_id, "result": encode(result)}
+        if stamp is not None:
+            body["stamp"] = stamp
+        return _canonical_bytes(body)
     except Exception as exc:
         body = {"id": request_id,
                 "error": {"type": type(exc).__name__,
@@ -433,6 +441,7 @@ class RpcServer:
         request_id = None
         error = None
         result: Any = None
+        stamp: "dict | None" = None
         label = "unknown"
         recorder = get_recorder()
         start = self._metrics.registry.clock()
@@ -445,6 +454,11 @@ class RpcServer:
             # Caller's trace context, an optional request-envelope key —
             # absent/malformed (old or untraced peer) means "untraced".
             ctx = TraceContext.from_wire(request.get("trace"))
+            # The auditor's session id and stamp request ride the same
+            # optional-key pattern: an old client sends neither, an old
+            # server ignores both.
+            session = request.get("session")
+            want_stamp = bool(request.get("stamp"))
             # Unknown method names come off the wire: fold them into one
             # bucket so a misbehaving peer can't mint unbounded metrics.
             known = method == "negotiate" or method in SERVING_METHODS
@@ -458,6 +472,12 @@ class RpcServer:
                             self._negotiated_binary.inc()
                     elif method not in SERVING_METHODS:
                         raise ReproError(f"unknown RPC method {method!r}")
+                    elif want_stamp:
+                        result, version = await self._service.stamped(
+                            method, *args, **kwargs)
+                        stamp = {"version": version}
+                        if session is not None:
+                            stamp["session"] = str(session)
                     else:
                         result = await getattr(self._service, method)(
                             *args, **kwargs)
@@ -473,7 +493,7 @@ class RpcServer:
                 recorder.record("rpc.slow_call", f"rpc.server.{label}",
                                 method=label, seconds=elapsed)
         payload = encode_envelope(request_id, result, error,
-                                  binary=wire_state["binary"])
+                                  binary=wire_state["binary"], stamp=stamp)
         self._frames_out.inc()
         self._bytes_out.inc(len(payload))
         async with write_lock:
@@ -498,6 +518,9 @@ class RpcClient:
         self._writer = writer
         self._next_id = 0
         self._pending: "dict[int, asyncio.Future]" = {}
+        # Request ids issued via call_stamped: their futures resolve to
+        # (result, stamp) pairs instead of the bare result.
+        self._stamped: "set[int]" = set()
         self._receiver = asyncio.ensure_future(self._receive_loop())
         self._write_lock = asyncio.Lock()
         registry = registry if registry is not None else get_registry()
@@ -543,6 +566,23 @@ class RpcClient:
     async def call(self, method: str, *args, **kwargs) -> Any:
         """Invoke a serving method remotely; raises :class:`RpcError`
         on a server-reported failure."""
+        return await self._invoke(method, args, kwargs)
+
+    async def call_stamped(self, method: str, *args,
+                           session: "str | None" = None,
+                           **kwargs) -> "tuple[Any, dict | None]":
+        """Invoke a serving method and ask the server to *stamp* the
+        reply with the backend version it was answered at — the
+        observable read of the consistency auditor (DESIGN.md §15).
+        Returns ``(result, stamp)``; ``session`` tags the stamp with
+        this client stream's session id.  ``stamp`` is ``None`` when the
+        server predates stamping (the extra request keys are ignored)."""
+        return await self._invoke(method, args, kwargs, session=session,
+                                  stamped=True)
+
+    async def _invoke(self, method: str, args: tuple, kwargs: dict,
+                      session: "str | None" = None,
+                      stamped: bool = False) -> Any:
         if self._receiver.done():
             # The receive loop already died (close(), server EOF or a
             # garbled frame) and failed every pending future; a future
@@ -553,10 +593,16 @@ class RpcClient:
         self._next_id += 1
         future = loop.create_future()
         self._pending[request_id] = future
+        if stamped:
+            self._stamped.add(request_id)
         with get_tracer().span(f"rpc.client.{method}") as span:
             envelope = {"id": request_id, "method": method,
                         "args": encode(list(args)),
                         "kwargs": encode(kwargs)}
+            if stamped:
+                envelope["stamp"] = True
+            if session is not None:
+                envelope["session"] = str(session)
             if span is not None:
                 # The client span is the server span's parent: its ids
                 # ride the request envelope (requests are always JSON,
@@ -590,12 +636,17 @@ class RpcClient:
                 self._frames_in.inc()
                 self._bytes_in.inc(len(frame))
                 body = loads_envelope(frame)
-                future = self._pending.pop(body.get("id"), None)
+                request_id = body.get("id")
+                future = self._pending.pop(request_id, None)
+                wants_stamp = request_id in self._stamped
+                self._stamped.discard(request_id)
                 if future is None or future.done():
                     continue
                 if "error" in body:
                     future.set_exception(RpcError(
                         body["error"]["type"], body["error"]["message"]))
+                elif wants_stamp:
+                    future.set_result((body["result"], body.get("stamp")))
                 else:
                     future.set_result(body["result"])
         except asyncio.CancelledError:
@@ -611,6 +662,7 @@ class RpcClient:
                     future.set_exception(
                         error or ReproError("RPC client closed"))
             self._pending.clear()
+            self._stamped.clear()
 
     async def close(self) -> None:
         self._receiver.cancel()
